@@ -1,0 +1,28 @@
+"""Benchmark suite configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Each benchmark regenerates one table or figure from the paper, prints it
+(paper values side by side), and asserts the qualitative shape. The
+expensive measurement pass shared by Tables 3/4/5/7/8 is cached across
+benchmarks within the session.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time ``fn`` exactly once through pytest-benchmark (these are
+    whole-experiment harnesses, not microbenchmarks)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

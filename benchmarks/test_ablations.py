@@ -1,0 +1,10 @@
+"""Ablations for the DESIGN.md design choices."""
+
+from repro.bench import ablations
+
+
+def test_ablations(once):
+    result = once(ablations.generate)
+    print(result.render())
+    problems = result.check_shape()
+    assert not problems, problems

@@ -1,0 +1,10 @@
+"""Kivati vs per-access software instrumentation (Sections 1 and 5)."""
+
+from repro.bench import baseline
+
+
+def test_baseline_comparison(once):
+    result = once(baseline.generate)
+    print(result.render())
+    problems = result.check_shape()
+    assert not problems, problems

@@ -1,0 +1,10 @@
+"""Figure 7: false-positive decay over training iterations."""
+
+from repro.bench import figure7
+
+
+def test_figure7_training(once):
+    result = once(figure7.generate)
+    print(result.render())
+    problems = result.check_shape()
+    assert not problems, problems

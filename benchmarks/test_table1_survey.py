@@ -1,0 +1,9 @@
+"""Table 1: hardware watchpoint survey (static data check)."""
+
+from repro.bench import table1
+
+
+def test_table1_survey(once):
+    table = once(table1.generate)
+    print(table.render())
+    assert table1.matches_paper()

@@ -1,0 +1,9 @@
+"""Table 2: applications and workloads."""
+
+from repro.bench import table2
+
+
+def test_table2_catalog(once):
+    table = once(table2.generate)
+    print(table.render())
+    assert len(table.rows) == 5

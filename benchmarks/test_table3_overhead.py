@@ -1,0 +1,10 @@
+"""Table 3: run-time overhead across optimization levels and modes."""
+
+from repro.bench import table3
+
+
+def test_table3_overhead(once):
+    result = once(table3.generate)
+    print(result.render())
+    problems = result.check_shape()
+    assert not problems, problems

@@ -1,0 +1,12 @@
+"""Table 4: kernel domain crossings per second."""
+
+from repro.bench import table4
+
+
+def test_table4_crossings(once):
+    result = once(table4.generate)
+    print(result.render())
+    problems = result.check_shape()
+    assert not problems, problems
+    # the optimizations must cut crossings substantially (paper: 41%)
+    assert result.average_optimized_reduction() > 0.25

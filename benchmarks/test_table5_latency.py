@@ -1,0 +1,10 @@
+"""Table 5: request latency for the server workloads."""
+
+from repro.bench import table5
+
+
+def test_table5_latency(once):
+    result = once(table5.generate)
+    print(result.render())
+    problems = result.check_shape()
+    assert not problems, problems

@@ -1,0 +1,10 @@
+"""Table 6: time to detect and prevent the 11 corpus bugs."""
+
+from repro.bench import table6
+
+
+def test_table6_bug_detection(once):
+    result = once(table6.generate)
+    print(result.render())
+    problems = result.check_shape()
+    assert not problems, problems

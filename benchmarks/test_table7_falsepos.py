@@ -1,0 +1,10 @@
+"""Table 7: false positives and watchpoint trap rates."""
+
+from repro.bench import table7
+
+
+def test_table7_false_positives(once):
+    result = once(table7.generate)
+    print(result.render())
+    problems = result.check_shape()
+    assert not problems, problems

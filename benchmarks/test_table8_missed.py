@@ -1,0 +1,10 @@
+"""Table 8: ARs missed due to watchpoint exhaustion."""
+
+from repro.bench import table8
+
+
+def test_table8_missed_ars(once):
+    result = once(table8.generate)
+    print(result.render())
+    problems = result.check_shape()
+    assert not problems, problems

@@ -1,0 +1,10 @@
+"""Table 9: missed ARs vs number of watchpoint registers."""
+
+from repro.bench import table9
+
+
+def test_table9_watchpoint_sweep(once):
+    result = once(table9.generate)
+    print(result.render())
+    problems = result.check_shape()
+    assert not problems, problems

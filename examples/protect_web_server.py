@@ -1,0 +1,64 @@
+"""Protect a web server: the paper's Webstone scenario.
+
+Runs the Apache/Webstone application model under each of Kivati's four
+configurations (Table 3 columns) and reports run time, kernel crossings,
+watchpoint traps and request latency — a miniature of the paper's
+performance evaluation on one application.
+
+Usage::
+
+    python examples/protect_web_server.py
+"""
+
+from repro.bench.scale import bench_config
+from repro.core.config import Mode, OptLevel
+from repro.core.session import ProtectedProgram
+from repro.workloads.apps.webstone import build_webstone
+
+
+def main():
+    workload = build_webstone(requests=24)
+    pp = ProtectedProgram(workload.source)
+    print("Webstone model: %d atomic regions annotated, %d worker threads"
+          % (pp.num_ars, workload.threads))
+
+    vanilla = pp.run_vanilla(seed=7)
+    assert workload.check_output(vanilla.output)
+    base_latency = vanilla.time_ns * workload.threads / workload.requests
+    print("\nvanilla: %.3f ms, latency %.2f us/request"
+          % (vanilla.time_ns / 1e6, base_latency / 1e3))
+
+    print("\n%-14s %10s %10s %10s %8s %10s" % (
+        "config", "time(ms)", "overhead", "crossings", "traps", "latency"))
+    for opt in (OptLevel.BASE, OptLevel.NULL_SYSCALL, OptLevel.SYNCVARS,
+                OptLevel.OPTIMIZED):
+        report = pp.run(bench_config(Mode.PREVENTION, opt), seed=7)
+        assert workload.check_output(report.output), "Kivati broke the app!"
+        latency = report.time_ns * workload.threads / workload.requests
+        print("%-14s %10.3f %9.1f%% %10d %8d %8.2fus" % (
+            opt.value,
+            report.time_ns / 1e6,
+            (report.time_ns / vanilla.time_ns - 1) * 100,
+            report.stats.crossings(),
+            report.stats.traps,
+            latency / 1e3,
+        ))
+
+    report = pp.run(bench_config(Mode.BUG_FINDING, OptLevel.OPTIMIZED),
+                    seed=7)
+    latency = report.time_ns * workload.threads / workload.requests
+    print("%-14s %10.3f %9.1f%% %10d %8d %8.2fus   (bug-finding)" % (
+        "optimized", report.time_ns / 1e6,
+        (report.time_ns / vanilla.time_ns - 1) * 100,
+        report.stats.crossings(), report.stats.traps, latency / 1e3))
+
+    print("\nbenign violations observed (false positives, by AR):")
+    optimized = pp.run(bench_config(Mode.PREVENTION, OptLevel.OPTIMIZED),
+                       seed=7)
+    for ar_id in sorted(optimized.violated_ars()):
+        info = pp.ar_table[ar_id]
+        print("  " + info.describe())
+
+
+if __name__ == "__main__":
+    main()

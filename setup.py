@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package, where PEP 660
+editable installs (`pip install -e .`) cannot build a wheel. With this
+file present, `pip install -e . --no-build-isolation --no-use-pep517`
+works fully offline. Configuration lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

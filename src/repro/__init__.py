@@ -1,0 +1,37 @@
+"""Kivati reproduction: fast detection and prevention of atomicity violations.
+
+This package reproduces the system described in "Kivati: Fast Detection and
+Prevention of Atomicity Violations" (Chew & Lie, EuroSys 2010) as a pure
+Python simulation stack:
+
+- :mod:`repro.minic` — a mini-C front end (the language of protected programs)
+- :mod:`repro.compiler` — bytecode compiler and the pre-processing memory map
+- :mod:`repro.machine` — multicore VM with x86-style trap-after watchpoints
+- :mod:`repro.kernel` — the Kivati kernel component (detection + prevention)
+- :mod:`repro.runtime` — user-space library with the paper's optimizations
+- :mod:`repro.analysis` — the CIL-style static annotator (LSV + AR pairing)
+- :mod:`repro.core` — public API: annotate, run, report, train
+- :mod:`repro.baselines` — AVIO-like and lockset comparators
+- :mod:`repro.workloads` — five application models and the 11-bug corpus
+- :mod:`repro.bench` — generators for every table and figure in the paper
+"""
+
+from repro.core.api import Kivati, annotate_source, run_protected, run_vanilla
+from repro.core.config import KivatiConfig, Mode, OptimizationConfig, OptLevel
+from repro.core.reports import RunReport, ViolationRecord
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Kivati",
+    "KivatiConfig",
+    "Mode",
+    "OptLevel",
+    "OptimizationConfig",
+    "RunReport",
+    "ViolationRecord",
+    "annotate_source",
+    "run_protected",
+    "run_vanilla",
+    "__version__",
+]

@@ -1,0 +1,42 @@
+"""The static annotator (Section 3.1).
+
+Mirrors the paper's CIL pass:
+
+1. :mod:`repro.analysis.normalize` — CIL-style simplification: loop
+   conditions are lowered to ``while(1){ t = cond; if(!t) break; ... }``
+   and effectful ``if`` conditions are hoisted into temporaries, so every
+   shared-variable access occurs in a simple statement.
+2. :mod:`repro.analysis.lsv` — per-subroutine list of shared variables:
+   seeded with globals, by-reference arguments and call results, closed
+   under data-flow dependence and address-taken escape.
+3. :mod:`repro.analysis.cfg` — per-subroutine control-flow graph.
+4. :mod:`repro.analysis.pairs` — path-insensitive reaching-latest-access
+   DFA pairing consecutive accesses to the same shared variable into
+   atomic regions.
+5. :mod:`repro.analysis.watchtype` — the Figure 6 matrix (which remote
+   access kinds each AR watches) and the four non-serializable
+   interleavings of Figure 2.
+6. :mod:`repro.analysis.annotate` — inserts ``begin_atomic`` /
+   ``end_atomic`` / ``clear_ar`` (and the optimization-3 shadow stores)
+   into the AST and emits the AR registry.
+"""
+
+from repro.analysis.annotate import AnnotationResult, annotate
+from repro.analysis.arinfo import ARInfo
+from repro.analysis.cfg import CFG, build_cfg
+from repro.analysis.lsv import compute_lsv
+from repro.analysis.pairs import Access, find_pairs
+from repro.analysis.watchtype import is_unserializable, remote_watch_kinds
+
+__all__ = [
+    "ARInfo",
+    "Access",
+    "AnnotationResult",
+    "CFG",
+    "annotate",
+    "build_cfg",
+    "compute_lsv",
+    "find_pairs",
+    "is_unserializable",
+    "remote_watch_kinds",
+]

@@ -1,0 +1,123 @@
+"""Atomic-region registry.
+
+One AR corresponds to one *first access instance* found by the pairing
+DFA, together with every second access it pairs with. The begin_atomic
+site is the statement containing the first access; each second access
+site receives an end_atomic carrying the same AR id and its own second
+access type (the paper's end_atomic arguments).
+"""
+
+from repro.analysis.watchtype import union_watch_kinds
+
+
+class ARInfo:
+    """Static description of one atomic region."""
+
+    __slots__ = (
+        "ar_id",
+        "func",
+        "var",
+        "first_kind",
+        "watch_read",
+        "watch_write",
+        "size",
+        "begin_uid",
+        "second_kinds",
+        "line",
+        "second_lines",
+        "is_sync",
+        "lvalue",
+    )
+
+    def __init__(self, ar_id, func, var, first_kind, begin_uid, second_kinds,
+                 line, second_lines, is_sync, lvalue, size=1):
+        self.ar_id = ar_id
+        self.func = func
+        self.var = var
+        self.first_kind = first_kind
+        self.begin_uid = begin_uid
+        self.second_kinds = dict(second_kinds)  # stmt_uid -> AccessKind
+        self.line = line
+        self.second_lines = dict(second_lines)  # stmt_uid -> line
+        self.is_sync = is_sync
+        self.lvalue = lvalue
+        self.size = size
+        self.watch_read, self.watch_write = union_watch_kinds(
+            first_kind, self.second_kinds.values()
+        )
+
+    @property
+    def watches_both(self):
+        return self.watch_read and self.watch_write
+
+    def second_kind_at(self, stmt_uid):
+        return self.second_kinds.get(stmt_uid)
+
+    def describe(self):
+        kinds = "/".join(str(k) for k in set(self.second_kinds.values()))
+        watch = ("R" if self.watch_read else "") + ("W" if self.watch_write else "")
+        return "AR %d: %s in %s, first=%s seconds=%s watch=%s line %d%s" % (
+            self.ar_id,
+            self.var,
+            self.func,
+            self.first_kind,
+            kinds,
+            watch,
+            self.line,
+            " [sync]" if self.is_sync else "",
+        )
+
+    def __repr__(self):
+        return "ARInfo(%d, %s %s->%s)" % (
+            self.ar_id,
+            self.var,
+            self.first_kind,
+            "/".join(str(k) for k in set(self.second_kinds.values())) or "?",
+        )
+
+
+def build_ar_infos(func_name, pair_result, lsv, start_id,
+                   extra_sync_vars=()):
+    """Group pairs by first access into ARInfo records.
+
+    ``extra_sync_vars`` are additional variable names to treat as
+    synchronization variables (e.g. spin flags found by the annotator's
+    heuristic). Returns (list of ARInfo, next free ar_id).
+    """
+    sync_names = set(lsv.sync_vars) | set(extra_sync_vars)
+    by_first = {}
+    for first_aid, second_aid in sorted(pair_result.pairs):
+        by_first.setdefault(first_aid, []).append(second_aid)
+
+    infos = []
+    ar_id = start_id
+    for first_aid in sorted(by_first):
+        first = pair_result.accesses[first_aid]
+        # if a statement touches the variable more than once, the first
+        # (lowest-order) access is the one that closes the AR
+        per_uid = {}
+        for second_aid in by_first[first_aid]:
+            second = pair_result.accesses[second_aid]
+            cur = per_uid.get(second.stmt_uid)
+            if cur is None or second.order < cur[0]:
+                per_uid[second.stmt_uid] = (second.order, second.kind,
+                                            second.line)
+        second_kinds = {uid: kind for uid, (_, kind, _) in per_uid.items()}
+        second_lines = {uid: line for uid, (_, _, line) in per_uid.items()}
+        base_var = first.var.split("[")[0].lstrip("*")
+        infos.append(
+            ARInfo(
+                ar_id=ar_id,
+                func=func_name,
+                var=first.var,
+                first_kind=first.kind,
+                begin_uid=first.stmt_uid,
+                second_kinds=second_kinds,
+                line=first.line,
+                second_lines=second_lines,
+                is_sync=base_var in sync_names,
+                lvalue=first.lvalue,
+            )
+        )
+        ar_id += 1
+    return infos, ar_id

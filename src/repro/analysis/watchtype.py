@@ -1,0 +1,64 @@
+"""Figure 6 and Figure 2 logic.
+
+Figure 2 lists the four non-serializable interleavings of a remote access
+with a local access pair:
+
+    (local R, remote W, local R) — the two local reads see different values
+    (local W, remote W, local R) — the local read sees the remote write
+    (local W, remote R, local W) — the remote read sees an intermediate value
+    (local R, remote W, local W) — the remote write is lost
+
+Figure 6 derives, from the two local access kinds, which remote access
+kind begin_atomic must watch for:
+
+    first R, second R -> remote W
+    first R, second W -> remote W
+    first W, second R -> remote W
+    first W, second W -> remote R
+
+When a first access pairs with both a second read and a second write along
+different paths (the bottom-right case), the union is watched and the
+recorded first-access type disambiguates at end_atomic time.
+"""
+
+from repro.minic.ast import AccessKind
+
+R = AccessKind.READ
+W = AccessKind.WRITE
+
+_UNSERIALIZABLE = frozenset([
+    (R, W, R),
+    (W, W, R),
+    (W, R, W),
+    (R, W, W),
+])
+
+_WATCH = {
+    (R, R): (False, True),   # (watch_read, watch_write)
+    (R, W): (False, True),
+    (W, R): (False, True),
+    (W, W): (True, False),
+}
+
+
+def is_unserializable(first, remote, second):
+    """True if (first, remote, second) forms a non-serializable
+    interleaving (Figure 2)."""
+    return (first, remote, second) in _UNSERIALIZABLE
+
+
+def remote_watch_kinds(first, second):
+    """Figure 6: (watch_read, watch_write) for one local access pair."""
+    return _WATCH[(first, second)]
+
+
+def union_watch_kinds(first, second_kinds):
+    """Watch kinds for an AR whose first access pairs with several second
+    accesses (possibly of different kinds on different paths)."""
+    watch_read = False
+    watch_write = False
+    for second in second_kinds:
+        r, w = _WATCH[(first, second)]
+        watch_read = watch_read or r
+        watch_write = watch_write or w
+    return watch_read, watch_write

@@ -1,0 +1,16 @@
+"""Comparator systems (Section 5 / Section 1).
+
+The paper positions Kivati against software testing tools that instrument
+*every* memory access (AVIO, Atomizer, Velodrome, SVD, CTrigger...) and
+report 2.2x-72x slowdowns. :mod:`repro.baselines.avio` implements such a
+detector on the same virtual machine so the "orders of magnitude"
+comparison can be regenerated; :mod:`repro.baselines.lockset` adds a
+classic lockset (Eraser-style) race checker as a second comparator.
+"""
+
+from repro.baselines.avio import AvioLikeRuntime, run_avio_like
+from repro.baselines.ctrigger import ExplorationResult, explore
+from repro.baselines.lockset import LocksetRuntime, run_lockset
+
+__all__ = ["AvioLikeRuntime", "ExplorationResult", "LocksetRuntime",
+           "explore", "run_avio_like", "run_lockset"]

@@ -1,0 +1,97 @@
+"""Eraser-style lockset data-race checker (second comparator).
+
+Tracks the set of locks held at each access to each shared address; a
+location whose candidate lockset becomes empty after accesses from
+multiple threads is reported as a potential race. Like the paper's cited
+race detectors (RaceFuzzer, FastTrack), this finds data races rather than
+atomicity violations, and pays per-access software instrumentation cost.
+"""
+
+from repro.machine.runtime_iface import BaseRuntime
+
+
+class RaceReport:
+    __slots__ = ("addr", "tids", "time_ns")
+
+    def __init__(self, addr, tids, time_ns):
+        self.addr = addr
+        self.tids = frozenset(tids)
+        self.time_ns = time_ns
+
+    def __repr__(self):
+        return "RaceReport(addr=%d, tids=%s)" % (self.addr, sorted(self.tids))
+
+
+class LocksetRuntime(BaseRuntime):
+    wants_all_accesses = True
+
+    PER_ACCESS_COST = 40
+
+    def __init__(self, per_access_cost=None):
+        self.per_access_cost = (per_access_cost if per_access_cost is not None
+                                else self.PER_ACCESS_COST)
+        self.held = {}       # tid -> set of lock addrs
+        self.candidates = {}  # addr -> (candidate lockset, tids, reported)
+        self.races = []
+        self.accesses_observed = 0
+        self.machine = None
+
+    def attach(self, machine):
+        self.machine = machine
+
+    def _locks_of(self, machine, tid):
+        # reconstruct held locks from machine lock words: the machine
+        # writes tid+1 into an acquired lock word
+        held = self.held.get(tid)
+        if held is None:
+            held = set()
+            self.held[tid] = held
+        return held
+
+    def on_memory_access(self, core, thread, addr, is_write):
+        self.accesses_observed += 1
+        machine = self.machine
+        tid = thread.tid
+        # maintain the held-lock set by observing lock-word transitions
+        value = machine.memory.words.get(addr, 0)
+        held = self._locks_of(machine, tid)
+        if is_write:
+            # lock acquire/release show up as writes of tid+1 / 0
+            if value == 0 and addr in held:
+                # this access is part of an unlock about to clear it; the
+                # post-state decides below
+                pass
+        # post-state check: lock word owned by us?
+        post = machine.memory.words.get(addr, 0)
+        if post == tid + 1:
+            held.add(addr)
+        elif addr in held and post == 0:
+            held.discard(addr)
+            return self.per_access_cost  # lock word itself is not data
+
+        entry = self.candidates.get(addr)
+        if entry is None:
+            self.candidates[addr] = [set(held), {tid}, False]
+        else:
+            cand, tids, reported = entry
+            cand &= held
+            tids.add(tid)
+            # Eraser-style: report only when a *write* leaves the location
+            # shared-modified with an empty candidate lockset (read-only
+            # post-join accesses do not flag races)
+            if is_write and len(tids) > 1 and not cand and not reported:
+                entry[2] = True
+                self.races.append(RaceReport(addr, tids, core.clock))
+        return self.per_access_cost
+
+
+def run_lockset(program, num_cores=2, costs=None, seed=0,
+                per_access_cost=None, max_steps=200_000_000):
+    """Run a compiled program under the lockset checker."""
+    from repro.machine.machine import Machine
+
+    runtime = LocksetRuntime(per_access_cost)
+    machine = Machine(program, num_cores=num_cores, costs=costs,
+                      runtime=runtime, seed=seed, max_steps=max_steps)
+    result = machine.run()
+    return result, runtime

@@ -1,0 +1,14 @@
+"""Benchmark harness: regenerates every table and figure of the paper.
+
+Each ``tableN``/``figure7`` module exposes a ``generate(...)`` function
+returning a result object with ``rows`` and ``render()``; the
+``benchmarks/`` pytest suite drives them and checks the qualitative shape
+against the paper (who wins, by roughly what factor, where crossovers
+fall). Absolute numbers differ — see EXPERIMENTS.md for the scale
+mapping and calibration notes.
+"""
+
+from repro.bench.scale import SCALE, bench_config, scaled_times
+from repro.bench.render import Table
+
+__all__ = ["SCALE", "Table", "bench_config", "scaled_times"]

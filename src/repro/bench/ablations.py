@@ -1,0 +1,119 @@
+"""Ablation studies for the design choices called out in DESIGN.md.
+
+Not a paper table — these quantify the design trade-offs the paper
+justifies in prose:
+
+- trap-after (x86) vs trap-before (SPARC) hardware (Section 2.2/Table 1),
+- lazy opportunistic cross-core propagation vs an eager IPI (Section 3.2),
+- the length of the suspension timeout (Section 3.3),
+- the bug-finding pause length (Section 4.2).
+"""
+
+from repro.bench.render import Table
+from repro.bench.scale import bench_config
+from repro.core.config import Mode, OptLevel, OptimizationConfig
+from repro.core.session import ProtectedProgram
+from repro.workloads.catalog import build_tpcw
+
+
+class AblationResult:
+    def __init__(self, table, data):
+        self.table = table
+        self.rows = table.rows
+        self.data = data
+
+    def render(self):
+        return self.table.render()
+
+    def check_shape(self):
+        problems = []
+        d = self.data
+        if not d["trap_before"]["undos"] == 0 < d["trap_after"]["undos"]:
+            problems.append("trap-before hardware should not need undo")
+        base = d["opt_base"]
+        for name in ("opt_o1", "opt_o3", "opt_o4"):
+            if d[name]["crossings"] >= base["crossings"]:
+                problems.append("%s: no crossing reduction vs base" % name)
+            if d[name]["time_ns"] > base["time_ns"] * 1.05:
+                problems.append("%s: slower than base" % name)
+        if d["eager"]["time_ns"] < d["lazy"]["time_ns"] * 0.8:
+            problems.append("eager IPIs dramatically beat lazy propagation "
+                            "(the paper expects lazy to be competitive)")
+        if d["interprocedural"]["ars"] <= d["trap_after"]["ars"]:
+            problems.append("inter-procedural analysis found no extra ARs")
+        return problems
+
+
+def generate(scale=0.4, seed=3):
+    workload = build_tpcw(txns=max(2, int(40 * scale)))
+    pp = ProtectedProgram(workload.source)
+    vanilla = pp.run_vanilla(seed=seed)
+
+    table = Table(
+        "Ablations (TPC-W model, optimized config)",
+        ["Variant", "Overhead", "Crossings", "Undos", "Timeouts",
+         "Violations"],
+    )
+    data = {}
+
+    def record(name, label, opt=OptLevel.OPTIMIZED, **overrides):
+        config = bench_config(Mode.PREVENTION, opt, **overrides)
+        report = pp.run(config, seed=seed)
+        entry = {
+            "time_ns": report.time_ns,
+            "overhead": report.time_ns / vanilla.time_ns - 1,
+            "crossings": report.stats.crossings(),
+            "undos": report.stats.undos,
+            "timeouts": report.stats.suspend_timeouts,
+            "violations": len(report.violations),
+        }
+        data[name] = entry
+        table.add_row(label, "%.1f%%" % (entry["overhead"] * 100),
+                      entry["crossings"], entry["undos"], entry["timeouts"],
+                      entry["violations"])
+        return entry
+
+    # each Section 3.4 optimization in isolation, against base
+    record("opt_base", "no optimizations (base)", opt=OptLevel.BASE)
+    record("opt_o1", "O1 user-space replica only",
+           opt=OptimizationConfig(o1_userspace=True))
+    record("opt_o2", "O2 lazy watchpoint free (with O1)",
+           opt=OptimizationConfig(o1_userspace=True, o2_lazy_free=True))
+    record("opt_o3", "O3 local-delivery suppression only",
+           opt=OptimizationConfig(o3_local_disable=True))
+    record("opt_o4", "O4 syncvar whitelist only",
+           opt=OptimizationConfig(o4_syncvars=True))
+
+    record("trap_after", "trap-after hardware (x86)")
+    record("trap_before", "trap-before hardware (SPARC)", trap_before=True)
+    record("lazy", "lazy cross-core propagation")
+    record("eager", "eager cross-core IPIs", eager_crosscore=True)
+    for timeout_us in (2, 10, 50):
+        record("timeout_%d" % timeout_us,
+               "suspension timeout %d ms-equivalent" % (timeout_us),
+               suspend_timeout_ns=timeout_us * 1000)
+
+    # Section 3.5 extension: inter-procedural ARs (more coverage, more
+    # overhead)
+    inter_pp = ProtectedProgram(workload.source, interprocedural=True)
+    config = bench_config(Mode.PREVENTION, OptLevel.OPTIMIZED)
+    report = inter_pp.run(config, seed=seed)
+    entry = {
+        "time_ns": report.time_ns,
+        "overhead": report.time_ns / vanilla.time_ns - 1,
+        "crossings": report.stats.crossings(),
+        "undos": report.stats.undos,
+        "timeouts": report.stats.suspend_timeouts,
+        "violations": len(report.violations),
+        "ars": inter_pp.num_ars,
+    }
+    data["interprocedural"] = entry
+    data["trap_after"]["ars"] = pp.num_ars
+    table.add_row(
+        "interprocedural annotator (%d ARs vs %d)"
+        % (inter_pp.num_ars, pp.num_ars),
+        "%.1f%%" % (entry["overhead"] * 100),
+        entry["crossings"], entry["undos"], entry["timeouts"],
+        entry["violations"],
+    )
+    return AblationResult(table, data)

@@ -1,0 +1,81 @@
+"""Figure 7: false positives on successive training iterations.
+
+Paper anchors: the number of new false positives decays towards zero over
+training iterations; bug-finding mode flushes out more false positives
+per iteration (and therefore converges in fewer iterations).
+"""
+
+from repro.bench.render import Table
+from repro.bench.scale import bench_config
+from repro.core.config import Mode, OptLevel
+from repro.core.session import ProtectedProgram
+from repro.core.training import train
+from repro.workloads.catalog import build_tpcw
+
+
+class Figure7Result:
+    def __init__(self, table, prevention, bug_finding):
+        self.table = table
+        self.rows = table.rows
+        self.prevention = prevention
+        self.bug_finding = bug_finding
+
+    def render(self):
+        return self.table.render()
+
+    def series(self):
+        return {
+            "prevention": self.prevention.iterations,
+            "bug-finding": self.bug_finding.iterations,
+        }
+
+    def check_shape(self):
+        problems = []
+        prev = self.prevention.iterations
+        bug = self.bug_finding.iterations
+        if sum(prev) == 0 and sum(bug) == 0:
+            problems.append("training never observed any false positive")
+        # decay: the last third of iterations should find fewer new FPs
+        # than the first third
+        third = max(1, len(prev) // 3)
+        for name, series in (("prevention", prev), ("bug-finding", bug)):
+            if sum(series[:third]) < sum(series[-third:]):
+                problems.append("%s: false positives not decaying" % name)
+        # the paper's claim: bug-finding removes more FPs per iteration —
+        # i.e. it either finds at least as many in total or flushes them
+        # out in fewer iterations
+        def converged(series):
+            for i in range(len(series)):
+                if all(n == 0 for n in series[i:]):
+                    return i
+            return len(series)
+
+        if sum(bug) < sum(prev) and converged(bug) >= converged(prev):
+            problems.append("bug-finding neither found more FPs nor "
+                            "converged faster (paper: it finds more per "
+                            "iteration)")
+        return problems
+
+
+def generate(iterations=8, scale=0.5, seed_base=100):
+    workload = build_tpcw(txns=max(2, int(40 * scale)))
+    pp = ProtectedProgram(workload.source)
+    prev = train(pp, bench_config(Mode.PREVENTION, opt=OptLevel.OPTIMIZED),
+                 iterations=iterations, seed_base=seed_base)
+    bug = train(pp,
+                bench_config(Mode.BUG_FINDING, opt=OptLevel.OPTIMIZED,
+                             pause_ms=20, pause_probability=0.3),
+                iterations=iterations, seed_base=seed_base)
+
+    table = Table(
+        "Figure 7: new false positives per training iteration (TPC-W model)",
+        ["Iteration"] + ["%d" % (i + 1) for i in range(iterations)]
+        + ["total", "converged after"],
+        note="paper: FP counts decay to zero; bug-finding mode removes "
+             "more FPs per iteration",
+    )
+    for name, result in (("prevention", prev), ("bug-finding", bug)):
+        conv = result.converged_after
+        table.add_row(name, *result.iterations, sum(result.iterations),
+                      conv if conv is not None else ">%d" % iterations)
+    return Figure7Result(table, prev, bug)

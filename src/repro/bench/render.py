@@ -1,0 +1,42 @@
+"""Plain-text table rendering for benchmark output."""
+
+
+class Table:
+    """A rendered benchmark table with paper-vs-measured rows."""
+
+    def __init__(self, title, columns, note=None):
+        self.title = title
+        self.columns = list(columns)
+        self.rows = []
+        self.note = note
+
+    def add_row(self, *cells):
+        self.rows.append([str(c) for c in cells])
+
+    def render(self):
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                if i < len(widths):
+                    widths[i] = max(widths[i], len(cell))
+        lines = ["", "=== %s ===" % self.title]
+        header = "  ".join(c.ljust(widths[i])
+                           for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append("  ".join(
+                cell.ljust(widths[i]) if i < len(widths) else cell
+                for i, cell in enumerate(row)
+            ))
+        if self.note:
+            lines.append("note: %s" % self.note)
+        lines.append("")
+        return "\n".join(lines)
+
+    def __str__(self):
+        return self.render()
+
+
+def pct(x):
+    return "%.1f%%" % (x * 100.0)

@@ -1,0 +1,69 @@
+"""One-command evaluation report.
+
+``kivati report`` (or :func:`generate_report`) regenerates every table,
+the figure and the ablations, checks each against the paper's qualitative
+shape, and emits a single text report — the content of the repository's
+EXPERIMENTS measured-results section.
+"""
+
+import time
+
+
+def generate_report(scale=0.6, include_table6=True, include_ablations=True,
+                    stream=None):
+    """Run the full evaluation; returns the report text (and prints it
+    incrementally to ``stream`` if given)."""
+    from repro.bench import (ablations, baseline, figure7, table1, table2,
+                             table3, table4, table5, table6, table7, table8,
+                             table9)
+
+    sections = []
+
+    def emit(text):
+        sections.append(text)
+        if stream is not None:
+            stream.write(text + "\n")
+            stream.flush()
+
+    emit("KIVATI REPRODUCTION — FULL EVALUATION REPORT")
+    emit("generated in %s\n" % time.strftime("%Y-%m-%d %H:%M:%S"))
+
+    jobs = [
+        ("Table 1", lambda: table1.generate()),
+        ("Table 2", lambda: table2.generate(scale=scale)),
+        ("Table 3", lambda: table3.generate(scale=scale)),
+        ("Table 4", lambda: table4.generate(scale=scale)),
+        ("Table 5", lambda: table5.generate(scale=scale)),
+    ]
+    if include_table6:
+        jobs.append(("Table 6", lambda: table6.generate()))
+    jobs.extend([
+        ("Table 7", lambda: table7.generate(scale=scale)),
+        ("Table 8", lambda: table8.generate(scale=scale)),
+        ("Table 9", lambda: table9.generate(scale=scale * 0.8)),
+        ("Figure 7", lambda: figure7.generate()),
+        ("Baselines", lambda: baseline.generate()),
+    ])
+    if include_ablations:
+        jobs.append(("Ablations", lambda: ablations.generate()))
+
+    verdicts = []
+    for name, job in jobs:
+        started = time.time()
+        result = job()
+        elapsed = time.time() - started
+        emit(result.render())
+        problems = (result.check_shape()
+                    if hasattr(result, "check_shape") else [])
+        if problems:
+            verdict = "%s: SHAPE DEVIATIONS: %s" % (name, "; ".join(problems))
+        else:
+            verdict = "%s: shape matches the paper (%.0fs)" % (name, elapsed)
+        verdicts.append(verdict)
+        emit(verdict + "\n")
+
+    emit("=" * 60)
+    emit("SUMMARY")
+    for verdict in verdicts:
+        emit("  " + verdict)
+    return "\n".join(sections)

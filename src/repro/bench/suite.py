@@ -1,0 +1,95 @@
+"""Shared measurement pass for the performance tables.
+
+Tables 3, 4, 5, 7 and 8 all derive from the same set of runs (five
+applications × four optimization levels × two modes, plus vanilla), so
+they are measured once and cached.
+"""
+
+from repro.bench.scale import bench_config
+from repro.core.config import Mode, OptLevel
+from repro.core.session import ProtectedProgram
+from repro.workloads.catalog import workload_suite
+
+OPT_LEVELS = (OptLevel.BASE, OptLevel.NULL_SYSCALL, OptLevel.SYNCVARS,
+              OptLevel.OPTIMIZED)
+MODES = (Mode.PREVENTION, Mode.BUG_FINDING)
+
+
+class AppMeasurement:
+    """All measurements for one application."""
+
+    def __init__(self, workload, protected, vanilla, reports):
+        self.workload = workload
+        self.protected = protected
+        self.vanilla = vanilla
+        #: (OptLevel, Mode) -> RunReport
+        self.reports = reports
+
+    @property
+    def name(self):
+        return self.workload.name
+
+    def overhead(self, opt, mode=Mode.PREVENTION):
+        report = self.reports[(opt, mode)]
+        return report.time_ns / self.vanilla.time_ns - 1.0
+
+    def report(self, opt, mode=Mode.PREVENTION):
+        return self.reports[(opt, mode)]
+
+
+class SuiteResults:
+    def __init__(self, apps, scale, seed):
+        self.apps = apps  # name -> AppMeasurement
+        self.scale = scale
+        self.seed = seed
+
+    def __iter__(self):
+        return iter(self.apps.values())
+
+    def __getitem__(self, name):
+        return self.apps[name]
+
+    def geometric_mean_overhead(self, opt, mode=Mode.PREVENTION):
+        """Geometric mean of per-app overheads, floored at 1% — a
+        near-zero app (VLC's sleep-dominated pipeline) would otherwise
+        dominate the log average."""
+        import math
+
+        logs = []
+        for app in self:
+            oh = max(0.01, app.overhead(opt, mode))
+            logs.append(math.log(oh))
+        return math.exp(sum(logs) / len(logs))
+
+    def arithmetic_mean_overhead(self, opt, mode=Mode.PREVENTION):
+        values = [app.overhead(opt, mode) for app in self]
+        return sum(values) / len(values)
+
+
+_CACHE = {}
+
+
+def run_suite(scale=0.6, seed=3, levels=OPT_LEVELS, modes=MODES,
+              use_cache=True):
+    """Run the full measurement pass; cached on (scale, seed)."""
+    key = (scale, seed, tuple(levels), tuple(modes))
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+
+    apps = {}
+    for workload in workload_suite(scale=scale):
+        pp = ProtectedProgram(workload.source)
+        vanilla = pp.run_vanilla(seed=seed)
+        assert workload.check_output(vanilla.output), (
+            "vanilla run of %s produced wrong output" % workload.name)
+        reports = {}
+        for opt in levels:
+            for mode in modes:
+                config = bench_config(mode=mode, opt=opt)
+                report = pp.run(config, seed=seed)
+                reports[(opt, mode)] = report
+        apps[workload.name] = AppMeasurement(workload, pp, vanilla, reports)
+    results = SuiteResults(apps, scale, seed)
+    if use_cache:
+        _CACHE[key] = results
+    return results

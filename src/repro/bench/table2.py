@@ -1,0 +1,16 @@
+"""Table 2: applications and workloads."""
+
+from repro.bench.render import Table
+from repro.workloads.catalog import APP_NAMES, PAPER_WORKLOADS, workload_suite
+
+
+def generate(scale=0.6):
+    table = Table(
+        "Table 2: applications and workloads",
+        ["Application", "Paper workload", "Model", "Threads"],
+    )
+    suite = {w.name: w for w in workload_suite(scale=scale)}
+    for name in APP_NAMES:
+        w = suite[name]
+        table.add_row(name, PAPER_WORKLOADS[name], w.description, w.threads)
+    return table

@@ -1,0 +1,91 @@
+"""Table 3: run-time overhead across optimization levels and modes.
+
+Paper anchors: geometric-mean overhead falls from 30% (base) to 19%
+(optimized); bug-finding mode adds ~2.5% on top of prevention mode; the
+null-syscall diagnostic shows crossings dominate; TPC-W is the worst
+application.
+"""
+
+from repro.bench.render import Table
+from repro.bench.suite import run_suite
+from repro.core.config import Mode, OptLevel
+from repro.workloads.catalog import APP_NAMES
+
+#: paper per-app overheads, prevention/bug-finding, for the Base and
+#: Optimized configurations (percent). The SyncVars and Null-syscall
+#: columns of the published table did not survive text extraction intact;
+#: the authoritative anchors are the geometric means (30% -> 19%) and the
+#: +2.5% bug-finding delta.
+PAPER = {
+    "NSS": {"base": (32.4, 35.9), "optimized": (25.3, 28.4)},
+    "VLC": {"base": (18.0, 19.9), "optimized": (14.3, 16.1)},
+    "Webstone": {"base": (27.9, 29.1), "optimized": (22.6, 25.2)},
+    "TPC-W": {"base": (33.7, 58.2), "optimized": (40.9, 46.3)},
+    "SPEC OMP": {"base": (30.0, 33.5), "optimized": (24.6, 27.7)},
+}
+
+
+class Table3Result:
+    def __init__(self, suite, table):
+        self.suite = suite
+        self.table = table
+        self.rows = table.rows
+
+    def render(self):
+        return self.table.render()
+
+    def overhead(self, app, opt, mode=Mode.PREVENTION):
+        return self.suite[app].overhead(opt, mode)
+
+    def check_shape(self):
+        """The qualitative claims the paper's Table 3 supports."""
+        problems = []
+        for app in self.suite:
+            base = app.overhead(OptLevel.BASE)
+            sync = app.overhead(OptLevel.SYNCVARS)
+            optd = app.overhead(OptLevel.OPTIMIZED)
+            if not optd < base:
+                problems.append("%s: optimized !< base" % app.name)
+            if not sync <= base * 1.05:
+                problems.append("%s: syncvars > base" % app.name)
+            if optd < -0.02:
+                # sleep-dominated pipelines (VLC) show ±1-2% scheduling
+                # noise; anything beyond that is a real anomaly
+                problems.append("%s: negative overhead" % app.name)
+            bug = app.overhead(OptLevel.OPTIMIZED, Mode.BUG_FINDING)
+            if bug < optd - 0.02:
+                problems.append("%s: bug-finding cheaper than prevention"
+                                % app.name)
+        return problems
+
+
+def generate(scale=0.6, seed=3):
+    suite = run_suite(scale=scale, seed=seed)
+    table = Table(
+        "Table 3: performance overhead (prevention / bug-finding, % over "
+        "vanilla)",
+        ["Application", "Runtime", "Base", "Null syscall", "SyncVars",
+         "Optimized", "Paper base", "Paper optimized"],
+        note="runtime in simulated ms; paper columns are prevention/"
+             "bug-finding percentages from the published table",
+    )
+    for name in APP_NAMES:
+        app = suite[name]
+        cells = [name, "%.3f" % (app.vanilla.time_ns / 1e6)]
+        for opt in (OptLevel.BASE, OptLevel.NULL_SYSCALL, OptLevel.SYNCVARS,
+                    OptLevel.OPTIMIZED):
+            prev = app.overhead(opt, Mode.PREVENTION) * 100
+            bug = app.overhead(opt, Mode.BUG_FINDING) * 100
+            cells.append("%.1f / %.1f" % (prev, bug))
+        paper = PAPER[name]
+        cells.append("%.1f / %.1f" % paper["base"])
+        cells.append("%.1f / %.1f" % paper["optimized"])
+        table.add_row(*cells)
+    gm_base = suite.geometric_mean_overhead(OptLevel.BASE) * 100
+    gm_opt = suite.geometric_mean_overhead(OptLevel.OPTIMIZED) * 100
+    am_base = suite.arithmetic_mean_overhead(OptLevel.BASE) * 100
+    am_opt = suite.arithmetic_mean_overhead(OptLevel.OPTIMIZED) * 100
+    table.add_row("geo. mean (arith.)", "",
+                  "%.1f (%.1f)" % (gm_base, am_base), "", "",
+                  "%.1f (%.1f)" % (gm_opt, am_opt), "30.0", "19.0")
+    return Table3Result(suite, table)

@@ -1,0 +1,85 @@
+"""Table 4: kernel domain crossings per second.
+
+Paper anchor: the optimizations reduce the number of kernel entries by an
+average of 41%; system calls account for over 99.9% of entries; TPC-W has
+the highest crossing rate.
+"""
+
+from repro.bench.render import Table
+from repro.bench.suite import run_suite
+from repro.core.config import Mode, OptLevel
+from repro.workloads.catalog import APP_NAMES
+
+#: paper values, thousands of crossings per second: base / syncvars
+#: (reduction) / optimized (reduction)
+PAPER = {
+    "NSS": (1403, 1183, 821),
+    "VLC": (730, 629, 492),
+    "Webstone": (1114, 925, 608),
+    "TPC-W": (2359, 1890, 1220),
+    "SPEC OMP": (1315, 1143, 788),
+}
+
+
+class Table4Result:
+    def __init__(self, suite, table, rates):
+        self.suite = suite
+        self.table = table
+        self.rows = table.rows
+        self.rates = rates  # app -> {opt: crossings/s}
+
+    def render(self):
+        return self.table.render()
+
+    def reduction(self, app, opt):
+        base = self.rates[app][OptLevel.BASE]
+        return 1.0 - self.rates[app][opt] / base if base else 0.0
+
+    def average_optimized_reduction(self):
+        vals = [self.reduction(a, OptLevel.OPTIMIZED) for a in self.rates]
+        return sum(vals) / len(vals)
+
+    def check_shape(self):
+        problems = []
+        for app, rates in self.rates.items():
+            if not (rates[OptLevel.OPTIMIZED] < rates[OptLevel.SYNCVARS]
+                    <= rates[OptLevel.BASE] * 1.01):
+                problems.append("%s: crossing rates not decreasing" % app)
+        top = max(self.rates, key=lambda a: self.rates[a][OptLevel.BASE])
+        if top != "TPC-W":
+            problems.append("highest crossing rate is %s, not TPC-W" % top)
+        return problems
+
+
+def generate(scale=0.6, seed=3):
+    suite = run_suite(scale=scale, seed=seed)
+    table = Table(
+        "Table 4: kernel domain crossings (thousands per simulated second)",
+        ["Application", "Base", "SyncVars", "Optimized",
+         "Paper (base/sync/opt, k/s)"],
+        note="syscall share of entries and reduction percentages shown "
+             "inline; paper average reduction is 41%",
+    )
+    rates = {}
+    for name in APP_NAMES:
+        app = suite[name]
+        per = {}
+        for opt in (OptLevel.BASE, OptLevel.SYNCVARS, OptLevel.OPTIMIZED):
+            report = app.report(opt, Mode.PREVENTION)
+            per[opt] = report.crossings_per_second()
+        rates[name] = per
+        base = per[OptLevel.BASE]
+        table.add_row(
+            name,
+            "%.0fk" % (base / 1e3),
+            "%.0fk (%d%%)" % (per[OptLevel.SYNCVARS] / 1e3,
+                              round(100 * (1 - per[OptLevel.SYNCVARS] / base))),
+            "%.0fk (%d%%)" % (per[OptLevel.OPTIMIZED] / 1e3,
+                              round(100 * (1 - per[OptLevel.OPTIMIZED] / base))),
+            "%d / %d / %d" % PAPER[name],
+        )
+    result = Table4Result(suite, table, rates)
+    table.add_row("avg reduction", "", "",
+                  "%.0f%%" % (result.average_optimized_reduction() * 100),
+                  "41%")
+    return result

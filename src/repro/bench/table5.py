@@ -1,0 +1,69 @@
+"""Table 5: request latency for the server workloads.
+
+Paper anchor: Kivati increases per-request latency slightly; the effect
+is larger in bug-finding mode (Webstone 6.7%/9.3%, TPC-W 11.2%/16.1%).
+"""
+
+from repro.bench.render import Table
+from repro.bench.suite import run_suite
+from repro.core.config import Mode, OptLevel
+
+PAPER = {
+    "Webstone": (492, 525, 6.7, 538, 9.3),
+    "TPC-W": (1000, 1112, 11.2, 1161, 16.1),
+}
+
+SERVER_APPS = ("Webstone", "TPC-W")
+
+
+class Table5Result:
+    def __init__(self, table, latencies):
+        self.table = table
+        self.rows = table.rows
+        self.latencies = latencies  # app -> (vanilla, prev, bug) in ns
+
+    def render(self):
+        return self.table.render()
+
+    def check_shape(self):
+        problems = []
+        for app, (vanilla, prev, bug) in self.latencies.items():
+            if not vanilla <= prev:
+                problems.append("%s: prevention latency below vanilla" % app)
+            if not prev <= bug * 1.02:
+                problems.append("%s: bug-finding latency below prevention"
+                                % app)
+        return problems
+
+
+def generate(scale=0.6, seed=3):
+    suite = run_suite(scale=scale, seed=seed)
+    table = Table(
+        "Table 5: request latency (simulated µs per request)",
+        ["Application", "Vanilla", "Prevention", "Bug-finding",
+         "Paper (ms: vanilla/prev/bug)"],
+        note="latency = wall time * workers / requests; overhead "
+             "percentages relative to vanilla in parentheses",
+    )
+    latencies = {}
+    for name in SERVER_APPS:
+        app = suite[name]
+        requests = app.workload.requests
+        threads = app.workload.threads
+
+        def lat(time_ns):
+            return time_ns * threads / requests
+
+        vanilla = lat(app.vanilla.time_ns)
+        prev = lat(app.report(OptLevel.OPTIMIZED, Mode.PREVENTION).time_ns)
+        bug = lat(app.report(OptLevel.OPTIMIZED, Mode.BUG_FINDING).time_ns)
+        latencies[name] = (vanilla, prev, bug)
+        p = PAPER[name]
+        table.add_row(
+            name,
+            "%.2f" % (vanilla / 1e3),
+            "%.2f (%.1f%%)" % (prev / 1e3, 100 * (prev / vanilla - 1)),
+            "%.2f (%.1f%%)" % (bug / 1e3, 100 * (bug / vanilla - 1)),
+            "%d / %d (%.1f%%) / %d (%.1f%%)" % p,
+        )
+    return Table5Result(table, latencies)

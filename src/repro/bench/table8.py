@@ -1,0 +1,64 @@
+"""Table 8: ARs missed because all four watchpoint registers were busy.
+
+Paper anchor: Kivati is unable to monitor approximately 5% of ARs with
+the four x86 watchpoints.
+"""
+
+from repro.bench.render import Table
+from repro.bench.suite import run_suite
+from repro.core.config import Mode, OptLevel
+from repro.workloads.catalog import APP_NAMES
+
+#: paper: missed-AR percentage at 4 watchpoints (from Table 9's "4" column)
+PAPER_PCT = {
+    "NSS": 5.7,
+    "VLC": 5.2,
+    "Webstone": 4.9,
+    "TPC-W": 9.1,
+    "SPEC OMP": 4.8,
+}
+
+
+class Table8Result:
+    def __init__(self, table, data):
+        self.table = table
+        self.rows = table.rows
+        self.data = data  # app -> (missed_per_s, fraction)
+
+    def render(self):
+        return self.table.render()
+
+    def average_missed_fraction(self):
+        fracs = [f for _, f in self.data.values()]
+        return sum(fracs) / len(fracs)
+
+    def check_shape(self):
+        problems = []
+        avg = self.average_missed_fraction()
+        if not 0.005 <= avg <= 0.40:
+            problems.append(
+                "average missed fraction %.3f far from the paper's ~5%%"
+                % avg)
+        worst = max(self.data, key=lambda a: self.data[a][1])
+        if self.data["TPC-W"][1] < self.average_missed_fraction() * 0.5:
+            problems.append("TPC-W misses unusually few ARs (paper: most)")
+        return problems
+
+
+def generate(scale=0.6, seed=3):
+    suite = run_suite(scale=scale, seed=seed)
+    table = Table(
+        "Table 8: ARs missed due to watchpoint exhaustion (4 registers)",
+        ["Application", "Missed/s", "% of ARs", "Paper %"],
+    )
+    data = {}
+    for name in APP_NAMES:
+        app = suite[name]
+        report = app.report(OptLevel.OPTIMIZED, Mode.PREVENTION)
+        stats = report.stats
+        per_s = stats.missed_ars / (report.time_ns / 1e9)
+        frac = stats.missed_fraction()
+        data[name] = (per_s, frac)
+        table.add_row(name, "%.0fk" % (per_s / 1e3), "%.1f%%" % (frac * 100),
+                      "%.1f%%" % PAPER_PCT[name])
+    return Table8Result(table, data)

@@ -1,0 +1,215 @@
+"""Command-line interface: ``kivati <command>``.
+
+Commands::
+
+    kivati annotate FILE          print the annotated program and AR table
+    kivati run FILE               run FILE under Kivati and report
+    kivati vanilla FILE           run FILE without instrumentation
+    kivati bugs [ID...]           run the Table 6 detection campaign
+    kivati table N                regenerate one of the paper's tables (1-9)
+    kivati figure7                regenerate Figure 7
+    kivati report [--quick]       regenerate the full evaluation
+    kivati apps                   list the application models
+"""
+
+import argparse
+import sys
+
+from repro.core.config import KivatiConfig, Mode, OptLevel
+from repro.core.session import ProtectedProgram
+
+
+def _read(path):
+    with open(path) as f:
+        return f.read()
+
+
+def cmd_annotate(args):
+    from repro.analysis.annotate import annotate
+    from repro.minic.pretty import pretty
+
+    result = annotate(_read(args.file),
+                      interprocedural=args.interprocedural)
+    text = pretty(result.ast)
+    print(text)
+    print("// %d atomic regions:" % result.num_ars)
+    for info in result.ar_table.values():
+        print("//   " + info.describe())
+    return 0
+
+
+def _config(args):
+    return KivatiConfig(
+        mode=Mode.BUG_FINDING if args.bug_finding else Mode.PREVENTION,
+        opt=OptLevel(args.opt),
+        num_watchpoints=args.watchpoints,
+        num_cores=args.cores,
+        seed=args.seed,
+    )
+
+
+def cmd_run(args):
+    pp = ProtectedProgram(_read(args.file))
+    config = _config(args)
+    trace = None
+    if args.trace:
+        from repro.core.tracing import Trace
+
+        trace = Trace()
+        config = config.copy(trace=trace)
+    report = pp.run(config)
+    print("output:", report.output)
+    print(report.summary())
+    for violation in report.violations:
+        print("violation: " + violation.describe())
+    if trace is not None:
+        if report.violations:
+            print("\n--- forensic trace around the first violation ---")
+            print(trace.render_violation(report.violations.records[0]))
+        else:
+            print("\n--- execution trace ---")
+            print(trace.render())
+    return 0
+
+
+def cmd_vanilla(args):
+    pp = ProtectedProgram(_read(args.file))
+    result = pp.run_vanilla(num_cores=args.cores, seed=args.seed)
+    print("output:", result.output)
+    print(result)
+    return 0
+
+
+def cmd_bugs(args):
+    from repro.bench import table6
+
+    if args.ids:
+        from repro.bench.scale import corpus_config
+        from repro.workloads.bugs import get_bug
+        from repro.workloads.driver import detect_bug
+
+        for bug_id in args.ids:
+            bug = get_bug(bug_id)
+            res = detect_bug(
+                bug,
+                corpus_config(Mode.BUG_FINDING if args.bug_finding
+                              else Mode.PREVENTION),
+                max_attempts=args.attempts,
+            )
+            print("%s: %s (%d attempts, %.2f ms simulated)"
+                  % (bug_id, "detected" if res.detected else "not found",
+                     res.attempts, res.time_ms))
+            for record in res.records[:3]:
+                print("   " + record.describe())
+        return 0
+    result = table6.generate()
+    print(result.render())
+    return 0
+
+
+def cmd_table(args):
+    from repro.bench import (table1, table2, table3, table4, table5, table6,
+                             table7, table8, table9)
+
+    generators = {
+        1: table1.generate, 2: table2.generate, 3: table3.generate,
+        4: table4.generate, 5: table5.generate, 6: table6.generate,
+        7: table7.generate, 8: table8.generate, 9: table9.generate,
+    }
+    if args.n not in generators:
+        print("unknown table %d (1-9)" % args.n, file=sys.stderr)
+        return 2
+    print(generators[args.n]().render())
+    return 0
+
+
+def cmd_figure7(args):
+    from repro.bench import figure7
+
+    print(figure7.generate().render())
+    return 0
+
+
+def cmd_report(args):
+    import sys as _sys
+
+    from repro.bench.report import generate_report
+
+    generate_report(scale=args.scale, include_table6=not args.quick,
+                    include_ablations=not args.quick, stream=_sys.stdout)
+    return 0
+
+
+def cmd_apps(args):
+    from repro.workloads.catalog import workload_suite
+
+    for workload in workload_suite():
+        pp = ProtectedProgram(workload.source)
+        print("%-9s threads=%d ARs=%d  %s"
+              % (workload.name, workload.threads, pp.num_ars,
+                 workload.description))
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="kivati",
+        description="Kivati reproduction: detect and prevent atomicity "
+                    "violations",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--cores", type=int, default=2)
+        p.add_argument("--watchpoints", type=int, default=4)
+        p.add_argument("--opt", default="optimized",
+                       choices=[level.value for level in OptLevel])
+        p.add_argument("--bug-finding", action="store_true")
+        p.add_argument("--trace", action="store_true",
+                       help="record and print an execution trace")
+
+    p = sub.add_parser("annotate", help="print the annotated program")
+    p.add_argument("file")
+    p.add_argument("--interprocedural", action="store_true",
+                   help="enable the Section 3.5 inter-procedural extension")
+    p.set_defaults(fn=cmd_annotate)
+
+    p = sub.add_parser("run", help="run a program under Kivati")
+    p.add_argument("file")
+    add_common(p)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("vanilla", help="run a program uninstrumented")
+    p.add_argument("file")
+    add_common(p)
+    p.set_defaults(fn=cmd_vanilla)
+
+    p = sub.add_parser("bugs", help="run the bug-detection campaign")
+    p.add_argument("ids", nargs="*")
+    p.add_argument("--attempts", type=int, default=40)
+    p.add_argument("--bug-finding", action="store_true")
+    p.set_defaults(fn=cmd_bugs)
+
+    p = sub.add_parser("table", help="regenerate a table from the paper")
+    p.add_argument("n", type=int)
+    p.set_defaults(fn=cmd_table)
+
+    p = sub.add_parser("figure7", help="regenerate Figure 7")
+    p.set_defaults(fn=cmd_figure7)
+
+    p = sub.add_parser("report", help="regenerate the full evaluation")
+    p.add_argument("--scale", type=float, default=0.6)
+    p.add_argument("--quick", action="store_true",
+                   help="skip Table 6 and the ablations (the slow parts)")
+    p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("apps", help="list the application models")
+    p.set_defaults(fn=cmd_apps)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

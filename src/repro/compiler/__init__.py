@@ -1,0 +1,28 @@
+"""Bytecode compiler for mini-C.
+
+The virtual machine executes a register-based bytecode. The compiler also
+runs the paper's binary pre-processing pass (Section 3.3): it records every
+memory-accessing instruction and the program counter that follows it in a
+lookup table (:class:`repro.compiler.memmap.MemoryMap`), plus the entry
+point of every subroutine so the kernel can handle the CALL special case
+when rolling back a remote access.
+"""
+
+from repro.compiler.bytecode import Instr, Op
+from repro.compiler.codegen import compile_program
+from repro.compiler.disasm import disassemble
+from repro.compiler.memmap import MemoryMap, build_memory_map
+from repro.compiler.program import GLOBALS_BASE, HEAP_BASE, STACK_BASE, Program
+
+__all__ = [
+    "GLOBALS_BASE",
+    "HEAP_BASE",
+    "Instr",
+    "MemoryMap",
+    "Op",
+    "Program",
+    "STACK_BASE",
+    "build_memory_map",
+    "compile_program",
+    "disassemble",
+]

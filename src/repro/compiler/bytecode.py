@@ -1,0 +1,125 @@
+"""Bytecode instruction set for the simulated machine.
+
+A register machine with ``NUM_REGS`` general-purpose registers per thread
+plus dedicated SP/FP. All named program variables live in memory (stack
+frames for locals/params, a globals segment, and a heap); registers hold
+only expression temporaries. This mirrors unoptimized C codegen and makes
+every variable addressable, which matters because the paper's shared
+variables include by-reference stack locations.
+
+Instructions that touch data memory are the watchable surface for the
+hardware watchpoints. Call/return bookkeeping (pushing the return address,
+frame link) is modelled as non-watchable micro-architectural traffic; the
+one watchable part of a call, per the paper's special case, is the
+indirect function-pointer read of CALLIND.
+"""
+
+import enum
+
+
+NUM_REGS = 16
+
+
+class Op(enum.Enum):
+    # data movement
+    LI = "li"        # a=rd, b=imm
+    MOV = "mov"      # a=rd, b=rs
+    LD = "ld"        # a=rd, b=rs(addr)           -- memory read
+    ST = "st"        # a=rs(addr), b=rs(value)    -- memory write
+    CPY = "cpy"      # a=rd(addr), b=rs(addr)     -- memory read + write
+
+    # arithmetic / logic (a=rd, b=rs, c=rt)
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    MOD = "mod"
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+    AND = "and"
+    OR = "or"
+    NOT = "not"      # a=rd, b=rs
+    NEG = "neg"      # a=rd, b=rs
+
+    # control flow
+    JMP = "jmp"      # a=target
+    JZ = "jz"        # a=rs, b=target
+    JNZ = "jnz"      # a=rs, b=target
+    CALL = "call"    # a=func_index, b=nargs, c=rd for the return value
+    CALLIND = "callind"  # a=rs holding the *address* of a function index
+    RET = "ret"
+    ENTER = "enter"  # a=frame words (params + locals)
+    STPARAM = "stparam"  # a=param slot, b=rs -- store incoming arg (mem write)
+    LADDR = "laddr"  # a=rd, b=frame offset: rd = FP - 1 - offset
+
+    # threads & synchronization
+    SPAWN = "spawn"  # a=func_index, b=nargs (args in r0..r(n-1))
+    JOIN = "join"
+    LOCK = "lock"    # a=rs(addr)
+    UNLOCK = "unlock"  # a=rs(addr)
+    CAS = "cas"      # a=rd, b=rs(addr), c=rs(old), d=rs(new)
+    AADD = "aadd"    # a=rd, b=rs(addr), c=rs(delta)
+    SLEEP = "sleepi"  # a=rs(nanoseconds)
+    YIELD = "yield"
+
+    # runtime services
+    OUT = "out"      # a=rs
+    ALLOC = "alloc"  # a=rd, b=rs(nwords)
+    RAND = "rand"    # a=rd, b=rs(bound)
+    TID = "tid"      # a=rd
+
+    # Kivati annotations (lowered from annotator-inserted statements)
+    BEGINAT = "beginat"   # a=ar_id, b=rs(addr)
+    ENDAT = "endat"       # a=ar_id
+    CLEARAR = "clearar"
+    SHADOWST = "shadowst"  # a=ar_id, b=rs(addr)
+
+    HALT = "halt"
+
+
+#: Ops that perform watchable data-memory accesses, mapped to access kinds.
+#: "RW" means the instruction both reads and writes its target address.
+WATCHABLE = {
+    Op.LD: "R",
+    Op.ST: "W",
+    Op.CPY: "RW_SPLIT",  # read at src, write at dst (different addresses)
+    Op.STPARAM: "W",
+    Op.LOCK: "RW",
+    Op.UNLOCK: "W",
+    Op.CAS: "RW",
+    Op.AADD: "RW",
+    Op.CALLIND: "R",
+}
+
+#: Atomic read-modify-write macro-ops. The prevention engine detects traps
+#: caused by these but does not undo/reorder them (see DESIGN.md).
+SYNC_OPS = frozenset({Op.LOCK, Op.UNLOCK, Op.CAS, Op.AADD})
+
+
+class Instr:
+    """One bytecode instruction.
+
+    ``src_uid``/``src_line`` tie the instruction back to the AST statement
+    it was generated from, for diagnostics and violation reports.
+    """
+
+    __slots__ = ("op", "a", "b", "c", "d", "src_uid", "src_line")
+
+    def __init__(self, op, a=0, b=0, c=0, d=0, src_uid=0, src_line=0):
+        self.op = op
+        self.a = a
+        self.b = b
+        self.c = c
+        self.d = d
+        self.src_uid = src_uid
+        self.src_line = src_line
+
+    def __repr__(self):
+        return "Instr(%s, %r, %r, %r, %r)" % (self.op.name, self.a, self.b, self.c, self.d)
+
+    def accesses_memory(self):
+        return self.op in WATCHABLE

@@ -1,0 +1,76 @@
+"""Disassembler for compiled programs (debugging aid)."""
+
+from repro.compiler.bytecode import Op
+
+_REG3 = {
+    Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.MOD, Op.EQ, Op.NE, Op.LT, Op.LE,
+    Op.GT, Op.GE, Op.AND, Op.OR,
+}
+
+
+def format_instr(instr, program=None):
+    op = instr.op
+    if op == Op.LI:
+        return "li r%d, %d" % (instr.a, instr.b)
+    if op == Op.MOV:
+        return "mov r%d, r%d" % (instr.a, instr.b)
+    if op == Op.LD:
+        return "ld r%d, [r%d]" % (instr.a, instr.b)
+    if op == Op.ST:
+        return "st [r%d], r%d" % (instr.a, instr.b)
+    if op == Op.CPY:
+        return "cpy [r%d], [r%d]" % (instr.a, instr.b)
+    if op in _REG3:
+        return "%s r%d, r%d, r%d" % (op.value, instr.a, instr.b, instr.c)
+    if op in (Op.NOT, Op.NEG):
+        return "%s r%d, r%d" % (op.value, instr.a, instr.b)
+    if op == Op.JMP:
+        return "jmp %d" % instr.a
+    if op in (Op.JZ, Op.JNZ):
+        return "%s r%d, %d" % (op.value, instr.a, instr.b)
+    if op == Op.CALL:
+        name = ""
+        if program is not None:
+            name = " <%s>" % program.func_by_index[instr.a].name
+        return "call %d%s nargs=%d -> r%d" % (instr.a, name, instr.b, instr.c)
+    if op == Op.CALLIND:
+        return "callind [r%d]" % instr.a
+    if op == Op.ENTER:
+        return "enter %d" % instr.a
+    if op == Op.STPARAM:
+        return "stparam slot%d, r%d" % (instr.a, instr.b)
+    if op == Op.LADDR:
+        return "laddr r%d, fp-%d" % (instr.a, instr.b + 1)
+    if op == Op.SPAWN:
+        name = ""
+        if program is not None:
+            name = " <%s>" % program.func_by_index[instr.a].name
+        return "spawn %d%s nargs=%d" % (instr.a, name, instr.b)
+    if op in (Op.LOCK, Op.UNLOCK, Op.SLEEP, Op.OUT):
+        return "%s r%d" % (op.value, instr.a)
+    if op == Op.CAS:
+        return "cas r%d, [r%d], r%d, r%d" % (instr.a, instr.b, instr.c, instr.d)
+    if op == Op.AADD:
+        return "aadd r%d, [r%d], r%d" % (instr.a, instr.b, instr.c)
+    if op in (Op.ALLOC, Op.RAND):
+        return "%s r%d, r%d" % (op.value, instr.a, instr.b)
+    if op == Op.TID:
+        return "tid r%d" % instr.a
+    if op == Op.BEGINAT:
+        return "beginat ar%d, [r%d]" % (instr.a, instr.b)
+    if op == Op.ENDAT:
+        return "endat ar%d" % instr.a
+    if op == Op.SHADOWST:
+        return "shadowst ar%d, [r%d]" % (instr.a, instr.b)
+    return op.value
+
+
+def disassemble(program):
+    """Return the full program listing as a string."""
+    lines = []
+    entries = {img.entry: img.name for img in program.func_by_index}
+    for pc, instr in enumerate(program.instrs):
+        if pc in entries:
+            lines.append("%s:" % entries[pc])
+        lines.append("  %4d: %s" % (pc, format_instr(instr, program)))
+    return "\n".join(lines)

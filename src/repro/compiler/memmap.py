@@ -1,0 +1,70 @@
+"""The binary pre-processing pass of Section 3.3.
+
+On x86 the watchpoint trap is delivered *after* the triggering instruction
+has committed, so the trap handler only sees the program counter of the
+*next* instruction. Because x86 instructions are variable length, Kivati
+cannot simply subtract a fixed amount; instead a pre-processing pass over
+the binary records every instruction that accesses memory together with
+the program counter that immediately follows it.
+
+The special case is the subroutine call instruction with an indirect
+memory operand: after the access commits, the program counter points at
+the *callee's first instruction*, not at call-site+len. The pass therefore
+also records the entry point of every subroutine; when a trap's after-PC
+is a subroutine entry, the kernel recovers the call site from the return
+address at the top of the faulting thread's stack, backing up by the size
+of a call instruction (one slot in this ISA).
+
+Our VM deliberately reports only the after-PC in the trap, so the kernel
+must use this table exactly as the real system does.
+"""
+
+from repro.compiler.bytecode import Op
+
+
+class MemoryMap:
+    """Lookup tables produced by the pre-processing pass."""
+
+    __slots__ = ("after_to_instr", "subroutine_entries", "entry_to_func",
+                 "call_instr_size")
+
+    def __init__(self):
+        # pc-after-instruction -> pc of the memory-accessing instruction
+        self.after_to_instr = {}
+        # entry pcs of every subroutine (for the CALLIND special case)
+        self.subroutine_entries = set()
+        self.entry_to_func = {}
+        self.call_instr_size = 1
+
+    def faulting_pc(self, after_pc, stack_top_value=None):
+        """Resolve the pc of the instruction that caused a trap.
+
+        ``after_pc`` is the pc the trap handler observed.
+        ``stack_top_value`` is the word at the top of the faulting thread's
+        call stack (the return address) — needed only for the subroutine
+        special case.
+
+        Returns the faulting pc, or None if ``after_pc`` does not follow
+        any known memory-accessing instruction.
+        """
+        if after_pc in self.after_to_instr:
+            return self.after_to_instr[after_pc]
+        if after_pc in self.subroutine_entries and stack_top_value is not None:
+            return stack_top_value - self.call_instr_size
+        return None
+
+
+def build_memory_map(program):
+    """Scan a compiled program and build its MemoryMap."""
+    mm = MemoryMap()
+    for image in program.func_by_index:
+        mm.subroutine_entries.add(image.entry)
+        mm.entry_to_func[image.entry] = image.name
+    for pc, instr in enumerate(program.instrs):
+        if not instr.accesses_memory():
+            continue
+        if instr.op == Op.CALLIND:
+            # after-pc is the callee entry; covered by subroutine_entries
+            continue
+        mm.after_to_instr[pc + 1] = pc
+    return mm

@@ -1,0 +1,92 @@
+"""Linked program image: instructions, symbol tables and memory layout.
+
+Memory layout (word addresses)::
+
+    0 .. 1023           reserved (null page; access faults)
+    GLOBALS_BASE ..     global variables, laid out in declaration order
+    HEAP_BASE ..        bump-allocated heap (``alloc`` builtin)
+    STACK_BASE ..       per-thread stacks, STACK_WORDS each, growing down
+"""
+
+GLOBALS_BASE = 1024
+HEAP_BASE = 1 << 20
+STACK_BASE = 1 << 24
+STACK_WORDS = 1 << 14
+
+
+class FuncImage:
+    """Per-function layout information."""
+
+    __slots__ = ("name", "index", "entry", "end", "nparams", "frame_words",
+                 "var_offsets")
+
+    def __init__(self, name, index, entry, nparams, frame_words, var_offsets):
+        self.name = name
+        self.index = index
+        self.entry = entry
+        self.end = entry  # patched after codegen
+        self.nparams = nparams
+        self.frame_words = frame_words
+        # var name -> offset from frame base (params first, then locals;
+        # arrays occupy contiguous slots at their offset)
+        self.var_offsets = dict(var_offsets)
+
+
+class Program:
+    """A compiled mini-C program ready to load into the machine."""
+
+    def __init__(self):
+        self.instrs = []
+        self.funcs = {}          # name -> FuncImage
+        self.func_by_index = []  # index -> FuncImage
+        self.global_addrs = {}   # name -> address
+        self.global_sizes = {}   # name -> words
+        self.global_inits = {}   # address -> initial value
+        self.globals_end = GLOBALS_BASE
+        self.ar_table = {}       # ar_id -> analysis.arinfo.ARInfo
+        self.source = None       # annotated mini-C text, if available
+        self.memory_map = None   # compiler.memmap.MemoryMap
+
+    # -- symbols -------------------------------------------------------------
+
+    def add_global(self, name, size, init=None):
+        addr = self.globals_end
+        self.global_addrs[name] = addr
+        self.global_sizes[name] = size
+        if init is not None:
+            self.global_inits[addr] = init
+        self.globals_end += size
+        return addr
+
+    def global_addr(self, name):
+        return self.global_addrs[name]
+
+    def func(self, name):
+        return self.funcs[name]
+
+    def func_index(self, name):
+        return self.funcs[name].index
+
+    def entry(self):
+        """Program counter where execution starts (main's entry)."""
+        return self.funcs["main"].entry
+
+    # -- debug ----------------------------------------------------------------
+
+    def func_at(self, pc):
+        """Return the FuncImage containing ``pc``, or None."""
+        for f in self.func_by_index:
+            if f.entry <= pc < f.end:
+                return f
+        return None
+
+    def location(self, pc):
+        """Human-readable 'func+offset (line N)' for a program counter."""
+        f = self.func_at(pc)
+        if f is None:
+            return "pc=%d" % pc
+        line = self.instrs[pc].src_line if 0 <= pc < len(self.instrs) else 0
+        return "%s+%d (line %d)" % (f.name, pc - f.entry, line)
+
+    def __len__(self):
+        return len(self.instrs)

@@ -1,0 +1,18 @@
+"""Public API of the Kivati reproduction."""
+
+from repro.core.api import Kivati, annotate_source, run_protected, run_vanilla
+from repro.core.config import KivatiConfig, Mode, OptimizationConfig, OptLevel
+from repro.core.reports import RunReport, ViolationRecord
+
+__all__ = [
+    "Kivati",
+    "KivatiConfig",
+    "Mode",
+    "OptLevel",
+    "OptimizationConfig",
+    "RunReport",
+    "ViolationRecord",
+    "annotate_source",
+    "run_protected",
+    "run_vanilla",
+]

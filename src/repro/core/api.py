@@ -1,0 +1,68 @@
+"""Top-level convenience API.
+
+Typical usage::
+
+    from repro import Kivati, KivatiConfig, Mode, OptLevel
+
+    kivati = Kivati(KivatiConfig(mode=Mode.PREVENTION, opt=OptLevel.OPTIMIZED))
+    report = kivati.run(source_text)
+    for v in report.violations:
+        print(v.describe())
+"""
+
+from repro.analysis.annotate import annotate
+from repro.core.config import KivatiConfig
+from repro.core.session import ProtectedProgram
+from repro.minic.pretty import pretty
+
+
+def annotate_source(source):
+    """Run the static annotator and return (annotated source text,
+    AnnotationResult)."""
+    result = annotate(source)
+    return pretty(result.ast), result
+
+
+def run_protected(source, config=None, seed=None):
+    """Annotate, compile and run ``source`` under Kivati."""
+    return ProtectedProgram(source).run(config, seed=seed)
+
+
+def run_vanilla(source, num_cores=2, costs=None, seed=0):
+    """Compile and run ``source`` without instrumentation."""
+    return ProtectedProgram(source).run_vanilla(
+        num_cores=num_cores, costs=costs, seed=seed
+    )
+
+
+class Kivati:
+    """Facade bundling a configuration with a program cache."""
+
+    def __init__(self, config=None):
+        self.config = config or KivatiConfig()
+        self._cache = {}
+
+    def protect(self, source):
+        """Annotate + compile ``source`` (cached)."""
+        pp = self._cache.get(source)
+        if pp is None:
+            pp = ProtectedProgram(source)
+            self._cache[source] = pp
+        return pp
+
+    def run(self, source, seed=None, **overrides):
+        """Run ``source`` under this Kivati instance's configuration.
+        ``overrides`` are KivatiConfig.copy keyword overrides."""
+        config = self.config.copy(**overrides) if overrides else self.config
+        return self.protect(source).run(config, seed=seed)
+
+    def run_vanilla(self, source, seed=0):
+        return self.protect(source).run_vanilla(
+            num_cores=self.config.num_cores,
+            costs=self.config.costs,
+            seed=seed,
+        )
+
+    def overhead(self, source, seed=0, **overrides):
+        config = self.config.copy(**overrides) if overrides else self.config
+        return self.protect(source).overhead(config, seed=seed)

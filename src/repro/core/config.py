@@ -1,0 +1,168 @@
+"""Configuration of a Kivati-protected run."""
+
+import enum
+
+from repro.errors import ConfigError
+from repro.machine.costs import CostModel
+
+MS = 1_000_000  # nanoseconds per millisecond
+
+
+class Mode(enum.Enum):
+    """Section 2.3: the two usage modes."""
+
+    PREVENTION = "prevention"
+    BUG_FINDING = "bug-finding"
+
+
+class OptLevel(enum.Enum):
+    """The four configurations evaluated in Tables 3 and 4."""
+
+    BASE = "base"
+    NULL_SYSCALL = "null-syscall"
+    SYNCVARS = "syncvars"
+    OPTIMIZED = "optimized"
+
+
+class OptimizationConfig:
+    """Independent switches for the four optimizations of Section 3.4.
+
+    - ``o1_userspace``: replicate AR table + watchpoint metadata in user
+      space; enter the kernel only when hardware registers must change.
+    - ``o2_lazy_free``: leave the hardware watchpoint armed when the last
+      AR ends; reconcile on the next begin_atomic or trap.
+    - ``o3_local_disable``: suppress watchpoint delivery for the local
+      thread owning the AR; capture first-write values via the annotated
+      shadow store instead of a local trap.
+    - ``o4_syncvars``: whitelist ARs on synchronization variables.
+    - ``null_syscall``: diagnostic configuration — begin/end/clear enter
+      the kernel and return immediately (no monitoring at all).
+    """
+
+    __slots__ = ("o1_userspace", "o2_lazy_free", "o3_local_disable",
+                 "o4_syncvars", "null_syscall")
+
+    def __init__(self, o1_userspace=False, o2_lazy_free=False,
+                 o3_local_disable=False, o4_syncvars=False,
+                 null_syscall=False):
+        self.o1_userspace = o1_userspace
+        self.o2_lazy_free = o2_lazy_free
+        self.o3_local_disable = o3_local_disable
+        self.o4_syncvars = o4_syncvars
+        self.null_syscall = null_syscall
+
+    @classmethod
+    def from_level(cls, level):
+        if level == OptLevel.BASE:
+            return cls()
+        if level == OptLevel.NULL_SYSCALL:
+            return cls(null_syscall=True)
+        if level == OptLevel.SYNCVARS:
+            return cls(o4_syncvars=True)
+        if level == OptLevel.OPTIMIZED:
+            return cls(o1_userspace=True, o2_lazy_free=True,
+                       o3_local_disable=True, o4_syncvars=True)
+        raise ConfigError("unknown optimization level %r" % (level,))
+
+    def __repr__(self):
+        flags = [name for name in self.__slots__ if getattr(self, name)]
+        return "OptimizationConfig(%s)" % ", ".join(flags)
+
+
+class KivatiConfig:
+    """Full configuration of a protected run."""
+
+    __slots__ = (
+        "mode",
+        "opt",
+        "num_watchpoints",
+        "num_cores",
+        "pause_ns",
+        "pause_probability",
+        "suspend_timeout_ns",
+        "whitelist",
+        "whitelist_path",
+        "whitelist_reread_ns",
+        "costs",
+        "seed",
+        "trap_before",
+        "eager_crosscore",
+        "max_steps",
+        "trace",
+    )
+
+    def __init__(
+        self,
+        mode=Mode.PREVENTION,
+        opt=OptLevel.OPTIMIZED,
+        num_watchpoints=4,
+        num_cores=2,
+        pause_ns=20 * MS,
+        pause_probability=0.01,
+        suspend_timeout_ns=10 * MS,
+        whitelist=(),
+        whitelist_path=None,
+        whitelist_reread_ns=500 * MS,
+        costs=None,
+        seed=0,
+        trap_before=False,
+        eager_crosscore=False,
+        max_steps=200_000_000,
+        trace=None,
+    ):
+        self.mode = mode
+        self.opt = (OptimizationConfig.from_level(opt)
+                    if isinstance(opt, OptLevel) else opt)
+        if num_watchpoints < 1:
+            raise ConfigError("need at least one watchpoint register")
+        if num_cores < 1:
+            raise ConfigError("need at least one core")
+        if not (0.0 <= pause_probability <= 1.0):
+            raise ConfigError("pause_probability must be in [0, 1]")
+        self.num_watchpoints = num_watchpoints
+        self.num_cores = num_cores
+        self.pause_ns = pause_ns
+        self.pause_probability = pause_probability
+        self.suspend_timeout_ns = suspend_timeout_ns
+        self.whitelist = frozenset(whitelist)
+        self.whitelist_path = whitelist_path
+        self.whitelist_reread_ns = whitelist_reread_ns
+        self.costs = costs or CostModel()
+        self.seed = seed
+        self.trap_before = trap_before
+        # ablation: synchronize other cores' watchpoint registers with an
+        # immediate IPI instead of the paper's lazy opportunistic scheme
+        self.eager_crosscore = eager_crosscore
+        self.max_steps = max_steps
+        # optional repro.core.tracing.Trace for violation forensics
+        self.trace = trace
+
+    @property
+    def detection_enabled(self):
+        return not self.opt.null_syscall
+
+    @property
+    def prevention_enabled(self):
+        return not self.opt.null_syscall
+
+    def copy(self, **overrides):
+        kwargs = {
+            "mode": self.mode,
+            "opt": self.opt,
+            "num_watchpoints": self.num_watchpoints,
+            "num_cores": self.num_cores,
+            "pause_ns": self.pause_ns,
+            "pause_probability": self.pause_probability,
+            "suspend_timeout_ns": self.suspend_timeout_ns,
+            "whitelist": self.whitelist,
+            "whitelist_path": self.whitelist_path,
+            "whitelist_reread_ns": self.whitelist_reread_ns,
+            "costs": self.costs,
+            "seed": self.seed,
+            "trap_before": self.trap_before,
+            "eager_crosscore": self.eager_crosscore,
+            "max_steps": self.max_steps,
+            "trace": self.trace,
+        }
+        kwargs.update(overrides)
+        return KivatiConfig(**kwargs)

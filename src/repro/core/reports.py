@@ -1,0 +1,157 @@
+"""Violation records and run reports (Section 2.2: "it records the thread
+IDs, address of the shared variable and program counters of the memory
+accesses involved in the interleaving")."""
+
+
+class ViolationRecord:
+    """One detected atomicity violation."""
+
+    __slots__ = (
+        "ar_id",
+        "var",
+        "func",
+        "addr",
+        "local_tid",
+        "remote_tid",
+        "first_kind",
+        "remote_kind",
+        "second_kind",
+        "remote_pc",
+        "remote_location",
+        "local_line_first",
+        "local_line_second",
+        "time_ns",
+        "prevented",
+    )
+
+    def __init__(self, ar_id, var, func, addr, local_tid, remote_tid,
+                 first_kind, remote_kind, second_kind, remote_pc,
+                 remote_location, local_line_first, local_line_second,
+                 time_ns, prevented):
+        self.ar_id = ar_id
+        self.var = var
+        self.func = func
+        self.addr = addr
+        self.local_tid = local_tid
+        self.remote_tid = remote_tid
+        self.first_kind = first_kind
+        self.remote_kind = remote_kind
+        self.second_kind = second_kind
+        self.remote_pc = remote_pc
+        self.remote_location = remote_location
+        self.local_line_first = local_line_first
+        self.local_line_second = local_line_second
+        self.time_ns = time_ns
+        self.prevented = prevented
+
+    @property
+    def interleaving(self):
+        """E.g. '(R, W, R)' — the non-serializable pattern observed."""
+        return "(%s, %s, %s)" % (self.first_kind, self.remote_kind,
+                                 self.second_kind)
+
+    def describe(self):
+        return (
+            "AR %d (%s in %s): local tid %d lines %s-%s, remote tid %d at %s, "
+            "interleaving %s, addr %d, t=%.3fms%s"
+            % (
+                self.ar_id,
+                self.var,
+                self.func,
+                self.local_tid,
+                self.local_line_first,
+                self.local_line_second,
+                self.remote_tid,
+                self.remote_location,
+                self.interleaving,
+                self.addr,
+                self.time_ns / 1e6,
+                "" if self.prevented else " [NOT PREVENTED]",
+            )
+        )
+
+    def __repr__(self):
+        return "ViolationRecord(ar=%d, %s, prevented=%s)" % (
+            self.ar_id, self.interleaving, self.prevented)
+
+
+class ViolationLog:
+    """Accumulates violation records during a run."""
+
+    def __init__(self):
+        self.records = []
+
+    def add(self, record):
+        self.records.append(record)
+
+    def __len__(self):
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def violated_ar_ids(self):
+        """Unique AR ids with at least one violation (the paper's
+        false-positive counting unit)."""
+        return {r.ar_id for r in self.records}
+
+    def for_ar(self, ar_id):
+        return [r for r in self.records if r.ar_id == ar_id]
+
+
+class RunReport:
+    """Summary of one protected run: machine result + Kivati statistics."""
+
+    __slots__ = ("result", "stats", "violations", "config", "ar_table")
+
+    def __init__(self, result, stats, violations, config, ar_table):
+        self.result = result
+        self.stats = stats
+        self.violations = violations
+        self.config = config
+        self.ar_table = ar_table
+
+    @property
+    def time_ns(self):
+        return self.result.time_ns
+
+    @property
+    def time_seconds(self):
+        return self.result.time_ns / 1e9
+
+    @property
+    def output(self):
+        return self.result.output
+
+    def violated_ars(self):
+        return self.violations.violated_ar_ids()
+
+    def false_positives(self, buggy_ar_ids=()):
+        """Unique violated ARs that are not known bugs."""
+        return self.violated_ars() - set(buggy_ar_ids)
+
+    def crossings_per_second(self):
+        """Kernel domain crossings per simulated second (Table 4 metric)."""
+        if self.result.time_ns == 0:
+            return 0.0
+        return self.stats.crossings() / (self.result.time_ns / 1e9)
+
+    def traps_per_second(self):
+        if self.result.time_ns == 0:
+            return 0.0
+        return self.stats.traps / (self.result.time_ns / 1e9)
+
+    def summary(self):
+        return (
+            "time=%.3fms instrs=%d crossings=%d traps=%d violations=%d "
+            "(unique ARs %d) missed_ars=%d"
+            % (
+                self.time_ns / 1e6,
+                self.result.instr_count,
+                self.stats.crossings(),
+                self.stats.traps,
+                len(self.violations),
+                len(self.violated_ars()),
+                self.stats.missed_ars,
+            )
+        )

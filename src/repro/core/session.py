@@ -1,0 +1,90 @@
+"""Run orchestration: annotate once, compile once, run under any config."""
+
+from repro.analysis.annotate import annotate
+from repro.analysis.normalize import normalize_program
+from repro.compiler.codegen import compile_program
+from repro.core.config import KivatiConfig
+from repro.core.reports import RunReport, ViolationLog
+from repro.machine.machine import Machine
+from repro.minic.parser import parse
+from repro.minic.typecheck import check
+from repro.runtime.userlib import KivatiRuntime
+
+
+class ProtectedProgram:
+    """A mini-C program prepared for execution under Kivati.
+
+    Holds both the annotated binary and an annotation-free binary compiled
+    from the same normalized source, so overhead measurements compare
+    like-for-like code.
+    """
+
+    def __init__(self, source, interprocedural=False,
+                 pointer_analysis=False):
+        self.source = source
+        self.annotation = annotate(source, interprocedural=interprocedural,
+                                   pointer_analysis=pointer_analysis)
+        self.program = compile_program(
+            self.annotation.ast, self.annotation.pinfo,
+            self.annotation.ar_table
+        )
+        self.program.source = source
+
+        vanilla_ast = normalize_program(parse(source))
+        self.vanilla_program = compile_program(vanilla_ast, check(vanilla_ast))
+        self.vanilla_program.source = source
+
+    @property
+    def ar_table(self):
+        return self.annotation.ar_table
+
+    @property
+    def sync_ar_ids(self):
+        return self.annotation.sync_ar_ids
+
+    @property
+    def num_ars(self):
+        return self.annotation.num_ars
+
+    def run(self, config=None, seed=None, raise_on_deadlock=False):
+        """Execute under Kivati; returns a RunReport."""
+        config = config or KivatiConfig()
+        if seed is not None:
+            config = config.copy(seed=seed)
+        log = ViolationLog()
+        runtime = KivatiRuntime(config, self.ar_table, log, self.sync_ar_ids)
+        machine = Machine(
+            self.program,
+            num_cores=config.num_cores,
+            num_watchpoints=config.num_watchpoints,
+            costs=config.costs,
+            runtime=runtime,
+            seed=config.seed,
+            trap_before=config.trap_before,
+            max_steps=config.max_steps,
+        )
+        result = machine.run(raise_on_deadlock=raise_on_deadlock)
+        return RunReport(result, runtime.stats, log, config, self.ar_table)
+
+    def run_vanilla(self, num_cores=2, costs=None, seed=0,
+                    raise_on_deadlock=False, max_steps=200_000_000):
+        """Execute the uninstrumented binary; returns a MachineResult."""
+        machine = Machine(
+            self.vanilla_program,
+            num_cores=num_cores,
+            costs=costs,
+            seed=seed,
+            max_steps=max_steps,
+        )
+        return machine.run(raise_on_deadlock=raise_on_deadlock)
+
+    def overhead(self, config=None, seed=0):
+        """Fractional run-time overhead of this config vs vanilla on the
+        same seed (e.g. 0.19 for 19%)."""
+        config = (config or KivatiConfig()).copy(seed=seed)
+        vanilla = self.run_vanilla(num_cores=config.num_cores,
+                                   costs=config.costs, seed=seed)
+        protected = self.run(config)
+        if vanilla.time_ns == 0:
+            return 0.0
+        return protected.time_ns / vanilla.time_ns - 1.0

@@ -1,0 +1,55 @@
+"""Whitelist training (Section 4.2 / Figure 7).
+
+"We also used training runs to build up a whitelist of benign atomic
+regions. ... the number of new false positives decreases with successive
+iterations, and bug-finding mode is able to find and remove more false
+positives [per iteration]."
+
+Each training iteration runs the workload with the whitelist accumulated
+so far, observes the unique ARs that reported violations, classifies the
+ones that are not known bugs as benign, and adds them to the whitelist.
+"""
+
+
+class TrainingResult:
+    """Outcome of a training campaign."""
+
+    __slots__ = ("iterations", "whitelist", "mode")
+
+    def __init__(self, iterations, whitelist, mode):
+        # iterations[i] = number of new false positives seen in run i
+        self.iterations = list(iterations)
+        self.whitelist = frozenset(whitelist)
+        self.mode = mode
+
+    @property
+    def converged_after(self):
+        """First iteration index after which no new FPs were seen, or None."""
+        for i in range(len(self.iterations)):
+            if all(n == 0 for n in self.iterations[i:]):
+                return i
+        return None
+
+    def __repr__(self):
+        return "TrainingResult(%s, fps/iter=%s)" % (self.mode.value,
+                                                    self.iterations)
+
+
+def train(protected_program, config, iterations=10, buggy_ar_ids=(),
+          initial_whitelist=(), seed_base=100):
+    """Run ``iterations`` training runs, growing the whitelist each time.
+
+    Returns a TrainingResult whose ``iterations`` list is the Figure 7
+    series (new false positives observed per iteration).
+    """
+    whitelist = set(initial_whitelist)
+    buggy = set(buggy_ar_ids)
+    series = []
+    for i in range(iterations):
+        run_config = config.copy(whitelist=frozenset(whitelist),
+                                 seed=seed_base + i)
+        report = protected_program.run(run_config)
+        new_fps = report.false_positives(buggy) - whitelist
+        series.append(len(new_fps))
+        whitelist |= new_fps
+    return TrainingResult(series, whitelist, config.mode)

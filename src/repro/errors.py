@@ -1,0 +1,76 @@
+"""Exception hierarchy for the Kivati reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class MiniCError(ReproError):
+    """Base class for errors in the mini-C front end."""
+
+    def __init__(self, message, line=None, col=None):
+        self.line = line
+        self.col = col
+        if line is not None:
+            message = "line %d:%d: %s" % (line, col if col is not None else 0, message)
+        super().__init__(message)
+
+
+class LexError(MiniCError):
+    """Invalid character or malformed token in mini-C source."""
+
+
+class ParseError(MiniCError):
+    """Syntax error in mini-C source."""
+
+
+class TypeError_(MiniCError):
+    """Semantic / type error in mini-C source."""
+
+
+class CompileError(ReproError):
+    """Error lowering mini-C AST to bytecode."""
+
+
+class AnalysisError(ReproError):
+    """Error in the static annotator."""
+
+
+class MachineError(ReproError):
+    """Runtime fault raised by the virtual machine."""
+
+
+class MemoryFault(MachineError):
+    """Access to an unmapped or out-of-range address."""
+
+    def __init__(self, address, message="memory fault"):
+        self.address = address
+        super().__init__("%s at address %d" % (message, address))
+
+
+class DivideByZero(MachineError):
+    """Integer division or modulo by zero."""
+
+
+class StackOverflow(MachineError):
+    """Thread stack exhausted."""
+
+
+class DeadlockError(MachineError):
+    """All live threads are blocked and no timer event can unblock them."""
+
+
+class StepLimitExceeded(MachineError):
+    """The machine executed more instructions than the configured limit."""
+
+
+class KernelError(ReproError):
+    """Invariant violation inside the simulated Kivati kernel component."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration value."""
+
+
+class WorkloadError(ReproError):
+    """A workload or bug-corpus entry was requested that does not exist."""

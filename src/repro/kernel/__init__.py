@@ -1,0 +1,12 @@
+"""The Kivati kernel component (Sections 3.2 and 3.3).
+
+Holds the two data structures the paper adds to the kernel — per-thread AR
+tables and watchpoint metadata — plus the trap handler, the rollback
+(undo) engine for trap-after hardware, remote-thread suspension with the
+10 ms timeout, and lazy cross-core watchpoint propagation.
+"""
+
+from repro.kernel.kivati import KivatiKernel
+from repro.kernel.state import ActiveAR, KernelSlot, Suspension, Trigger
+
+__all__ = ["ActiveAR", "KernelSlot", "KivatiKernel", "Suspension", "Trigger"]

@@ -1,0 +1,637 @@
+"""The Kivati kernel component.
+
+Implements Sections 3.2 (detection) and 3.3 (prevention): the begin/end/
+clear system call handlers, the watchpoint trap handler with the rollback
+engine, remote-thread suspension with the 10 ms timeout, preferential
+wakeup, lazy cross-core watchpoint propagation, and the bookkeeping needed
+by the user-space optimizations (lazily-freed slots, shadow captures).
+"""
+
+from repro.analysis.watchtype import is_unserializable
+from repro.core.reports import ViolationRecord
+from repro.kernel.state import ActiveAR, KernelSlot, Suspension, Trigger, ZombieAR
+from repro.kernel.undo import classify_access_kinds, undo_remote_access
+from repro.machine.threads import ThreadState
+from repro.minic.ast import AccessKind
+from repro.compiler.bytecode import Op, SYNC_OPS
+
+
+class BeginOutcome:
+    __slots__ = ("hw_changed", "suspended", "monitored", "attached", "missed")
+
+    def __init__(self):
+        self.hw_changed = False
+        self.suspended = False
+        self.monitored = False
+        self.attached = False
+        self.missed = False
+
+    @property
+    def needs_crossing(self):
+        return self.hw_changed or self.suspended
+
+
+class EndOutcome:
+    __slots__ = ("hw_changed", "had_triggers", "found", "zombie")
+
+    def __init__(self):
+        self.hw_changed = False
+        self.had_triggers = False
+        self.found = False
+        self.zombie = False
+
+    @property
+    def needs_crossing(self):
+        return self.hw_changed or self.had_triggers or self.zombie
+
+
+class ClearOutcome:
+    __slots__ = ("hw_changed", "cleared")
+
+    def __init__(self):
+        self.hw_changed = False
+        self.cleared = 0
+
+    @property
+    def needs_crossing(self):
+        return self.hw_changed or self.cleared > 0
+
+
+class KivatiKernel:
+    """Kernel-side Kivati state machine."""
+
+    def __init__(self, config, ar_table, stats, log):
+        self.config = config
+        self.ar_table = ar_table
+        self.stats = stats
+        self.log = log
+        self.machine = None
+        self.slots = [KernelSlot(i) for i in range(config.num_watchpoints)]
+        self.epoch = 0
+        self.ar_tables = {}      # tid -> {ar_id -> ActiveAR}
+        self.zombies = {}        # (tid, ar_id) -> ZombieAR
+        self.suspensions = {}    # tid -> Suspension (+ slot index inside)
+        self.susp_slot = {}      # tid -> slot index
+        self.sync_waiters = []   # (epoch, tid)
+
+    def attach(self, machine):
+        self.machine = machine
+
+    # ------------------------------------------------------------------
+    # cross-core propagation (Section 3.2)
+    # ------------------------------------------------------------------
+
+    IPI_COST = 800  # ns charged to the initiating core per eager sync
+
+    def _bump_epoch(self, core=None):
+        self.epoch += 1
+        if core is not None:
+            core.dr.adopt(self.slots, self.epoch)
+        if self.config.opt is not None and getattr(self.config,
+                                                   "eager_crosscore", False):
+            # ablation: interrupt every other core right away (the paper
+            # explicitly avoids this; the cost shows why)
+            for other in self.machine.cores:
+                if other.dr.synced_epoch < self.epoch:
+                    other.dr.adopt(self.slots, self.epoch)
+            if core is not None:
+                core.clock += self.IPI_COST
+
+    def on_kernel_entry(self, core):
+        if core.dr.synced_epoch < self.epoch:
+            core.dr.adopt(self.slots, self.epoch)
+        if self.sync_waiters:
+            self._check_sync_waiters()
+
+    def _check_sync_waiters(self):
+        remaining = []
+        for epoch, tid in self.sync_waiters:
+            if self._all_busy_cores_synced(epoch):
+                self.machine.wake_thread(tid)
+            else:
+                remaining.append((epoch, tid))
+        self.sync_waiters = remaining
+
+    def _all_busy_cores_synced(self, epoch):
+        for core in self.machine.cores:
+            if core.thread is not None and core.dr.synced_epoch < epoch:
+                return False
+        return True
+
+    def _maybe_block_for_sync(self, core, thread):
+        """Block the begin_atomic'ing thread until all busy cores have
+        adopted the new watchpoint state (Section 3.2)."""
+        if getattr(self.config, "eager_crosscore", False):
+            return False  # the IPI already synchronized everyone
+        if self._all_busy_cores_synced(self.epoch):
+            return False
+        self.sync_waiters.append((self.epoch, thread.tid))
+        self.machine.block_current(core, ThreadState.BLOCKED_WPSYNC)
+        return True
+
+    # ------------------------------------------------------------------
+    # slot helpers
+    # ------------------------------------------------------------------
+
+    def _slot_watching(self, addr):
+        for slot in self.slots:
+            if slot.enabled and slot.addr <= addr < slot.addr + slot.size:
+                return slot
+        return None
+
+    def _find_free_slot(self, core):
+        for slot in self.slots:
+            if not slot.enabled:
+                return slot, False
+        for slot in self.slots:
+            if slot.lazily_freed:
+                self.stats.lazy_reconciles += 1
+                self._free_slot(slot, core)
+                return slot, True
+        return None, False
+
+    def _free_slot(self, slot, core):
+        """Disable a slot, waking suspended threads (trap-suspended threads
+        are preferentially scheduled before begin-blocked ones)."""
+        to_wake = sorted(
+            slot.suspended,
+            key=lambda s: 0 if s.reason == Suspension.REASON_TRAP else 1,
+        )
+        slot.free()
+        self._bump_epoch(core)
+        for susp in to_wake:
+            self._resume_suspended(susp, core)
+
+    def _resume_suspended(self, susp, core):
+        if susp.timeout_event is not None:
+            self.machine.cancel_event(susp.timeout_event)
+        self.suspensions.pop(susp.tid, None)
+        self.susp_slot.pop(susp.tid, None)
+        self.machine.wake_thread(susp.tid)
+        if self.config.trace is not None:
+            self.config.trace.emit(
+                core.clock if core is not None else 0, susp.tid, "wake",
+                reason=susp.reason)
+        self._release_containments(susp.tid, core)
+
+    def _release_containments(self, tid, core):
+        for slot in self.slots:
+            if slot.containment_owner == tid:
+                self._free_slot(slot, core)
+
+    def _suspend(self, core, thread, slot, reason, retry_instr):
+        timeout = core.clock + self.config.suspend_timeout_ns
+        tid = thread.tid
+        event = self.machine.schedule_event(
+            timeout, lambda m, t=tid: self._on_timeout(t)
+        )
+        susp = Suspension(thread.tid, reason, event)
+        slot.suspended.append(susp)
+        self.suspensions[thread.tid] = susp
+        self.susp_slot[thread.tid] = slot.index
+        self.stats.suspensions += 1
+        if self.config.trace is not None:
+            self.config.trace.emit(core.clock, thread.tid, "suspend",
+                                   reason=reason, slot=slot.index,
+                                   addr=slot.addr)
+        self.machine.block_current(core, ThreadState.SUSPENDED,
+                                   retry_instr=retry_instr)
+
+    def _on_timeout(self, tid):
+        """10 ms suspension timeout (Section 3.3): resume the thread, move
+        the slot's ARs to zombies and free the watchpoint."""
+        susp = self.suspensions.pop(tid, None)
+        slot_index = self.susp_slot.pop(tid, None)
+        if susp is None or slot_index is None:
+            return
+        thread = self.machine.threads.get(tid)
+        if thread is None or thread.state != ThreadState.SUSPENDED:
+            return
+        self.stats.suspend_timeouts += 1
+        if self.config.trace is not None:
+            self.config.trace.emit(self.machine.now(), tid, "timeout",
+                                   slot=slot_index)
+        slot = self.slots[slot_index]
+        if susp in slot.suspended:
+            slot.suspended.remove(susp)
+        self.machine.wake_thread(tid)
+        self._release_containments(tid, None)
+        # remove all ARs using the timed-out watchpoint
+        for ar in list(slot.ars):
+            self.zombies[(ar.tid, ar.ar_id)] = ZombieAR(
+                ar.info, ar.tid, ar.addr, slot.triggers, ar.begin_time
+            )
+            table = self.ar_tables.get(ar.tid)
+            if table is not None:
+                table.pop(ar.ar_id, None)
+        self._free_slot(slot, None)
+
+    # ------------------------------------------------------------------
+    # begin_atomic (Sections 3.2 + 3.3)
+    # ------------------------------------------------------------------
+
+    def begin_atomic(self, core, thread, info, addr):
+        out = BeginOutcome()
+        opt = self.config.opt
+        tid = thread.tid
+        table = self.ar_tables.setdefault(tid, {})
+
+        # re-begin of an AR already active in this thread: refresh it
+        if info.ar_id in table:
+            self._detach_ar(table.pop(info.ar_id), core, evaluate=False)
+
+        slot = self._slot_watching(addr)
+        if slot is not None and slot.lazily_freed:
+            # second optimization: the slot should have been freed; this
+            # begin_atomic reconciles it
+            self.stats.lazy_reconciles += 1
+            self._free_slot(slot, core)
+            out.hw_changed = True
+            slot = None
+
+        if slot is not None and slot.containment_owner is not None:
+            if tid != slot.containment_owner:
+                self._suspend(core, thread, slot, Suspension.REASON_BEGIN,
+                              retry_instr=True)
+                out.suspended = True
+            else:
+                self.stats.missed_ars += 1
+                out.missed = True
+            return out
+
+        if slot is not None and slot.owner_tid != tid:
+            # this thread is remote with respect to another thread's AR:
+            # delay its first access until those ARs complete. The paper
+            # detects remote accesses "whether via a watchpoint or a
+            # begin_atomic", so the imminent access is recorded as a
+            # trigger for the serializability check at end_atomic.
+            if self.config.prevention_enabled:
+                # The remote's begin_atomic hands the kernel its full AR
+                # description, so the imminent access pattern (first kind
+                # plus the registered second kinds) is recorded
+                # conservatively for the serializability check.
+                kinds = [info.first_kind]
+                for kind in set(info.second_kinds.values()):
+                    if kind not in kinds:
+                        kinds.append(kind)
+                slot.triggers.append(Trigger(
+                    tid, tuple(kinds), None,
+                    "begin_atomic(ar %d) in %s" % (info.ar_id, info.func),
+                    core.clock, True,
+                ))
+                self._suspend(core, thread, slot, Suspension.REASON_BEGIN,
+                              retry_instr=True)
+                out.suspended = True
+                return out
+            self.stats.missed_ars += 1
+            out.missed = True
+            return out
+
+        now = core.clock
+        depth = thread.call_depth
+        pending = (info.first_kind == AccessKind.WRITE
+                   and not opt.o3_local_disable)
+
+        if slot is not None:
+            # already monitored by this thread: join the slot
+            ar = ActiveAR(info, tid, addr, depth, now, slot.index, pending)
+            slot.ars.append(ar)
+            table[info.ar_id] = ar
+            slot.captured_value = self.machine.read_raw(addr)
+            if slot.recompute_kinds(opt.o3_local_disable):
+                self._bump_epoch(core)
+                out.hw_changed = True
+            out.attached = True
+            out.monitored = True
+            self.stats.monitored_ars += 1
+            return out
+
+        free, reused = self._find_free_slot(core)
+        if free is None:
+            # all watchpoint registers in use: log that this AR cannot be
+            # monitored (Table 8)
+            self.stats.missed_ars += 1
+            out.missed = True
+            return out
+
+        ar = ActiveAR(info, tid, addr, depth, now, free.index, pending)
+        free.enabled = True
+        free.addr = addr
+        free.size = info.size
+        free.owner_tid = tid
+        free.ars = [ar]
+        free.triggers = []
+        free.suspended = []
+        free.lazily_freed = False
+        free.captured_value = self.machine.read_raw(addr)
+        free.recompute_kinds(opt.o3_local_disable)
+        table[info.ar_id] = ar
+        self._bump_epoch(core)
+        out.hw_changed = True
+        out.monitored = True
+        self.stats.monitored_ars += 1
+
+        # block until other busy cores adopt the new watchpoint state
+        self._maybe_block_for_sync(core, thread)
+        return out
+
+    # ------------------------------------------------------------------
+    # end_atomic
+    # ------------------------------------------------------------------
+
+    def end_atomic(self, core, thread, ar_id, second_kind):
+        out = EndOutcome()
+        opt = self.config.opt
+        tid = thread.tid
+        table = self.ar_tables.get(tid, {})
+        ar = table.pop(ar_id, None)
+
+        if ar is None:
+            zombie = self.zombies.pop((tid, ar_id), None)
+            if zombie is not None:
+                # the AR timed out earlier: record the violation but note
+                # it was not prevented
+                out.zombie = True
+                out.found = True
+                self._evaluate(zombie.info, tid, zombie.addr,
+                               zombie.triggers, zombie.begin_time,
+                               second_kind, core, force_unprevented=True)
+            return out
+
+        out.found = True
+        if ar.slot_index is None:
+            return out
+        slot = self.slots[ar.slot_index]
+
+        relevant = [t for t in slot.triggers
+                    if t.time >= ar.begin_time and t.tid != tid]
+        if relevant:
+            out.had_triggers = True
+            self._evaluate(ar.info, tid, ar.addr, relevant, ar.begin_time,
+                           second_kind, core)
+
+        if ar in slot.ars:
+            slot.ars.remove(ar)
+        if not slot.ars:
+            if slot.suspended or not opt.o2_lazy_free:
+                self._free_slot(slot, core)
+                out.hw_changed = True
+            else:
+                # second optimization: leave the hardware armed; note in the
+                # (shared) metadata that the watchpoint is no longer active
+                slot.lazily_freed = True
+                slot.triggers = []
+                self.stats.lazy_frees += 1
+        else:
+            if not opt.o2_lazy_free:
+                if slot.recompute_kinds(opt.o3_local_disable):
+                    self._bump_epoch(core)
+                    out.hw_changed = True
+            # with O2, keep the most aggressive settings until reconciled
+        return out
+
+    # ------------------------------------------------------------------
+    # clear_ar
+    # ------------------------------------------------------------------
+
+    def clear_ar(self, core, thread):
+        out = ClearOutcome()
+        opt = self.config.opt
+        tid = thread.tid
+        table = self.ar_tables.get(tid)
+        if not table:
+            return out
+        depth = thread.call_depth
+        doomed = [ar for ar in table.values() if ar.depth == depth]
+        for ar in doomed:
+            table.pop(ar.ar_id, None)
+            if self._detach_ar(ar, core, evaluate=False):
+                out.hw_changed = True
+            out.cleared += 1
+        return out
+
+    def _detach_ar(self, ar, core, evaluate):
+        """Remove an ActiveAR from its slot without violation evaluation
+        (clear_ar semantics). Returns True if hardware state changed."""
+        if ar.slot_index is None:
+            return False
+        slot = self.slots[ar.slot_index]
+        if ar not in slot.ars:
+            return False
+        slot.ars.remove(ar)
+        opt = self.config.opt
+        if not slot.ars:
+            if slot.suspended or not opt.o2_lazy_free:
+                self._free_slot(slot, core)
+                return True
+            slot.lazily_freed = True
+            slot.triggers = []
+            self.stats.lazy_frees += 1
+            return False
+        if not opt.o2_lazy_free and slot.recompute_kinds(opt.o3_local_disable):
+            self._bump_epoch(core)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # shadow capture (third optimization)
+    # ------------------------------------------------------------------
+
+    def shadow_store(self, thread, ar_id, addr):
+        """Record the value after a local write via the shared page.
+
+        With the third optimization, watchpoint delivery is suppressed for
+        the owning thread, so the annotation pass replicates local shared
+        writes into the page shared between the user library and the
+        kernel; this keeps the undo value current (the base-mode
+        equivalent is the local-trap refresh in the trap handler). The
+        write is matched to a slot by address, which also covers local
+        writes through pointer aliases."""
+        for slot in self.slots:
+            if (slot.enabled and not slot.lazily_freed
+                    and slot.owner_tid == thread.tid
+                    and slot.addr <= addr < slot.addr + slot.size):
+                slot.captured_value = self.machine.read_raw(slot.addr)
+                return
+
+    # ------------------------------------------------------------------
+    # watchpoint trap handler
+    # ------------------------------------------------------------------
+
+    def on_trap(self, core, thread, after_pc, hit_slots, accesses):
+        """Handle a debug trap. With trap-after hardware ``after_pc`` is
+        all we know besides the hit slot indices; the faulting instruction
+        is recovered through the memory map."""
+        self.on_kernel_entry(core)
+        machine = self.machine
+        prevention = self.config.prevention_enabled
+        trap_before = machine.trap_before
+
+        for idx in hit_slots:
+            slot = self.slots[idx]
+            if not slot.enabled:
+                # the core's registers were stale (lazy propagation)
+                self.stats.stale_traps += 1
+                continue
+            if slot.lazily_freed:
+                # second optimization reconciliation on trap: free now and
+                # do not log a violation
+                self.stats.lazy_reconciles += 1
+                self._free_slot(slot, core)
+                continue
+            if slot.containment_owner is not None:
+                if thread.tid == slot.containment_owner:
+                    continue
+                if thread.state == ThreadState.RUNNING:
+                    self._suspend(core, thread, slot, Suspension.REASON_TRAP,
+                                  retry_instr=not trap_before)
+                continue
+            if slot.owner_tid == thread.tid:
+                # Local thread's own access. Refresh the undo value so a
+                # later rollback restores the value after the *latest*
+                # local access, never clobbering local writes. Also
+                # completes the base-mode first-write capture.
+                self.stats.local_traps += 1
+                slot.captured_value = machine.read_raw(slot.addr)
+                had_pending = False
+                for ar in slot.ars:
+                    if ar.pending_capture:
+                        ar.pending_capture = False
+                        had_pending = True
+                if had_pending:
+                    if slot.recompute_kinds(self.config.opt.o3_local_disable):
+                        self._bump_epoch(core)
+                continue
+
+            # ---- remote access ------------------------------------------
+            self.stats.remote_traps += 1
+            undone = False
+            fpc = None
+            if trap_before:
+                kinds = tuple(
+                    {AccessKind.WRITE if w else AccessKind.READ
+                     for a, w in accesses
+                     if slot.addr <= a < slot.addr + slot.size}
+                ) or (AccessKind.READ,)
+                if prevention and thread.state == ThreadState.RUNNING:
+                    # access not yet committed: simply delay the thread
+                    self._suspend(core, thread, slot, Suspension.REASON_TRAP,
+                                  retry_instr=True)
+                    undone = True
+            else:
+                stack_top = None
+                if after_pc in machine.program.memory_map.subroutine_entries:
+                    stack_top = machine.read_raw(thread.sp)
+                fpc = machine.program.memory_map.faulting_pc(after_pc,
+                                                             stack_top)
+                if fpc is None or not (0 <= fpc < len(machine.program.instrs)):
+                    self.stats.unresolved_pcs += 1
+                    kinds = tuple(
+                        {AccessKind.WRITE if w else AccessKind.READ
+                         for a, w in accesses
+                         if slot.addr <= a < slot.addr + slot.size}
+                    ) or (AccessKind.READ,)
+                else:
+                    instr = machine.program.instrs[fpc]
+                    kinds = classify_access_kinds(instr, thread, slot.addr)
+                    if (prevention and thread.state == ThreadState.RUNNING
+                            and instr.op not in SYNC_OPS):
+                        undone = self._try_undo(core, thread, fpc, slot)
+                    elif prevention and instr.op in SYNC_OPS:
+                        self.stats.unable_to_reorder += 1
+            slot.triggers.append(
+                Trigger(thread.tid, kinds, fpc,
+                        machine.program.location(fpc) if fpc is not None
+                        else "pc=?", core.clock, undone)
+            )
+        return 0
+
+    def _try_undo(self, core, thread, fpc, slot):
+        """Undo + suspend a remote access (trap-after prevention path)."""
+        machine = self.machine
+        instr = machine.program.instrs[fpc]
+        # the leak-containment case needs a spare watchpoint; check before
+        # undoing so failure leaves the access committed (paper: "allows
+        # the remote thread to continue and logs that it was unable to
+        # reorder")
+        if instr.op is Op.CPY:
+            src = thread.regs[instr.b]
+            dst = thread.regs[instr.a]
+            if src == slot.addr and dst != slot.addr:
+                free = None
+                for s in self.slots:
+                    if not s.enabled:
+                        free = s
+                        break
+                if free is None:
+                    self.stats.unable_to_reorder += 1
+                    return False
+        outcome = undo_remote_access(machine, thread, fpc, slot)
+        if not outcome.ok:
+            self.stats.unable_to_reorder += 1
+            return False
+        self.stats.undos += 1
+        if self.config.trace is not None:
+            self.config.trace.emit(core.clock, thread.tid, "undo",
+                                   pc=fpc, addr=slot.addr,
+                                   loc=machine.program.location(fpc))
+        if outcome.needs_containment_addr is not None:
+            free = None
+            for s in self.slots:
+                if not s.enabled:
+                    free = s
+                    break
+            if free is not None:
+                free.enabled = True
+                free.addr = outcome.needs_containment_addr
+                free.size = 1
+                free.watch_read = True
+                free.watch_write = True
+                free.containment_owner = thread.tid
+                free.owner_tid = thread.tid
+                self._bump_epoch(core)
+                self.stats.containments += 1
+        self._suspend(core, thread, slot, Suspension.REASON_TRAP,
+                      retry_instr=False)
+        return True
+
+    # ------------------------------------------------------------------
+    # violation evaluation
+    # ------------------------------------------------------------------
+
+    def _evaluate(self, info, local_tid, addr, triggers, begin_time,
+                  second_kind, core, force_unprevented=False):
+        for trigger in triggers:
+            if trigger.tid == local_tid or trigger.time < begin_time:
+                continue
+            for kind in trigger.kinds:
+                if is_unserializable(info.first_kind, kind, second_kind):
+                    prevented = trigger.undone and not force_unprevented
+                    self.log.add(ViolationRecord(
+                        ar_id=info.ar_id,
+                        var=info.var,
+                        func=info.func,
+                        addr=addr,
+                        local_tid=local_tid,
+                        remote_tid=trigger.tid,
+                        first_kind=info.first_kind,
+                        remote_kind=kind,
+                        second_kind=second_kind,
+                        remote_pc=trigger.pc,
+                        remote_location=trigger.location,
+                        local_line_first=info.line,
+                        local_line_second=min(info.second_lines.values())
+                        if info.second_lines else info.line,
+                        time_ns=core.clock if core is not None else trigger.time,
+                        prevented=prevented,
+                    ))
+                    self.stats.violations += 1
+                    if not prevented:
+                        self.stats.unprevented_violations += 1
+                    if self.config.trace is not None:
+                        self.config.trace.emit(
+                            core.clock if core is not None else trigger.time,
+                            local_tid, "violation", ar=info.ar_id,
+                            var=info.var, remote_tid=trigger.tid,
+                            prevented=prevented)
+                    break

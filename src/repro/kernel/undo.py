@@ -1,0 +1,111 @@
+"""The rollback engine (Section 3.3).
+
+x86 watchpoint traps arrive after the triggering instruction has
+committed, so preventing a violation requires undoing the remote access
+and re-executing it after the ARs complete:
+
+- the program counter is moved back using the pre-processed memory map
+  (the trap handler only sees the after-PC), with the subroutine-call
+  special case resolved through the return address on the stack;
+- a remote *write* is undone by restoring the value recorded after the
+  first local access of the AR;
+- a remote *read* into a register is left stale (re-execution overwrites
+  it); a remote read copied into *another memory location* is contained
+  by arming a spare watchpoint on the leaked location;
+- instruction side effects (the frame pushed by a call) are also undone.
+
+Atomic read-modify-write macro-ops (lock/unlock/cas/atomic_add) are
+detected but not reordered (see DESIGN.md): the engine reports failure and
+the kernel logs that it was unable to reorder the access.
+"""
+
+from repro.compiler.bytecode import Op, SYNC_OPS
+from repro.minic.ast import AccessKind
+
+
+class UndoOutcome:
+    """Result of an undo attempt."""
+
+    __slots__ = ("ok", "kinds", "pc", "needs_containment_addr")
+
+    def __init__(self, ok, kinds=(), pc=None, needs_containment_addr=None):
+        self.ok = ok
+        self.kinds = tuple(kinds)
+        self.pc = pc
+        self.needs_containment_addr = needs_containment_addr
+
+
+def classify_access_kinds(instr, thread, slot_addr):
+    """Disassemble the faulting instruction to determine what kinds of
+    access it made to ``slot_addr`` (the kernel-side disassembly step)."""
+    op = instr.op
+    kinds = []
+    if op is Op.LD:
+        if thread.regs is not None:
+            kinds.append(AccessKind.READ)
+    elif op is Op.ST or op is Op.STPARAM:
+        kinds.append(AccessKind.WRITE)
+    elif op is Op.CPY:
+        if thread.regs[instr.b] == slot_addr:
+            kinds.append(AccessKind.READ)
+        if thread.regs[instr.a] == slot_addr:
+            kinds.append(AccessKind.WRITE)
+        if not kinds:
+            kinds.append(AccessKind.READ)
+    elif op is Op.CALLIND:
+        kinds.append(AccessKind.READ)
+    elif op in (Op.LOCK, Op.CAS, Op.AADD):
+        kinds.extend((AccessKind.READ, AccessKind.WRITE))
+    elif op is Op.UNLOCK:
+        kinds.append(AccessKind.WRITE)
+    else:
+        kinds.append(AccessKind.READ)
+    return tuple(kinds)
+
+
+def undo_remote_access(machine, thread, faulting_pc, slot):
+    """Undo the committed effects of the instruction at ``faulting_pc``.
+
+    Returns an UndoOutcome. On success the thread's pc points back at the
+    faulting instruction, memory effects on the watched address are rolled
+    back, and ``needs_containment_addr`` is set if a value was leaked to
+    another memory location that must be guarded.
+    """
+    instr = machine.program.instrs[faulting_pc]
+    op = instr.op
+    kinds = classify_access_kinds(instr, thread, slot.addr)
+
+    if op in SYNC_OPS:
+        return UndoOutcome(False, kinds)
+
+    containment = None
+    if op is Op.LD:
+        # destination register holds a stale value; re-execution fixes it
+        pass
+    elif op is Op.ST or op is Op.STPARAM:
+        if slot.captured_value is not None:
+            machine.write_raw(slot.addr, slot.captured_value)
+    elif op is Op.CPY:
+        dst = thread.regs[instr.a]
+        src = thread.regs[instr.b]
+        if dst == slot.addr:
+            # the write side hit the watchpoint: roll it back
+            if slot.captured_value is not None:
+                machine.write_raw(slot.addr, slot.captured_value)
+        if src == slot.addr and dst != slot.addr:
+            # the read side hit: the watched value leaked into memory at
+            # dst and must be contained until re-execution
+            containment = dst
+    elif op is Op.CALLIND:
+        # the call committed: unwind the frame it pushed
+        if thread.frames:
+            frame = thread.frames.pop()
+            thread.regs = frame.saved_regs
+            thread.sp = frame.saved_sp
+            thread.fp = frame.saved_fp
+    else:
+        return UndoOutcome(False, kinds)
+
+    thread.pc = faulting_pc
+    return UndoOutcome(True, kinds, pc=faulting_pc,
+                       needs_containment_addr=containment)

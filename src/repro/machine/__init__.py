@@ -1,0 +1,37 @@
+"""Simulated multicore machine with x86-style hardware watchpoints.
+
+The machine executes compiled mini-C bytecode on a configurable number of
+cores, each with its own set of debug registers (four by default, matching
+Intel/AMD x86). Watchpoint traps are delivered *after* the triggering
+instruction commits, exactly the property that makes the paper's x86
+prototype hard: the kernel must undo the access to reorder it.
+
+Time is simulated at nanosecond granularity by a discrete-event loop: the
+core with the smallest local clock executes the next instruction, paying
+costs from a :class:`repro.machine.costs.CostModel`. Blocked cores fast
+forward to the next event. Run time is the maximum core clock at halt.
+"""
+
+from repro.machine.costs import CostModel
+from repro.machine.machine import Machine, MachineResult
+from repro.machine.runtime_iface import BaseRuntime
+from repro.machine.threads import Thread, ThreadState
+from repro.machine.watchpoints import (
+    ARCH_SURVEY,
+    AccessKind,
+    DebugRegisterFile,
+    WatchpointSlot,
+)
+
+__all__ = [
+    "ARCH_SURVEY",
+    "AccessKind",
+    "BaseRuntime",
+    "CostModel",
+    "DebugRegisterFile",
+    "Machine",
+    "MachineResult",
+    "Thread",
+    "ThreadState",
+    "WatchpointSlot",
+]

@@ -1,0 +1,79 @@
+"""Cost model translating simulated events into nanoseconds.
+
+The paper's overhead numbers are dominated by kernel domain crossings
+(Section 4.1: "The majority of the run-time overhead can be attributed to
+entering the kernel during begin_atomic and end_atomic"). The defaults
+below are calibrated to a ~2 GHz x86 machine of the paper's era: ~0.5 ns
+per simple instruction, a few hundred ns per syscall round trip, ~1 µs to
+service a debug trap.
+"""
+
+
+class CostModel:
+    """All costs in simulated nanoseconds."""
+
+    __slots__ = (
+        "instr",
+        "mem_instr",
+        "mul_div",
+        "call",
+        "syscall",
+        "trap",
+        "context_switch",
+        "userlib_check",
+        "whitelist_check",
+        "shadow_store",
+        "lock_uncontended",
+        "lock_kernel",
+        "spawn",
+        "quantum",
+        "timer_tick",
+        "timer_tick_cost",
+    )
+
+    def __init__(
+        self,
+        instr=1,
+        mem_instr=2,
+        mul_div=4,
+        call=3,
+        syscall=90,
+        trap=450,
+        context_switch=400,
+        userlib_check=6,
+        whitelist_check=4,
+        shadow_store=4,
+        lock_uncontended=12,
+        lock_kernel=600,
+        spawn=4000,
+        quantum=8_000,
+        timer_tick=1_000,
+        timer_tick_cost=25,
+    ):
+        self.instr = instr
+        self.mem_instr = mem_instr
+        self.mul_div = mul_div
+        self.call = call
+        self.syscall = syscall
+        self.trap = trap
+        self.context_switch = context_switch
+        self.userlib_check = userlib_check
+        self.whitelist_check = whitelist_check
+        self.shadow_store = shadow_store
+        self.lock_uncontended = lock_uncontended
+        self.lock_kernel = lock_kernel
+        self.spawn = spawn
+        self.quantum = quantum
+        self.timer_tick = timer_tick
+        self.timer_tick_cost = timer_tick_cost
+
+    def copy(self, **overrides):
+        kwargs = {name: getattr(self, name) for name in self.__slots__}
+        kwargs.update(overrides)
+        return CostModel(**kwargs)
+
+    def __repr__(self):
+        fields = ", ".join(
+            "%s=%r" % (name, getattr(self, name)) for name in self.__slots__
+        )
+        return "CostModel(%s)" % fields

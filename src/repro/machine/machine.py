@@ -1,0 +1,689 @@
+"""The simulated multicore machine.
+
+A discrete-event loop drives per-core nanosecond clocks: the core with the
+smallest local clock executes the next instruction of its current thread,
+paying costs from the CostModel. Timer events (sleeps, Kivati timeouts,
+bug-finding pauses) live in a global event queue and fire when simulated
+time reaches them.
+
+Watchpoint semantics: before executing a watchable instruction the machine
+computes its (address, is_write) access list from the current register
+state. With trap-after hardware (x86, the default) the instruction commits
+first and the trap handler is then invoked with only the *after* program
+counter and the hit slot indices — exactly what real x86 debug hardware
+reports — so the kernel must use the pre-processed memory map to find and
+undo the access. With ``trap_before=True`` (SPARC-style) the handler runs
+before the access commits.
+"""
+
+import heapq
+from collections import deque
+
+from repro.compiler.bytecode import Op
+from repro.errors import (
+    DeadlockError,
+    DivideByZero,
+    MachineError,
+    MemoryFault,
+    StackOverflow,
+    StepLimitExceeded,
+)
+from repro.machine.costs import CostModel
+from repro.machine.memory import Memory
+from repro.machine.runtime_iface import BaseRuntime
+from repro.machine.threads import Frame, Thread, ThreadState
+from repro.machine.watchpoints import DebugRegisterFile
+
+
+class Core:
+    """One simulated CPU core."""
+
+    __slots__ = ("index", "dr", "thread", "clock", "quantum_end", "last_tid",
+                 "instr_count", "next_tick")
+
+    def __init__(self, index, num_watchpoints):
+        self.index = index
+        self.dr = DebugRegisterFile(num_watchpoints)
+        self.thread = None
+        self.clock = 0
+        self.quantum_end = 0
+        self.last_tid = None
+        self.instr_count = 0
+        self.next_tick = 0
+
+
+class MachineResult:
+    """Summary of one program execution."""
+
+    __slots__ = ("time_ns", "output", "instr_count", "deadlocked", "threads",
+                 "kernel_entries", "fault")
+
+    def __init__(self, time_ns, output, instr_count, deadlocked, threads,
+                 kernel_entries, fault=None):
+        self.time_ns = time_ns
+        self.output = output
+        self.instr_count = instr_count
+        self.deadlocked = deadlocked
+        self.threads = threads
+        self.kernel_entries = kernel_entries
+        self.fault = fault
+
+    @property
+    def time_seconds(self):
+        return self.time_ns / 1e9
+
+    def __repr__(self):
+        return "MachineResult(time=%.3fms, instrs=%d, threads=%d%s)" % (
+            self.time_ns / 1e6,
+            self.instr_count,
+            self.threads,
+            ", DEADLOCK" if self.deadlocked else "",
+        )
+
+
+class Machine:
+    """Executes a compiled program on simulated multicore hardware."""
+
+    def __init__(self, program, num_cores=2, num_watchpoints=4, costs=None,
+                 runtime=None, seed=0, trap_before=False, max_steps=200_000_000):
+        self.program = program
+        self.instrs = program.instrs
+        self.memory = Memory()
+        for addr, value in program.global_inits.items():
+            self.memory.words[addr] = value
+        self.costs = costs or CostModel()
+        self.runtime = runtime or BaseRuntime()
+        self.trap_before = trap_before
+        self.max_steps = max_steps
+        self.seed = seed
+
+        self.cores = [Core(i, num_watchpoints) for i in range(num_cores)]
+        for core in self.cores:
+            core.next_tick = self.costs.timer_tick
+        # Seeded scheduling jitter: real machines never align two cores'
+        # instruction streams perfectly (cache misses, interrupts), so a
+        # few nanoseconds of deterministic noise is added per context
+        # switch. This makes thread interleavings vary with the seed,
+        # which the bug-detection experiments (Table 6) rely on.
+        self._jit_state = (seed * 1103515245 + 12345) & 0x7FFFFFFF
+        self.threads = {}
+        self._next_tid = 0
+        self.run_queue = deque()
+        self.lock_waiters = {}  # lock addr -> deque of tids
+        self.output = []
+        self.total_instrs = 0
+        self.kernel_entries = 0
+        self.deadlocked = False
+        self.fault = None
+
+        # event queue: (time, seq, event_id); callbacks in _event_cbs
+        self._events = []
+        self._event_cbs = {}
+        self._event_seq = 0
+
+        main = Thread(self._alloc_tid(), program.entry(), parent=None, seed=seed)
+        self.threads[main.tid] = main
+        self.run_queue.append(main.tid)
+
+        self.runtime.attach(self)
+
+    # ------------------------------------------------------------------
+    # public API used by runtimes
+    # ------------------------------------------------------------------
+
+    def now(self):
+        """Current simulated time: clock of the earliest core."""
+        return min(core.clock for core in self.cores)
+
+    def read_raw(self, addr):
+        """Kernel-mode memory read (no watchpoint semantics)."""
+        return self.memory.read(addr)
+
+    def write_raw(self, addr, value):
+        """Kernel-mode memory write (no watchpoint semantics) — used by
+        the undo engine to roll back a remote access."""
+        self.memory.write(addr, value)
+
+    def schedule_event(self, time, callback):
+        """Schedule ``callback(machine)`` at simulated ``time``; returns an
+        event id usable with :meth:`cancel_event`."""
+        self._event_seq += 1
+        eid = self._event_seq
+        self._event_cbs[eid] = callback
+        heapq.heappush(self._events, (time, eid))
+        return eid
+
+    def cancel_event(self, eid):
+        self._event_cbs.pop(eid, None)
+
+    def block_current(self, core, state, wake_time=None, retry_instr=False):
+        """Block the thread currently running on ``core``.
+
+        ``retry_instr`` rolls the pc back one instruction so the thread
+        re-executes it on wakeup (used when suspending a remote thread at
+        its begin_atomic, and when rolling back a trapped access).
+        """
+        thread = core.thread
+        if thread is None:
+            raise MachineError("no thread running on core %d" % core.index)
+        if retry_instr:
+            thread.pc -= 1
+        thread.state = state
+        thread.wake_time = wake_time
+        core.thread = None
+        if wake_time is not None:
+            tid = thread.tid
+            self.schedule_event(wake_time, lambda m: m._timed_wake(tid))
+
+    def block_thread_object(self, thread, state):
+        """Block a thread that is not currently on a core (rare)."""
+        thread.state = state
+
+    def wake_thread(self, tid):
+        """Make a blocked thread runnable again."""
+        thread = self.threads.get(tid)
+        if thread is None or thread.state in (ThreadState.DONE, ThreadState.RUNNABLE,
+                                              ThreadState.RUNNING):
+            return False
+        thread.state = ThreadState.RUNNABLE
+        thread.wake_time = None
+        self.run_queue.append(tid)
+        return True
+
+    def _timed_wake(self, tid):
+        thread = self.threads.get(tid)
+        if thread is not None and thread.state == ThreadState.SLEEPING:
+            self.wake_thread(tid)
+
+    def set_pc(self, tid, pc):
+        self.threads[tid].pc = pc
+
+    def kernel_entry(self, core, thread=None):
+        """Record a kernel entry on ``core`` (syscall/trap/interrupt) and
+        give the runtime its opportunistic cross-core sync point."""
+        self.kernel_entries += 1
+        self.runtime.on_kernel_entry(core, thread if thread is not None else core.thread)
+
+    def live_threads(self):
+        return [t for t in self.threads.values() if t.state != ThreadState.DONE]
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _alloc_tid(self):
+        tid = self._next_tid
+        self._next_tid += 1
+        return tid
+
+    def _jitter(self):
+        self._jit_state = (self._jit_state * 1103515245 + 12345) & 0x7FFFFFFF
+        return (self._jit_state >> 16) & 0x1F
+
+    def _spawn(self, parent, func_index, nargs):
+        image = self.program.func_by_index[func_index]
+        tid = self._alloc_tid()
+        if tid >= 256:
+            raise MachineError("too many threads (max 256 per run)")
+        child = Thread(tid, image.entry, parent=parent.tid, seed=self.seed)
+        for i in range(nargs):
+            child.regs[i] = parent.regs[i]
+        parent.live_children += 1
+        self.threads[child.tid] = child
+        self.run_queue.append(child.tid)
+        return child
+
+    def _thread_exit(self, core, thread):
+        thread.state = ThreadState.DONE
+        core.thread = None
+        if thread.parent is not None:
+            parent = self.threads[thread.parent]
+            parent.live_children -= 1
+            if parent.state == ThreadState.BLOCKED_JOIN and parent.live_children == 0:
+                self.wake_thread(parent.tid)
+        self.runtime.on_thread_exit(core, thread)
+
+    def _schedule(self, core):
+        """Pick the next runnable thread for ``core``; returns True if one
+        was placed."""
+        while self.run_queue:
+            tid = self.run_queue.popleft()
+            thread = self.threads[tid]
+            if thread.state != ThreadState.RUNNABLE:
+                continue
+            thread.state = ThreadState.RUNNING
+            thread.last_core = core.index
+            core.thread = thread
+            core.quantum_end = core.clock + self.costs.quantum
+            if core.last_tid != tid:
+                core.clock += self.costs.context_switch + self._jitter()
+                core.last_tid = tid
+                self.kernel_entry(core, thread)
+            else:
+                # returning from the idle loop is a kernel exit as well —
+                # the core adopts current watchpoint state without a
+                # context-switch charge
+                self.runtime.on_kernel_entry(core, thread)
+            return True
+        return False
+
+    def _fire_due_events(self, now):
+        fired = False
+        while self._events and self._events[0][0] <= now:
+            _, eid = heapq.heappop(self._events)
+            cb = self._event_cbs.pop(eid, None)
+            if cb is not None:
+                cb(self)
+                fired = True
+        return fired
+
+    def _next_event_time(self):
+        while self._events and self._events[0][1] not in self._event_cbs:
+            heapq.heappop(self._events)
+        return self._events[0][0] if self._events else None
+
+    def run(self, raise_on_deadlock=False):
+        """Run the program to completion; returns a MachineResult."""
+        steps = 0
+        try:
+            while True:
+                if all(t.state == ThreadState.DONE for t in self.threads.values()):
+                    break
+                core = min(self.cores, key=lambda c: c.clock)
+                if self._fire_due_events(core.clock):
+                    continue
+                if core.thread is None or core.thread.state != ThreadState.RUNNING:
+                    if core.thread is not None:
+                        core.thread = None
+                    if not self._schedule(core):
+                        # an idle core sits in the kernel idle loop: it
+                        # adopts watchpoint state and lets the runtime
+                        # release cross-core sync waiters
+                        self.runtime.on_kernel_entry(core, None)
+                        if self.run_queue:
+                            continue
+                        if not self._idle_advance(core):
+                            self.deadlocked = True
+                            if raise_on_deadlock:
+                                raise DeadlockError(
+                                    "all threads blocked; states: %s"
+                                    % {t.tid: t.state.value
+                                       for t in self.live_threads()}
+                                )
+                            break
+                        continue
+                self._execute(core)
+                steps += 1
+                if steps >= self.max_steps:
+                    raise StepLimitExceeded(
+                        "exceeded %d instructions" % self.max_steps
+                    )
+        except (DivideByZero, StackOverflow, MemoryFault) as exc:
+            # A program-level crash: several corpus bugs crash the victim
+            # application when the violation manifests. Record and stop.
+            self.fault = exc
+        self.runtime.on_run_end(self)
+        end_time = max(core.clock for core in self.cores)
+        return MachineResult(
+            time_ns=end_time,
+            output=self.output,
+            instr_count=self.total_instrs,
+            deadlocked=self.deadlocked,
+            threads=len(self.threads),
+            kernel_entries=self.kernel_entries,
+            fault=self.fault,
+        )
+
+    def _idle_advance(self, core):
+        """Advance an idle core's clock to the next possible activity.
+        Returns False if the whole machine is stuck (deadlock)."""
+        candidates = []
+        ev = self._next_event_time()
+        if ev is not None:
+            candidates.append(ev)
+        for other in self.cores:
+            if other is not core and other.thread is not None:
+                candidates.append(other.clock + 1)
+        if self.run_queue:
+            candidates.append(core.clock + 1)
+        if not candidates:
+            return False
+        core.clock = max(core.clock + 1, min(candidates))
+        return True
+
+    # ------------------------------------------------------------------
+    # instruction execution
+    # ------------------------------------------------------------------
+
+    def _execute(self, core):
+        thread = core.thread
+        instrs = self.instrs
+        pc = thread.pc
+        if pc < 0 or pc >= len(instrs):
+            raise MachineError("pc out of range: %d (tid %d)" % (pc, thread.tid))
+        instr = instrs[pc]
+        op = instr.op
+        regs = thread.regs
+        costs = self.costs
+        cost = costs.instr
+        accesses = None  # list of (addr, is_write) for watchable ops
+
+        # ---- pre-compute watchable accesses (addresses derive from regs) --
+        if op is Op.LD:
+            accesses = ((regs[instr.b], False),)
+        elif op is Op.ST:
+            accesses = ((regs[instr.a], True),)
+        elif op is Op.CPY:
+            accesses = ((regs[instr.b], False), (regs[instr.a], True))
+        elif op is Op.STPARAM:
+            accesses = ((thread.fp - 1 - instr.a, True),)
+        elif op is Op.LOCK:
+            addr = regs[instr.a]
+            if self.memory.read(addr) == 0:
+                accesses = ((addr, False), (addr, True))
+            else:
+                accesses = ((addr, False),)
+        elif op is Op.UNLOCK:
+            accesses = ((regs[instr.a], True),)
+        elif op is Op.CAS:
+            addr = regs[instr.b]
+            if self.memory.read(addr) == regs[instr.c]:
+                accesses = ((addr, False), (addr, True))
+            else:
+                accesses = ((addr, False),)
+        elif op is Op.AADD:
+            addr = regs[instr.b]
+            accesses = ((addr, False), (addr, True))
+        elif op is Op.CALLIND:
+            accesses = ((regs[instr.a], False),)
+
+        # ---- trap-before hardware (SPARC-style ablation) ------------------
+        if accesses is not None and self.trap_before:
+            hits = self._check_watchpoints(core, thread, accesses)
+            if hits:
+                cost += self.costs.trap
+                cost += self.runtime.on_watchpoint_trap(
+                    core, thread, None, hits, accesses
+                )
+                core.clock += cost
+                # handler decides: if it suspended the thread, the access
+                # never happened and the instruction re-executes on wake.
+                if thread.state != ThreadState.RUNNING:
+                    core.thread = None
+                    return
+                # otherwise fall through and commit normally
+
+        # ---- commit -------------------------------------------------------
+        thread.pc = pc + 1
+        blocked = False
+        retried = False
+
+        if op is Op.LD:
+            regs[instr.a] = self.memory.read(regs[instr.b])
+            cost = costs.mem_instr
+        elif op is Op.ST:
+            self.memory.write(regs[instr.a], regs[instr.b])
+            cost = costs.mem_instr
+        elif op is Op.LI:
+            regs[instr.a] = instr.b
+        elif op is Op.MOV:
+            regs[instr.a] = regs[instr.b]
+        elif op is Op.ADD:
+            regs[instr.a] = regs[instr.b] + regs[instr.c]
+        elif op is Op.SUB:
+            regs[instr.a] = regs[instr.b] - regs[instr.c]
+        elif op is Op.MUL:
+            regs[instr.a] = regs[instr.b] * regs[instr.c]
+            cost = costs.mul_div
+        elif op is Op.DIV:
+            if regs[instr.c] == 0:
+                raise DivideByZero("division by zero at %s"
+                                   % self.program.location(pc))
+            regs[instr.a] = regs[instr.b] // regs[instr.c]
+            cost = costs.mul_div
+        elif op is Op.MOD:
+            if regs[instr.c] == 0:
+                raise DivideByZero("modulo by zero at %s"
+                                   % self.program.location(pc))
+            regs[instr.a] = regs[instr.b] % regs[instr.c]
+            cost = costs.mul_div
+        elif op is Op.EQ:
+            regs[instr.a] = 1 if regs[instr.b] == regs[instr.c] else 0
+        elif op is Op.NE:
+            regs[instr.a] = 1 if regs[instr.b] != regs[instr.c] else 0
+        elif op is Op.LT:
+            regs[instr.a] = 1 if regs[instr.b] < regs[instr.c] else 0
+        elif op is Op.LE:
+            regs[instr.a] = 1 if regs[instr.b] <= regs[instr.c] else 0
+        elif op is Op.GT:
+            regs[instr.a] = 1 if regs[instr.b] > regs[instr.c] else 0
+        elif op is Op.GE:
+            regs[instr.a] = 1 if regs[instr.b] >= regs[instr.c] else 0
+        elif op is Op.AND:
+            regs[instr.a] = 1 if (regs[instr.b] and regs[instr.c]) else 0
+        elif op is Op.OR:
+            regs[instr.a] = 1 if (regs[instr.b] or regs[instr.c]) else 0
+        elif op is Op.NOT:
+            regs[instr.a] = 0 if regs[instr.b] else 1
+        elif op is Op.NEG:
+            regs[instr.a] = -regs[instr.b]
+        elif op is Op.JMP:
+            thread.pc = instr.a
+        elif op is Op.JZ:
+            if regs[instr.a] == 0:
+                thread.pc = instr.b
+        elif op is Op.JNZ:
+            if regs[instr.a] != 0:
+                thread.pc = instr.b
+        elif op is Op.LADDR:
+            regs[instr.a] = thread.fp - 1 - instr.b
+        elif op is Op.CALL:
+            self._do_call(thread, instr.a, instr.b, instr.c, pc + 1)
+            cost = costs.call
+        elif op is Op.CALLIND:
+            fidx = self.memory.read(regs[instr.a])
+            if not (0 <= fidx < len(self.program.func_by_index)):
+                raise MachineError(
+                    "indirect call to bad function index %d at %s"
+                    % (fidx, self.program.location(pc))
+                )
+            self._do_call(thread, fidx, 0, 0, pc + 1)
+            cost = costs.call + costs.mem_instr
+        elif op is Op.RET:
+            cost = costs.call
+            if not thread.frames:
+                self._thread_exit(core, thread)
+                core.clock += cost
+                self.total_instrs += 1
+                core.instr_count += 1
+                return
+            frame = thread.frames.pop()
+            result = regs[0]
+            thread.regs = frame.saved_regs
+            thread.regs[frame.result_reg] = result
+            regs = thread.regs
+            thread.sp = frame.saved_sp
+            thread.fp = frame.saved_fp
+            thread.pc = frame.return_pc
+        elif op is Op.ENTER:
+            thread.sp -= 1
+            self.memory.write(thread.sp, thread.fp)
+            thread.fp = thread.sp
+            thread.sp -= instr.a
+            if thread.sp < Memory.stack_limit(thread.tid):
+                raise StackOverflow("thread %d stack overflow" % thread.tid)
+        elif op is Op.STPARAM:
+            self.memory.write(thread.fp - 1 - instr.a, regs[instr.b])
+            cost = costs.mem_instr
+        elif op is Op.CPY:
+            value = self.memory.read(regs[instr.b])
+            self.memory.write(regs[instr.a], value)
+            cost = costs.mem_instr * 2
+        elif op is Op.SPAWN:
+            self._spawn(thread, instr.a, instr.b)
+            cost = costs.spawn
+            self.kernel_entry(core, thread)
+        elif op is Op.JOIN:
+            cost = costs.syscall
+            self.kernel_entry(core, thread)
+            if thread.live_children > 0:
+                self.block_current(core, ThreadState.BLOCKED_JOIN)
+                blocked = True
+        elif op is Op.LOCK:
+            addr = regs[instr.a]
+            if self.memory.read(addr) == 0:
+                self.memory.write(addr, thread.tid + 1)
+                cost = costs.lock_uncontended
+            else:
+                cost = costs.lock_kernel
+                self.kernel_entry(core, thread)
+                self.lock_waiters.setdefault(addr, deque()).append(thread.tid)
+                self.block_current(core, ThreadState.BLOCKED_LOCK,
+                                   retry_instr=True)
+                blocked = True
+                # the acquire will re-execute; deliver its trap then, when
+                # the after-pc is meaningful
+                retried = True
+        elif op is Op.UNLOCK:
+            addr = regs[instr.a]
+            self.memory.write(addr, 0)
+            waiters = self.lock_waiters.get(addr)
+            if waiters:
+                cost = costs.lock_kernel
+                self.kernel_entry(core, thread)
+                while waiters:
+                    tid = waiters.popleft()
+                    if self.wake_thread(tid):
+                        break
+            else:
+                cost = costs.lock_uncontended
+        elif op is Op.CAS:
+            addr = regs[instr.b]
+            old = self.memory.read(addr)
+            if old == regs[instr.c]:
+                self.memory.write(addr, regs[instr.d])
+                regs[instr.a] = 1
+            else:
+                regs[instr.a] = 0
+            cost = costs.lock_uncontended
+        elif op is Op.AADD:
+            addr = regs[instr.b]
+            old = self.memory.read(addr)
+            self.memory.write(addr, old + regs[instr.c])
+            regs[instr.a] = old
+            cost = costs.lock_uncontended
+        elif op is Op.SLEEP:
+            ns = max(0, regs[instr.a])
+            cost = costs.syscall
+            self.kernel_entry(core, thread)
+            self.block_current(core, ThreadState.SLEEPING,
+                               wake_time=core.clock + cost + ns)
+            blocked = True
+        elif op is Op.YIELD:
+            cost = costs.syscall
+            self.kernel_entry(core, thread)
+            thread.state = ThreadState.RUNNABLE
+            self.run_queue.append(thread.tid)
+            core.thread = None
+            blocked = True
+        elif op is Op.OUT:
+            self.output.append(regs[instr.a])
+        elif op is Op.ALLOC:
+            regs[instr.a] = self.memory.alloc(regs[instr.b])
+            cost = costs.call
+        elif op is Op.RAND:
+            regs[instr.a] = thread.next_rand(regs[instr.b])
+        elif op is Op.TID:
+            regs[instr.a] = thread.tid
+        elif op is Op.BEGINAT:
+            cost = self.runtime.on_begin_atomic(core, thread, instr.a,
+                                                regs[instr.b])
+        elif op is Op.ENDAT:
+            cost = self.runtime.on_end_atomic(core, thread, instr.a,
+                                              instr.b == 1)
+        elif op is Op.CLEARAR:
+            cost = self.runtime.on_clear_ar(core, thread)
+        elif op is Op.SHADOWST:
+            cost = self.runtime.on_shadow_store(core, thread, instr.a,
+                                                regs[instr.b])
+        elif op is Op.HALT:
+            self._thread_exit(core, thread)
+            core.clock += cost
+            self.total_instrs += 1
+            core.instr_count += 1
+            return
+        else:
+            raise MachineError("unimplemented op %s" % op)
+
+        self.total_instrs += 1
+        core.instr_count += 1
+        thread.instr_count += 1
+
+        # ---- periodic timer interrupt: a kernel entry on this core (the
+        # opportunistic watchpoint-sync point interrupts provide) ----------
+        if core.clock >= core.next_tick:
+            core.next_tick = core.clock + self.costs.timer_tick
+            cost += self.costs.timer_tick_cost
+            self.runtime.on_kernel_entry(core, thread)
+
+        # ---- per-access baseline hook --------------------------------------
+        if accesses is not None and self.runtime.wants_all_accesses:
+            for addr, is_write in accesses:
+                cost += self.runtime.on_memory_access(core, thread, addr,
+                                                      is_write)
+
+        core.clock += cost
+
+        # ---- trap-after watchpoint delivery (x86) ---------------------------
+        if accesses is not None and not self.trap_before and not retried:
+            hits = self._check_watchpoints(core, thread, accesses)
+            if hits:
+                core.clock += self.costs.trap
+                trap_cost = self.runtime.on_watchpoint_trap(
+                    core, thread, thread.pc, hits, accesses
+                )
+                core.clock += trap_cost
+
+        # ---- annotation handlers may have blocked the thread ---------------
+        if thread.state != ThreadState.RUNNING and not blocked:
+            if core.thread is thread:
+                core.thread = None
+
+        # ---- preemption ------------------------------------------------------
+        if (core.thread is thread and thread.state == ThreadState.RUNNING
+                and core.clock >= core.quantum_end and self.run_queue):
+            thread.state = ThreadState.RUNNABLE
+            self.run_queue.append(thread.tid)
+            core.thread = None
+            core.clock += self.costs.context_switch
+            self.kernel_entry(core, thread)
+
+    def _do_call(self, thread, func_index, nargs, result_reg, return_pc):
+        image = self.program.func_by_index[func_index]
+        frame = Frame(return_pc, thread.regs, result_reg, thread.fp, thread.sp)
+        thread.frames.append(frame)
+        if len(thread.frames) > 512:
+            raise StackOverflow("thread %d call depth exceeded" % thread.tid)
+        new_regs = [0] * len(thread.regs)
+        for i in range(nargs):
+            new_regs[i] = thread.regs[i]
+        thread.regs = new_regs
+        # push the return address so the kernel can recover call sites
+        # (the CALLIND special case reads the top of stack)
+        thread.sp -= 1
+        self.memory.write(thread.sp, return_pc)
+        thread.pc = image.entry
+
+    def _check_watchpoints(self, core, thread, accesses):
+        dr = core.dr
+        slots = dr.slots
+        hits = None
+        tid = thread.tid
+        for addr, is_write in accesses:
+            for slot in slots:
+                if slot.enabled and slot.matches(addr, is_write, tid):
+                    if hits is None:
+                        hits = []
+                    if slot.index not in hits:
+                        hits.append(slot.index)
+        return hits or ()

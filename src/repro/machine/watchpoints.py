@@ -1,0 +1,120 @@
+"""Per-core hardware debug registers (watchpoints).
+
+Models the x86 DR0-DR3/DR7 facility: each core owns ``num_slots``
+watchpoint slots (four on Intel and AMD), each configured with an address,
+a size and the access kinds to trap on. Traps are delivered *after* the
+triggering instruction commits ("type: After" in the paper's Table 1); a
+``trap_before`` switch models SPARC-style hardware for ablation studies.
+
+Cross-core consistency is the kernel's job (Section 3.2): the kernel keeps
+one logical watchpoint state and cores adopt it lazily on kernel entry.
+The hardware model here therefore exposes an ``epoch`` — the machine bumps
+it whenever the logical state changes and each core records the epoch it
+has synced to.
+"""
+
+from repro.minic.ast import AccessKind
+
+#: Table 1 of the paper: survey of hardware watchpoint support.
+ARCH_SURVEY = [
+    {"arch": "x86", "support": True, "number": 4, "type": "After"},
+    {"arch": "SPARC", "support": True, "number": 2, "type": "Before"},
+    {"arch": "MIPS", "support": True, "number": 1, "type": "Depends on inst."},
+    {"arch": "ARM", "support": True, "number": 2, "type": "After"},
+    {"arch": "PowerPC", "support": True, "number": 1, "type": ""},
+]
+
+X86_NUM_WATCHPOINTS = 4
+
+
+class WatchpointSlot:
+    """Hardware view of one debug register pair (address + control bits)."""
+
+    __slots__ = ("index", "enabled", "addr", "size", "watch_read",
+                 "watch_write", "suppressed_tids")
+
+    def __init__(self, index):
+        self.index = index
+        self.enabled = False
+        self.addr = 0
+        self.size = 1
+        self.watch_read = False
+        self.watch_write = False
+        # Threads for which delivery is suppressed (third optimization of
+        # Section 3.4: the kernel disables the watchpoint while the local
+        # thread that owns the AR is running; modelled as a per-slot set
+        # consulted at match time instead of per-context-switch rewrites).
+        self.suppressed_tids = None
+
+    def configure(self, addr, size, watch_read, watch_write, suppressed_tids=None):
+        self.enabled = True
+        self.addr = addr
+        self.size = size
+        self.watch_read = watch_read
+        self.watch_write = watch_write
+        self.suppressed_tids = suppressed_tids
+
+    def disable(self):
+        self.enabled = False
+        self.suppressed_tids = None
+
+    def matches(self, addr, is_write, tid):
+        if not self.enabled:
+            return False
+        if not (self.addr <= addr < self.addr + self.size):
+            return False
+        if is_write and not self.watch_write:
+            return False
+        if not is_write and not self.watch_read:
+            return False
+        if self.suppressed_tids is not None and tid in self.suppressed_tids:
+            return False
+        return True
+
+
+class DebugRegisterFile:
+    """One core's set of watchpoint slots."""
+
+    __slots__ = ("slots", "synced_epoch")
+
+    def __init__(self, num_slots=X86_NUM_WATCHPOINTS):
+        self.slots = [WatchpointSlot(i) for i in range(num_slots)]
+        self.synced_epoch = 0
+
+    def __len__(self):
+        return len(self.slots)
+
+    def any_enabled(self):
+        for slot in self.slots:
+            if slot.enabled:
+                return True
+        return False
+
+    def check(self, addr, is_write, tid):
+        """Return indices of slots hit by an access (the DR6 status bits)."""
+        hits = []
+        for slot in self.slots:
+            if slot.matches(addr, is_write, tid):
+                hits.append(slot.index)
+        return hits
+
+    def adopt(self, logical_slots, epoch):
+        """Copy the kernel's logical watchpoint state into this core
+        (the lazy cross-core update of Section 3.2)."""
+        for mine, theirs in zip(self.slots, logical_slots):
+            mine.enabled = theirs.enabled
+            mine.addr = theirs.addr
+            mine.size = theirs.size
+            mine.watch_read = theirs.watch_read
+            mine.watch_write = theirs.watch_write
+            mine.suppressed_tids = theirs.suppressed_tids
+        self.synced_epoch = epoch
+
+
+__all__ = [
+    "ARCH_SURVEY",
+    "AccessKind",
+    "DebugRegisterFile",
+    "WatchpointSlot",
+    "X86_NUM_WATCHPOINTS",
+]

@@ -1,0 +1,76 @@
+"""Mini-C front end.
+
+Kivati protects programs written in C. This subpackage implements a small
+C-like language ("mini-C") that is rich enough to express the paper's
+examples (Figures 1, 3, 4 and 5), the five application models and the
+11-bug corpus: global scalars/arrays/pointers, functions, pointers and
+address-of, threads (``spawn``/``join``), and synchronization builtins
+(``lock``/``unlock``/``sleep``/``yield_``).
+"""
+
+from repro.minic.ast import (
+    AccessKind,
+    AddrOf,
+    Assign,
+    BeginAtomic,
+    Binary,
+    Block,
+    Break,
+    Call,
+    ClearAr,
+    Continue,
+    Decl,
+    Deref,
+    EndAtomic,
+    ExprStmt,
+    FuncDef,
+    GlobalVar,
+    If,
+    Index,
+    IntLit,
+    Program,
+    Return,
+    ShadowStore,
+    Spawn,
+    Unary,
+    Var,
+    While,
+)
+from repro.minic.lexer import Token, tokenize
+from repro.minic.parser import parse
+from repro.minic.pretty import pretty
+from repro.minic.typecheck import check
+
+__all__ = [
+    "AccessKind",
+    "AddrOf",
+    "Assign",
+    "BeginAtomic",
+    "Binary",
+    "Block",
+    "Break",
+    "Call",
+    "ClearAr",
+    "Continue",
+    "Decl",
+    "Deref",
+    "EndAtomic",
+    "ExprStmt",
+    "FuncDef",
+    "GlobalVar",
+    "If",
+    "Index",
+    "IntLit",
+    "Program",
+    "Return",
+    "ShadowStore",
+    "Spawn",
+    "Token",
+    "Unary",
+    "Var",
+    "While",
+    "check",
+    "parse",
+    "pretty",
+    "tokenize",
+]

@@ -1,0 +1,66 @@
+"""Builtin functions available to mini-C programs.
+
+These model the C runtime and pthread primitives the paper's applications
+use. Synchronization builtins operate on ordinary memory words, so locks
+and flags are data addresses that hardware watchpoints can observe — which
+is exactly why the paper's fourth optimization (whitelisting
+synchronization variables) matters.
+"""
+
+# name -> (arity, has_result)
+BUILTINS = {
+    # pthread-style synchronization. lock/unlock take the *address* of a
+    # lock word.
+    "lock": (1, False),
+    "unlock": (1, False),
+    # Atomic compare-and-swap on a memory word; returns 1 on success.
+    "cas": (3, True),
+    # Atomic fetch-and-add; returns the previous value.
+    "atomic_add": (2, True),
+    # Thread control.
+    "sleep": (1, False),  # argument in simulated nanoseconds
+    "yield": (0, False),
+    "join": (0, False),  # wait for all threads spawned by this thread
+    # Observability: append a word to the program's output channel.
+    "output": (1, False),
+    # Word-granularity bump allocator; returns the address of n fresh words.
+    "alloc": (1, True),
+    # Deterministic per-thread pseudo-random integer in [0, n).
+    "rand": (1, True),
+    # Current thread id.
+    "tid": (0, True),
+    # Single-instruction memory-to-memory word copy: copyword(dst, src).
+    # Exercises the "remote read into another memory location" undo path
+    # of Section 3.3.
+    "copyword": (2, False),
+    # Indirect call through a function pointer stored in memory:
+    # invoke(addr) calls the zero-argument function whose index is stored
+    # at mem[addr]. Exercises the paper's CALL-with-indirect-memory-operand
+    # special case in the rollback engine.
+    "invoke": (1, False),
+    # funcref(f) yields the index of function f, suitable for storing in
+    # memory and later calling via invoke().
+    "funcref": (1, True),
+}
+
+
+def is_builtin(name):
+    return name in BUILTINS
+
+
+def arity(name):
+    return BUILTINS[name][0]
+
+
+def has_result(name):
+    return BUILTINS[name][1]
+
+
+#: Builtins that return a pointer (used by LSV seeding: "any pointers
+#: returned from a called subroutine" are shared — alloc hands out heap
+#: memory that may be published to other threads).
+POINTER_RETURNING = frozenset({"alloc"})
+
+#: Builtins whose address argument is a synchronization variable. Used by
+#: the fourth optimization to seed the syncvar whitelist.
+SYNC_BUILTINS = frozenset({"lock", "unlock", "cas", "atomic_add"})

@@ -1,0 +1,144 @@
+"""Hand-written lexer for mini-C."""
+
+from repro.errors import LexError
+
+KEYWORDS = {
+    "int",
+    "void",
+    "if",
+    "else",
+    "while",
+    "for",
+    "break",
+    "continue",
+    "return",
+    "spawn",
+}
+
+# Longest-match-first operator table.
+OPERATORS = [
+    "&&",
+    "||",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "!",
+    "&",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ";",
+    ",",
+]
+
+
+class Token:
+    """A lexical token.
+
+    ``kind`` is one of ``"int"`` (integer literal), ``"id"``, ``"kw"``,
+    ``"op"`` or ``"eof"``. ``value`` is the literal integer, the identifier
+    text, the keyword text, or the operator text respectively.
+    """
+
+    __slots__ = ("kind", "value", "line", "col")
+
+    def __init__(self, kind, value, line, col):
+        self.kind = kind
+        self.value = value
+        self.line = line
+        self.col = col
+
+    def __repr__(self):
+        return "Token(%r, %r, %d:%d)" % (self.kind, self.value, self.line, self.col)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Token)
+            and self.kind == other.kind
+            and self.value == other.value
+        )
+
+    def __hash__(self):
+        return hash((self.kind, self.value))
+
+
+def tokenize(source):
+    """Tokenize mini-C ``source`` into a list of Tokens ending with eof.
+
+    Supports ``//`` line comments and ``/* ... */`` block comments.
+    """
+    tokens = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def error(msg):
+        raise LexError(msg, line, col)
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                error("unterminated block comment")
+            skipped = source[i : end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                col = len(skipped) - skipped.rfind("\n")
+            else:
+                col += len(skipped)
+            i = end + 2
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and source[i].isdigit():
+                i += 1
+            text = source[start:i]
+            tokens.append(Token("int", int(text), line, col))
+            col += len(text)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = "kw" if text in KEYWORDS else "id"
+            tokens.append(Token(kind, text, line, col))
+            col += len(text)
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line, col))
+                i += len(op)
+                col += len(op)
+                break
+        else:
+            error("unexpected character %r" % ch)
+    tokens.append(Token("eof", None, line, col))
+    return tokens

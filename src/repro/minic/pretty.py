@@ -1,0 +1,144 @@
+"""Pretty-printer for mini-C ASTs.
+
+Round-trips parsed programs and renders annotator output (including the
+``begin_atomic``/``end_atomic``/``clear_ar`` pseudo-statements) in a form
+matching the paper's figures, which is useful for inspecting what the
+static annotator produced.
+"""
+
+from repro.minic import ast
+
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "==": 3,
+    "!=": 3,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "%": 6,
+}
+
+
+def expr_str(expr, parent_prec=0):
+    """Render an expression with minimal parentheses."""
+    if isinstance(expr, ast.IntLit):
+        return str(expr.value)
+    if isinstance(expr, ast.Var):
+        return expr.name
+    if isinstance(expr, ast.Unary):
+        return expr.op + expr_str(expr.operand, 7)
+    if isinstance(expr, ast.Deref):
+        return "*" + expr_str(expr.operand, 7)
+    if isinstance(expr, ast.AddrOf):
+        return "&" + expr_str(expr.operand, 7)
+    if isinstance(expr, ast.Index):
+        return "%s[%s]" % (expr_str(expr.base, 7), expr_str(expr.index))
+    if isinstance(expr, ast.Binary):
+        prec = _PRECEDENCE[expr.op]
+        text = "%s %s %s" % (
+            expr_str(expr.left, prec),
+            expr.op,
+            expr_str(expr.right, prec + 1),
+        )
+        if prec < parent_prec:
+            return "(%s)" % text
+        return text
+    if isinstance(expr, ast.Call):
+        return "%s(%s)" % (expr.name, ", ".join(expr_str(a) for a in expr.args))
+    raise TypeError("cannot print %r" % expr)
+
+
+def _decl_str(name, is_ptr, size, init):
+    star = "*" if is_ptr else ""
+    dims = "[%d]" % size if size != 1 else ""
+    text = "int %s%s%s" % (star, name, dims)
+    if init is not None:
+        text += " = %s" % init
+    return text + ";"
+
+
+def _stmt_lines(stmt, indent):
+    pad = "    " * indent
+    if isinstance(stmt, ast.Decl):
+        init = expr_str(stmt.init) if stmt.init is not None else None
+        return [pad + _decl_str(stmt.name, stmt.is_ptr, stmt.size, init)]
+    if isinstance(stmt, ast.Assign):
+        return [pad + "%s = %s;" % (expr_str(stmt.target), expr_str(stmt.value))]
+    if isinstance(stmt, ast.ExprStmt):
+        return [pad + expr_str(stmt.expr) + ";"]
+    if isinstance(stmt, ast.Block):
+        lines = [pad + "{"]
+        for s in stmt.stmts:
+            lines.extend(_stmt_lines(s, indent + 1))
+        lines.append(pad + "}")
+        return lines
+    if isinstance(stmt, ast.If):
+        lines = [pad + "if (%s)" % expr_str(stmt.cond)]
+        lines.extend(_stmt_lines(_as_block(stmt.then), indent))
+        if stmt.els is not None:
+            lines.append(pad + "else")
+            lines.extend(_stmt_lines(_as_block(stmt.els), indent))
+        return lines
+    if isinstance(stmt, ast.While):
+        lines = [pad + "while (%s)" % expr_str(stmt.cond)]
+        lines.extend(_stmt_lines(_as_block(stmt.body), indent))
+        return lines
+    if isinstance(stmt, ast.Break):
+        return [pad + "break;"]
+    if isinstance(stmt, ast.Continue):
+        return [pad + "continue;"]
+    if isinstance(stmt, ast.Return):
+        if stmt.value is None:
+            return [pad + "return;"]
+        return [pad + "return %s;" % expr_str(stmt.value)]
+    if isinstance(stmt, ast.Spawn):
+        return [
+            pad
+            + "spawn %s(%s);" % (stmt.func, ", ".join(expr_str(a) for a in stmt.args))
+        ]
+    if isinstance(stmt, ast.BeginAtomic):
+        return [pad + "begin_atomic(%d, &%s);" % (stmt.ar_id, expr_str(stmt.addr, 7))]
+    if isinstance(stmt, ast.EndAtomic):
+        return [pad + "end_atomic(%d);" % stmt.ar_id]
+    if isinstance(stmt, ast.ClearAr):
+        return [pad + "clear_ar();"]
+    if isinstance(stmt, ast.ShadowStore):
+        return [pad + "__shadow_store(%d, &%s);" % (stmt.ar_id, expr_str(stmt.addr, 7))]
+    raise TypeError("cannot print %r" % stmt)
+
+
+def _as_block(stmt):
+    if isinstance(stmt, ast.Block):
+        return stmt
+    return ast.Block([stmt], stmt.line, stmt.col)
+
+
+def pretty(program):
+    """Render a whole program (or a single FuncDef) to mini-C source text."""
+    if isinstance(program, ast.FuncDef):
+        return "\n".join(_func_lines(program))
+    lines = []
+    for g in program.globals:
+        init = str(g.init) if g.init is not None else None
+        lines.append(_decl_str(g.name, g.is_ptr, g.size, init))
+    if program.globals:
+        lines.append("")
+    for f in program.funcs:
+        lines.extend(_func_lines(f))
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def _func_lines(func):
+    params = ", ".join(
+        "int %s%s" % ("*" if is_ptr else "", name) for name, is_ptr in func.params
+    )
+    lines = ["void %s(%s)" % (func.name, params)]
+    lines.extend(_stmt_lines(func.body, 0))
+    return lines

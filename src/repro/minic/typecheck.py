@@ -1,0 +1,250 @@
+"""Semantic checks for mini-C programs.
+
+The language is word-typed (every value is a machine word; pointers are
+words holding addresses), so "type checking" here is name resolution,
+arity checking and structural well-formedness. The checker also records,
+for each function, its local declarations — the compiler and the static
+annotator both consume this.
+"""
+
+from repro.errors import TypeError_
+from repro.minic import ast
+from repro.minic.builtins import BUILTINS, is_builtin
+
+
+class FuncInfo:
+    """Resolved information about one function."""
+
+    __slots__ = ("name", "params", "locals", "local_sizes", "ptr_names",
+                 "array_names")
+
+    def __init__(self, name, params):
+        self.name = name
+        self.params = list(params)
+        self.locals = []  # declaration order
+        self.local_sizes = {}  # name -> words
+        self.ptr_names = set(name for name, is_ptr in params if is_ptr)
+        self.array_names = set()
+
+
+class ProgramInfo:
+    """Resolved information about a whole program."""
+
+    __slots__ = ("program", "funcs", "global_sizes", "global_ptrs",
+                 "global_arrays")
+
+    def __init__(self, program):
+        self.program = program
+        self.funcs = {}
+        self.global_sizes = {}
+        self.global_ptrs = set()
+        self.global_arrays = set()
+
+
+def check(program):
+    """Validate ``program`` and return a :class:`ProgramInfo`.
+
+    Raises :class:`repro.errors.TypeError_` on any semantic error.
+    """
+    info = ProgramInfo(program)
+
+    for g in program.globals:
+        if g.name in info.global_sizes:
+            raise TypeError_("duplicate global %r" % g.name, g.line, g.col)
+        if is_builtin(g.name):
+            raise TypeError_("global %r shadows a builtin" % g.name, g.line, g.col)
+        info.global_sizes[g.name] = g.size
+        if g.is_ptr:
+            info.global_ptrs.add(g.name)
+        if g.is_array:
+            info.global_arrays.add(g.name)
+
+    func_names = set()
+    for f in program.funcs:
+        if f.name in func_names:
+            raise TypeError_("duplicate function %r" % f.name, f.line, f.col)
+        if is_builtin(f.name):
+            raise TypeError_("function %r shadows a builtin" % f.name, f.line, f.col)
+        if f.name in info.global_sizes:
+            raise TypeError_(
+                "function %r collides with a global" % f.name, f.line, f.col
+            )
+        func_names.add(f.name)
+
+    if "main" not in func_names:
+        raise TypeError_("program has no main()")
+    if len(program.func("main").params) != 0:
+        main = program.func("main")
+        raise TypeError_("main() must take no parameters", main.line, main.col)
+
+    for f in program.funcs:
+        info.funcs[f.name] = _check_func(f, info, func_names)
+    return info
+
+
+def _check_func(func, info, func_names):
+    finfo = FuncInfo(func.name, func.params)
+    seen = set()
+    for pname, _ in func.params:
+        if pname in seen:
+            raise TypeError_(
+                "duplicate parameter %r in %s" % (pname, func.name),
+                func.line,
+                func.col,
+            )
+        seen.add(pname)
+
+    scope = set(seen)
+
+    def check_stmt(stmt, in_loop):
+        if isinstance(stmt, ast.Decl):
+            if stmt.name in scope:
+                raise TypeError_(
+                    "duplicate declaration of %r in %s" % (stmt.name, func.name),
+                    stmt.line,
+                    stmt.col,
+                )
+            if is_builtin(stmt.name):
+                raise TypeError_(
+                    "local %r shadows a builtin" % stmt.name, stmt.line, stmt.col
+                )
+            if stmt.init is not None:
+                check_expr(stmt.init)
+            scope.add(stmt.name)
+            finfo.locals.append(stmt.name)
+            finfo.local_sizes[stmt.name] = stmt.size
+            if stmt.is_ptr:
+                finfo.ptr_names.add(stmt.name)
+            if stmt.is_array:
+                finfo.array_names.add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            check_lvalue(stmt.target)
+            check_expr(stmt.value)
+        elif isinstance(stmt, ast.ExprStmt):
+            check_expr(stmt.expr)
+        elif isinstance(stmt, ast.Block):
+            for s in stmt.stmts:
+                check_stmt(s, in_loop)
+        elif isinstance(stmt, ast.If):
+            check_expr(stmt.cond)
+            check_stmt(stmt.then, in_loop)
+            if stmt.els is not None:
+                check_stmt(stmt.els, in_loop)
+        elif isinstance(stmt, ast.While):
+            check_expr(stmt.cond)
+            check_stmt(stmt.body, True)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            if not in_loop:
+                raise TypeError_(
+                    "%s outside of loop" % type(stmt).__name__.lower(),
+                    stmt.line,
+                    stmt.col,
+                )
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                check_expr(stmt.value)
+        elif isinstance(stmt, ast.Spawn):
+            if stmt.func not in func_names:
+                raise TypeError_(
+                    "spawn of unknown function %r" % stmt.func, stmt.line, stmt.col
+                )
+            target = info.program.func(stmt.func)
+            if len(stmt.args) != len(target.params):
+                raise TypeError_(
+                    "spawn %s: expected %d args, got %d"
+                    % (stmt.func, len(target.params), len(stmt.args)),
+                    stmt.line,
+                    stmt.col,
+                )
+            for a in stmt.args:
+                check_expr(a)
+        elif isinstance(stmt, (ast.BeginAtomic, ast.EndAtomic, ast.ClearAr,
+                               ast.ShadowStore)):
+            pass  # inserted by the annotator; trusted
+        else:
+            raise TypeError_("unknown statement %r" % stmt, stmt.line, stmt.col)
+
+    def check_lvalue(expr):
+        if isinstance(expr, ast.Var):
+            resolve(expr)
+        elif isinstance(expr, ast.Deref):
+            check_expr(expr.operand)
+        elif isinstance(expr, ast.Index):
+            resolve(expr.base)
+            check_expr(expr.index)
+        else:
+            raise TypeError_("invalid assignment target", expr.line, expr.col)
+
+    def resolve(var):
+        if var.name not in scope and var.name not in info.global_sizes:
+            raise TypeError_(
+                "undefined variable %r in %s" % (var.name, func.name),
+                var.line,
+                var.col,
+            )
+
+    def check_expr(expr):
+        if isinstance(expr, ast.IntLit):
+            return
+        if isinstance(expr, ast.Var):
+            resolve(expr)
+            return
+        if isinstance(expr, ast.Unary):
+            check_expr(expr.operand)
+            return
+        if isinstance(expr, ast.Deref):
+            check_expr(expr.operand)
+            return
+        if isinstance(expr, ast.AddrOf):
+            check_lvalue(expr.operand)
+            return
+        if isinstance(expr, ast.Index):
+            resolve(expr.base)
+            check_expr(expr.index)
+            return
+        if isinstance(expr, ast.Binary):
+            check_expr(expr.left)
+            check_expr(expr.right)
+            return
+        if isinstance(expr, ast.Call):
+            if expr.name == "funcref":
+                if len(expr.args) != 1 or not isinstance(expr.args[0], ast.Var):
+                    raise TypeError_(
+                        "funcref expects a single function name", expr.line, expr.col
+                    )
+                if expr.args[0].name not in func_names:
+                    raise TypeError_(
+                        "funcref of unknown function %r" % expr.args[0].name,
+                        expr.line,
+                        expr.col,
+                    )
+                return
+            if is_builtin(expr.name):
+                want = BUILTINS[expr.name][0]
+                if len(expr.args) != want:
+                    raise TypeError_(
+                        "builtin %s expects %d args, got %d"
+                        % (expr.name, want, len(expr.args)),
+                        expr.line,
+                        expr.col,
+                    )
+            elif expr.name in func_names:
+                target = info.program.func(expr.name)
+                if len(expr.args) != len(target.params):
+                    raise TypeError_(
+                        "call %s: expected %d args, got %d"
+                        % (expr.name, len(target.params), len(expr.args)),
+                        expr.line,
+                        expr.col,
+                    )
+            else:
+                raise TypeError_(
+                    "call to unknown function %r" % expr.name, expr.line, expr.col
+                )
+            for a in expr.args:
+                check_expr(a)
+            return
+        raise TypeError_("unknown expression %r" % expr, expr.line, expr.col)
+
+    check_stmt(func.body, False)
+    return finfo

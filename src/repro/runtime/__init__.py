@@ -1,0 +1,13 @@
+"""User-space Kivati runtime library (Section 3.4).
+
+``begin_atomic``/``end_atomic`` call into this library instead of dropping
+straight into the kernel; the library replicates the AR table and
+watchpoint metadata and avoids kernel crossings whenever no hardware
+register change is needed.
+"""
+
+from repro.runtime.stats import KivatiStats
+from repro.runtime.userlib import KivatiRuntime
+from repro.runtime.whitelist import Whitelist
+
+__all__ = ["KivatiRuntime", "KivatiStats", "Whitelist"]

@@ -1,0 +1,75 @@
+"""Run-time statistics needed by the paper's tables."""
+
+
+class KivatiStats:
+    """Counters accumulated over one protected run.
+
+    Domain crossings (Table 4) are ``begin_syscalls + end_syscalls +
+    clear_syscalls + traps``; the paper notes the system calls account for
+    over 99.9% of entries.
+    """
+
+    FIELDS = (
+        # annotation executions (user-space entry points)
+        "begin_calls",
+        "end_calls",
+        "clear_calls",
+        "shadow_stores",
+        # kernel crossings
+        "begin_syscalls",
+        "end_syscalls",
+        "clear_syscalls",
+        # watchpoint activity
+        "traps",
+        "local_traps",
+        "remote_traps",
+        "stale_traps",
+        # monitoring outcomes
+        "monitored_ars",
+        "missed_ars",
+        "whitelist_hits",
+        # optimization activity
+        "lazy_frees",
+        "lazy_reconciles",
+        # prevention activity
+        "suspensions",
+        "suspend_timeouts",
+        "undos",
+        "unable_to_reorder",
+        "containments",
+        "unresolved_pcs",
+        # detection
+        "violations",
+        "unprevented_violations",
+        # bug-finding mode
+        "pauses",
+    )
+
+    __slots__ = FIELDS
+
+    def __init__(self):
+        for name in self.FIELDS:
+            setattr(self, name, 0)
+
+    def crossings(self):
+        """Total kernel domain crossings attributable to Kivati."""
+        return (self.begin_syscalls + self.end_syscalls
+                + self.clear_syscalls + self.traps)
+
+    def total_ars_executed(self):
+        """ARs whose begin_atomic reached the monitoring decision
+        (monitored + missed); Table 8's denominator."""
+        return self.monitored_ars + self.missed_ars
+
+    def missed_fraction(self):
+        total = self.total_ars_executed()
+        if total == 0:
+            return 0.0
+        return self.missed_ars / total
+
+    def as_dict(self):
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+    def __repr__(self):
+        return "KivatiStats(crossings=%d, traps=%d, violations=%d)" % (
+            self.crossings(), self.traps, self.violations)

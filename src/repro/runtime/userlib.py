@@ -1,0 +1,230 @@
+"""The Kivati user-space library (Section 3.4).
+
+Implements the machine runtime interface. Every annotation first runs here
+in user space; the library decides whether a kernel crossing is needed:
+
+- whitelist checks always complete in user space;
+- in the *null syscall* diagnostic configuration, every annotation crosses
+  into a kernel that does nothing (isolates crossing cost, Table 3);
+- without the first optimization, every annotation crosses;
+- with the first optimization, the user-space replica of the AR table and
+  watchpoint metadata lets begin/end/clear return without crossing unless
+  a hardware register must change, a thread must be suspended/woken, or
+  violation triggers must be evaluated.
+
+In this simulation the "replica" and the kernel state are the same Python
+objects (the paper keeps them consistent through a shared page); the
+crossing decision — and therefore the cost model — follows exactly the
+paper's rules for when the kernel must be entered.
+"""
+
+from repro.core.config import Mode
+from repro.kernel.kivati import KivatiKernel
+from repro.machine.runtime_iface import BaseRuntime
+from repro.machine.threads import ThreadState
+from repro.runtime.stats import KivatiStats
+from repro.runtime.whitelist import Whitelist
+
+
+class KivatiRuntime(BaseRuntime):
+    """Instrumentation runtime implementing the full Kivati system."""
+
+    wants_all_accesses = False
+
+    def __init__(self, config, ar_table, log, sync_ar_ids=()):
+        self.config = config
+        self.ar_table = ar_table
+        self.stats = KivatiStats()
+        self.log = log
+        whitelist_ids = set(config.whitelist)
+        if config.opt.o4_syncvars:
+            whitelist_ids.update(sync_ar_ids)
+        self.whitelist = Whitelist(
+            whitelist_ids,
+            path=config.whitelist_path,
+            reread_interval_ns=config.whitelist_reread_ns,
+        )
+        self.kernel = KivatiKernel(config, ar_table, self.stats, log)
+        self.machine = None
+        self._pause_seq = 0
+        self.trace = config.trace
+
+    # ------------------------------------------------------------------
+
+    def attach(self, machine):
+        self.machine = machine
+        self.kernel.attach(machine)
+
+    def _costs(self):
+        return self.machine.costs
+
+    def _check_whitelist(self, core, ar_id):
+        """User-space whitelist check; returns (whitelisted, cost)."""
+        self.whitelist.maybe_reread(core.clock)
+        costs = self._costs()
+        if ar_id in self.whitelist:
+            self.stats.whitelist_hits += 1
+            return True, costs.whitelist_check
+        return False, costs.whitelist_check
+
+    # ------------------------------------------------------------------
+    # annotation entry points
+    # ------------------------------------------------------------------
+
+    def on_begin_atomic(self, core, thread, ar_id, addr):
+        self.stats.begin_calls += 1
+        costs = self._costs()
+        whitelisted, cost = self._check_whitelist(core, ar_id)
+        if whitelisted:
+            return cost
+
+        opt = self.config.opt
+        if opt.null_syscall:
+            # diagnostic: cross into the kernel, do nothing
+            self.stats.begin_syscalls += 1
+            self.machine.kernel_entry(core, thread)
+            return cost + costs.syscall
+
+        info = self.ar_table[ar_id]
+        out = self.kernel.begin_atomic(core, thread, info, addr)
+        if self.trace is not None:
+            self.trace.emit(core.clock, thread.tid, "begin", ar=ar_id,
+                            addr=addr, var=info.var,
+                            monitored=out.monitored, missed=out.missed,
+                            suspended=out.suspended)
+            if out.missed:
+                self.trace.emit(core.clock, thread.tid, "miss", ar=ar_id)
+
+        crossing = (not opt.o1_userspace) or out.needs_crossing
+        if crossing:
+            self.stats.begin_syscalls += 1
+            cost += costs.syscall
+            self.machine.kernel_entry(core, thread)
+        else:
+            cost += costs.userlib_check
+
+        # bug-finding mode: stall the local thread inside begin_atomic to
+        # widen the atomic region (Section 2.3)
+        if (self.config.mode == Mode.BUG_FINDING
+                and out.monitored
+                and thread.state == ThreadState.RUNNING
+                and self._should_pause(thread)):
+            self.stats.pauses += 1
+            if self.trace is not None:
+                self.trace.emit(core.clock, thread.tid, "pause", ar=ar_id,
+                                ns=self.config.pause_ns)
+            self.machine.block_current(
+                core, ThreadState.SLEEPING,
+                wake_time=core.clock + cost + self.config.pause_ns,
+            )
+        return cost
+
+    def _should_pause(self, thread):
+        """Deterministic sampling decision, independent of the program's
+        own PRNG stream so modes stay comparable."""
+        prob = self.config.pause_probability
+        if prob >= 1.0:
+            return True
+        if prob <= 0.0:
+            return False
+        self._pause_seq += 1
+        h = ((thread.tid + 1) * 2654435761
+             ^ (self._pause_seq * 40503)
+             ^ (self.config.seed * 97)) & 0xFFFFFFFF
+        h ^= h >> 16
+        h = (h * 0x45D9F3B) & 0xFFFFFFFF
+        h ^= h >> 13
+        return (h % 1_000_000) < prob * 1_000_000
+
+    def on_end_atomic(self, core, thread, ar_id, second_is_write):
+        self.stats.end_calls += 1
+        costs = self._costs()
+        whitelisted, cost = self._check_whitelist(core, ar_id)
+        if whitelisted:
+            return cost
+
+        opt = self.config.opt
+        if opt.null_syscall:
+            self.stats.end_syscalls += 1
+            self.machine.kernel_entry(core, thread)
+            return cost + costs.syscall
+
+        from repro.minic.ast import AccessKind
+
+        second_kind = AccessKind.WRITE if second_is_write else AccessKind.READ
+        out = self.kernel.end_atomic(core, thread, ar_id, second_kind)
+        if self.trace is not None:
+            self.trace.emit(core.clock, thread.tid, "end", ar=ar_id,
+                            second=str(second_kind),
+                            had_triggers=out.had_triggers)
+
+        if not opt.o1_userspace:
+            # without the replica, even a no-op end_atomic crosses
+            crossing = True
+        elif opt.o2_lazy_free:
+            # with lazy freeing, only trigger evaluation / wakeups cross
+            crossing = out.had_triggers or out.zombie or out.hw_changed
+        else:
+            crossing = out.needs_crossing
+        if crossing:
+            self.stats.end_syscalls += 1
+            cost += costs.syscall
+            self.machine.kernel_entry(core, thread)
+        else:
+            cost += costs.userlib_check
+        return cost
+
+    def on_clear_ar(self, core, thread):
+        self.stats.clear_calls += 1
+        costs = self._costs()
+        opt = self.config.opt
+        if opt.null_syscall:
+            self.stats.clear_syscalls += 1
+            self.machine.kernel_entry(core, thread)
+            return costs.syscall
+
+        out = self.kernel.clear_ar(core, thread)
+        crossing = (not opt.o1_userspace) or out.needs_crossing
+        if crossing:
+            self.stats.clear_syscalls += 1
+            self.machine.kernel_entry(core, thread)
+            return costs.syscall
+        return costs.userlib_check
+
+    def on_shadow_store(self, core, thread, ar_id, addr):
+        # only present semantically when the third optimization is on;
+        # otherwise the annotation pass would not have emitted it
+        if not self.config.opt.o3_local_disable or self.config.opt.null_syscall:
+            return 0
+        self.stats.shadow_stores += 1
+        self.kernel.shadow_store(thread, ar_id, addr)
+        return self._costs().shadow_store
+
+    # ------------------------------------------------------------------
+    # trap and kernel-entry hooks
+    # ------------------------------------------------------------------
+
+    def on_watchpoint_trap(self, core, thread, after_pc, hit_slots, accesses):
+        self.stats.traps += 1
+        if self.trace is not None:
+            self.trace.emit(core.clock, thread.tid, "trap",
+                            after_pc=after_pc, slots=tuple(hit_slots))
+        self.machine.kernel_entries += 1
+        self.kernel.on_trap(core, thread, after_pc, hit_slots, accesses)
+        return 0
+
+    def on_kernel_entry(self, core, thread):
+        self.kernel.on_kernel_entry(core)
+        return 0
+
+    def on_thread_exit(self, core, thread):
+        # a thread that dies with active ARs releases them (the kernel
+        # would reap them with the task)
+        table = self.kernel.ar_tables.pop(thread.tid, None)
+        if table:
+            for ar in list(table.values()):
+                self.kernel._detach_ar(ar, core, evaluate=False)
+        return 0
+
+    def on_run_end(self, machine):
+        pass

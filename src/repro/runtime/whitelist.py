@@ -1,0 +1,63 @@
+"""The AR whitelist (Section 3.2).
+
+"On application startup, Kivati loads an AR whitelist from a file that
+contains a list of benign AR IDs. The contents of this file are stored in
+memory and checked on every begin_atomic and end_atomic. ... The whitelist
+file is periodically checked and re-read for updates during execution so
+that a software developer can send patches to customers to update
+whitelists for long running processes."
+"""
+
+
+class Whitelist:
+    """In-memory whitelist, optionally backed by a file that is re-read
+    periodically (in simulated time)."""
+
+    def __init__(self, initial=(), path=None, reread_interval_ns=None):
+        self.ids = set(initial)
+        self.path = path
+        self.reread_interval_ns = reread_interval_ns
+        self._last_read_ns = 0
+        if path is not None:
+            self._read_file()
+
+    def _read_file(self):
+        try:
+            with open(self.path) as f:
+                for line in f:
+                    line = line.split("#", 1)[0].strip()
+                    if line:
+                        self.ids.add(int(line))
+        except FileNotFoundError:
+            pass
+
+    def maybe_reread(self, now_ns):
+        """Re-read the backing file if the interval elapsed."""
+        if self.path is None or self.reread_interval_ns is None:
+            return False
+        if now_ns - self._last_read_ns < self.reread_interval_ns:
+            return False
+        self._last_read_ns = now_ns
+        self._read_file()
+        return True
+
+    def __contains__(self, ar_id):
+        return ar_id in self.ids
+
+    def add(self, ar_id):
+        self.ids.add(ar_id)
+
+    def update(self, ar_ids):
+        self.ids.update(ar_ids)
+
+    def __len__(self):
+        return len(self.ids)
+
+    @staticmethod
+    def write_file(path, ar_ids, comment=None):
+        """Write a whitelist file (one AR id per line)."""
+        with open(path, "w") as f:
+            if comment:
+                f.write("# %s\n" % comment)
+            for ar_id in sorted(ar_ids):
+                f.write("%d\n" % ar_id)

@@ -1,0 +1,26 @@
+"""Application models and the bug corpus (Table 2 / Table 6).
+
+The paper evaluates five applications: the Mozilla NSS module, the VLC
+media player, the Apache web server (driven by Webstone), MySQL (driven
+by TPC-W) and the SPEC OMP 2001 suite. Each model here is a mini-C
+program reproducing the relevant sharing structure: lock-protected state,
+benign racy counters, double-checked initialization, producer/consumer
+flag handoffs, barriers — at a compute-to-sharing ratio that matches the
+paper's observed trap rates (watchpoint traps are five orders of magnitude
+rarer than begin_atomic calls).
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.catalog import APP_BUILDERS, APP_NAMES, build_app, workload_suite
+from repro.workloads.bugs import BUG_IDS, BugSpec, get_bug
+
+__all__ = [
+    "APP_BUILDERS",
+    "APP_NAMES",
+    "BUG_IDS",
+    "BugSpec",
+    "Workload",
+    "build_app",
+    "get_bug",
+    "workload_suite",
+]

@@ -1,0 +1,10 @@
+"""The five application models (Table 2)."""
+
+from repro.workloads.apps.nss import build_nss
+from repro.workloads.apps.vlc import build_vlc
+from repro.workloads.apps.webstone import build_webstone
+from repro.workloads.apps.tpcw import build_tpcw
+from repro.workloads.apps.specomp import build_specomp
+
+__all__ = ["build_nss", "build_specomp", "build_tpcw", "build_vlc",
+           "build_webstone"]

@@ -1,0 +1,94 @@
+"""NSS model: Mozilla's crypto/TLS library under a handshake workload.
+
+Paper workload: "Request 1000 SSL pages" against Firefox's NSS module.
+Sharing structure modelled: a lock-protected session table, racy-but-
+benign statistics counters, and a double-checked-init certificate cache
+(the classic source of benign atomicity violations in NSS).
+"""
+
+from repro.workloads.base import Workload
+
+_TEMPLATE = """
+int session_state[32];
+int session_lock = 0;
+int cache_ready = 0;
+int cache_value = 0;
+int stats_ops = 0;
+int stats_bytes = 0;
+int total_handshakes = 0;
+int hs_lock = 0;
+
+int crypto_work(int rounds, int salt) {
+    int i = 0;
+    int acc = salt + 7;
+    while (i < rounds) {
+        acc = (acc * 31 + i) %% 65537;
+        i = i + 1;
+    }
+    return acc;
+}
+
+int cert_cache_lookup(int key) {
+    if (cache_ready == 0) {
+        cache_value = key * 13 + 11;
+        cache_ready = 1;
+    }
+    return cache_value;
+}
+
+void record_stats(int n) {
+    stats_ops = stats_ops + 1;
+    stats_bytes = stats_bytes + n;
+}
+
+void session_touch(int slot) {
+    lock(&session_lock);
+    int s = session_state[slot];
+    session_state[slot] = s + 1;
+    unlock(&session_lock);
+}
+
+void count_handshake() {
+    lock(&hs_lock);
+    total_handshakes = total_handshakes + 1;
+    unlock(&hs_lock);
+}
+
+void handshake_worker(int id, int iters) {
+    int i = 0;
+    while (i < iters) {
+        int slot = rand(32);
+        int secret = crypto_work(%(crypto)d, id + i);
+        int cert = cert_cache_lookup(slot);
+        session_touch(slot);
+        int mac = crypto_work(%(mac)d, secret + cert);
+        record_stats(mac %% 256);
+        count_handshake();
+        i = i + 1;
+    }
+}
+
+void main() {
+%(spawns)s
+    join();
+    output(total_handshakes);
+}
+"""
+
+
+def build_nss(threads=4, iters=25, crypto=110, mac=80):
+    spawns = "\n".join(
+        "    spawn handshake_worker(%d, %d);" % (t + 1, iters)
+        for t in range(threads)
+    )
+    source = _TEMPLATE % {"crypto": crypto, "mac": mac, "spawns": spawns}
+    expected = threads * iters
+
+    return Workload(
+        name="NSS",
+        source=source,
+        description="Mozilla NSS: SSL handshakes (paper: request 1000 SSL "
+                    "pages)",
+        threads=threads,
+        validate=lambda out, e=expected: out == [e],
+    )

@@ -1,0 +1,92 @@
+"""SPEC OMP model: OpenMP-style data-parallel kernel.
+
+Paper workload: "Run all benchmarks [of SPEC 2001 OMP] once". Modelled as
+workers computing over interleaved chunks of a shared array, a
+lock-protected reduction, and a counter/generation barrier per round (the
+spin-on-flag communication that generates the paper's required
+violations, kept in a small subroutine as real barrier implementations
+are).
+"""
+
+from repro.workloads.base import Workload
+
+_TEMPLATE = """
+int data[128];
+int gsum = 0;
+int sum_lock = 0;
+int barrier_count = 0;
+int barrier_gen = 0;
+int rounds_done = 0;
+
+void barrier_wait(int nthreads) {
+    int gen = barrier_gen;
+    int arrived = atomic_add(&barrier_count, 1);
+    if (arrived == nthreads - 1) {
+        barrier_count = 0;
+        barrier_gen = gen + 1;
+    } else {
+        while (barrier_gen == gen) {
+            sleep(300);
+        }
+    }
+}
+
+void add_partial(int v) {
+    lock(&sum_lock);
+    gsum = gsum + v;
+    unlock(&sum_lock);
+}
+
+int elem_kernel(int i, int salt) {
+    int j = 0;
+    int a = salt + 3;
+    while (j < %(kernel)d) {
+        a = (a * 13 + j + i) %% 1021;
+        j = j + 1;
+    }
+    return a;
+}
+
+void omp_worker(int id, int nthreads, int rounds) {
+    int r = 0;
+    while (r < rounds) {
+        int i = id;
+        int acc = 0;
+        while (i < 128) {
+            int k = elem_kernel(i, id);
+            acc = acc + (data[i] * k) %% 257;
+            i = i + nthreads;
+        }
+        add_partial(acc %% 1000);
+        barrier_wait(nthreads);
+        r = r + 1;
+    }
+    atomic_add(&rounds_done, 1);
+}
+
+void main() {
+    int i = 0;
+    while (i < 128) {
+        data[i] = i * 3 + 1;
+        i = i + 1;
+    }
+%(spawns)s
+    join();
+    output(rounds_done);
+}
+"""
+
+
+def build_specomp(threads=4, rounds=3, kernel=90):
+    spawns = "\n".join(
+        "    spawn omp_worker(%d, %d, %d);" % (t, threads, rounds)
+        for t in range(threads)
+    )
+    source = _TEMPLATE % {"spawns": spawns, "kernel": kernel}
+    return Workload(
+        name="SPEC OMP",
+        source=source,
+        description="SPEC 2001 OMP: parallel loops with reduction + barrier",
+        threads=threads,
+        validate=lambda out, e=threads: out == [e],
+    )

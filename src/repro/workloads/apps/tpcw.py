@@ -1,0 +1,108 @@
+"""TPC-W model: MySQL under the TPC-W transaction mix.
+
+Paper workload: "Run TPC-W benchmark for 30 minutes". Modelled as
+transaction workers against row-locked stock/price tables, a global order
+counter, a racy query-cache invalidation counter, and an audit log. This
+is the paper's most sharing-intensive workload (highest kernel-crossing
+rate in Table 4, most false positives in Table 7, most watchpoint
+exhaustion in Tables 8/9) — reproduced here by the highest density of
+shared accesses per unit of compute, including array row locks that the
+static annotator cannot whitelist as sync variables.
+"""
+
+from repro.workloads.base import Workload
+
+_TEMPLATE = """
+int stock[24];
+int price[24];
+int row_lock[6];
+int orders = 0;
+int order_lock = 0;
+int cache_version = 0;
+int audit_total = 0;
+int audit_lock = 0;
+int committed[8];
+
+int think_work(int rounds, int salt) {
+    int i = 0;
+    int acc = salt + 5;
+    while (i < rounds) {
+        acc = (acc * 41 + i * 3) %% 99991;
+        i = i + 1;
+    }
+    return acc;
+}
+
+void purchase(int item) {
+    int l = item %% 6;
+    lock(&row_lock[l]);
+    int s = stock[item];
+    if (s > 0) {
+        stock[item] = s - 1;
+    }
+    price[item] = price[item] + 1;
+    unlock(&row_lock[l]);
+}
+
+void invalidate_cache() {
+    cache_version = cache_version + 1;
+}
+
+void count_order() {
+    lock(&order_lock);
+    orders = orders + 1;
+    unlock(&order_lock);
+}
+
+void audit_append(int n) {
+    lock(&audit_lock);
+    audit_total = audit_total + n;
+    unlock(&audit_lock);
+}
+
+void mark_committed(int id) {
+    committed[id] = committed[id] + 1;
+}
+
+void txn_worker(int id, int txns) {
+    int t = 0;
+    while (t < txns) {
+        int item = rand(24);
+        int think = think_work(%(think)d, item + id);
+        purchase(item);
+        invalidate_cache();
+        count_order();
+        audit_append(think %% 50);
+        mark_committed(id);
+        t = t + 1;
+    }
+}
+
+void main() {
+    int i = 0;
+    while (i < 24) {
+        stock[i] = 100 + i;
+        i = i + 1;
+    }
+%(spawns)s
+    join();
+    output(orders);
+}
+"""
+
+
+def build_tpcw(threads=4, txns=40, think=110):
+    spawns = "\n".join(
+        "    spawn txn_worker(%d, %d);" % (t, txns) for t in range(threads)
+    )
+    source = _TEMPLATE % {"think": think, "spawns": spawns}
+    total = threads * txns
+    return Workload(
+        name="TPC-W",
+        source=source,
+        description="MySQL/TPC-W: row-locked transactions (paper: 30 minute "
+                    "TPC-W run)",
+        threads=threads,
+        requests=total,
+        validate=lambda out, e=total: out == [e],
+    )

@@ -1,0 +1,118 @@
+"""VLC model: media decode/render pipeline.
+
+Paper workload: "Play a 25 minute video clip". Modelled as a decoder
+(producer) feeding frames through a ring buffer to a renderer (consumer)
+with flag-style handoff, plus a lock-protected volume control. The ring
+handoff produces the paper's "required" atomicity violations (Figure 5
+pattern) that Kivati must tolerate via its timeout/clear mechanisms.
+"""
+
+from repro.workloads.base import Workload
+
+_TEMPLATE = """
+int ring[16];
+int head = 0;
+int tail = 0;
+int playing = 1;
+int frames_rendered = 0;
+int volume = 50;
+int vol_lock = 0;
+
+int codec_work(int rounds, int salt) {
+    int i = 0;
+    int acc = salt * 3 + 1;
+    while (i < rounds) {
+        acc = (acc * 29 + i * 7) %% 92821;
+        i = i + 1;
+    }
+    return acc;
+}
+
+void ring_push(int v) {
+    while (head - tail >= %(ring)d) {
+        sleep(400);
+    }
+    ring[head %% %(ring)d] = v;
+    head = head + 1;
+}
+
+int ring_pop() {
+    while (1) {
+        if (head - tail > 0) {
+            int v = ring[tail %% %(ring)d];
+            tail = tail + 1;
+            return v;
+        }
+        if (playing == 0) {
+            return -1;
+        }
+        sleep(400);
+    }
+}
+
+void decoder(int frames) {
+    int f = 0;
+    while (f < frames) {
+        int v = codec_work(%(decode)d, f);
+        ring_push(v %% 1000 + 1);
+        f = f + 1;
+    }
+    playing = 0;
+}
+
+void count_frame() {
+    frames_rendered = frames_rendered + 1;
+}
+
+void bump_volume() {
+    lock(&vol_lock);
+    volume = volume + 1;
+    unlock(&vol_lock);
+}
+
+void renderer() {
+    while (1) {
+        int v = ring_pop();
+        if (v < 0) {
+            break;
+        }
+        int r = codec_work(%(render)d, v);
+        count_frame();
+        if (r %% 97 == 0) {
+            bump_volume();
+        }
+    }
+}
+
+void ui_thread() {
+    while (playing == 1) {
+        sleep(2500);
+        int vol = volume;
+        int shown = frames_rendered;
+        if (vol > 200) {
+            bump_volume();
+        }
+    }
+}
+
+void main() {
+    spawn decoder(%(frames)d);
+    spawn renderer();
+    spawn ui_thread();
+    join();
+    output(frames_rendered);
+}
+"""
+
+
+def build_vlc(frames=70, decode=130, render=100, ring=6):
+    source = _TEMPLATE % {"frames": frames, "decode": decode,
+                          "render": render, "ring": ring}
+    return Workload(
+        name="VLC",
+        source=source,
+        description="VLC: decode/render pipeline (paper: play a 25 minute "
+                    "video clip)",
+        threads=2,
+        validate=lambda out, e=frames: out == [e],
+    )

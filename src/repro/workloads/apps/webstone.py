@@ -1,0 +1,108 @@
+"""Webstone model: the Apache web server under the Webstone benchmark.
+
+Paper workload: "Run Webstone benchmark for 50 minutes". Modelled as a
+pool of HTTP workers each serving requests: a read-mostly config, a
+lock-protected page cache, lock-protected hit statistics and a racy log
+append (the pattern behind the Apache log bugs in the paper's corpus).
+"""
+
+from repro.workloads.base import Workload
+
+_TEMPLATE = """
+int cache_tag[32];
+int cache_data[32];
+int cache_lock = 0;
+int hits = 0;
+int bytes_total = 0;
+int hit_lock = 0;
+int log_pos = 0;
+int log_buf[128];
+int config_keepalive = 1;
+int served[8];
+
+int handle_work(int rounds, int salt) {
+    int i = 0;
+    int acc = salt + 3;
+    while (i < rounds) {
+        acc = (acc * 37 + i * 5) %% 75079;
+        i = i + 1;
+    }
+    return acc;
+}
+
+int cache_get(int url) {
+    lock(&cache_lock);
+    int tag = cache_tag[url];
+    int body = cache_data[url];
+    unlock(&cache_lock);
+    if (tag != url + 1) {
+        body = handle_work(%(miss)d, url) + 1;
+        lock(&cache_lock);
+        cache_tag[url] = url + 1;
+        cache_data[url] = body;
+        unlock(&cache_lock);
+    }
+    return body;
+}
+
+void log_append(int code) {
+    int p = log_pos;
+    log_buf[p %% 128] = code;
+    log_pos = p + 1;
+}
+
+int get_config() {
+    return config_keepalive;
+}
+
+void count_hit(int n) {
+    lock(&hit_lock);
+    hits = hits + 1;
+    bytes_total = bytes_total + n;
+    unlock(&hit_lock);
+}
+
+void mark_served(int id) {
+    served[id] = served[id] + 1;
+}
+
+void http_worker(int id, int requests) {
+    int r = 0;
+    while (r < requests) {
+        int url = rand(32);
+        int keep = get_config();
+        int body = cache_get(url);
+        int resp = handle_work(%(serve)d, body + keep);
+        log_append(resp %% 100);
+        count_hit(resp %% 1000);
+        if (r %% 4 == 0) {
+            mark_served(id);
+        }
+        r = r + 1;
+    }
+}
+
+void main() {
+%(spawns)s
+    join();
+    output(hits);
+}
+"""
+
+
+def build_webstone(threads=4, requests=28, miss=120, serve=90):
+    spawns = "\n".join(
+        "    spawn http_worker(%d, %d);" % (t, requests)
+        for t in range(threads)
+    )
+    source = _TEMPLATE % {"miss": miss, "serve": serve, "spawns": spawns}
+    total = threads * requests
+    return Workload(
+        name="Webstone",
+        source=source,
+        description="Apache/Webstone: worker pool serving requests (paper: "
+                    "50 minute Webstone run)",
+        threads=threads,
+        requests=total,
+        validate=lambda out, e=total: out == [e],
+    )

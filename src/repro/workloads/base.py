@@ -1,0 +1,32 @@
+"""Workload descriptor."""
+
+
+class Workload:
+    """A runnable workload: named mini-C source plus metadata.
+
+    ``requests`` is the total number of client requests the run serves
+    (server workloads only; used for Table 5 latency).
+    ``expected_output`` optionally names a validator for the program's
+    output channel, used to assert that Kivati never breaks correctness.
+    """
+
+    __slots__ = ("name", "source", "description", "threads", "requests",
+                 "validate")
+
+    def __init__(self, name, source, description, threads, requests=None,
+                 validate=None):
+        self.name = name
+        self.source = source
+        self.description = description
+        self.threads = threads
+        self.requests = requests
+        self.validate = validate
+
+    def check_output(self, output):
+        """Return True if the run's output is acceptable."""
+        if self.validate is None:
+            return True
+        return self.validate(output)
+
+    def __repr__(self):
+        return "Workload(%s, threads=%d)" % (self.name, self.threads)

@@ -1,0 +1,5 @@
+"""The 11-bug corpus (Table 6)."""
+
+from repro.workloads.bugs.corpus import BUG_IDS, BUGS, BugSpec, get_bug
+
+__all__ = ["BUGS", "BUG_IDS", "BugSpec", "get_bug"]

@@ -1,0 +1,770 @@
+"""Mini-C kernels reproducing the access patterns of the paper's 11 bugs.
+
+Each entry encodes the essential structure of the real bug report: the
+shared variable, the local access pair whose atomicity is assumed, the
+remote access that violates it, and an observable corruption (wrong
+output or a crash) when the violation manifests.
+
+Structure shared by all kernels, mirroring how the detection channels of
+the real system work:
+
+- The victim's access pair lives in a small subroutine, so its atomic
+  region is armed only for the window's duration (``clear_ar`` at the
+  subroutine exit breaks cross-iteration AR chains that would otherwise
+  pin a watchpoint register permanently).
+- Remote writes that are *not* the first access of any AR are left
+  unannotated by the static pass (the paper: "Kivati could also annotate
+  all remote accesses that do not start ARs, but this will result in
+  unnecessary annotations"), so they are detected by the hardware
+  watchpoint directly. Attackers here perform such single accesses.
+- Symmetric check-then-update bugs (both threads run the same pair) are
+  shielded by begin_atomic suspension and are only detected through
+  watchpoint exhaustion — a racing begin_atomic that finds all four
+  registers busy proceeds unmonitored and then trips the victim's
+  watchpoint. A bursty noise thread supplies that register pressure,
+  like the real applications do (Table 8).
+
+Rarity tuning: window width (padding between the pair), attacker gating
+and fixed-vs-randomized padding reproduce Table 6's spread, including the
+three bugs ("-" rows) that prevention mode does not find.
+"""
+
+from repro.errors import WorkloadError
+
+
+class BugSpec:
+    """One corpus entry."""
+
+    __slots__ = ("bug_id", "app", "description", "source", "victim_vars",
+                 "pattern", "expected_output", "rare", "manifest_cmp")
+
+    def __init__(self, bug_id, app, description, source, victim_vars,
+                 pattern, expected_output, rare=False, manifest_cmp="ne"):
+        self.bug_id = bug_id
+        self.app = app
+        self.description = description
+        self.source = source
+        self.victim_vars = frozenset(victim_vars)
+        self.pattern = pattern
+        self.expected_output = list(expected_output)
+        self.rare = rare
+        # "ne": any deviation from the race-free output is corruption;
+        # "gt": only an output exceeding the expectation is (used when the
+        # race-free value itself varies with benign timing)
+        self.manifest_cmp = manifest_cmp
+
+    def detected_in(self, report):
+        """True if the run detected a violation on the bug's variable."""
+        for record in report.violations:
+            if record.var in self.victim_vars:
+                return True
+        return False
+
+    def detection_records(self, report):
+        return [r for r in report.violations if r.var in self.victim_vars]
+
+    def manifested(self, result):
+        """True if an *unprotected* run shows the corruption."""
+        if result.fault is not None:
+            return True
+        if self.manifest_cmp == "pair":
+            if len(result.output) != 2:
+                return True
+            return result.output[0] != result.output[1]
+        if self.manifest_cmp == "gt":
+            if len(result.output) != len(self.expected_output):
+                return True
+            return any(o > e for o, e in zip(result.output,
+                                             self.expected_output))
+        return result.output != self.expected_output
+
+    def __repr__(self):
+        return "BugSpec(%s/%s, %s)" % (self.app, self.bug_id, self.pattern)
+
+
+_PAD = """
+int pad_work(int rounds, int salt) {
+    int i = 0;
+    int acc = salt + 1;
+    while (i < rounds) {
+        acc = (acc * 33 + i) % 7919;
+        i = i + 1;
+    }
+    return acc;
+}
+"""
+
+_NOISE = """
+int noise_a = 0;
+int noise_b = 0;
+int noise_c = 0;
+
+void touch_noise(int x) {
+    int a = noise_a;
+    int b = noise_b;
+    noise_a = a + x % 5;
+    noise_b = b + 1;
+    noise_c = noise_c + x % 3;
+}
+
+void noise_worker(int iters) {
+    int i = 0;
+    while (i < iters) {
+        int x = pad_work(6 + rand(5), i);
+        if (i % 4 < 2) {
+            touch_noise(x);
+            touch_noise(x + 1);
+            touch_noise(x + 2);
+        }
+        i = i + 1;
+    }
+}
+"""
+
+_COMMON = _PAD + _NOISE
+
+
+# ---------------------------------------------------------------------------
+# Apache
+# ---------------------------------------------------------------------------
+
+# 44402: buffered logging loses length updates when two threads append
+# concurrently (check-then-update on buf_len). Symmetric: only the
+# exhaustion channel detects it -> slowest detectable bug (paper: 66:59).
+_APACHE_44402 = _COMMON + """
+int log_len = 0;
+
+void append_entry(int id) {
+    int len = log_len;
+    log_len = len + 1;
+}
+
+void logger(int id, int iters) {
+    int i = 0;
+    while (i < iters) {
+        int x = pad_work(150 + rand(31), i + id);
+        append_entry(id);
+        i = i + 1;
+    }
+}
+
+void main() {
+    spawn noise_worker(120);
+    spawn logger(1, 10);
+    spawn logger(2, 10);
+    join();
+    output(log_len);
+}
+"""
+
+# 21287: a pool cleanup pointer is nulled by another thread between the
+# owner's publish and use -> dangling dereference (crash). The destroyer
+# runs rarely; prevention mode essentially never observes the overlap.
+_APACHE_21287 = _COMMON + """
+int *cleanup_ptr;
+int survived = 0;
+int pool_done = 0;
+
+void fast_use() {
+    int v = *cleanup_ptr;
+}
+
+void publish_and_use(int x) {
+    cleanup_ptr = alloc(2);
+    int guard = pad_work(2, x);
+    *cleanup_ptr = x + 1;
+}
+
+void null_ptr() {
+    cleanup_ptr = 0;
+}
+
+void renew_ptr() {
+    cleanup_ptr = alloc(2);
+}
+
+void use_pool(int id, int iters) {
+    sleep(1000 + rand(4000));
+    int i = 0;
+    while (i < iters) {
+        int x = pad_work(48 + rand(13), i + id);
+        if (rand(15) == 3) {
+            publish_and_use(x);
+        } else {
+            fast_use();
+        }
+        survived = survived + 1;
+        i = i + 1;
+    }
+    pool_done = 1;
+}
+
+void destroy_pool() {
+    sleep(1000 + rand(4000));
+    int i = 0;
+    while (pool_done == 0) {
+        int x = pad_work(40 + rand(11), i);
+        if (rand(29) == 5) {
+            null_ptr();
+            renew_ptr();
+        }
+        i = i + 1;
+        sleep(400);
+    }
+}
+
+void main() {
+    cleanup_ptr = alloc(2);
+    spawn noise_worker(200);
+    spawn use_pool(1, 20);
+    spawn destroy_pool();
+    join();
+    output(survived);
+}
+"""
+
+# 25520: a log record is overwritten by another process between write and
+# read-back -> corrupted entry. Overwriter gated hard (rare).
+_APACHE_25520 = _COMMON + """
+int log_word = 0;
+int corrupt = 0;
+int writer_done = 0;
+
+void write_and_check(int v) {
+    log_word = v;
+    int mix = pad_work(2, v);
+    int back = log_word;
+    if (back != v) {
+        corrupt = corrupt + 1;
+    }
+}
+
+void fast_write(int v) {
+    log_word = v;
+}
+
+void overwrite_log(int v) {
+    log_word = v;
+}
+
+void writer(int iters) {
+    sleep(1000 + rand(4000));
+    int i = 0;
+    while (i < iters) {
+        int v = pad_work(46 + rand(11), i) + 1;
+        if (rand(15) == 7) {
+            write_and_check(v);
+        } else {
+            fast_write(v);
+        }
+        i = i + 1;
+    }
+    writer_done = 1;
+}
+
+void rotator() {
+    sleep(1000 + rand(4000));
+    int i = 0;
+    while (writer_done == 0) {
+        int v = pad_work(38 + rand(9), i);
+        if (rand(29) == 4) {
+            overwrite_log(v);
+        }
+        i = i + 1;
+        sleep(400);
+    }
+}
+
+void main() {
+    spawn noise_worker(200);
+    spawn writer(20);
+    spawn rotator();
+    join();
+    output(corrupt);
+}
+"""
+
+# ---------------------------------------------------------------------------
+# Mozilla NSS
+# ---------------------------------------------------------------------------
+
+# 341323: the TLS version field changes between two consistency reads
+# during a handshake.
+_NSS_341323 = _COMMON + """
+int ssl_version = 3;
+int mismatches = 0;
+
+void check_version(int salt) {
+    int v1 = ssl_version;
+    int x = pad_work(1, v1 + salt);
+    int v2 = ssl_version;
+    if (v1 != v2) {
+        mismatches = mismatches + 1;
+    }
+}
+
+void set_version(int v) {
+    ssl_version = v;
+}
+
+void handshake(int id, int iters) {
+    int i = 0;
+    while (i < iters) {
+        int x = pad_work(32 + rand(13), i + id);
+        check_version(x);
+        i = i + 1;
+    }
+}
+
+void renegotiate(int iters) {
+    int i = 0;
+    while (i < iters) {
+        int x = pad_work(24 + rand(11), i);
+        if (i % 4 == 1) {
+            set_version(3 + (x % 2));
+        }
+        i = i + 1;
+    }
+}
+
+void main() {
+    spawn noise_worker(90);
+    spawn handshake(1, 22);
+    spawn renegotiate(22);
+    join();
+    output(mismatches);
+}
+"""
+
+# 329072: check-then-init on the RNG -> double initialization. Symmetric
+# check-then-act with a wide init window.
+_NSS_329072 = _COMMON + """
+int rng_initialized = 0;
+int init_count = 0;
+
+void ensure_rng(int id) {
+    int flag = rng_initialized;
+    if (flag == 0) {
+        int seed_work = pad_work(6, id);
+        init_count = init_count + 1;
+        rng_initialized = 1;
+    }
+}
+
+void reset_rng() {
+    rng_initialized = 0;
+}
+
+void client(int id, int iters) {
+    int i = 0;
+    while (i < iters) {
+        int x = pad_work(12 + rand(7), i + id);
+        ensure_rng(id + i);
+        i = i + 1;
+    }
+}
+
+void recycler(int iters) {
+    int i = 0;
+    while (i < iters) {
+        int x = pad_work(30 + rand(7), i);
+        if (i % 5 == 2) {
+            reset_rng();
+        }
+        i = i + 1;
+    }
+}
+
+void main() {
+    spawn noise_worker(70);
+    spawn client(1, 20);
+    spawn client(2, 20);
+    spawn recycler(12);
+    join();
+    output(init_count);
+}
+"""
+
+# 225525: non-atomic refcount increment/decrement on a PKCS#11 token slot.
+# Symmetric: exhaustion channel.
+_NSS_225525 = _COMMON + """
+int slot_refcount = 1;
+int *ref_handle;
+
+void token_ref(int salt) {
+    int r = slot_refcount;
+    slot_refcount = r + 1;
+}
+
+void ref_worker(int id, int iters) {
+    int i = 0;
+    while (i < iters) {
+        int x = pad_work(28 + rand(9), i + id);
+        if (i % 2 == 0) {
+            token_ref(x);
+        }
+        i = i + 1;
+    }
+}
+
+void unref_worker(int iters) {
+    int i = 0;
+    while (i < iters) {
+        int x = pad_work(30 + rand(9), i);
+        if (i % 2 == 1) {
+            atomic_add(ref_handle, -1);
+        }
+        i = i + 1;
+    }
+}
+
+void main() {
+    ref_handle = &slot_refcount;
+    spawn noise_worker(110);
+    spawn ref_worker(1, 24);
+    spawn unref_worker(24);
+    join();
+    output(slot_refcount);
+}
+"""
+
+# 270689: an arena pointer is replaced between probe and use; the stale
+# window dereferences NULL (crash when it manifests).
+_NSS_270689 = _COMMON + """
+int *arena_ptr;
+int allocs = 0;
+
+void probe_and_use(int salt) {
+    int probe = *arena_ptr;
+    int x = pad_work(2, probe + salt);
+    int v = *arena_ptr;
+    allocs = allocs + 1;
+}
+
+void null_arena() {
+    arena_ptr = 0;
+}
+
+void renew_arena() {
+    arena_ptr = alloc(2);
+}
+
+void use_arena(int id, int iters) {
+    int i = 0;
+    while (i < iters) {
+        int x = pad_work(24 + rand(11), i + id);
+        probe_and_use(x);
+        i = i + 1;
+    }
+}
+
+void shrink_arena(int iters) {
+    int i = 0;
+    while (i < iters) {
+        int x = pad_work(22 + rand(13), i);
+        null_arena();
+        renew_arena();
+        i = i + 1;
+    }
+}
+
+void main() {
+    arena_ptr = alloc(2);
+    spawn noise_worker(90);
+    spawn use_arena(1, 18);
+    spawn shrink_arena(18);
+    join();
+    output(allocs);
+}
+"""
+
+# 169296: certificate cache counter with an adjacent read/write pair,
+# fixed padding and a symmetric partner — the paper's hardest bug (not
+# found in prevention mode after 90 minutes).
+_NSS_169296 = _COMMON + """
+int cert_cache = 0;
+int bump_count = 0;
+int lookups_done = 0;
+
+int cache_peek() {
+    return cert_cache;
+}
+
+void cache_bump(int salt) {
+    atomic_add(&bump_count, 1);
+    int c = cert_cache;
+    cert_cache = c + 1;
+}
+
+void lookup_cert(int id, int iters) {
+    sleep(1000 + rand(4000));
+    int i = 0;
+    while (i < iters) {
+        int x = pad_work(52 + rand(9), i + id);
+        if (rand(15) == id) {
+            cache_bump(x);
+        } else {
+            int seen = cache_peek();
+        }
+        i = i + 1;
+    }
+    atomic_add(&lookups_done, 1);
+}
+
+void noise_until_done() {
+    int i = 0;
+    while (lookups_done < 2) {
+        int x = pad_work(5 + rand(5), i);
+        touch_noise(x);
+        i = i + 1;
+        sleep(300);
+    }
+}
+
+void main() {
+    spawn noise_until_done();
+    spawn lookup_cert(1, 24);
+    spawn lookup_cert(2, 24);
+    join();
+    output(cert_cache);
+    output(bump_count);
+}
+"""
+
+# 201134: shutdown flag is checked, then the resource is used — the
+# shutdown/restart thread frees it in between.
+_NSS_201134 = _COMMON + """
+int shutting_down = 0;
+int resource = 1000;
+int use_after_free = 0;
+
+void guarded_use(int salt) {
+    int down = shutting_down;
+    int x = pad_work(3, salt);
+    int down2 = shutting_down;
+    if (down == 0 && down2 == 0) {
+        int r = resource;
+        if (r == 0) {
+            use_after_free = use_after_free + 1;
+        }
+    }
+}
+
+void raise_flag() {
+    shutting_down = 1;
+}
+
+void drop_flag() {
+    shutting_down = 0;
+}
+
+void free_resource() {
+    resource = 0;
+}
+
+void restore_resource() {
+    resource = 1000;
+}
+
+void worker(int id, int iters) {
+    int i = 0;
+    while (i < iters) {
+        int x = pad_work(16 + rand(9), i + id);
+        guarded_use(x);
+        i = i + 1;
+    }
+}
+
+void shutdown_cycle(int iters) {
+    int i = 0;
+    while (i < iters) {
+        int x = pad_work(26 + rand(7), i);
+        if (i % 6 == 3) {
+            raise_flag();
+            free_resource();
+            int y = pad_work(4, x);
+            restore_resource();
+            drop_flag();
+        }
+        i = i + 1;
+    }
+}
+
+void main() {
+    spawn noise_worker(90);
+    spawn worker(1, 24);
+    spawn shutdown_cycle(30);
+    join();
+    output(use_after_free);
+}
+"""
+
+# ---------------------------------------------------------------------------
+# MySQL
+# ---------------------------------------------------------------------------
+
+# 19938: the binlog dump thread observes DROP TABLE state half-written.
+_MYSQL_19938 = _COMMON + """
+int table_state = 0;
+int bad_dumps = 0;
+int drops = 0;
+
+void do_drop(int salt) {
+    table_state = 1;
+    int x = pad_work(1, salt);
+    table_state = 2;
+    drops = drops + 1;
+    table_state = 0;
+}
+
+int read_state() {
+    return table_state;
+}
+
+void drop_table(int iters) {
+    int i = 0;
+    while (i < iters) {
+        int x = pad_work(26 + rand(9), i);
+        if (i % 2 == 0) {
+            do_drop(x);
+        }
+        i = i + 1;
+    }
+}
+
+void dump_thread(int iters) {
+    int i = 0;
+    while (i < iters) {
+        int x = pad_work(18 + rand(11), i);
+        int s = read_state();
+        if (s == 1) {
+            bad_dumps = bad_dumps + 1;
+        }
+        i = i + 1;
+    }
+}
+
+void main() {
+    spawn noise_worker(80);
+    spawn drop_table(20);
+    spawn dump_thread(20);
+    join();
+    output(bad_dumps);
+}
+"""
+
+# 25306: query-cache version and data are read non-atomically while an
+# invalidation updates both -> stale result served.
+_MYSQL_25306 = _COMMON + """
+int qc_version = 0;
+int qc_data = 0;
+int stale_serves = 0;
+
+void serve_query(int salt) {
+    int v1 = qc_version;
+    int d = qc_data;
+    int v2 = qc_version;
+    if (v1 != v2 || d != v1 * 10) {
+        stale_serves = stale_serves + 1;
+    }
+}
+
+void bump_version() {
+    qc_version = qc_version + 1;
+}
+
+void publish_data(int v) {
+    qc_data = v;
+}
+
+void query(int id, int iters) {
+    int i = 0;
+    while (i < iters) {
+        int x = pad_work(15 + rand(9), i + id);
+        serve_query(x);
+        i = i + 1;
+    }
+}
+
+void invalidate(int iters) {
+    int i = 0;
+    while (i < iters) {
+        int x = pad_work(20 + rand(9), i);
+        if (i % 2 == 1) {
+            bump_version();
+            publish_data(qc_version * 10);
+        }
+        i = i + 1;
+    }
+}
+
+void main() {
+    qc_data = 0;
+    spawn noise_worker(80);
+    spawn query(1, 22);
+    spawn invalidate(22);
+    join();
+    output(stale_serves);
+}
+"""
+
+
+BUGS = {
+    "44402": BugSpec(
+        "44402", "Apache",
+        "buffered log: concurrent appends lose length updates",
+        _APACHE_44402, ("log_len",), "(R,W,W)", [20]),
+    "21287": BugSpec(
+        "21287", "Apache",
+        "pool cleanup pointer nulled between publish and use (dangling "
+        "deref)",
+        _APACHE_21287, ("cleanup_ptr", "*cleanup_ptr"), "(W,W,R)", [26],
+        rare=True, manifest_cmp="gt"),
+    "25520": BugSpec(
+        "25520", "Apache",
+        "log record overwritten between write and read-back",
+        _APACHE_25520, ("log_word",), "(W,W,R)", [0], rare=True),
+    "341323": BugSpec(
+        "341323", "NSS",
+        "TLS version field changes between consistency reads",
+        _NSS_341323, ("ssl_version",), "(R,W,R)", [0]),
+    "329072": BugSpec(
+        "329072", "NSS",
+        "RNG double initialization (check-then-init)",
+        _NSS_329072, ("rng_initialized",), "(R,W,W)", [3],
+        manifest_cmp="gt"),
+    "225525": BugSpec(
+        "225525", "NSS",
+        "token refcount: non-atomic increment/decrement",
+        _NSS_225525, ("slot_refcount",), "(R,W,W)", [1]),
+    "270689": BugSpec(
+        "270689", "NSS",
+        "arena pointer freed between probe and use (null deref crash)",
+        _NSS_270689, ("arena_ptr", "*arena_ptr"), "(R,W,R)", [18]),
+    "169296": BugSpec(
+        "169296", "NSS",
+        "certificate cache counter: adjacent read/write, narrow window",
+        _NSS_169296, ("cert_cache",), "(R,W,W)", [0, 0], rare=True,
+        manifest_cmp="pair"),
+    "201134": BugSpec(
+        "201134", "NSS",
+        "shutdown flag checked, resource freed before use",
+        _NSS_201134, ("shutting_down", "resource"), "(R,W,R)", [0]),
+    "19938": BugSpec(
+        "19938", "MySQL",
+        "DROP TABLE state observed half-written by binlog dump thread",
+        _MYSQL_19938, ("table_state",), "(W,R,W)", [0]),
+    "25306": BugSpec(
+        "25306", "MySQL",
+        "query cache version/data read non-atomically (stale serve)",
+        _MYSQL_25306, ("qc_version", "qc_data"), "(R,W,R)", [0]),
+}
+
+BUG_IDS = tuple(BUGS)
+
+
+def get_bug(bug_id):
+    try:
+        return BUGS[str(bug_id)]
+    except KeyError:
+        raise WorkloadError("unknown bug id %r" % (bug_id,)) from None

@@ -1,0 +1,55 @@
+"""Registry of the five application models (Table 2)."""
+
+from repro.errors import WorkloadError
+from repro.workloads.apps import (
+    build_nss,
+    build_specomp,
+    build_tpcw,
+    build_vlc,
+    build_webstone,
+)
+
+APP_BUILDERS = {
+    "NSS": build_nss,
+    "VLC": build_vlc,
+    "Webstone": build_webstone,
+    "TPC-W": build_tpcw,
+    "SPEC OMP": build_specomp,
+}
+
+APP_NAMES = ("NSS", "VLC", "Webstone", "TPC-W", "SPEC OMP")
+
+#: Table 2 of the paper.
+PAPER_WORKLOADS = {
+    "NSS": "Request 1000 SSL pages",
+    "VLC": "Play a 25 minute video clip",
+    "Webstone": "Run Webstone benchmark for 50 minutes",
+    "TPC-W": "Run TPC-W benchmark for 30 minutes",
+    "SPEC OMP": "Run all benchmarks once",
+}
+
+
+def build_app(name, **kwargs):
+    """Build one application model by name."""
+    try:
+        builder = APP_BUILDERS[name]
+    except KeyError:
+        raise WorkloadError(
+            "unknown app %r (choose from %s)" % (name, ", ".join(APP_NAMES))
+        ) from None
+    return builder(**kwargs)
+
+
+def workload_suite(scale=1.0):
+    """Build all five applications. ``scale`` multiplies per-thread work
+    (iterations/frames/requests/transactions/rounds)."""
+    def s(n):
+        return max(2, int(round(n * scale)))
+
+    return [
+        build_nss(iters=s(25)),
+        build_vlc(frames=s(70)),
+        build_webstone(requests=s(28)),
+        build_tpcw(txns=s(40)),
+        build_specomp(rounds=s(3)),
+    ]

@@ -1,0 +1,108 @@
+"""Experiment drivers: bug detection campaigns and request latency."""
+
+from repro.core.config import KivatiConfig
+from repro.core.session import ProtectedProgram
+
+
+class DetectionResult:
+    """Outcome of a detect-the-bug campaign (one Table 6 cell)."""
+
+    __slots__ = ("bug_id", "detected", "attempts", "time_ns", "prevented",
+                 "records")
+
+    def __init__(self, bug_id, detected, attempts, time_ns, prevented,
+                 records):
+        self.bug_id = bug_id
+        self.detected = detected
+        self.attempts = attempts
+        self.time_ns = time_ns
+        self.prevented = prevented
+        self.records = records
+
+    @property
+    def time_ms(self):
+        return self.time_ns / 1e6
+
+    def cell(self):
+        """Table-6-style cell text (mm:ss in scaled time, '-' if not
+        found)."""
+        if not self.detected:
+            return "-"
+        total_seconds = self.time_ns / 1e6  # scaled: 1 sim ms ~ 1 paper s
+        return "%d:%02d" % (int(total_seconds) // 60,
+                            int(total_seconds) % 60)
+
+    def __repr__(self):
+        return "DetectionResult(%s, %s, attempts=%d)" % (
+            self.bug_id, "found" if self.detected else "not found",
+            self.attempts)
+
+
+def detect_bug(bug, config=None, max_attempts=40, seed_base=0,
+               protected=None):
+    """Repeatedly run a corpus bug under Kivati until its violation is
+    detected (the Table 6 experiment: "we ran the application in Kivati
+    and repeatedly applied the inputs that would trigger the bug").
+
+    Returns a DetectionResult with the cumulative simulated time across
+    attempts.
+    """
+    config = config or KivatiConfig()
+    pp = protected if protected is not None else ProtectedProgram(bug.source)
+    total = 0
+    for attempt in range(max_attempts):
+        report = pp.run(config, seed=seed_base + attempt * 7919)
+        total += report.time_ns
+        if bug.detected_in(report):
+            records = bug.detection_records(report)
+            return DetectionResult(
+                bug.bug_id, True, attempt + 1, total,
+                all(r.prevented for r in records), records,
+            )
+    return DetectionResult(bug.bug_id, False, max_attempts, total, False, [])
+
+
+def manifestation_rate(bug, attempts=20, seed_base=0, num_cores=2,
+                       protected=None):
+    """Fraction of *unprotected* runs in which the bug corrupts the run."""
+    pp = protected if protected is not None else ProtectedProgram(bug.source)
+    hits = 0
+    for attempt in range(attempts):
+        result = pp.run_vanilla(num_cores=num_cores,
+                                seed=seed_base + attempt * 7919)
+        if bug.manifested(result):
+            hits += 1
+    return hits / attempts
+
+
+class LatencyResult:
+    """Average request latency for a server workload (Table 5)."""
+
+    __slots__ = ("workload", "latency_ns", "requests", "time_ns")
+
+    def __init__(self, workload, latency_ns, requests, time_ns):
+        self.workload = workload
+        self.latency_ns = latency_ns
+        self.requests = requests
+        self.time_ns = time_ns
+
+    @property
+    def latency_ms(self):
+        return self.latency_ns / 1e6
+
+
+def measure_latency(workload, config=None, seed=0, protected=None):
+    """Average per-request latency: with a pool of T always-busy workers,
+    a request's service latency is wall_time * T / total_requests."""
+    if workload.requests is None:
+        raise ValueError("workload %s has no request count" % workload.name)
+    pp = protected if protected is not None else ProtectedProgram(
+        workload.source)
+    if config is None:
+        result = pp.run_vanilla(seed=seed)
+        time_ns = result.time_ns
+    else:
+        report = pp.run(config, seed=seed)
+        time_ns = report.time_ns
+    latency = time_ns * workload.threads / workload.requests
+    return LatencyResult(workload.name, latency, workload.requests, time_ns)

@@ -1,0 +1,213 @@
+"""End-to-end annotator tests."""
+
+from repro.analysis.annotate import annotate, spin_flag_vars
+from repro.analysis.normalize import normalize_program
+from repro.minic import ast
+from repro.minic.ast import AccessKind
+from repro.minic.parser import parse
+from repro.minic.pretty import pretty
+
+R = AccessKind.READ
+W = AccessKind.WRITE
+
+SIMPLE = """
+int shared;
+void f() {
+    int t = shared;
+    shared = t + 1;
+}
+void main() { f(); }
+"""
+
+
+def test_begin_end_inserted_around_pair():
+    result = annotate(SIMPLE)
+    text = pretty(result.ast)
+    assert "begin_atomic(" in text
+    assert "end_atomic(" in text
+    # begin before the read statement, end after the write statement
+    lines = [l.strip() for l in text.splitlines()]
+    bi = next(i for i, l in enumerate(lines) if l.startswith("begin_atomic"))
+    read_i = next(i for i, l in enumerate(lines) if l == "int t = shared;")
+    write_i = next(i for i, l in enumerate(lines) if l == "shared = t + 1;")
+    assert bi < read_i < write_i
+
+
+def test_clear_ar_at_every_exit():
+    result = annotate("""
+    int g;
+    void f(int c) {
+        if (c) {
+            return;
+        }
+        g = 1;
+    }
+    void main() { f(1); }
+    """)
+    text = pretty(result.ast)
+    assert text.count("clear_ar();") >= 3  # before return, end of f, end of main
+
+
+def test_ar_registry_contents():
+    result = annotate(SIMPLE)
+    ars = [info for info in result.ar_table.values() if info.var == "shared"]
+    assert len(ars) == 1
+    info = ars[0]
+    assert info.first_kind == R
+    assert set(info.second_kinds.values()) == {W}
+    assert info.watch_write and not info.watch_read
+    assert info.func == "f"
+    assert info.size == 1
+
+
+def test_write_write_pair_watches_reads():
+    result = annotate("""
+    int g;
+    void f() {
+        g = 1;
+        g = 2;
+    }
+    void main() { f(); }
+    """)
+    infos = [i for i in result.ar_table.values()
+             if i.var == "g" and i.first_kind == W and
+             set(i.second_kinds.values()) == {W}]
+    assert infos
+    assert infos[0].watch_read and not infos[0].watch_write
+
+
+def test_branching_second_kinds_watch_both():
+    result = annotate("""
+    int g;
+    void f(int c) {
+        g = 1;
+        if (c) {
+            g = 2;
+        } else {
+            int t = g;
+        }
+    }
+    void main() { f(0); }
+    """)
+    infos = [i for i in result.ar_table.values()
+             if i.var == "g" and i.first_kind == W and
+             set(i.second_kinds.values()) == {R, W}]
+    assert infos
+    assert infos[0].watches_both
+
+
+def test_end_atomic_carries_site_specific_kind():
+    result = annotate("""
+    int g;
+    void f(int c) {
+        g = 1;
+        if (c) {
+            g = 2;
+        } else {
+            int t = g;
+        }
+    }
+    void main() { f(0); }
+    """)
+    ends = [s for s in ast.statements(result.ast.func("f").body)
+            if isinstance(s, ast.EndAtomic)]
+    kinds = {s.second_kind for s in ends}
+    assert kinds == {R, W}
+
+
+def test_sync_ars_flagged():
+    result = annotate("""
+    int m;
+    int data;
+    void f() {
+        lock(&m);
+        data = data + 1;
+        unlock(&m);
+    }
+    void main() { f(); }
+    """)
+    sync_vars = {result.ar_table[i].var for i in result.sync_ar_ids}
+    assert sync_vars == {"m"}
+    nonsync = {i.var for i in result.ar_table.values() if not i.is_sync}
+    assert "data" in nonsync
+
+
+def test_spin_flag_heuristic():
+    prog = normalize_program(parse("""
+    int flag;
+    int other;
+    void f() {
+        while (flag == 0) {
+            yield();
+        }
+        other = 1;
+    }
+    void main() { f(); }
+    """))
+    flags = spin_flag_vars(prog.func("f"))
+    assert "flag" in flags
+    assert "other" not in flags
+
+
+def test_flag_ars_whitelisted_as_sync():
+    result = annotate("""
+    int flag;
+    void waiter() {
+        while (flag == 0) {
+            sleep(100);
+        }
+    }
+    void setter() { flag = 1; }
+    void main() {
+        spawn waiter();
+        spawn setter();
+        join();
+    }
+    """)
+    flag_ars = [i for i in result.ar_table.values() if i.var == "flag"]
+    assert flag_ars
+    assert all(i.is_sync for i in flag_ars)
+    assert all(i.ar_id in result.sync_ar_ids for i in flag_ars)
+
+
+def test_shadow_store_after_shared_writes():
+    result = annotate(SIMPLE)
+    stmts = list(ast.statements(result.ast.func("f").body))
+    shadow_idx = [k for k, s in enumerate(stmts)
+                  if isinstance(s, ast.ShadowStore)]
+    assert shadow_idx, "expected a shadow store for the shared write"
+    # it must directly follow the write statement
+    for k in shadow_idx:
+        prev = stmts[k - 1]
+        assert isinstance(prev, (ast.Assign, ast.Decl, ast.ExprStmt))
+
+
+def test_annotated_ast_recompiles_and_runs():
+    from repro.compiler.codegen import compile_program
+    from repro.machine.machine import Machine
+
+    result = annotate("""
+    int g;
+    void f() {
+        int t = g;
+        g = t + 1;
+        output(g);
+    }
+    void main() { f(); f(); }
+    """)
+    program = compile_program(result.ast, result.pinfo, result.ar_table)
+    out = Machine(program).run(raise_on_deadlock=True).output
+    assert out == [1, 2]
+
+
+def test_ar_ids_globally_unique():
+    result = annotate("""
+    int a;
+    int b;
+    void f() { a = a + 1; }
+    void g2() { b = b + 1; }
+    void main() { f(); g2(); }
+    """)
+    ids = list(result.ar_table)
+    assert len(ids) == len(set(ids))
+    assert all(result.ar_table[i].ar_id == i for i in ids)

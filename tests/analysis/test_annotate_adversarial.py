@@ -1,0 +1,144 @@
+"""Annotator robustness on adversarial program structures."""
+
+import pytest
+
+from repro.core.config import KivatiConfig, OptLevel
+from repro.core.session import ProtectedProgram
+
+
+def run(src, seed=0):
+    pp = ProtectedProgram(src)
+    report = pp.run(KivatiConfig(opt=OptLevel.BASE,
+                                 suspend_timeout_ns=10_000), seed=seed)
+    return pp, report
+
+
+def test_empty_functions():
+    pp, report = run("""
+    void nothing() {}
+    void main() { nothing(); nothing(); }
+    """)
+    assert report.output == []
+    assert not report.result.deadlocked
+
+
+def test_return_only_function():
+    pp, report = run("""
+    int f() { return 7; }
+    void main() { output(f()); }
+    """)
+    assert report.output == [7]
+
+
+def test_while_zero_never_runs():
+    pp, report = run("""
+    int g = 5;
+    void main() {
+        while (0) { g = 99; }
+        output(g);
+    }
+    """)
+    assert report.output == [5]
+
+
+def test_deeply_nested_control_flow():
+    pp, report = run("""
+    int g = 0;
+    void main() {
+        int i = 0;
+        while (i < 4) {
+            if (i % 2 == 0) {
+                if (g < 10) {
+                    while (g < i) {
+                        g = g + 1;
+                    }
+                } else {
+                    g = 0;
+                }
+            } else {
+                if (g > 0) { g = g - 1; } else { g = g + 2; }
+            }
+            i = i + 1;
+        }
+        output(g);
+    }
+    """)
+    # must match the vanilla semantics exactly
+    vanilla = pp.run_vanilla(seed=0)
+    assert report.output == vanilla.output
+
+
+def test_early_returns_from_every_branch():
+    pp, report = run("""
+    int g = 3;
+    int classify(int v) {
+        if (v < 0) { return 0 - 1; }
+        if (v == 0) { return 0; }
+        if (v < 10) { g = g + 1; return 1; }
+        return 2;
+    }
+    void main() {
+        output(classify(0 - 5));
+        output(classify(0));
+        output(classify(5));
+        output(classify(50));
+        output(g);
+    }
+    """)
+    assert report.output == [-1, 0, 1, 2, 4]
+
+
+def test_shared_access_inside_loop_condition_expression():
+    pp, report = run("""
+    int limit = 5;
+    void main() {
+        int i = 0;
+        int n = 0;
+        while (i < limit) {
+            n = n + 1;
+            i = i + 1;
+        }
+        output(n);
+    }
+    """)
+    assert report.output == [5]
+    # the condition read of the shared 'limit' must be annotated
+    assert any(info.var == "limit" for info in pp.ar_table.values())
+
+
+def test_no_shared_variables_at_all():
+    pp, report = run("""
+    void main() {
+        int a = 1;
+        int b = a + 2;
+        output(b);
+    }
+    """)
+    assert report.output == [3]
+    assert report.stats.begin_calls == 0 or pp.num_ars >= 0
+
+
+def test_globals_only_written_once():
+    pp, report = run("""
+    int config = 0;
+    void reader() { int c = config; }
+    void main() {
+        config = 42;
+        spawn reader();
+        spawn reader();
+        join();
+        output(config);
+    }
+    """)
+    assert report.output == [42]
+
+
+def test_argument_evaluation_with_shared_reads():
+    pp, report = run("""
+    int g = 10;
+    int add3(int a, int b, int c) { return a + b + c; }
+    void main() {
+        output(add3(g, g + 1, g * 2));
+    }
+    """)
+    assert report.output == [10 + 11 + 20]

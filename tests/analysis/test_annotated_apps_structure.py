@@ -1,0 +1,80 @@
+"""Structural invariants of the annotations over the real app models."""
+
+import pytest
+
+from repro.core.session import ProtectedProgram
+from repro.minic import ast
+from repro.workloads.catalog import workload_suite
+
+_CACHE = {}
+
+
+def protected(workload):
+    pp = _CACHE.get(workload.name)
+    if pp is None:
+        pp = ProtectedProgram(workload.source)
+        _CACHE[workload.name] = pp
+    return pp
+
+
+@pytest.mark.parametrize("workload", workload_suite(scale=0.1),
+                         ids=lambda w: w.name)
+def test_every_ar_has_begin_and_some_end(workload):
+    pp = protected(workload)
+    begins = set()
+    ends = set()
+    for func in pp.annotation.ast.funcs:
+        for stmt in ast.statements(func.body):
+            if isinstance(stmt, ast.BeginAtomic):
+                begins.add(stmt.ar_id)
+            elif isinstance(stmt, ast.EndAtomic):
+                ends.add(stmt.ar_id)
+    assert begins == set(pp.ar_table)
+    # every AR has at least one end site somewhere in the program
+    assert ends == set(pp.ar_table)
+
+
+@pytest.mark.parametrize("workload", workload_suite(scale=0.1),
+                         ids=lambda w: w.name)
+def test_every_function_exit_has_clear_ar(workload):
+    pp = protected(workload)
+    for func in pp.annotation.ast.funcs:
+        # the body's trailing statement must be a clear_ar, and every
+        # return must be immediately preceded by one
+        assert isinstance(func.body.stmts[-1], ast.ClearAr), func.name
+
+        def check_block(block):
+            prev = None
+            for stmt in block.stmts:
+                if isinstance(stmt, ast.Return):
+                    assert isinstance(prev, ast.ClearAr), func.name
+                if isinstance(stmt, ast.Block):
+                    check_block(stmt)
+                elif isinstance(stmt, ast.If):
+                    check_block(stmt.then)
+                    if stmt.els is not None:
+                        check_block(stmt.els)
+                elif isinstance(stmt, ast.While):
+                    check_block(stmt.body)
+                prev = stmt
+
+        check_block(func.body)
+
+
+@pytest.mark.parametrize("workload", workload_suite(scale=0.1),
+                         ids=lambda w: w.name)
+def test_watch_kinds_never_empty(workload):
+    pp = protected(workload)
+    for info in pp.ar_table.values():
+        assert info.watch_read or info.watch_write, info
+        assert info.second_kinds, info
+        assert info.size == 1
+
+
+@pytest.mark.parametrize("workload", workload_suite(scale=0.1),
+                         ids=lambda w: w.name)
+def test_sync_ars_subset_of_registry(workload):
+    pp = protected(workload)
+    assert pp.sync_ar_ids <= set(pp.ar_table)
+    for ar_id in pp.sync_ar_ids:
+        assert pp.ar_table[ar_id].is_sync

@@ -1,0 +1,90 @@
+"""CFG construction tests."""
+
+from repro.analysis.cfg import build_cfg
+from repro.minic import ast
+from repro.minic.parser import parse
+
+
+def cfg_for(body):
+    prog = parse("int g; void f() { %s } void main() {}" % body)
+    return build_cfg(prog.func("f"))
+
+
+def stmt_nodes(cfg):
+    return cfg.stmt_nodes()
+
+
+def test_straight_line():
+    cfg = cfg_for("g = 1; g = 2; g = 3;")
+    nodes = stmt_nodes(cfg)
+    assert len(nodes) == 3
+    assert cfg.entry.succs == [nodes[0]]
+    assert nodes[0].succs == [nodes[1]]
+    assert nodes[2].succs == [cfg.exit]
+
+
+def test_if_creates_branch_and_join():
+    cfg = cfg_for("if (g) { g = 1; } g = 2;")
+    cond = [n for n in cfg.nodes if n.kind == "cond"][0]
+    then_node = cond.succs[0]
+    join = [n for n in stmt_nodes(cfg)
+            if isinstance(n.stmt, ast.Assign) and n.stmt.value.value == 2][0]
+    # join reachable both from cond (false edge) and then-branch
+    assert join in cond.succs or join in then_node.succs
+    assert len(join.preds) == 2
+
+
+def test_if_else_both_branches():
+    cfg = cfg_for("if (g) { g = 1; } else { g = 2; } g = 3;")
+    join = [n for n in stmt_nodes(cfg)
+            if isinstance(n.stmt, ast.Assign) and n.stmt.value.value == 3][0]
+    assert len(join.preds) == 2
+
+
+def test_while_has_back_edge():
+    cfg = cfg_for("while (g < 3) { g = g + 1; }")
+    cond = [n for n in cfg.nodes if n.kind == "cond"][0]
+    body = [n for n in stmt_nodes(cfg) if isinstance(n.stmt, ast.Assign)][0]
+    assert body in cond.succs
+    assert cond in body.succs  # back edge
+    assert cfg.exit in cond.succs  # loop exit
+
+
+def test_infinite_loop_without_break_never_exits_via_cond():
+    cfg = cfg_for("while (1) { g = 1; }")
+    cond = [n for n in cfg.nodes if n.kind == "cond"][0]
+    assert cfg.exit not in cond.succs
+
+
+def test_break_exits_loop():
+    cfg = cfg_for("while (1) { if (g) { break; } g = g + 1; } g = 9;")
+    after = [n for n in stmt_nodes(cfg)
+             if isinstance(n.stmt, ast.Assign) and
+             isinstance(n.stmt.value, ast.IntLit) and n.stmt.value.value == 9][0]
+    break_node = [n for n in stmt_nodes(cfg) if isinstance(n.stmt, ast.Break)][0]
+    assert after in break_node.succs
+
+
+def test_continue_jumps_to_cond():
+    cfg = cfg_for("while (g) { continue; }")
+    cond = [n for n in cfg.nodes if n.kind == "cond"][0]
+    cont = [n for n in stmt_nodes(cfg) if isinstance(n.stmt, ast.Continue)][0]
+    assert cond in cont.succs
+
+
+def test_return_goes_to_exit():
+    cfg = cfg_for("if (g) { return; } g = 1;")
+    ret = [n for n in stmt_nodes(cfg) if isinstance(n.stmt, ast.Return)][0]
+    assert ret.succs == [cfg.exit]
+
+
+def test_code_after_return_unreachable():
+    cfg = cfg_for("return; g = 1;")
+    orphan = [n for n in stmt_nodes(cfg)
+              if isinstance(n.stmt, ast.Assign)][0]
+    assert orphan.preds == []
+
+
+def test_empty_function():
+    cfg = cfg_for("")
+    assert cfg.exit in cfg.entry.succs

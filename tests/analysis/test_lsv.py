@@ -1,0 +1,129 @@
+"""List-of-shared-variables construction tests."""
+
+from repro.analysis.lsv import compute_lsv
+from repro.analysis.normalize import normalize_program
+from repro.minic.parser import parse
+from repro.minic.typecheck import check
+
+
+def lsv_for(src, func="f"):
+    prog = normalize_program(parse(src))
+    pinfo = check(prog)
+    return compute_lsv(prog.func(func), pinfo)
+
+
+def test_globals_are_seeded():
+    lsv = lsv_for("int g; void f() { int x; } void main() {}")
+    assert "g" in lsv.shared
+    assert "x" not in lsv.shared
+
+
+def test_pointer_params_are_shared_with_targets():
+    lsv = lsv_for("void f(int *p) { *p = 1; } void main() {}")
+    assert "p" in lsv.shared
+    assert "*p" in lsv.shared
+
+
+def test_value_params_not_shared():
+    lsv = lsv_for("void f(int v) { int x = v; } void main() {}")
+    assert "v" not in lsv.shared
+    assert "x" not in lsv.shared
+
+
+def test_alloc_result_is_shared():
+    lsv = lsv_for("void f() { int *p = alloc(2); *p = 1; } void main() {}")
+    assert "p" in lsv.shared
+    assert "*p" in lsv.shared
+
+
+def test_int_call_results_not_shared():
+    lsv = lsv_for("""
+    int g2() { return 1; }
+    void f() { int x = g2(); }
+    void main() {}
+    """)
+    assert "x" not in lsv.shared
+
+
+def test_dataflow_closure_from_global():
+    lsv = lsv_for("""
+    int g;
+    void f() {
+        int a = g + 1;
+        int b = a * 2;
+        int c = 5;
+    }
+    void main() {}
+    """)
+    assert "a" in lsv.shared
+    assert "b" in lsv.shared
+    assert "c" not in lsv.shared
+
+
+def test_address_taken_locals_escape():
+    lsv = lsv_for("""
+    void g2(int *out) { *out = 1; }
+    void f() {
+        int r = 0;
+        g2(&r);
+    }
+    void main() {}
+    """)
+    assert "r" in lsv.shared
+
+
+def test_deref_pseudo_var_only_for_shared_pointers():
+    lsv = lsv_for("""
+    int *gp;
+    void f() {
+        int x = *gp;
+    }
+    void main() {}
+    """)
+    assert "*gp" in lsv.shared
+
+
+def test_sync_vars_identified():
+    lsv = lsv_for("""
+    int m;
+    int flag;
+    int data;
+    void f() {
+        lock(&m);
+        data = data + 1;
+        unlock(&m);
+        atomic_add(&flag, 1);
+    }
+    void main() {}
+    """)
+    assert lsv.sync_vars == {"m", "flag"}
+
+
+def test_annotator_temps_excluded():
+    lsv = lsv_for("""
+    int g;
+    void f() {
+        while (g < 10) { g = g + 1; }
+    }
+    void main() {}
+    """)
+    assert not any(name.startswith("__c") for name in lsv.shared)
+
+
+def test_non_shared_variables_stay_out():
+    lsv = lsv_for("""
+    int g;
+    void f() {
+        int i = 0;
+        int acc = 7;
+        while (i < 10) {
+            acc = acc * 3 + i;
+            i = i + 1;
+        }
+        g = acc;
+    }
+    void main() {}
+    """)
+    assert "i" not in lsv.shared
+    assert "acc" not in lsv.shared
+    assert "g" in lsv.shared

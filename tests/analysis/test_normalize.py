@@ -1,0 +1,133 @@
+"""Normalization pass tests."""
+
+from repro.analysis.normalize import TEMP_PREFIX, normalize_program
+from repro.minic import ast
+from repro.minic.parser import parse
+from repro.minic.typecheck import check
+from repro.compiler.codegen import compile_program
+from repro.machine.machine import Machine
+
+
+def norm(src):
+    prog = normalize_program(parse(src))
+    check(prog)  # must stay well-formed
+    return prog
+
+
+def run_both(src, seed=0):
+    plain = compile_program(parse(src))
+    normalized = compile_program(norm(src))
+    out1 = Machine(plain, seed=seed).run(raise_on_deadlock=True).output
+    out2 = Machine(normalized, seed=seed).run(raise_on_deadlock=True).output
+    return out1, out2
+
+
+def test_while_lowered_to_canonical_form():
+    prog = norm("int g; void main() { while (g < 3) { g = g + 1; } }")
+    loop = [s for s in ast.statements(prog.func("main").body)
+            if isinstance(s, ast.While)][0]
+    assert isinstance(loop.cond, ast.IntLit) and loop.cond.value == 1
+    first = loop.body.stmts[0]
+    assert isinstance(first, ast.Decl) and first.name.startswith(TEMP_PREFIX)
+    guard = loop.body.stmts[1]
+    assert isinstance(guard, ast.If)
+    assert isinstance(guard.then.stmts[0], ast.Break)
+
+
+def test_if_condition_hoisted():
+    prog = norm("int g; void main() { if (g == 1) { g = 2; } }")
+    body = prog.func("main").body.stmts
+    assert isinstance(body[0], ast.Decl)
+    assert body[0].name.startswith(TEMP_PREFIX)
+    assert isinstance(body[1], ast.If)
+    assert isinstance(body[1].cond, ast.Var)
+
+
+def test_trivial_conditions_not_hoisted():
+    prog = norm("void main() { if (1) { output(1); } }")
+    body = prog.func("main").body.stmts
+    assert isinstance(body[0], ast.If)
+
+
+def test_return_value_hoisted():
+    prog = norm("""
+    int g;
+    int f() { return g + 1; }
+    void main() { output(f()); }
+    """)
+    f_body = prog.func("f").body.stmts
+    assert isinstance(f_body[0], ast.Decl)
+    ret = f_body[1]
+    assert isinstance(ret, ast.Return) and isinstance(ret.value, ast.Var)
+
+
+def test_trivial_return_not_hoisted():
+    prog = norm("int f() { return 3; } void main() {}")
+    assert isinstance(prog.func("f").body.stmts[0], ast.Return)
+
+
+def test_semantics_preserved_loops():
+    src = """
+    void main() {
+        int i = 0;
+        int total = 0;
+        while (i < 10) {
+            i = i + 1;
+            if (i % 3 == 0) { continue; }
+            if (i > 8) { break; }
+            total = total + i;
+        }
+        output(total);
+        output(i);
+    }
+    """
+    out1, out2 = run_both(src)
+    assert out1 == out2
+
+
+def test_continue_reevaluates_condition():
+    # regression for the classic lowering bug: continue must re-check cond
+    src = """
+    void main() {
+        int i = 0;
+        while (i < 5) {
+            i = i + 1;
+            continue;
+        }
+        output(i);
+    }
+    """
+    out1, out2 = run_both(src)
+    assert out1 == out2 == [5]
+
+
+def test_nested_loops_normalized():
+    src = """
+    void main() {
+        int total = 0;
+        int i = 0;
+        while (i < 4) {
+            int j = 0;
+            while (j < i) {
+                total = total + 1;
+                j = j + 1;
+            }
+            i = i + 1;
+        }
+        output(total);
+    }
+    """
+    out1, out2 = run_both(src)
+    assert out1 == out2 == [6]
+
+
+def test_temps_unique_across_functions():
+    prog = norm("""
+    int g;
+    void a() { if (g) { g = 1; } }
+    void b() { if (g) { g = 2; } }
+    void main() { while (g < 1) { g = g + 1; } }
+    """)
+    temps = [s.name for f in prog.funcs for s in ast.statements(f.body)
+             if isinstance(s, ast.Decl) and s.name.startswith(TEMP_PREFIX)]
+    assert len(temps) == len(set(temps)) == 3

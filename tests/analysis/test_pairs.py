@@ -1,0 +1,177 @@
+"""AR pairing DFA tests against the paper's figures."""
+
+from repro.analysis.lsv import compute_lsv
+from repro.analysis.normalize import normalize_program
+from repro.analysis.pairs import find_pairs
+from repro.minic.ast import AccessKind
+from repro.minic.parser import parse
+from repro.minic.typecheck import check
+
+R = AccessKind.READ
+W = AccessKind.WRITE
+
+
+def pairs_for(src, func="f"):
+    prog = normalize_program(parse(src))
+    pinfo = check(prog)
+    f = prog.func(func)
+    lsv = compute_lsv(f, pinfo)
+    result = find_pairs(f, lsv, pinfo)
+    decoded = set()
+    for first_aid, second_aid in result.pairs:
+        a = result.accesses[first_aid]
+        b = result.accesses[second_aid]
+        decoded.add((a.var, a.kind, b.var, b.kind))
+    return decoded, result
+
+
+def test_simple_read_write_pair():
+    decoded, _ = pairs_for("""
+    int g;
+    void f() {
+        int t = g;
+        g = t + 1;
+    }
+    void main() {}
+    """)
+    assert ("g", R, "g", W) in decoded
+
+
+def test_figure3_overlapping_ars():
+    # two overlapping ARs on two different shared variables
+    decoded, _ = pairs_for("""
+    int shared1;
+    int shared2;
+    void f(int *x, int *y) {
+        *x = shared1;
+        *y = shared2;
+        shared1 = 3;
+        shared2 = 4;
+    }
+    void main() {}
+    """)
+    assert ("shared1", R, "shared1", W) in decoded
+    assert ("shared2", R, "shared2", W) in decoded
+
+
+def test_figure4_three_pairs_through_branch():
+    # read; if (...) write; read  ->  pairs (R,W), (W,R) and (R,R)
+    decoded, _ = pairs_for("""
+    int shared;
+    void f(int *out) {
+        int a = shared;
+        if (a > 0) {
+            shared = a + 1;
+        }
+        *out = shared;
+    }
+    void main() {}
+    """)
+    assert ("shared", R, "shared", W) in decoded
+    assert ("shared", W, "shared", R) in decoded
+    assert ("shared", R, "shared", R) in decoded
+
+
+def test_no_pair_across_intervening_access():
+    # middle access kills: first R pairs with middle W, middle W pairs
+    # with last W, but first R never pairs directly with last W
+    _, result = pairs_for("""
+    int g;
+    void f() {
+        int a = g;
+        g = 1;
+        g = 2;
+    }
+    void main() {}
+    """)
+    by_kind = set()
+    for fa, sa in result.pairs:
+        a, b = result.accesses[fa], result.accesses[sa]
+        if a.var == b.var == "g":
+            by_kind.add((a.kind, b.kind, a.line, b.line))
+    lines = sorted((x[2], x[3]) for x in by_kind)
+    # adjacent pairs only: (line4,line5) and (line5,line6)
+    assert len(lines) == 2
+    assert lines[0][1] == lines[1][0]
+
+
+def test_loop_back_edge_pairs_access_with_itself():
+    decoded, _ = pairs_for("""
+    int g;
+    void f() {
+        int i = 0;
+        while (i < 3) {
+            g = g + 1;
+            i = i + 1;
+        }
+    }
+    void main() {}
+    """)
+    assert ("g", W, "g", R) in decoded  # across iterations
+    assert ("g", R, "g", W) in decoded  # within the statement
+
+
+def test_non_shared_variables_produce_no_pairs():
+    decoded, _ = pairs_for("""
+    void f() {
+        int a = 1;
+        int b = a;
+        a = b + 1;
+    }
+    void main() {}
+    """)
+    assert decoded == set()
+
+
+def test_deref_accesses_pair_by_pointer_name():
+    decoded, _ = pairs_for("""
+    int *p;
+    void f() {
+        int v = *p;
+        *p = v + 1;
+    }
+    void main() {}
+    """)
+    assert ("*p", R, "*p", W) in decoded
+
+
+def test_sync_builtin_accesses_pair():
+    decoded, _ = pairs_for("""
+    int m;
+    void f() {
+        lock(&m);
+        unlock(&m);
+    }
+    void main() {}
+    """)
+    # lock writes m, unlock writes m -> (W, W) pair spanning the section
+    assert ("m", W, "m", W) in decoded
+
+
+def test_array_treated_as_single_variable():
+    decoded, _ = pairs_for("""
+    int a[8];
+    void f(int i, int j) {
+        int x = a[i];
+        a[j] = x;
+    }
+    void main() {}
+    """)
+    assert ("a", R, "a", W) in decoded
+
+
+def test_branches_merge_pairs_from_both_paths():
+    decoded, _ = pairs_for("""
+    int g;
+    void f(int c) {
+        if (c > 0) {
+            g = 1;
+        } else {
+            int t = g;
+        }
+        g = 5;
+    }
+    void main() {}
+    """)
+    assert ("g", W, "g", W) in decoded
+    assert ("g", R, "g", W) in decoded

@@ -1,0 +1,186 @@
+"""Pointer-analysis extension tests (Section 3.5 future work)."""
+
+from repro.analysis.normalize import normalize_program
+from repro.analysis.pointers import compute_points_to
+from repro.core.config import KivatiConfig, OptLevel
+from repro.core.session import ProtectedProgram
+from repro.minic.ast import AccessKind
+from repro.minic.parser import parse
+from repro.minic.typecheck import check
+
+R = AccessKind.READ
+W = AccessKind.WRITE
+
+
+def points_for(src):
+    program = normalize_program(parse(src))
+    pinfo = check(program)
+    return compute_points_to(program, pinfo), program, pinfo
+
+
+def test_address_of_and_copy():
+    pts, _, _ = points_for("""
+    int g;
+    void f() {
+        int *p = &g;
+        int *q = p;
+        *q = 1;
+    }
+    void main() {}
+    """)
+    f = pts["f"]
+    assert f.targets("p") == {"g"}
+    assert f.targets("q") == {"g"}
+    assert f.resolve_deref("q") == "g"
+
+
+def test_ambiguous_pointer_unresolved():
+    pts, _, _ = points_for("""
+    int a;
+    int b;
+    void f(int c) {
+        int *p = &a;
+        if (c) {
+            p = &b;
+        }
+        *p = 1;
+    }
+    void main() {}
+    """)
+    assert pts["f"].targets("p") == {"a", "b"}
+    assert pts["f"].resolve_deref("p") is None
+
+
+def test_heap_objects_not_resolved_to_names():
+    pts, _, _ = points_for("""
+    void f() {
+        int *p = alloc(2);
+        *p = 1;
+    }
+    void main() {}
+    """)
+    assert pts["f"].resolve_deref("p") is None
+    assert any(t.startswith("heap@") for t in pts["f"].targets("p"))
+
+
+def test_parameter_binding_across_calls():
+    pts, _, _ = points_for("""
+    int g;
+    void callee(int *p) { *p = 1; }
+    void main() { callee(&g); }
+    """)
+    assert pts["callee"].resolve_deref("p") == "g"
+
+
+def test_spawn_argument_binding():
+    pts, _, _ = points_for("""
+    int g;
+    void child(int *out) { *out = 1; }
+    void main() { spawn child(&g); join(); }
+    """)
+    assert pts["child"].resolve_deref("out") == "g"
+
+
+ALIAS_BUG = """
+int x = 0;
+
+void local_thread() {
+    int *p = &x;
+    int t = *p;
+    sleep(40000);
+    x = t + 1;
+}
+
+void remote_thread() {
+    sleep(15000);
+    x = 99;
+}
+
+void main() {
+    spawn local_thread();
+    spawn remote_thread();
+    join();
+    output(x);
+}
+"""
+
+
+def test_alias_pairing_creates_ar_name_based_analysis_misses():
+    # name-based: "*p" and "x" never pair -> no AR spanning the window
+    intra = ProtectedProgram(ALIAS_BUG)
+    spanning = [i for i in intra.ar_table.values()
+                if i.var == "x" and i.func == "local_thread"]
+    assert not spanning
+
+    # with pointer analysis, *p resolves to x and pairs with the write
+    pa = ProtectedProgram(ALIAS_BUG, pointer_analysis=True)
+    spanning = [i for i in pa.ar_table.values()
+                if i.var == "x" and i.func == "local_thread"]
+    assert spanning
+    assert spanning[0].first_kind == R
+    assert set(spanning[0].second_kinds.values()) == {W}
+
+
+def test_alias_violation_detected_and_prevented():
+    pa = ProtectedProgram(ALIAS_BUG, pointer_analysis=True)
+    report = pa.run(KivatiConfig(opt=OptLevel.BASE), seed=1)
+    found = [v for v in report.violations
+             if v.var == "x" and v.func == "local_thread"]
+    assert found
+    assert report.output == [99]
+
+    intra = ProtectedProgram(ALIAS_BUG)
+    report = intra.run(KivatiConfig(opt=OptLevel.BASE), seed=1)
+    assert not [v for v in report.violations
+                if v.var == "x" and v.func == "local_thread"]
+
+
+def test_element_granularity_separates_array_slots():
+    src = """
+    int a[4];
+    void f() {
+        int t = a[0];
+        a[0] = t + 1;
+        int u = a[1];
+        a[1] = u + 1;
+    }
+    void main() { f(); }
+    """
+    whole = ProtectedProgram(src)
+    whole_vars = {i.var for i in whole.ar_table.values()}
+    assert "a" in whole_vars
+
+    fine = ProtectedProgram(src, pointer_analysis=True)
+    fine_vars = {i.var for i in fine.ar_table.values()}
+    assert "a[0]" in fine_vars and "a[1]" in fine_vars
+    # and elements no longer cross-pair: no AR whose first is a[0] and
+    # second site is the a[1] statement
+    for info in fine.ar_table.values():
+        if info.var == "a[0]":
+            assert len(info.second_kinds) == 1
+
+
+def test_element_granularity_program_still_correct():
+    src = """
+    int a[4];
+    void w(int i, int n) {
+        int k = 0;
+        while (k < n) {
+            int t = a[i];
+            a[i] = t + 1;
+            k = k + 1;
+        }
+    }
+    void main() {
+        spawn w(0, 10);
+        spawn w(1, 10);
+        join();
+        output(a[0] + a[1]);
+    }
+    """
+    pa = ProtectedProgram(src, pointer_analysis=True)
+    report = pa.run(
+        KivatiConfig(opt=OptLevel.OPTIMIZED, suspend_timeout_ns=10_000),
+        seed=2,
+    )
+    assert report.output == [20]

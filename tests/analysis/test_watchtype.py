@@ -1,0 +1,66 @@
+"""Figure 2 / Figure 6 logic tests."""
+
+import itertools
+
+import pytest
+
+from repro.analysis.watchtype import (
+    is_unserializable,
+    remote_watch_kinds,
+    union_watch_kinds,
+)
+from repro.minic.ast import AccessKind
+
+R = AccessKind.READ
+W = AccessKind.WRITE
+
+
+def test_exactly_four_unserializable_interleavings():
+    bad = [
+        combo
+        for combo in itertools.product((R, W), repeat=3)
+        if is_unserializable(*combo)
+    ]
+    assert set(bad) == {(R, W, R), (W, W, R), (W, R, W), (R, W, W)}
+
+
+def test_remote_read_between_reads_is_serializable():
+    assert not is_unserializable(R, R, R)
+    assert not is_unserializable(W, R, R)
+    assert not is_unserializable(R, R, W)
+    assert not is_unserializable(W, W, W)
+
+
+@pytest.mark.parametrize(
+    "first,second,expected",
+    [
+        (R, R, (False, True)),
+        (R, W, (False, True)),
+        (W, R, (False, True)),
+        (W, W, (True, False)),
+    ],
+)
+def test_figure6_watch_matrix(first, second, expected):
+    assert remote_watch_kinds(first, second) == expected
+
+
+def test_watch_kinds_cover_all_violations():
+    # whatever remote kind makes (first, remote, second) unserializable
+    # must be watched by the Figure 6 kinds for that pair
+    for first, second in itertools.product((R, W), repeat=2):
+        watch_read, watch_write = remote_watch_kinds(first, second)
+        for remote in (R, W):
+            if is_unserializable(first, remote, second):
+                if remote is R:
+                    assert watch_read
+                else:
+                    assert watch_write
+
+
+def test_union_for_branching_seconds():
+    # first W pairing with both a second R and a second W (bottom-right of
+    # Figure 6) must watch both kinds
+    assert union_watch_kinds(W, [R, W]) == (True, True)
+    assert union_watch_kinds(R, [R, W]) == (False, True)
+    assert union_watch_kinds(W, [W]) == (True, False)
+    assert union_watch_kinds(W, []) == (False, False)

@@ -1,0 +1,141 @@
+"""Baseline comparator tests."""
+
+from repro.baselines.avio import run_avio_like
+from repro.baselines.lockset import run_lockset
+from repro.compiler.codegen import compile_program
+from repro.machine.machine import Machine
+from repro.minic.parser import parse
+
+RACY = """
+int x = 0;
+void local_thread() {
+    int t = x;
+    sleep(40000);
+    x = t + 1;
+}
+void remote_thread() {
+    sleep(15000);
+    x = 99;
+}
+void main() {
+    spawn local_thread();
+    spawn remote_thread();
+    join();
+    output(x);
+}
+"""
+
+LOCKED = """
+int m = 0;
+int x = 0;
+void worker(int n) {
+    int i = 0;
+    while (i < n) {
+        lock(&m);
+        int t = x;
+        x = t + 1;
+        unlock(&m);
+        i = i + 1;
+    }
+}
+void main() {
+    spawn worker(25);
+    spawn worker(25);
+    join();
+    output(x);
+}
+"""
+
+
+def build(src):
+    return compile_program(parse(src))
+
+
+def test_avio_detects_the_violation():
+    result, runtime = run_avio_like(build(RACY), seed=1)
+    assert runtime.accesses_observed > 0
+    found = [v for v in runtime.violations]
+    assert found
+    kinds = {(v.first_kind.value, v.remote_kind.value, v.second_kind.value)
+             for v in found}
+    assert ("R", "W", "W") in kinds
+
+
+def test_avio_does_not_prevent():
+    result, _ = run_avio_like(build(RACY), seed=1)
+    # testing-tool semantics: the lost update still happens
+    assert result.output == [1]
+
+
+def test_avio_overhead_is_large():
+    program = build(LOCKED)
+    vanilla = Machine(program, seed=1).run(raise_on_deadlock=True)
+    instrumented, _ = run_avio_like(build(LOCKED), seed=1)
+    slowdown = instrumented.time_ns / vanilla.time_ns
+    # the paper cites 2.2x-72x for this tool class
+    assert slowdown > 2.0
+
+
+def test_lockset_flags_unprotected_sharing():
+    _, runtime = run_lockset(build(RACY), seed=1)
+    assert runtime.races
+
+
+def test_lockset_quiet_on_fully_locked_program():
+    _, runtime = run_lockset(build(LOCKED), seed=1)
+    program = build(LOCKED)
+    x_addr = program.global_addr("x")
+    assert not [r for r in runtime.races if r.addr == x_addr]
+
+
+def test_per_access_cost_configurable():
+    cheap, _ = run_avio_like(build(LOCKED), seed=1, per_access_cost=1)
+    dear, _ = run_avio_like(build(LOCKED), seed=1, per_access_cost=200)
+    assert dear.time_ns > cheap.time_ns
+
+
+def test_ctrigger_exploration_finds_the_race():
+    from repro.baselines.ctrigger import explore
+
+    result = explore(build(RACY), runs=6, seed_base=0)
+    assert result.found
+    assert result.first_violation_run is not None
+    assert result.unique_sites()
+    assert result.runs == 6
+    assert result.accesses_observed > 0
+
+
+def test_ctrigger_reports_benign_cross_section_pairs_on_locked_code():
+    # the AVIO-style oracle is lock-oblivious: consecutive accesses from
+    # different critical sections look like (W,W,R) triples — the benign
+    # false positives the paper says testing tools must train away
+    from repro.baselines.ctrigger import explore
+
+    program = build(LOCKED)
+    result = explore(program, runs=4, seed_base=0)
+    # all such reports are benign: the program's output stays correct
+    # (checked in test_avio_does_not_prevent for the racy case)
+    assert result.runs == 4
+
+
+def test_ctrigger_quiet_on_single_threaded_program():
+    from repro.baselines.ctrigger import explore
+
+    program = build("""
+    int x = 0;
+    void main() {
+        int i = 0;
+        while (i < 50) { x = x + 1; i = i + 1; }
+        output(x);
+    }
+    """)
+    result = explore(program, runs=3, seed_base=0)
+    assert not result.found
+
+
+def test_ctrigger_cost_scales_with_runs():
+    from repro.baselines.ctrigger import explore
+
+    few = explore(build(LOCKED), runs=2)
+    many = explore(build(LOCKED), runs=6)
+    assert many.total_time_ns > few.total_time_ns * 2

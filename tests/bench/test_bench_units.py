@@ -1,0 +1,56 @@
+"""Bench infrastructure unit tests (cheap pieces only; the heavy table
+generators are exercised by the benchmarks/ suite)."""
+
+from repro.bench.render import Table, pct
+from repro.bench.scale import SCALE, bench_config, scaled_times
+from repro.bench import table1, table2
+from repro.core.config import Mode, OptLevel
+
+
+def test_render_table_alignment():
+    table = Table("demo", ["A", "Blong"], note="n")
+    table.add_row("x", 1)
+    table.add_row("longer", 22)
+    text = table.render()
+    assert "demo" in text
+    assert "longer" in text
+    assert "note: n" in text
+    lines = [l for l in text.splitlines() if l.startswith(("A", "x", "longer"))]
+    assert len({line.index("B") if "B" in line else None
+                for line in lines if "B" in line}) <= 1
+
+
+def test_pct():
+    assert pct(0.191) == "19.1%"
+
+
+def test_bench_config_scales_time_constants():
+    config = bench_config(Mode.BUG_FINDING, OptLevel.BASE, pause_ms=50)
+    assert config.pause_ns == 50 * 1_000_000 // SCALE
+    assert config.suspend_timeout_ns == 10 * 1_000_000 // SCALE
+    assert config.mode == Mode.BUG_FINDING
+    assert not config.opt.o1_userspace
+
+
+def test_bench_config_overrides():
+    config = bench_config(num_watchpoints=8, pause_probability=0.5)
+    assert config.num_watchpoints == 8
+    assert config.pause_probability == 0.5
+
+
+def test_scaled_times_format():
+    # 1 µs of simulation renders as 1 paper-second
+    assert scaled_times(60_000) == "1:00"
+    assert scaled_times(90_500) == "1:30"
+    assert scaled_times(0) == "0:00"
+
+
+def test_table1_is_static_and_correct():
+    assert table1.matches_paper()
+    text = table1.generate().render()
+    assert "SPARC" in text
+
+
+def test_table2_lists_five_apps():
+    table = table2.generate(scale=0.1)
+    assert len(table.rows) == 5

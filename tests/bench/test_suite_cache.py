@@ -1,0 +1,36 @@
+"""Measurement-suite plumbing tests (small scale)."""
+
+from repro.bench.suite import AppMeasurement, SuiteResults, run_suite
+from repro.core.config import Mode, OptLevel
+
+
+def test_suite_runs_and_caches():
+    first = run_suite(scale=0.06, seed=1,
+                      levels=(OptLevel.OPTIMIZED,),
+                      modes=(Mode.PREVENTION,))
+    second = run_suite(scale=0.06, seed=1,
+                       levels=(OptLevel.OPTIMIZED,),
+                       modes=(Mode.PREVENTION,))
+    assert first is second
+    assert len(first.apps) == 5
+    for app in first:
+        assert isinstance(app, AppMeasurement)
+        assert app.overhead(OptLevel.OPTIMIZED) > -0.2
+        report = app.report(OptLevel.OPTIMIZED)
+        assert report.result.instr_count > 0
+
+
+def test_suite_geometric_mean():
+    suite = run_suite(scale=0.06, seed=1,
+                      levels=(OptLevel.OPTIMIZED,),
+                      modes=(Mode.PREVENTION,))
+    gm = suite.geometric_mean_overhead(OptLevel.OPTIMIZED)
+    overheads = [max(1e-6, a.overhead(OptLevel.OPTIMIZED)) for a in suite]
+    assert min(overheads) <= gm <= max(overheads)
+
+
+def test_suite_indexing():
+    suite = run_suite(scale=0.06, seed=1,
+                      levels=(OptLevel.OPTIMIZED,),
+                      modes=(Mode.PREVENTION,))
+    assert suite["NSS"].name == "NSS"

@@ -1,0 +1,335 @@
+"""Compiler + VM execution tests for the core language semantics."""
+
+import pytest
+
+from repro.compiler.codegen import compile_program
+from repro.errors import CompileError, DivideByZero
+from repro.machine.machine import Machine
+from repro.minic.parser import parse
+
+
+def run(src, **kwargs):
+    program = compile_program(parse(src))
+    machine = Machine(program, **kwargs)
+    result = machine.run(raise_on_deadlock=True)
+    return result
+
+
+def outputs(src, **kwargs):
+    return run(src, **kwargs).output
+
+
+def test_arithmetic():
+    assert outputs("""
+    void main() {
+        output(2 + 3 * 4);
+        output((2 + 3) * 4);
+        output(10 / 3);
+        output(10 % 3);
+        output(-5);
+    }
+    """) == [14, 20, 3, 1, -5]
+
+
+def test_comparisons_and_logic():
+    assert outputs("""
+    void main() {
+        output(1 < 2);
+        output(2 <= 1);
+        output(3 == 3);
+        output(3 != 3);
+        output(1 && 0);
+        output(1 || 0);
+        output(!0);
+        output(!7);
+    }
+    """) == [1, 0, 1, 0, 0, 1, 1, 0]
+
+
+def test_short_circuit_evaluation():
+    # the right side would divide by zero if evaluated
+    assert outputs("""
+    void main() {
+        int z = 0;
+        output(0 && (1 / z));
+        output(1 || (1 / z));
+    }
+    """) == [0, 1]
+
+
+def test_division_by_zero_faults():
+    result = run("void main() { int z = 0; output(1 / z); }")
+    assert isinstance(result.fault, DivideByZero)
+
+
+def test_globals_and_locals():
+    assert outputs("""
+    int g = 7;
+    void main() {
+        int x = g + 1;
+        g = x * 2;
+        output(g);
+    }
+    """) == [16]
+
+
+def test_global_arrays():
+    assert outputs("""
+    int a[5];
+    void main() {
+        int i = 0;
+        while (i < 5) {
+            a[i] = i * i;
+            i = i + 1;
+        }
+        output(a[0] + a[1] + a[2] + a[3] + a[4]);
+    }
+    """) == [30]
+
+
+def test_local_arrays():
+    assert outputs("""
+    void main() {
+        int a[3];
+        a[0] = 1;
+        a[1] = 2;
+        a[2] = a[0] + a[1];
+        output(a[2]);
+    }
+    """) == [3]
+
+
+def test_pointers_and_addrof():
+    assert outputs("""
+    int g = 5;
+    void main() {
+        int *p = &g;
+        *p = *p + 1;
+        output(g);
+        int x = 10;
+        p = &x;
+        *p = 77;
+        output(x);
+    }
+    """) == [6, 77]
+
+
+def test_pointer_into_array():
+    assert outputs("""
+    int a[4];
+    void main() {
+        int *p = &a[1];
+        *p = 42;
+        output(a[1]);
+        output(p[1] + a[2]);
+    }
+    """) == [42, 0]
+
+
+def test_function_calls_and_returns():
+    assert outputs("""
+    int add(int x, int y) { return x + y; }
+    int fib(int n) {
+        if (n < 2) { return n; }
+        return add(fib(n - 1), fib(n - 2));
+    }
+    void main() { output(fib(10)); }
+    """) == [55]
+
+
+def test_by_reference_params():
+    assert outputs("""
+    void set(int *out, int v) { *out = v; }
+    void main() {
+        int r = 0;
+        set(&r, 9);
+        output(r);
+    }
+    """) == [9]
+
+
+def test_temporaries_survive_calls():
+    # register windows: a live temporary must not be clobbered by a call
+    assert outputs("""
+    int f(int x) { int t = x * 100; return t; }
+    void main() { output(5 + f(2) + 3); }
+    """) == [208]
+
+
+def test_while_break_continue():
+    assert outputs("""
+    void main() {
+        int i = 0;
+        int total = 0;
+        while (1) {
+            i = i + 1;
+            if (i > 10) { break; }
+            if (i % 2 == 0) { continue; }
+            total = total + i;
+        }
+        output(total);
+    }
+    """) == [25]
+
+
+def test_for_loop():
+    assert outputs("""
+    void main() {
+        int total = 0;
+        for (int_unused = 0; 0; ) {}
+        int i;
+        for (i = 0; i < 5; i = i + 1) { total = total + i; }
+        output(total);
+    }
+    """.replace("for (int_unused = 0; 0; ) {}", "")) == [10]
+
+
+def test_alloc_builtin():
+    assert outputs("""
+    void main() {
+        int *p = alloc(3);
+        p[0] = 5;
+        p[2] = 7;
+        int *q = alloc(1);
+        *q = p[0] + p[2];
+        output(*q);
+    }
+    """) == [12]
+
+
+def test_rand_is_deterministic_and_bounded():
+    out1 = outputs("""
+    void main() {
+        int i = 0;
+        while (i < 20) { output(rand(10)); i = i + 1; }
+    }
+    """, seed=5)
+    out2 = outputs("""
+    void main() {
+        int i = 0;
+        while (i < 20) { output(rand(10)); i = i + 1; }
+    }
+    """, seed=5)
+    assert out1 == out2
+    assert all(0 <= v < 10 for v in out1)
+
+
+def test_tid_builtin():
+    assert outputs("void main() { output(tid()); }") == [0]
+
+
+def test_cas_builtin():
+    assert outputs("""
+    int g = 5;
+    void main() {
+        output(cas(&g, 5, 9));
+        output(g);
+        output(cas(&g, 5, 11));
+        output(g);
+    }
+    """) == [1, 9, 0, 9]
+
+
+def test_atomic_add_returns_old():
+    assert outputs("""
+    int g = 10;
+    void main() {
+        output(atomic_add(&g, 5));
+        output(g);
+    }
+    """) == [10, 15]
+
+
+def test_copyword_builtin():
+    assert outputs("""
+    int a = 3;
+    int b = 0;
+    void main() {
+        copyword(&b, &a);
+        output(b);
+    }
+    """) == [3]
+
+
+def test_funcref_and_invoke():
+    assert outputs("""
+    int hook;
+    void handler() { output(99); }
+    void main() {
+        hook = funcref(handler);
+        invoke(&hook);
+    }
+    """) == [99]
+
+
+def test_deep_expression_raises_compile_error():
+    expr = "1" + " + (2" * 20 + ")" * 20
+    with pytest.raises(CompileError):
+        compile_program(parse("void main() { int x = %s; }" % expr))
+
+
+def test_spawn_join_basic():
+    result = run("""
+    int done = 0;
+    void child(int v) { atomic_add(&done, v); }
+    void main() {
+        spawn child(3);
+        spawn child(4);
+        join();
+        output(done);
+    }
+    """)
+    assert result.output == [7]
+    assert result.threads == 3
+
+
+def test_spawn_passes_args_by_value():
+    assert outputs("""
+    int r1 = 0;
+    int r2 = 0;
+    void child(int a, int b, int *out) { *out = a * 10 + b; }
+    void main() {
+        spawn child(1, 2, &r1);
+        spawn child(3, 4, &r2);
+        join();
+        output(r1);
+        output(r2);
+    }
+    """) == [12, 34]
+
+
+def test_locks_provide_mutual_exclusion():
+    result = run("""
+    int m = 0;
+    int counter = 0;
+    void worker(int n) {
+        int i = 0;
+        while (i < n) {
+            lock(&m);
+            int t = counter;
+            counter = t + 1;
+            unlock(&m);
+            i = i + 1;
+        }
+    }
+    void main() {
+        spawn worker(200);
+        spawn worker(200);
+        join();
+        output(counter);
+    }
+    """, num_cores=2)
+    assert result.output == [400]
+
+
+def test_sleep_orders_events():
+    assert outputs("""
+    void late() { sleep(100000); output(2); }
+    void early() { output(1); }
+    void main() {
+        spawn late();
+        spawn early();
+        join();
+        output(3);
+    }
+    """) == [1, 2, 3]

@@ -1,0 +1,60 @@
+"""Disassembler and program-image tests."""
+
+from repro.compiler.codegen import compile_program
+from repro.compiler.disasm import disassemble, format_instr
+from repro.compiler.bytecode import Instr, Op
+from repro.compiler.program import GLOBALS_BASE
+from repro.minic.parser import parse
+
+SRC = """
+int g = 3;
+int a[4];
+int add2(int x, int y) { return x + y; }
+void main() {
+    g = add2(g, a[1]);
+    output(g);
+}
+"""
+
+
+def test_disassemble_lists_every_instruction():
+    program = compile_program(parse(SRC))
+    text = disassemble(program)
+    lines = [l for l in text.splitlines() if ":" in l and not l.endswith(":")]
+    assert len(lines) == len(program.instrs)
+    assert "main:" in text
+    assert "add2:" in text
+
+
+def test_format_instr_variants():
+    assert format_instr(Instr(Op.LI, 2, 7)) == "li r2, 7"
+    assert format_instr(Instr(Op.LD, 1, 2)) == "ld r1, [r2]"
+    assert format_instr(Instr(Op.ST, 1, 2)) == "st [r1], r2"
+    assert format_instr(Instr(Op.ADD, 0, 1, 2)) == "add r0, r1, r2"
+    assert format_instr(Instr(Op.BEGINAT, 5, 3)) == "beginat ar5, [r3]"
+    assert format_instr(Instr(Op.CLEARAR)) == "clearar"
+    assert "cas r0" in format_instr(Instr(Op.CAS, 0, 1, 2, 3))
+
+
+def test_global_layout_sequential():
+    program = compile_program(parse(SRC))
+    assert program.global_addr("g") == GLOBALS_BASE
+    assert program.global_addr("a") == GLOBALS_BASE + 1
+    assert program.globals_end == GLOBALS_BASE + 5
+    assert program.global_inits[GLOBALS_BASE] == 3
+
+
+def test_location_reports_function_and_line():
+    program = compile_program(parse(SRC))
+    entry = program.func("add2").entry
+    loc = program.location(entry)
+    assert loc.startswith("add2+0")
+    assert program.func_at(entry).name == "add2"
+    assert program.location(10_000) == "pc=10000"
+
+
+def test_function_indices_match_table():
+    program = compile_program(parse(SRC))
+    for index, image in enumerate(program.func_by_index):
+        assert program.func_index(image.name) == index
+        assert image.entry <= image.end

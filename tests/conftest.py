@@ -1,0 +1,56 @@
+"""Shared test helpers."""
+
+import pytest
+
+from repro.core.config import KivatiConfig, Mode, OptLevel
+from repro.core.session import ProtectedProgram
+
+
+@pytest.fixture
+def protect():
+    """Factory fixture: protect(source) -> ProtectedProgram (cached)."""
+    cache = {}
+
+    def _protect(source):
+        pp = cache.get(source)
+        if pp is None:
+            pp = ProtectedProgram(source)
+            cache[source] = pp
+        return pp
+
+    return _protect
+
+
+def config(**kwargs):
+    """KivatiConfig shorthand with test-friendly defaults."""
+    kwargs.setdefault("opt", OptLevel.BASE)
+    kwargs.setdefault("mode", Mode.PREVENTION)
+    return KivatiConfig(**kwargs)
+
+
+# The classic check-then-act lost-update kernel (Figure 1 shape). The
+# local thread reads x, dawdles, then writes x+1; the remote thread writes
+# 99 inside the window. Unprotected, the local write clobbers the remote
+# one (lost update -> output 1). Kivati must reorder the remote write
+# after the AR (output 99).
+LOST_UPDATE_SRC = """
+int x = 0;
+
+void local_thread() {
+    int t = x;
+    sleep(50000);
+    x = t + 1;
+}
+
+void remote_thread() {
+    sleep(20000);
+    x = 99;
+}
+
+void main() {
+    spawn local_thread();
+    spawn remote_thread();
+    join();
+    output(x);
+}
+"""

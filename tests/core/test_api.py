@@ -1,0 +1,108 @@
+"""Public API tests."""
+
+import pytest
+
+from repro import (
+    Kivati,
+    KivatiConfig,
+    Mode,
+    OptLevel,
+    OptimizationConfig,
+    annotate_source,
+    run_protected,
+    run_vanilla,
+)
+from repro.core.session import ProtectedProgram
+from repro.errors import ConfigError
+
+SRC = """
+int x = 0;
+void bump() {
+    int t = x;
+    x = t + 1;
+}
+void main() {
+    bump();
+    bump();
+    output(x);
+}
+"""
+
+
+def test_annotate_source_returns_text_and_registry():
+    text, result = annotate_source(SRC)
+    assert "begin_atomic(" in text
+    assert result.num_ars >= 1
+
+
+def test_run_protected_and_vanilla_agree_on_sequential_code():
+    vanilla = run_vanilla(SRC)
+    report = run_protected(SRC)
+    assert vanilla.output == report.output == [2]
+
+
+def test_facade_caches_programs():
+    kivati = Kivati()
+    pp1 = kivati.protect(SRC)
+    pp2 = kivati.protect(SRC)
+    assert pp1 is pp2
+
+
+def test_facade_run_with_overrides():
+    kivati = Kivati(KivatiConfig(opt=OptLevel.BASE))
+    report = kivati.run(SRC, seed=2, opt=OptLevel.OPTIMIZED)
+    assert report.output == [2]
+    assert report.config.opt.o1_userspace
+
+
+def test_overhead_positive_for_instrumented_code():
+    kivati = Kivati(KivatiConfig(opt=OptLevel.BASE))
+    assert kivati.overhead(SRC) > 0
+
+
+def test_protected_program_exposes_registry():
+    pp = ProtectedProgram(SRC)
+    assert set(pp.ar_table) == set(
+        info.ar_id for info in pp.ar_table.values())
+    assert pp.num_ars == len(pp.ar_table)
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        KivatiConfig(num_watchpoints=0)
+    with pytest.raises(ConfigError):
+        KivatiConfig(num_cores=0)
+    with pytest.raises(ConfigError):
+        KivatiConfig(pause_probability=1.5)
+
+
+def test_config_copy_overrides():
+    config = KivatiConfig(seed=1)
+    other = config.copy(seed=9, mode=Mode.BUG_FINDING)
+    assert other.seed == 9
+    assert other.mode == Mode.BUG_FINDING
+    assert config.seed == 1
+
+
+def test_opt_levels_map_to_flags():
+    base = OptimizationConfig.from_level(OptLevel.BASE)
+    assert not any([base.o1_userspace, base.o2_lazy_free,
+                    base.o3_local_disable, base.o4_syncvars])
+    full = OptimizationConfig.from_level(OptLevel.OPTIMIZED)
+    assert all([full.o1_userspace, full.o2_lazy_free,
+                full.o3_local_disable, full.o4_syncvars])
+    null = OptimizationConfig.from_level(OptLevel.NULL_SYSCALL)
+    assert null.null_syscall
+
+
+def test_null_syscall_disables_detection_flags():
+    config = KivatiConfig(opt=OptLevel.NULL_SYSCALL)
+    assert not config.detection_enabled
+    assert not config.prevention_enabled
+
+
+def test_report_summary_and_crossings():
+    report = run_protected(SRC, KivatiConfig(opt=OptLevel.BASE))
+    assert "crossings" in report.summary()
+    assert report.crossings_per_second() > 0
+    assert report.false_positives() == report.violated_ars()

@@ -1,0 +1,69 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import main
+
+SRC = """
+int x = 0;
+void main() {
+    int t = x;
+    x = t + 1;
+    output(x);
+}
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(SRC)
+    return str(path)
+
+
+def test_annotate_command(program_file, capsys):
+    assert main(["annotate", program_file]) == 0
+    out = capsys.readouterr().out
+    assert "begin_atomic(" in out
+    assert "atomic regions" in out
+
+
+def test_run_command(program_file, capsys):
+    assert main(["run", program_file]) == 0
+    out = capsys.readouterr().out
+    assert "output: [1]" in out
+
+
+def test_vanilla_command(program_file, capsys):
+    assert main(["vanilla", program_file]) == 0
+    out = capsys.readouterr().out
+    assert "output: [1]" in out
+
+
+def test_run_with_options(program_file, capsys):
+    assert main(["run", program_file, "--opt", "base", "--seed", "3",
+                 "--watchpoints", "2"]) == 0
+    assert "output: [1]" in capsys.readouterr().out
+
+
+def test_apps_command(capsys):
+    assert main(["apps"]) == 0
+    out = capsys.readouterr().out
+    for name in ("NSS", "VLC", "Webstone", "TPC-W", "SPEC OMP"):
+        assert name in out
+
+
+def test_table_command_static(capsys):
+    assert main(["table", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "x86" in out
+
+
+def test_table_command_rejects_unknown(capsys):
+    assert main(["table", "42"]) == 2
+
+
+def test_bugs_single_id(capsys):
+    assert main(["bugs", "19938", "--bug-finding", "--attempts", "15"]) == 0
+    out = capsys.readouterr().out
+    assert "19938" in out

@@ -1,0 +1,39 @@
+"""Exception hierarchy tests."""
+
+import pytest
+
+from repro import errors
+
+
+def test_hierarchy():
+    assert issubclass(errors.LexError, errors.MiniCError)
+    assert issubclass(errors.ParseError, errors.MiniCError)
+    assert issubclass(errors.TypeError_, errors.MiniCError)
+    assert issubclass(errors.MiniCError, errors.ReproError)
+    assert issubclass(errors.MemoryFault, errors.MachineError)
+    assert issubclass(errors.DeadlockError, errors.MachineError)
+    assert issubclass(errors.StepLimitExceeded, errors.MachineError)
+    assert issubclass(errors.MachineError, errors.ReproError)
+    assert issubclass(errors.ConfigError, errors.ReproError)
+    assert issubclass(errors.WorkloadError, errors.ReproError)
+
+
+def test_minic_error_position_formatting():
+    err = errors.ParseError("boom", 7, 3)
+    assert "line 7:3" in str(err)
+    assert err.line == 7 and err.col == 3
+    plain = errors.ParseError("boom")
+    assert "line" not in str(plain)
+
+
+def test_memory_fault_carries_address():
+    err = errors.MemoryFault(42)
+    assert err.address == 42
+    assert "42" in str(err)
+
+
+def test_catching_base_covers_everything():
+    for exc in (errors.LexError("x"), errors.MemoryFault(1),
+                errors.ConfigError("c"), errors.CompileError("k")):
+        with pytest.raises(errors.ReproError):
+            raise exc

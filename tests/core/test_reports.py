@@ -1,0 +1,59 @@
+"""Violation record / log / run-report unit tests."""
+
+from repro.core.reports import RunReport, ViolationLog, ViolationRecord
+from repro.minic.ast import AccessKind
+
+R = AccessKind.READ
+W = AccessKind.WRITE
+
+
+def make_record(ar_id=1, prevented=True):
+    return ViolationRecord(
+        ar_id=ar_id, var="x", func="f", addr=1024, local_tid=1, remote_tid=2,
+        first_kind=R, remote_kind=W, second_kind=W, remote_pc=17,
+        remote_location="g+2 (line 9)", local_line_first=3,
+        local_line_second=5, time_ns=12_000, prevented=prevented,
+    )
+
+
+def test_interleaving_string():
+    assert make_record().interleaving == "(R, W, W)"
+
+
+def test_describe_mentions_everything_the_paper_logs():
+    text = make_record().describe()
+    # "records the thread IDs, address of the shared variable and program
+    # counters of the accesses" (Section 2.2)
+    assert "tid 1" in text and "tid 2" in text
+    assert "1024" in text
+    assert "g+2" in text
+    assert "(R, W, W)" in text
+
+
+def test_unprevented_marker():
+    assert "NOT PREVENTED" in make_record(prevented=False).describe()
+    assert "NOT PREVENTED" not in make_record(prevented=True).describe()
+
+
+def test_log_unique_ar_counting():
+    log = ViolationLog()
+    log.add(make_record(1))
+    log.add(make_record(1))
+    log.add(make_record(2))
+    assert len(log) == 3
+    assert log.violated_ar_ids() == {1, 2}
+    assert len(log.for_ar(1)) == 2
+
+
+def test_false_positive_excludes_known_bugs():
+    log = ViolationLog()
+    log.add(make_record(1))
+    log.add(make_record(2))
+
+    class FakeResult:
+        time_ns = 1_000_000
+        output = []
+
+    report = RunReport(FakeResult(), None, log, None, {})
+    assert report.false_positives(buggy_ar_ids={2}) == {1}
+    assert report.false_positives() == {1, 2}

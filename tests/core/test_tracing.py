@@ -1,0 +1,80 @@
+"""Execution-trace forensics tests."""
+
+from repro.core.config import KivatiConfig, OptLevel
+from repro.core.session import ProtectedProgram
+from repro.core.tracing import Trace
+
+RACY = """
+int x = 0;
+void local_thread() {
+    int t = x;
+    sleep(40000);
+    x = t + 1;
+}
+void remote_thread() {
+    sleep(15000);
+    x = 99;
+}
+void main() {
+    spawn local_thread();
+    spawn remote_thread();
+    join();
+    output(x);
+}
+"""
+
+
+def run_traced(src=RACY, **over):
+    trace = Trace()
+    pp = ProtectedProgram(src)
+    report = pp.run(KivatiConfig(opt=OptLevel.BASE, trace=trace, **over),
+                    seed=1)
+    return trace, report
+
+
+def test_trace_records_lifecycle_events():
+    trace, report = run_traced()
+    kinds = {e.kind for e in trace.events}
+    assert {"begin", "end", "trap", "undo", "suspend", "wake",
+            "violation"} <= kinds
+
+
+def test_trace_event_ordering_is_chronological_per_thread():
+    trace, _ = run_traced()
+    for tid in {e.tid for e in trace.events}:
+        times = [e.time_ns for e in trace.filter(tid=tid)]
+        assert times == sorted(times)
+
+
+def test_trace_filter_by_ar():
+    trace, report = run_traced()
+    violation = next(iter(report.violations))
+    events = trace.filter(ar_id=violation.ar_id)
+    assert any(e.kind == "begin" for e in events)
+    assert any(e.kind == "violation" for e in events)
+
+
+def test_violation_forensics_renders_context():
+    trace, report = run_traced()
+    violation = next(iter(report.violations))
+    text = trace.render_violation(violation)
+    assert "violation:" in text
+    assert "undo" in text
+    assert "suspend" in text
+
+
+def test_trace_bounded_memory():
+    trace = Trace(max_events=3)
+    for i in range(10):
+        trace.emit(i, 0, "begin", ar=1)
+    assert len(trace) == 3
+    assert trace.dropped == 7
+    assert "dropped" in trace.render()
+
+
+def test_untraced_run_unaffected():
+    pp = ProtectedProgram(RACY)
+    plain = pp.run(KivatiConfig(opt=OptLevel.BASE), seed=1)
+    traced, report = run_traced()
+    assert report.output == plain.output
+    assert report.time_ns == plain.time_ns

@@ -1,0 +1,73 @@
+"""Whitelist training tests."""
+
+from repro.core.config import KivatiConfig, Mode, OptLevel
+from repro.core.session import ProtectedProgram
+from repro.core.training import TrainingResult, train
+
+# a program with a benign racy counter: violations occur but the program
+# is correct by design (Figure 5 spirit)
+BENIGN = """
+int stats = 0;
+int done = 0;
+
+void racy_count(int n) {
+    int i = 0;
+    while (i < n) {
+        int pad = 0;
+        int acc = i;
+        while (pad < 12) { acc = acc * 3 + pad; pad = pad + 1; }
+        int t = stats;
+        stats = t + 1;
+        i = i + 1;
+    }
+    atomic_add(&done, 1);
+}
+
+void main() {
+    spawn racy_count(20);
+    spawn racy_count(20);
+    join();
+    output(done);
+}
+"""
+
+
+def config(mode=Mode.PREVENTION):
+    return KivatiConfig(mode=mode, opt=OptLevel.OPTIMIZED,
+                        suspend_timeout_ns=10_000, pause_ns=20_000,
+                        pause_probability=0.3)
+
+
+def test_training_accumulates_whitelist():
+    pp = ProtectedProgram(BENIGN)
+    result = train(pp, config(), iterations=6)
+    assert isinstance(result, TrainingResult)
+    assert len(result.iterations) == 6
+    # something benign must have been flagged at least once
+    assert sum(result.iterations) >= 1
+    assert len(result.whitelist) == sum(result.iterations)
+
+
+def test_training_converges():
+    pp = ProtectedProgram(BENIGN)
+    result = train(pp, config(), iterations=8)
+    # late iterations should find nothing new
+    assert result.iterations[-1] == 0
+    assert result.converged_after is not None
+
+
+def test_trained_whitelist_silences_false_positives():
+    pp = ProtectedProgram(BENIGN)
+    result = train(pp, config(Mode.BUG_FINDING), iterations=8)
+    trained = result.whitelist
+    final = pp.run(config().copy(whitelist=trained), seed=4242)
+    assert final.false_positives() - set(trained) == set()
+
+
+def test_buggy_ars_never_whitelisted():
+    pp = ProtectedProgram(BENIGN)
+    stats_ars = [i for i, info in pp.ar_table.items()
+                 if info.var == "stats"]
+    result = train(pp, config(Mode.BUG_FINDING), iterations=6,
+                   buggy_ar_ids=stats_ars)
+    assert not (set(result.whitelist) & set(stats_ars))

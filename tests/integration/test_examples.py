@@ -1,0 +1,55 @@
+"""Smoke-run the example scripts (the cheap ones) in-process."""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+
+def load_example(name):
+    path = os.path.abspath(os.path.join(EXAMPLES, name))
+    spec = importlib.util.spec_from_file_location("example_" + name[:-3],
+                                                  path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quickstart_runs(capsys):
+    load_example("quickstart.py").main()
+    out = capsys.readouterr().out
+    assert "the increment was lost" in out
+    assert "reordered after the atomic region" in out
+    assert "violation:" in out
+
+
+def test_protect_web_server_runs(capsys):
+    load_example("protect_web_server.py").main()
+    out = capsys.readouterr().out
+    assert "vanilla:" in out
+    assert "optimized" in out
+    assert "Kivati broke the app" not in out
+
+
+def test_train_whitelist_runs(capsys):
+    load_example("train_whitelist.py").main()
+    out = capsys.readouterr().out
+    assert "whitelist written" in out
+    assert "false positives:" in out
+
+
+@pytest.mark.slow
+def test_find_the_bug_runs(capsys):
+    load_example("find_the_bug.py").main()
+    out = capsys.readouterr().out
+    assert "DETECTED" in out
+
+
+def test_sharper_analysis_runs(capsys):
+    load_example("sharper_analysis.py").main()
+    out = capsys.readouterr().out
+    assert out.count("violation(s) reported") == 4
+    assert "forensic timeline" in out

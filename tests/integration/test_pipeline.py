@@ -1,0 +1,88 @@
+"""Cross-module pipeline integration tests."""
+
+import pytest
+
+from repro.core.config import KivatiConfig, OptLevel
+from repro.core.session import ProtectedProgram
+from repro.minic.parser import parse
+from repro.minic.pretty import pretty
+from repro.workloads.catalog import workload_suite
+
+
+@pytest.mark.parametrize(
+    "workload", workload_suite(scale=0.1), ids=lambda w: w.name
+)
+def test_annotated_output_reparses(workload):
+    """The pretty-printed annotated program must be parseable again
+    (modulo the annotation pseudo-statements, which we strip)."""
+    pp = ProtectedProgram(workload.source)
+    text = pretty(pp.annotation.ast)
+    stripped = "\n".join(
+        line for line in text.splitlines()
+        if not line.strip().startswith(("begin_atomic(", "end_atomic(",
+                                        "clear_ar(", "__shadow_store("))
+    )
+    reparsed = parse(stripped)
+    assert reparsed.func("main") is not None
+
+
+def test_stats_invariants_across_configs():
+    """Structural invariants of the statistics, across configurations."""
+    workload = workload_suite(scale=0.1)[0]
+    pp = ProtectedProgram(workload.source)
+    for opt in (OptLevel.BASE, OptLevel.SYNCVARS, OptLevel.OPTIMIZED):
+        report = pp.run(
+            KivatiConfig(opt=opt, suspend_timeout_ns=10_000), seed=2
+        )
+        s = report.stats
+        assert s.begin_syscalls <= s.begin_calls
+        assert s.end_syscalls <= s.end_calls
+        assert s.clear_syscalls <= s.clear_calls
+        assert s.traps == s.local_traps + s.remote_traps + s.stale_traps \
+            + s.lazy_reconciles or s.traps >= s.remote_traps
+        assert s.monitored_ars + s.missed_ars <= s.begin_calls
+        # whitelist checks happen at begins and ends alike
+        assert s.whitelist_hits <= s.begin_calls + s.end_calls
+        assert s.undos <= s.remote_traps
+        assert s.violations == len(report.violations)
+        assert s.suspend_timeouts <= s.suspensions
+
+
+def test_violation_ar_ids_always_resolvable():
+    src = """
+    int x = 0;
+    void local_thread() {
+        int t = x;
+        sleep(40000);
+        x = t + 1;
+    }
+    void remote_thread() {
+        sleep(15000);
+        x = 99;
+    }
+    void main() {
+        spawn local_thread();
+        spawn remote_thread();
+        join();
+    }
+    """
+    pp = ProtectedProgram(src)
+    report = pp.run(KivatiConfig(opt=OptLevel.BASE), seed=1)
+    assert report.violations
+    for violation in report.violations:
+        info = pp.ar_table[violation.ar_id]
+        assert info.var == violation.var
+        assert info.func == violation.func
+
+
+def test_seed_sweep_never_corrupts_apps():
+    """Protection must preserve app semantics across many seeds (the
+    paper's core safety claim: Kivati never introduces new errors)."""
+    workload = workload_suite(scale=0.1)[3]  # TPC-W, the most contended
+    pp = ProtectedProgram(workload.source)
+    for seed in range(6):
+        report = pp.run(
+            KivatiConfig(opt=OptLevel.OPTIMIZED, suspend_timeout_ns=10_000),
+            seed=seed,
+        )
+        assert workload.check_output(report.output), (seed, report.output)

@@ -1,0 +1,189 @@
+"""Textbook concurrency patterns under the VM and under Kivati.
+
+These are the classic kata — Peterson's lock, bounded producer/consumer,
+barrier phases, readers/writer handoff — exercising the machine's memory
+semantics and demonstrating that Kivati's prevention never breaks
+correctly-synchronized algorithms (including ones synchronized by plain
+flags rather than the lock builtins).
+"""
+
+import pytest
+
+from repro.core.config import KivatiConfig, OptLevel
+from repro.core.session import ProtectedProgram
+
+PETERSON = """
+int flag0 = 0;
+int flag1 = 0;
+int turn = 0;
+int counter = 0;
+
+void thread0(int n) {
+    int i = 0;
+    while (i < n) {
+        flag0 = 1;
+        turn = 1;
+        while (flag1 == 1 && turn == 1) { yield(); }
+        int t = counter;
+        counter = t + 1;
+        flag0 = 0;
+        i = i + 1;
+    }
+}
+
+void thread1(int n) {
+    int i = 0;
+    while (i < n) {
+        flag1 = 1;
+        turn = 0;
+        while (flag0 == 1 && turn == 0) { yield(); }
+        int t = counter;
+        counter = t + 1;
+        flag1 = 0;
+        i = i + 1;
+    }
+}
+
+void main() {
+    spawn thread0(15);
+    spawn thread1(15);
+    join();
+    output(counter);
+}
+"""
+
+BOUNDED_BUFFER = """
+int buf[4];
+int count = 0;
+int in_pos = 0;
+int out_pos = 0;
+int m = 0;
+int produced = 0;
+int consumed = 0;
+
+void producer(int n) {
+    int i = 0;
+    while (i < n) {
+        int done = 0;
+        while (done == 0) {
+            lock(&m);
+            if (count < 4) {
+                buf[in_pos % 4] = i + 1;
+                in_pos = in_pos + 1;
+                count = count + 1;
+                produced = produced + 1;
+                done = 1;
+            }
+            unlock(&m);
+            if (done == 0) { sleep(500); }
+        }
+        i = i + 1;
+    }
+}
+
+void consumer(int n) {
+    int i = 0;
+    int total = 0;
+    while (i < n) {
+        int got = 0;
+        while (got == 0) {
+            lock(&m);
+            if (count > 0) {
+                total = total + buf[out_pos % 4];
+                out_pos = out_pos + 1;
+                count = count - 1;
+                consumed = consumed + 1;
+                got = 1;
+            }
+            unlock(&m);
+            if (got == 0) { sleep(500); }
+        }
+        i = i + 1;
+    }
+    output(total);
+}
+
+void main() {
+    spawn producer(12);
+    spawn consumer(12);
+    join();
+    output(produced);
+    output(consumed);
+}
+"""
+
+PHASED_BARRIER = """
+int arrivals = 0;
+int phase = 0;
+int log_sum = 0;
+
+void barrier_wait(int nthreads) {
+    int my_phase = phase;
+    int arrived = atomic_add(&arrivals, 1);
+    if (arrived == nthreads - 1) {
+        arrivals = 0;
+        phase = my_phase + 1;
+    } else {
+        while (phase == my_phase) { sleep(300); }
+    }
+}
+
+void worker(int id, int nthreads, int phases) {
+    int p = 0;
+    while (p < phases) {
+        atomic_add(&log_sum, id + p);
+        barrier_wait(nthreads);
+        p = p + 1;
+    }
+}
+
+void main() {
+    spawn worker(1, 3, 4);
+    spawn worker(2, 3, 4);
+    spawn worker(3, 3, 4);
+    join();
+    output(log_sum);
+    output(phase);
+}
+"""
+
+CASES = [
+    ("peterson", PETERSON, [30]),
+    ("bounded-buffer", BOUNDED_BUFFER,
+     [sum(range(1, 13)), 12, 12]),
+    ("phased-barrier", PHASED_BARRIER,
+     [sum(id_ + p for id_ in (1, 2, 3) for p in range(4)), 4]),
+]
+
+_CACHE = {}
+
+
+def protect(src):
+    pp = _CACHE.get(src)
+    if pp is None:
+        pp = ProtectedProgram(src)
+        _CACHE[src] = pp
+    return pp
+
+
+@pytest.mark.parametrize("name,src,expected", CASES,
+                         ids=[c[0] for c in CASES])
+def test_pattern_vanilla(name, src, expected):
+    pp = protect(src)
+    for seed in (0, 1):
+        result = pp.run_vanilla(seed=seed)
+        assert result.output == expected, (name, seed, result.output)
+        assert not result.deadlocked
+
+
+@pytest.mark.parametrize("name,src,expected", CASES,
+                         ids=[c[0] for c in CASES])
+@pytest.mark.parametrize("opt", [OptLevel.BASE, OptLevel.OPTIMIZED],
+                         ids=["base", "optimized"])
+def test_pattern_protected(name, src, expected, opt):
+    pp = protect(src)
+    config = KivatiConfig(opt=opt, suspend_timeout_ns=15_000)
+    for seed in (0, 1):
+        report = pp.run(config, seed=seed)
+        assert report.output == expected, (name, opt, seed, report.output)
+        assert not report.result.deadlocked

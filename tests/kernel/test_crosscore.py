@@ -1,0 +1,154 @@
+"""Cross-core watchpoint propagation (Section 3.2) and exhaustion tests."""
+
+from repro.core.config import KivatiConfig, OptLevel
+from repro.core.session import ProtectedProgram
+
+
+def run(src, seed=1, **over):
+    pp = ProtectedProgram(src)
+    return pp, pp.run(KivatiConfig(opt=OptLevel.BASE, **over), seed=seed)
+
+
+BUSY_TWO_THREADS = """
+int x = 0;
+int spinner_done = 0;
+void user(int n) {
+    int i = 0;
+    while (i < n) {
+        int t = x;
+        x = t + 1;
+        int p = 0;
+        int acc = i;
+        while (p < 40) { acc = acc * 3 + p; p = p + 1; }
+        i = i + 1;
+    }
+    spinner_done = 1;
+}
+void busy() {
+    int acc = 1;
+    while (spinner_done == 0) {
+        acc = (acc * 5 + 1) % 91;
+    }
+}
+void main() {
+    spawn user(25);
+    spawn busy();
+    join();
+    output(x);
+}
+"""
+
+
+def test_detection_despite_lazy_propagation():
+    # the busy thread never makes a syscall: it only adopts watchpoint
+    # state at timer interrupts. Runs must still complete correctly.
+    pp, report = run(BUSY_TWO_THREADS)
+    assert report.output == [25]
+    assert not report.result.deadlocked
+
+
+def test_remote_thread_on_stale_core_eventually_syncs():
+    # detection on the busy core happens only after it adopts the state;
+    # this exercises the stale-trap / epoch machinery under load
+    src = """
+    int x = 0;
+    void local_thread() {
+        int t = x;
+        sleep(1500000);
+        x = t + 1;
+    }
+    void spin_then_write() {
+        int acc = 1;
+        int i = 0;
+        while (i < 20000) { acc = acc * 3 + i; i = i + 1; }
+        x = 99;
+    }
+    void main() {
+        spawn local_thread();
+        spawn spin_then_write();
+        join();
+        output(x);
+    }
+    """
+    pp, report = run(src)
+    assert [v for v in report.violations if v.var == "x"]
+    assert report.output == [99]
+
+
+def test_watchpoint_exhaustion_counted():
+    # five independent shared variables accessed concurrently exceed the
+    # four watchpoint registers
+    src = """
+    int a = 0;
+    int b = 0;
+    int c = 0;
+    int d = 0;
+    int e = 0;
+    void toucher(int n) {
+        int i = 0;
+        while (i < n) {
+            int t1 = a; a = t1 + 1;
+            int t2 = b; b = t2 + 1;
+            int t3 = c; c = t3 + 1;
+            int t4 = d; d = t4 + 1;
+            int t5 = e; e = t5 + 1;
+            i = i + 1;
+        }
+    }
+    void main() {
+        spawn toucher(10);
+        spawn toucher(10);
+        join();
+        output(a + b + c + d + e);
+    }
+    """
+    pp, report = run(src, suspend_timeout_ns=20_000)
+    assert report.stats.missed_ars > 0
+    assert report.stats.monitored_ars > 0
+
+
+def test_more_watchpoints_fewer_misses():
+    src = """
+    int a = 0;
+    int b = 0;
+    int c = 0;
+    int d = 0;
+    int e = 0;
+    int f2 = 0;
+    void toucher(int n) {
+        int i = 0;
+        while (i < n) {
+            int t1 = a; a = t1 + 1;
+            int t2 = b; b = t2 + 1;
+            int t3 = c; c = t3 + 1;
+            int t4 = d; d = t4 + 1;
+            int t5 = e; e = t5 + 1;
+            int t6 = f2; f2 = t6 + 1;
+            i = i + 1;
+        }
+    }
+    void main() {
+        spawn toucher(8);
+        spawn toucher(8);
+        join();
+    }
+    """
+    pp = ProtectedProgram(src)
+    fractions = {}
+    for nwp in (2, 4, 24):
+        report = pp.run(
+            KivatiConfig(opt=OptLevel.BASE, num_watchpoints=nwp,
+                         suspend_timeout_ns=20_000),
+            seed=1,
+        )
+        fractions[nwp] = report.stats.missed_fraction()
+    assert fractions[2] >= fractions[4] >= fractions[24]
+    assert fractions[24] < 0.02
+    assert fractions[2] > 0.10
+
+
+def test_single_core_machine_protected():
+    # with one core there is no cross-core sync at all; everything must
+    # still work (watchpoints catch interleavings across preemptions)
+    pp, report = run(BUSY_TWO_THREADS, num_cores=1)
+    assert report.output == [25]

@@ -1,0 +1,258 @@
+"""Detection of the four non-serializable interleavings (Figure 2).
+
+Each test builds a two-thread program where the remote access lands inside
+the local pair's window (sequenced deterministically with sleeps), runs it
+under Kivati, and checks the recorded interleaving.
+"""
+
+import pytest
+
+from repro.core.config import KivatiConfig, OptLevel
+from repro.core.session import ProtectedProgram
+from repro.minic.ast import AccessKind
+
+R = AccessKind.READ
+W = AccessKind.WRITE
+
+
+def run_case(src, opt=OptLevel.BASE, seed=1, **over):
+    pp = ProtectedProgram(src)
+    report = pp.run(KivatiConfig(opt=opt, **over), seed=seed)
+    return pp, report
+
+
+def violations_on(report, var):
+    return [v for v in report.violations if v.var == var]
+
+
+def test_rwr_detected():
+    # local R ... R with remote W in between
+    _, report = run_case("""
+    int x = 5;
+    void local_thread(int *out) {
+        int a = x;
+        sleep(40000);
+        int b = x;
+        *out = a - b;
+    }
+    void remote_thread() {
+        sleep(15000);
+        x = 9;
+    }
+    void main() {
+        int d = 0;
+        spawn local_thread(&d);
+        spawn remote_thread();
+        join();
+        output(d);
+    }
+    """)
+    found = violations_on(report, "x")
+    assert found
+    assert any((v.first_kind, v.remote_kind, v.second_kind) == (R, W, R)
+               for v in found)
+
+
+def test_rww_detected_and_prevented():
+    _, report = run_case("""
+    int x = 0;
+    void local_thread() {
+        int t = x;
+        sleep(40000);
+        x = t + 1;
+    }
+    void remote_thread() {
+        sleep(15000);
+        x = 99;
+    }
+    void main() {
+        spawn local_thread();
+        spawn remote_thread();
+        join();
+        output(x);
+    }
+    """)
+    found = violations_on(report, "x")
+    assert any((v.first_kind, v.remote_kind, v.second_kind) == (R, W, W)
+               for v in found)
+    assert all(v.prevented for v in found)
+    # remote write reordered after the AR: no lost update
+    assert report.output == [99]
+
+
+def test_wwr_detected():
+    _, report = run_case("""
+    int x = 0;
+    void local_thread(int *out) {
+        x = 7;
+        sleep(40000);
+        *out = x;
+    }
+    void remote_thread() {
+        sleep(15000);
+        x = 50;
+    }
+    void main() {
+        int got = 0;
+        spawn local_thread(&got);
+        spawn remote_thread();
+        join();
+        output(got);
+    }
+    """)
+    found = violations_on(report, "x")
+    assert any((v.first_kind, v.remote_kind, v.second_kind) == (W, W, R)
+               for v in found)
+    # prevention: the local read sees its own write, not the remote one
+    assert report.output == [7]
+
+
+def test_wrw_detected():
+    # local W ... W with remote R in between (remote sees intermediate)
+    _, report = run_case("""
+    int x = 0;
+    int seen = 0;
+    void local_thread() {
+        x = 1;
+        sleep(40000);
+        x = 2;
+    }
+    void peek() {
+        seen = x;
+    }
+    void remote_thread() {
+        sleep(15000);
+        peek();
+    }
+    void main() {
+        spawn local_thread();
+        spawn remote_thread();
+        join();
+        output(seen);
+        output(x);
+    }
+    """)
+    found = violations_on(report, "x")
+    assert any((v.first_kind, v.remote_kind, v.second_kind) == (W, R, W)
+               for v in found)
+    # the peek was delayed past the AR: it must not see the intermediate 1
+    assert report.output[0] in (0, 2)
+    assert report.output[1] == 2
+
+
+def test_serializable_interleaving_not_reported():
+    # remote READ between two local reads is serializable
+    _, report = run_case("""
+    int x = 5;
+    int r1 = 0;
+    int r2 = 0;
+    void local_thread() {
+        int a = x;
+        sleep(40000);
+        int b = x;
+        r1 = a + b;
+    }
+    void peek() { r2 = x; }
+    void remote_thread() {
+        sleep(15000);
+        peek();
+    }
+    void main() {
+        spawn local_thread();
+        spawn remote_thread();
+        join();
+        output(r1);
+    }
+    """)
+    assert violations_on(report, "x") == []
+    assert report.output == [10]
+
+
+def test_no_violation_without_concurrency():
+    _, report = run_case("""
+    int x = 0;
+    void main() {
+        int t = x;
+        x = t + 1;
+        output(x);
+    }
+    """)
+    assert len(report.violations) == 0
+    assert report.output == [1]
+
+
+def test_violation_record_details():
+    pp, report = run_case("""
+    int x = 0;
+    void local_thread() {
+        int t = x;
+        sleep(40000);
+        x = t + 1;
+    }
+    void remote_thread() {
+        sleep(15000);
+        x = 99;
+    }
+    void main() {
+        spawn local_thread();
+        spawn remote_thread();
+        join();
+    }
+    """)
+    v = violations_on(report, "x")[0]
+    assert v.local_tid != v.remote_tid
+    assert v.addr == pp.program.global_addr("x")
+    assert v.func == "local_thread"
+    assert "remote_thread" in v.remote_location or "begin_atomic" in v.remote_location
+    assert v.time_ns > 0
+    assert "x" in v.describe()
+
+
+def test_detection_works_across_opt_levels():
+    src = """
+    int x = 0;
+    void local_thread() {
+        int t = x;
+        sleep(40000);
+        x = t + 1;
+    }
+    void remote_thread() {
+        sleep(15000);
+        x = 99;
+    }
+    void main() {
+        spawn local_thread();
+        spawn remote_thread();
+        join();
+        output(x);
+    }
+    """
+    for opt in (OptLevel.BASE, OptLevel.SYNCVARS, OptLevel.OPTIMIZED):
+        _, report = run_case(src, opt=opt)
+        assert violations_on(report, "x"), opt
+        assert report.output == [99], opt
+
+
+def test_null_syscall_mode_detects_nothing():
+    _, report = run_case("""
+    int x = 0;
+    void local_thread() {
+        int t = x;
+        sleep(40000);
+        x = t + 1;
+    }
+    void remote_thread() {
+        sleep(15000);
+        x = 99;
+    }
+    void main() {
+        spawn local_thread();
+        spawn remote_thread();
+        join();
+        output(x);
+    }
+    """, opt=OptLevel.NULL_SYSCALL)
+    assert len(report.violations) == 0
+    # and nothing is prevented: the lost update happens
+    assert report.output == [1]
+    assert report.stats.crossings() > 0

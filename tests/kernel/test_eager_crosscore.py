@@ -1,0 +1,50 @@
+"""Eager cross-core propagation ablation tests."""
+
+from repro.core.config import KivatiConfig, OptLevel
+from repro.core.session import ProtectedProgram
+
+SRC = """
+int x = 0;
+void local_thread() {
+    int t = x;
+    sleep(40000);
+    x = t + 1;
+}
+void remote_thread() {
+    sleep(15000);
+    x = 99;
+}
+void main() {
+    spawn local_thread();
+    spawn remote_thread();
+    join();
+    output(x);
+}
+"""
+
+
+def test_eager_mode_still_detects_and_prevents():
+    pp = ProtectedProgram(SRC)
+    report = pp.run(
+        KivatiConfig(opt=OptLevel.BASE, eager_crosscore=True), seed=1
+    )
+    assert [v for v in report.violations if v.var == "x"]
+    assert report.output == [99]
+
+
+def test_eager_mode_never_blocks_for_sync():
+    from repro.core.reports import ViolationLog
+    from repro.runtime.userlib import KivatiRuntime
+    from repro.machine.machine import Machine
+
+    pp = ProtectedProgram(SRC)
+    config = KivatiConfig(opt=OptLevel.BASE, eager_crosscore=True)
+    log = ViolationLog()
+    runtime = KivatiRuntime(config, pp.ar_table, log, pp.sync_ar_ids)
+    machine = Machine(pp.program, num_cores=2, costs=config.costs,
+                      runtime=runtime, seed=1)
+    machine.run()
+    assert runtime.kernel.sync_waiters == []
+    # every core ends fully synced
+    for core in machine.cores:
+        assert core.dr.synced_epoch == runtime.kernel.epoch

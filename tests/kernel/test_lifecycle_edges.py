@@ -1,0 +1,115 @@
+"""Lifecycle edge cases: orphan end_atomics, wake semantics, overhead
+helper."""
+
+from repro.compiler.codegen import compile_program
+from repro.core.config import KivatiConfig, OptLevel
+from repro.core.reports import ViolationLog
+from repro.core.session import ProtectedProgram
+from repro.machine.machine import Machine
+from repro.machine.threads import ThreadState
+from repro.minic.parser import parse
+from repro.runtime.userlib import KivatiRuntime
+
+
+def test_end_atomic_without_begin_is_noop():
+    # path-dependent ends: the else-branch end_atomic runs without its
+    # begin having executed (Figure 4's discussion)
+    src = """
+    int g = 0;
+    void f(int c) {
+        if (c) {
+            g = 1;
+        }
+        int t = g;
+        g = t + 1;
+    }
+    void main() {
+        f(0);
+        output(g);
+    }
+    """
+    pp = ProtectedProgram(src)
+    report = pp.run(KivatiConfig(opt=OptLevel.BASE), seed=0)
+    assert report.output == [1]
+    assert not report.result.deadlocked
+
+
+def test_wake_thread_ignores_done_and_runnable():
+    machine = Machine(compile_program(parse("void main() { sleep(100); }")))
+    machine.run()
+    # main is DONE now
+    assert machine.wake_thread(0) is False
+    assert machine.wake_thread(999) is False
+
+
+def test_block_current_requires_running_thread():
+    import pytest
+
+    from repro.errors import MachineError
+
+    machine = Machine(compile_program(parse("void main() {}")))
+    with pytest.raises(MachineError):
+        machine.block_current(machine.cores[0], ThreadState.SLEEPING)
+
+
+def test_overhead_helper_consistent_with_manual_ratio():
+    src = """
+    int g = 0;
+    void main() {
+        int i = 0;
+        while (i < 30) {
+            int t = g;
+            g = t + 1;
+            i = i + 1;
+        }
+        output(g);
+    }
+    """
+    pp = ProtectedProgram(src)
+    config = KivatiConfig(opt=OptLevel.BASE)
+    overhead = pp.overhead(config, seed=2)
+    vanilla = pp.run_vanilla(num_cores=config.num_cores,
+                             costs=config.costs, seed=2)
+    protected = pp.run(config.copy(seed=2))
+    manual = protected.time_ns / vanilla.time_ns - 1.0
+    assert abs(overhead - manual) < 1e-9
+    assert overhead > 0
+
+
+def test_runtime_reusable_state_isolated_between_runs():
+    # two runs from the same ProtectedProgram must not share kernel state
+    src = """
+    int x = 0;
+    void local_thread() {
+        int t = x;
+        sleep(40000);
+        x = t + 1;
+    }
+    void remote_thread() {
+        sleep(15000);
+        x = 99;
+    }
+    void main() {
+        spawn local_thread();
+        spawn remote_thread();
+        join();
+    }
+    """
+    pp = ProtectedProgram(src)
+    first = pp.run(KivatiConfig(opt=OptLevel.BASE), seed=1)
+    second = pp.run(KivatiConfig(opt=OptLevel.BASE), seed=1)
+    assert len(first.violations) == len(second.violations) == 1
+    assert first.stats.as_dict() == second.stats.as_dict()
+    assert first.time_ns == second.time_ns
+
+
+def test_violation_log_not_shared_across_runtimes():
+    src = "int g = 0; void main() { int t = g; g = t + 1; }"
+    pp = ProtectedProgram(src)
+    config = KivatiConfig(opt=OptLevel.BASE)
+    log1 = ViolationLog()
+    log2 = ViolationLog()
+    rt1 = KivatiRuntime(config, pp.ar_table, log1, pp.sync_ar_ids)
+    rt2 = KivatiRuntime(config, pp.ar_table, log2, pp.sync_ar_ids)
+    assert rt1.kernel is not rt2.kernel
+    assert rt1.whitelist is not rt2.whitelist

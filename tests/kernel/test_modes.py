@@ -1,0 +1,68 @@
+"""Prevention-mode vs bug-finding-mode behavioural contrasts."""
+
+from repro.core.config import KivatiConfig, Mode, OptLevel
+from repro.core.session import ProtectedProgram
+
+SRC = """
+int x = 0;
+int done = 0;
+void worker(int n) {
+    int i = 0;
+    while (i < n) {
+        int pad = 0;
+        int acc = i;
+        while (pad < 15) { acc = acc * 3 + pad; pad = pad + 1; }
+        int t = x;
+        x = t + 1;
+        i = i + 1;
+    }
+    atomic_add(&done, 1);
+}
+void main() {
+    spawn worker(15);
+    spawn worker(15);
+    join();
+    output(done);
+}
+"""
+
+
+def run(mode, pause_probability=0.5, seed=4):
+    pp = ProtectedProgram(SRC)
+    config = KivatiConfig(
+        mode=mode, opt=OptLevel.OPTIMIZED, pause_ns=15_000,
+        pause_probability=pause_probability, suspend_timeout_ns=10_000,
+    )
+    return pp.run(config, seed=seed)
+
+
+def test_bug_finding_pauses_and_slows():
+    prev = run(Mode.PREVENTION)
+    bug = run(Mode.BUG_FINDING)
+    assert prev.stats.pauses == 0
+    assert bug.stats.pauses > 0
+    assert bug.time_ns > prev.time_ns
+
+
+def test_bug_finding_surfaces_more_violations():
+    # across several seeds, the widened windows must surface at least as
+    # many violated ARs as prevention mode does
+    prev_ars = set()
+    bug_ars = set()
+    for seed in range(5):
+        prev_ars |= run(Mode.PREVENTION, seed=seed).violated_ars()
+        bug_ars |= run(Mode.BUG_FINDING, seed=seed).violated_ars()
+    assert len(bug_ars) >= len(prev_ars)
+    assert bug_ars  # the racy counter must be caught with 50% pauses
+
+
+def test_pause_probability_zero_equals_prevention_violationwise():
+    bug = run(Mode.BUG_FINDING, pause_probability=0.0)
+    assert bug.stats.pauses == 0
+
+
+def test_modes_preserve_correct_output():
+    for mode in (Mode.PREVENTION, Mode.BUG_FINDING):
+        report = run(mode)
+        assert report.output == [2]
+        assert not report.result.deadlocked

@@ -1,0 +1,185 @@
+"""Tests for the four optimizations of Section 3.4 and the whitelist."""
+
+import pytest
+
+from repro.core.config import KivatiConfig, Mode, OptLevel, OptimizationConfig
+from repro.core.session import ProtectedProgram
+from repro.runtime.whitelist import Whitelist
+
+COUNTER_LOOP = """
+int m = 0;
+int counter = 0;
+void worker(int n) {
+    int i = 0;
+    while (i < n) {
+        lock(&m);
+        int t = counter;
+        counter = t + 1;
+        unlock(&m);
+        i = i + 1;
+    }
+}
+void main() {
+    spawn worker(40);
+    spawn worker(40);
+    join();
+    output(counter);
+}
+"""
+
+
+def run(src, opt, seed=1, **over):
+    pp = ProtectedProgram(src)
+    return pp.run(KivatiConfig(opt=opt, suspend_timeout_ns=10_000, **over),
+                  seed=seed)
+
+
+def test_optimization_levels_reduce_crossings():
+    base = run(COUNTER_LOOP, OptLevel.BASE)
+    sync = run(COUNTER_LOOP, OptLevel.SYNCVARS)
+    optd = run(COUNTER_LOOP, OptLevel.OPTIMIZED)
+    assert base.output == sync.output == optd.output == [80]
+    assert sync.stats.crossings() < base.stats.crossings()
+    assert optd.stats.crossings() < sync.stats.crossings()
+
+
+def test_optimization_levels_reduce_overhead():
+    pp = ProtectedProgram(COUNTER_LOOP)
+    vanilla = pp.run_vanilla(seed=1)
+    times = {}
+    for opt in (OptLevel.BASE, OptLevel.SYNCVARS, OptLevel.OPTIMIZED):
+        times[opt] = pp.run(
+            KivatiConfig(opt=opt, suspend_timeout_ns=10_000), seed=1
+        ).time_ns
+    assert vanilla.time_ns < times[OptLevel.OPTIMIZED]
+    assert times[OptLevel.OPTIMIZED] < times[OptLevel.BASE]
+
+
+def test_o4_whitelists_sync_variable_ars():
+    sync = run(COUNTER_LOOP, OptLevel.SYNCVARS)
+    assert sync.stats.whitelist_hits > 0
+    base = run(COUNTER_LOOP, OptLevel.BASE)
+    assert base.stats.whitelist_hits == 0
+
+
+def test_o2_lazy_free_leaves_watchpoint_armed():
+    optd = run(COUNTER_LOOP, OptLevel.OPTIMIZED)
+    assert optd.stats.lazy_frees > 0
+
+
+def test_o3_suppresses_local_traps():
+    base = run(COUNTER_LOOP, OptLevel.BASE)
+    assert base.stats.local_traps > 0
+    o3 = run(COUNTER_LOOP, OptimizationConfig(o3_local_disable=True))
+    assert o3.stats.local_traps == 0
+    assert o3.stats.shadow_stores > 0
+
+
+def test_o1_alone_cuts_crossings():
+    base = run(COUNTER_LOOP, OptLevel.BASE)
+    o1 = run(COUNTER_LOOP, OptimizationConfig(o1_userspace=True))
+    assert o1.stats.crossings() < base.stats.crossings()
+    assert o1.output == [80]
+
+
+def test_detection_still_works_with_each_optimization_alone():
+    src = """
+    int x = 0;
+    void local_thread() {
+        int t = x;
+        sleep(40000);
+        x = t + 1;
+    }
+    void remote_thread() {
+        sleep(15000);
+        x = 99;
+    }
+    void main() {
+        spawn local_thread();
+        spawn remote_thread();
+        join();
+        output(x);
+    }
+    """
+    for opt in (
+        OptimizationConfig(o1_userspace=True),
+        OptimizationConfig(o2_lazy_free=True),
+        OptimizationConfig(o3_local_disable=True),
+        OptimizationConfig(o4_syncvars=True),
+    ):
+        # the suspension must outlive the local thread's 40µs window, so
+        # use the default 10ms timeout rather than the shared helper's
+        report = ProtectedProgram(src).run(KivatiConfig(opt=opt), seed=1)
+        assert [v for v in report.violations if v.var == "x"], opt
+        assert report.output == [99], opt
+
+
+def test_whitelisted_ar_not_monitored():
+    src = """
+    int x = 0;
+    void local_thread() {
+        int t = x;
+        sleep(40000);
+        x = t + 1;
+    }
+    void remote_thread() {
+        sleep(15000);
+        x = 99;
+    }
+    void main() {
+        spawn local_thread();
+        spawn remote_thread();
+        join();
+        output(x);
+    }
+    """
+    pp = ProtectedProgram(src)
+    x_ars = [i for i, info in pp.ar_table.items() if info.var == "x"]
+    report = pp.run(
+        KivatiConfig(opt=OptLevel.BASE, whitelist=x_ars), seed=1
+    )
+    assert not [v for v in report.violations if v.var == "x"]
+    assert report.stats.whitelist_hits > 0
+    # without monitoring, the lost update happens
+    assert report.output == [1]
+
+
+def test_whitelist_file_roundtrip(tmp_path):
+    path = tmp_path / "wl.txt"
+    Whitelist.write_file(str(path), [3, 1, 2], comment="test")
+    wl = Whitelist(path=str(path))
+    assert 1 in wl and 2 in wl and 3 in wl
+    assert 99 not in wl
+
+
+def test_whitelist_periodic_reread(tmp_path):
+    path = tmp_path / "wl.txt"
+    Whitelist.write_file(str(path), [1])
+    wl = Whitelist(path=str(path), reread_interval_ns=1000)
+    assert 5 not in wl
+    Whitelist.write_file(str(path), [1, 5])
+    assert not wl.maybe_reread(500)   # too early
+    assert wl.maybe_reread(2000)
+    assert 5 in wl
+
+
+def test_whitelist_ignores_comments_and_blanks(tmp_path):
+    path = tmp_path / "wl.txt"
+    path.write_text("# header\n1\n\n2  # trailing\n")
+    wl = Whitelist(path=str(path))
+    assert wl.ids == {1, 2}
+
+
+def test_missing_whitelist_file_tolerated(tmp_path):
+    wl = Whitelist(path=str(tmp_path / "nope.txt"))
+    assert len(wl) == 0
+
+
+def test_bug_finding_mode_costs_slightly_more():
+    pp = ProtectedProgram(COUNTER_LOOP)
+    cfg = KivatiConfig(opt=OptLevel.OPTIMIZED, suspend_timeout_ns=10_000,
+                       pause_ns=20_000, pause_probability=0.05)
+    prev = pp.run(cfg, seed=2)
+    bug = pp.run(cfg.copy(mode=Mode.BUG_FINDING), seed=2)
+    assert bug.output == prev.output == [80]
+    assert bug.time_ns >= prev.time_ns

@@ -1,0 +1,285 @@
+"""Prevention engine tests: undo, reordering, suspension, timeouts."""
+
+from repro.core.config import KivatiConfig, Mode, OptLevel
+from repro.core.session import ProtectedProgram
+from repro.machine.costs import CostModel
+
+LOST_UPDATE = """
+int x = 0;
+void local_thread() {
+    int t = x;
+    sleep(40000);
+    x = t + 1;
+}
+void remote_thread() {
+    sleep(15000);
+    x = 99;
+}
+void main() {
+    spawn local_thread();
+    spawn remote_thread();
+    join();
+    output(x);
+}
+"""
+
+
+def run(src, opt=OptLevel.BASE, seed=1, **over):
+    pp = ProtectedProgram(src)
+    return pp, pp.run(KivatiConfig(opt=opt, **over), seed=seed)
+
+
+def test_vanilla_loses_update_kivati_preserves_it():
+    pp = ProtectedProgram(LOST_UPDATE)
+    vanilla = pp.run_vanilla(seed=1)
+    assert vanilla.output == [1]  # lost update
+    report = pp.run(KivatiConfig(opt=OptLevel.BASE), seed=1)
+    assert report.output == [99]  # remote write reordered after the AR
+    assert report.stats.undos >= 1
+    assert report.stats.suspensions >= 1
+
+
+def test_remote_write_undone_then_reexecuted():
+    # the local thread must observe its own value inside the AR even
+    # though the remote write already committed (trap-after)
+    _, report = run("""
+    int x = 0;
+    int observed = 0;
+    void local_thread() {
+        x = 5;
+        sleep(40000);
+        observed = x;
+        x = observed + 1;
+    }
+    void remote_thread() {
+        sleep(15000);
+        x = 77;
+    }
+    void main() {
+        spawn local_thread();
+        spawn remote_thread();
+        join();
+        output(observed);
+        output(x);
+    }
+    """)
+    assert report.output[0] == 5   # undo restored the local value
+    assert report.output[1] == 77  # remote write re-executed after the AR
+
+
+def test_remote_read_into_register_reexecutes_with_final_value():
+    _, report = run("""
+    int x = 0;
+    int got = 0;
+    void local_thread() {
+        x = 1;
+        sleep(40000);
+        x = 2;
+    }
+    void reader() { got = x; }
+    void remote_thread() {
+        sleep(15000);
+        reader();
+    }
+    void main() {
+        spawn local_thread();
+        spawn remote_thread();
+        join();
+        output(got);
+    }
+    """)
+    # the read was delayed past the AR, so it must not see the
+    # intermediate value 1
+    assert report.output == [2]
+
+
+def test_suspension_timeout_releases_thread():
+    # the local thread never executes end_atomic in time (it sleeps far
+    # longer than the timeout); the remote thread must be released by the
+    # 10ms-equivalent timeout rather than hang
+    _, report = run("""
+    int x = 0;
+    void local_thread() {
+        int t = x;
+        sleep(400000);
+        x = t + 1;
+    }
+    void remote_thread() {
+        sleep(15000);
+        x = 99;
+    }
+    void main() {
+        spawn local_thread();
+        spawn remote_thread();
+        join();
+        output(x);
+    }
+    """, suspend_timeout_ns=50_000)
+    assert report.stats.suspend_timeouts >= 1
+    # after the timeout the remote write proceeds; the local write then
+    # clobbers it: the violation occurred and was NOT prevented
+    assert report.output == [1]
+    assert any(not v.prevented for v in report.violations)
+
+
+def test_late_end_atomic_records_unprevented_violation():
+    # same setup: the violation must still be recorded when the
+    # end_atomic finally executes after the timeout (zombie AR path)
+    _, report = run("""
+    int x = 0;
+    void local_thread() {
+        int t = x;
+        sleep(400000);
+        x = t + 1;
+    }
+    void remote_thread() {
+        sleep(15000);
+        x = 99;
+    }
+    void main() {
+        spawn local_thread();
+        spawn remote_thread();
+        join();
+    }
+    """, suspend_timeout_ns=50_000)
+    unprevented = [v for v in report.violations if not v.prevented]
+    assert unprevented
+    assert unprevented[0].var == "x"
+
+
+def test_figure5_required_violation_resolved_by_timeout():
+    # the paper's Figure 5: the local thread spins waiting for the remote
+    # thread inside its own AR; Kivati suspends the remote thread, which
+    # would deadlock — the timeout must resolve it and the program must
+    # still terminate correctly
+    _, report = run("""
+    int shared = 0;
+    int flag = 0;
+    void local_thread(int *out) {
+        shared = 0;
+        flag = 1;
+        while (flag == 1) {
+            sleep(2000);
+        }
+        *out = shared;
+    }
+    void remote_thread() {
+        while (flag != 1) {
+            sleep(2000);
+        }
+        shared = 42;
+        flag = 0;
+    }
+    void main() {
+        int got = 0;
+        spawn local_thread(&got);
+        spawn remote_thread();
+        join();
+        output(got);
+    }
+    """, suspend_timeout_ns=30_000, seed=3)
+    assert report.output == [42]
+    assert not report.result.deadlocked
+
+
+def test_begin_atomic_remote_suspension():
+    # a second thread entering an AR on the same variable is delayed at
+    # its begin_atomic until the first AR completes
+    _, report = run("""
+    int x = 0;
+    void first() {
+        int t = x;
+        sleep(50000);
+        x = t + 1;
+    }
+    void second() {
+        sleep(10000);
+        int t = x;
+        x = t + 1;
+    }
+    void main() {
+        spawn first();
+        spawn second();
+        join();
+        output(x);
+    }
+    """)
+    # no lost update: both increments land
+    assert report.output == [2]
+
+
+def test_prevention_never_breaks_correct_programs():
+    src = """
+    int m = 0;
+    int counter = 0;
+    void worker(int n) {
+        int i = 0;
+        while (i < n) {
+            lock(&m);
+            int t = counter;
+            counter = t + 1;
+            unlock(&m);
+            i = i + 1;
+        }
+    }
+    void main() {
+        spawn worker(30);
+        spawn worker(30);
+        spawn worker(30);
+        join();
+        output(counter);
+    }
+    """
+    for opt in (OptLevel.BASE, OptLevel.SYNCVARS, OptLevel.OPTIMIZED):
+        for seed in (0, 1, 2):
+            _, report = run(src, opt=opt, seed=seed,
+                            suspend_timeout_ns=10_000)
+            assert report.output == [90], (opt, seed)
+            assert not report.result.deadlocked
+
+
+def test_trap_before_hardware_prevents_without_undo():
+    # SPARC-style ablation: the access never commits, so no undo is needed
+    pp = ProtectedProgram(LOST_UPDATE)
+    report = pp.run(
+        KivatiConfig(opt=OptLevel.BASE, trap_before=True), seed=1
+    )
+    assert report.output == [99]
+    assert report.stats.undos == 0
+    assert any(v.prevented for v in report.violations)
+
+
+def test_bug_finding_mode_widens_window():
+    src = """
+    int x = 0;
+    void local_thread() {
+        int t = x;
+        x = t + 1;
+    }
+    void remote_thread() {
+        sleep(3000);
+        x = 99;
+    }
+    void main() {
+        spawn local_thread();
+        spawn remote_thread();
+        join();
+        output(x);
+    }
+    """
+    pp = ProtectedProgram(src)
+    # prevention mode: the AR is a few ns wide; the remote write at 3µs
+    # misses it entirely
+    prev = pp.run(KivatiConfig(opt=OptLevel.BASE, mode=Mode.PREVENTION),
+                  seed=1)
+    assert not [v for v in prev.violations if v.var == "x"]
+    # bug-finding mode stretches the AR past the remote write
+    bug = pp.run(
+        KivatiConfig(opt=OptLevel.BASE, mode=Mode.BUG_FINDING,
+                     pause_ns=50_000, pause_probability=1.0,
+                     suspend_timeout_ns=100_000),
+        seed=1,
+    )
+    assert [v for v in bug.violations if v.var == "x"]
+    assert bug.stats.pauses >= 1
+    assert bug.output == [99]

@@ -1,0 +1,98 @@
+"""Kernel data structure unit tests."""
+
+from repro.analysis.arinfo import ARInfo
+from repro.kernel.state import ActiveAR, KernelSlot, Suspension, Trigger
+from repro.minic import ast
+from repro.minic.ast import AccessKind
+
+R = AccessKind.READ
+W = AccessKind.WRITE
+
+
+def make_info(ar_id=1, first=R, seconds=(W,), sync=False):
+    return ARInfo(
+        ar_id=ar_id, func="f", var="x", first_kind=first,
+        begin_uid=10, second_kinds={20 + i: k for i, k in enumerate(seconds)},
+        line=1, second_lines={20: 2}, is_sync=sync,
+        lvalue=ast.Var("x"),
+    )
+
+
+def make_ar(info, tid=1, addr=100, slot=0, pending=False):
+    return ActiveAR(info, tid, addr, depth=0, begin_time=0,
+                    slot_index=slot, pending_capture=pending)
+
+
+def test_slot_free_resets_everything():
+    slot = KernelSlot(0)
+    slot.enabled = True
+    slot.addr = 5
+    slot.ars = [make_ar(make_info())]
+    slot.triggers = [Trigger(2, (W,), None, "?", 0, False)]
+    slot.lazily_freed = True
+    slot.free()
+    assert not slot.enabled
+    assert slot.ars == [] and slot.triggers == []
+    assert not slot.lazily_freed
+    assert slot.is_available
+
+
+def test_recompute_kinds_unions_over_ars():
+    slot = KernelSlot(0)
+    slot.ars = [make_ar(make_info(1, R, (W,))),   # watch W
+                make_ar(make_info(2, W, (W,)))]   # watch R
+    changed = slot.recompute_kinds(o3_enabled=False)
+    assert changed
+    assert slot.watch_read and slot.watch_write
+
+
+def test_pending_capture_forces_write_watch():
+    slot = KernelSlot(0)
+    # (W, W) pair alone watches reads only...
+    slot.ars = [make_ar(make_info(1, W, (W,)))]
+    slot.recompute_kinds(o3_enabled=False)
+    assert slot.watch_read and not slot.watch_write
+    # ...until a pending first-write capture requires the write trap
+    slot.ars[0].pending_capture = True
+    slot.recompute_kinds(o3_enabled=False)
+    assert slot.watch_write
+
+
+def test_o3_suppression_lists_owner_tids():
+    slot = KernelSlot(0)
+    slot.ars = [make_ar(make_info(1), tid=7)]
+    slot.recompute_kinds(o3_enabled=True)
+    assert slot.suppressed_tids == frozenset({7})
+    slot.recompute_kinds(o3_enabled=False)
+    assert slot.suppressed_tids is None
+
+
+def test_slot_matches_like_hardware():
+    slot = KernelSlot(0)
+    slot.enabled = True
+    slot.addr = 100
+    slot.size = 1
+    slot.watch_write = True
+    assert slot.matches(100, True, tid=5)
+    assert not slot.matches(100, False, tid=5)
+    assert not slot.matches(101, True, tid=5)
+    slot.suppressed_tids = frozenset({5})
+    assert not slot.matches(100, True, tid=5)
+    assert slot.matches(100, True, tid=6)
+
+
+def test_suspension_reason_constants():
+    s = Suspension(3, Suspension.REASON_TRAP, timeout_event=None)
+    assert s.reason == "trap"
+    assert Suspension.REASON_BEGIN == "begin"
+
+
+def test_trigger_repr_includes_kinds():
+    t = Trigger(4, (R, W), 12, "loc", 100, True)
+    assert "R/W" in repr(t)
+
+
+def test_ar_info_describe_mentions_sync():
+    info = make_info(sync=True)
+    assert "[sync]" in info.describe()
+    assert "AR 1" in info.describe()

@@ -1,0 +1,190 @@
+"""Rollback engine details: memory map resolution, special cases."""
+
+from repro.compiler.bytecode import Op
+from repro.compiler.codegen import compile_program
+from repro.compiler.memmap import build_memory_map
+from repro.core.config import KivatiConfig, OptLevel
+from repro.core.session import ProtectedProgram
+from repro.minic.parser import parse
+
+
+def test_memory_map_covers_all_memory_instructions():
+    program = compile_program(parse("""
+    int g;
+    int a[4];
+    void f(int *p) { *p = g + a[1]; }
+    void main() { int r; f(&r); }
+    """))
+    mm = program.memory_map
+    for pc, instr in enumerate(program.instrs):
+        if instr.accesses_memory() and instr.op != Op.CALLIND:
+            assert mm.after_to_instr[pc + 1] == pc
+
+
+def test_memory_map_subroutine_entries():
+    program = compile_program(parse("""
+    void f() {}
+    void g2() {}
+    void main() { f(); g2(); }
+    """))
+    mm = program.memory_map
+    entries = {img.entry for img in program.func_by_index}
+    assert mm.subroutine_entries == entries
+    assert set(mm.entry_to_func.values()) == {"f", "g2", "main"}
+
+
+def test_faulting_pc_resolution():
+    program = compile_program(parse("""
+    int g;
+    void main() { g = 1; }
+    """))
+    mm = program.memory_map
+    st_pcs = [pc for pc, i in enumerate(program.instrs) if i.op == Op.ST]
+    for pc in st_pcs:
+        assert mm.faulting_pc(pc + 1) == pc
+    # unknown after-pc yields None
+    assert mm.faulting_pc(10_000) is None
+
+
+def test_faulting_pc_call_special_case():
+    program = compile_program(parse("""
+    int hook;
+    void handler() { output(1); }
+    void main() {
+        hook = funcref(handler);
+        invoke(&hook);
+    }
+    """))
+    mm = program.memory_map
+    callind_pc = next(pc for pc, i in enumerate(program.instrs)
+                      if i.op == Op.CALLIND)
+    handler_entry = program.func("handler").entry
+    # after a CALLIND trap, the pc points at the callee entry; the kernel
+    # recovers the call site from the return address on the stack
+    assert mm.faulting_pc(handler_entry, stack_top_value=callind_pc + 1) \
+        == callind_pc
+
+
+def test_indirect_call_remote_read_is_prevented():
+    # the paper's subroutine-call special case: a remote read caused by an
+    # indirect call operand is undone (call frame unwound) and re-executed
+    # the local pair is (W, W) so the watchpoint watches remote reads
+    src = """
+    int hook = 0;
+    int fired = 0;
+    void handler() { fired = fired + 1; }
+    void local_thread() {
+        hook = funcref(handler);
+        sleep(40000);
+        hook = funcref(handler);
+    }
+    void remote_thread() {
+        sleep(15000);
+        invoke(&hook);
+    }
+    void main() {
+        spawn local_thread();
+        spawn remote_thread();
+        join();
+        output(fired);
+    }
+    """
+    pp = ProtectedProgram(src)
+    report = pp.run(KivatiConfig(opt=OptLevel.BASE), seed=1)
+    # the handler must run exactly once (undo unwound the first call)
+    assert report.output == [1]
+    assert not report.result.deadlocked
+    found = [v for v in report.violations if v.var == "hook"]
+    assert found
+    assert report.stats.undos >= 1
+
+
+def test_copyword_leak_containment():
+    # a remote read that copies the watched value into another memory
+    # location: the leaked location is guarded by a spare watchpoint
+    src = """
+    int x = 0;
+    int leak = 0;
+    void local_thread() {
+        x = 5;
+        sleep(40000);
+        x = 6;
+    }
+    void remote_thread() {
+        sleep(15000);
+        copyword(&leak, &x);
+    }
+    void main() {
+        spawn local_thread();
+        spawn remote_thread();
+        join();
+        output(leak);
+    }
+    """
+    pp = ProtectedProgram(src)
+    report = pp.run(KivatiConfig(opt=OptLevel.BASE), seed=1)
+    assert report.stats.containments >= 1
+    # the copy re-executes after the AR: it must hold the final value,
+    # not the intermediate one
+    assert report.output == [6]
+
+
+def test_annotated_sync_op_remote_is_delayed_at_begin():
+    # an atomic RMW through &x is itself annotated, so the remote thread
+    # is delayed at its begin_atomic and the update serializes cleanly
+    src = """
+    int x = 0;
+    void local_thread() {
+        int t = x;
+        sleep(40000);
+        x = t + 1;
+    }
+    void remote_thread() {
+        sleep(15000);
+        atomic_add(&x, 100);
+    }
+    void main() {
+        spawn local_thread();
+        spawn remote_thread();
+        join();
+        output(x);
+    }
+    """
+    pp = ProtectedProgram(src)
+    report = pp.run(KivatiConfig(opt=OptLevel.BASE), seed=1)
+    assert report.stats.suspensions >= 1
+    assert report.output == [101]
+
+
+def test_unannotated_sync_op_cannot_be_reordered():
+    # an atomic RMW through a pointer the annotator cannot resolve is
+    # unannotated; the watchpoint catches it but the rollback engine
+    # refuses to undo an atomic macro-op ("unable to reorder")
+    src = """
+    int x = 0;
+    int *px;
+    void local_thread() {
+        int t = x;
+        sleep(40000);
+        x = t + 1;
+    }
+    void remote_thread() {
+        sleep(15000);
+        atomic_add(px, 100);
+    }
+    void main() {
+        px = &x;
+        spawn local_thread();
+        spawn remote_thread();
+        join();
+        output(x);
+    }
+    """
+    pp = ProtectedProgram(src)
+    report = pp.run(KivatiConfig(opt=OptLevel.BASE), seed=1)
+    assert report.stats.unable_to_reorder >= 1
+    found = [v for v in report.violations if v.var == "x"]
+    assert found
+    assert all(not v.prevented for v in found)
+    # the violation was not prevented: the lost update happened
+    assert report.output == [1]

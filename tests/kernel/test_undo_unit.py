@@ -1,0 +1,39 @@
+"""Unit tests for the access classifier in the rollback engine."""
+
+from repro.compiler.bytecode import Instr, Op
+from repro.kernel.undo import classify_access_kinds
+from repro.minic.ast import AccessKind
+
+R = AccessKind.READ
+W = AccessKind.WRITE
+
+
+class FakeThread:
+    def __init__(self, regs):
+        self.regs = regs
+
+
+def test_classify_plain_ops():
+    t = FakeThread([0] * 16)
+    assert classify_access_kinds(Instr(Op.LD, 0, 1), t, 100) == (R,)
+    assert classify_access_kinds(Instr(Op.ST, 0, 1), t, 100) == (W,)
+    assert classify_access_kinds(Instr(Op.STPARAM, 0, 1), t, 100) == (W,)
+    assert classify_access_kinds(Instr(Op.CALLIND, 0), t, 100) == (R,)
+
+
+def test_classify_cpy_sides():
+    t = FakeThread([200, 100] + [0] * 14)  # dst in r0, src in r1
+    # watched address is the source -> read
+    assert classify_access_kinds(Instr(Op.CPY, 0, 1), t, 100) == (R,)
+    # watched address is the destination -> write
+    assert classify_access_kinds(Instr(Op.CPY, 0, 1), t, 200) == (W,)
+    t2 = FakeThread([100, 100] + [0] * 14)
+    kinds = classify_access_kinds(Instr(Op.CPY, 0, 1), t2, 100)
+    assert set(kinds) == {R, W}
+
+
+def test_classify_sync_ops():
+    t = FakeThread([0] * 16)
+    assert set(classify_access_kinds(Instr(Op.LOCK, 0), t, 0)) == {R, W}
+    assert classify_access_kinds(Instr(Op.UNLOCK, 0), t, 0) == (W,)
+    assert set(classify_access_kinds(Instr(Op.AADD, 0, 1, 2), t, 0)) == {R, W}

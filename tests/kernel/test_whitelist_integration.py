@@ -1,0 +1,73 @@
+"""Whitelist file integration: periodic re-read during a run."""
+
+from repro.core.config import KivatiConfig, OptLevel
+from repro.core.session import ProtectedProgram
+from repro.runtime.whitelist import Whitelist
+
+LONG_RUNNER = """
+int x = 0;
+int done = 0;
+void worker(int n) {
+    int i = 0;
+    while (i < n) {
+        int t = x;
+        x = t + 1;
+        sleep(2000);
+        i = i + 1;
+    }
+    atomic_add(&done, 1);
+}
+void main() {
+    spawn worker(30);
+    spawn worker(30);
+    join();
+    output(done);
+}
+"""
+
+
+def test_whitelist_loaded_from_file_at_startup(tmp_path):
+    pp = ProtectedProgram(LONG_RUNNER)
+    x_ars = [i for i, info in pp.ar_table.items() if info.var == "x"]
+    path = tmp_path / "wl.txt"
+    Whitelist.write_file(str(path), x_ars)
+    report = pp.run(
+        KivatiConfig(opt=OptLevel.BASE, whitelist_path=str(path),
+                     suspend_timeout_ns=10_000),
+        seed=2,
+    )
+    assert report.stats.whitelist_hits > 0
+    assert not [v for v in report.violations if v.var == "x"]
+
+
+def test_developer_patch_mid_run(tmp_path):
+    """Section 3.2: "The whitelist file is periodically checked and
+    re-read for updates during execution so that a software developer can
+    send patches to customers" — simulated by pre-writing the patch and
+    using a short re-read interval: the first begin_atomics run
+    unwhitelisted, later ones hit the updated list."""
+    pp = ProtectedProgram(LONG_RUNNER)
+    x_ars = [i for i, info in pp.ar_table.items() if info.var == "x"]
+    path = tmp_path / "wl.txt"
+    path.write_text("")  # empty at startup
+
+    # run once without the patch: monitored ARs on x exist
+    base = pp.run(
+        KivatiConfig(opt=OptLevel.BASE, whitelist_path=str(path),
+                     whitelist_reread_ns=20_000,
+                     suspend_timeout_ns=10_000),
+        seed=2,
+    )
+    assert base.stats.whitelist_hits == 0
+
+    # ship the patch; with a short re-read interval the running process
+    # picks it up after the first interval elapses
+    Whitelist.write_file(str(path), x_ars)
+    patched = pp.run(
+        KivatiConfig(opt=OptLevel.BASE, whitelist_path=str(path),
+                     whitelist_reread_ns=20_000,
+                     suspend_timeout_ns=10_000),
+        seed=2,
+    )
+    assert patched.stats.whitelist_hits > 0
+    assert patched.stats.crossings() < base.stats.crossings()

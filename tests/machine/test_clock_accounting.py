@@ -1,0 +1,77 @@
+"""Simulated-clock accounting: runtime must equal the sum of modelled
+costs for deterministic single-threaded programs."""
+
+from repro.compiler.bytecode import Op
+from repro.compiler.codegen import compile_program
+from repro.machine.costs import CostModel
+from repro.machine.machine import Machine
+from repro.minic.parser import parse
+
+
+def test_straightline_time_is_sum_of_instruction_costs():
+    src = """
+    int g = 0;
+    void main() {
+        g = 1;
+        g = g + 2;
+        output(g);
+    }
+    """
+    costs = CostModel(timer_tick=10**9)  # no ticks during this tiny run
+    program = compile_program(parse(src))
+    machine = Machine(program, num_cores=1, costs=costs)
+    result = machine.run(raise_on_deadlock=True)
+
+    expected = costs.context_switch  # initial schedule of main
+    for instr in program.instrs:
+        op = instr.op
+        if op in (Op.LD, Op.ST):
+            expected += costs.mem_instr
+        elif op in (Op.MUL, Op.DIV, Op.MOD):
+            expected += costs.mul_div
+        elif op in (Op.CALL, Op.RET, Op.ALLOC):
+            expected += costs.call
+        else:
+            expected += costs.instr
+    # scheduling jitter adds a bounded few ns at the context switch
+    assert 0 <= result.time_ns - expected <= 31
+
+
+def test_sleep_duration_accounted_exactly():
+    src = "void main() { sleep(123456); }"
+    costs = CostModel(timer_tick=10**9)
+    machine = Machine(compile_program(parse(src)), num_cores=1, costs=costs)
+    result = machine.run(raise_on_deadlock=True)
+    assert result.time_ns >= 123456
+    assert result.time_ns <= 123456 + 10_000
+
+
+def test_timer_ticks_charged():
+    src = """
+    void main() {
+        int i = 0;
+        while (i < 2000) { i = i + 1; }
+    }
+    """
+    fast = Machine(compile_program(parse(src)), num_cores=1,
+                   costs=CostModel(timer_tick=10**9)).run()
+    ticked = Machine(compile_program(parse(src)), num_cores=1,
+                     costs=CostModel(timer_tick=1000,
+                                     timer_tick_cost=100)).run()
+    assert ticked.time_ns > fast.time_ns
+    # roughly one tick charge per tick interval
+    extra = ticked.time_ns - fast.time_ns
+    approx_ticks = fast.time_ns // 1000
+    assert extra >= approx_ticks * 100 * 0.5
+
+
+def test_instruction_counts_match_across_cost_models():
+    src = """
+    void main() {
+        int i = 0;
+        while (i < 100) { i = i + 1; }
+    }
+    """
+    a = Machine(compile_program(parse(src)), costs=CostModel(instr=1)).run()
+    b = Machine(compile_program(parse(src)), costs=CostModel(instr=9)).run()
+    assert a.instr_count == b.instr_count

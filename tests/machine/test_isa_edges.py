@@ -1,0 +1,154 @@
+"""ISA edge-case tests."""
+
+import pytest
+
+from repro.compiler.codegen import compile_program
+from repro.errors import MachineError, StackOverflow
+from repro.machine.machine import Machine
+from repro.minic.parser import parse
+
+
+def run(src, **kwargs):
+    machine = Machine(compile_program(parse(src)), **kwargs)
+    return machine.run(raise_on_deadlock=True)
+
+
+def test_deep_recursion_overflows_cleanly():
+    result = run("""
+    int depth(int n) {
+        if (n == 0) { return 0; }
+        return depth(n - 1) + 1;
+    }
+    void main() { output(depth(100000)); }
+    """)
+    assert isinstance(result.fault, StackOverflow)
+
+
+def test_indirect_call_bad_index_raises():
+    src = """
+    int hook = 9999;
+    void main() { invoke(&hook); }
+    """
+    machine = Machine(compile_program(parse(src)))
+    with pytest.raises(MachineError):
+        machine.run()
+
+
+def test_negative_modulo_matches_python():
+    assert run("""
+    void main() {
+        int a = 0 - 7;
+        output(a % 3);
+        output(a / 3);
+    }
+    """).output == [-7 % 3, -7 // 3]
+
+
+def test_unlock_without_waiters_is_cheap_noop():
+    result = run("""
+    int m = 0;
+    void main() {
+        lock(&m);
+        unlock(&m);
+        lock(&m);
+        unlock(&m);
+        output(m);
+    }
+    """)
+    assert result.output == [0]
+
+
+def test_lock_word_holds_owner_tid_plus_one():
+    result = run("""
+    int m = 0;
+    void main() {
+        lock(&m);
+        output(m);
+        unlock(&m);
+        output(m);
+    }
+    """)
+    assert result.output == [1, 0]  # main is tid 0
+
+
+def test_yield_allows_peer_progress():
+    result = run("""
+    int turn = 0;
+    void ping(int n) {
+        int i = 0;
+        while (i < n) {
+            while (turn != 0) { yield(); }
+            output(1);
+            turn = 1;
+            i = i + 1;
+        }
+    }
+    void pong(int n) {
+        int i = 0;
+        while (i < n) {
+            while (turn != 1) { yield(); }
+            output(2);
+            turn = 0;
+            i = i + 1;
+        }
+    }
+    void main() {
+        spawn ping(3);
+        spawn pong(3);
+        join();
+    }
+    """, num_cores=1)
+    assert result.output == [1, 2, 1, 2, 1, 2]
+
+
+def test_nested_spawn_join_hierarchy():
+    result = run("""
+    int total = 0;
+    void leafw(int v) { atomic_add(&total, v); }
+    void mid(int v) {
+        spawn leafw(v);
+        spawn leafw(v);
+        join();
+        atomic_add(&total, 100);
+    }
+    void main() {
+        spawn mid(1);
+        spawn mid(2);
+        join();
+        output(total);
+    }
+    """)
+    assert result.output == [1 + 1 + 2 + 2 + 200]
+
+
+def test_output_order_single_thread_is_program_order():
+    result = run("""
+    void main() {
+        int i = 0;
+        while (i < 5) { output(i); i = i + 1; }
+    }
+    """)
+    assert result.output == [0, 1, 2, 3, 4]
+
+
+def test_alloc_in_threads_is_disjoint():
+    result = run("""
+    int ok = 0;
+    void w(int v) {
+        int *p = alloc(4);
+        p[0] = v;
+        p[3] = v * 2;
+        sleep(5000);
+        if (p[0] == v && p[3] == v * 2) {
+            atomic_add(&ok, 1);
+        }
+    }
+    void main() {
+        spawn w(5);
+        spawn w(7);
+        spawn w(9);
+        join();
+        output(ok);
+    }
+    """)
+    assert result.output == [3]

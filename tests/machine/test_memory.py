@@ -1,0 +1,61 @@
+"""Memory model tests."""
+
+import pytest
+
+from repro.compiler.program import GLOBALS_BASE, HEAP_BASE, STACK_BASE
+from repro.errors import MemoryFault
+from repro.machine.memory import Memory
+
+
+def test_uninitialized_reads_zero():
+    mem = Memory()
+    assert mem.read(GLOBALS_BASE) == 0
+
+
+def test_write_then_read():
+    mem = Memory()
+    mem.write(GLOBALS_BASE + 5, 42)
+    assert mem.read(GLOBALS_BASE + 5) == 42
+
+
+def test_null_page_faults():
+    mem = Memory()
+    with pytest.raises(MemoryFault):
+        mem.read(0)
+    with pytest.raises(MemoryFault):
+        mem.write(3, 1)
+    with pytest.raises(MemoryFault):
+        mem.read(GLOBALS_BASE - 1)
+
+
+def test_fault_reports_address():
+    mem = Memory()
+    with pytest.raises(MemoryFault) as exc:
+        mem.read(7)
+    assert exc.value.address == 7
+
+
+def test_alloc_bumps_and_is_disjoint():
+    mem = Memory()
+    a = mem.alloc(4)
+    b = mem.alloc(2)
+    assert a == HEAP_BASE
+    assert b == a + 4
+    mem.write(a, 1)
+    mem.write(b, 2)
+    assert mem.read(a) == 1 and mem.read(b) == 2
+
+
+def test_alloc_zero_or_negative_gives_one_word():
+    mem = Memory()
+    a = mem.alloc(0)
+    b = mem.alloc(-5)
+    assert b == a + 1
+
+
+def test_stack_regions_disjoint_per_thread():
+    regions = [(Memory.stack_limit(t), Memory.stack_base(t)) for t in range(4)]
+    for i in range(len(regions) - 1):
+        assert regions[i][1] == regions[i + 1][0]
+    assert all(lo < hi for lo, hi in regions)
+    assert regions[0][0] == STACK_BASE

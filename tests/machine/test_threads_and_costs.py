@@ -1,0 +1,66 @@
+"""Thread model and cost model unit tests."""
+
+from repro.machine.costs import CostModel
+from repro.machine.memory import Memory
+from repro.machine.threads import Thread, ThreadState
+
+
+def test_thread_initial_state():
+    t = Thread(3, entry_pc=17, seed=5)
+    assert t.state == ThreadState.RUNNABLE
+    assert t.pc == 17
+    assert t.sp == Memory.stack_base(3)
+    assert t.call_depth == 0
+    assert not t.is_blocked()
+
+
+def test_blocked_states():
+    t = Thread(0, 0)
+    for state in (ThreadState.SLEEPING, ThreadState.BLOCKED_LOCK,
+                  ThreadState.BLOCKED_JOIN, ThreadState.BLOCKED_WPSYNC,
+                  ThreadState.SUSPENDED):
+        t.state = state
+        assert t.is_blocked()
+    t.state = ThreadState.RUNNING
+    assert not t.is_blocked()
+
+
+def test_prng_deterministic_and_bounded():
+    a = Thread(1, 0, seed=9)
+    b = Thread(1, 0, seed=9)
+    seq_a = [a.next_rand(100) for _ in range(50)]
+    seq_b = [b.next_rand(100) for _ in range(50)]
+    assert seq_a == seq_b
+    assert all(0 <= v < 100 for v in seq_a)
+
+
+def test_prng_streams_decorrelated_across_threads():
+    # sibling threads from the same seed must make independent random
+    # decisions (regression: correlated xorshift seeding synchronized
+    # the corpus attacker/victim gating)
+    t1 = Thread(1, 0, seed=4)
+    t2 = Thread(2, 0, seed=4)
+    hits = sum(1 for _ in range(200)
+               if (t1.next_rand(13) == 1) == (t2.next_rand(13) == 2))
+    # under independence the agreement rate on these rare events is ~86%;
+    # perfectly correlated streams would agree ~100% or ~0%
+    assert 120 < hits < 198
+
+
+def test_prng_zero_bound():
+    t = Thread(0, 0)
+    assert t.next_rand(0) == 0
+    assert t.next_rand(-3) == 0
+
+
+def test_cost_model_copy_overrides():
+    c = CostModel()
+    d = c.copy(syscall=999)
+    assert d.syscall == 999
+    assert c.syscall != 999
+    assert d.instr == c.instr
+
+
+def test_cost_model_repr_lists_fields():
+    text = repr(CostModel())
+    assert "syscall=" in text and "quantum=" in text

@@ -1,0 +1,108 @@
+"""Hardware trap-delivery semantics at machine level (without Kivati)."""
+
+from repro.compiler.bytecode import Op
+from repro.compiler.codegen import compile_program
+from repro.machine.machine import Machine
+from repro.machine.runtime_iface import BaseRuntime
+from repro.minic.parser import parse
+
+
+class RecordingRuntime(BaseRuntime):
+    """Arms a watchpoint directly and records delivered traps."""
+
+    def __init__(self, watch_addr_name, watch_read, watch_write):
+        self.name = watch_addr_name
+        self.watch_read = watch_read
+        self.watch_write = watch_write
+        self.traps = []
+
+    def attach(self, machine):
+        self.machine = machine
+        addr = machine.program.global_addr(self.name)
+        for core in machine.cores:
+            core.dr.slots[0].configure(addr, 1, self.watch_read,
+                                       self.watch_write)
+
+    def on_watchpoint_trap(self, core, thread, after_pc, hit_slots, accesses):
+        self.traps.append((thread.tid, after_pc, tuple(hit_slots),
+                           tuple(accesses)))
+        return 0
+
+
+def run_with_watch(src, name, watch_read=True, watch_write=True,
+                   trap_before=False):
+    program = compile_program(parse(src))
+    runtime = RecordingRuntime(name, watch_read, watch_write)
+    machine = Machine(program, runtime=runtime, trap_before=trap_before)
+    result = machine.run(raise_on_deadlock=True)
+    return program, runtime, result
+
+
+SRC = """
+int x = 0;
+void main() {
+    x = 5;
+    int t = x;
+    output(t);
+}
+"""
+
+
+def test_trap_after_reports_successor_pc():
+    program, runtime, result = run_with_watch(SRC, "x")
+    assert result.output == [5]
+    assert len(runtime.traps) == 2  # the write and the read
+    for tid, after_pc, slots, accesses in runtime.traps:
+        assert slots == (0,)
+        # the after-pc must map back through the memory map
+        faulting = program.memory_map.faulting_pc(after_pc)
+        assert faulting == after_pc - 1
+        assert program.instrs[faulting].op in (Op.LD, Op.ST)
+
+
+def test_kind_filtering_write_only():
+    _, runtime, _ = run_with_watch(SRC, "x", watch_read=False,
+                                   watch_write=True)
+    assert len(runtime.traps) == 1
+
+
+def test_kind_filtering_read_only():
+    _, runtime, _ = run_with_watch(SRC, "x", watch_read=True,
+                                   watch_write=False)
+    assert len(runtime.traps) == 1
+
+
+def test_trap_before_fires_with_accesses_only():
+    class BeforeRuntime(RecordingRuntime):
+        def on_watchpoint_trap(self, core, thread, after_pc, hit_slots,
+                               accesses):
+            self.traps.append((after_pc, tuple(accesses)))
+            # disarm so the instruction commits on the (non-)retry
+            for c in self.machine.cores:
+                c.dr.slots[0].disable()
+            return 0
+
+    program = compile_program(parse(SRC))
+    runtime = BeforeRuntime("x", True, True)
+    machine = Machine(program, runtime=runtime, trap_before=True)
+    result = machine.run(raise_on_deadlock=True)
+    assert result.output == [5]
+    after_pc, accesses = runtime.traps[0]
+    # trap-before: no after-pc (the instruction has not committed)
+    assert after_pc is None
+    assert accesses  # the hardware knows the would-be accesses
+
+
+def test_unwatched_addresses_never_trap():
+    src = """
+    int x = 0;
+    int y = 0;
+    void main() {
+        y = 1;
+        y = y + 1;
+        output(y);
+    }
+    """
+    _, runtime, result = run_with_watch(src, "x")
+    assert result.output == [2]
+    assert runtime.traps == []

@@ -1,0 +1,80 @@
+"""Debug register (watchpoint) hardware model tests."""
+
+from repro.machine.watchpoints import (
+    ARCH_SURVEY,
+    DebugRegisterFile,
+    WatchpointSlot,
+    X86_NUM_WATCHPOINTS,
+)
+
+
+def test_x86_has_four_slots():
+    dr = DebugRegisterFile()
+    assert len(dr) == X86_NUM_WATCHPOINTS == 4
+
+
+def test_arch_survey_matches_table1():
+    by_arch = {row["arch"]: row for row in ARCH_SURVEY}
+    assert by_arch["x86"]["number"] == 4
+    assert by_arch["x86"]["type"] == "After"
+    assert by_arch["SPARC"]["type"] == "Before"
+    assert by_arch["SPARC"]["number"] == 2
+    assert by_arch["ARM"]["number"] == 2
+    assert all(row["support"] for row in ARCH_SURVEY)
+
+
+def test_slot_disabled_never_matches():
+    slot = WatchpointSlot(0)
+    assert not slot.matches(100, True, 1)
+
+
+def test_slot_matches_address_range():
+    slot = WatchpointSlot(0)
+    slot.configure(100, 2, watch_read=True, watch_write=True)
+    assert slot.matches(100, False, 1)
+    assert slot.matches(101, True, 1)
+    assert not slot.matches(102, True, 1)
+    assert not slot.matches(99, False, 1)
+
+
+def test_slot_kind_filtering():
+    slot = WatchpointSlot(0)
+    slot.configure(50, 1, watch_read=False, watch_write=True)
+    assert slot.matches(50, True, 1)
+    assert not slot.matches(50, False, 1)
+
+
+def test_slot_suppression_for_local_threads():
+    slot = WatchpointSlot(0)
+    slot.configure(50, 1, True, True, suppressed_tids=frozenset({7}))
+    assert not slot.matches(50, True, 7)
+    assert slot.matches(50, True, 8)
+
+
+def test_drf_check_reports_all_hit_slots():
+    dr = DebugRegisterFile(4)
+    dr.slots[1].configure(10, 1, True, True)
+    dr.slots[3].configure(10, 1, False, True)
+    assert dr.check(10, True, 0) == [1, 3]
+    assert dr.check(10, False, 0) == [1]
+    assert dr.check(11, True, 0) == []
+
+
+def test_adopt_copies_logical_state_and_epoch():
+    logical = [WatchpointSlot(i) for i in range(4)]
+    logical[0].configure(77, 1, True, False)
+    dr = DebugRegisterFile(4)
+    dr.adopt(logical, epoch=9)
+    assert dr.synced_epoch == 9
+    assert dr.slots[0].enabled and dr.slots[0].addr == 77
+    assert dr.slots[0].watch_read and not dr.slots[0].watch_write
+    assert not dr.slots[1].enabled
+
+
+def test_any_enabled():
+    dr = DebugRegisterFile(2)
+    assert not dr.any_enabled()
+    dr.slots[1].configure(5, 1, True, True)
+    assert dr.any_enabled()
+    dr.slots[1].disable()
+    assert not dr.any_enabled()

@@ -1,0 +1,46 @@
+"""Builtin registry tests."""
+
+from repro.minic.builtins import (
+    BUILTINS,
+    POINTER_RETURNING,
+    SYNC_BUILTINS,
+    arity,
+    has_result,
+    is_builtin,
+)
+
+
+def test_registry_contents():
+    for name in ("lock", "unlock", "cas", "atomic_add", "sleep", "yield",
+                 "join", "output", "alloc", "rand", "tid", "copyword",
+                 "invoke", "funcref"):
+        assert is_builtin(name)
+    assert not is_builtin("printf")
+
+
+def test_arities():
+    assert arity("lock") == 1
+    assert arity("cas") == 3
+    assert arity("copyword") == 2
+    assert arity("join") == 0
+
+
+def test_result_flags():
+    assert has_result("alloc")
+    assert has_result("cas")
+    assert not has_result("lock")
+    assert not has_result("output")
+
+
+def test_pointer_returning_only_alloc():
+    assert POINTER_RETURNING == {"alloc"}
+
+
+def test_sync_builtins_cover_rmw_family():
+    assert SYNC_BUILTINS == {"lock", "unlock", "cas", "atomic_add"}
+
+
+def test_registry_shape():
+    for name, (n, result) in BUILTINS.items():
+        assert isinstance(n, int) and n >= 0
+        assert isinstance(result, bool)

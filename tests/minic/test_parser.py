@@ -1,0 +1,188 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.minic import ast
+from repro.minic.parser import parse
+
+
+def parse_stmt(body):
+    prog = parse("void main() { %s }" % body)
+    return prog.func("main").body.stmts
+
+
+def parse_expr(text):
+    stmts = parse_stmt("x = %s;" % text)
+    return stmts[0].value
+
+
+def test_empty_main():
+    prog = parse("void main() {}")
+    assert [f.name for f in prog.funcs] == ["main"]
+    assert prog.func("main").body.stmts == []
+
+
+def test_global_scalar_with_init():
+    prog = parse("int g = 5; void main() {}")
+    g = prog.global_var("g")
+    assert g.size == 1 and g.init == 5 and not g.is_ptr
+
+
+def test_global_negative_init():
+    prog = parse("int g = -3; void main() {}")
+    assert prog.global_var("g").init == -3
+
+
+def test_global_array():
+    prog = parse("int a[10]; void main() {}")
+    assert prog.global_var("a").size == 10
+
+
+def test_global_pointer():
+    prog = parse("int *p; void main() {}")
+    assert prog.global_var("p").is_ptr
+
+
+def test_zero_size_array_rejected():
+    with pytest.raises(ParseError):
+        parse("int a[0]; void main() {}")
+
+
+def test_function_with_params():
+    prog = parse("void f(int a, int *b) {} void main() {}")
+    assert prog.func("f").params == [("a", False), ("b", True)]
+
+
+def test_int_function_detected_vs_global():
+    prog = parse("int g; int f() { return 1; } void main() {}")
+    assert prog.global_var("g") is not None
+    assert prog.func("f") is not None
+
+
+def test_precedence_mul_over_add():
+    e = parse_expr("1 + 2 * 3")
+    assert isinstance(e, ast.Binary) and e.op == "+"
+    assert isinstance(e.right, ast.Binary) and e.right.op == "*"
+
+
+def test_precedence_cmp_over_and():
+    e = parse_expr("a < b && c > d")
+    assert e.op == "&&"
+    assert e.left.op == "<" and e.right.op == ">"
+
+
+def test_parentheses_override():
+    e = parse_expr("(1 + 2) * 3")
+    assert e.op == "*"
+    assert e.left.op == "+"
+
+
+def test_unary_minus_and_not():
+    e = parse_expr("-x")
+    assert isinstance(e, ast.Unary) and e.op == "-"
+    e = parse_expr("!x")
+    assert e.op == "!"
+
+
+def test_deref_and_addrof():
+    e = parse_expr("*p")
+    assert isinstance(e, ast.Deref)
+    e = parse_expr("&y")
+    assert isinstance(e, ast.AddrOf)
+
+
+def test_addrof_of_array_element():
+    e = parse_expr("&a[i]")
+    assert isinstance(e, ast.AddrOf) and isinstance(e.operand, ast.Index)
+
+
+def test_addrof_of_expression_rejected():
+    with pytest.raises(ParseError):
+        parse_expr("&(a + b)")
+
+
+def test_index_only_on_names():
+    with pytest.raises(ParseError):
+        parse_expr("(a + b)[0]")
+
+
+def test_call_with_args():
+    e = parse_expr("f(1, g(2), x)")
+    assert isinstance(e, ast.Call) and len(e.args) == 3
+    assert isinstance(e.args[1], ast.Call)
+
+
+def test_assignment_targets():
+    stmts = parse_stmt("x = 1; *p = 2; a[0] = 3;")
+    assert isinstance(stmts[0].target, ast.Var)
+    assert isinstance(stmts[1].target, ast.Deref)
+    assert isinstance(stmts[2].target, ast.Index)
+
+
+def test_assignment_to_literal_rejected():
+    with pytest.raises(ParseError):
+        parse_stmt("3 = x;")
+
+
+def test_if_else():
+    stmts = parse_stmt("if (x) { y = 1; } else { y = 2; }")
+    node = stmts[0]
+    assert isinstance(node, ast.If) and node.els is not None
+
+
+def test_dangling_else_binds_inner():
+    stmts = parse_stmt("if (a) if (b) x = 1; else x = 2;")
+    outer = stmts[0]
+    assert outer.els is None
+    assert outer.then.els is not None
+
+
+def test_while_loop():
+    stmts = parse_stmt("while (x < 3) { x = x + 1; }")
+    assert isinstance(stmts[0], ast.While)
+
+
+def test_for_desugars_to_while():
+    stmts = parse_stmt("for (i = 0; i < 3; i = i + 1) { x = i; }")
+    block = stmts[0]
+    assert isinstance(block, ast.Block)
+    assert isinstance(block.stmts[0], ast.Assign)
+    assert isinstance(block.stmts[1], ast.While)
+
+
+def test_spawn_statement():
+    prog = parse("void w(int a) {} void main() { spawn w(3); }")
+    sp = prog.func("main").body.stmts[0]
+    assert isinstance(sp, ast.Spawn) and sp.func == "w"
+
+
+def test_break_continue_return():
+    stmts = parse_stmt("while (1) { break; } while (1) { continue; } return;")
+    assert isinstance(stmts[0].body.stmts[0], ast.Break)
+    assert isinstance(stmts[1].body.stmts[0], ast.Continue)
+    assert isinstance(stmts[2], ast.Return)
+
+
+def test_local_decls():
+    stmts = parse_stmt("int x; int *p; int a[4]; int y = 2;")
+    assert stmts[0].size == 1
+    assert stmts[1].is_ptr
+    assert stmts[2].size == 4
+    assert stmts[3].init.value == 2
+
+
+def test_unterminated_block_raises():
+    with pytest.raises(ParseError):
+        parse("void main() { x = 1;")
+
+
+def test_missing_semicolon_raises():
+    with pytest.raises(ParseError):
+        parse("void main() { x = 1 }")
+
+
+def test_uids_are_unique():
+    prog = parse("void main() { x = 1; y = 2; }")
+    uids = [n.uid for n in ast.walk(prog)]
+    assert len(uids) == len(set(uids))

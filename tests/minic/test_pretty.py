@@ -1,0 +1,54 @@
+"""Pretty-printer tests: output must re-parse to an equivalent program."""
+
+import pytest
+
+from repro.minic import ast
+from repro.minic.parser import parse
+from repro.minic.pretty import expr_str, pretty
+
+ROUNDTRIP_SOURCES = [
+    "void main() {}",
+    "int g = 4;\nint a[8];\nint *p;\nvoid main() { g = a[2] + *p; }",
+    "void main() { if (1 < 2) { output(1); } else { output(2); } }",
+    "void main() { int i = 0; while (i < 3) { i = i + 1; } }",
+    "void f(int x, int *y) { *y = x; } void main() { int r; f(1, &r); }",
+    "void main() { int x = 1 && 0 || !2; }",
+    "void w() {} void main() { spawn w(); join(); }",
+    "void main() { while (1) { break; } }",
+]
+
+
+@pytest.mark.parametrize("src", ROUNDTRIP_SOURCES)
+def test_roundtrip_stable(src):
+    once = pretty(parse(src))
+    twice = pretty(parse(once))
+    assert once == twice
+
+
+def test_expr_minimal_parens():
+    e = parse("void main() { x = a + b * c; }").func("main").body.stmts[0].value
+    assert expr_str(e) == "a + b * c"
+
+
+def test_expr_needed_parens():
+    e = parse("void main() { x = (a + b) * c; }").func("main").body.stmts[0].value
+    assert expr_str(e) == "(a + b) * c"
+
+
+def test_annotations_printed():
+    begin = ast.BeginAtomic(3, ast.Var("x"))
+    end = ast.EndAtomic(3, ast.AccessKind.WRITE)
+    clear = ast.ClearAr()
+    prog = parse("int x; void main() { x = 1; }")
+    main = prog.func("main")
+    main.body.stmts = [begin] + main.body.stmts + [end, clear]
+    text = pretty(prog)
+    assert "begin_atomic(3, &x);" in text
+    assert "end_atomic(3);" in text
+    assert "clear_ar();" in text
+
+
+def test_array_and_pointer_decls():
+    text = pretty(parse("int a[4]; int *p; void main() {}"))
+    assert "int a[4];" in text
+    assert "int *p;" in text

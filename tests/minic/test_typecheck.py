@@ -1,0 +1,136 @@
+"""Semantic checker tests."""
+
+import pytest
+
+from repro.errors import TypeError_
+from repro.minic.parser import parse
+from repro.minic.typecheck import check
+
+
+def check_src(src):
+    return check(parse(src))
+
+
+def test_minimal_program_ok():
+    info = check_src("void main() {}")
+    assert "main" in info.funcs
+
+
+def test_missing_main_rejected():
+    with pytest.raises(TypeError_):
+        check_src("void f() {}")
+
+
+def test_main_with_params_rejected():
+    with pytest.raises(TypeError_):
+        check_src("void main(int x) {}")
+
+
+def test_duplicate_global_rejected():
+    with pytest.raises(TypeError_):
+        check_src("int g; int g; void main() {}")
+
+
+def test_duplicate_function_rejected():
+    with pytest.raises(TypeError_):
+        check_src("void f() {} void f() {} void main() {}")
+
+
+def test_global_function_collision_rejected():
+    with pytest.raises(TypeError_):
+        check_src("int f; void f() {} void main() {}")
+
+
+def test_builtin_shadowing_rejected():
+    with pytest.raises(TypeError_):
+        check_src("int lock; void main() {}")
+    with pytest.raises(TypeError_):
+        check_src("void rand() {} void main() {}")
+    with pytest.raises(TypeError_):
+        check_src("void main() { int alloc; }")
+
+
+def test_undefined_variable_rejected():
+    with pytest.raises(TypeError_):
+        check_src("void main() { x = 1; }")
+
+
+def test_local_scoping_flat_per_function():
+    with pytest.raises(TypeError_):
+        check_src("void main() { int x; int x; }")
+
+
+def test_param_and_local_collision():
+    with pytest.raises(TypeError_):
+        check_src("void f(int a) { int a; } void main() {}")
+
+
+def test_duplicate_param_rejected():
+    with pytest.raises(TypeError_):
+        check_src("void f(int a, int a) {} void main() {}")
+
+
+def test_call_arity_checked():
+    with pytest.raises(TypeError_):
+        check_src("void f(int a) {} void main() { f(1, 2); }")
+
+
+def test_builtin_arity_checked():
+    with pytest.raises(TypeError_):
+        check_src("void main() { sleep(); }")
+    with pytest.raises(TypeError_):
+        check_src("int m; void main() { lock(&m, 1); }")
+
+
+def test_unknown_function_rejected():
+    with pytest.raises(TypeError_):
+        check_src("void main() { nosuch(1); }")
+
+
+def test_spawn_unknown_function_rejected():
+    with pytest.raises(TypeError_):
+        check_src("void main() { spawn nosuch(); }")
+
+
+def test_spawn_arity_checked():
+    with pytest.raises(TypeError_):
+        check_src("void w(int a) {} void main() { spawn w(); }")
+
+
+def test_break_outside_loop_rejected():
+    with pytest.raises(TypeError_):
+        check_src("void main() { break; }")
+
+
+def test_continue_outside_loop_rejected():
+    with pytest.raises(TypeError_):
+        check_src("void main() { continue; }")
+
+
+def test_funcref_requires_function_name():
+    check_src("void f() {} void main() { int x = funcref(f); }")
+    with pytest.raises(TypeError_):
+        check_src("void main() { int x = funcref(42); }")
+    with pytest.raises(TypeError_):
+        check_src("void main() { int y; int x = funcref(y); }")
+
+
+def test_funcinfo_records_locals_and_pointers():
+    info = check_src("""
+    void f(int *p) {
+        int x;
+        int a[5];
+        int *q;
+    }
+    void main() {}
+    """)
+    f = info.funcs["f"]
+    assert f.locals == ["x", "a", "q"]
+    assert f.local_sizes["a"] == 5
+    assert "p" in f.ptr_names and "q" in f.ptr_names
+
+
+def test_global_info_recorded():
+    info = check_src("int g; int a[3]; int *p; void main() {}")
+    assert info.global_sizes == {"g": 1, "a": 3, "p": 1}
+    assert info.global_ptrs == {"p"}

@@ -1,0 +1,117 @@
+"""Fuzz the whole pipeline: random programs must annotate, compile and run
+under Kivati with semantics identical to the vanilla run.
+
+The generator builds structurally varied programs (globals, arrays,
+pointers, helpers, branches, loops, spawned workers) that are free of
+*harmful* races by construction — every cross-thread update is atomic or
+lock-protected — so vanilla and protected outputs must agree exactly.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import KivatiConfig, OptLevel
+from repro.core.session import ProtectedProgram
+
+_PP_CACHE = {}
+
+
+def _protect(src, **kw):
+    key = (src, tuple(sorted(kw.items())))
+    pp = _PP_CACHE.get(key)
+    if pp is None:
+        pp = ProtectedProgram(src, **kw)
+        _PP_CACHE[key] = pp
+    return pp
+
+
+@st.composite
+def random_program(draw):
+    use_array = draw(st.booleans())
+    use_pointer = draw(st.booleans())
+    use_helper = draw(st.booleans())
+    use_branch = draw(st.booleans())
+    iters = draw(st.integers(min_value=1, max_value=6))
+    threads = draw(st.integers(min_value=1, max_value=3))
+    inc = draw(st.integers(min_value=1, max_value=4))
+
+    globals_ = ["int m = 0;", "int total = 0;"]
+    body = []
+    if use_array:
+        globals_.append("int table[4];")
+        body.append("table[i % 4] = table[i % 4] + 1;")
+    if use_pointer:
+        globals_.append("int cell = 0;")
+        body.append("int *p = &cell;")
+        body.append("*p = *p + 1;")
+    if use_branch:
+        body.append("if (i % 2 == 0) { total = total + 0; }")
+
+    update = "atomic_add(&total, %d);" % inc
+    if use_helper:
+        helper = """
+void bump(int v) {
+    lock(&m);
+    int t = total;
+    total = t + v;
+    unlock(&m);
+}
+"""
+        update = "bump(%d);" % inc
+    else:
+        helper = ""
+
+    src = """
+%s
+%s
+void worker(int n) {
+    int i = 0;
+    while (i < n) {
+        %s
+        %s
+        i = i + 1;
+    }
+}
+void main() {
+%s
+    join();
+    output(total);
+}
+""" % (
+        "\n".join(globals_),
+        helper,
+        "\n        ".join(body) if body else ";".join(()) or "int pad = 0;",
+        update,
+        "\n".join("    spawn worker(%d);" % iters for _ in range(threads)),
+    )
+    expected = threads * iters * inc
+    return src, expected
+
+
+@given(random_program(),
+       st.sampled_from([OptLevel.BASE, OptLevel.OPTIMIZED]),
+       st.integers(min_value=0, max_value=2))
+@settings(max_examples=25, deadline=None)
+def test_random_programs_survive_protection(prog, opt, seed):
+    src, expected = prog
+    pp = _protect(src)
+    vanilla = pp.run_vanilla(seed=seed)
+    assert vanilla.output == [expected]
+    report = pp.run(
+        KivatiConfig(opt=opt, suspend_timeout_ns=20_000), seed=seed
+    )
+    assert report.output == [expected]
+    assert report.result.fault is None
+    assert not report.result.deadlocked
+
+
+@given(random_program(), st.integers(min_value=0, max_value=2))
+@settings(max_examples=10, deadline=None)
+def test_random_programs_with_extensions(prog, seed):
+    src, expected = prog
+    pp = _protect(src, interprocedural=True, pointer_analysis=True)
+    report = pp.run(
+        KivatiConfig(opt=OptLevel.OPTIMIZED, suspend_timeout_ns=20_000),
+        seed=seed,
+    )
+    assert report.output == [expected]
+    assert not report.result.deadlocked

@@ -1,0 +1,90 @@
+"""Property: the VM evaluates expressions exactly like Python does."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.codegen import compile_program
+from repro.machine.machine import Machine
+from repro.minic.parser import parse
+
+
+@st.composite
+def expr_and_value(draw, depth=0):
+    """Generate a mini-C expression string and its Python value."""
+    if depth >= 3 or draw(st.booleans()):
+        value = draw(st.integers(min_value=-50, max_value=50))
+        if value < 0:
+            return "(0 - %d)" % -value, value
+        return str(value), value
+    op = draw(st.sampled_from(["+", "-", "*", "/", "%", "<", "<=", ">",
+                               ">=", "==", "!="]))
+    left_s, left_v = draw(expr_and_value(depth=depth + 1))
+    right_s, right_v = draw(expr_and_value(depth=depth + 1))
+    if op in ("/", "%") and right_v == 0:
+        right_s, right_v = "7", 7
+    text = "(%s %s %s)" % (left_s, op, right_s)
+    if op == "+":
+        return text, left_v + right_v
+    if op == "-":
+        return text, left_v - right_v
+    if op == "*":
+        return text, left_v * right_v
+    if op == "/":
+        return text, left_v // right_v
+    if op == "%":
+        return text, left_v % right_v
+    if op == "<":
+        return text, int(left_v < right_v)
+    if op == "<=":
+        return text, int(left_v <= right_v)
+    if op == ">":
+        return text, int(left_v > right_v)
+    if op == ">=":
+        return text, int(left_v >= right_v)
+    if op == "==":
+        return text, int(left_v == right_v)
+    return text, int(left_v != right_v)
+
+
+@given(expr_and_value())
+@settings(max_examples=120, deadline=None)
+def test_expression_evaluation_matches_python(ev):
+    text, expected = ev
+    program = compile_program(parse("void main() { output(%s); }" % text))
+    result = Machine(program).run(raise_on_deadlock=True)
+    assert result.output == [expected]
+
+
+@given(st.lists(st.integers(min_value=-100, max_value=100), min_size=1,
+                max_size=8))
+@settings(max_examples=60, deadline=None)
+def test_array_store_load_roundtrip(values):
+    n = len(values)
+    stores = "\n".join(
+        "a[%d] = %s;" % (i, v if v >= 0 else "(0 - %d)" % -v)
+        for i, v in enumerate(values)
+    )
+    outs = "\n".join("output(a[%d]);" % i for i in range(n))
+    src = "int a[%d];\nvoid main() {\n%s\n%s\n}" % (n, stores, outs)
+    program = compile_program(parse(src))
+    result = Machine(program).run(raise_on_deadlock=True)
+    assert result.output == values
+
+
+@given(st.integers(min_value=0, max_value=30),
+       st.integers(min_value=1, max_value=9))
+@settings(max_examples=40, deadline=None)
+def test_loop_sum(n, step):
+    src = """
+    void main() {
+        int total = 0;
+        int i = 0;
+        while (i < %d) {
+            total = total + i;
+            i = i + %d;
+        }
+        output(total);
+    }
+    """ % (n, step)
+    program = compile_program(parse(src))
+    result = Machine(program).run(raise_on_deadlock=True)
+    assert result.output == [sum(range(0, n, step))]

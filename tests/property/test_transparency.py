@@ -1,0 +1,89 @@
+"""Property: Kivati never changes the semantics of protected programs.
+
+Random lock-disciplined programs must produce identical output vanilla
+and under every optimization level — the paper's "Kivati never introduces
+new synchronization errors".
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import KivatiConfig, Mode, OptLevel
+from repro.core.session import ProtectedProgram
+
+_PP_CACHE = {}
+
+
+def _protect(src):
+    pp = _PP_CACHE.get(src)
+    if pp is None:
+        pp = ProtectedProgram(src)
+        _PP_CACHE[src] = pp
+    return pp
+
+
+@st.composite
+def locked_counter_program(draw):
+    threads = draw(st.integers(min_value=1, max_value=3))
+    iters = draw(st.integers(min_value=1, max_value=8))
+    increment = draw(st.integers(min_value=1, max_value=5))
+    use_lock = draw(st.booleans())
+    pad = draw(st.integers(min_value=0, max_value=6))
+    body = """
+        lock(&m);
+        int t = counter;
+        counter = t + %d;
+        unlock(&m);
+    """ % increment if use_lock else """
+        atomic_add(&counter, %d);
+    """ % increment
+    src = """
+    int m = 0;
+    int counter = 0;
+    int spin = 0;
+    void worker(int n) {
+        int i = 0;
+        while (i < n) {
+            int p = 0;
+            int acc = i;
+            while (p < %d) { acc = acc * 3 + p; p = p + 1; }
+            %s
+            i = i + 1;
+        }
+    }
+    void main() {
+    %s
+        join();
+        output(counter);
+    }
+    """ % (pad, body,
+           "\n".join("    spawn worker(%d);" % iters
+                     for _ in range(threads)))
+    return src, threads * iters * increment
+
+
+@given(locked_counter_program(), st.integers(min_value=0, max_value=3),
+       st.sampled_from([OptLevel.BASE, OptLevel.SYNCVARS,
+                        OptLevel.OPTIMIZED]))
+@settings(max_examples=30, deadline=None)
+def test_protected_output_matches_vanilla(prog, seed, opt):
+    src, expected = prog
+    pp = _protect(src)
+    vanilla = pp.run_vanilla(seed=seed)
+    assert vanilla.output == [expected]
+    report = pp.run(
+        KivatiConfig(opt=opt, suspend_timeout_ns=20_000), seed=seed
+    )
+    assert report.output == [expected]
+    assert not report.result.deadlocked
+
+
+@given(locked_counter_program(), st.integers(min_value=0, max_value=2))
+@settings(max_examples=10, deadline=None)
+def test_bug_finding_mode_is_transparent_too(prog, seed):
+    src, expected = prog
+    pp = _protect(src)
+    config = KivatiConfig(opt=OptLevel.OPTIMIZED, mode=Mode.BUG_FINDING,
+                          pause_ns=5_000, pause_probability=0.2,
+                          suspend_timeout_ns=20_000)
+    report = pp.run(config, seed=seed)
+    assert report.output == [expected]

@@ -1,0 +1,32 @@
+"""Runtime statistics tests."""
+
+from repro.runtime.stats import KivatiStats
+
+
+def test_fresh_stats_zeroed():
+    stats = KivatiStats()
+    assert all(v == 0 for v in stats.as_dict().values())
+    assert stats.crossings() == 0
+    assert stats.missed_fraction() == 0.0
+
+
+def test_crossings_sum():
+    stats = KivatiStats()
+    stats.begin_syscalls = 5
+    stats.end_syscalls = 3
+    stats.clear_syscalls = 2
+    stats.traps = 4
+    assert stats.crossings() == 14
+
+
+def test_missed_fraction():
+    stats = KivatiStats()
+    stats.monitored_ars = 95
+    stats.missed_ars = 5
+    assert stats.total_ars_executed() == 100
+    assert abs(stats.missed_fraction() - 0.05) < 1e-9
+
+
+def test_as_dict_covers_all_fields():
+    stats = KivatiStats()
+    assert set(stats.as_dict()) == set(KivatiStats.FIELDS)

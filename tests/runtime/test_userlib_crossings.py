@@ -1,0 +1,99 @@
+"""User-space library crossing-decision tests (the heart of Section 3.4).
+
+These tests pin down exactly when each configuration enters the kernel.
+"""
+
+from repro.core.config import KivatiConfig, OptLevel, OptimizationConfig
+from repro.core.session import ProtectedProgram
+
+SINGLE_AR = """
+int x = 0;
+void main() {
+    int t = x;
+    x = t + 1;
+}
+"""
+
+REPEATED_ARS = """
+int x = 0;
+void bump() {
+    int t = x;
+    x = t + 1;
+}
+void main() {
+    int i = 0;
+    while (i < 10) {
+        bump();
+        i = i + 1;
+    }
+}
+"""
+
+
+def run(src, opt, seed=0):
+    pp = ProtectedProgram(src)
+    return pp, pp.run(KivatiConfig(opt=opt), seed=seed)
+
+
+def test_base_crosses_on_every_annotation():
+    pp, report = run(SINGLE_AR, OptLevel.BASE)
+    stats = report.stats
+    assert stats.begin_syscalls == stats.begin_calls
+    assert stats.end_syscalls == stats.end_calls
+    assert stats.clear_syscalls == stats.clear_calls
+
+
+def test_null_syscall_crosses_but_never_monitors():
+    pp, report = run(SINGLE_AR, OptLevel.NULL_SYSCALL)
+    stats = report.stats
+    assert stats.begin_syscalls == stats.begin_calls > 0
+    assert stats.monitored_ars == 0
+    assert stats.traps == 0
+
+
+def test_o1_skips_crossings_without_state_change():
+    _, base = run(REPEATED_ARS, OptLevel.BASE)
+    _, o1 = run(REPEATED_ARS, OptimizationConfig(o1_userspace=True))
+    # each bump's end still frees its watchpoint (a hardware change), but
+    # the no-op clear_ar at every subroutine exit stays in user space
+    assert o1.stats.end_syscalls <= base.stats.end_syscalls
+    assert o1.stats.clear_syscalls < base.stats.clear_syscalls
+    assert o1.stats.crossings() < base.stats.crossings()
+
+
+def test_o1_o2_make_ends_crossing_free():
+    """With the replica + lazy freeing, an uncontended end_atomic never
+    enters the kernel (second optimization, Section 3.4)."""
+    _, report = run(
+        REPEATED_ARS,
+        OptimizationConfig(o1_userspace=True, o2_lazy_free=True),
+    )
+    assert report.stats.end_syscalls == 0
+    assert report.stats.lazy_frees > 0
+
+
+def test_o2_reconciliation_on_next_begin():
+    _, report = run(
+        REPEATED_ARS,
+        OptimizationConfig(o1_userspace=True, o2_lazy_free=True),
+    )
+    # the lazily-freed slot is reclaimed by a later begin_atomic
+    assert report.stats.lazy_reconciles > 0
+
+
+def test_whitelisted_ars_never_cross():
+    pp = ProtectedProgram(REPEATED_ARS)
+    all_ars = list(pp.ar_table)
+    report = pp.run(KivatiConfig(opt=OptLevel.BASE, whitelist=all_ars),
+                    seed=0)
+    assert report.stats.begin_syscalls == 0
+    assert report.stats.end_syscalls == 0
+    assert report.stats.whitelist_hits > 0
+    assert report.stats.monitored_ars == 0
+
+
+def test_shadow_stores_execute_only_under_o3():
+    _, base = run(SINGLE_AR, OptLevel.BASE)
+    assert base.stats.shadow_stores == 0
+    _, o3 = run(SINGLE_AR, OptimizationConfig(o3_local_disable=True))
+    assert o3.stats.shadow_stores > 0

@@ -1,0 +1,89 @@
+"""Application model tests."""
+
+import pytest
+
+from repro.core.config import KivatiConfig, OptLevel
+from repro.core.session import ProtectedProgram
+from repro.errors import WorkloadError
+from repro.workloads.catalog import (
+    APP_BUILDERS,
+    APP_NAMES,
+    build_app,
+    workload_suite,
+)
+
+_CACHE = {}
+
+
+def protected(workload):
+    pp = _CACHE.get(workload.source)
+    if pp is None:
+        pp = ProtectedProgram(workload.source)
+        _CACHE[workload.source] = pp
+    return pp
+
+
+def small_suite():
+    return workload_suite(scale=0.15)
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+def test_app_builds_and_annotates(name):
+    workload = build_app(name)
+    pp = protected(workload)
+    assert pp.num_ars > 0
+    assert len(pp.program.instrs) > 50
+
+
+def test_unknown_app_rejected():
+    with pytest.raises(WorkloadError):
+        build_app("nginx")
+
+
+@pytest.mark.parametrize("workload", small_suite(), ids=lambda w: w.name)
+def test_vanilla_output_valid(workload):
+    pp = protected(workload)
+    result = pp.run_vanilla(seed=5)
+    assert workload.check_output(result.output), result.output
+    assert result.fault is None
+    assert not result.deadlocked
+
+
+@pytest.mark.parametrize("workload", small_suite(), ids=lambda w: w.name)
+def test_protected_output_valid(workload):
+    pp = protected(workload)
+    config = KivatiConfig(opt=OptLevel.OPTIMIZED, suspend_timeout_ns=10_000)
+    report = pp.run(config, seed=5)
+    assert workload.check_output(report.output), report.output
+    assert not report.result.deadlocked
+
+
+@pytest.mark.parametrize("workload", small_suite(), ids=lambda w: w.name)
+def test_protection_costs_time_but_not_correctness(workload):
+    pp = protected(workload)
+    vanilla = pp.run_vanilla(seed=5)
+    report = pp.run(
+        KivatiConfig(opt=OptLevel.BASE, suspend_timeout_ns=10_000), seed=5
+    )
+    assert report.time_ns >= vanilla.time_ns
+    assert workload.check_output(report.output)
+
+
+def test_suite_scale_controls_work():
+    small = {w.name: w for w in workload_suite(scale=0.15)}
+    big = {w.name: w for w in workload_suite(scale=0.5)}
+    pp_small = protected(small["NSS"])
+    pp_big = ProtectedProgram(big["NSS"].source)
+    r_small = pp_small.run_vanilla(seed=1)
+    r_big = pp_big.run_vanilla(seed=1)
+    assert r_big.instr_count > r_small.instr_count * 1.5
+
+
+def test_all_builders_registered():
+    assert set(APP_BUILDERS) == set(APP_NAMES)
+
+
+def test_sync_vars_identified_in_apps():
+    for workload in small_suite():
+        pp = protected(workload)
+        assert pp.sync_ar_ids, "%s has no sync-variable ARs" % workload.name

@@ -1,0 +1,104 @@
+"""Bug corpus tests."""
+
+import pytest
+
+from repro.bench.scale import corpus_config
+from repro.core.config import Mode
+from repro.core.session import ProtectedProgram
+from repro.errors import WorkloadError
+from repro.workloads.bugs import BUG_IDS, BUGS, get_bug
+from repro.workloads.driver import detect_bug, manifestation_rate
+
+_CACHE = {}
+
+
+def protected(bug):
+    pp = _CACHE.get(bug.bug_id)
+    if pp is None:
+        pp = ProtectedProgram(bug.source)
+        _CACHE[bug.bug_id] = pp
+    return pp
+
+
+def test_corpus_has_eleven_bugs():
+    assert len(BUGS) == 11
+    apps = {bug.app for bug in BUGS.values()}
+    assert apps == {"Apache", "NSS", "MySQL"}
+    assert sum(1 for b in BUGS.values() if b.rare) == 3
+
+
+def test_get_bug_lookup():
+    assert get_bug("44402").app == "Apache"
+    assert get_bug(19938).app == "MySQL"
+    with pytest.raises(WorkloadError):
+        get_bug("0")
+
+
+@pytest.mark.parametrize("bug_id", BUG_IDS)
+def test_bug_compiles_and_race_free_run_is_clean(bug_id):
+    bug = BUGS[bug_id]
+    pp = protected(bug)
+    # single core, no preemption races in these small programs
+    result = pp.run_vanilla(num_cores=1, seed=0)
+    assert not bug.manifested(result), (result.output, result.fault)
+
+
+@pytest.mark.parametrize("bug_id", BUG_IDS)
+def test_patterns_cover_the_four_interleavings(bug_id):
+    bug = BUGS[bug_id]
+    assert bug.pattern in ("(R,W,R)", "(W,W,R)", "(W,R,W)", "(R,W,W)")
+
+
+def test_all_four_interleaving_classes_present():
+    patterns = {bug.pattern for bug in BUGS.values()}
+    assert patterns == {"(R,W,R)", "(W,W,R)", "(W,R,W)", "(R,W,W)"}
+
+
+@pytest.mark.parametrize("bug_id", ["19938", "341323", "270689"])
+def test_bug_finding_mode_detects(bug_id):
+    bug = BUGS[bug_id]
+    result = detect_bug(
+        bug,
+        corpus_config(Mode.BUG_FINDING, pause_ms=20),
+        max_attempts=20,
+        protected=protected(bug),
+    )
+    assert result.detected
+    assert result.records
+    assert all(r.var in bug.victim_vars for r in result.records)
+
+
+def test_detection_result_cell_format():
+    bug = BUGS["19938"]
+    result = detect_bug(
+        bug,
+        corpus_config(Mode.BUG_FINDING, pause_ms=20),
+        max_attempts=20,
+        protected=protected(bug),
+    )
+    cell = result.cell()
+    assert cell == "-" or ":" in cell
+
+
+def test_manifestation_rate_bounds():
+    bug = BUGS["19938"]
+    rate = manifestation_rate(bug, attempts=6, protected=protected(bug))
+    assert 0.0 <= rate <= 1.0
+
+
+def test_rare_bug_hides_from_prevention_mode():
+    bug = BUGS["169296"]
+    result = detect_bug(
+        bug, corpus_config(Mode.PREVENTION),
+        max_attempts=10, protected=protected(bug),
+    )
+    assert not result.detected
+
+
+def test_victim_vars_exist_in_annotation():
+    for bug in BUGS.values():
+        pp = protected(bug)
+        annotated_vars = {info.var for info in pp.ar_table.values()}
+        base_vars = {v.lstrip("*") for v in bug.victim_vars}
+        # at least one victim variable must carry an atomic region
+        assert annotated_vars & (bug.victim_vars | base_vars), bug.bug_id

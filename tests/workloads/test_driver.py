@@ -1,0 +1,67 @@
+"""Driver helper tests: latency measurement and detection plumbing."""
+
+import pytest
+
+from repro.core.config import KivatiConfig, OptLevel
+from repro.core.session import ProtectedProgram
+from repro.workloads.apps.webstone import build_webstone
+from repro.workloads.bugs import BUGS
+from repro.workloads.driver import (
+    DetectionResult,
+    detect_bug,
+    measure_latency,
+)
+
+
+def test_measure_latency_vanilla_vs_protected():
+    workload = build_webstone(requests=8)
+    pp = ProtectedProgram(workload.source)
+    vanilla = measure_latency(workload, config=None, protected=pp)
+    protected = measure_latency(
+        workload,
+        config=KivatiConfig(opt=OptLevel.OPTIMIZED,
+                            suspend_timeout_ns=10_000),
+        protected=pp,
+    )
+    assert vanilla.requests == workload.threads * 8
+    assert vanilla.latency_ns > 0
+    assert protected.latency_ns >= vanilla.latency_ns
+    assert protected.workload == "Webstone"
+
+
+def test_measure_latency_requires_request_count():
+    from repro.workloads.base import Workload
+
+    workload = Workload("X", "void main() {}", "", threads=1, requests=None)
+    with pytest.raises(ValueError):
+        measure_latency(workload)
+
+
+def test_detection_result_fields_when_not_found():
+    bug = BUGS["169296"]
+    pp = ProtectedProgram(bug.source)
+    result = detect_bug(
+        bug,
+        KivatiConfig(opt=OptLevel.OPTIMIZED, suspend_timeout_ns=10_000),
+        max_attempts=2,
+        protected=pp,
+    )
+    assert isinstance(result, DetectionResult)
+    if not result.detected:
+        assert result.cell() == "-"
+        assert result.attempts == 2
+        assert result.records == []
+    assert result.time_ns > 0
+
+
+def test_detection_accumulates_time_across_attempts():
+    bug = BUGS["169296"]
+    pp = ProtectedProgram(bug.source)
+    one = detect_bug(bug, KivatiConfig(opt=OptLevel.OPTIMIZED,
+                                       suspend_timeout_ns=10_000),
+                     max_attempts=1, protected=pp)
+    three = detect_bug(bug, KivatiConfig(opt=OptLevel.OPTIMIZED,
+                                         suspend_timeout_ns=10_000),
+                       max_attempts=3, protected=pp)
+    if not one.detected and not three.detected:
+        assert three.time_ns > one.time_ns
