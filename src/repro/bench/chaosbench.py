@@ -1,0 +1,62 @@
+"""Degradation bench: cost and visibility of surviving each fault class.
+
+Not a paper table — this quantifies the robustness extension (DESIGN.md
+§6): for every built-in chaos schedule, how many faults fired across the
+seeds, how often the system degraded, which policies engaged, and what
+the surviving runs cost in simulated time relative to the fault-free
+baseline. The invariant checks themselves live in the chaos harness;
+``generate().check()`` re-exposes them so the bench fails loudly if a
+schedule stops holding.
+"""
+
+from repro.bench.render import Table
+from repro.faults.chaos import DEFAULT_SEEDS, run_chaos_suite
+
+
+class ChaosBenchResult:
+    def __init__(self, table, report):
+        self.table = table
+        self.rows = table.rows
+        self.report = report
+
+    def render(self):
+        return self.table.render()
+
+    def check(self):
+        """Invariant problems (empty list = all schedules held)."""
+        failed, schedule_problems = self.report.failures
+        problems = [case.describe() for case in failed]
+        problems.extend(schedule_problems)
+        return problems
+
+
+def generate(seeds=DEFAULT_SEEDS):
+    report = run_chaos_suite(seeds=seeds)
+
+    by_plan = {}
+    for case in report.cases:
+        by_plan.setdefault(case.plan.name, []).append(case)
+
+    table = Table(
+        "Chaos bench: graceful degradation under injected faults",
+        ["schedule", "seeds", "fired", "degradations", "kinds",
+         "time vs clean", "ok"],
+        note="time vs clean = mean simulated-time ratio of faulty run to "
+             "fault-free baseline on the same seed",
+    )
+    for name, cases in by_plan.items():
+        fired = sum(case.fired for case in cases)
+        degradations = sum(len(case.report.degradations) for case in cases)
+        kinds = sorted({kind
+                        for case in cases
+                        for kind in case.report.degradations.kinds()})
+        ratios = [case.report.result.time_ns / case.baseline.result.time_ns
+                  for case in cases if case.baseline.result.time_ns]
+        mean_ratio = sum(ratios) / len(ratios) if ratios else 1.0
+        table.add_row(
+            name, len(cases), fired, degradations,
+            ",".join(kinds) if kinds else "-",
+            "%.2fx" % mean_ratio,
+            "yes" if all(case.ok for case in cases) else "NO",
+        )
+    return ChaosBenchResult(table, report)

@@ -10,6 +10,7 @@ Commands::
     kivati figure7                regenerate Figure 7
     kivati report [--quick]       regenerate the full evaluation
     kivati apps                   list the application models
+    kivati chaos                  run the fault-injection chaos suite
 """
 
 import argparse
@@ -140,6 +141,32 @@ def cmd_report(args):
     return 0
 
 
+def cmd_chaos(args):
+    from repro.faults.chaos import (ChaosSchedule, builtin_schedules,
+                                    run_chaos_suite)
+
+    kwargs = {}
+    if args.file:
+        kwargs["program"] = ProtectedProgram(_read(args.file))
+        # the per-schedule stat expectations encode the built-in
+        # workload's contention profile; for a user program only the
+        # universal invariants apply
+        kwargs["schedules"] = tuple(
+            ChaosSchedule(schedule.plan,
+                          needs_whitelist_file=schedule.needs_whitelist_file)
+            for schedule in builtin_schedules())
+        kwargs["require_fires"] = False
+    if args.seeds:
+        kwargs["seeds"] = tuple(args.seeds)
+    report = run_chaos_suite(**kwargs)
+    print(report.describe())
+    if args.verbose:
+        for case in report.cases:
+            for fault in case.report.injected:
+                print("  " + fault.describe())
+    return 0 if report.ok else 1
+
+
 def cmd_apps(args):
     from repro.workloads.catalog import workload_suite
 
@@ -206,6 +233,15 @@ def main(argv=None):
 
     p = sub.add_parser("apps", help="list the application models")
     p.set_defaults(fn=cmd_apps)
+
+    p = sub.add_parser("chaos", help="run the fault-injection chaos suite")
+    p.add_argument("file", nargs="?", default=None,
+                   help="program to stress (default: built-in workload)")
+    p.add_argument("--seeds", type=int, nargs="*",
+                   help="seeds to run each schedule on (default: 1 2 3)")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="print every injected fault")
+    p.set_defaults(fn=cmd_chaos)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -89,6 +89,9 @@ class KivatiConfig:
         "eager_crosscore",
         "max_steps",
         "trace",
+        "faults",
+        "breaker",
+        "watchdog",
     )
 
     def __init__(
@@ -109,6 +112,9 @@ class KivatiConfig:
         eager_crosscore=False,
         max_steps=200_000_000,
         trace=None,
+        faults=None,
+        breaker=True,
+        watchdog=True,
     ):
         self.mode = mode
         self.opt = (OptimizationConfig.from_level(opt)
@@ -136,6 +142,16 @@ class KivatiConfig:
         self.max_steps = max_steps
         # optional repro.core.tracing.Trace for violation forensics
         self.trace = trace
+        # optional repro.faults.FaultPlan: deterministic fault injection;
+        # None (the default) keeps every injection site on its zero-cost
+        # predicate-only path
+        self.faults = faults
+        # per-AR fail-open circuit breaker: True for default thresholds,
+        # False to disable, or a repro.faults.BreakerPolicy instance
+        self.breaker = breaker
+        # suspension watchdog: break cyclic mutual suspension immediately
+        # instead of waiting for the 10 ms timeout
+        self.watchdog = watchdog
 
     @property
     def detection_enabled(self):
@@ -163,6 +179,9 @@ class KivatiConfig:
             "eager_crosscore": self.eager_crosscore,
             "max_steps": self.max_steps,
             "trace": self.trace,
+            "faults": self.faults,
+            "breaker": self.breaker,
+            "watchdog": self.watchdog,
         }
         kwargs.update(overrides)
         return KivatiConfig(**kwargs)

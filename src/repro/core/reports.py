@@ -99,17 +99,83 @@ class ViolationLog:
         return [r for r in self.records if r.ar_id == ar_id]
 
 
+class DegradationRecord:
+    """One graceful-degradation decision made during a protected run.
+
+    ``kind`` names the policy that fired (``suspend-timeout``,
+    ``watchdog-break``, ``breaker-open``, ``breaker-skip``,
+    ``replica-resync``, ``whitelist-read-error``, ``duplicate-trap``,
+    ``undo-failed``); ``detail`` carries policy-specific context (AR id,
+    tids in a broken cycle, backoff applied, ...).
+    """
+
+    __slots__ = ("kind", "time_ns", "tid", "detail")
+
+    def __init__(self, kind, time_ns, tid=None, **detail):
+        self.kind = kind
+        self.time_ns = time_ns
+        self.tid = tid
+        self.detail = detail
+
+    def describe(self):
+        extra = " ".join("%s=%s" % (k, v)
+                         for k, v in sorted(self.detail.items()))
+        who = "tid%d" % self.tid if self.tid is not None else "-"
+        return "%10.3fus %-5s %-20s %s" % (
+            self.time_ns / 1e3, who, self.kind, extra)
+
+    def as_tuple(self):
+        """Hashable identity used by the determinism checks."""
+        return (self.kind, self.time_ns, self.tid,
+                tuple(sorted(self.detail.items())))
+
+    def __repr__(self):
+        return "DegradationRecord(%s, t=%dns)" % (self.kind, self.time_ns)
+
+
+class DegradationLog:
+    """Accumulates degradation events during a run."""
+
+    def __init__(self):
+        self.records = []
+
+    def add(self, record):
+        self.records.append(record)
+
+    def kinds(self):
+        """Unique degradation kinds observed (set)."""
+        return {r.kind for r in self.records}
+
+    def of_kind(self, kind):
+        return [r for r in self.records if r.kind == kind]
+
+    def __len__(self):
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+
 class RunReport:
     """Summary of one protected run: machine result + Kivati statistics."""
 
-    __slots__ = ("result", "stats", "violations", "config", "ar_table")
+    __slots__ = ("result", "stats", "violations", "config", "ar_table",
+                 "degradations", "injected")
 
-    def __init__(self, result, stats, violations, config, ar_table):
+    def __init__(self, result, stats, violations, config, ar_table,
+                 degradations=None, injected=()):
         self.result = result
         self.stats = stats
         self.violations = violations
         self.config = config
         self.ar_table = ar_table
+        #: DegradationLog of graceful-degradation events (empty when the
+        #: run never had to degrade)
+        self.degradations = (degradations if degradations is not None
+                             else DegradationLog())
+        #: InjectedFault records from the fault plane (empty unless the
+        #: run was configured with a FaultPlan)
+        self.injected = list(injected)
 
     @property
     def time_ns(self):
@@ -141,8 +207,13 @@ class RunReport:
             return 0.0
         return self.stats.traps / (self.result.time_ns / 1e9)
 
+    @property
+    def degraded(self):
+        """True if any graceful-degradation policy fired during the run."""
+        return len(self.degradations) > 0
+
     def summary(self):
-        return (
+        text = (
             "time=%.3fms instrs=%d crossings=%d traps=%d violations=%d "
             "(unique ARs %d) missed_ars=%d"
             % (
@@ -155,3 +226,10 @@ class RunReport:
                 self.stats.missed_ars,
             )
         )
+        if self.degradations:
+            text += " degradations=%d (%s)" % (
+                len(self.degradations),
+                ",".join(sorted(self.degradations.kinds())))
+        if self.injected:
+            text += " injected_faults=%d" % len(self.injected)
+        return text

@@ -4,7 +4,8 @@ from repro.analysis.annotate import annotate
 from repro.analysis.normalize import normalize_program
 from repro.compiler.codegen import compile_program
 from repro.core.config import KivatiConfig
-from repro.core.reports import RunReport, ViolationLog
+from repro.core.reports import DegradationLog, RunReport, ViolationLog
+from repro.faults.plan import FaultInjector
 from repro.machine.machine import Machine
 from repro.minic.parser import parse
 from repro.minic.typecheck import check
@@ -52,7 +53,11 @@ class ProtectedProgram:
         if seed is not None:
             config = config.copy(seed=seed)
         log = ViolationLog()
-        runtime = KivatiRuntime(config, self.ar_table, log, self.sync_ar_ids)
+        injector = (FaultInjector(config.faults, config.seed)
+                    if config.faults is not None else None)
+        degradations = DegradationLog()
+        runtime = KivatiRuntime(config, self.ar_table, log, self.sync_ar_ids,
+                                faults=injector, degrade=degradations)
         machine = Machine(
             self.program,
             num_cores=config.num_cores,
@@ -62,9 +67,13 @@ class ProtectedProgram:
             seed=config.seed,
             trap_before=config.trap_before,
             max_steps=config.max_steps,
+            faults=injector,
         )
         result = machine.run(raise_on_deadlock=raise_on_deadlock)
-        return RunReport(result, runtime.stats, log, config, self.ar_table)
+        return RunReport(result, runtime.stats, log, config, self.ar_table,
+                         degradations=degradations,
+                         injected=tuple(injector.injected)
+                         if injector is not None else ())
 
     def run_vanilla(self, num_cores=2, costs=None, seed=0,
                     raise_on_deadlock=False, max_steps=200_000_000):

@@ -37,7 +37,9 @@ class Trace:
     """Event recorder with bounded memory."""
 
     KINDS = ("begin", "end", "clear", "trap", "undo", "suspend", "wake",
-             "timeout", "pause", "violation", "miss")
+             "timeout", "pause", "violation", "miss",
+             # robustness plane: injected faults and degradation policies
+             "fault", "degrade", "watchdog", "breaker", "resync")
 
     def __init__(self, max_events=100_000):
         self.events = []

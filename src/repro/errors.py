@@ -72,5 +72,9 @@ class ConfigError(ReproError):
     """Invalid configuration value."""
 
 
+class FaultPlanError(ConfigError):
+    """Invalid fault-injection plan (unknown point, bad probability)."""
+
+
 class WorkloadError(ReproError):
     """A workload or bug-corpus entry was requested that does not exist."""

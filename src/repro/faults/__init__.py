@@ -1,0 +1,26 @@
+"""Fault-injection plane and graceful-degradation policies.
+
+See :mod:`repro.faults.plan` for the injection points and the
+deterministic decision engine, :mod:`repro.faults.breaker` for the
+per-AR fail-open circuit breaker, and :mod:`repro.faults.chaos` for the
+chaos suite that asserts the degradation invariants end to end.
+"""
+
+from repro.faults.breaker import BreakerPolicy, CircuitBreaker
+from repro.faults.plan import (
+    INJECTION_POINTS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+)
+
+__all__ = [
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "INJECTION_POINTS",
+    "InjectedFault",
+]

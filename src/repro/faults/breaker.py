@@ -1,0 +1,114 @@
+"""Per-AR fail-open circuit breaker.
+
+Production atomicity monitors degrade rather than dominate: if one
+atomic region keeps hitting its 10 ms suspension timeout (a long-held AR
+starving remote threads) or traps excessively (a heavily contended
+variable paying a trap per remote access), the cheapest safe response is
+to stop monitoring *that AR* for a while — the program runs unprotected
+for that region, which is exactly what it would do without Kivati — and
+to log the decision so a developer can whitelist or fix it.
+
+The breaker is keyed by AR id.  Each trip opens the breaker for an
+exponentially growing backoff window (``base_backoff_ns`` doubling up to
+``max_backoff_ns``); while open, ``begin_atomic`` returns after the
+user-space check without arming a watchpoint.  When the window expires
+the breaker closes and monitoring resumes with fresh counters.
+"""
+
+
+class BreakerPolicy:
+    """Tunable thresholds; immutable and shareable across runs."""
+
+    __slots__ = ("timeout_threshold", "trap_threshold", "base_backoff_ns",
+                 "max_backoff_ns")
+
+    def __init__(self, timeout_threshold=3, trap_threshold=128,
+                 base_backoff_ns=1_000_000, max_backoff_ns=64_000_000):
+        self.timeout_threshold = timeout_threshold
+        self.trap_threshold = trap_threshold
+        self.base_backoff_ns = base_backoff_ns
+        self.max_backoff_ns = max_backoff_ns
+
+    def __repr__(self):
+        return ("BreakerPolicy(timeouts=%d, traps=%d, backoff=%d..%dns)"
+                % (self.timeout_threshold, self.trap_threshold,
+                   self.base_backoff_ns, self.max_backoff_ns))
+
+
+class _ArBreakerState:
+    __slots__ = ("timeouts", "traps", "open_until_ns", "backoff_ns", "trips")
+
+    def __init__(self):
+        self.timeouts = 0
+        self.traps = 0
+        self.open_until_ns = None
+        self.backoff_ns = None
+        self.trips = 0
+
+
+class CircuitBreaker:
+    """Per-run breaker state over all AR ids (one per protected run)."""
+
+    __slots__ = ("policy", "_states")
+
+    def __init__(self, policy=None):
+        self.policy = policy or BreakerPolicy()
+        self._states = {}
+
+    def _state(self, ar_id):
+        state = self._states.get(ar_id)
+        if state is None:
+            state = _ArBreakerState()
+            self._states[ar_id] = state
+        return state
+
+    def _trip(self, state, now_ns):
+        policy = self.policy
+        if state.backoff_ns is None:
+            state.backoff_ns = policy.base_backoff_ns
+        else:
+            state.backoff_ns = min(state.backoff_ns * 2,
+                                   policy.max_backoff_ns)
+        state.open_until_ns = now_ns + state.backoff_ns
+        state.timeouts = 0
+        state.traps = 0
+        state.trips += 1
+        return state.backoff_ns
+
+    def record_timeout(self, ar_id, now_ns):
+        """Count one suspension timeout against ``ar_id``; returns the
+        backoff in ns if this trip opened the breaker, else None."""
+        state = self._state(ar_id)
+        state.timeouts += 1
+        if state.timeouts >= self.policy.timeout_threshold:
+            return self._trip(state, now_ns)
+        return None
+
+    def record_trap(self, ar_id, now_ns):
+        """Count one remote trap against ``ar_id``; returns the backoff
+        in ns if this trip opened the breaker, else None."""
+        state = self._state(ar_id)
+        state.traps += 1
+        if state.traps >= self.policy.trap_threshold:
+            return self._trip(state, now_ns)
+        return None
+
+    def allows(self, ar_id, now_ns):
+        """Fail-open gate consulted on every begin_atomic."""
+        state = self._states.get(ar_id)
+        if state is None or state.open_until_ns is None:
+            return True
+        if now_ns >= state.open_until_ns:
+            state.open_until_ns = None  # close; backoff level is retained
+            return True
+        return False
+
+    def open_ars(self, now_ns):
+        """AR ids currently unmonitored (for reports/debugging)."""
+        return sorted(
+            ar_id for ar_id, state in self._states.items()
+            if state.open_until_ns is not None and now_ns < state.open_until_ns
+        )
+
+    def trips(self):
+        return sum(state.trips for state in self._states.values())

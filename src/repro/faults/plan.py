@@ -1,0 +1,215 @@
+"""Deterministic, seed-driven fault injection.
+
+Kivati's production pitch (Section 1) is that monitoring must never make
+the protected program worse off than running unprotected: a buggy
+interleaving can at most cost a 10 ms suspension, never a hang.  That
+claim is only testable if the failure modes of the monitoring plane
+itself — lost traps, broken debug-register slots, stale cross-core
+state, failed undos, lost wake-ups, corrupted user-space metadata — can
+be provoked on demand and *reproducibly*.
+
+This module provides the injection plane:
+
+- :data:`INJECTION_POINTS` names every site wired through the machine,
+  kernel and runtime layers;
+- :class:`FaultSpec` / :class:`FaultPlan` describe which points fire and
+  how often (a *schedule*);
+- :class:`FaultInjector` makes the per-opportunity decisions.  Decisions
+  are a pure function of ``(seed, point, opportunity index)`` via an
+  FNV-1a/avalanche hash, so the same seed always yields the same
+  injected events, independent of Python's randomized string hashing and
+  of wall-clock time.
+
+Zero overhead when disabled: no injector object exists unless a plan is
+configured (``KivatiConfig(faults=...)``), and every injection site is
+guarded by a single ``is not None`` predicate.
+"""
+
+from repro.errors import FaultPlanError
+
+#: Every named injection point, grouped by the layer that consults it.
+INJECTION_POINTS = (
+    # machine (simulated hardware)
+    "machine.trap.drop",        # watchpoint trap lost in delivery
+    "machine.trap.duplicate",   # trap handler invoked twice for one hit
+    "machine.dr.slot_fail",     # one debug-register slot fails to arm on adopt
+    "machine.timer.jitter",     # timer tick delayed by jitter_ns
+    # kernel
+    "kernel.crosscore.delay",   # lazy watchpoint propagation skipped this entry
+    "kernel.crosscore.lost",    # core marks itself synced without copying state
+    "kernel.undo.fail",         # rollback engine forced to report failure
+    "kernel.wakeup.lost",       # wake of a suspended thread silently dropped
+    # runtime (user-space library)
+    "runtime.replica.corrupt",  # O1 replica lies: a needed crossing is skipped
+    "runtime.whitelist.corrupt",  # whitelist re-read sees a corrupt/partial file
+)
+
+
+def _fnv1a(text):
+    """Stable 32-bit FNV-1a (``hash(str)`` is randomized per process)."""
+    h = 0x811C9DC5
+    for ch in text.encode("utf-8"):
+        h = ((h ^ ch) * 0x01000193) & 0xFFFFFFFF
+    return h
+
+
+def _avalanche(h):
+    h &= 0xFFFFFFFF
+    h ^= h >> 16
+    h = (h * 0x45D9F3B) & 0xFFFFFFFF
+    h ^= h >> 16
+    h = (h * 0x45D9F3B) & 0xFFFFFFFF
+    return h ^ (h >> 16)
+
+
+class FaultSpec:
+    """How one injection point misbehaves under a plan.
+
+    ``probability`` is evaluated independently per opportunity;
+    ``max_fires`` caps the total number of injections (None = unbounded);
+    ``start_after`` skips the first N opportunities so early startup can
+    proceed cleanly; ``param`` carries point-specific knobs (e.g.
+    ``jitter_ns`` for ``machine.timer.jitter``).
+    """
+
+    __slots__ = ("point", "probability", "max_fires", "start_after", "param")
+
+    def __init__(self, point, probability=1.0, max_fires=None, start_after=0,
+                 param=None):
+        if point not in INJECTION_POINTS:
+            raise FaultPlanError("unknown injection point %r (known: %s)"
+                                 % (point, ", ".join(INJECTION_POINTS)))
+        if not (0.0 <= probability <= 1.0):
+            raise FaultPlanError("probability must be in [0, 1]")
+        if max_fires is not None and max_fires < 0:
+            raise FaultPlanError("max_fires must be >= 0")
+        self.point = point
+        self.probability = probability
+        self.max_fires = max_fires
+        self.start_after = start_after
+        self.param = dict(param) if param else {}
+
+    def __repr__(self):
+        return "FaultSpec(%s, p=%.2f%s)" % (
+            self.point, self.probability,
+            "" if self.max_fires is None else ", max=%d" % self.max_fires)
+
+
+class FaultPlan:
+    """A named, immutable fault schedule: a set of FaultSpecs.
+
+    Plans are pure descriptions — safe to share across runs and configs.
+    Per-run decision state lives in :class:`FaultInjector`.
+    """
+
+    __slots__ = ("name", "specs")
+
+    def __init__(self, name, specs):
+        self.name = name
+        self.specs = tuple(specs)
+        seen = set()
+        for spec in self.specs:
+            if spec.point in seen:
+                raise FaultPlanError("duplicate spec for %r in plan %r"
+                                     % (spec.point, name))
+            seen.add(spec.point)
+
+    def points(self):
+        return tuple(spec.point for spec in self.specs)
+
+    def __repr__(self):
+        return "FaultPlan(%r, %d points)" % (self.name, len(self.specs))
+
+
+class InjectedFault:
+    """Record of one fault that actually fired (flows into RunReport)."""
+
+    __slots__ = ("point", "occurrence", "time_ns", "detail")
+
+    def __init__(self, point, occurrence, time_ns, detail):
+        self.point = point
+        self.occurrence = occurrence
+        self.time_ns = time_ns
+        self.detail = detail
+
+    def describe(self):
+        extra = " ".join("%s=%s" % (k, v)
+                         for k, v in sorted(self.detail.items()))
+        return "%10.3fus %-26s #%d %s" % (
+            self.time_ns / 1e3, self.point, self.occurrence, extra)
+
+    def as_tuple(self):
+        """Hashable identity used by the determinism checks."""
+        return (self.point, self.occurrence, self.time_ns,
+                tuple(sorted(self.detail.items())))
+
+    def __repr__(self):
+        return "InjectedFault(%s, #%d, t=%dns)" % (
+            self.point, self.occurrence, self.time_ns)
+
+
+class FaultInjector:
+    """Per-run decision engine for a FaultPlan.
+
+    One injector is created per protected run (the session owns it);
+    its decisions depend only on the seed and the per-point opportunity
+    counter, so re-running the same program with the same seed replays
+    the exact same fault schedule.
+    """
+
+    __slots__ = ("plan", "seed", "_specs", "_hashes", "_seen", "_fired",
+                 "injected")
+
+    def __init__(self, plan, seed=0):
+        self.plan = plan
+        self.seed = seed
+        self._specs = {spec.point: spec for spec in plan.specs}
+        self._hashes = {spec.point: _fnv1a(spec.point)
+                        for spec in plan.specs}
+        self._seen = {}   # point -> opportunities observed
+        self._fired = {}  # point -> injections performed
+        self.injected = []
+
+    def active(self, point):
+        """Whether the plan schedules this point at all."""
+        return point in self._specs
+
+    def fires(self, point, now_ns=0, **detail):
+        """Decide whether ``point`` misbehaves at this opportunity.
+
+        Records an :class:`InjectedFault` (with ``detail``) when it does.
+        """
+        spec = self._specs.get(point)
+        if spec is None:
+            return False
+        n = self._seen.get(point, 0)
+        self._seen[point] = n + 1
+        if n < spec.start_after:
+            return False
+        fired = self._fired.get(point, 0)
+        if spec.max_fires is not None and fired >= spec.max_fires:
+            return False
+        if spec.probability < 1.0:
+            h = _avalanche(self._hashes[point]
+                           ^ ((self.seed * 0x9E3779B1) & 0xFFFFFFFF)
+                           ^ ((n * 0x85EBCA6B) & 0xFFFFFFFF))
+            if (h % 1_000_000) >= spec.probability * 1_000_000:
+                return False
+        self._fired[point] = fired + 1
+        self.injected.append(InjectedFault(point, n, now_ns, detail))
+        return True
+
+    def param(self, point, key, default=None):
+        spec = self._specs.get(point)
+        if spec is None:
+            return default
+        return spec.param.get(key, default)
+
+    def fired_count(self, point=None):
+        if point is not None:
+            return self._fired.get(point, 0)
+        return sum(self._fired.values())
+
+    def __repr__(self):
+        return "FaultInjector(%r, seed=%d, fired=%d)" % (
+            self.plan.name, self.seed, self.fired_count())

@@ -8,7 +8,7 @@ by the user-space optimizations (lazily-freed slots, shadow captures).
 """
 
 from repro.analysis.watchtype import is_unserializable
-from repro.core.reports import ViolationRecord
+from repro.core.reports import DegradationLog, DegradationRecord, ViolationRecord
 from repro.kernel.state import ActiveAR, KernelSlot, Suspension, Trigger, ZombieAR
 from repro.kernel.undo import classify_access_kinds, undo_remote_access
 from repro.machine.threads import ThreadState
@@ -60,7 +60,8 @@ class ClearOutcome:
 class KivatiKernel:
     """Kernel-side Kivati state machine."""
 
-    def __init__(self, config, ar_table, stats, log):
+    def __init__(self, config, ar_table, stats, log, faults=None,
+                 degrade=None, breaker=None):
         self.config = config
         self.ar_table = ar_table
         self.stats = stats
@@ -73,9 +74,32 @@ class KivatiKernel:
         self.suspensions = {}    # tid -> Suspension (+ slot index inside)
         self.susp_slot = {}      # tid -> slot index
         self.sync_waiters = []   # (epoch, tid)
+        # robustness plane: fault injector, degradation event log and the
+        # per-AR fail-open circuit breaker (all optional)
+        self.faults = faults
+        self.degrade = degrade if degrade is not None else DegradationLog()
+        self.breaker = breaker
 
     def attach(self, machine):
         self.machine = machine
+
+    # ------------------------------------------------------------------
+    # graceful degradation bookkeeping
+    # ------------------------------------------------------------------
+
+    def _record_degradation(self, kind, time_ns, tid=None, **detail):
+        self.stats.degradations += 1
+        self.degrade.add(DegradationRecord(kind, time_ns, tid, **detail))
+        if self.config.trace is not None:
+            # the degradation kind travels as "what": emit()'s third
+            # positional is already named kind
+            self.config.trace.emit(time_ns, tid if tid is not None else -1,
+                                   "degrade", what=kind, **detail)
+
+    def _record_breaker_trip(self, ar_id, tid, now, backoff_ns):
+        self.stats.breaker_trips += 1
+        self._record_degradation("breaker-open", now, tid=tid, ar=ar_id,
+                                 backoff_ns=backoff_ns)
 
     # ------------------------------------------------------------------
     # cross-core propagation (Section 3.2)
@@ -86,20 +110,44 @@ class KivatiKernel:
     def _bump_epoch(self, core=None):
         self.epoch += 1
         if core is not None:
-            core.dr.adopt(self.slots, self.epoch)
+            core.dr.adopt(self.slots, self.epoch, faults=self.faults)
         if self.config.opt is not None and getattr(self.config,
                                                    "eager_crosscore", False):
             # ablation: interrupt every other core right away (the paper
             # explicitly avoids this; the cost shows why)
             for other in self.machine.cores:
                 if other.dr.synced_epoch < self.epoch:
-                    other.dr.adopt(self.slots, self.epoch)
+                    other.dr.adopt(self.slots, self.epoch, faults=self.faults)
             if core is not None:
                 core.clock += self.IPI_COST
 
     def on_kernel_entry(self, core):
+        fi = self.faults
         if core.dr.synced_epoch < self.epoch:
+            if fi is not None and fi.fires("kernel.crosscore.delay",
+                                           core.clock, core=core.index):
+                # propagation delayed this entry; the next kernel entry
+                # on this core retries
+                pass
+            elif fi is not None and fi.fires("kernel.crosscore.lost",
+                                             core.clock, core=core.index):
+                # the update is lost: the core believes it synced but
+                # kept stale registers; only the consistency check on a
+                # later entry can repair it
+                core.dr.synced_epoch = self.epoch
+            else:
+                core.dr.adopt(self.slots, self.epoch, faults=fi)
+        elif fi is not None and not core.dr.consistent_with(self.slots):
+            # degradation policy: the core's debug registers drifted from
+            # the kernel's logical state (failed slot arm, lost
+            # propagation) — re-adopt and log the repair
             core.dr.adopt(self.slots, self.epoch)
+            self.stats.replica_resyncs += 1
+            self._record_degradation("replica-resync", core.clock,
+                                     core=core.index)
+            if self.config.trace is not None:
+                self.config.trace.emit(core.clock, -1, "resync",
+                                       core=core.index)
         if self.sync_waiters:
             self._check_sync_waiters()
 
@@ -163,6 +211,14 @@ class KivatiKernel:
             self._resume_suspended(susp, core)
 
     def _resume_suspended(self, susp, core):
+        if self.faults is not None and self.faults.fires(
+                "kernel.wakeup.lost",
+                core.clock if core is not None else self.machine.now(),
+                tid=susp.tid):
+            # the wake-up is lost: leave the suspension record and its
+            # timeout event intact so the timeout plane (or a later
+            # watchdog pass) recovers the thread instead of hanging it
+            return
         if susp.timeout_event is not None:
             self.machine.cancel_event(susp.timeout_event)
         self.suspensions.pop(susp.tid, None)
@@ -196,6 +252,55 @@ class KivatiKernel:
                                    addr=slot.addr)
         self.machine.block_current(core, ThreadState.SUSPENDED,
                                    retry_instr=retry_instr)
+        # suspension watchdog: two ARs suspending each other's threads
+        # form a waits-for cycle that nothing but the 10 ms timeout would
+        # break; detect it now and break it immediately
+        if self.config.watchdog and len(self.suspensions) > 1:
+            cycle = self._find_suspension_cycle(tid)
+            if cycle is not None:
+                self._watchdog_break(tid, cycle, core)
+
+    def _find_suspension_cycle(self, start_tid):
+        """Follow the waits-for chain (a suspended thread waits on the
+        owner of the slot it is suspended on); returns the tid chain if
+        it loops back to ``start_tid``, else None."""
+        chain = [start_tid]
+        seen = {start_tid}
+        tid = start_tid
+        while True:
+            slot_index = self.susp_slot.get(tid)
+            if slot_index is None:
+                return None  # waits on a running thread: no cycle
+            owner = self.slots[slot_index].owner_tid
+            if owner is None or (owner in seen and owner != start_tid):
+                return None
+            if owner == start_tid:
+                return chain
+            seen.add(owner)
+            chain.append(owner)
+            tid = owner
+
+    def _watchdog_break(self, tid, cycle, core):
+        """Break a suspension cycle by force-releasing its newest member
+        (same teardown as a timeout, attributed to the watchdog)."""
+        susp = self.suspensions.pop(tid, None)
+        slot_index = self.susp_slot.pop(tid, None)
+        if susp is None or slot_index is None:
+            return
+        if susp.timeout_event is not None:
+            self.machine.cancel_event(susp.timeout_event)
+        now = core.clock
+        self.stats.watchdog_breaks += 1
+        self._record_degradation("watchdog-break", now, tid=tid,
+                                 cycle=tuple(cycle), slot=slot_index)
+        if self.config.trace is not None:
+            self.config.trace.emit(now, tid, "watchdog", cycle=tuple(cycle))
+        slot = self.slots[slot_index]
+        if susp in slot.suspended:
+            slot.suspended.remove(susp)
+        self.machine.wake_thread(tid)
+        self._release_containments(tid, core)
+        self._zombify_and_free(slot, now)
 
     def _on_timeout(self, tid):
         """10 ms suspension timeout (Section 3.3): resume the thread, move
@@ -208,15 +313,30 @@ class KivatiKernel:
         if thread is None or thread.state != ThreadState.SUSPENDED:
             return
         self.stats.suspend_timeouts += 1
+        now = self.machine.now()
         if self.config.trace is not None:
-            self.config.trace.emit(self.machine.now(), tid, "timeout",
-                                   slot=slot_index)
+            self.config.trace.emit(now, tid, "timeout", slot=slot_index)
         slot = self.slots[slot_index]
-        if susp in slot.suspended:
-            slot.suspended.remove(susp)
+        if susp not in slot.suspended:
+            # the slot was freed or reused while this thread stayed
+            # suspended (e.g. its wake-up was lost): recover the thread
+            # but leave the slot's current tenants alone
+            self._record_degradation("suspend-timeout", now, tid=tid,
+                                     slot=slot_index, stale=True)
+            self.machine.wake_thread(tid)
+            self._release_containments(tid, None)
+            return
+        slot.suspended.remove(susp)
+        self._record_degradation("suspend-timeout", now, tid=tid,
+                                 slot=slot_index)
         self.machine.wake_thread(tid)
         self._release_containments(tid, None)
-        # remove all ARs using the timed-out watchpoint
+        self._zombify_and_free(slot, now)
+
+    def _zombify_and_free(self, slot, now):
+        """Move all ARs on ``slot`` to zombies (their late end_atomic
+        still records violations, flagged unprevented), feed the breaker,
+        and free the watchpoint."""
         for ar in list(slot.ars):
             self.zombies[(ar.tid, ar.ar_id)] = ZombieAR(
                 ar.info, ar.tid, ar.addr, slot.triggers, ar.begin_time
@@ -224,6 +344,10 @@ class KivatiKernel:
             table = self.ar_tables.get(ar.tid)
             if table is not None:
                 table.pop(ar.ar_id, None)
+            if self.breaker is not None:
+                backoff = self.breaker.record_timeout(ar.ar_id, now)
+                if backoff is not None:
+                    self._record_breaker_trip(ar.ar_id, ar.tid, now, backoff)
         self._free_slot(slot, None)
 
     # ------------------------------------------------------------------
@@ -507,24 +631,22 @@ class KivatiKernel:
             self.stats.remote_traps += 1
             undone = False
             fpc = None
+            resolved = False
             if trap_before:
                 kinds = tuple(
                     {AccessKind.WRITE if w else AccessKind.READ
                      for a, w in accesses
                      if slot.addr <= a < slot.addr + slot.size}
                 ) or (AccessKind.READ,)
-                if prevention and thread.state == ThreadState.RUNNING:
-                    # access not yet committed: simply delay the thread
-                    self._suspend(core, thread, slot, Suspension.REASON_TRAP,
-                                  retry_instr=True)
-                    undone = True
             else:
                 stack_top = None
                 if after_pc in machine.program.memory_map.subroutine_entries:
                     stack_top = machine.read_raw(thread.sp)
                 fpc = machine.program.memory_map.faulting_pc(after_pc,
                                                              stack_top)
-                if fpc is None or not (0 <= fpc < len(machine.program.instrs)):
+                resolved = (fpc is not None
+                            and 0 <= fpc < len(machine.program.instrs))
+                if not resolved:
                     self.stats.unresolved_pcs += 1
                     kinds = tuple(
                         {AccessKind.WRITE if w else AccessKind.READ
@@ -532,13 +654,40 @@ class KivatiKernel:
                          if slot.addr <= a < slot.addr + slot.size}
                     ) or (AccessKind.READ,)
                 else:
-                    instr = machine.program.instrs[fpc]
-                    kinds = classify_access_kinds(instr, thread, slot.addr)
-                    if (prevention and thread.state == ThreadState.RUNNING
-                            and instr.op not in SYNC_OPS):
-                        undone = self._try_undo(core, thread, fpc, slot)
-                    elif prevention and instr.op in SYNC_OPS:
-                        self.stats.unable_to_reorder += 1
+                    kinds = classify_access_kinds(
+                        machine.program.instrs[fpc], thread, slot.addr)
+            # duplicated/late delivery: hardware can re-report a trap the
+            # kernel already handled (and possibly already undid); a
+            # second undo of the same instruction would corrupt state, so
+            # dedup before acting
+            prev = slot.triggers[-1] if slot.triggers else None
+            if (prev is not None and prev.tid == thread.tid
+                    and prev.pc == fpc
+                    and 0 <= core.clock - prev.time
+                    <= machine.costs.trap * 2):
+                self.stats.duplicate_traps_ignored += 1
+                self._record_degradation("duplicate-trap", core.clock,
+                                         tid=thread.tid, pc=fpc)
+                continue
+            if trap_before:
+                if prevention and thread.state == ThreadState.RUNNING:
+                    # access not yet committed: simply delay the thread
+                    self._suspend(core, thread, slot, Suspension.REASON_TRAP,
+                                  retry_instr=True)
+                    undone = True
+            elif resolved:
+                instr = machine.program.instrs[fpc]
+                if (prevention and thread.state == ThreadState.RUNNING
+                        and instr.op not in SYNC_OPS):
+                    undone = self._try_undo(core, thread, fpc, slot)
+                elif prevention and instr.op in SYNC_OPS:
+                    self.stats.unable_to_reorder += 1
+            if self.breaker is not None:
+                for ar in slot.ars:
+                    backoff = self.breaker.record_trap(ar.ar_id, core.clock)
+                    if backoff is not None:
+                        self._record_breaker_trip(ar.ar_id, ar.tid,
+                                                  core.clock, backoff)
             slot.triggers.append(
                 Trigger(thread.tid, kinds, fpc,
                         machine.program.location(fpc) if fpc is not None
@@ -549,6 +698,16 @@ class KivatiKernel:
     def _try_undo(self, core, thread, fpc, slot):
         """Undo + suspend a remote access (trap-after prevention path)."""
         machine = self.machine
+        if self.faults is not None and self.faults.fires(
+                "kernel.undo.fail", core.clock, tid=thread.tid, pc=fpc):
+            # forced rollback failure: fail open — the access stays
+            # committed, the thread continues, and any violation will be
+            # recorded as not prevented
+            self.stats.undo_faults_injected += 1
+            self.stats.unable_to_reorder += 1
+            self._record_degradation("undo-failed", core.clock,
+                                     tid=thread.tid, pc=fpc)
+            return False
         instr = machine.program.instrs[fpc]
         # the leak-containment case needs a spare watchpoint; check before
         # undoing so failure leaves the access committed (paper: "allows

@@ -41,8 +41,11 @@ def classify_access_kinds(instr, thread, slot_addr):
     op = instr.op
     kinds = []
     if op is Op.LD:
-        if thread.regs is not None:
-            kinds.append(AccessKind.READ)
+        # a load is a read of the watched address no matter what register
+        # state is visible to the kernel at classification time; gating on
+        # thread.regs produced an empty classification (i.e. "no access")
+        # for suspended threads whose register file was swapped out
+        kinds.append(AccessKind.READ)
     elif op is Op.ST or op is Op.STPARAM:
         kinds.append(AccessKind.WRITE)
     elif op is Op.CPY:

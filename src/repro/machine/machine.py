@@ -56,10 +56,10 @@ class MachineResult:
     """Summary of one program execution."""
 
     __slots__ = ("time_ns", "output", "instr_count", "deadlocked", "threads",
-                 "kernel_entries", "fault")
+                 "kernel_entries", "fault", "final_globals")
 
     def __init__(self, time_ns, output, instr_count, deadlocked, threads,
-                 kernel_entries, fault=None):
+                 kernel_entries, fault=None, final_globals=None):
         self.time_ns = time_ns
         self.output = output
         self.instr_count = instr_count
@@ -67,6 +67,9 @@ class MachineResult:
         self.threads = threads
         self.kernel_entries = kernel_entries
         self.fault = fault
+        # name -> value snapshot of the program's global variables at
+        # halt; the chaos suite compares this against a fault-free run
+        self.final_globals = final_globals if final_globals is not None else {}
 
     @property
     def time_seconds(self):
@@ -85,7 +88,8 @@ class Machine:
     """Executes a compiled program on simulated multicore hardware."""
 
     def __init__(self, program, num_cores=2, num_watchpoints=4, costs=None,
-                 runtime=None, seed=0, trap_before=False, max_steps=200_000_000):
+                 runtime=None, seed=0, trap_before=False, max_steps=200_000_000,
+                 faults=None):
         self.program = program
         self.instrs = program.instrs
         self.memory = Memory()
@@ -96,6 +100,9 @@ class Machine:
         self.trap_before = trap_before
         self.max_steps = max_steps
         self.seed = seed
+        # optional repro.faults.FaultInjector; None keeps every injection
+        # site on a single attribute-is-None predicate
+        self.faults = faults
 
         self.cores = [Core(i, num_watchpoints) for i in range(num_cores)]
         for core in self.cores:
@@ -324,6 +331,11 @@ class Machine:
             self.fault = exc
         self.runtime.on_run_end(self)
         end_time = max(core.clock for core in self.cores)
+        words = self.memory.words
+        final_globals = {
+            name: words.get(addr, 0)
+            for name, addr in self.program.global_addrs.items()
+        }
         return MachineResult(
             time_ns=end_time,
             output=self.output,
@@ -332,6 +344,7 @@ class Machine:
             threads=len(self.threads),
             kernel_entries=self.kernel_entries,
             fault=self.fault,
+            final_globals=final_globals,
         )
 
     def _idle_advance(self, core):
@@ -400,6 +413,10 @@ class Machine:
         # ---- trap-before hardware (SPARC-style ablation) ------------------
         if accesses is not None and self.trap_before:
             hits = self._check_watchpoints(core, thread, accesses)
+            if hits and self.faults is not None and self.faults.fires(
+                    "machine.trap.drop", core.clock,
+                    tid=thread.tid, pc=pc):
+                hits = ()
             if hits:
                 cost += self.costs.trap
                 cost += self.runtime.on_watchpoint_trap(
@@ -622,7 +639,12 @@ class Machine:
         # ---- periodic timer interrupt: a kernel entry on this core (the
         # opportunistic watchpoint-sync point interrupts provide) ----------
         if core.clock >= core.next_tick:
-            core.next_tick = core.clock + self.costs.timer_tick
+            tick = self.costs.timer_tick
+            if self.faults is not None and self.faults.fires(
+                    "machine.timer.jitter", core.clock, core=core.index):
+                tick += self.faults.param("machine.timer.jitter", "jitter_ns",
+                                          4 * tick)
+            core.next_tick = core.clock + tick
             cost += self.costs.timer_tick_cost
             self.runtime.on_kernel_entry(core, thread)
 
@@ -638,11 +660,30 @@ class Machine:
         if accesses is not None and not self.trap_before and not retried:
             hits = self._check_watchpoints(core, thread, accesses)
             if hits:
-                core.clock += self.costs.trap
-                trap_cost = self.runtime.on_watchpoint_trap(
-                    core, thread, thread.pc, hits, accesses
-                )
-                core.clock += trap_cost
+                faults = self.faults
+                if faults is not None and faults.fires(
+                        "machine.trap.drop", core.clock,
+                        tid=thread.tid, pc=thread.pc):
+                    # trap lost in delivery: the access stays committed
+                    # and the kernel never hears about it
+                    pass
+                else:
+                    after_pc = thread.pc
+                    core.clock += self.costs.trap
+                    trap_cost = self.runtime.on_watchpoint_trap(
+                        core, thread, after_pc, hits, accesses
+                    )
+                    core.clock += trap_cost
+                    if (faults is not None
+                            and faults.fires("machine.trap.duplicate",
+                                             core.clock, tid=thread.tid,
+                                             pc=after_pc)):
+                        # spurious second delivery of the same trap; the
+                        # kernel must dedup it
+                        core.clock += self.costs.trap
+                        core.clock += self.runtime.on_watchpoint_trap(
+                            core, thread, after_pc, hits, accesses
+                        )
 
         # ---- annotation handlers may have blocked the thread ---------------
         if thread.state != ThreadState.RUNNING and not blocked:

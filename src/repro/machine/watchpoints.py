@@ -98,17 +98,41 @@ class DebugRegisterFile:
                 hits.append(slot.index)
         return hits
 
-    def adopt(self, logical_slots, epoch):
+    def adopt(self, logical_slots, epoch, faults=None):
         """Copy the kernel's logical watchpoint state into this core
-        (the lazy cross-core update of Section 3.2)."""
+        (the lazy cross-core update of Section 3.2).
+
+        With a fault injector attached, ``machine.dr.slot_fail`` makes
+        one slot silently fail to arm — the hardware analog of a write
+        to DR7 that doesn't take; the kernel's consistency check catches
+        and re-arms it on a later kernel entry.
+        """
+        failed_index = None
+        if faults is not None and faults.fires("machine.dr.slot_fail", 0,
+                                               epoch=epoch):
+            failed_index = (faults.fired_count("machine.dr.slot_fail") - 1) \
+                % len(self.slots)
         for mine, theirs in zip(self.slots, logical_slots):
-            mine.enabled = theirs.enabled
+            mine.enabled = theirs.enabled and mine.index != failed_index
             mine.addr = theirs.addr
             mine.size = theirs.size
             mine.watch_read = theirs.watch_read
             mine.watch_write = theirs.watch_write
             mine.suppressed_tids = theirs.suppressed_tids
         self.synced_epoch = epoch
+
+    def consistent_with(self, logical_slots):
+        """Whether this core's hardware state matches the kernel's
+        logical state (the degradation plane's resync check)."""
+        for mine, theirs in zip(self.slots, logical_slots):
+            if (mine.enabled != theirs.enabled
+                    or mine.addr != theirs.addr
+                    or mine.size != theirs.size
+                    or mine.watch_read != theirs.watch_read
+                    or mine.watch_write != theirs.watch_write
+                    or mine.suppressed_tids != theirs.suppressed_tids):
+                return False
+        return True
 
 
 __all__ = [

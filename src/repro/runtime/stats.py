@@ -43,6 +43,16 @@ class KivatiStats:
         "unprevented_violations",
         # bug-finding mode
         "pauses",
+        # graceful degradation (fail-open plane)
+        "degradations",
+        "breaker_trips",
+        "breaker_skips",
+        "watchdog_breaks",
+        "replica_resyncs",
+        "whitelist_read_errors",
+        "whitelist_malformed_lines",
+        "duplicate_traps_ignored",
+        "undo_faults_injected",
     )
 
     __slots__ = FIELDS

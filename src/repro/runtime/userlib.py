@@ -19,6 +19,8 @@ paper's rules for when the kernel must be entered.
 """
 
 from repro.core.config import Mode
+from repro.core.reports import DegradationLog
+from repro.faults.breaker import BreakerPolicy, CircuitBreaker
 from repro.kernel.kivati import KivatiKernel
 from repro.machine.runtime_iface import BaseRuntime
 from repro.machine.threads import ThreadState
@@ -31,11 +33,14 @@ class KivatiRuntime(BaseRuntime):
 
     wants_all_accesses = False
 
-    def __init__(self, config, ar_table, log, sync_ar_ids=()):
+    def __init__(self, config, ar_table, log, sync_ar_ids=(), faults=None,
+                 degrade=None):
         self.config = config
         self.ar_table = ar_table
         self.stats = KivatiStats()
         self.log = log
+        self.faults = faults
+        self.degrade = degrade if degrade is not None else DegradationLog()
         whitelist_ids = set(config.whitelist)
         if config.opt.o4_syncvars:
             whitelist_ids.update(sync_ar_ids)
@@ -44,7 +49,19 @@ class KivatiRuntime(BaseRuntime):
             path=config.whitelist_path,
             reread_interval_ns=config.whitelist_reread_ns,
         )
-        self.kernel = KivatiKernel(config, ar_table, self.stats, log)
+        self.whitelist.faults = faults
+        # counters from the startup read (no clock yet, so no event)
+        self.stats.whitelist_read_errors = self.whitelist.read_errors
+        self.stats.whitelist_malformed_lines = self.whitelist.malformed_lines
+        if config.breaker is True:
+            self.breaker = CircuitBreaker()
+        elif isinstance(config.breaker, BreakerPolicy):
+            self.breaker = CircuitBreaker(config.breaker)
+        else:
+            self.breaker = None
+        self.kernel = KivatiKernel(config, ar_table, self.stats, log,
+                                   faults=faults, degrade=self.degrade,
+                                   breaker=self.breaker)
         self.machine = None
         self._pause_seq = 0
         self.trace = config.trace
@@ -60,7 +77,14 @@ class KivatiRuntime(BaseRuntime):
 
     def _check_whitelist(self, core, ar_id):
         """User-space whitelist check; returns (whitelisted, cost)."""
-        self.whitelist.maybe_reread(core.clock)
+        if self.whitelist.maybe_reread(core.clock):
+            wl = self.whitelist
+            if wl.read_errors != self.stats.whitelist_read_errors:
+                self.stats.whitelist_read_errors = wl.read_errors
+                self.kernel._record_degradation(
+                    "whitelist-read-error", core.clock,
+                    path=wl.path, errors=wl.read_errors)
+            self.stats.whitelist_malformed_lines = wl.malformed_lines
         costs = self._costs()
         if ar_id in self.whitelist:
             self.stats.whitelist_hits += 1
@@ -85,6 +109,15 @@ class KivatiRuntime(BaseRuntime):
             self.machine.kernel_entry(core, thread)
             return cost + costs.syscall
 
+        if self.breaker is not None and not self.breaker.allows(
+                ar_id, core.clock):
+            # fail-open: this AR tripped its circuit breaker and runs
+            # unmonitored until the backoff window closes
+            self.stats.breaker_skips += 1
+            self.kernel._record_degradation("breaker-skip", core.clock,
+                                            tid=thread.tid, ar=ar_id)
+            return cost + costs.userlib_check
+
         info = self.ar_table[ar_id]
         out = self.kernel.begin_atomic(core, thread, info, addr)
         if self.trace is not None:
@@ -96,6 +129,13 @@ class KivatiRuntime(BaseRuntime):
                 self.trace.emit(core.clock, thread.tid, "miss", ar=ar_id)
 
         crossing = (not opt.o1_userspace) or out.needs_crossing
+        if (crossing and self.faults is not None and self.faults.fires(
+                "runtime.replica.corrupt", core.clock,
+                tid=thread.tid, ar=ar_id, call="begin")):
+            # corrupted O1 replica: the library wrongly concludes no
+            # crossing is needed; lazy propagation plus the kernel-side
+            # consistency check repair the cores on later entries
+            crossing = False
         if crossing:
             self.stats.begin_syscalls += 1
             cost += costs.syscall
@@ -166,6 +206,10 @@ class KivatiRuntime(BaseRuntime):
             crossing = out.had_triggers or out.zombie or out.hw_changed
         else:
             crossing = out.needs_crossing
+        if (crossing and self.faults is not None and self.faults.fires(
+                "runtime.replica.corrupt", core.clock,
+                tid=thread.tid, ar=ar_id, call="end")):
+            crossing = False
         if crossing:
             self.stats.end_syscalls += 1
             cost += costs.syscall

@@ -6,39 +6,109 @@ memory and checked on every begin_atomic and end_atomic. ... The whitelist
 file is periodically checked and re-read for updates during execution so
 that a software developer can send patches to customers to update
 whitelists for long running processes."
+
+Because the file is patched on customer machines while the protected
+process runs, the reader must survive whatever it finds there: malformed
+lines are skipped (never raised into the protected process), a failed
+read keeps the previous in-memory set, and failed reads are retried with
+bounded exponential backoff instead of hammering the file every check.
+Writers use a temp-file + atomic rename so a concurrent re-reader never
+observes a half-written file.
 """
+
+import os
 
 
 class Whitelist:
     """In-memory whitelist, optionally backed by a file that is re-read
     periodically (in simulated time)."""
 
-    def __init__(self, initial=(), path=None, reread_interval_ns=None):
+    def __init__(self, initial=(), path=None, reread_interval_ns=None,
+                 max_retries=5, retry_backoff_ns=None):
         self.ids = set(initial)
         self.path = path
         self.reread_interval_ns = reread_interval_ns
         self._last_read_ns = 0
+        #: failed read attempts / unparseable lines skipped / backoff
+        #: retries performed — surfaced into KivatiStats by the runtime
+        self.read_errors = 0
+        self.malformed_lines = 0
+        self.retries = 0
+        self.max_retries = max_retries
+        if retry_backoff_ns is None:
+            retry_backoff_ns = (reread_interval_ns // 8
+                                if reread_interval_ns else 1_000_000)
+        self.base_retry_backoff_ns = max(1, retry_backoff_ns)
+        self._consecutive_errors = 0
+        self._next_retry_ns = None
+        #: optional repro.faults.FaultInjector (runtime.whitelist.corrupt)
+        self.faults = None
         if path is not None:
             self._read_file()
 
-    def _read_file(self):
+    def _read_file(self, now_ns=0):
+        """Attempt one read of the backing file; returns True on success.
+
+        Any failure leaves ``self.ids`` untouched (the previous set keeps
+        protecting the process) and malformed lines are skipped rather
+        than raised — a half-written patch file must never kill the
+        protected program.
+        """
+        if self.faults is not None and self.faults.fires(
+                "runtime.whitelist.corrupt", now_ns, path=self.path):
+            # injected corruption/partial write: modelled as an
+            # unreadable file so the retry/backoff plane engages
+            self._read_failed()
+            return False
         try:
             with open(self.path) as f:
-                for line in f:
-                    line = line.split("#", 1)[0].strip()
-                    if line:
-                        self.ids.add(int(line))
+                data = f.read()
         except FileNotFoundError:
-            pass
+            # a missing whitelist is legal (nothing trained yet)
+            self._consecutive_errors = 0
+            return True
+        except OSError:
+            self._read_failed()
+            return False
+        for line in data.splitlines():
+            line = line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            try:
+                self.ids.add(int(line))
+            except ValueError:
+                # corrupt or half-written line: skip it, keep the rest
+                self.malformed_lines += 1
+        self._consecutive_errors = 0
+        return True
+
+    def _read_failed(self):
+        self.read_errors += 1
+        self._consecutive_errors += 1
 
     def maybe_reread(self, now_ns):
-        """Re-read the backing file if the interval elapsed."""
+        """Re-read the backing file if the interval elapsed, or if a
+        backed-off retry of a failed read is due. Returns True if a read
+        was attempted."""
         if self.path is None or self.reread_interval_ns is None:
             return False
-        if now_ns - self._last_read_ns < self.reread_interval_ns:
+        if self._next_retry_ns is not None:
+            if now_ns < self._next_retry_ns:
+                return False
+            self.retries += 1
+        elif now_ns - self._last_read_ns < self.reread_interval_ns:
             return False
         self._last_read_ns = now_ns
-        self._read_file()
+        if self._read_file(now_ns):
+            self._next_retry_ns = None
+        elif self._consecutive_errors <= self.max_retries:
+            # exponential backoff, bounded by max_retries attempts
+            backoff = self.base_retry_backoff_ns << (
+                self._consecutive_errors - 1)
+            self._next_retry_ns = now_ns + backoff
+        else:
+            # retries exhausted: wait for the next regular interval
+            self._next_retry_ns = None
         return True
 
     def __contains__(self, ar_id):
@@ -55,9 +125,15 @@ class Whitelist:
 
     @staticmethod
     def write_file(path, ar_ids, comment=None):
-        """Write a whitelist file (one AR id per line)."""
-        with open(path, "w") as f:
+        """Write a whitelist file (one AR id per line) atomically: a
+        temp file is populated and renamed over the target so periodic
+        re-readers never observe a half-written file."""
+        tmp = "%s.tmp" % path
+        with open(tmp, "w") as f:
             if comment:
                 f.write("# %s\n" % comment)
             for ar_id in sorted(ar_ids):
                 f.write("%d\n" % ar_id)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)

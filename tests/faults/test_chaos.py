@@ -1,0 +1,107 @@
+"""Chaos suite: every built-in fault schedule, three seeds each, plus
+the zero-overhead-when-disabled guarantee."""
+
+import pytest
+
+from repro.core.session import ProtectedProgram
+from repro.faults.chaos import (
+    CHAOS_SRC,
+    DEFAULT_SEEDS,
+    builtin_schedules,
+    default_config,
+    run_chaos_case,
+    run_chaos_suite,
+)
+from repro.faults.plan import INJECTION_POINTS, FaultPlan, FaultSpec
+
+
+@pytest.fixture(scope="module")
+def chaos_program():
+    return ProtectedProgram(CHAOS_SRC)
+
+
+def test_builtin_schedules_cover_every_injection_point():
+    covered = set()
+    for schedule in builtin_schedules():
+        covered.update(schedule.plan.points())
+    assert covered == set(INJECTION_POINTS)
+    assert len(builtin_schedules()) >= 8
+    assert len(DEFAULT_SEEDS) >= 3
+
+
+def test_full_chaos_suite_holds_all_invariants(chaos_program):
+    report = run_chaos_suite(program=chaos_program)
+    assert report.ok, report.describe()
+    # every schedule ran on every seed
+    assert len(report.cases) == len(builtin_schedules()) * len(DEFAULT_SEEDS)
+    # the suite exercised real injections, not a vacuous pass
+    assert sum(case.fired for case in report.cases) > 0
+
+
+def test_chaos_case_is_deterministic_across_harness_calls(chaos_program):
+    schedule = builtin_schedules()[0]
+    cfg = default_config()
+    first = run_chaos_case(chaos_program, schedule.plan, 2, cfg)
+    second = run_chaos_case(chaos_program, schedule.plan, 2, cfg)
+    assert first.ok and second.ok
+    assert ([f.as_tuple() for f in first.report.injected]
+            == [f.as_tuple() for f in second.report.injected])
+    assert first.report.result.time_ns == second.report.result.time_ns
+    assert first.report.stats.as_dict() == second.report.stats.as_dict()
+
+
+def test_different_seeds_give_different_schedules(chaos_program):
+    plan = FaultPlan("p", [FaultSpec("machine.trap.drop", probability=0.5)])
+    cfg = default_config()
+    runs = {}
+    for seed in (1, 2, 3, 4):
+        report = chaos_program.run(cfg.copy(faults=plan, seed=seed))
+        runs[seed] = tuple(f.as_tuple() for f in report.injected)
+    # at least two distinct fault schedules across four seeds
+    assert len(set(runs.values())) >= 2
+
+
+def test_empty_plan_is_bit_identical_to_no_plan(chaos_program):
+    """Zero overhead when disabled: an injector with an empty plan must
+    not perturb the run in any observable way."""
+    cfg = default_config()
+    plain = chaos_program.run(cfg.copy(seed=1))
+    empty = chaos_program.run(cfg.copy(faults=FaultPlan("empty", []), seed=1))
+    assert empty.result.time_ns == plain.result.time_ns
+    assert empty.result.output == plain.result.output
+    assert empty.result.final_globals == plain.result.final_globals
+    assert empty.stats.as_dict() == plain.stats.as_dict()
+    assert empty.injected == []
+    assert len(empty.degradations) == 0
+
+
+def test_chaos_suite_never_deadlocks_or_faults(chaos_program):
+    report = run_chaos_suite(program=chaos_program)
+    for case in report.cases:
+        assert case.report.result.fault is None
+        assert not case.report.result.deadlocked
+
+
+def test_chaos_bench_generates_and_holds(chaos_program):
+    from repro.bench.chaosbench import generate
+
+    result = generate(seeds=(1,))
+    assert result.check() == []
+    rendered = result.render()
+    assert "Chaos bench" in rendered
+    # one row per built-in schedule
+    assert len(result.rows) == len(builtin_schedules())
+
+
+def test_all_firing_runs_leave_audit_trail(chaos_program):
+    """Any run that diverges from its baseline has injected events on
+    record (no silent divergence)."""
+    report = run_chaos_suite(program=chaos_program)
+    for case in report.cases:
+        base = case.baseline.result
+        res = case.report.result
+        diverged = (res.output != base.output
+                    or res.final_globals != base.final_globals
+                    or res.time_ns != base.time_ns)
+        if diverged:
+            assert case.report.injected, case.describe()

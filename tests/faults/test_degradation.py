@@ -1,0 +1,391 @@
+"""Graceful-degradation policies: circuit breaker, suspension watchdog,
+replica resync, lost-wakeup recovery, whitelist hardening."""
+
+import os
+
+from repro.core.config import KivatiConfig, Mode, OptLevel
+from repro.faults.breaker import BreakerPolicy, CircuitBreaker
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.runtime.whitelist import Whitelist
+
+
+def config(**kwargs):
+    kwargs.setdefault("opt", OptLevel.BASE)
+    kwargs.setdefault("mode", Mode.PREVENTION)
+    return KivatiConfig(**kwargs)
+
+
+LOST_UPDATE_SRC = """
+int x = 0;
+
+void local_thread() {
+    int t = x;
+    sleep(50000);
+    x = t + 1;
+}
+
+void remote_thread() {
+    sleep(20000);
+    x = 99;
+}
+
+void main() {
+    spawn local_thread();
+    spawn remote_thread();
+    join();
+    output(x);
+}
+"""
+
+
+# ----------------------------------------------------------------------
+# circuit breaker (unit)
+# ----------------------------------------------------------------------
+
+def test_breaker_trips_after_timeout_threshold():
+    br = CircuitBreaker(BreakerPolicy(timeout_threshold=3))
+    assert br.record_timeout(7, 100) is None
+    assert br.record_timeout(7, 200) is None
+    backoff = br.record_timeout(7, 300)
+    assert backoff == br.policy.base_backoff_ns
+    assert br.trips() == 1
+    assert not br.allows(7, 300)
+    assert br.open_ars(300) == [7]
+
+
+def test_breaker_closes_after_backoff_window():
+    br = CircuitBreaker(BreakerPolicy(timeout_threshold=1,
+                                      base_backoff_ns=1000))
+    br.record_timeout(1, 0)
+    assert not br.allows(1, 999)
+    assert br.allows(1, 1000)
+    # closed again: other ARs were never affected
+    assert br.allows(2, 0)
+
+
+def test_breaker_backoff_doubles_and_caps():
+    br = CircuitBreaker(BreakerPolicy(timeout_threshold=1,
+                                      base_backoff_ns=1000,
+                                      max_backoff_ns=4000))
+    backoffs = [br.record_timeout(1, t * 100_000) for t in range(5)]
+    assert backoffs == [1000, 2000, 4000, 4000, 4000]
+
+
+def test_breaker_trap_threshold():
+    br = CircuitBreaker(BreakerPolicy(trap_threshold=4))
+    for i in range(3):
+        assert br.record_trap(9, i) is None
+    assert br.record_trap(9, 3) is not None
+    assert not br.allows(9, 3)
+
+
+def test_breaker_counters_reset_on_trip():
+    br = CircuitBreaker(BreakerPolicy(timeout_threshold=2,
+                                      base_backoff_ns=10))
+    br.record_timeout(5, 0)
+    br.record_timeout(5, 1)          # trip #1
+    assert br.allows(5, 100)         # window expired, breaker closed
+    assert br.record_timeout(5, 101) is None   # fresh count after trip
+    assert br.record_timeout(5, 102) is not None
+
+
+# ----------------------------------------------------------------------
+# circuit breaker (end to end)
+# ----------------------------------------------------------------------
+
+BREAKER_SRC = """
+int x = 0;
+
+void holder() {
+    int i = 0;
+    while (i < 12) {
+        int t = x;
+        sleep(2000);
+        x = t + 1;
+        i = i + 1;
+    }
+}
+
+void contender() {
+    int k = 0;
+    while (k < 12) {
+        sleep(300);
+        x = x + 10;
+        k = k + 1;
+    }
+}
+
+void main() {
+    spawn holder();
+    spawn contender();
+    join();
+    output(x);
+}
+"""
+
+
+def test_breaker_trips_end_to_end_on_repeated_timeouts(protect):
+    pp = protect(BREAKER_SRC)
+    cfg = config(suspend_timeout_ns=200, seed=1)
+    report = pp.run(cfg)
+    assert report.result.fault is None and not report.result.deadlocked
+    assert report.stats.suspend_timeouts >= 3
+    assert report.stats.breaker_trips >= 1
+    assert report.stats.breaker_skips >= 1
+    kinds = set(report.degradations.kinds())
+    assert "breaker-open" in kinds and "breaker-skip" in kinds
+    assert report.degraded
+
+
+def test_breaker_disabled_never_skips(protect):
+    pp = protect(BREAKER_SRC)
+    report = pp.run(config(suspend_timeout_ns=200, seed=1, breaker=False))
+    assert report.stats.breaker_trips == 0
+    assert report.stats.breaker_skips == 0
+
+
+def test_breaker_custom_policy_accepted(protect):
+    pp = protect(BREAKER_SRC)
+    policy = BreakerPolicy(timeout_threshold=1, base_backoff_ns=500)
+    report = pp.run(config(suspend_timeout_ns=200, seed=1, breaker=policy))
+    assert report.stats.breaker_trips >= 1
+
+
+# ----------------------------------------------------------------------
+# suspension watchdog
+# ----------------------------------------------------------------------
+
+# Two threads each holding an AR while beginning one on the other's
+# variable: a cyclic mutual suspension that only the 10 ms timeout (or
+# the watchdog) can break.
+MUTUAL_SUSPEND_SRC = """
+int x = 0;
+int y = 0;
+
+void alice() {
+    int t = x;
+    sleep(1000);
+    int u = y;
+    sleep(1000);
+    y = u + 1;
+    x = t + 1;
+}
+
+void bob() {
+    int u = y;
+    sleep(1000);
+    int t = x;
+    sleep(1000);
+    x = t + 5;
+    y = u + 5;
+}
+
+void main() {
+    spawn alice();
+    spawn bob();
+    join();
+    output(x);
+    output(y);
+}
+"""
+
+
+def test_watchdog_breaks_mutual_suspension_cycle(protect):
+    pp = protect(MUTUAL_SUSPEND_SRC)
+    report = pp.run(config(seed=1, watchdog=True))
+    assert report.result.fault is None and not report.result.deadlocked
+    assert report.stats.watchdog_breaks >= 1
+    assert "watchdog-break" in set(report.degradations.kinds())
+    # broken immediately, not after the 10 ms timeout
+    assert report.result.time_ns < 1_000_000
+
+
+def test_without_watchdog_timeout_plane_still_recovers(protect):
+    pp = protect(MUTUAL_SUSPEND_SRC)
+    report = pp.run(config(seed=1, watchdog=False))
+    assert report.result.fault is None and not report.result.deadlocked
+    assert report.stats.watchdog_breaks == 0
+    assert report.stats.suspend_timeouts >= 1
+    assert report.result.time_ns >= 10_000_000
+
+
+# ----------------------------------------------------------------------
+# replica resync, lost wake-ups, undo failure, duplicate traps
+# ----------------------------------------------------------------------
+
+def _fault_run(pp, point, seed=1, **cfg_kwargs):
+    plan = FaultPlan("one-point", [FaultSpec(point, probability=1.0)])
+    return pp.run(config(faults=plan, seed=seed, **cfg_kwargs))
+
+
+def test_crosscore_lost_triggers_resync(protect):
+    from repro.faults.chaos import CHAOS_SRC
+    pp = protect(CHAOS_SRC)
+    report = _fault_run(pp, "kernel.crosscore.lost")
+    assert report.result.fault is None and not report.result.deadlocked
+    assert report.stats.replica_resyncs >= 1
+    assert "replica-resync" in set(report.degradations.kinds())
+
+
+def test_dr_slot_failure_repaired_by_consistency_check(protect):
+    from repro.faults.chaos import CHAOS_SRC
+    pp = protect(CHAOS_SRC)
+    report = _fault_run(pp, "machine.dr.slot_fail")
+    assert report.result.fault is None and not report.result.deadlocked
+    assert report.stats.replica_resyncs >= 1
+
+
+def test_lost_wakeup_recovered_by_timeout(protect):
+    from repro.faults.chaos import CHAOS_SRC
+    pp = protect(CHAOS_SRC)
+    report = _fault_run(pp, "kernel.wakeup.lost")
+    assert report.result.fault is None and not report.result.deadlocked
+    assert report.stats.suspend_timeouts >= 1
+    assert "suspend-timeout" in set(report.degradations.kinds())
+
+
+def test_forced_undo_failure_degrades_visibly(protect):
+    from repro.faults.chaos import CHAOS_SRC
+    pp = protect(CHAOS_SRC)
+    report = _fault_run(pp, "kernel.undo.fail")
+    assert report.result.fault is None and not report.result.deadlocked
+    assert report.stats.undo_faults_injected >= 1
+    assert report.stats.undos == 0
+    assert "undo-failed" in set(report.degradations.kinds())
+
+
+def test_duplicate_trap_delivery_is_deduplicated(protect):
+    from repro.faults.chaos import CHAOS_SRC
+    pp = protect(CHAOS_SRC)
+    baseline = pp.run(config(seed=1))
+    report = _fault_run(pp, "machine.trap.duplicate")
+    assert report.result.fault is None and not report.result.deadlocked
+    assert report.stats.duplicate_traps_ignored >= 1
+    # dedup means the duplicated deliveries change nothing semantically
+    assert report.result.output == baseline.result.output
+    assert report.result.final_globals == baseline.result.final_globals
+
+
+def test_dropped_traps_lose_prevention_but_are_attributed(protect):
+    pp = protect(LOST_UPDATE_SRC)
+    baseline = pp.run(config(seed=1))
+    assert baseline.result.output == [99]   # prevention works fault-free
+    report = _fault_run(pp, "machine.trap.drop")
+    assert report.result.fault is None and not report.result.deadlocked
+    # the divergence is on record: the injected events name the drops
+    assert any(f.point == "machine.trap.drop" for f in report.injected)
+
+
+# ----------------------------------------------------------------------
+# whitelist hardening
+# ----------------------------------------------------------------------
+
+def test_whitelist_skips_malformed_lines(tmp_path):
+    path = tmp_path / "wl"
+    path.write_text("1\ngarbage\n2\n# comment\n  \n3x\n4\n")
+    wl = Whitelist(path=str(path))
+    assert wl.ids == {1, 2, 4}
+    assert wl.malformed_lines == 2
+    assert wl.read_errors == 0
+
+
+def test_whitelist_keeps_previous_set_on_read_error(tmp_path):
+    path = tmp_path / "wl"
+    path.write_text("1\n2\n")
+    wl = Whitelist(path=str(path), reread_interval_ns=100)
+    assert wl.ids == {1, 2}
+    # replace the file with an unreadable directory to force OSError
+    os.unlink(str(path))
+    os.mkdir(str(path))
+    assert wl.maybe_reread(200)
+    assert wl.ids == {1, 2}
+    assert wl.read_errors == 1
+
+
+def test_whitelist_missing_file_is_not_an_error(tmp_path):
+    wl = Whitelist(path=str(tmp_path / "absent"), reread_interval_ns=10)
+    assert wl.ids == set()
+    assert wl.read_errors == 0
+    assert wl.maybe_reread(100)
+    assert wl.read_errors == 0
+
+
+def test_whitelist_retry_backoff_is_bounded(tmp_path):
+    path = tmp_path / "wl"
+    path.write_text("1\n")
+    wl = Whitelist(path=str(path), reread_interval_ns=1000,
+                   max_retries=3, retry_backoff_ns=10)
+    os.unlink(str(path))
+    os.mkdir(str(path))
+    now = 1000
+    assert wl.maybe_reread(now)           # scheduled failure
+    assert wl.read_errors == 1
+    # retries come at exponentially growing offsets, then stop
+    attempts = 0
+    for t in range(now + 1, now + 1000):
+        if wl.maybe_reread(t):
+            attempts += 1
+    assert attempts == wl.max_retries
+    assert wl.retries == wl.max_retries
+    # after giving up, the next regular interval tries again
+    assert wl.maybe_reread(now + 1000 + 1000)
+
+
+def test_whitelist_recovers_after_transient_error(tmp_path):
+    path = tmp_path / "wl"
+    path.write_text("1\n")
+    wl = Whitelist(path=str(path), reread_interval_ns=100,
+                   retry_backoff_ns=10)
+    os.unlink(str(path))
+    os.mkdir(str(path))
+    wl.maybe_reread(100)
+    assert wl.read_errors == 1
+    os.rmdir(str(path))
+    path.write_text("1\n5\n")
+    wl.maybe_reread(110)                  # backed-off retry succeeds
+    assert wl.ids == {1, 5}
+    assert wl._consecutive_errors == 0
+
+
+def test_whitelist_write_file_is_atomic(tmp_path):
+    path = str(tmp_path / "wl")
+    Whitelist.write_file(path, {3, 1, 2}, comment="trained")
+    with open(path) as f:
+        lines = f.read().splitlines()
+    assert lines == ["# trained", "1", "2", "3"]
+    assert not os.path.exists(path + ".tmp")
+    wl = Whitelist(path=path)
+    assert wl.ids == {1, 2, 3}
+
+
+def test_whitelist_corruption_fault_surfaces_in_report(protect, tmp_path):
+    from repro.faults.chaos import CHAOS_SRC
+    wl_path = tmp_path / "wl"
+    wl_path.write_text("# empty\n")
+    pp = protect(CHAOS_SRC)
+    plan = FaultPlan("wl", [FaultSpec("runtime.whitelist.corrupt")])
+    report = pp.run(config(faults=plan, seed=1,
+                           whitelist_path=str(wl_path),
+                           whitelist_reread_ns=2000))
+    assert report.result.fault is None and not report.result.deadlocked
+    assert report.stats.whitelist_read_errors >= 1
+    assert "whitelist-read-error" in set(report.degradations.kinds())
+
+
+# ----------------------------------------------------------------------
+# report surface
+# ----------------------------------------------------------------------
+
+def test_degradations_appear_in_summary(protect):
+    pp = protect(MUTUAL_SUSPEND_SRC)
+    report = pp.run(config(seed=1, watchdog=True))
+    assert report.degraded
+    assert "degradations=" in report.summary()
+
+
+def test_clean_run_reports_no_degradation(protect):
+    pp = protect(LOST_UPDATE_SRC)
+    report = pp.run(config(seed=1))
+    assert not report.degraded
+    assert len(report.degradations) == 0
+    assert report.injected == []

@@ -1,0 +1,120 @@
+"""Unit tests for the fault-injection plan and decision engine."""
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.faults.plan import (
+    INJECTION_POINTS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    _fnv1a,
+)
+
+
+def test_injection_points_cover_all_three_layers():
+    layers = {point.split(".")[0] for point in INJECTION_POINTS}
+    assert layers == {"machine", "kernel", "runtime"}
+    assert len(INJECTION_POINTS) >= 8
+
+
+def test_spec_rejects_unknown_point():
+    with pytest.raises(FaultPlanError):
+        FaultSpec("machine.trap.explode")
+
+
+def test_spec_rejects_bad_probability():
+    with pytest.raises(FaultPlanError):
+        FaultSpec("machine.trap.drop", probability=1.5)
+    with pytest.raises(FaultPlanError):
+        FaultSpec("machine.trap.drop", probability=-0.1)
+
+
+def test_spec_rejects_negative_max_fires():
+    with pytest.raises(FaultPlanError):
+        FaultSpec("machine.trap.drop", max_fires=-1)
+
+
+def test_plan_rejects_duplicate_points():
+    with pytest.raises(FaultPlanError):
+        FaultPlan("dup", [FaultSpec("machine.trap.drop"),
+                          FaultSpec("machine.trap.drop", probability=0.5)])
+
+
+def test_fnv1a_is_stable():
+    # must not depend on PYTHONHASHSEED: pin a known vector
+    assert _fnv1a("machine.trap.drop") == _fnv1a("machine.trap.drop")
+    assert _fnv1a("a") != _fnv1a("b")
+    assert _fnv1a("") == 0x811C9DC5
+
+
+def test_certain_fault_fires_every_opportunity():
+    plan = FaultPlan("p", [FaultSpec("machine.trap.drop", probability=1.0)])
+    inj = FaultInjector(plan, seed=7)
+    assert all(inj.fires("machine.trap.drop") for _ in range(10))
+    assert inj.fired_count("machine.trap.drop") == 10
+
+
+def test_unscheduled_point_never_fires_and_costs_nothing():
+    plan = FaultPlan("p", [FaultSpec("machine.trap.drop")])
+    inj = FaultInjector(plan, seed=0)
+    assert not inj.active("kernel.undo.fail")
+    assert not inj.fires("kernel.undo.fail")
+    assert inj.fired_count() == 0
+    assert inj.injected == []
+
+
+def test_max_fires_caps_injections():
+    plan = FaultPlan("p", [FaultSpec("machine.trap.drop", max_fires=3)])
+    inj = FaultInjector(plan)
+    results = [inj.fires("machine.trap.drop") for _ in range(10)]
+    assert results == [True] * 3 + [False] * 7
+
+
+def test_start_after_skips_early_opportunities():
+    plan = FaultPlan("p", [FaultSpec("machine.trap.drop", start_after=4)])
+    inj = FaultInjector(plan)
+    results = [inj.fires("machine.trap.drop") for _ in range(6)]
+    assert results == [False] * 4 + [True] * 2
+
+
+def test_probabilistic_decisions_are_seed_deterministic():
+    plan = FaultPlan("p", [FaultSpec("machine.trap.drop", probability=0.4)])
+
+    def decisions(seed):
+        inj = FaultInjector(plan, seed=seed)
+        return [inj.fires("machine.trap.drop") for _ in range(200)]
+
+    first = decisions(11)
+    assert first == decisions(11)
+    assert first != decisions(12)
+    # unbiased enough that both outcomes occur
+    assert any(first) and not all(first)
+
+
+def test_probability_roughly_respected():
+    plan = FaultPlan("p", [FaultSpec("machine.trap.drop", probability=0.3)])
+    inj = FaultInjector(plan, seed=5)
+    fired = sum(inj.fires("machine.trap.drop") for _ in range(2000))
+    assert 0.2 < fired / 2000 < 0.4
+
+
+def test_injected_records_carry_detail_and_identity():
+    plan = FaultPlan("p", [FaultSpec("machine.trap.drop")])
+    inj = FaultInjector(plan)
+    inj.fires("machine.trap.drop", now_ns=123, tid=4)
+    (rec,) = inj.injected
+    assert rec.point == "machine.trap.drop"
+    assert rec.time_ns == 123
+    assert rec.detail == {"tid": 4}
+    assert rec.as_tuple() == ("machine.trap.drop", 0, 123, (("tid", 4),))
+    assert "machine.trap.drop" in rec.describe()
+
+
+def test_param_lookup_with_default():
+    plan = FaultPlan("p", [FaultSpec("machine.timer.jitter",
+                                     param={"jitter_ns": 5000})])
+    inj = FaultInjector(plan)
+    assert inj.param("machine.timer.jitter", "jitter_ns") == 5000
+    assert inj.param("machine.timer.jitter", "missing", 9) == 9
+    assert inj.param("machine.trap.drop", "jitter_ns", 7) == 7

@@ -1,7 +1,7 @@
-"""Unit tests for the access classifier in the rollback engine."""
+"""Unit tests for the access classifier and the rollback paths."""
 
 from repro.compiler.bytecode import Instr, Op
-from repro.kernel.undo import classify_access_kinds
+from repro.kernel.undo import classify_access_kinds, undo_remote_access
 from repro.minic.ast import AccessKind
 
 R = AccessKind.READ
@@ -9,8 +9,39 @@ W = AccessKind.WRITE
 
 
 class FakeThread:
-    def __init__(self, regs):
+    def __init__(self, regs, pc=0, sp=0, fp=0, frames=None):
         self.regs = regs
+        self.pc = pc
+        self.sp = sp
+        self.fp = fp
+        self.frames = frames if frames is not None else []
+
+
+class FakeFrame:
+    def __init__(self, saved_regs, saved_sp, saved_fp):
+        self.saved_regs = saved_regs
+        self.saved_sp = saved_sp
+        self.saved_fp = saved_fp
+
+
+class FakeProgram:
+    def __init__(self, instrs):
+        self.instrs = instrs
+
+
+class FakeMachine:
+    def __init__(self, instrs):
+        self.program = FakeProgram(instrs)
+        self.writes = []
+
+    def write_raw(self, addr, value):
+        self.writes.append((addr, value))
+
+
+class FakeSlot:
+    def __init__(self, addr, captured_value=None):
+        self.addr = addr
+        self.captured_value = captured_value
 
 
 def test_classify_plain_ops():
@@ -37,3 +68,64 @@ def test_classify_sync_ops():
     assert set(classify_access_kinds(Instr(Op.LOCK, 0), t, 0)) == {R, W}
     assert classify_access_kinds(Instr(Op.UNLOCK, 0), t, 0) == (W,)
     assert set(classify_access_kinds(Instr(Op.AADD, 0, 1, 2), t, 0)) == {R, W}
+
+
+def test_classify_ld_without_register_file():
+    """Regression: an LD must classify as a READ even when the thread's
+    register file is unavailable (suspended thread, regs swapped out);
+    the old gate returned an empty classification."""
+    t = FakeThread(None)
+    assert classify_access_kinds(Instr(Op.LD, 0, 1), t, 100) == (R,)
+
+
+def test_undo_cpy_read_side_requests_containment():
+    # CPY dst=r0(=200), src=r1(=100); watchpoint on 100: the watched
+    # value leaked into memory at 200 and must be contained
+    machine = FakeMachine([Instr(Op.CPY, 0, 1)])
+    t = FakeThread([200, 100] + [0] * 14, pc=1)
+    outcome = undo_remote_access(machine, t, 0, FakeSlot(100))
+    assert outcome.ok
+    assert outcome.needs_containment_addr == 200
+    assert t.pc == 0                  # re-execution re-runs the CPY
+    assert machine.writes == []       # read side: nothing to roll back
+
+
+def test_undo_cpy_write_side_restores_captured_value():
+    machine = FakeMachine([Instr(Op.CPY, 0, 1)])
+    t = FakeThread([100, 300] + [0] * 14, pc=1)
+    outcome = undo_remote_access(machine, t, 0,
+                                 FakeSlot(100, captured_value=42))
+    assert outcome.ok
+    assert outcome.needs_containment_addr is None
+    assert machine.writes == [(100, 42)]
+
+
+def test_undo_callind_unwinds_committed_frame():
+    machine = FakeMachine([Instr(Op.CALLIND, 0)])
+    saved_regs = [7] * 16
+    t = FakeThread([0] * 16, pc=50, sp=90, fp=80,
+                   frames=[FakeFrame(saved_regs, 10, 20)])
+    outcome = undo_remote_access(machine, t, 0, FakeSlot(100))
+    assert outcome.ok
+    assert t.frames == []
+    assert t.regs is saved_regs
+    assert t.sp == 10 and t.fp == 20
+    assert t.pc == 0
+
+
+def test_undo_store_restores_first_write_value():
+    machine = FakeMachine([Instr(Op.ST, 0, 1)])
+    t = FakeThread([0] * 16, pc=1)
+    outcome = undo_remote_access(machine, t, 0,
+                                 FakeSlot(100, captured_value=5))
+    assert outcome.ok and outcome.kinds == (W,)
+    assert machine.writes == [(100, 5)]
+    assert t.pc == 0
+
+
+def test_undo_sync_op_reports_failure():
+    machine = FakeMachine([Instr(Op.CAS, 0, 1, 2)])
+    t = FakeThread([0] * 16, pc=1)
+    outcome = undo_remote_access(machine, t, 0, FakeSlot(100))
+    assert not outcome.ok
+    assert t.pc == 1                  # nothing touched on failure
