@@ -1,0 +1,13 @@
+"""Static pruning pressure study (off vs on per workload)."""
+
+from repro.bench import staticprune
+
+
+def test_static_prune_pressure(once):
+    result = once(staticprune.generate)
+    print(result.render())
+    problems = result.check_shape()
+    assert not problems, problems
+    # every workload keeps some statically provable ARs to prune
+    for app, (safe, total) in result.static_counts.items():
+        assert 0 < safe < total, (app, safe, total)

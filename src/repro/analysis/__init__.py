@@ -24,8 +24,13 @@ Mirrors the paper's CIL pass:
 from repro.analysis.annotate import AnnotationResult, annotate
 from repro.analysis.arinfo import ARInfo
 from repro.analysis.cfg import CFG, build_cfg
+from repro.analysis.diagnostics import Diagnostic, run_diagnostics
+from repro.analysis.guarded import GuardReport, infer_guards
+from repro.analysis.lockmodel import HeldLockTracker, lock_ref
+from repro.analysis.locks import LockAnalysis, compute_lock_analysis
 from repro.analysis.lsv import compute_lsv
 from repro.analysis.pairs import Access, find_pairs
+from repro.analysis.prune import MONITOR, STATIC_SAFE, classify_ars
 from repro.analysis.watchtype import is_unserializable, remote_watch_kinds
 
 __all__ = [
@@ -33,10 +38,20 @@ __all__ = [
     "Access",
     "AnnotationResult",
     "CFG",
+    "Diagnostic",
+    "GuardReport",
+    "HeldLockTracker",
+    "LockAnalysis",
+    "MONITOR",
+    "STATIC_SAFE",
     "annotate",
     "build_cfg",
+    "classify_ars",
+    "compute_lock_analysis",
     "compute_lsv",
     "find_pairs",
+    "infer_guards",
     "is_unserializable",
-    "remote_watch_kinds",
+    "lock_ref",
+    "run_diagnostics",
 ]

@@ -36,20 +36,30 @@ class AnnotationResult:
     """Everything the annotator produced for one program."""
 
     __slots__ = ("ast", "pinfo", "ar_table", "lsvs", "sync_ar_ids",
-                 "ar_ids_by_func")
+                 "ar_ids_by_func", "locks", "guards", "prune")
 
     def __init__(self, ast_, pinfo, ar_table, lsvs, sync_ar_ids,
-                 ar_ids_by_func):
+                 ar_ids_by_func, locks=None, guards=None, prune=None):
         self.ast = ast_
         self.pinfo = pinfo
         self.ar_table = ar_table          # ar_id -> ARInfo
         self.lsvs = lsvs                  # func name -> LSVResult
         self.sync_ar_ids = sync_ar_ids    # frozenset of AR ids on sync vars
         self.ar_ids_by_func = ar_ids_by_func
+        self.locks = locks                # locks.LockAnalysis
+        self.guards = guards              # guarded.GuardReport
+        self.prune = prune                # prune.PruneResult
 
     @property
     def num_ars(self):
         return len(self.ar_table)
+
+    @property
+    def static_safe_ar_ids(self):
+        """AR ids the lock-discipline analysis proved safe to skip."""
+        if self.prune is None:
+            return frozenset()
+        return self.prune.static_safe_ids
 
 
 def _copy_lvalue(expr):
@@ -225,36 +235,57 @@ def annotate(source_or_ast, emit_shadow_stores=True,
 
         summaries = compute_call_summaries(program, pinfo)
 
-    points_to = None
-    if pointer_analysis:
-        from repro.analysis.pointers import compute_points_to
+    # points-to sets always feed the guarded-by inference; they change
+    # pairing behavior only under the pointer_analysis extension
+    from repro.analysis.pointers import compute_points_to
 
-        points_to = compute_points_to(program, pinfo)
+    points_to = compute_points_to(program, pinfo)
 
+    # ---- phase 1: per-function analyses on the pristine bodies -----------
+    func_data = {}   # func name -> (lsv, pair_result)
+    cfgs = {}
+    per_func_infos = {}
     for func in program.funcs:
         lsv = compute_lsv(func, pinfo)
         lsvs[func.name] = lsv
         cfg = build_cfg(func)
+        cfgs[func.name] = cfg
         pair_result = find_pairs(
             func, lsv, pinfo, cfg, summaries=summaries,
-            points_to=points_to.get(func.name) if points_to else None,
+            points_to=points_to.get(func.name) if pointer_analysis else None,
             element_granularity=pointer_analysis,
         )
+        func_data[func.name] = (lsv, pair_result)
         infos, next_id = build_ar_infos(func.name, pair_result, lsv, next_id,
                                         extra_sync_vars=flag_vars)
-
-        begins = {}
-        ends = {}
+        per_func_infos[func.name] = infos
         ids = []
         for info in infos:
             ar_table[info.ar_id] = info
             ids.append(info.ar_id)
             if info.is_sync:
                 sync_ar_ids.add(info.ar_id)
+        ar_ids_by_func[func.name] = ids
+
+    # ---- lock discipline, guarded-by inference and AR pruning ------------
+    from repro.analysis.guarded import infer_guards
+    from repro.analysis.locks import compute_lock_analysis
+    from repro.analysis.prune import classify_ars
+
+    lock_analysis = compute_lock_analysis(program, pinfo, cfgs=cfgs)
+    guards = infer_guards(program, pinfo, lock_analysis, func_data,
+                          points_to=points_to, extra_sync_vars=flag_vars)
+    prune_result = classify_ars(ar_table, guards, lock_analysis)
+
+    # ---- phase 2: rewrite bodies with the annotation statements ----------
+    for func in program.funcs:
+        _, pair_result = func_data[func.name]
+        begins = {}
+        ends = {}
+        for info in per_func_infos[func.name]:
             begins.setdefault(info.begin_uid, []).append(info)
             for uid in info.second_kinds:
                 ends.setdefault(uid, []).append(info)
-        ar_ids_by_func[func.name] = ids
 
         # Third-optimization support: replicate every local write to a
         # shared variable so the kernel's undo value stays current even
@@ -276,4 +307,6 @@ def annotate(source_or_ast, emit_shadow_stores=True,
     # re-check so callers get an up-to-date ProgramInfo for codegen
     pinfo = check(program)
     return AnnotationResult(program, pinfo, ar_table, lsvs,
-                            frozenset(sync_ar_ids), ar_ids_by_func)
+                            frozenset(sync_ar_ids), ar_ids_by_func,
+                            locks=lock_analysis, guards=guards,
+                            prune=prune_result)

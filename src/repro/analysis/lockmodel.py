@@ -1,0 +1,139 @@
+"""Shared lock modeling: one description of what a lock event looks like.
+
+Both the static lock-discipline analysis (:mod:`repro.analysis.locks`)
+and the dynamic checkers (:mod:`repro.baselines.lockset`, the
+static-vs-dynamic property harness) need to recognize lock acquisitions
+and releases. Keeping the recognition rules in one place guarantees the
+two sides agree on what counts as a lock:
+
+- **Statically**, a lock is the argument of a ``lock(&m)`` /
+  ``unlock(&m)`` builtin call. :func:`lock_ref` names it with a *token*:
+  ``"m"`` for a plain variable, ``"a[3]"`` for a constant-index array
+  element, and the imprecise tokens ``"a[*]"`` / ``"?"`` when the element
+  or the lock itself cannot be named at analysis time.
+- **Dynamically**, the machine implements ``lock``/``unlock`` on ordinary
+  memory words: an acquire writes ``tid + 1`` into the lock word, a
+  release writes ``0``. :class:`HeldLockTracker` reconstructs per-thread
+  held-lock sets from either the observed word transitions (what the
+  Eraser-style baseline sees) or the executed sync opcodes (what the
+  property harness sees).
+"""
+
+from repro.minic import ast
+
+#: Token for a lock whose identity cannot be determined statically
+#: (``lock(p)`` through a pointer value, computed addresses, ...).
+UNKNOWN_LOCK = "?"
+
+#: Names of the builtins that acquire / release a lock word.
+LOCK_BUILTIN = "lock"
+UNLOCK_BUILTIN = "unlock"
+
+
+class LockRef:
+    """Static name of one lock operand.
+
+    ``token`` is the name used in lockset lattices; ``precise`` is True
+    when the token denotes exactly one memory word (so must-hold facts
+    about it are meaningful).
+    """
+
+    __slots__ = ("token", "precise")
+
+    def __init__(self, token, precise):
+        self.token = token
+        self.precise = precise
+
+    def __repr__(self):
+        return "LockRef(%r%s)" % (self.token,
+                                  "" if self.precise else ", imprecise")
+
+
+def lock_ref(call):
+    """Name the lock operand of a ``lock``/``unlock`` Call node.
+
+    Returns a :class:`LockRef`. The recognizable shapes mirror the
+    machine's address computation: ``&m`` names the word of ``m`` and
+    ``&a[K]`` with a literal index names one array element. Everything
+    else — variable indices, pointer values, nested expressions — gets an
+    imprecise token (``"a[*]"`` when at least the array is known,
+    :data:`UNKNOWN_LOCK` otherwise).
+    """
+    arg = call.args[0] if call.args else None
+    if isinstance(arg, ast.AddrOf):
+        op = arg.operand
+        if isinstance(op, ast.Var):
+            return LockRef(op.name, True)
+        if isinstance(op, ast.Index) and isinstance(op.base, ast.Var):
+            if isinstance(op.index, ast.IntLit):
+                return LockRef("%s[%d]" % (op.base.name, op.index.value),
+                               True)
+            return LockRef(op.base.name + "[*]", False)
+    return LockRef(UNKNOWN_LOCK, False)
+
+
+def token_base(token):
+    """Base variable name of a lock token (``"a[3]"`` -> ``"a"``)."""
+    return token.split("[")[0]
+
+
+def is_lock_call(call):
+    return isinstance(call, ast.Call) and call.name == LOCK_BUILTIN
+
+
+def is_unlock_call(call):
+    return isinstance(call, ast.Call) and call.name == UNLOCK_BUILTIN
+
+
+class HeldLockTracker:
+    """Per-thread held-lock sets reconstructed from a dynamic trace.
+
+    Two observation modes, matching the two dynamic consumers:
+
+    - :meth:`observe_word` classifies an access by the lock word's
+      post-state (``tid + 1`` means this thread owns it, ``0`` a release
+      of a word we held). This is what a software checker that only sees
+      addresses and values can do.
+    - :meth:`observe_sync_op` classifies by the executed opcode name
+      (``"lock"``/``"unlock"``), available to harnesses that can see the
+      instruction stream.
+
+    Both return ``"acquire"``, ``"release"`` or ``None``.
+    """
+
+    __slots__ = ("held",)
+
+    def __init__(self):
+        self.held = {}  # tid -> set of lock-word addresses
+
+    def locks_of(self, tid):
+        held = self.held.get(tid)
+        if held is None:
+            held = set()
+            self.held[tid] = held
+        return held
+
+    def observe_word(self, tid, addr, post_value):
+        held = self.locks_of(tid)
+        if post_value == tid + 1:
+            if addr not in held:
+                held.add(addr)
+                return "acquire"
+            return None
+        if post_value == 0 and addr in held:
+            held.discard(addr)
+            return "release"
+        return None
+
+    def observe_sync_op(self, tid, op_name, addr, is_write):
+        """Classify by opcode. A contended (blocked) LOCK performs only a
+        read access, so requiring ``is_write`` keeps failed acquires out
+        of the held set."""
+        held = self.locks_of(tid)
+        if op_name == LOCK_BUILTIN and is_write:
+            held.add(addr)
+            return "acquire"
+        if op_name == UNLOCK_BUILTIN and is_write:
+            held.discard(addr)
+            return "release"
+        return None

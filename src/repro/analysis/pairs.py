@@ -278,7 +278,9 @@ def find_pairs(func, lsv, pinfo, cfg=None, summaries=None, points_to=None,
     for node in cfg.nodes:
         state = merged_in(node)
         for acc in node_accesses[node.nid]:
-            for prev_aid in state.get(acc.var, ()):
+            # sorted so pair discovery order (and everything derived from
+            # it) is independent of set iteration order
+            for prev_aid in sorted(state.get(acc.var, ())):
                 pairs.add((prev_aid, acc.aid))
             state[acc.var] = frozenset((acc.aid,))
     return PairResult(func.name, accesses, pairs)

@@ -7,6 +7,7 @@ race detectors (RaceFuzzer, FastTrack), this finds data races rather than
 atomicity violations, and pays per-access software instrumentation cost.
 """
 
+from repro.analysis.lockmodel import HeldLockTracker
 from repro.machine.runtime_iface import BaseRuntime
 
 
@@ -30,7 +31,10 @@ class LocksetRuntime(BaseRuntime):
     def __init__(self, per_access_cost=None):
         self.per_access_cost = (per_access_cost if per_access_cost is not None
                                 else self.PER_ACCESS_COST)
-        self.held = {}       # tid -> set of lock addrs
+        # held-lock reconstruction is shared with the static analysis via
+        # repro.analysis.lockmodel so both sides agree on what a lock is
+        self.tracker = HeldLockTracker()
+        self.held = self.tracker.held  # tid -> set of lock addrs
         self.candidates = {}  # addr -> (candidate lockset, tids, reported)
         self.races = []
         self.accesses_observed = 0
@@ -39,34 +43,16 @@ class LocksetRuntime(BaseRuntime):
     def attach(self, machine):
         self.machine = machine
 
-    def _locks_of(self, machine, tid):
-        # reconstruct held locks from machine lock words: the machine
-        # writes tid+1 into an acquired lock word
-        held = self.held.get(tid)
-        if held is None:
-            held = set()
-            self.held[tid] = held
-        return held
-
     def on_memory_access(self, core, thread, addr, is_write):
         self.accesses_observed += 1
         machine = self.machine
         tid = thread.tid
-        # maintain the held-lock set by observing lock-word transitions
-        value = machine.memory.words.get(addr, 0)
-        held = self._locks_of(machine, tid)
-        if is_write:
-            # lock acquire/release show up as writes of tid+1 / 0
-            if value == 0 and addr in held:
-                # this access is part of an unlock about to clear it; the
-                # post-state decides below
-                pass
-        # post-state check: lock word owned by us?
+        # maintain the held-lock set by observing lock-word transitions:
+        # an acquire leaves tid+1 in the word, a release leaves 0
         post = machine.memory.words.get(addr, 0)
-        if post == tid + 1:
-            held.add(addr)
-        elif addr in held and post == 0:
-            held.discard(addr)
+        outcome = self.tracker.observe_word(tid, addr, post)
+        held = self.tracker.locks_of(tid)
+        if outcome == "release":
             return self.per_access_cost  # lock word itself is not data
 
         entry = self.candidates.get(addr)

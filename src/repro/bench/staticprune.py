@@ -1,0 +1,114 @@
+"""Static-pruning pressure study: monitoring cost with pruning off vs on.
+
+For each application the protected program is run twice per optimization
+level — ``static_prune=False`` and ``static_prune=True`` — and the three
+pressure metrics the prune layer targets are compared: monitored-AR
+count, watchpoint arms and kernel crossings.  Output equality across the
+pair doubles as a semantics check.
+"""
+
+from repro.bench.render import Table
+from repro.bench.scale import bench_config
+from repro.core.config import OptLevel
+from repro.core.session import ProtectedProgram
+from repro.workloads.catalog import workload_suite
+
+LEVELS = (OptLevel.BASE, OptLevel.OPTIMIZED)
+
+
+class PrunePair:
+    """Off/on stats for one (application, opt level) cell."""
+
+    __slots__ = ("app", "opt", "off", "on", "same_output")
+
+    def __init__(self, app, opt, off, on, same_output):
+        self.app = app
+        self.opt = opt
+        self.off = off  # KivatiStats, pruning disabled
+        self.on = on    # KivatiStats, pruning enabled
+        self.same_output = same_output
+
+    def reduced(self, metric):
+        return getattr(self.on, metric) < getattr(self.off, metric)
+
+    def crossings_reduced(self):
+        return self.on.crossings() < self.off.crossings()
+
+
+class StaticPruneResult:
+    def __init__(self, table, pairs, static_counts):
+        self.table = table
+        self.pairs = pairs  # (app, opt) -> PrunePair
+        self.static_counts = static_counts  # app -> (safe, total)
+
+    def render(self):
+        return self.table.render()
+
+    def apps(self):
+        return sorted({app for app, _ in self.pairs})
+
+    def reduction_fraction(self, metric, opt=OptLevel.OPTIMIZED):
+        apps = self.apps()
+        hits = sum(1 for app in apps
+                   if self.pairs[(app, opt)].reduced(metric))
+        return hits / len(apps)
+
+    def check_shape(self):
+        problems = []
+        for pair in self.pairs.values():
+            if not pair.same_output:
+                problems.append("%s/%s: pruning changed program output"
+                                % (pair.app, pair.opt.value))
+            if pair.on.static_prune_hits == 0:
+                problems.append("%s/%s: pruning never fired"
+                                % (pair.app, pair.opt.value))
+        # the headline claim: pruning relieves monitoring pressure on at
+        # least half the workloads at every level
+        for opt in LEVELS:
+            for metric in ("monitored_ars",):
+                if self.reduction_fraction(metric, opt) < 0.5:
+                    problems.append(
+                        "%s not reduced on half the apps at %s"
+                        % (metric, opt.value))
+            frac = sum(1 for app in self.apps()
+                       if self.pairs[(app, opt)].crossings_reduced())
+            if frac / len(self.apps()) < 0.5:
+                problems.append("crossings not reduced on half the apps "
+                                "at %s" % opt.value)
+        return problems
+
+
+def generate(scale=0.6, seed=3):
+    table = Table(
+        "Static pruning: monitoring pressure with pruning off -> on",
+        ["Application", "Opt", "ARs safe/total", "Monitored",
+         "Arms", "Crossings", "Prune hits"],
+        note="off -> on per cell; identical program output verified; "
+             "safe ARs are begin/end pairs resolved in user space",
+    )
+    pairs = {}
+    static_counts = {}
+    for workload in workload_suite(scale=scale):
+        pp = ProtectedProgram(workload.source)
+        safe = len(pp.static_safe_ar_ids)
+        total = len(pp.annotation.ar_table)
+        static_counts[workload.name] = (safe, total)
+        for opt in LEVELS:
+            off = pp.run(bench_config(opt=opt, static_prune=False),
+                         seed=seed)
+            on = pp.run(bench_config(opt=opt, static_prune=True),
+                        seed=seed)
+            pair = PrunePair(workload.name, opt, off.stats, on.stats,
+                             off.result.output == on.result.output)
+            pairs[(workload.name, opt)] = pair
+            table.add_row(
+                workload.name, opt.value, "%d/%d" % (safe, total),
+                "%d -> %d" % (off.stats.monitored_ars,
+                              on.stats.monitored_ars),
+                "%d -> %d" % (off.stats.watchpoint_arms,
+                              on.stats.watchpoint_arms),
+                "%d -> %d" % (off.stats.crossings(),
+                              on.stats.crossings()),
+                on.stats.static_prune_hits,
+            )
+    return StaticPruneResult(table, pairs, static_counts)

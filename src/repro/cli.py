@@ -3,6 +3,7 @@
 Commands::
 
     kivati annotate FILE          print the annotated program and AR table
+    kivati lint FILE...           static lock-discipline diagnostics
     kivati run FILE               run FILE under Kivati and report
     kivati vanilla FILE           run FILE without instrumentation
     kivati bugs [ID...]           run the Table 6 detection campaign
@@ -26,16 +27,62 @@ def _read(path):
 
 
 def cmd_annotate(args):
+    import json
+
     from repro.analysis.annotate import annotate
+    from repro.analysis.diagnostics import analysis_dump, render_dump
     from repro.minic.pretty import pretty
 
     result = annotate(_read(args.file),
                       interprocedural=args.interprocedural)
+    if args.dump_analysis:
+        dump = analysis_dump(result)
+        if args.json:
+            print(json.dumps(dump, indent=2, sort_keys=True))
+        else:
+            print(render_dump(dump))
+        return 0
     text = pretty(result.ast)
     print(text)
     print("// %d atomic regions:" % result.num_ars)
     for info in result.ar_table.values():
         print("//   " + info.describe())
+    return 0
+
+
+def _lint_sources(args):
+    """Yield (display name, mini-C source) pairs for ``kivati lint``."""
+    for path in args.files:
+        yield path, _read(path)
+    if args.corpus:
+        from repro.workloads.bugs import BUG_IDS, get_bug
+        from repro.workloads.catalog import workload_suite
+
+        for bug_id in BUG_IDS:
+            yield "bug-%s" % bug_id, get_bug(bug_id).source
+        for workload in workload_suite():
+            yield "app-%s" % workload.name, workload.source
+
+
+def cmd_lint(args):
+    import json
+
+    from repro.analysis.annotate import annotate
+    from repro.analysis.diagnostics import (diagnostics_json,
+                                            render_diagnostics,
+                                            run_diagnostics)
+
+    all_diags = []
+    payload = {}
+    for name, source in _lint_sources(args):
+        diags = run_diagnostics(annotate(source), filename=name)
+        all_diags.extend(diags)
+        if args.json:
+            payload[name] = diagnostics_json(diags)
+        else:
+            print(render_diagnostics(diags))
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
     return 0
 
 
@@ -200,7 +247,21 @@ def main(argv=None):
     p.add_argument("file")
     p.add_argument("--interprocedural", action="store_true",
                    help="enable the Section 3.5 inter-procedural extension")
+    p.add_argument("--dump-analysis", action="store_true",
+                   help="print per-function locksets, guard verdicts and "
+                        "AR prune classifications instead of the program")
+    p.add_argument("--json", action="store_true",
+                   help="with --dump-analysis, emit JSON")
     p.set_defaults(fn=cmd_annotate)
+
+    p = sub.add_parser("lint", help="static lock-discipline diagnostics")
+    p.add_argument("files", nargs="*",
+                   help="mini-C source files to lint")
+    p.add_argument("--corpus", action="store_true",
+                   help="also lint the built-in bug corpus and app models")
+    p.add_argument("--json", action="store_true",
+                   help="emit diagnostics as JSON keyed by input name")
+    p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("run", help="run a program under Kivati")
     p.add_argument("file")

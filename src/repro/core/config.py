@@ -92,6 +92,7 @@ class KivatiConfig:
         "faults",
         "breaker",
         "watchdog",
+        "static_prune",
     )
 
     def __init__(
@@ -115,6 +116,7 @@ class KivatiConfig:
         faults=None,
         breaker=True,
         watchdog=True,
+        static_prune=False,
     ):
         self.mode = mode
         self.opt = (OptimizationConfig.from_level(opt)
@@ -152,6 +154,10 @@ class KivatiConfig:
         # suspension watchdog: break cyclic mutual suspension immediately
         # instead of waiting for the 10 ms timeout
         self.watchdog = watchdog
+        # opt-in: skip monitoring for ARs the lock-discipline analysis
+        # proved STATIC_SAFE (repro.analysis.prune); merged with, not
+        # replacing, the dynamic whitelist
+        self.static_prune = static_prune
 
     @property
     def detection_enabled(self):
@@ -182,6 +188,7 @@ class KivatiConfig:
             "faults": self.faults,
             "breaker": self.breaker,
             "watchdog": self.watchdog,
+            "static_prune": self.static_prune,
         }
         kwargs.update(overrides)
         return KivatiConfig(**kwargs)

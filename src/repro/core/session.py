@@ -47,6 +47,10 @@ class ProtectedProgram:
     def num_ars(self):
         return self.annotation.num_ars
 
+    @property
+    def static_safe_ar_ids(self):
+        return self.annotation.static_safe_ar_ids
+
     def run(self, config=None, seed=None, raise_on_deadlock=False):
         """Execute under Kivati; returns a RunReport."""
         config = config or KivatiConfig()
@@ -56,8 +60,10 @@ class ProtectedProgram:
         injector = (FaultInjector(config.faults, config.seed)
                     if config.faults is not None else None)
         degradations = DegradationLog()
-        runtime = KivatiRuntime(config, self.ar_table, log, self.sync_ar_ids,
-                                faults=injector, degrade=degradations)
+        runtime = KivatiRuntime(
+            config, self.ar_table, log, self.sync_ar_ids,
+            faults=injector, degrade=degradations,
+            static_safe_ar_ids=self.annotation.static_safe_ar_ids)
         machine = Machine(
             self.program,
             num_cores=config.num_cores,

@@ -440,6 +440,7 @@ class KivatiKernel:
 
         ar = ActiveAR(info, tid, addr, depth, now, free.index, pending)
         free.enabled = True
+        self.stats.watchpoint_arms += 1
         free.addr = addr
         free.size = info.size
         free.owner_tid = tid
@@ -597,6 +598,14 @@ class KivatiKernel:
                 # the core's registers were stale (lazy propagation)
                 self.stats.stale_traps += 1
                 continue
+            if not any(slot.addr <= a < slot.addr + slot.size
+                       for a, _ in accesses):
+                # the core's hardware slot still held a previous tenant's
+                # address (lazy propagation): the trapping access does not
+                # touch what this logical slot now watches, so attributing
+                # it to the current tenant would fabricate a remote access
+                self.stats.stale_traps += 1
+                continue
             if slot.lazily_freed:
                 # second optimization reconciliation on trap: free now and
                 # do not log a violation
@@ -742,6 +751,7 @@ class KivatiKernel:
                     break
             if free is not None:
                 free.enabled = True
+                self.stats.watchpoint_arms += 1
                 free.addr = outcome.needs_containment_addr
                 free.size = 1
                 free.watch_read = True

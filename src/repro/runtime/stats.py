@@ -28,6 +28,8 @@ class KivatiStats:
         "monitored_ars",
         "missed_ars",
         "whitelist_hits",
+        "static_prune_hits",
+        "watchpoint_arms",
         # optimization activity
         "lazy_frees",
         "lazy_reconciles",

@@ -34,12 +34,16 @@ class KivatiRuntime(BaseRuntime):
     wants_all_accesses = False
 
     def __init__(self, config, ar_table, log, sync_ar_ids=(), faults=None,
-                 degrade=None):
+                 degrade=None, static_safe_ar_ids=()):
         self.config = config
         self.ar_table = ar_table
         self.stats = KivatiStats()
         self.log = log
         self.faults = faults
+        # ARs the lock-discipline analysis proved safe: skipped entirely
+        # in user space, like the whitelist but decided before the run
+        self.static_pruned = (frozenset(static_safe_ar_ids)
+                              if config.static_prune else frozenset())
         self.degrade = degrade if degrade is not None else DegradationLog()
         whitelist_ids = set(config.whitelist)
         if config.opt.o4_syncvars:
@@ -98,6 +102,10 @@ class KivatiRuntime(BaseRuntime):
     def on_begin_atomic(self, core, thread, ar_id, addr):
         self.stats.begin_calls += 1
         costs = self._costs()
+        if ar_id in self.static_pruned:
+            # statically proven safe: no crossing, no arming, no kernel
+            self.stats.static_prune_hits += 1
+            return costs.whitelist_check
         whitelisted, cost = self._check_whitelist(core, ar_id)
         if whitelisted:
             return cost
@@ -179,6 +187,9 @@ class KivatiRuntime(BaseRuntime):
     def on_end_atomic(self, core, thread, ar_id, second_is_write):
         self.stats.end_calls += 1
         costs = self._costs()
+        if ar_id in self.static_pruned:
+            self.stats.static_prune_hits += 1
+            return costs.whitelist_check
         whitelisted, cost = self._check_whitelist(core, ar_id)
         if whitelisted:
             return cost

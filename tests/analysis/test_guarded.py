@@ -1,0 +1,133 @@
+"""Guarded-by inference tests (repro.analysis.guarded)."""
+
+from repro.analysis import guarded as g
+from repro.analysis.annotate import annotate
+
+
+def _guards(source):
+    return annotate(source).guards
+
+
+def test_consistently_locked_global_is_guarded():
+    guards = _guards("""
+int m;
+int x;
+void worker() {
+    lock(&m);
+    x = x + 1;
+    unlock(&m);
+}
+void main() { spawn worker(); spawn worker(); }
+""")
+    vg = guards.globals_["x"]
+    assert vg.verdict == g.GUARDED_BY
+    assert vg.locks == frozenset({"m"})
+
+
+def test_unlocked_write_is_unprotected():
+    guards = _guards("""
+int x;
+void worker() { x = x + 1; }
+void main() { spawn worker(); spawn worker(); }
+""")
+    assert guards.globals_["x"].verdict == g.UNPROTECTED
+
+
+def test_partially_locked_is_inconsistent():
+    guards = _guards("""
+int m;
+int x;
+void a() { lock(&m); x = x + 1; unlock(&m); }
+void b() { x = x + 2; }
+void main() { spawn a(); spawn b(); }
+""")
+    vg = guards.globals_["x"]
+    assert vg.verdict == g.UNPROTECTED
+    assert vg.inconsistent
+    assert 0 < vg.n_locked < vg.n_total
+
+
+def test_read_only_global_is_read_shared():
+    guards = _guards("""
+int ro = 7;
+int out0;
+int out1;
+void a() { out0 = ro; }
+void b() { out1 = ro + 1; }
+void main() { spawn a(); spawn b(); }
+""")
+    assert guards.globals_["ro"].verdict == g.READ_SHARED
+
+
+def test_lock_words_and_flags_are_sync():
+    guards = _guards("""
+int m;
+int flag;
+int x;
+void worker() {
+    while (flag == 0) { sleep(10); }
+    lock(&m);
+    x = x + 1;
+    unlock(&m);
+}
+void main() { spawn worker(); flag = 1; }
+""")
+    assert guards.globals_["m"].verdict == g.SYNC
+    assert guards.globals_["flag"].verdict == g.SYNC
+
+
+def test_local_temp_is_thread_local():
+    guards = _guards("""
+int x;
+void worker() {
+    int t = x;
+    x = t + 1;
+}
+void main() { spawn worker(); spawn worker(); }
+""")
+    assert guards.locals_[("worker", "t")].verdict == g.THREAD_LOCAL
+
+
+def test_addr_taken_local_is_not_thread_local():
+    guards = _guards("""
+int x;
+void sink(int *p) { x = x + *p; }
+void worker() {
+    int t = x;
+    sink(&t);
+}
+void main() { spawn worker(); spawn worker(); }
+""")
+    vg = guards.verdict_for("worker", "t")
+    assert vg is not None
+    assert vg.verdict != g.THREAD_LOCAL
+
+
+def test_pointer_writes_resolve_to_targets():
+    guards = _guards("""
+int m;
+int x;
+void worker() {
+    int *p = &x;
+    lock(&m);
+    *p = *p + 1;
+    unlock(&m);
+}
+void main() { spawn worker(); spawn worker(); }
+""")
+    vg = guards.globals_["x"]
+    assert vg.verdict == g.GUARDED_BY
+    assert vg.locks == frozenset({"m"})
+
+
+def test_verdict_for_prefers_local_scope():
+    guards = _guards("""
+int x;
+void worker() {
+    int t = x;
+    x = t + 1;
+}
+void main() { spawn worker(); }
+""")
+    assert guards.verdict_for("worker", "t").scope == "worker"
+    assert guards.verdict_for("worker", "x").scope == "global"

@@ -1,0 +1,207 @@
+"""Lint diagnostics tests (repro.analysis.diagnostics)."""
+
+import json
+
+from repro.analysis.annotate import annotate
+from repro.analysis.diagnostics import (diagnostics_json,
+                                        render_diagnostics,
+                                        run_diagnostics)
+from repro.cli import main
+
+
+def _lint(source, filename="test.c"):
+    return run_diagnostics(annotate(source), filename=filename)
+
+
+def _codes(diags):
+    return [d.code for d in diags]
+
+
+def test_w001_unprotected_shared_write():
+    diags = _lint("""
+int x;
+void worker() { x = x + 1; }
+void main() { spawn worker(); spawn worker(); }
+""")
+    w001 = [d for d in diags if d.code == "W001"]
+    assert len(w001) == 1
+    assert w001[0].var == "x"
+    assert w001[0].line == 3
+    assert w001[0].format() == (
+        "test.c:3: W001: shared variable 'x' is written with no lock held")
+
+
+def test_w002_inconsistent_discipline():
+    diags = _lint("""
+int m;
+int x;
+void a() { lock(&m); x = x + 1; unlock(&m); }
+void b() { x = x + 2; }
+void main() { spawn a(); spawn b(); }
+""")
+    w002 = [d for d in diags if d.code == "W002"]
+    assert len(w002) == 1
+    assert w002[0].var == "x"
+    # anchored at the *unlocked* site in b
+    assert w002[0].line == 5
+    assert "2 of" in w002[0].message or "of" in w002[0].message
+
+
+def test_w003_unmatched_unlock():
+    diags = _lint("""
+int m;
+void main() {
+    unlock(&m);
+}
+""")
+    w003 = [d for d in diags if d.code == "W003"]
+    assert any("without a matching lock" in d.message and d.line == 4
+               for d in w003)
+
+
+def test_w003_path_imbalance():
+    diags = _lint("""
+int m;
+int x;
+void main() {
+    if (x > 0) {
+        lock(&m);
+    }
+    x = 1;
+}
+""")
+    w003 = [d for d in diags if d.code == "W003"]
+    assert any("only some paths" in d.message and d.var == "m"
+               for d in w003)
+
+
+def test_w004_blocking_call_in_span():
+    diags = _lint("""
+int x;
+int done;
+void worker() {
+    int t = x;
+    sleep(5);
+    x = t + 1;
+}
+void main() { spawn worker(); spawn worker(); }
+""")
+    w004 = [d for d in diags if d.code == "W004"]
+    assert any("spans blocking call 'sleep'" in d.message for d in w004)
+
+
+def test_clean_program_has_no_warnings():
+    diags = _lint("""
+int m;
+int x;
+void worker() {
+    lock(&m);
+    x = x + 1;
+    unlock(&m);
+}
+void main() { spawn worker(); spawn worker(); }
+""")
+    assert diags == []
+    assert render_diagnostics(diags) == "0 warnings"
+
+
+def test_render_counts_by_code():
+    diags = _lint("""
+int x;
+int y;
+void worker() { x = x + 1; y = y + 1; }
+void main() { spawn worker(); spawn worker(); }
+""")
+    text = render_diagnostics(diags)
+    assert text.endswith("2 warnings (2 W001)")
+
+
+def test_ordering_is_by_line_then_code():
+    diags = _lint("""
+int x;
+int y;
+void w1() { y = y + 1; }
+void w2() { x = x + 1; }
+void main() { spawn w1(); spawn w2(); }
+""")
+    keys = [(d.line, d.code) for d in diags]
+    assert keys == sorted(keys)
+
+
+def test_json_payload_shape():
+    diags = _lint("""
+int x;
+void worker() { x = x + 1; }
+void main() { spawn worker(); spawn worker(); }
+""")
+    payload = diagnostics_json(diags)
+    assert payload["count"] == len(diags) == len(payload["warnings"])
+    entry = payload["warnings"][0]
+    assert set(entry) == {"code", "file", "line", "func", "var", "message"}
+    json.dumps(payload)  # serializable
+
+
+def test_cli_lint_text(tmp_path, capsys):
+    path = tmp_path / "racy.c"
+    path.write_text("""
+int x;
+void worker() { x = x + 1; }
+void main() { spawn worker(); spawn worker(); }
+""")
+    assert main(["lint", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "W001" in out
+    assert str(path) in out
+    assert "warning" in out
+
+
+def test_cli_lint_json_multiple_files(tmp_path, capsys):
+    racy = tmp_path / "racy.c"
+    racy.write_text("""
+int x;
+void worker() { x = x + 1; }
+void main() { spawn worker(); spawn worker(); }
+""")
+    clean = tmp_path / "clean.c"
+    clean.write_text("""
+int m;
+int x;
+void worker() { lock(&m); x = x + 1; unlock(&m); }
+void main() { spawn worker(); spawn worker(); }
+""")
+    assert main(["lint", str(racy), str(clean), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload) == {str(racy), str(clean)}
+    assert payload[str(racy)]["count"] >= 1
+    assert payload[str(clean)]["count"] == 0
+
+
+def test_cli_annotate_dump_analysis(tmp_path, capsys):
+    path = tmp_path / "prog.c"
+    path.write_text("""
+int m;
+int x;
+void worker() { lock(&m); x = x + 1; unlock(&m); }
+void main() { spawn worker(); spawn worker(); }
+""")
+    assert main(["annotate", str(path), "--dump-analysis"]) == 0
+    out = capsys.readouterr().out
+    assert "function worker:" in out
+    assert "guarded by 'm'" in out
+    assert "static-safe" in out
+
+
+def test_cli_annotate_dump_analysis_json(tmp_path, capsys):
+    path = tmp_path / "prog.c"
+    path.write_text("""
+int m;
+int x;
+void worker() { lock(&m); x = x + 1; unlock(&m); }
+void main() { spawn worker(); spawn worker(); }
+""")
+    assert main(["annotate", str(path), "--dump-analysis", "--json"]) == 0
+    dump = json.loads(capsys.readouterr().out)
+    assert set(dump) >= {"functions", "guards", "ars", "prune_counts"}
+    guard = {g["name"]: g for g in dump["guards"]}["x"]
+    assert guard["verdict"] == "guarded-by"
+    assert guard["locks"] == ["m"]

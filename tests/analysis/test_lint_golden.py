@@ -1,0 +1,40 @@
+"""Golden-file test: ``kivati lint --corpus --json`` output is stable.
+
+The golden file pins the exact diagnostics (codes, anchors, messages)
+over the built-in bug corpus and application models.  If an analysis
+change legitimately alters them, regenerate with::
+
+    PYTHONPATH=src python -m repro.cli lint --corpus --json \
+        > tests/analysis/golden/lint_corpus.json
+"""
+
+import json
+import os
+
+from repro.cli import main
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden",
+                      "lint_corpus.json")
+
+
+def test_lint_corpus_matches_golden(capsys):
+    assert main(["lint", "--corpus", "--json"]) == 0
+    current = json.loads(capsys.readouterr().out)
+    with open(GOLDEN) as f:
+        golden = json.load(f)
+    assert sorted(current) == sorted(golden), "lint source set changed"
+    for name in sorted(golden):
+        assert current[name] == golden[name], (
+            "lint output for %s drifted from golden file" % name)
+
+
+def test_golden_file_is_sane():
+    with open(GOLDEN) as f:
+        golden = json.load(f)
+    # every bug kernel exhibits at least one warning (they are bugs), and
+    # all four stable codes appear somewhere in the corpus
+    assert all(golden[n]["count"] >= 1 for n in golden if
+               n.startswith("bug-"))
+    codes = {w["code"] for entry in golden.values()
+             for w in entry["warnings"]}
+    assert codes == {"W001", "W002", "W003", "W004"}

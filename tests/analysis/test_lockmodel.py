@@ -1,0 +1,88 @@
+"""Shared lock-modeling helper tests (repro.analysis.lockmodel)."""
+
+from repro.analysis.lockmodel import (HeldLockTracker, UNKNOWN_LOCK,
+                                      is_lock_call, is_unlock_call, lock_ref,
+                                      token_base)
+from repro.minic import ast
+from repro.minic.parser import parse
+
+
+def _calls(source):
+    """All lock/unlock Call nodes of a program, in source order."""
+    program = parse(source)
+    out = []
+    for func in program.funcs:
+        for node in ast.walk(func.body):
+            if isinstance(node, ast.Call) and \
+                    node.name in ("lock", "unlock"):
+                out.append(node)
+    return out
+
+
+def test_lock_ref_plain_variable():
+    (call,) = _calls("int m; void main() { lock(&m); }")
+    assert is_lock_call(call)
+    ref = lock_ref(call)
+    assert ref.token == "m"
+    assert ref.precise
+
+
+def test_lock_ref_constant_index_element():
+    (call,) = _calls("int a[4]; void main() { unlock(&a[2]); }")
+    assert is_unlock_call(call)
+    ref = lock_ref(call)
+    assert ref.token == "a[2]"
+    assert ref.precise
+    assert token_base(ref.token) == "a"
+
+
+def test_lock_ref_variable_index_is_imprecise():
+    (call,) = _calls("int a[4]; void main() { int i = 1; lock(&a[i]); }")
+    ref = lock_ref(call)
+    assert ref.token == "a[*]"
+    assert not ref.precise
+
+
+def test_lock_ref_pointer_value_is_unknown():
+    (call,) = _calls(
+        "int m; void main() { int *p = &m; lock(p); }")
+    ref = lock_ref(call)
+    assert ref.token == UNKNOWN_LOCK
+    assert not ref.precise
+
+
+def test_tracker_word_transitions():
+    t = HeldLockTracker()
+    # acquire: the machine leaves tid+1 in the lock word
+    assert t.observe_word(2, 100, 3) == "acquire"
+    assert t.locks_of(2) == {100}
+    # re-observing the owned word is not a second acquire
+    assert t.observe_word(2, 100, 3) is None
+    # another thread's post-value does not affect us
+    assert t.observe_word(1, 100, 3) is None
+    assert t.locks_of(1) == set()
+    # release: word drops to 0 while we hold it
+    assert t.observe_word(2, 100, 0) == "release"
+    assert t.locks_of(2) == set()
+    # a 0 on a word we never held is not a release
+    assert t.observe_word(2, 100, 0) is None
+
+
+def test_tracker_sync_ops_require_write():
+    t = HeldLockTracker()
+    # contended LOCK only performs a read access: must not count
+    assert t.observe_sync_op(0, "lock", 50, is_write=False) is None
+    assert t.locks_of(0) == set()
+    assert t.observe_sync_op(0, "lock", 50, is_write=True) == "acquire"
+    assert t.locks_of(0) == {50}
+    assert t.observe_sync_op(0, "unlock", 50, is_write=True) == "release"
+    assert t.locks_of(0) == set()
+
+
+def test_tracker_is_per_thread():
+    t = HeldLockTracker()
+    t.observe_word(0, 7, 1)
+    t.observe_word(1, 8, 2)
+    assert t.locks_of(0) == {7}
+    assert t.locks_of(1) == {8}
+    assert t.held[0] == {7}  # dict view used by the lockset baseline

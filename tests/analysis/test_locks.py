@@ -1,0 +1,223 @@
+"""Lock-discipline dataflow tests (repro.analysis.locks)."""
+
+from repro.analysis.locks import compute_lock_analysis
+from repro.analysis.normalize import normalize_program
+from repro.minic import ast
+from repro.minic.parser import parse
+from repro.minic.typecheck import check
+
+
+def _analyze(source):
+    program = normalize_program(parse(source))
+    pinfo = check(program)
+    return program, compute_lock_analysis(program, pinfo)
+
+
+def _must_at_line(analysis, func, line):
+    """Union of must-hold-in sets of all statements on ``line``."""
+    fr = analysis.per_func[func]
+    found = None
+    for uid, stmt_line in fr.stmt_lines.items():
+        if stmt_line == line:
+            tokens = fr.must_in.get(uid, frozenset())
+            found = tokens if found is None else (found | tokens)
+    assert found is not None, "no statement on line %d" % line
+    return found
+
+
+def test_straight_line_lockset():
+    _, la = _analyze("""
+int m;
+int x;
+void main() {
+    lock(&m);
+    x = 1;
+    unlock(&m);
+    x = 2;
+}
+""")
+    # must-in is the state *entering* a statement: m is held from the
+    # statement after the lock to the unlock itself
+    assert "m" in _must_at_line(la, "main", 6)
+    assert "m" in _must_at_line(la, "main", 7)
+    assert "m" not in _must_at_line(la, "main", 8)
+
+
+def test_branch_join_intersects():
+    _, la = _analyze("""
+int m;
+int x;
+void main() {
+    if (x > 0) {
+        lock(&m);
+    }
+    x = 1;
+}
+""")
+    # only one branch locks: the join must not claim m is held
+    assert "m" not in _must_at_line(la, "main", 8)
+    fr = la.per_func["main"]
+    # ...but may-hold knows it might be (the W003 path-imbalance signal)
+    assert "m" in fr.exit_may
+    assert "m" not in fr.exit_must
+
+
+def test_loop_body_keeps_lock():
+    _, la = _analyze("""
+int m;
+int x;
+void main() {
+    int i = 0;
+    lock(&m);
+    while (i < 3) {
+        x = x + 1;
+        i = i + 1;
+    }
+    unlock(&m);
+}
+""")
+    assert "m" in _must_at_line(la, "main", 8)
+
+
+def test_call_summary_propagates_acquire():
+    _, la = _analyze("""
+int m;
+int x;
+void acquire() { lock(&m); }
+void release() { unlock(&m); }
+void main() {
+    acquire();
+    x = 1;
+    release();
+    x = 2;
+}
+""")
+    assert la.summaries["acquire"].must_added == frozenset({"m"})
+    assert "m" in la.summaries["release"].may_released
+    assert "m" in _must_at_line(la, "main", 8)
+    assert "m" not in _must_at_line(la, "main", 10)
+
+
+def test_entry_context_from_call_sites():
+    _, la = _analyze("""
+int m;
+int x;
+void helper() { x = x + 1; }
+void main() {
+    lock(&m);
+    helper();
+    unlock(&m);
+}
+""")
+    # every call site of helper holds m, so helper's body may assume it
+    assert la.contexts["helper"] == frozenset({"m"})
+    assert "m" in _must_at_line(la, "helper", 4)
+
+
+def test_spawned_function_gets_empty_context():
+    _, la = _analyze("""
+int m;
+int x;
+void worker() { x = x + 1; }
+void main() {
+    lock(&m);
+    spawn worker();
+    unlock(&m);
+}
+""")
+    # a spawned thread starts with nothing held, even if the spawner
+    # holds m at the spawn site
+    assert la.contexts["worker"] == frozenset()
+
+
+def test_funcref_taken_function_gets_empty_context():
+    _, la = _analyze("""
+int m;
+int x;
+int table[1];
+void cb() { x = x + 1; }
+void main() {
+    table[0] = funcref(cb);
+    lock(&m);
+    invoke(table[0]);
+    unlock(&m);
+}
+""")
+    assert la.contexts["cb"] == frozenset()
+
+
+def test_imprecise_unlock_clears_must():
+    _, la = _analyze("""
+int a[4];
+int x;
+void main() {
+    int i = 1;
+    lock(&a[0]);
+    x = 1;
+    unlock(&a[i]);
+    x = 2;
+}
+""")
+    assert "a[0]" in _must_at_line(la, "main", 7)
+    assert _must_at_line(la, "main", 9) == frozenset()
+
+
+def test_unmatched_unlock_detected():
+    _, la = _analyze("""
+int m;
+void main() {
+    unlock(&m);
+}
+""")
+    unmatched = la.per_func["main"].unmatched_unlocks
+    assert unmatched and unmatched[0][1] == "m"
+
+
+def test_matched_unlock_not_flagged():
+    _, la = _analyze("""
+int m;
+int x;
+void main() {
+    lock(&m);
+    x = 1;
+    unlock(&m);
+}
+""")
+    assert la.per_func["main"].unmatched_unlocks == ()
+
+
+def test_may_flow_reaches_through_no_op_prefix():
+    # regression: the may-analysis worklist must visit nodes whose first
+    # computed state equals the initial bottom element
+    _, la = _analyze("""
+int m;
+int x;
+void other() { x = x + 1; }
+void main() {
+    spawn other();
+    spawn other();
+    lock(&m);
+    x = 1;
+    unlock(&m);
+}
+""")
+    assert la.per_func["main"].unmatched_unlocks == ()
+
+
+def test_only_global_tokens_cross_boundaries():
+    _, la = _analyze("""
+int x;
+void helper() {
+    int m;
+    lock(&m);
+    x = x + 1;
+    unlock(&m);
+}
+void main() {
+    helper();
+}
+""")
+    # helper's local lock participates intra-procedurally...
+    assert "m" in _must_at_line(la, "helper", 6)
+    # ...but not in its caller-visible summary
+    assert la.summaries["helper"].must_added == frozenset()

@@ -1,0 +1,159 @@
+"""AR pruning tests (repro.analysis.prune) and run-time integration."""
+
+from repro.analysis.annotate import annotate
+from repro.analysis.prune import MONITOR, STATIC_SAFE
+from repro.core.config import KivatiConfig, OptLevel
+from repro.core.session import ProtectedProgram
+
+LOCKED_COUNTER = """
+int m;
+int x;
+
+void worker() {
+  int i = 0;
+  while (i < 10) {
+    lock(&m);
+    int t = x;
+    x = t + 1;
+    unlock(&m);
+    i = i + 1;
+  }
+}
+
+int main() {
+  spawn worker();
+  spawn worker();
+  return 0;
+}
+"""
+
+
+def _verdicts_by_var(result):
+    out = {}
+    for ar_id, info in result.ar_table.items():
+        out.setdefault((info.func, info.var), []).append(
+            result.prune.verdict(ar_id))
+    return out
+
+
+def test_in_section_guarded_ar_is_safe():
+    res = annotate(LOCKED_COUNTER)
+    by_var = _verdicts_by_var(res)
+    x_verdicts = by_var[("worker", "x")]
+    # the read->write pair inside the critical section is provably safe
+    assert any(v.verdict == STATIC_SAFE and v.reason == "guarded-by"
+               and v.lock == "m" for v in x_verdicts)
+    # the cross-iteration pair spans the unlock: stays monitored
+    assert any(v.verdict == MONITOR for v in x_verdicts)
+
+
+def test_thread_local_temp_ar_is_safe():
+    res = annotate(LOCKED_COUNTER)
+    for v in _verdicts_by_var(res)[("worker", "t")]:
+        assert v.verdict == STATIC_SAFE
+        assert v.reason == "thread-local"
+
+
+def test_sync_ars_always_monitored():
+    res = annotate(LOCKED_COUNTER)
+    for ar_id in res.sync_ar_ids:
+        assert res.prune.verdict(ar_id).verdict == MONITOR
+        assert res.prune.verdict(ar_id).reason == "sync"
+    assert not (res.sync_ar_ids & res.static_safe_ar_ids)
+
+
+def test_two_critical_sections_not_pruned():
+    # GUARDED_BY alone is not enough: the AR pairs accesses in two
+    # separate critical sections and a remote locked write can interleave
+    res = annotate("""
+int m;
+int x;
+int y;
+
+void worker() {
+  lock(&m);
+  x = 1;
+  unlock(&m);
+  lock(&m);
+  y = x;
+  unlock(&m);
+}
+
+int main() {
+  spawn worker();
+  spawn worker();
+  return 0;
+}
+""")
+    by_var = _verdicts_by_var(res)
+    for v in by_var[("worker", "x")]:
+        if v.verdict == MONITOR:
+            assert v.reason in ("guard-not-spanning", "unprotected")
+    assert any(v.verdict == MONITOR for v in by_var[("worker", "x")])
+
+
+def test_unprotected_ar_is_monitored():
+    res = annotate("""
+int y;
+void worker() { y = y + 1; }
+int main() { spawn worker(); spawn worker(); return 0; }
+""")
+    for v in _verdicts_by_var(res)[("worker", "y")]:
+        assert v.verdict == MONITOR
+
+
+def test_read_shared_ar_is_safe():
+    res = annotate("""
+int ro = 5;
+int out0;
+int out1;
+void a() { out0 = ro + ro; }
+void b() { out1 = ro; }
+int main() { spawn a(); spawn b(); return 0; }
+""")
+    by_var = _verdicts_by_var(res)
+    for v in by_var[("a", "ro")]:
+        assert v.verdict == STATIC_SAFE
+        assert v.reason == "read-shared"
+
+
+def test_static_prune_reduces_pressure_same_result():
+    pp = ProtectedProgram(LOCKED_COUNTER)
+    assert pp.static_safe_ar_ids
+    off = pp.run(KivatiConfig(static_prune=False), seed=3)
+    on = pp.run(KivatiConfig(static_prune=True), seed=3)
+    assert on.stats.static_prune_hits > 0
+    assert off.stats.static_prune_hits == 0
+    # every pruned begin/end returns from user space without reaching the
+    # monitoring decision
+    assert on.stats.monitored_ars < off.stats.monitored_ars
+    assert (on.stats.total_ars_executed()
+            < off.stats.total_ars_executed())
+    # pruning must not change program semantics
+    assert on.result.final_globals == off.result.final_globals
+
+
+def test_static_prune_respects_base_opt_level():
+    # pruning is orthogonal to the four run-time optimizations
+    pp = ProtectedProgram(LOCKED_COUNTER)
+    off = pp.run(KivatiConfig(opt=OptLevel.BASE, static_prune=False), seed=1)
+    on = pp.run(KivatiConfig(opt=OptLevel.BASE, static_prune=True), seed=1)
+    assert on.stats.monitored_ars < off.stats.monitored_ars
+    # without the user-space replica every monitored AR crosses, so the
+    # crossing reduction is visible directly at BASE
+    assert on.stats.crossings() < off.stats.crossings()
+    assert on.result.final_globals == off.result.final_globals
+
+
+def test_prune_disabled_by_default():
+    pp = ProtectedProgram(LOCKED_COUNTER)
+    report = pp.run(KivatiConfig(), seed=0)
+    assert report.stats.static_prune_hits == 0
+
+
+def test_counts_partition_the_table():
+    res = annotate(LOCKED_COUNTER)
+    counts = res.prune.counts()
+    assert counts[STATIC_SAFE] + counts[MONITOR] == res.num_ars
+    assert res.prune.monitored_ids() | res.prune.static_safe_ids \
+        == frozenset(res.ar_table)

@@ -1,0 +1,104 @@
+"""Soundness gate for static pruning over the bug corpus.
+
+An AR classified STATIC_SAFE is never monitored, so a single unsound
+verdict turns into a missed bug.  These tests enforce the two halves of
+the gate:
+
+- no dynamically flagged AR may carry a STATIC_SAFE verdict, and
+- every corpus bug must still be detected with ``static_prune=True``.
+"""
+
+import pytest
+
+from repro.bench.scale import corpus_config
+from repro.core.config import Mode, OptLevel
+from repro.core.session import ProtectedProgram
+from repro.workloads.bugs import BUG_IDS, BUGS
+from repro.workloads.driver import detect_bug
+
+_CACHE = {}
+
+# bugs whose violations surface within a couple of bug-finding attempts
+FAST_BUGS = ("19938", "341323", "270689")
+
+
+def protected(bug):
+    pp = _CACHE.get(bug.bug_id)
+    if pp is None:
+        pp = ProtectedProgram(bug.source)
+        _CACHE[bug.bug_id] = pp
+    return pp
+
+
+@pytest.mark.parametrize("bug_id", BUG_IDS)
+def test_victim_var_ars_never_static_safe(bug_id):
+    """The AR(s) on a bug's victim variable must stay monitored: pruning
+    them would make the bug statically undetectable."""
+    bug = BUGS[bug_id]
+    pp = protected(bug)
+    for ar_id in pp.static_safe_ar_ids:
+        info = pp.annotation.ar_table[ar_id]
+        assert info.var not in bug.victim_vars, (
+            "bug %s: AR %d on victim var %r was pruned"
+            % (bug_id, ar_id, info.var))
+
+
+@pytest.mark.parametrize("bug_id", BUG_IDS)
+def test_flagged_ars_disjoint_from_static_safe(bug_id):
+    """Dynamic gate: whatever the runtime flags (victim or not) must not
+    be in the static-safe set.  Pruning stays OFF here so every AR is
+    observable."""
+    bug = BUGS[bug_id]
+    pp = protected(bug)
+    safe = pp.static_safe_ar_ids
+    config = corpus_config(Mode.BUG_FINDING, pause_ms=20,
+                           static_prune=False)
+    for seed in (0, 1):
+        report = pp.run(config, seed=seed)
+        flagged = report.violations.violated_ar_ids()
+        assert not (flagged & safe), (
+            "bug %s seed %d: flagged ARs %s carry STATIC_SAFE verdicts"
+            % (bug_id, seed, sorted(flagged & safe)))
+
+
+@pytest.mark.parametrize("bug_id", FAST_BUGS)
+def test_base_opt_level_flags_stay_disjoint(bug_id):
+    """BASE monitors more aggressively (no replica, eager freeing), so it
+    can flag ARs OPTIMIZED misses; those must not be pruned either."""
+    bug = BUGS[bug_id]
+    pp = protected(bug)
+    safe = pp.static_safe_ar_ids
+    config = corpus_config(Mode.BUG_FINDING, pause_ms=20,
+                           opt=OptLevel.BASE, static_prune=False)
+    report = pp.run(config, seed=0)
+    assert not (report.violations.violated_ar_ids() & safe)
+
+
+def test_app_model_flags_disjoint_from_static_safe():
+    """The five application models produce benign violations by design
+    (Table 7); none of those flagged ARs may be statically pruned."""
+    from repro.bench.scale import bench_config
+    from repro.workloads.catalog import workload_suite
+
+    for workload in workload_suite(scale=0.25):
+        pp = ProtectedProgram(workload.source)
+        safe = pp.static_safe_ar_ids
+        report = pp.run(bench_config(static_prune=False), seed=0)
+        flagged = report.violations.violated_ar_ids()
+        assert not (flagged & safe), (
+            "%s: flagged ARs %s carry STATIC_SAFE verdicts"
+            % (workload.name, sorted(flagged & safe)))
+
+
+@pytest.mark.parametrize("bug_id", FAST_BUGS)
+def test_bugs_still_detected_with_prune_on(bug_id):
+    """End-to-end: enabling pruning must not cost a single detection."""
+    bug = BUGS[bug_id]
+    result = detect_bug(
+        bug,
+        corpus_config(Mode.BUG_FINDING, pause_ms=20, static_prune=True),
+        max_attempts=20,
+        protected=protected(bug),
+    )
+    assert result.detected
+    assert all(r.var in bug.victim_vars for r in result.records)

@@ -1,0 +1,170 @@
+"""Property: static must-hold locksets under-approximate dynamic reality.
+
+For every executed statement, the locks the static analysis claims are
+*must*-held on entry must actually be held by the executing thread.  The
+check runs a machine observer that reconstructs held locks from lock-word
+transitions (the same :class:`HeldLockTracker` the lockset baseline uses)
+and compares them against ``must_in`` at each instruction's source
+statement, across schedules.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.annotate import annotate
+from repro.analysis.lockmodel import HeldLockTracker, token_base
+from repro.compiler.bytecode import Op
+from repro.compiler.codegen import compile_program
+from repro.machine.machine import Machine
+from repro.machine.runtime_iface import BaseRuntime
+from repro.machine.threads import ThreadState
+
+PROGRAMS = {
+    "straight": """
+int m;
+int x;
+void worker() {
+    lock(&m);
+    int t = x;
+    x = t + 1;
+    unlock(&m);
+}
+void main() { spawn worker(); spawn worker(); }
+""",
+    "loop": """
+int m;
+int x;
+void worker() {
+    int i = 0;
+    while (i < 5) {
+        lock(&m);
+        x = x + 1;
+        unlock(&m);
+        i = i + 1;
+    }
+}
+void main() { spawn worker(); spawn worker(); }
+""",
+    "helpers": """
+int m;
+int x;
+void bump() { x = x + 1; }
+void grab() { lock(&m); }
+void drop() { unlock(&m); }
+void worker() {
+    grab();
+    bump();
+    drop();
+}
+void main() { spawn worker(); spawn worker(); spawn worker(); }
+""",
+    "branchy": """
+int m;
+int x;
+int y;
+void worker(int which) {
+    lock(&m);
+    if (which > 0) {
+        x = x + 1;
+    } else {
+        y = y + 1;
+    }
+    unlock(&m);
+}
+void main() { spawn worker(0); spawn worker(1); }
+""",
+    "two_locks": """
+int a[2];
+int x;
+int y;
+void worker() {
+    lock(&a[0]);
+    x = x + 1;
+    unlock(&a[0]);
+    lock(&a[1]);
+    y = y + 1;
+    unlock(&a[1]);
+}
+void main() { spawn worker(); spawn worker(); }
+""",
+}
+
+
+class MustHoldObserver(BaseRuntime):
+    """Fails the property if a statement executes without a lock the
+    static analysis says is must-held on entry to that statement."""
+
+    wants_all_accesses = True
+
+    def __init__(self, must_addrs):
+        self.must_addrs = must_addrs  # stmt uid -> frozenset of lock addrs
+        self.tracker = HeldLockTracker()
+        self.checked = 0
+        self.failures = []
+        self.machine = None
+
+    def attach(self, machine):
+        self.machine = machine
+
+    def on_memory_access(self, core, thread, addr, is_write):
+        machine = self.machine
+        post = machine.memory.words.get(addr, 0)
+        self.tracker.observe_word(thread.tid, addr, post)
+        if thread.state != ThreadState.RUNNING:
+            return 0
+        instr = machine.program.instrs[thread.pc - 1]
+        if instr.op not in (Op.LD, Op.ST, Op.CPY) or not instr.src_uid:
+            return 0
+        required = self.must_addrs.get(instr.src_uid)
+        if not required:
+            return 0
+        self.checked += 1
+        missing = required - self.tracker.locks_of(thread.tid)
+        if missing:
+            self.failures.append(
+                (thread.tid, instr.src_line, sorted(missing)))
+        return 0
+
+
+def _must_addrs(result, program):
+    """stmt uid -> global lock addresses the analysis says are must-held.
+
+    Only precise global tokens translate to addresses; local locks live
+    at frame-relative addresses the static side cannot name."""
+    out = {}
+    for fr in result.locks.per_func.values():
+        for uid, tokens in fr.must_in.items():
+            addrs = set()
+            for token in tokens:
+                base = token_base(token)
+                if base not in program.global_addrs or token.endswith("*]"):
+                    continue
+                if token == base:
+                    addrs.add(program.global_addrs[base])
+                else:
+                    idx = int(token[token.index("[") + 1:-1])
+                    addrs.add(program.global_addrs[base] + idx)
+            if addrs:
+                out[uid] = frozenset(addrs)
+    return out
+
+
+@settings(max_examples=25, deadline=None)
+@given(name=st.sampled_from(sorted(PROGRAMS)),
+       seed=st.integers(min_value=0, max_value=10_000),
+       num_cores=st.integers(min_value=1, max_value=4))
+def test_static_must_hold_subset_of_dynamic(name, seed, num_cores):
+    result = annotate(PROGRAMS[name])
+    program = compile_program(result.ast, result.pinfo, result.ar_table)
+    must_addrs = _must_addrs(result, program)
+    assert must_addrs, "template %s never proves a lock held" % name
+
+    observer = MustHoldObserver(must_addrs)
+    machine = Machine(program, num_cores=num_cores, runtime=observer,
+                      seed=seed)
+    machine_result = machine.run()
+    assert machine_result.fault is None
+    assert observer.checked > 0
+    assert not observer.failures, (
+        "must-hold violated at (tid, line, missing addrs): %s"
+        % observer.failures[:5])
