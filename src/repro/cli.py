@@ -12,6 +12,12 @@ Commands::
     kivati report [--quick]       regenerate the full evaluation
     kivati apps                   list the application models
     kivati chaos                  run the fault-injection chaos suite
+    kivati journal JOURNAL        inspect / postmortem-reverify a journal
+    kivati replay FILE JOURNAL    deterministically replay a recorded run
+
+Exit codes: 0 success; 1 invariant failure (chaos divergence, replay
+divergence, postmortem disagreement); 2 usage error; 3 violations found
+under ``--strict``.
 """
 
 import argparse
@@ -105,6 +111,13 @@ def cmd_run(args):
 
         trace = Trace()
         config = config.copy(trace=trace)
+    recorder = None
+    if args.journal:
+        from repro.journal.format import JournalWriter
+        from repro.journal.recorder import JournalRecorder
+
+        recorder = JournalRecorder(writer=JournalWriter(args.journal))
+        config = config.copy(journal=recorder)
     report = pp.run(config)
     print("output:", report.output)
     print(report.summary())
@@ -117,6 +130,10 @@ def cmd_run(args):
         else:
             print("\n--- execution trace ---")
             print(trace.render())
+    if recorder is not None:
+        print("journal: %d frames -> %s" % (len(recorder), args.journal))
+    if args.strict and report.violations:
+        return 3
     return 0
 
 
@@ -136,6 +153,7 @@ def cmd_bugs(args):
         from repro.workloads.bugs import get_bug
         from repro.workloads.driver import detect_bug
 
+        any_detected = False
         for bug_id in args.ids:
             bug = get_bug(bug_id)
             res = detect_bug(
@@ -144,14 +162,20 @@ def cmd_bugs(args):
                               else Mode.PREVENTION),
                 max_attempts=args.attempts,
             )
+            any_detected = any_detected or res.detected
             print("%s: %s (%d attempts, %.2f ms simulated)"
                   % (bug_id, "detected" if res.detected else "not found",
                      res.attempts, res.time_ms))
             for record in res.records[:3]:
                 print("   " + record.describe())
-        return 0
+        return 3 if args.strict and any_detected else 0
     result = table6.generate()
     print(result.render())
+    if args.strict and any(
+            outcome.detected
+            for per_bug in result.outcomes.values()
+            for outcome in per_bug.values()):
+        return 3
     return 0
 
 
@@ -214,6 +238,62 @@ def cmd_chaos(args):
     return 0 if report.ok else 1
 
 
+def cmd_journal(args):
+    from repro.errors import JournalError
+    from repro.journal.format import read_journal
+    from repro.journal.postmortem import reverify
+    from repro.journal.recovery import reconstruct_state
+
+    try:
+        result = read_journal(args.journal)
+    except JournalError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    print("journal: %d events (seq %s..%s) from %d segment(s), "
+          "%d valid bytes%s"
+          % (len(result.events), result.first_seq, result.last_seq,
+             result.segments_read, result.valid_bytes,
+             ", TORN TAIL (truncated at first corrupt frame)"
+             if result.torn else ""))
+    counts = {}
+    for event in result.events:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    print("kinds: " + " ".join("%s=%d" % kv for kv in sorted(counts.items())))
+    state = reconstruct_state(result.events)
+    print(state.describe())
+    if args.events:
+        for event in result.events[:args.events]:
+            print("  " + event.describe())
+        if len(result.events) > args.events:
+            print("  ... %d more" % (len(result.events) - args.events))
+    status = 0
+    if args.postmortem:
+        post = reverify(result.events)
+        print(post.describe())
+        if not post.agrees:
+            status = 1
+    if not state.consistent:
+        status = 1
+    return status
+
+
+def cmd_replay(args):
+    from repro.errors import JournalError
+    from repro.journal.replay import replay_run
+
+    pp = ProtectedProgram(_read(args.file))
+    try:
+        result = replay_run(pp, args.journal,
+                            check_source=not args.no_source_check)
+    except JournalError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    print(result.describe())
+    print("replayed run: output=%s" % (result.report.output,))
+    print(result.report.summary())
+    return 0 if result.ok and result.verdicts_match else 1
+
+
 def cmd_apps(args):
     from repro.workloads.catalog import workload_suite
 
@@ -266,6 +346,10 @@ def main(argv=None):
     p = sub.add_parser("run", help="run a program under Kivati")
     p.add_argument("file")
     add_common(p)
+    p.add_argument("--journal", metavar="PATH",
+                   help="record a crash-safe replayable journal to PATH")
+    p.add_argument("--strict", action="store_true",
+                   help="exit 3 if any atomicity violation is detected")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("vanilla", help="run a program uninstrumented")
@@ -277,6 +361,8 @@ def main(argv=None):
     p.add_argument("ids", nargs="*")
     p.add_argument("--attempts", type=int, default=40)
     p.add_argument("--bug-finding", action="store_true")
+    p.add_argument("--strict", action="store_true",
+                   help="exit 3 if any bug is detected")
     p.set_defaults(fn=cmd_bugs)
 
     p = sub.add_parser("table", help="regenerate a table from the paper")
@@ -303,6 +389,24 @@ def main(argv=None):
     p.add_argument("-v", "--verbose", action="store_true",
                    help="print every injected fault")
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser("journal",
+                       help="inspect a recorded journal (torn-tolerant)")
+    p.add_argument("journal", help="journal file written by run --journal")
+    p.add_argument("--events", type=int, default=0, metavar="N",
+                   help="also print the first N events")
+    p.add_argument("--postmortem", action="store_true",
+                   help="re-verify serializability offline; exit 1 on any "
+                        "disagreement with the online detector")
+    p.set_defaults(fn=cmd_journal)
+
+    p = sub.add_parser("replay",
+                       help="replay a journaled run and check determinism")
+    p.add_argument("file", help="the mini-C program that was recorded")
+    p.add_argument("journal", help="journal file written by run --journal")
+    p.add_argument("--no-source-check", action="store_true",
+                   help="skip the source-hash match check")
+    p.set_defaults(fn=cmd_replay)
 
     args = parser.parse_args(argv)
     return args.fn(args)

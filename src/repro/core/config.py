@@ -89,6 +89,7 @@ class KivatiConfig:
         "eager_crosscore",
         "max_steps",
         "trace",
+        "journal",
         "faults",
         "breaker",
         "watchdog",
@@ -113,6 +114,7 @@ class KivatiConfig:
         eager_crosscore=False,
         max_steps=200_000_000,
         trace=None,
+        journal=None,
         faults=None,
         breaker=True,
         watchdog=True,
@@ -144,6 +146,11 @@ class KivatiConfig:
         self.max_steps = max_steps
         # optional repro.core.tracing.Trace for violation forensics
         self.trace = trace
+        # optional repro.journal.JournalRecorder: the durable incident
+        # journal (scheduler decisions, AR lifecycle, traps, undos,
+        # degradations) that survives the process and feeds replay,
+        # crash recovery and the postmortem re-verifier
+        self.journal = journal
         # optional repro.faults.FaultPlan: deterministic fault injection;
         # None (the default) keeps every injection site on its zero-cost
         # predicate-only path
@@ -185,6 +192,7 @@ class KivatiConfig:
             "eager_crosscore": self.eager_crosscore,
             "max_steps": self.max_steps,
             "trace": self.trace,
+            "journal": self.journal,
             "faults": self.faults,
             "breaker": self.breaker,
             "watchdog": self.watchdog,

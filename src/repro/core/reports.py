@@ -232,4 +232,7 @@ class RunReport:
                 ",".join(sorted(self.degradations.kinds())))
         if self.injected:
             text += " injected_faults=%d" % len(self.injected)
+        if self.stats.trace_dropped_events:
+            text += (" trace_dropped=%d (ring buffer full)"
+                     % self.stats.trace_dropped_events)
         return text

@@ -6,6 +6,7 @@ from repro.compiler.codegen import compile_program
 from repro.core.config import KivatiConfig
 from repro.core.reports import DegradationLog, RunReport, ViolationLog
 from repro.faults.plan import FaultInjector
+from repro.journal.snapshot import config_snapshot
 from repro.machine.machine import Machine
 from repro.minic.parser import parse
 from repro.minic.typecheck import check
@@ -51,8 +52,15 @@ class ProtectedProgram:
     def static_safe_ar_ids(self):
         return self.annotation.static_safe_ar_ids
 
-    def run(self, config=None, seed=None, raise_on_deadlock=False):
-        """Execute under Kivati; returns a RunReport."""
+    def run(self, config=None, seed=None, raise_on_deadlock=False,
+            schedule_pin=None):
+        """Execute under Kivati; returns a RunReport.
+
+        ``schedule_pin`` (a :class:`repro.journal.replay.SchedulePin`)
+        forces scheduler decisions to follow a recorded journal; it is
+        only meaningful together with a config whose other knobs match
+        the recorded run.
+        """
         config = config or KivatiConfig()
         if seed is not None:
             config = config.copy(seed=seed)
@@ -60,10 +68,17 @@ class ProtectedProgram:
         injector = (FaultInjector(config.faults, config.seed)
                     if config.faults is not None else None)
         degradations = DegradationLog()
+        journal = config.journal
+        if journal is not None:
+            # crash injection targets the journal's own frame boundaries
+            journal.faults = injector
+            journal.emit(0, -1, "run-start",
+                         config=config_snapshot(config, self.source))
         runtime = KivatiRuntime(
             config, self.ar_table, log, self.sync_ar_ids,
             faults=injector, degrade=degradations,
-            static_safe_ar_ids=self.annotation.static_safe_ar_ids)
+            static_safe_ar_ids=self.annotation.static_safe_ar_ids,
+            journal=journal)
         machine = Machine(
             self.program,
             num_cores=config.num_cores,
@@ -74,8 +89,24 @@ class ProtectedProgram:
             trap_before=config.trap_before,
             max_steps=config.max_steps,
             faults=injector,
+            journal=journal,
+            schedule_pin=schedule_pin,
         )
-        result = machine.run(raise_on_deadlock=raise_on_deadlock)
+        try:
+            result = machine.run(raise_on_deadlock=raise_on_deadlock)
+            if journal is not None:
+                journal.emit(result.time_ns, -1, "run-end",
+                             output=list(result.output),
+                             deadlocked=result.deadlocked,
+                             violations=len(log),
+                             unprevented=sum(1 for r in log
+                                             if not r.prevented),
+                             instr_count=result.instr_count)
+        finally:
+            # on a simulated crash the writer is already torn and closed;
+            # on success this flushes the run-end frame
+            if journal is not None:
+                journal.close()
         return RunReport(result, runtime.stats, log, config, self.ar_table,
                          degradations=degradations,
                          injected=tuple(injector.injected)

@@ -78,3 +78,22 @@ class FaultPlanError(ConfigError):
 
 class WorkloadError(ReproError):
     """A workload or bug-corpus entry was requested that does not exist."""
+
+
+class JournalError(ReproError):
+    """Malformed journal data, payload, or writer misuse."""
+
+
+class JournalCrash(ReproError):
+    """Simulated process death at a journal frame boundary.
+
+    Raised by the ``journal.crash`` injection point; carries how many
+    complete frames reached the disk before the crash so recovery tests
+    can assert no pre-crash frame was lost.
+    """
+
+    def __init__(self, frames_written, time_ns=0):
+        self.frames_written = frames_written
+        self.time_ns = time_ns
+        super().__init__("simulated crash after %d journal frames"
+                         % frames_written)

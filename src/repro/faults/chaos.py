@@ -147,14 +147,19 @@ def default_config(**overrides):
 class ChaosCase:
     """Outcome of one (plan, seed) chaos run against its baseline."""
 
-    __slots__ = ("plan", "seed", "report", "baseline", "problems")
+    __slots__ = ("plan", "seed", "report", "baseline", "problems",
+                 "postmortem")
 
-    def __init__(self, plan, seed, report, baseline, problems):
+    def __init__(self, plan, seed, report, baseline, problems,
+                 postmortem=None):
         self.plan = plan
         self.seed = seed
         self.report = report
         self.baseline = baseline
         self.problems = problems
+        #: PostmortemResult of the offline re-verification (None only when
+        #: the journal plane was unavailable)
+        self.postmortem = postmortem
 
     @property
     def ok(self):
@@ -176,12 +181,23 @@ def _injected_ids(report):
 
 
 def run_chaos_case(program, plan, seed, config, baseline=None):
-    """Run one schedule on one seed; verify completion, determinism and
-    fault attribution. Returns a :class:`ChaosCase`."""
-    faulty = program.run(config.copy(faults=plan, seed=seed))
-    replay = program.run(config.copy(faults=plan, seed=seed))
+    """Run one schedule on one seed; verify completion, determinism,
+    fault attribution and postmortem agreement. Returns a
+    :class:`ChaosCase`."""
+    from repro.journal.postmortem import reverify_report
+    from repro.journal.recorder import JournalRecorder
+
+    journal = JournalRecorder()
+    replay_journal = JournalRecorder()
+    faulty = program.run(config.copy(faults=plan, seed=seed,
+                                     journal=journal))
+    replay = program.run(config.copy(faults=plan, seed=seed,
+                                     journal=replay_journal))
     if baseline is None:
-        baseline = program.run(config.copy(faults=None, seed=seed))
+        # journaled as well so the stats comparison in invariant 3 stays
+        # like-for-like (journal_frames is a stats field)
+        baseline = program.run(config.copy(faults=None, seed=seed,
+                                           journal=JournalRecorder()))
 
     problems = []
     result = faulty.result
@@ -201,6 +217,9 @@ def run_chaos_case(program, plan, seed, config, baseline=None):
         problems.append("program outcome differs across replays")
     if faulty.stats.as_dict() != replay.stats.as_dict():
         problems.append("stats differ across replays")
+    if ([e.key() for e in journal.events]
+            != [e.key() for e in replay_journal.events]):
+        problems.append("journal event streams differ across replays")
 
     # 3. attribution: no fault fired => bit-identical to fault-free run
     if not faulty.injected:
@@ -212,7 +231,17 @@ def run_chaos_case(program, plan, seed, config, baseline=None):
         if faulty.stats.as_dict() != baseline.stats.as_dict():
             problems.append("stats diverged with no fault fired")
 
-    return ChaosCase(plan, seed, faulty, baseline, problems)
+    # 4. postmortem: the offline serializability re-verifier must agree
+    # with every online verdict, even under injected faults
+    postmortem, report_matches = reverify_report(journal, faulty)
+    if not postmortem.agrees:
+        problems.append("postmortem disagreement (%d verdicts, %d anomalies)"
+                        % (len(postmortem.disagreements),
+                           len(postmortem.anomalies)))
+    elif not report_matches:
+        problems.append("postmortem verdicts do not match the run report")
+
+    return ChaosCase(plan, seed, faulty, baseline, problems, postmortem)
 
 
 class ChaosReport:

@@ -42,6 +42,8 @@ INJECTION_POINTS = (
     # runtime (user-space library)
     "runtime.replica.corrupt",  # O1 replica lies: a needed crossing is skipped
     "runtime.whitelist.corrupt",  # whitelist re-read sees a corrupt/partial file
+    # journal (durable incident record)
+    "journal.crash",            # session dies at a journal frame boundary
 )
 
 

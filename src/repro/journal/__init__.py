@@ -1,0 +1,37 @@
+"""Crash-safe incident journal with deterministic replay.
+
+The in-memory :class:`repro.core.tracing.Trace` ring buffer dies with the
+process; nothing a production deployment flags can be reproduced or
+audited after a crash. This package adds the durable plane:
+
+- :mod:`repro.journal.events` — the canonical event model shared by the
+  recorder, the reader, the replay engine and the offline checker;
+- :mod:`repro.journal.format` — a CRC-framed, append-only, bounded-
+  rotation on-disk format whose reader tolerates a torn tail (it
+  truncates at the first corrupt frame and keeps everything before it);
+- :mod:`repro.journal.recorder` — the runtime sink: scheduler decisions,
+  begin/end/clear_atomic, traps, suspensions, timeouts, watchdog breaks,
+  undo operations and degradations stream through it, optionally to disk;
+- :mod:`repro.journal.replay` — deterministic replay of a recorded run,
+  pinned to the journaled schedule, with a first-divergence detector;
+- :mod:`repro.journal.recovery` — crash recovery: reconstruct consistent
+  AR-table and watchpoint state from the journal and resume (by verified
+  re-execution) or abort cleanly;
+- :mod:`repro.journal.postmortem` — an offline serializability
+  re-verifier (RegionTrack-style) that cross-checks every online verdict.
+"""
+
+from repro.journal.events import JournalEvent, decode_event, encode_event
+from repro.journal.format import (JournalReadResult, JournalWriter,
+                                  read_journal)
+from repro.journal.recorder import JournalRecorder
+
+__all__ = [
+    "JournalEvent",
+    "JournalReadResult",
+    "JournalRecorder",
+    "JournalWriter",
+    "decode_event",
+    "encode_event",
+    "read_journal",
+]

@@ -1,0 +1,226 @@
+"""On-disk journal format: CRC-framed, append-only, bounded rotation.
+
+Layout of one segment file::
+
+    8 bytes   segment magic  b"KIVATIJ1"
+    frames    <u32 payload length> <u32 crc32(payload)> <payload bytes>
+
+Payloads are canonical JSON event records (:mod:`repro.journal.events`).
+The writer flushes after every frame so a crash loses at most the frame
+being written; the reader is torn-tail tolerant — it stops at the first
+corrupt frame (bad magic, truncated header or payload, CRC mismatch,
+undecodable record) and keeps every frame before it.
+
+Rotation keeps disk usage bounded: when the active segment exceeds
+``max_bytes`` it is shifted to ``path.1`` (``path.1`` to ``path.2``, and
+so on) and segments beyond ``max_segments`` are deleted, oldest first.
+The reader stitches ``path.N`` (oldest) .. ``path.1``, ``path`` back into
+one stream; sequence numbers recorded in the frames survive rotation, so
+a journal whose oldest segments were pruned still aligns with a fresh
+re-execution by seq.
+"""
+
+import os
+import struct
+import zlib
+
+from repro.errors import JournalError
+from repro.journal.events import EVENT_KINDS, decode_event, encode_event
+
+SEGMENT_MAGIC = b"KIVATIJ1"
+_HEADER = struct.Struct("<II")
+#: Defensive cap: a garbage length field must not trigger a huge read.
+MAX_FRAME_BYTES = 1 << 24
+
+
+def frame_bytes(payload):
+    """Full on-disk bytes of one frame for ``payload``."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise JournalError("frame payload of %d bytes exceeds cap"
+                           % len(payload))
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+class JournalWriter:
+    """Append-only writer with per-frame flush and bounded rotation."""
+
+    def __init__(self, path, max_bytes=4 * 1024 * 1024, max_segments=8):
+        if max_bytes < 4096:
+            raise JournalError("max_bytes must be at least 4096")
+        if max_segments < 1:
+            raise JournalError("max_segments must be at least 1")
+        self.path = path
+        self.max_bytes = max_bytes
+        self.max_segments = max_segments
+        self.frames_written = 0
+        self.rotations = 0
+        self._file = None
+        self._segment_bytes = 0
+        self._open_segment()
+
+    # ------------------------------------------------------------------
+
+    def _open_segment(self):
+        self._file = open(self.path, "wb")
+        self._file.write(SEGMENT_MAGIC)
+        self._file.flush()
+        self._segment_bytes = len(SEGMENT_MAGIC)
+
+    def _rotate(self):
+        self._file.close()
+        self._file = None
+        # shift path.N -> path.N+1, oldest first, pruning past the cap
+        suffixes = []
+        n = 1
+        while os.path.exists("%s.%d" % (self.path, n)):
+            suffixes.append(n)
+            n += 1
+        for n in reversed(suffixes):
+            src = "%s.%d" % (self.path, n)
+            if n + 1 >= self.max_segments:
+                os.unlink(src)
+            else:
+                os.replace(src, "%s.%d" % (self.path, n + 1))
+        if self.max_segments > 1:
+            os.replace(self.path, "%s.1" % self.path)
+        else:
+            os.unlink(self.path)
+        self.rotations += 1
+        self._open_segment()
+
+    # ------------------------------------------------------------------
+
+    def append(self, event):
+        """Frame and append one event; flushes before returning."""
+        if self._file is None:
+            raise JournalError("journal writer is closed")
+        data = frame_bytes(encode_event(event))
+        self._file.write(data)
+        self._file.flush()
+        self._segment_bytes += len(data)
+        self.frames_written += 1
+        if self._segment_bytes >= self.max_bytes:
+            self._rotate()
+
+    def append_torn(self, event, torn_bytes=None):
+        """Simulate a crash mid-append: write only a prefix of the frame.
+
+        Used by the ``journal.crash`` injection point; the written tail
+        must be dropped (not mis-parsed) by the reader.
+        """
+        if self._file is None:
+            raise JournalError("journal writer is closed")
+        data = frame_bytes(encode_event(event))
+        if torn_bytes is None:
+            torn_bytes = len(data) // 2
+        torn_bytes = max(1, min(torn_bytes, len(data) - 1))
+        self._file.write(data[:torn_bytes])
+        self._file.flush()
+        self._segment_bytes += torn_bytes
+
+    def close(self):
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    @property
+    def closed(self):
+        return self._file is None
+
+
+class JournalReadResult:
+    """Outcome of reading a journal from disk."""
+
+    __slots__ = ("events", "torn", "segments_read", "valid_bytes",
+                 "torn_segment")
+
+    def __init__(self, events, torn, segments_read, valid_bytes,
+                 torn_segment=None):
+        self.events = events
+        #: True if the stream ended at a corrupt/truncated frame.
+        self.torn = torn
+        self.segments_read = segments_read
+        #: Bytes of the last segment read that framed cleanly.
+        self.valid_bytes = valid_bytes
+        #: Path of the segment holding the corruption, if any.
+        self.torn_segment = torn_segment
+
+    @property
+    def first_seq(self):
+        return self.events[0].seq if self.events else None
+
+    @property
+    def last_seq(self):
+        return self.events[-1].seq if self.events else None
+
+    def __len__(self):
+        return len(self.events)
+
+
+def _read_segment(path):
+    """Read one segment; returns (events, clean, valid_bytes)."""
+    with open(path, "rb") as f:
+        data = f.read()
+    if not data:
+        return [], True, 0
+    if not data.startswith(SEGMENT_MAGIC):
+        return [], False, 0
+    events = []
+    offset = len(SEGMENT_MAGIC)
+    while True:
+        if offset == len(data):
+            return events, True, offset
+        if len(data) - offset < _HEADER.size:
+            return events, False, offset
+        length, crc = _HEADER.unpack_from(data, offset)
+        if length > MAX_FRAME_BYTES:
+            return events, False, offset
+        start = offset + _HEADER.size
+        if len(data) - start < length:
+            return events, False, offset
+        payload = data[start:start + length]
+        if zlib.crc32(payload) != crc:
+            return events, False, offset
+        try:
+            event = decode_event(payload)
+        except JournalError:
+            return events, False, offset
+        if event.kind not in EVENT_KINDS:
+            return events, False, offset
+        events.append(event)
+        offset = start + length
+
+
+def segment_paths(path):
+    """Existing segment files, oldest first (``path.N`` .. ``path``)."""
+    paths = []
+    n = 1
+    while os.path.exists("%s.%d" % (path, n)):
+        paths.append("%s.%d" % (path, n))
+        n += 1
+    paths.reverse()
+    if os.path.exists(path):
+        paths.append(path)
+    return paths
+
+def read_journal(path):
+    """Read a (possibly rotated, possibly torn) journal.
+
+    Stops at the first corrupt frame anywhere in the stream and keeps
+    everything before it, per the torn-tail contract.
+    """
+    paths = segment_paths(path)
+    if not paths:
+        raise JournalError("no journal at %s" % path)
+    events = []
+    segments_read = 0
+    valid_bytes = 0
+    for seg in paths:
+        seg_events, clean, seg_bytes = _read_segment(seg)
+        events.extend(seg_events)
+        segments_read += 1
+        valid_bytes = seg_bytes
+        if not clean:
+            return JournalReadResult(events, True, segments_read,
+                                     valid_bytes, torn_segment=seg)
+    return JournalReadResult(events, False, segments_read, valid_bytes)

@@ -1,0 +1,170 @@
+"""Postmortem serializability re-verification.
+
+An offline, RegionTrack-style checker that re-derives every violation
+verdict from the journal alone, independently of the kernel's online
+evaluation path.  The journal carries each AR window (``begin`` with its
+slot arming generation, ``end`` with the observed second access kind,
+``zombify`` for windows whose watchpoint timed out) and every remote
+trigger with its access kinds; re-running the four non-serializable
+interleaving patterns over those windows must reproduce the online
+verdicts exactly.
+
+A disagreement means one of the two evaluators is wrong — either the
+online detector mis-attributed a trigger, or the journal failed to
+capture what the kernel acted on.  Both are bugs worth an assertion, so
+the chaos suite and the soundness test count disagreements and demand
+zero.
+"""
+
+from repro.analysis.watchtype import is_unserializable
+from repro.journal.replay import events_from, verdict_multiset
+from repro.minic.ast import AccessKind
+
+
+def _kind(text):
+    return AccessKind(text) if isinstance(text, str) else text
+
+
+class _Window:
+    __slots__ = ("tid", "ar", "slot", "gen", "first", "begin_time")
+
+    def __init__(self, tid, ar, slot, gen, first, begin_time):
+        self.tid = tid
+        self.ar = ar
+        self.slot = slot
+        self.gen = gen
+        self.first = first
+        self.begin_time = begin_time
+
+
+class PostmortemResult:
+    """Offline verdicts vs the online detector's journaled verdicts."""
+
+    __slots__ = ("offline", "online", "windows_checked", "anomalies")
+
+    def __init__(self, offline, online, windows_checked, anomalies):
+        self.offline = offline
+        self.online = online
+        self.windows_checked = windows_checked
+        self.anomalies = list(anomalies)
+
+    @property
+    def disagreements(self):
+        """Verdicts present in exactly one of the two evaluations."""
+        online = list(self.online)
+        missing = []  # offline-only
+        for verdict in self.offline:
+            if verdict in online:
+                online.remove(verdict)
+            else:
+                missing.append(verdict)
+        return missing + online
+
+    @property
+    def agrees(self):
+        return not self.disagreements and not self.anomalies
+
+    def describe(self):
+        lines = ["postmortem: %d windows re-verified, %d offline verdicts, "
+                 "%d online verdicts, %d disagreements"
+                 % (self.windows_checked, len(self.offline),
+                    len(self.online), len(self.disagreements))]
+        for verdict in self.disagreements:
+            side = "offline-only" if verdict in self.offline else "online-only"
+            lines.append("  %s: ar=%s local=%s remote=%s (%s,%s,%s) "
+                         "prevented=%s [%s]"
+                         % ((verdict[0], verdict[1], verdict[2]) + verdict[3:6]
+                            + (verdict[6], side)))
+        lines.extend("  anomaly: %s" % text for text in self.anomalies)
+        return "\n".join(lines)
+
+
+def _evaluate_window(window, triggers, second, force_unprevented, verdicts):
+    """Mirror of KivatiKernel._evaluate over journaled triggers."""
+    first = _kind(window.first)
+    second = _kind(second)
+    for tid, kinds, time_ns, undone in triggers:
+        if tid == window.tid or time_ns < window.begin_time:
+            continue
+        for kind_text in kinds:
+            kind = _kind(kind_text)
+            if is_unserializable(first, kind, second):
+                prevented = undone and not force_unprevented
+                verdicts.append((window.ar, window.tid, tid, str(first),
+                                 str(kind), str(second), prevented))
+                break
+
+
+def reverify(journal):
+    """Re-derive all verdicts from a journal; returns PostmortemResult.
+
+    ``journal`` is a path, JournalReadResult, JournalRecorder or event
+    list (truncated journals are fine — unfinished windows are simply
+    never evaluated, exactly as an unfinished end_atomic never was).
+    """
+    events, _torn = events_from(journal)
+    triggers = {}   # (slot, gen) -> [(tid, kinds, time_ns, undone)]
+    windows = {}    # (tid, ar) -> _Window
+    zombies = {}    # (tid, ar) -> _Window
+    verdicts = []
+    anomalies = []
+    checked = 0
+    for event in events:
+        kind, p, tid = event.kind, event.payload, event.tid
+        if kind == "begin":
+            windows[(tid, p["ar"])] = _Window(
+                tid, p["ar"], p.get("slot"), p.get("gen"), p.get("first"),
+                event.time_ns)
+        elif kind == "trigger":
+            triggers.setdefault((p.get("slot"), p.get("gen")), []).append(
+                (tid, p.get("kinds", ()), event.time_ns, bool(p.get("undone"))))
+        elif kind == "zombify":
+            window = windows.pop((tid, p["ar"]), None)
+            if window is None:
+                anomalies.append("zombify of AR %d (tid %d) without begin"
+                                 % (p["ar"], tid))
+                continue
+            zombies[(tid, p["ar"])] = window
+        elif kind == "clear":
+            windows.pop((tid, p["ar"]), None)
+        elif kind == "end":
+            if p.get("zombie"):
+                window = zombies.pop((tid, p["ar"]), None)
+                if window is None:
+                    anomalies.append("zombie end of AR %d (tid %d) without "
+                                     "zombify" % (p["ar"], tid))
+                    continue
+                checked += 1
+                _evaluate_window(window, triggers.get(
+                    (window.slot, window.gen), ()), p.get("second"),
+                    True, verdicts)
+            else:
+                window = windows.pop((tid, p["ar"]), None)
+                if window is None:
+                    anomalies.append("end of AR %d (tid %d) without begin"
+                                     % (p["ar"], tid))
+                    continue
+                checked += 1
+                _evaluate_window(window, triggers.get(
+                    (window.slot, window.gen), ()), p.get("second"),
+                    False, verdicts)
+    return PostmortemResult(sorted(verdicts), verdict_multiset(events),
+                            checked, anomalies)
+
+
+def reverify_report(journal, report):
+    """Convenience: reverify and also cross-check the RunReport's records.
+
+    Returns (PostmortemResult, report_matches) where ``report_matches``
+    is True when the offline verdict multiset equals the multiset built
+    from the report's ViolationRecords.
+    """
+    result = reverify(journal)
+    from_report = sorted(
+        (r.ar_id, r.local_tid, r.remote_tid, str(r.first_kind),
+         str(r.remote_kind), str(r.second_kind), bool(r.prevented))
+        for r in report.violations)
+    return result, from_report == result.offline
+
+
+__all__ = ["PostmortemResult", "reverify", "reverify_report"]

@@ -16,6 +16,17 @@ from repro.minic.ast import AccessKind
 from repro.compiler.bytecode import Op, SYNC_OPS
 
 
+def _sorted_kinds(kinds):
+    """Canonical order for a set of AccessKinds.
+
+    Enum sets iterate in id-hash order, which differs between *processes*;
+    anything recorded from a set (trigger kinds, the violation's
+    remote_kind) must be sorted or replaying a journal in a fresh process
+    can disagree with the recording run.
+    """
+    return tuple(sorted(kinds, key=lambda k: k.value))
+
+
 class BeginOutcome:
     __slots__ = ("hw_changed", "suspended", "monitored", "attached", "missed")
 
@@ -79,9 +90,15 @@ class KivatiKernel:
         self.faults = faults
         self.degrade = degrade if degrade is not None else DegradationLog()
         self.breaker = breaker
+        # optional repro.journal.JournalRecorder (durable incident record)
+        self.journal = config.journal
 
     def attach(self, machine):
         self.machine = machine
+
+    def _journal(self, time_ns, tid, kind, **details):
+        if self.journal is not None:
+            self.journal.emit(time_ns, tid, kind, **details)
 
     # ------------------------------------------------------------------
     # graceful degradation bookkeeping
@@ -95,6 +112,8 @@ class KivatiKernel:
             # positional is already named kind
             self.config.trace.emit(time_ns, tid if tid is not None else -1,
                                    "degrade", what=kind, **detail)
+        self._journal(time_ns, tid if tid is not None else -1, "degrade",
+                      what=kind, **detail)
 
     def _record_breaker_trip(self, ar_id, tid, now, backoff_ns):
         self.stats.breaker_trips += 1
@@ -148,6 +167,7 @@ class KivatiKernel:
             if self.config.trace is not None:
                 self.config.trace.emit(core.clock, -1, "resync",
                                        core=core.index)
+            self._journal(core.clock, -1, "resync", core=core.index)
         if self.sync_waiters:
             self._check_sync_waiters()
 
@@ -205,6 +225,10 @@ class KivatiKernel:
             slot.suspended,
             key=lambda s: 0 if s.reason == Suspension.REASON_TRAP else 1,
         )
+        self._journal(core.clock if core is not None else self.machine.now(),
+                      slot.owner_tid if slot.owner_tid is not None else -1,
+                      "disarm", slot=slot.index, gen=slot.gen,
+                      addr=slot.addr)
         slot.free()
         self._bump_epoch(core)
         for susp in to_wake:
@@ -228,6 +252,8 @@ class KivatiKernel:
             self.config.trace.emit(
                 core.clock if core is not None else 0, susp.tid, "wake",
                 reason=susp.reason)
+        self._journal(core.clock if core is not None else self.machine.now(),
+                      susp.tid, "wake", reason=susp.reason)
         self._release_containments(susp.tid, core)
 
     def _release_containments(self, tid, core):
@@ -250,6 +276,8 @@ class KivatiKernel:
             self.config.trace.emit(core.clock, thread.tid, "suspend",
                                    reason=reason, slot=slot.index,
                                    addr=slot.addr)
+        self._journal(core.clock, thread.tid, "suspend", reason=reason,
+                      slot=slot.index, gen=slot.gen, addr=slot.addr)
         self.machine.block_current(core, ThreadState.SUSPENDED,
                                    retry_instr=retry_instr)
         # suspension watchdog: two ARs suspending each other's threads
@@ -296,6 +324,8 @@ class KivatiKernel:
         if self.config.trace is not None:
             self.config.trace.emit(now, tid, "watchdog", cycle=tuple(cycle))
         slot = self.slots[slot_index]
+        self._journal(now, tid, "watchdog", cycle=tuple(cycle),
+                      slot=slot_index, gen=slot.gen)
         if susp in slot.suspended:
             slot.suspended.remove(susp)
         self.machine.wake_thread(tid)
@@ -317,6 +347,8 @@ class KivatiKernel:
         if self.config.trace is not None:
             self.config.trace.emit(now, tid, "timeout", slot=slot_index)
         slot = self.slots[slot_index]
+        self._journal(now, tid, "timeout", slot=slot_index, gen=slot.gen,
+                      stale=susp not in slot.suspended)
         if susp not in slot.suspended:
             # the slot was freed or reused while this thread stayed
             # suspended (e.g. its wake-up was lost): recover the thread
@@ -341,6 +373,9 @@ class KivatiKernel:
             self.zombies[(ar.tid, ar.ar_id)] = ZombieAR(
                 ar.info, ar.tid, ar.addr, slot.triggers, ar.begin_time
             )
+            self._journal(now, ar.tid, "zombify", ar=ar.ar_id,
+                          slot=slot.index, gen=slot.gen,
+                          begin_time=ar.begin_time)
             table = self.ar_tables.get(ar.tid)
             if table is not None:
                 table.pop(ar.ar_id, None)
@@ -381,6 +416,8 @@ class KivatiKernel:
             else:
                 self.stats.missed_ars += 1
                 out.missed = True
+                self._journal(core.clock, tid, "miss", ar=info.ar_id,
+                              reason="containment")
             return out
 
         if slot is not None and slot.owner_tid != tid:
@@ -395,7 +432,7 @@ class KivatiKernel:
                 # plus the registered second kinds) is recorded
                 # conservatively for the serializability check.
                 kinds = [info.first_kind]
-                for kind in set(info.second_kinds.values()):
+                for kind in _sorted_kinds(set(info.second_kinds.values())):
                     if kind not in kinds:
                         kinds.append(kind)
                 slot.triggers.append(Trigger(
@@ -403,12 +440,19 @@ class KivatiKernel:
                     "begin_atomic(ar %d) in %s" % (info.ar_id, info.func),
                     core.clock, True,
                 ))
+                self._journal(core.clock, tid, "trigger", slot=slot.index,
+                              gen=slot.gen, kinds=tuple(kinds), pc=None,
+                              undone=True, via_begin=True,
+                              location="begin_atomic(ar %d) in %s"
+                              % (info.ar_id, info.func))
                 self._suspend(core, thread, slot, Suspension.REASON_BEGIN,
                               retry_instr=True)
                 out.suspended = True
                 return out
             self.stats.missed_ars += 1
             out.missed = True
+            self._journal(core.clock, tid, "miss", ar=info.ar_id,
+                          reason="remote-owner")
             return out
 
         now = core.clock
@@ -428,6 +472,9 @@ class KivatiKernel:
             out.attached = True
             out.monitored = True
             self.stats.monitored_ars += 1
+            self._journal(now, tid, "begin", ar=info.ar_id, slot=slot.index,
+                          gen=slot.gen, addr=addr, first=info.first_kind,
+                          var=info.var, joined=True)
             return out
 
         free, reused = self._find_free_slot(core)
@@ -436,10 +483,12 @@ class KivatiKernel:
             # monitored (Table 8)
             self.stats.missed_ars += 1
             out.missed = True
+            self._journal(now, tid, "miss", ar=info.ar_id, reason="no-slot")
             return out
 
         ar = ActiveAR(info, tid, addr, depth, now, free.index, pending)
         free.enabled = True
+        free.gen += 1
         self.stats.watchpoint_arms += 1
         free.addr = addr
         free.size = info.size
@@ -455,6 +504,12 @@ class KivatiKernel:
         out.hw_changed = True
         out.monitored = True
         self.stats.monitored_ars += 1
+        self._journal(now, tid, "arm", slot=free.index, gen=free.gen,
+                      addr=addr, size=info.size,
+                      read=free.watch_read, write=free.watch_write)
+        self._journal(now, tid, "begin", ar=info.ar_id, slot=free.index,
+                      gen=free.gen, addr=addr, first=info.first_kind,
+                      var=info.var, joined=False)
 
         # block until other busy cores adopt the new watchpoint state
         self._maybe_block_for_sync(core, thread)
@@ -478,6 +533,9 @@ class KivatiKernel:
                 # it was not prevented
                 out.zombie = True
                 out.found = True
+                self._journal(core.clock, tid, "end", ar=ar_id,
+                              second=second_kind, zombie=True,
+                              begin_time=zombie.begin_time)
                 self._evaluate(zombie.info, tid, zombie.addr,
                                zombie.triggers, zombie.begin_time,
                                second_kind, core, force_unprevented=True)
@@ -490,6 +548,10 @@ class KivatiKernel:
 
         relevant = [t for t in slot.triggers
                     if t.time >= ar.begin_time and t.tid != tid]
+        self._journal(core.clock, tid, "end", ar=ar_id, slot=slot.index,
+                      gen=slot.gen, second=second_kind, zombie=False,
+                      begin_time=ar.begin_time,
+                      had_triggers=bool(relevant))
         if relevant:
             out.had_triggers = True
             self._evaluate(ar.info, tid, ar.addr, relevant, ar.begin_time,
@@ -538,6 +600,8 @@ class KivatiKernel:
     def _detach_ar(self, ar, core, evaluate):
         """Remove an ActiveAR from its slot without violation evaluation
         (clear_ar semantics). Returns True if hardware state changed."""
+        self._journal(core.clock if core is not None else self.machine.now(),
+                      ar.tid, "clear", ar=ar.ar_id)
         if ar.slot_index is None:
             return False
         slot = self.slots[ar.slot_index]
@@ -642,7 +706,7 @@ class KivatiKernel:
             fpc = None
             resolved = False
             if trap_before:
-                kinds = tuple(
+                kinds = _sorted_kinds(
                     {AccessKind.WRITE if w else AccessKind.READ
                      for a, w in accesses
                      if slot.addr <= a < slot.addr + slot.size}
@@ -657,7 +721,7 @@ class KivatiKernel:
                             and 0 <= fpc < len(machine.program.instrs))
                 if not resolved:
                     self.stats.unresolved_pcs += 1
-                    kinds = tuple(
+                    kinds = _sorted_kinds(
                         {AccessKind.WRITE if w else AccessKind.READ
                          for a, w in accesses
                          if slot.addr <= a < slot.addr + slot.size}
@@ -702,6 +766,11 @@ class KivatiKernel:
                         machine.program.location(fpc) if fpc is not None
                         else "pc=?", core.clock, undone)
             )
+            self._journal(core.clock, thread.tid, "trigger",
+                          slot=slot.index, gen=slot.gen, kinds=kinds,
+                          pc=fpc, undone=undone, via_begin=False,
+                          location=machine.program.location(fpc)
+                          if fpc is not None else "pc=?")
         return 0
 
     def _try_undo(self, core, thread, fpc, slot):
@@ -743,6 +812,9 @@ class KivatiKernel:
             self.config.trace.emit(core.clock, thread.tid, "undo",
                                    pc=fpc, addr=slot.addr,
                                    loc=machine.program.location(fpc))
+        self._journal(core.clock, thread.tid, "undo", pc=fpc,
+                      addr=slot.addr, slot=slot.index, gen=slot.gen,
+                      loc=machine.program.location(fpc))
         if outcome.needs_containment_addr is not None:
             free = None
             for s in self.slots:
@@ -751,6 +823,7 @@ class KivatiKernel:
                     break
             if free is not None:
                 free.enabled = True
+                free.gen += 1
                 self.stats.watchpoint_arms += 1
                 free.addr = outcome.needs_containment_addr
                 free.size = 1
@@ -760,6 +833,10 @@ class KivatiKernel:
                 free.owner_tid = thread.tid
                 self._bump_epoch(core)
                 self.stats.containments += 1
+                self._journal(core.clock, thread.tid, "arm",
+                              slot=free.index, gen=free.gen, addr=free.addr,
+                              size=1, read=True, write=True,
+                              containment=True)
         self._suspend(core, thread, slot, Suspension.REASON_TRAP,
                       retry_instr=False)
         return True
@@ -803,4 +880,10 @@ class KivatiKernel:
                             local_tid, "violation", ar=info.ar_id,
                             var=info.var, remote_tid=trigger.tid,
                             prevented=prevented)
+                    self._journal(
+                        core.clock if core is not None else trigger.time,
+                        local_tid, "violation", ar=info.ar_id, var=info.var,
+                        addr=addr, remote_tid=trigger.tid,
+                        first=info.first_kind, remote=kind,
+                        second=second_kind, prevented=prevented)
                     break

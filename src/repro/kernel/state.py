@@ -84,10 +84,16 @@ class KernelSlot:
     __slots__ = ("index", "enabled", "addr", "size", "watch_read",
                  "watch_write", "ars", "triggers", "suspended",
                  "lazily_freed", "captured_value", "owner_tid",
-                 "containment_owner", "suppressed_tids")
+                 "containment_owner", "suppressed_tids", "gen")
 
     def __init__(self, index):
         self.index = index
+        # monotone arming generation: incremented every time the slot is
+        # (re)armed for a fresh address, never reset by free().  Journal
+        # events carry (slot, gen) so offline replay/postmortem tools can
+        # attribute triggers to AR windows exactly as the online kernel
+        # did, without relying on cross-core timestamps.
+        self.gen = 0
         self.enabled = False
         self.addr = 0
         self.size = 1

@@ -89,7 +89,7 @@ class Machine:
 
     def __init__(self, program, num_cores=2, num_watchpoints=4, costs=None,
                  runtime=None, seed=0, trap_before=False, max_steps=200_000_000,
-                 faults=None):
+                 faults=None, journal=None, schedule_pin=None):
         self.program = program
         self.instrs = program.instrs
         self.memory = Memory()
@@ -103,6 +103,11 @@ class Machine:
         # optional repro.faults.FaultInjector; None keeps every injection
         # site on a single attribute-is-None predicate
         self.faults = faults
+        # optional repro.journal.JournalRecorder: scheduler decisions are
+        # journaled so a flagged run can be replayed pinned to the same
+        # schedule; optional SchedulePin enforces a recorded schedule
+        self.journal = journal
+        self.schedule_pin = schedule_pin
 
         self.cores = [Core(i, num_watchpoints) for i in range(num_cores)]
         for core in self.cores:
@@ -253,26 +258,38 @@ class Machine:
     def _schedule(self, core):
         """Pick the next runnable thread for ``core``; returns True if one
         was placed."""
-        while self.run_queue:
-            tid = self.run_queue.popleft()
-            thread = self.threads[tid]
-            if thread.state != ThreadState.RUNNABLE:
-                continue
-            thread.state = ThreadState.RUNNING
-            thread.last_core = core.index
-            core.thread = thread
-            core.quantum_end = core.clock + self.costs.quantum
-            if core.last_tid != tid:
-                core.clock += self.costs.context_switch + self._jitter()
-                core.last_tid = tid
-                self.kernel_entry(core, thread)
-            else:
-                # returning from the idle loop is a kernel exit as well —
-                # the core adopts current watchpoint state without a
-                # context-switch charge
-                self.runtime.on_kernel_entry(core, thread)
-            return True
-        return False
+        tid = None
+        if self.schedule_pin is not None:
+            # replay: prefer the thread the recorded run scheduled at
+            # this decision point (removed from the run queue by select)
+            tid = self.schedule_pin.select(self, core)
+        if tid is None:
+            while self.run_queue:
+                cand = self.run_queue.popleft()
+                if self.threads[cand].state != ThreadState.RUNNABLE:
+                    continue
+                tid = cand
+                break
+        if tid is None:
+            return False
+        thread = self.threads[tid]
+        thread.state = ThreadState.RUNNING
+        thread.last_core = core.index
+        core.thread = thread
+        core.quantum_end = core.clock + self.costs.quantum
+        if self.journal is not None:
+            self.journal.emit(core.clock, tid, "sched", core=core.index,
+                              pc=thread.pc)
+        if core.last_tid != tid:
+            core.clock += self.costs.context_switch + self._jitter()
+            core.last_tid = tid
+            self.kernel_entry(core, thread)
+        else:
+            # returning from the idle loop is a kernel exit as well —
+            # the core adopts current watchpoint state without a
+            # context-switch charge
+            self.runtime.on_kernel_entry(core, thread)
+        return True
 
     def _fire_due_events(self, now):
         fired = False

@@ -55,6 +55,10 @@ class KivatiStats:
         "whitelist_malformed_lines",
         "duplicate_traps_ignored",
         "undo_faults_injected",
+        # observability of the observers: trace ring-buffer evictions and
+        # journal frames produced (0 when the facility is not attached)
+        "trace_dropped_events",
+        "journal_frames",
     )
 
     __slots__ = FIELDS

@@ -34,7 +34,11 @@ class KivatiRuntime(BaseRuntime):
     wants_all_accesses = False
 
     def __init__(self, config, ar_table, log, sync_ar_ids=(), faults=None,
-                 degrade=None, static_safe_ar_ids=()):
+                 degrade=None, static_safe_ar_ids=(), journal=None):
+        if journal is not None and config.journal is None:
+            # convenience: callers may hand the recorder here instead of
+            # pre-binding it on the config
+            config = config.copy(journal=journal)
         self.config = config
         self.ar_table = ar_table
         self.stats = KivatiStats()
@@ -69,6 +73,7 @@ class KivatiRuntime(BaseRuntime):
         self.machine = None
         self._pause_seq = 0
         self.trace = config.trace
+        self.journal = config.journal
 
     # ------------------------------------------------------------------
 
@@ -161,6 +166,9 @@ class KivatiRuntime(BaseRuntime):
             if self.trace is not None:
                 self.trace.emit(core.clock, thread.tid, "pause", ar=ar_id,
                                 ns=self.config.pause_ns)
+            if self.journal is not None:
+                self.journal.emit(core.clock, thread.tid, "pause", ar=ar_id,
+                                  ns=self.config.pause_ns)
             self.machine.block_current(
                 core, ThreadState.SLEEPING,
                 wake_time=core.clock + cost + self.config.pause_ns,
@@ -282,4 +290,9 @@ class KivatiRuntime(BaseRuntime):
         return 0
 
     def on_run_end(self, machine):
-        pass
+        # surface ring-buffer evictions: a trace that silently dropped
+        # events must say so in the stats and the run report
+        if self.trace is not None:
+            self.stats.trace_dropped_events = self.trace.dropped
+        if self.journal is not None:
+            self.stats.journal_frames = len(self.journal) + self.journal.dropped

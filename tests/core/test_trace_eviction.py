@@ -1,0 +1,49 @@
+"""Ring-buffer eviction must be observable (ISSUE 3 satellite): a trace
+that dropped events has to say so in KivatiStats and the RunReport."""
+
+from repro.core.config import KivatiConfig, Mode, OptLevel
+from repro.core.session import ProtectedProgram
+from repro.core.tracing import Trace
+
+SRC = """
+int x = 0;
+
+void worker() {
+    int i = 0;
+    while (i < 5) {
+        int t = x;
+        x = t + 1;
+        i = i + 1;
+    }
+}
+
+void main() {
+    spawn worker();
+    spawn worker();
+    join();
+    output(x);
+}
+"""
+
+
+def _run(trace):
+    pp = ProtectedProgram(SRC)
+    return pp.run(KivatiConfig(opt=OptLevel.BASE, mode=Mode.PREVENTION,
+                               trace=trace))
+
+
+def test_eviction_is_counted_and_reported():
+    trace = Trace(max_events=3)
+    report = _run(trace)
+    assert trace.dropped > 0
+    assert report.stats.trace_dropped_events == trace.dropped
+    assert "trace_dropped=%d" % trace.dropped in report.summary()
+    assert "ring buffer full" in report.summary()
+
+
+def test_no_eviction_stays_silent():
+    report = _run(Trace())
+    assert report.stats.trace_dropped_events == 0
+    assert "trace_dropped" not in report.summary()
+    report = _run(None)
+    assert report.stats.trace_dropped_events == 0

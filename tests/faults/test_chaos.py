@@ -24,7 +24,9 @@ def test_builtin_schedules_cover_every_injection_point():
     covered = set()
     for schedule in builtin_schedules():
         covered.update(schedule.plan.points())
-    assert covered == set(INJECTION_POINTS)
+    # journal.crash kills the session by design, so it cannot appear in a
+    # degradation schedule; the recovery tests exercise it instead
+    assert covered == set(INJECTION_POINTS) - {"journal.crash"}
     assert len(builtin_schedules()) >= 8
     assert len(DEFAULT_SEEDS) >= 3
 

@@ -12,9 +12,9 @@ from repro.faults.plan import (
 )
 
 
-def test_injection_points_cover_all_three_layers():
+def test_injection_points_cover_all_layers():
     layers = {point.split(".")[0] for point in INJECTION_POINTS}
-    assert layers == {"machine", "kernel", "runtime"}
+    assert layers == {"machine", "kernel", "runtime", "journal"}
     assert len(INJECTION_POINTS) >= 8
 
 

@@ -1,0 +1,11 @@
+"""Shared fixtures for the journal-plane tests."""
+
+import pytest
+
+from journal_common import RACY_SRC
+from repro.core.session import ProtectedProgram
+
+
+@pytest.fixture(scope="session")
+def racy_program():
+    return ProtectedProgram(RACY_SRC)

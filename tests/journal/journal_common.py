@@ -1,0 +1,42 @@
+"""Shared workload and config helpers for the journal-plane tests."""
+
+from repro.core.config import KivatiConfig, Mode, OptLevel
+
+#: Compact two-thread check-then-act race: enough contention to exercise
+#: every journal plane (arming, traps, suspensions, undo, violations)
+#: while staying short enough to re-execute dozens of times per test.
+RACY_SRC = """
+int x = 0;
+
+void careful() {
+    int i = 0;
+    while (i < 3) {
+        int t = x;
+        sleep(400);
+        x = t + 1;
+        i = i + 1;
+    }
+}
+
+void racer() {
+    int j = 0;
+    while (j < 3) {
+        sleep(150);
+        x = x + 10;
+        j = j + 1;
+    }
+}
+
+void main() {
+    spawn careful();
+    spawn racer();
+    join();
+    output(x);
+}
+"""
+
+
+def base_config(**overrides):
+    kwargs = dict(opt=OptLevel.BASE, mode=Mode.PREVENTION)
+    kwargs.update(overrides)
+    return KivatiConfig(**kwargs)

@@ -1,0 +1,126 @@
+"""Postmortem soundness: the offline serializability re-verifier must
+agree with every online verdict — asserted over the full bug corpus."""
+
+import pytest
+
+from journal_common import base_config
+from repro.bench.scale import corpus_config
+from repro.core.config import Mode
+from repro.core.session import ProtectedProgram
+from repro.journal.events import JournalEvent
+from repro.journal.postmortem import reverify, reverify_report
+from repro.journal.replay import record_run
+from repro.workloads.bugs import BUG_IDS, BUGS
+
+_PROGRAMS = {}
+
+
+def protected(bug):
+    pp = _PROGRAMS.get(bug.bug_id)
+    if pp is None:
+        pp = ProtectedProgram(bug.source)
+        _PROGRAMS[bug.bug_id] = pp
+    return pp
+
+
+@pytest.mark.parametrize("bug_id", BUG_IDS)
+def test_zero_disagreements_on_the_bug_corpus(bug_id):
+    """Acceptance: disagreements == 0 for every corpus bug."""
+    bug = BUGS[bug_id]
+    config = corpus_config(Mode.BUG_FINDING, pause_ms=20)
+    report, recorder = record_run(protected(bug), config, seed=1)
+    result, report_matches = reverify_report(recorder, report)
+    assert result.disagreements == [], result.describe()
+    assert not result.anomalies, result.describe()
+    assert report_matches
+    assert result.windows_checked > 0
+
+
+def test_postmortem_agrees_on_the_racy_workload(racy_program):
+    report, recorder = record_run(racy_program, base_config(), seed=0)
+    assert len(report.violations)
+    result, report_matches = reverify_report(recorder, report)
+    assert result.agrees and report_matches, result.describe()
+    assert len(result.offline) == len(report.violations)
+    assert "0 disagreements" in result.describe()
+
+
+def _ev(seq, kind, tid=0, t=None, **payload):
+    return JournalEvent(seq, seq * 10 if t is None else t, tid, kind, payload)
+
+
+def test_detects_an_online_verdict_with_no_supporting_trigger():
+    """A violation event with no journaled trigger evidence is exactly
+    the kind of online/offline split the checker exists to catch."""
+    events = [
+        _ev(0, "begin", tid=1, ar=3, slot=0, gen=1, first="R"),
+        _ev(1, "violation", tid=1, ar=3, remote_tid=2, first="R",
+            remote="W", second="R", prevented=True),
+        _ev(2, "end", tid=1, ar=3, second="R", zombie=False),
+    ]
+    result = reverify(events)
+    assert result.offline == []
+    assert len(result.online) == 1
+    assert len(result.disagreements) == 1
+    assert not result.agrees
+
+
+def test_detects_a_missing_online_verdict():
+    """Triggers that prove an unserializable interleaving, but no
+    journaled violation: offline-only verdict, flagged."""
+    events = [
+        _ev(0, "begin", tid=1, ar=3, slot=0, gen=1, first="R"),
+        _ev(1, "trigger", tid=2, t=15, slot=0, gen=1, kinds=["W"],
+            undone=True),
+        _ev(2, "end", tid=1, ar=3, second="R", zombie=False),
+    ]
+    result = reverify(events)
+    assert result.offline == [(3, 1, 2, "R", "W", "R", True)]
+    assert result.online == []
+    assert not result.agrees
+
+
+def test_serializable_window_yields_no_verdict():
+    # (R, R, R) is serializable: a remote read never invalidates
+    events = [
+        _ev(0, "begin", tid=1, ar=3, slot=0, gen=1, first="R"),
+        _ev(1, "trigger", tid=2, t=15, slot=0, gen=1, kinds=["R"],
+            undone=False),
+        _ev(2, "end", tid=1, ar=3, second="R", zombie=False),
+    ]
+    result = reverify(events)
+    assert result.offline == [] and result.agrees
+
+
+def test_pre_window_and_local_triggers_are_ignored():
+    events = [
+        _ev(0, "trigger", tid=2, t=1, slot=0, gen=1, kinds=["W"],
+            undone=True),                       # before the window opened
+        _ev(1, "begin", tid=1, ar=3, t=10, slot=0, gen=1, first="R"),
+        _ev(2, "trigger", tid=1, t=15, slot=0, gen=1, kinds=["W"],
+            undone=True),                       # the local thread itself
+        _ev(3, "end", tid=1, ar=3, t=20, second="R", zombie=False),
+    ]
+    result = reverify(events)
+    assert result.offline == []
+
+
+def test_zombie_windows_are_checked_and_forced_unprevented():
+    events = [
+        _ev(0, "begin", tid=1, ar=3, slot=0, gen=1, first="R"),
+        _ev(1, "trigger", tid=2, t=15, slot=0, gen=1, kinds=["W"],
+            undone=True),
+        _ev(2, "zombify", tid=1, ar=3, slot=0, gen=1, begin_time=0),
+        _ev(3, "end", tid=1, ar=3, second="R", zombie=True),
+    ]
+    result = reverify(events)
+    # undone remote access, but the window outlived its watchpoint: the
+    # verdict stands and must be flagged unprevented
+    assert result.offline == [(3, 1, 2, "R", "W", "R", False)]
+
+
+def test_unmatched_lifecycle_events_are_anomalies():
+    result = reverify([_ev(0, "end", tid=1, ar=9, second="W", zombie=False)])
+    assert result.anomalies and not result.agrees
+    result = reverify([_ev(0, "zombify", tid=1, ar=9, slot=0, gen=1)])
+    assert result.anomalies and not result.agrees

@@ -1,0 +1,84 @@
+"""Journal recorder: in-memory sink, disk streaming, crash injection."""
+
+import pytest
+
+from repro.errors import JournalCrash
+from repro.faults.plan import FaultInjector, FaultPlan, FaultSpec
+from repro.journal.format import JournalWriter, read_journal
+from repro.journal.recorder import JournalRecorder
+from repro.minic.ast import AccessKind
+
+
+def test_emit_sequences_and_canonicalizes_payloads():
+    recorder = JournalRecorder()
+    first = recorder.emit(100, 1, "begin", ar=3, first=AccessKind.READ,
+                          kinds=(AccessKind.READ, AccessKind.WRITE))
+    second = recorder.emit(200, 2, "end", ar=3, zombie=False)
+    assert (first.seq, second.seq) == (0, 1)
+    assert first.payload == {"ar": 3, "first": "R", "kinds": ["R", "W"]}
+    assert len(recorder) == 2
+    assert recorder.filter("begin") == [first]
+    assert recorder.filter(tid=2) == [second]
+
+
+def test_max_events_bound_counts_evictions():
+    recorder = JournalRecorder(max_events=3)
+    for i in range(8):
+        recorder.emit(i, 0, "sched", core=0)
+    assert len(recorder.events) == 3
+    assert recorder.dropped == 5
+    assert "5 events dropped" in recorder.render()
+
+
+def test_disk_backed_recorder_streams_every_frame(tmp_path):
+    path = str(tmp_path / "j")
+    recorder = JournalRecorder(writer=JournalWriter(path))
+    for i in range(6):
+        recorder.emit(i * 10, i % 2, "sched", core=0, pc=i)
+    recorder.close()
+    result = read_journal(path)
+    assert not result.torn
+    assert [e.key() for e in result.events] \
+        == [e.key() for e in recorder.events]
+
+
+def _crash_plan(frame, **param):
+    return FaultPlan("crash", [
+        FaultSpec("journal.crash", probability=1.0, max_fires=1,
+                  start_after=frame, param=param)])
+
+
+def test_crash_injection_tears_the_frame_and_raises(tmp_path):
+    path = str(tmp_path / "j")
+    recorder = JournalRecorder(writer=JournalWriter(path),
+                               faults=FaultInjector(_crash_plan(3, torn=1)))
+    with pytest.raises(JournalCrash):
+        for i in range(10):
+            recorder.emit(i * 10, 0, "sched", core=0, pc=i)
+    # frames before the crash survive; the torn tail is dropped
+    result = read_journal(path)
+    assert result.torn
+    assert [e.seq for e in result.events] == [0, 1, 2]
+    assert recorder.writer.closed
+
+
+def test_crash_injection_with_clean_close_leaves_no_tear(tmp_path):
+    path = str(tmp_path / "j")
+    recorder = JournalRecorder(writer=JournalWriter(path),
+                               faults=FaultInjector(_crash_plan(3, torn=0)))
+    with pytest.raises(JournalCrash):
+        for i in range(10):
+            recorder.emit(i * 10, 0, "sched", core=0, pc=i)
+    result = read_journal(path)
+    # the stream is incomplete (no run-end) but frames cleanly
+    assert not result.torn
+    assert [e.seq for e in result.events] == [0, 1, 2]
+
+
+def test_crash_injection_without_writer_still_raises():
+    recorder = JournalRecorder(faults=FaultInjector(_crash_plan(2)))
+    recorder.emit(0, 0, "sched", core=0)
+    recorder.emit(1, 0, "sched", core=0)
+    with pytest.raises(JournalCrash):
+        recorder.emit(2, 0, "sched", core=0)
+    assert len(recorder.events) == 2

@@ -1,0 +1,18 @@
+"""Recovery bench: the pressure table itself must hold its invariants."""
+
+from repro.bench.recoverybench import SMALL_SRC, generate
+
+
+def test_recovery_bench_sweep_holds():
+    result = generate(seeds=(0, 1), stride=11,
+                      workloads=(("small-race", SMALL_SRC),))
+    assert result.check() == []
+    assert len(result.cases) == 2
+    for case in result.cases:
+        assert case.crash_points > 0
+        assert case.resumed == case.crash_points
+        assert case.aborted == 0
+        assert case.postmortem_clean
+    rendered = result.render()
+    assert "Recovery bench" in rendered
+    assert "small-race" in rendered

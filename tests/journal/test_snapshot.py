@@ -1,0 +1,67 @@
+"""Config snapshot: the run-start header must rebuild the exact config."""
+
+import pytest
+
+from journal_common import RACY_SRC, base_config
+from repro.errors import JournalError
+from repro.faults.breaker import BreakerPolicy
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.journal.snapshot import (SNAPSHOT_VERSION, config_from_snapshot,
+                                    config_snapshot, source_digest)
+
+
+def test_snapshot_roundtrip_is_exact():
+    config = base_config(
+        seed=42, num_cores=3, num_watchpoints=2, pause_ns=12345,
+        trap_before=True, watchdog=True,
+        whitelist=frozenset((7, 3)),
+        faults=FaultPlan("mix", [
+            FaultSpec("machine.trap.drop", probability=0.5, max_fires=2),
+            FaultSpec("journal.crash", probability=1.0, start_after=9,
+                      param={"torn": 1}),
+        ]),
+    )
+    snap = config_snapshot(config, RACY_SRC)
+    rebuilt = config_from_snapshot(snap)
+    # snapshotting the rebuilt config must reproduce the original snapshot
+    # bit-for-bit: that is what makes replay-of-a-replay deterministic
+    assert config_snapshot(rebuilt, RACY_SRC) == snap
+    assert rebuilt.seed == 42
+    assert rebuilt.whitelist == frozenset((3, 7))
+    assert [s.point for s in rebuilt.faults.specs] \
+        == ["machine.trap.drop", "journal.crash"]
+
+
+def test_snapshot_carries_source_identity():
+    snap = config_snapshot(base_config(), RACY_SRC)
+    assert snap["source_sha256"] == source_digest(RACY_SRC)
+    assert config_snapshot(base_config())["version"] == SNAPSHOT_VERSION
+    assert "source_sha256" not in config_snapshot(base_config())
+
+
+def test_breaker_policy_survives_the_roundtrip():
+    config = base_config(breaker=BreakerPolicy())
+    rebuilt = config_from_snapshot(config_snapshot(config))
+    assert isinstance(rebuilt.breaker, BreakerPolicy)
+    config = base_config(breaker=False)
+    rebuilt = config_from_snapshot(config_snapshot(config))
+    assert rebuilt.breaker is False
+
+
+def test_drop_fault_points_strips_the_crash():
+    config = base_config(faults=FaultPlan("crash-only", [
+        FaultSpec("journal.crash", probability=1.0)]))
+    rebuilt = config_from_snapshot(config_snapshot(config),
+                                   drop_fault_points=("journal.crash",))
+    assert rebuilt.faults is None
+
+
+def test_rejects_foreign_snapshots():
+    with pytest.raises(JournalError):
+        config_from_snapshot(None)
+    with pytest.raises(JournalError):
+        config_from_snapshot({"not": "a snapshot"})
+    snap = config_snapshot(base_config())
+    snap["version"] = SNAPSHOT_VERSION + 1
+    with pytest.raises(JournalError):
+        config_from_snapshot(snap)

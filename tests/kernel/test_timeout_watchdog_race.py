@@ -1,0 +1,188 @@
+"""Suspension-timeout vs watchdog-break race (ISSUE 3 satellite).
+
+The watchdog breaks a suspension cycle by force-releasing a suspended
+thread; the 10 ms suspension-timeout event for that same thread may
+already sit in the machine's event queue when the break runs (or the
+break may be attempted after the timeout already fired).  Whichever
+handler runs second must be a strict no-op: no double wake, no double
+stat count, no second zombify of the slot's ARs.  The kernel guarantees
+this by popping ``suspensions``/``susp_slot`` atomically at the top of
+both handlers; these tests pin that contract with a fake machine so a
+refactor that re-orders the pops (or counts stats before them) fails
+loudly.
+"""
+
+from repro.core.config import KivatiConfig
+from repro.core.reports import ViolationLog
+from repro.kernel.kivati import KivatiKernel
+from repro.kernel.state import ActiveAR, Suspension
+from repro.machine.threads import ThreadState
+from repro.runtime.stats import KivatiStats
+
+
+class FakeThread:
+    def __init__(self, tid):
+        self.tid = tid
+        self.state = ThreadState.RUNNING
+
+
+class FakeDR:
+    def __init__(self):
+        self.synced_epoch = 0
+
+    def adopt(self, slots, epoch, faults=None):
+        self.synced_epoch = epoch
+
+
+class FakeCore:
+    def __init__(self, index=0):
+        self.index = index
+        self.clock = 0
+        self.thread = None
+        self.dr = FakeDR()
+
+
+class FakeMachine:
+    """Just enough Machine surface for the suspension plane."""
+
+    def __init__(self, threads):
+        self.threads = {t.tid: t for t in threads}
+        self.clock = 0
+        self.cores = []
+        self.scheduled = []   # events handed out by schedule_event
+        self.cancelled = []
+        self.woken = []       # every wake_thread *call*, even no-ops
+
+    def now(self):
+        return self.clock
+
+    def schedule_event(self, time, callback):
+        event = (time, callback)
+        self.scheduled.append(event)
+        return event
+
+    def cancel_event(self, event):
+        self.cancelled.append(event)
+
+    def wake_thread(self, tid):
+        self.woken.append(tid)
+        thread = self.threads.get(tid)
+        if thread is None or thread.state in (ThreadState.RUNNABLE,
+                                              ThreadState.RUNNING,
+                                              ThreadState.DONE):
+            return False
+        thread.state = ThreadState.RUNNABLE
+        return True
+
+    def block_current(self, core, state, wake_time=None, retry_instr=False):
+        core.thread.state = state
+
+
+class FakeARInfo:
+    def __init__(self, ar_id):
+        self.ar_id = ar_id
+        self.watch_read = True
+        self.watch_write = True
+
+
+def make_kernel(**config_overrides):
+    config = KivatiConfig(**config_overrides)
+    kernel = KivatiKernel(config, {}, KivatiStats(), ViolationLog())
+    machine = FakeMachine([FakeThread(0), FakeThread(1), FakeThread(2)])
+    kernel.attach(machine)
+    return kernel, machine
+
+
+def suspend_on_slot(kernel, machine, tid, owner_tid=1, ar_id=7):
+    """Arm slot 0 (owned by ``owner_tid`` with one active AR) and suspend
+    thread ``tid`` on it, exactly as a trap on the watched address would."""
+    core = FakeCore()
+    slot = kernel.slots[0]
+    slot.enabled = True
+    slot.addr = 100
+    slot.gen = 1
+    slot.owner_tid = owner_tid
+    slot.ars = [ActiveAR(FakeARInfo(ar_id), owner_tid, 100, 1, 0, 0, False)]
+    thread = machine.threads[tid]
+    core.thread = thread
+    kernel._suspend(core, thread, slot, Suspension.REASON_TRAP,
+                    retry_instr=False)
+    assert thread.state == ThreadState.SUSPENDED
+    assert kernel.suspensions[tid] is slot.suspended[0]
+    return core, slot
+
+
+def test_stale_timeout_after_watchdog_break_is_a_noop():
+    """Break first, then the (already-queued) timeout fires anyway."""
+    kernel, machine = make_kernel(watchdog=True)
+    core, slot = suspend_on_slot(kernel, machine, tid=2)
+    timeout_event = kernel.suspensions[2].timeout_event
+
+    kernel._watchdog_break(2, [2, 1], core)
+    assert kernel.stats.watchdog_breaks == 1
+    assert machine.woken == [2]
+    assert timeout_event in machine.cancelled
+    assert (1, 7) in kernel.zombies          # the slot's AR zombified once
+    assert not kernel.suspensions and not kernel.susp_slot
+
+    # the event was cancelled, but a dequeued-before-cancel callback can
+    # still run: it must find nothing to do
+    kernel._on_timeout(2)
+    assert kernel.stats.suspend_timeouts == 0
+    assert kernel.stats.watchdog_breaks == 1
+    assert machine.woken == [2]              # no double resume
+    assert len(kernel.zombies) == 1          # no double zombify
+    assert machine.threads[2].state == ThreadState.RUNNABLE
+
+
+def test_watchdog_break_after_timeout_is_a_noop():
+    """Timeout fires first; a late cycle-break attempt must not re-count
+    or re-wake."""
+    kernel, machine = make_kernel(watchdog=True)
+    core, slot = suspend_on_slot(kernel, machine, tid=2)
+
+    kernel._on_timeout(2)
+    assert kernel.stats.suspend_timeouts == 1
+    assert machine.woken == [2]
+    assert (1, 7) in kernel.zombies
+    assert not kernel.suspensions and not kernel.susp_slot
+
+    kernel._watchdog_break(2, [2, 1], core)
+    assert kernel.stats.watchdog_breaks == 0
+    assert machine.woken == [2]
+    assert len(kernel.zombies) == 1
+    assert machine.threads[2].state == ThreadState.RUNNABLE
+
+
+def test_double_timeout_fire_is_a_noop():
+    """Two firings of the same timeout callback count exactly once."""
+    kernel, machine = make_kernel()
+    suspend_on_slot(kernel, machine, tid=2)
+
+    kernel._on_timeout(2)
+    kernel._on_timeout(2)
+    assert kernel.stats.suspend_timeouts == 1
+    assert machine.woken == [2]
+    assert len(kernel.zombies) == 1
+
+
+def test_timeout_on_reused_slot_leaves_new_tenants_alone():
+    """If the slot was freed and re-armed while the thread stayed
+    suspended (lost wakeup), the timeout recovers the thread but must not
+    zombify the slot's *new* ARs."""
+    kernel, machine = make_kernel()
+    core, slot = suspend_on_slot(kernel, machine, tid=2)
+
+    # simulate the lost-wakeup reuse: the suspension record survives but
+    # the slot no longer lists it, and a new tenant moved in
+    slot.suspended.clear()
+    slot.gen = 2
+    slot.ars = [ActiveAR(FakeARInfo(9), 0, 200, 1, 50, 0, False)]
+
+    kernel._on_timeout(2)
+    assert kernel.stats.suspend_timeouts == 1
+    assert machine.woken == [2]
+    assert machine.threads[2].state == ThreadState.RUNNABLE
+    assert kernel.zombies == {}              # new tenant untouched
+    assert slot.ars and slot.ars[0].ar_id == 9
+    assert slot.enabled
