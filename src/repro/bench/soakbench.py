@@ -1,0 +1,385 @@
+"""Soak harness: the 5 app workloads at inflated thread counts, with
+fault injection enabled, under the overload control plane (DESIGN.md
+§10).
+
+Not a paper table — the paper never asks what happens when a production
+workload exhausts the 4 debug registers per core. The soak sweep runs
+every application at a multiple of its paper thread count, injects a
+mild multi-point fault schedule, and asserts the liveness contract of
+the pressure plane:
+
+- the run always completes (no permanent suspension, no deadlock);
+- correctness is never shed (the workload's output validator holds);
+- zero leaked slots at exit, and every leak the watchdog detected was
+  reclaimed;
+- the quarantine AIMD loop converges (every entry settles or releases);
+- every arbiter decision left a journal record.
+
+The pressure-vs-coverage table reports how detection coverage (fraction
+of executed ARs that were actually monitored) degrades as the thread
+multiplier grows — gracefully, not to zero.
+"""
+
+from repro.bench.render import Table
+from repro.bench.scale import MS, SCALE, bench_config
+from repro.core.session import ProtectedProgram
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.pressure import PressurePolicy
+from repro.workloads.apps import (
+    build_nss,
+    build_specomp,
+    build_tpcw,
+    build_vlc,
+    build_webstone,
+)
+
+DEFAULT_SEEDS = (0, 1)
+DEFAULT_MULTIPLIERS = (1, 2, 4)
+
+#: Synthetic slot-exhaustion workload: five "quiet" threads each hold a
+#: long check-then-act AR on a distinct variable (5 concurrent
+#: watchpoint demands > 4 registers), while ``hot_burst`` runs
+#: check-then-act windows on ``hot`` that an un-annotated racer keeps
+#: blasting. The hot thread bursts twice: the first burst runs while the
+#: quiet threads are still asleep, so its ARs are monitored and build
+#: violation history; the AR-free sleep between the bursts releases the
+#: slot, the waking quiet flood takes every register, and the second
+#: burst re-begins the *same static ARs* against a full house — the
+#: arbiter preempts a zero-priority quiet slot for them. Quiet begins
+#: during the flood exceed four concurrent demands and are denied.
+SLOT_PRESSURE_SRC = """
+int q0 = 0;
+int q1 = 0;
+int q2 = 0;
+int q3 = 0;
+int q4 = 0;
+int hot = 0;
+
+void quiet0() { sleep(15000); int i = 0; while (i < 5) { int t = q0; sleep(1200); q0 = t + 1; i = i + 1; } }
+void quiet1() { sleep(15000); int i = 0; while (i < 5) { int t = q1; sleep(1200); q1 = t + 1; i = i + 1; } }
+void quiet2() { sleep(15000); int i = 0; while (i < 5) { int t = q2; sleep(1200); q2 = t + 1; i = i + 1; } }
+void quiet3() { sleep(15000); int i = 0; while (i < 5) { int t = q3; sleep(1200); q3 = t + 1; i = i + 1; } }
+void quiet4() { sleep(15000); int i = 0; while (i < 5) { int t = q4; sleep(1200); q4 = t + 1; i = i + 1; } }
+
+void blast(int v) {
+    hot = v;
+}
+
+void hot_burst() {
+    int i = 0;
+    while (i < 5) {
+        int t = hot;
+        sleep(400);
+        hot = t + 1;
+        i = i + 1;
+    }
+}
+
+void hot_thread() {
+    hot_burst();
+    sleep(9000);
+    hot_burst();
+}
+
+void racer() {
+    int j = 0;
+    while (j < 50) {
+        sleep(300);
+        blast(100 + j);
+        j = j + 1;
+    }
+}
+
+void main() {
+    spawn hot_thread();
+    spawn racer();
+    spawn quiet0();
+    spawn quiet1();
+    spawn quiet2();
+    spawn quiet3();
+    spawn quiet4();
+    join();
+    output(q0 + q1 + q2 + q3 + q4);
+}
+"""
+
+
+def soak_policy(**overrides):
+    """PressurePolicy with every *_ns threshold divided by SCALE, like
+    every other OS time constant at bench scale."""
+    kwargs = dict(
+        # the natural wake-to-run latency at 4x oversubscription is
+        # ~0.1-6 us of simulated time; shed only when the EMA sits an
+        # order of magnitude above the spike ceiling
+        latency_watermark_ns=50 * MS // SCALE,
+        latency_ref_ns=2 * MS // SCALE,
+        suspended_watermark=12,
+        leak_age_ns=1 * MS // SCALE,
+        leak_scan_ns=MS // (4 * SCALE),
+        sample_max_n=16,
+    )
+    kwargs.update(overrides)
+    return PressurePolicy(**kwargs)
+
+
+def soak_fault_plan():
+    """Mild multi-point schedule: enough injected chaos to drive the
+    degradation planes without making completion itself improbable."""
+    return FaultPlan("soak-mix", [
+        FaultSpec("machine.trap.drop", probability=0.15),
+        FaultSpec("kernel.crosscore.delay", probability=0.2),
+        FaultSpec("kernel.wakeup.lost", probability=0.2, max_fires=6),
+        FaultSpec("machine.timer.jitter", probability=0.2,
+                  param={"jitter_ns": 2000}),
+    ])
+
+
+def soak_config(policy=None, faults=None, **overrides):
+    """Bench-scaled config with the pressure plane on and faults
+    injected (pass ``faults=None`` explicitly for a fault-free run)."""
+    kwargs = dict(
+        pressure=policy if policy is not None else soak_policy(),
+        faults=faults,
+        num_cores=4,
+    )
+    kwargs.update(overrides)
+    return bench_config(**kwargs)
+
+
+def build_soak_workloads(multiplier=4, scale=0.25):
+    """The five apps with thread counts inflated ``multiplier``x over
+    the paper's (Table 2) and per-thread work cut by ``scale`` so soak
+    wall-clock stays bounded.
+
+    VLC's decode/render pipeline is structurally three threads — there
+    is no thread knob to multiply — so its pressure is inflated the
+    other way: ``multiplier``x the frame volume through a ring buffer
+    kept at the minimum depth, which maximizes contention on the ring
+    cursors.
+    """
+    def s(n):
+        return max(2, int(round(n * scale)))
+
+    m = max(1, int(multiplier))
+    return [
+        build_nss(threads=4 * m, iters=s(25)),
+        build_vlc(frames=s(70) * m, ring=2),
+        build_webstone(threads=4 * m, requests=s(28)),
+        build_tpcw(threads=4 * m, txns=s(40)),
+        build_specomp(threads=4 * m, rounds=s(3)),
+    ]
+
+
+class SoakCase:
+    """Outcome of one (workload, multiplier, seed) soak run."""
+
+    __slots__ = ("name", "multiplier", "seed", "report", "problems")
+
+    def __init__(self, name, multiplier, seed, report, problems):
+        self.name = name
+        self.multiplier = multiplier
+        self.seed = seed
+        self.report = report
+        self.problems = problems
+
+    @property
+    def ok(self):
+        return not self.problems
+
+    @property
+    def coverage(self):
+        """Fraction of executed ARs that were monitored (1 - Table 8's
+        missed fraction, with quarantine skips and admission sheds also
+        counting against coverage)."""
+        stats = self.report.stats
+        denom = (stats.total_ars_executed() + stats.breaker_skips
+                 + stats.quarantine_sampled_skips + stats.admission_sheds)
+        if denom == 0:
+            return 1.0
+        return stats.monitored_ars / denom
+
+
+def run_soak_case(program, workload, config, seed, multiplier=1):
+    """One soak run + the liveness/accounting assertions. ``program``
+    may be a pre-built ProtectedProgram for the workload's source."""
+    from repro.journal.recorder import JournalRecorder
+
+    journal = JournalRecorder()
+    report = program.run(config.copy(seed=seed, journal=journal))
+    problems = []
+    result = report.result
+    stats = report.stats
+
+    if result.fault is not None:
+        problems.append("machine fault: %s" % (result.fault,))
+    if result.deadlocked:
+        problems.append("deadlocked (permanent suspension)")
+    if not workload.check_output(result.output):
+        problems.append("output check failed: %r" % (result.output,))
+    if stats.slots_leaked != stats.slots_reclaimed:
+        problems.append("slot accounting: %d leaked != %d reclaimed"
+                        % (stats.slots_leaked, stats.slots_reclaimed))
+    if stats.slots_leaked_at_exit:
+        problems.append("%d slots still leaked at exit"
+                        % stats.slots_leaked_at_exit)
+    if report.pressure is not None and not report.pressure.quarantine_converged:
+        problems.append("quarantine did not converge: %s"
+                        % report.pressure.describe())
+    arbiter_events = sum(1 for e in journal.events if e.kind == "arbiter")
+    if arbiter_events != stats.arbiter_preemptions + stats.arbiter_denials:
+        problems.append("arbiter decisions unjournaled: %d events for %d"
+                        % (arbiter_events,
+                           stats.arbiter_preemptions + stats.arbiter_denials))
+    return SoakCase(workload.name, multiplier, seed, report, problems)
+
+
+class SoakBenchResult:
+    def __init__(self, table, cases):
+        self.table = table
+        self.rows = table.rows
+        self.cases = cases
+
+    def render(self):
+        return self.table.render()
+
+    def check(self):
+        """Invariant problems (empty list = the sweep passed)."""
+        return ["%s x%d seed=%d: %s" % (c.name, c.multiplier, c.seed, p)
+                for c in self.cases for p in c.problems]
+
+
+def generate(seeds=DEFAULT_SEEDS, multipliers=DEFAULT_MULTIPLIERS,
+             scale=0.25, policy=None, faults="default"):
+    """Run the soak sweep; returns a :class:`SoakBenchResult` whose
+    table is the pressure-vs-coverage table for EXPERIMENTS.md."""
+    if faults == "default":
+        faults = soak_fault_plan()
+    cases = []
+    for multiplier in multipliers:
+        for workload in build_soak_workloads(multiplier=multiplier,
+                                             scale=scale):
+            program = ProtectedProgram(workload.source)
+            config = soak_config(policy=policy, faults=faults)
+            for seed in seeds:
+                cases.append(run_soak_case(program, workload, config,
+                                           seed, multiplier=multiplier))
+
+    table = Table(
+        "Soak sweep: pressure vs detection coverage "
+        "(apps at inflated thread counts, faults injected)",
+        ["app", "mult", "threads", "coverage%", "monitored", "missed",
+         "sheds", "quar", "arb p/d", "leak r/l", "ok"],
+        note="coverage = monitored ARs / (executed + skipped + shed); "
+             "sheds = admission-control skips; quar = ARs quarantined; "
+             "arb p/d = arbiter preemptions/denials; leak r/l = slots "
+             "reclaimed/leaked by the watchdog; VLC inflates frame "
+             "volume instead of threads (fixed 3-thread pipeline)",
+    )
+    # aggregate per (app, multiplier) over seeds
+    keys = []
+    for case in cases:
+        key = (case.name, case.multiplier)
+        if key not in keys:
+            keys.append(key)
+    for name, mult in keys:
+        group = [c for c in cases
+                 if c.name == name and c.multiplier == mult]
+        stats = [c.report.stats for c in group]
+        threads = group[0].report.result.threads
+        coverage = sum(c.coverage for c in group) / len(group)
+        table.add_row(
+            name, "%dx" % mult, threads,
+            "%.1f" % (100.0 * coverage),
+            sum(s.monitored_ars for s in stats),
+            sum(s.missed_ars for s in stats),
+            sum(s.admission_sheds + s.quarantine_sampled_skips
+                for s in stats),
+            sum(s.quarantined_ars for s in stats),
+            "%d/%d" % (sum(s.arbiter_preemptions for s in stats),
+                       sum(s.arbiter_denials for s in stats)),
+            "%d/%d" % (sum(s.slots_reclaimed for s in stats),
+                       sum(s.slots_leaked for s in stats)),
+            "yes" if all(c.ok for c in group) else "NO",
+        )
+    return SoakBenchResult(table, cases)
+
+
+def replay_determinism_check(multiplier=2, seed=0, scale=0.2, policy=None,
+                             workload_index=0):
+    """Record one pressure+faults soak run, then replay it pinned to the
+    journal. Every arbiter preemption, quarantine transition, admission
+    shed and leak reclaim must reproduce frame-for-frame; returns
+    ``(SoakCase, ReplayResult)``."""
+    from repro.journal.replay import record_run, replay_run
+
+    workload = build_soak_workloads(multiplier=multiplier,
+                                    scale=scale)[workload_index]
+    program = ProtectedProgram(workload.source)
+    config = soak_config().copy(seed=seed) if policy is None \
+        else soak_config(policy=policy).copy(seed=seed)
+    report, recorder = record_run(program, config=config)
+    case = SoakCase(workload.name, multiplier, seed, report, [])
+    replay = replay_run(program, recorder)
+    return case, replay
+
+
+# ----------------------------------------------------------------------
+# detection recall under pressure (acceptance: the 11-bug corpus)
+# ----------------------------------------------------------------------
+
+class RecallCase:
+    """Detection outcome for one corpus bug under the pressure plane.
+
+    ``outcome`` is ``"detected"``, ``"sampled"`` (not detected within
+    the attempt budget, but the bug's AR sat in quarantine — sampled
+    monitoring legitimately lowers per-window detection probability), or
+    ``"missed"`` (not detected with no quarantine excuse — a recall
+    regression).
+    """
+
+    __slots__ = ("bug_id", "outcome", "attempts", "quarantined_ars")
+
+    def __init__(self, bug_id, outcome, attempts, quarantined_ars):
+        self.bug_id = bug_id
+        self.outcome = outcome
+        self.attempts = attempts
+        self.quarantined_ars = quarantined_ars
+
+
+def corpus_recall(bug_ids=None, config=None, max_attempts=40, seed_base=0):
+    """Run the detect-the-bug campaign (Table 6 protocol) with the
+    pressure plane enabled; returns a list of :class:`RecallCase`."""
+    from repro.bench.scale import corpus_config
+    from repro.workloads.bugs.corpus import BUGS
+
+    if bug_ids is None:
+        bug_ids = tuple(BUGS)
+    if config is None:
+        config = corpus_config(pressure=soak_policy())
+    out = []
+    for bug_id in bug_ids:
+        bug = BUGS[bug_id]
+        program = ProtectedProgram(bug.source)
+        detected = False
+        attempts = 0
+        victim_quarantined = set()
+        for attempt in range(max_attempts):
+            attempts = attempt + 1
+            report = program.run(config, seed=seed_base + attempt * 7919)
+            if report.pressure is not None:
+                for entry in report.pressure.quarantine.entries.values():
+                    info = report.ar_table.get(entry.ar_id)
+                    if info is not None and info.var in bug.victim_vars:
+                        victim_quarantined.add(entry.ar_id)
+            if bug.detected_in(report):
+                detected = True
+                break
+        if detected:
+            outcome = "detected"
+        elif victim_quarantined:
+            outcome = "sampled"
+        else:
+            outcome = "missed"
+        out.append(RecallCase(bug_id, outcome, attempts,
+                              sorted(victim_quarantined)))
+    return out

@@ -12,6 +12,7 @@ Commands::
     kivati report [--quick]       regenerate the full evaluation
     kivati apps                   list the application models
     kivati chaos                  run the fault-injection chaos suite
+    kivati soak                   soak the app suite under overload + faults
     kivati journal JOURNAL        inspect / postmortem-reverify a journal
     kivati replay FILE JOURNAL    deterministically replay a recorded run
 
@@ -238,6 +239,42 @@ def cmd_chaos(args):
     return 0 if report.ok else 1
 
 
+def cmd_soak(args):
+    from repro.bench import soakbench
+
+    seeds = tuple(args.seeds) if args.seeds else soakbench.DEFAULT_SEEDS
+    multipliers = (tuple(args.multipliers) if args.multipliers
+                   else soakbench.DEFAULT_MULTIPLIERS)
+    scale = args.scale
+    if args.smoke:
+        multipliers = multipliers[:2]
+        scale = min(scale, 0.15)
+    result = soakbench.generate(seeds=seeds, multipliers=multipliers,
+                                scale=scale)
+    print(result.render())
+    status = 0
+    for problem in result.check():
+        print("SOAK FAIL: " + problem)
+        status = 1
+    case, replay = soakbench.replay_determinism_check(
+        multiplier=multipliers[-1], seed=seeds[0], scale=scale)
+    print("replay determinism (%s x%d): %s"
+          % (case.name, case.multiplier, replay.describe()))
+    if not replay.ok:
+        status = 1
+    if args.recall:
+        cases = soakbench.corpus_recall()
+        for rc in cases:
+            print("recall %-8s %-9s attempts=%d%s"
+                  % (rc.bug_id, rc.outcome, rc.attempts,
+                     " quarantined=%s" % (rc.quarantined_ars,)
+                     if rc.quarantined_ars else ""))
+        if any(rc.outcome == "missed" for rc in cases):
+            print("SOAK FAIL: corpus recall regression under pressure")
+            status = 1
+    return status
+
+
 def cmd_journal(args):
     from repro.errors import JournalError
     from repro.journal.format import read_journal
@@ -389,6 +426,23 @@ def main(argv=None):
     p.add_argument("-v", "--verbose", action="store_true",
                    help="print every injected fault")
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser("soak",
+                       help="soak the app suite under overload + faults")
+    p.add_argument("--seeds", type=int, nargs="*",
+                   help="seeds per (app, multiplier) point (default: 0 1)")
+    p.add_argument("--multipliers", type=int, nargs="*",
+                   help="thread multipliers over the paper's counts "
+                        "(default: 1 2 4)")
+    p.add_argument("--scale", type=float, default=0.2,
+                   help="per-thread work scale factor (default: 0.2)")
+    p.add_argument("--smoke", action="store_true",
+                   help="CI-sized sweep: multipliers 1-2, reduced "
+                        "per-thread work")
+    p.add_argument("--recall", action="store_true",
+                   help="also run the 11-bug detection campaign under "
+                        "the pressure plane")
+    p.set_defaults(fn=cmd_soak)
 
     p = sub.add_parser("journal",
                        help="inspect a recorded journal (torn-tolerant)")

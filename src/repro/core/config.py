@@ -94,6 +94,7 @@ class KivatiConfig:
         "breaker",
         "watchdog",
         "static_prune",
+        "pressure",
     )
 
     def __init__(
@@ -119,6 +120,7 @@ class KivatiConfig:
         breaker=True,
         watchdog=True,
         static_prune=False,
+        pressure=None,
     ):
         self.mode = mode
         self.opt = (OptimizationConfig.from_level(opt)
@@ -129,6 +131,9 @@ class KivatiConfig:
             raise ConfigError("need at least one core")
         if not (0.0 <= pause_probability <= 1.0):
             raise ConfigError("pause_probability must be in [0, 1]")
+        if not isinstance(suspend_timeout_ns, int) or suspend_timeout_ns < 1:
+            raise ConfigError("suspend_timeout_ns must be a positive "
+                              "integer nanosecond count")
         self.num_watchpoints = num_watchpoints
         self.num_cores = num_cores
         self.pause_ns = pause_ns
@@ -165,6 +170,10 @@ class KivatiConfig:
         # proved STATIC_SAFE (repro.analysis.prune); merged with, not
         # replacing, the dynamic whitelist
         self.static_prune = static_prune
+        # overload control plane (repro.pressure): True for default
+        # policy, a PressurePolicy instance for tuned watermarks, or
+        # None (the default) to keep the seed fail-open behavior
+        self.pressure = pressure
 
     @property
     def detection_enabled(self):
@@ -197,6 +206,7 @@ class KivatiConfig:
             "breaker": self.breaker,
             "watchdog": self.watchdog,
             "static_prune": self.static_prune,
+            "pressure": self.pressure,
         }
         kwargs.update(overrides)
         return KivatiConfig(**kwargs)

@@ -134,12 +134,25 @@ class DegradationRecord:
 
 
 class DegradationLog:
-    """Accumulates degradation events during a run."""
+    """Accumulates degradation events during a run.
 
-    def __init__(self):
+    Bounded with the same discipline as the trace ring buffer
+    (repro.core.tracing.Trace): once ``max_records`` is reached new
+    records are dropped and counted, so a long soak under sustained
+    degradation cannot grow memory without bound — and cannot drop
+    records silently (``dropped`` surfaces as
+    ``KivatiStats.degradations_dropped``).
+    """
+
+    def __init__(self, max_records=4096):
         self.records = []
+        self.max_records = max_records
+        self.dropped = 0
 
     def add(self, record):
+        if len(self.records) >= self.max_records:
+            self.dropped += 1
+            return
         self.records.append(record)
 
     def kinds(self):
@@ -160,10 +173,10 @@ class RunReport:
     """Summary of one protected run: machine result + Kivati statistics."""
 
     __slots__ = ("result", "stats", "violations", "config", "ar_table",
-                 "degradations", "injected")
+                 "degradations", "injected", "pressure")
 
     def __init__(self, result, stats, violations, config, ar_table,
-                 degradations=None, injected=()):
+                 degradations=None, injected=(), pressure=None):
         self.result = result
         self.stats = stats
         self.violations = violations
@@ -176,6 +189,9 @@ class RunReport:
         #: InjectedFault records from the fault plane (empty unless the
         #: run was configured with a FaultPlan)
         self.injected = list(injected)
+        #: repro.pressure.PressurePlane of the run (None unless the
+        #: config enabled the overload control plane)
+        self.pressure = pressure
 
     @property
     def time_ns(self):
@@ -235,4 +251,21 @@ class RunReport:
         if self.stats.trace_dropped_events:
             text += (" trace_dropped=%d (ring buffer full)"
                      % self.stats.trace_dropped_events)
+        if self.stats.slots_leaked or self.stats.slots_reclaimed:
+            text += " slots_leaked=%d slots_reclaimed=%d" % (
+                self.stats.slots_leaked, self.stats.slots_reclaimed)
+        if self.stats.slots_leaked_at_exit:
+            text += " slots_leaked_at_exit=%d" % (
+                self.stats.slots_leaked_at_exit)
+        if self.stats.arbiter_preemptions or self.stats.arbiter_denials:
+            text += " arbiter=%d/%d (preempt/deny)" % (
+                self.stats.arbiter_preemptions, self.stats.arbiter_denials)
+        if self.stats.quarantined_ars:
+            text += " quarantined_ars=%d (released %d)" % (
+                self.stats.quarantined_ars, self.stats.quarantine_releases)
+        if self.stats.admission_sheds:
+            text += " admission_sheds=%d" % self.stats.admission_sheds
+        if self.stats.degradations_dropped:
+            text += (" degradations_dropped=%d (log full)"
+                     % self.stats.degradations_dropped)
         return text

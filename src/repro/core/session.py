@@ -110,7 +110,8 @@ class ProtectedProgram:
         return RunReport(result, runtime.stats, log, config, self.ar_table,
                          degradations=degradations,
                          injected=tuple(injector.injected)
-                         if injector is not None else ())
+                         if injector is not None else (),
+                         pressure=runtime.pressure)
 
     def run_vanilla(self, num_cores=2, costs=None, seed=0,
                     raise_on_deadlock=False, max_steps=200_000_000):

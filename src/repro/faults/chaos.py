@@ -241,6 +241,19 @@ def run_chaos_case(program, plan, seed, config, baseline=None):
     elif not report_matches:
         problems.append("postmortem verdicts do not match the run report")
 
+    # 5. pressure accounting: every slot leak the watchdog detected was
+    # reclaimed, and every arbiter decision left a journal record (both
+    # trivially 0 == 0 when the pressure plane is off)
+    stats = faulty.stats
+    if stats.slots_leaked != stats.slots_reclaimed:
+        problems.append("slot accounting: %d leaked != %d reclaimed"
+                        % (stats.slots_leaked, stats.slots_reclaimed))
+    arbiter_events = sum(1 for e in journal.events if e.kind == "arbiter")
+    arbiter_decisions = stats.arbiter_preemptions + stats.arbiter_denials
+    if arbiter_events != arbiter_decisions:
+        problems.append("arbiter decisions unjournaled: %d events for %d "
+                        "decisions" % (arbiter_events, arbiter_decisions))
+
     return ChaosCase(plan, seed, faulty, baseline, problems, postmortem)
 
 

@@ -15,6 +15,10 @@ Event kinds, by emitting layer:
 - kernel:   ``arm``, ``disarm``, ``trigger``, ``zombify``, ``clear``,
             ``suspend``, ``wake``, ``timeout``, ``watchdog``, ``undo``,
             ``degrade``, ``resync``, ``violation``
+- pressure: ``arbiter`` (slot preemption/denial), ``quarantine``
+            (enter/increase/decrease/release plus per-entry
+            monitor/skip sampling decisions), ``pressure``
+            (admission shed, slot-leak reclaim)
 """
 
 import enum
@@ -29,6 +33,7 @@ EVENT_KINDS = frozenset((
     "arm", "disarm", "trigger", "zombify", "clear",
     "suspend", "wake", "timeout", "watchdog", "undo",
     "degrade", "resync", "violation",
+    "arbiter", "quarantine", "pressure",
 ))
 
 

@@ -18,9 +18,15 @@ from repro.core.config import KivatiConfig, Mode, OptimizationConfig
 from repro.errors import JournalError
 from repro.faults.breaker import BreakerPolicy
 from repro.faults.plan import FaultPlan, FaultSpec
+from repro.pressure.policy import PressurePolicy
 
-#: Bump when the snapshot layout changes incompatibly.
-SNAPSHOT_VERSION = 1
+#: Bump when the snapshot layout changes incompatibly. Version 2 added
+#: the pressure-plane policy; version-1 journals (no ``pressure`` key)
+#: still load — missing fields take the defaults the recording run used.
+SNAPSHOT_VERSION = 2
+
+#: Every version :func:`config_from_snapshot` can rebuild.
+SUPPORTED_SNAPSHOT_VERSIONS = frozenset((1, 2))
 
 
 def source_digest(source):
@@ -32,6 +38,15 @@ def _breaker_snapshot(breaker):
     if isinstance(breaker, BreakerPolicy):
         return {name: getattr(breaker, name) for name in BreakerPolicy.__slots__}
     return bool(breaker)
+
+
+def _pressure_snapshot(pressure):
+    if isinstance(pressure, PressurePolicy):
+        return {name: getattr(pressure, name)
+                for name in PressurePolicy.__slots__}
+    if pressure is True:
+        return True
+    return None
 
 
 def _faults_snapshot(plan):
@@ -78,6 +93,7 @@ def config_snapshot(config, source=None):
         "watchdog": bool(config.watchdog),
         "static_prune": bool(config.static_prune),
         "faults": _faults_snapshot(config.faults),
+        "pressure": _pressure_snapshot(config.pressure),
     }
     if source is not None:
         snap["source_sha256"] = source_digest(source)
@@ -94,13 +110,28 @@ def config_from_snapshot(snap, drop_fault_points=()):
     if not isinstance(snap, dict) or "seed" not in snap:
         raise JournalError("journal has no usable config snapshot")
     version = snap.get("version")
-    if version != SNAPSHOT_VERSION:
+    if version not in SUPPORTED_SNAPSHOT_VERSIONS:
         raise JournalError("unsupported config snapshot version %r" % (version,))
     from repro.machine.costs import CostModel
+
+    # validate timing fields that older writers could not have checked,
+    # so a corrupted or hand-edited journal aborts cleanly here instead
+    # of deep inside the run
+    timeout = snap.get("suspend_timeout_ns", 10_000_000)
+    if not isinstance(timeout, int) or timeout < 1:
+        raise JournalError("snapshot suspend_timeout_ns %r is not a "
+                           "positive integer" % (timeout,))
 
     breaker = snap["breaker"]
     if isinstance(breaker, dict):
         breaker = BreakerPolicy(**breaker)
+    # absent in version-1 snapshots: those runs predate the plane
+    pressure = snap.get("pressure")
+    if isinstance(pressure, dict):
+        pressure = PressurePolicy(**pressure)
+    elif pressure is not None and pressure is not True:
+        raise JournalError("snapshot pressure %r is not null/true/object"
+                           % (pressure,))
     faults = None
     fsnap = snap.get("faults")
     if fsnap is not None:
@@ -118,7 +149,7 @@ def config_from_snapshot(snap, drop_fault_points=()):
         num_cores=snap["num_cores"],
         pause_ns=snap["pause_ns"],
         pause_probability=snap["pause_probability"],
-        suspend_timeout_ns=snap["suspend_timeout_ns"],
+        suspend_timeout_ns=timeout,
         whitelist=snap["whitelist"],
         whitelist_path=snap["whitelist_path"],
         whitelist_reread_ns=snap["whitelist_reread_ns"],
@@ -131,8 +162,9 @@ def config_from_snapshot(snap, drop_fault_points=()):
         watchdog=snap["watchdog"],
         static_prune=snap["static_prune"],
         faults=faults,
+        pressure=pressure,
     )
 
 
-__all__ = ["SNAPSHOT_VERSION", "config_from_snapshot", "config_snapshot",
-           "source_digest"]
+__all__ = ["SNAPSHOT_VERSION", "SUPPORTED_SNAPSHOT_VERSIONS",
+           "config_from_snapshot", "config_snapshot", "source_digest"]

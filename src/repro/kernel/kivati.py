@@ -72,7 +72,7 @@ class KivatiKernel:
     """Kernel-side Kivati state machine."""
 
     def __init__(self, config, ar_table, stats, log, faults=None,
-                 degrade=None, breaker=None):
+                 degrade=None, breaker=None, pressure=None):
         self.config = config
         self.ar_table = ar_table
         self.stats = stats
@@ -90,6 +90,10 @@ class KivatiKernel:
         self.faults = faults
         self.degrade = degrade if degrade is not None else DegradationLog()
         self.breaker = breaker
+        # optional repro.pressure.PressurePlane (overload control:
+        # slot arbitration, AR quarantine, backpressure)
+        self.pressure = pressure
+        self._next_leak_scan = 0
         # optional repro.journal.JournalRecorder (durable incident record)
         self.journal = config.journal
 
@@ -119,6 +123,103 @@ class KivatiKernel:
         self.stats.breaker_trips += 1
         self._record_degradation("breaker-open", now, tid=tid, ar=ar_id,
                                  backoff_ns=backoff_ns)
+
+    # ------------------------------------------------------------------
+    # overload control plane (repro.pressure)
+    # ------------------------------------------------------------------
+
+    def _note_ar_pressure(self, ar_id, tid, now):
+        """A breaker trip or suspension timeout hit ``ar_id``: feed the
+        quarantine state machine and journal whatever it decides."""
+        if self.pressure is None:
+            return
+        action = self.pressure.note_pressure(ar_id, now)
+        if action is None:
+            return
+        self._quarantine_action(action, ar_id, tid, now)
+
+    def _quarantine_action(self, action, ar_id, tid, now):
+        what, n = action
+        if what == "enter":
+            self.stats.quarantined_ars += 1
+            self._record_degradation("quarantine-enter", now, tid=tid,
+                                     ar=ar_id, n=n)
+        elif what == "release":
+            self.stats.quarantine_releases += 1
+        else:
+            self.stats.quarantine_adaptations += 1
+        self._journal(now, tid if tid is not None else -1, "quarantine",
+                      action=what, ar=ar_id, n=n)
+
+    def _arbitrate_slot(self, core, tid, info, now):
+        """All watchpoint registers are busy: let the arbiter decide
+        whether the incoming AR outranks a current tenant. Returns the
+        freed slot on preemption, None on denial."""
+        plane = self.pressure
+        incoming = plane.priority(info.ar_id)
+        victim, victim_prio = plane.choose_victim(self.slots)
+        if victim is None or incoming <= victim_prio:
+            self.stats.arbiter_denials += 1
+            plane.note(now, "arbiter", "deny", ar=info.ar_id,
+                       prio=incoming)
+            self._record_degradation("arbiter-deny", now, tid=tid,
+                                     ar=info.ar_id, prio=incoming)
+            self._journal(now, tid, "arbiter", action="deny",
+                          ar=info.ar_id, prio=incoming,
+                          victim_prio=victim_prio)
+            return None
+        self.stats.arbiter_preemptions += 1
+        victim_ars = [ar.ar_id for ar in victim.ars]
+        plane.note(now, "arbiter", "preempt", ar=info.ar_id,
+                   prio=incoming, slot=victim.index)
+        self._record_degradation("arbiter-preempt", now, tid=tid,
+                                 ar=info.ar_id, prio=incoming,
+                                 victim_slot=victim.index,
+                                 victim_ars=tuple(victim_ars),
+                                 victim_prio=victim_prio)
+        self._journal(now, tid, "arbiter", action="preempt",
+                      ar=info.ar_id, prio=incoming, slot=victim.index,
+                      gen=victim.gen, victim_ars=tuple(victim_ars),
+                      victim_prio=victim_prio)
+        # the victims degrade to fail-open zombies: detection of their
+        # in-flight windows survives (flagged unprevented), but this is
+        # the plane's choice, not the ARs' failure — no breaker or
+        # quarantine strike is charged
+        self._zombify_and_free(victim, now, core=core, feed=False)
+        return victim
+
+    def _scan_for_leaks(self, core):
+        """Slot-leak watchdog: a lazily-freed slot (O2) is reclaimed on
+        the next begin_atomic or trap — but a slot whose variable never
+        sees demand again stays armed forever, burning a debug register.
+        Periodically reclaim any lazily-freed slot past the age bound."""
+        now = core.clock
+        if now < self._next_leak_scan:
+            return
+        self._next_leak_scan = now + self.pressure.policy.leak_scan_ns
+        self._reclaim_leaks(now, core)
+
+    def shutdown_leak_sweep(self):
+        """Final watchdog pass at run end: the periodic scan only runs on
+        kernel entry, so a slot that ages past the bound *after* the last
+        syscall on its core would otherwise stay leaked forever."""
+        if self.pressure is not None:
+            self._reclaim_leaks(self.machine.now(), None)
+
+    def _reclaim_leaks(self, now, core):
+        policy = self.pressure.policy
+        for slot in self.slots:
+            if (slot.enabled and slot.lazily_freed
+                    and slot.freed_at is not None
+                    and now - slot.freed_at >= policy.leak_age_ns):
+                self.stats.slots_leaked += 1
+                self.stats.slots_reclaimed += 1
+                self.pressure.note(now, "watchdog", "leak-reclaim",
+                                   slot=slot.index)
+                self._journal(now, -1, "pressure", action="leak-reclaim",
+                              slot=slot.index, gen=slot.gen,
+                              age_ns=now - slot.freed_at)
+                self._free_slot(slot, core)
 
     # ------------------------------------------------------------------
     # cross-core propagation (Section 3.2)
@@ -168,6 +269,8 @@ class KivatiKernel:
                 self.config.trace.emit(core.clock, -1, "resync",
                                        core=core.index)
             self._journal(core.clock, -1, "resync", core=core.index)
+        if self.pressure is not None:
+            self._scan_for_leaks(core)
         if self.sync_waiters:
             self._check_sync_waiters()
 
@@ -262,7 +365,16 @@ class KivatiKernel:
                 self._free_slot(slot, core)
 
     def _suspend(self, core, thread, slot, reason, retry_instr):
-        timeout = core.clock + self.config.suspend_timeout_ns
+        # adaptive timeout: under scheduler overload a suspended thread
+        # may not get a core within the nominal window, so every timeout
+        # would fire spuriously; stretch with the measured latency EMA
+        mult = 1
+        if self.pressure is not None:
+            mult = self.pressure.timeout_multiplier(
+                self.machine.sched_latency_ema)
+            if mult > 1:
+                self.stats.timeout_extensions += 1
+        timeout = core.clock + self.config.suspend_timeout_ns * mult
         tid = thread.tid
         event = self.machine.schedule_event(
             timeout, lambda m, t=tid: self._on_timeout(t)
@@ -276,8 +388,15 @@ class KivatiKernel:
             self.config.trace.emit(core.clock, thread.tid, "suspend",
                                    reason=reason, slot=slot.index,
                                    addr=slot.addr)
-        self._journal(core.clock, thread.tid, "suspend", reason=reason,
-                      slot=slot.index, gen=slot.gen, addr=slot.addr)
+        if self.pressure is not None:
+            # the multiplier only rides along on pressure-enabled runs so
+            # journals recorded before this plane existed replay unchanged
+            self._journal(core.clock, thread.tid, "suspend", reason=reason,
+                          slot=slot.index, gen=slot.gen, addr=slot.addr,
+                          tmult=mult)
+        else:
+            self._journal(core.clock, thread.tid, "suspend", reason=reason,
+                          slot=slot.index, gen=slot.gen, addr=slot.addr)
         self.machine.block_current(core, ThreadState.SUSPENDED,
                                    retry_instr=retry_instr)
         # suspension watchdog: two ARs suspending each other's threads
@@ -330,7 +449,7 @@ class KivatiKernel:
             slot.suspended.remove(susp)
         self.machine.wake_thread(tid)
         self._release_containments(tid, core)
-        self._zombify_and_free(slot, now)
+        self._zombify_and_free(slot, now, core=core)
 
     def _on_timeout(self, tid):
         """10 ms suspension timeout (Section 3.3): resume the thread, move
@@ -365,10 +484,11 @@ class KivatiKernel:
         self._release_containments(tid, None)
         self._zombify_and_free(slot, now)
 
-    def _zombify_and_free(self, slot, now):
+    def _zombify_and_free(self, slot, now, core=None, feed=True):
         """Move all ARs on ``slot`` to zombies (their late end_atomic
-        still records violations, flagged unprevented), feed the breaker,
-        and free the watchpoint."""
+        still records violations, flagged unprevented), feed the breaker
+        and quarantine planes (unless ``feed`` is False — arbiter
+        preemption is not the AR's failure), and free the watchpoint."""
         for ar in list(slot.ars):
             self.zombies[(ar.tid, ar.ar_id)] = ZombieAR(
                 ar.info, ar.tid, ar.addr, slot.triggers, ar.begin_time
@@ -379,11 +499,15 @@ class KivatiKernel:
             table = self.ar_tables.get(ar.tid)
             if table is not None:
                 table.pop(ar.ar_id, None)
-            if self.breaker is not None:
+            if feed and self.breaker is not None:
                 backoff = self.breaker.record_timeout(ar.ar_id, now)
                 if backoff is not None:
                     self._record_breaker_trip(ar.ar_id, ar.tid, now, backoff)
-        self._free_slot(slot, None)
+            if feed:
+                # a blown suspension window is a pressure strike whether
+                # or not it also tripped the breaker
+                self._note_ar_pressure(ar.ar_id, ar.tid, now)
+        self._free_slot(slot, core)
 
     # ------------------------------------------------------------------
     # begin_atomic (Sections 3.2 + 3.3)
@@ -465,6 +589,7 @@ class KivatiKernel:
             ar = ActiveAR(info, tid, addr, depth, now, slot.index, pending)
             slot.ars.append(ar)
             table[info.ar_id] = ar
+            slot.last_use_ns = now
             slot.captured_value = self.machine.read_raw(addr)
             if slot.recompute_kinds(opt.o3_local_disable):
                 self._bump_epoch(core)
@@ -478,6 +603,9 @@ class KivatiKernel:
             return out
 
         free, reused = self._find_free_slot(core)
+        if (free is None and self.pressure is not None
+                and self.pressure.policy.arbiter):
+            free = self._arbitrate_slot(core, tid, info, now)
         if free is None:
             # all watchpoint registers in use: log that this AR cannot be
             # monitored (Table 8)
@@ -489,6 +617,7 @@ class KivatiKernel:
         ar = ActiveAR(info, tid, addr, depth, now, free.index, pending)
         free.enabled = True
         free.gen += 1
+        free.last_use_ns = now
         self.stats.watchpoint_arms += 1
         free.addr = addr
         free.size = info.size
@@ -542,6 +671,12 @@ class KivatiKernel:
             return out
 
         out.found = True
+        if self.pressure is not None:
+            # a monitored window of a quarantined AR completed without
+            # blowing its suspension: additive-decrease its sampling N
+            action = self.pressure.note_clean_end(ar_id, core.clock)
+            if action is not None:
+                self._quarantine_action(action, ar_id, tid, core.clock)
         if ar.slot_index is None:
             return out
         slot = self.slots[ar.slot_index]
@@ -567,6 +702,7 @@ class KivatiKernel:
                 # second optimization: leave the hardware armed; note in the
                 # (shared) metadata that the watchpoint is no longer active
                 slot.lazily_freed = True
+                slot.freed_at = core.clock
                 slot.triggers = []
                 self.stats.lazy_frees += 1
         else:
@@ -614,6 +750,8 @@ class KivatiKernel:
                 self._free_slot(slot, core)
                 return True
             slot.lazily_freed = True
+            slot.freed_at = (core.clock if core is not None
+                             else self.machine.now())
             slot.triggers = []
             self.stats.lazy_frees += 1
             return False
@@ -689,6 +827,7 @@ class KivatiKernel:
                 # local access, never clobbering local writes. Also
                 # completes the base-mode first-write capture.
                 self.stats.local_traps += 1
+                slot.last_use_ns = core.clock
                 slot.captured_value = machine.read_raw(slot.addr)
                 had_pending = False
                 for ar in slot.ars:
@@ -702,6 +841,7 @@ class KivatiKernel:
 
             # ---- remote access ------------------------------------------
             self.stats.remote_traps += 1
+            slot.last_use_ns = core.clock
             undone = False
             fpc = None
             resolved = False
@@ -761,6 +901,7 @@ class KivatiKernel:
                     if backoff is not None:
                         self._record_breaker_trip(ar.ar_id, ar.tid,
                                                   core.clock, backoff)
+                        self._note_ar_pressure(ar.ar_id, ar.tid, core.clock)
             slot.triggers.append(
                 Trigger(thread.tid, kinds, fpc,
                         machine.program.location(fpc) if fpc is not None
@@ -874,6 +1015,11 @@ class KivatiKernel:
                     self.stats.violations += 1
                     if not prevented:
                         self.stats.unprevented_violations += 1
+                    if self.pressure is not None:
+                        # violation history is the arbiter's priority
+                        # signal: ARs that produce violations are the
+                        # ones worth a hardware watchpoint
+                        self.pressure.note_violation(info.ar_id)
                     if self.config.trace is not None:
                         self.config.trace.emit(
                             core.clock if core is not None else trigger.time,

@@ -84,7 +84,8 @@ class KernelSlot:
     __slots__ = ("index", "enabled", "addr", "size", "watch_read",
                  "watch_write", "ars", "triggers", "suspended",
                  "lazily_freed", "captured_value", "owner_tid",
-                 "containment_owner", "suppressed_tids", "gen")
+                 "containment_owner", "suppressed_tids", "gen",
+                 "freed_at", "last_use_ns")
 
     def __init__(self, index):
         self.index = index
@@ -107,6 +108,13 @@ class KernelSlot:
         self.owner_tid = None
         self.containment_owner = None
         self.suppressed_tids = None
+        # when the slot entered the lazily-freed state (None while armed
+        # or free); the slot-leak watchdog ages lazily-freed slots
+        # against this
+        self.freed_at = None
+        # last time an AR armed/joined the slot or a trap was attributed
+        # to it; the arbiter's LRU tiebreak orders victims by this
+        self.last_use_ns = 0
 
     def free(self):
         self.enabled = False
@@ -122,6 +130,7 @@ class KernelSlot:
         self.owner_tid = None
         self.containment_owner = None
         self.suppressed_tids = None
+        self.freed_at = None
 
     @property
     def is_available(self):

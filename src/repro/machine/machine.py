@@ -128,6 +128,13 @@ class Machine:
         self.deadlocked = False
         self.fault = None
 
+        # scheduler-latency EMA (integer ns, deterministic): time between
+        # a thread becoming runnable (wake_thread) and being placed on a
+        # core. The pressure plane reads this to stretch suspension
+        # timeouts and trip the backpressure watermark under overload.
+        self.sched_latency_ema = 0
+        self._wake_pending = {}
+
         # event queue: (time, seq, event_id); callbacks in _event_cbs
         self._events = []
         self._event_cbs = {}
@@ -200,6 +207,7 @@ class Machine:
         thread.state = ThreadState.RUNNABLE
         thread.wake_time = None
         self.run_queue.append(tid)
+        self._wake_pending[tid] = self.now()
         return True
 
     def _timed_wake(self, tid):
@@ -273,6 +281,13 @@ class Machine:
         if tid is None:
             return False
         thread = self.threads[tid]
+        woke = self._wake_pending.pop(tid, None)
+        if woke is not None:
+            sample = core.clock - woke
+            if sample < 0:
+                sample = 0
+            self.sched_latency_ema = (3 * self.sched_latency_ema
+                                      + sample) // 4
         thread.state = ThreadState.RUNNING
         thread.last_core = core.index
         core.thread = thread

@@ -1,0 +1,19 @@
+"""Overload control plane (DESIGN.md §10).
+
+Kivati's prevention guarantees hinge on scarce resources — 4 debug
+registers per core, bounded AR tables, a 10 ms suspension timeout — and
+the paper never asks what happens when a workload exhausts them. This
+package answers: slot-pressure arbitration (who keeps a watchpoint when
+demand exceeds supply), AR quarantine (sampled monitoring instead of
+permanent fail-open), and admission control / adaptive timeouts driven
+by measured scheduler latency. Monitoring is shed under pressure;
+correctness never is.
+"""
+
+from repro.pressure.arbiter import SlotArbiter
+from repro.pressure.plane import PressurePlane
+from repro.pressure.policy import PressurePolicy
+from repro.pressure.quarantine import QuarantineEntry, QuarantineManager
+
+__all__ = ["PressurePlane", "PressurePolicy", "QuarantineEntry",
+           "QuarantineManager", "SlotArbiter"]

@@ -1,0 +1,61 @@
+"""Slot-pressure arbitration.
+
+When begin_atomic finds every watchpoint register in use, the seed
+behavior was unconditional fail-open ("miss", Table 8). The arbiter
+instead weighs the incoming AR against the current slot tenants: ARs
+with a violation history are the ones worth a hardware watchpoint, so a
+hot incoming AR may preempt a slot whose tenants never produced a
+violation. Ties (equal priority) keep the incumbents and are broken in
+the victim choice by LRU — among equally quiet slots the least recently
+used one is offered up first.
+
+Preemption is visible degradation, never silent: the victims become
+zombies (their late end_atomic still records violations, flagged
+unprevented), a DegradationRecord is filed for both outcomes, and every
+decision is journaled.
+"""
+
+
+class SlotArbiter:
+    """Violation-history-weighted, LRU-tiebroken slot arbitration."""
+
+    __slots__ = ("viol_counts",)
+
+    def __init__(self):
+        #: ar_id -> violations recorded for that AR this run
+        self.viol_counts = {}
+
+    def note_violation(self, ar_id):
+        self.viol_counts[ar_id] = self.viol_counts.get(ar_id, 0) + 1
+
+    def priority(self, ar_id):
+        """An AR's claim to a hardware slot: its violation history."""
+        return self.viol_counts.get(ar_id, 0)
+
+    def slot_priority(self, slot):
+        """A slot defends itself with its hottest tenant."""
+        return max((self.priority(ar.ar_id) for ar in slot.ars), default=0)
+
+    def choose_victim(self, slots):
+        """Pick the preemption candidate among ``slots``.
+
+        Only plain monitoring slots are candidates: a slot with
+        suspended threads is actively *preventing* and a containment
+        slot is mid-rollback — preempting either would trade correctness
+        for coverage, which the plane never does. Returns
+        ``(slot, priority)`` or ``(None, None)``.
+        """
+        victim = None
+        victim_key = None
+        for slot in slots:
+            if (not slot.enabled or slot.lazily_freed or slot.suspended
+                    or slot.containment_owner is not None
+                    or not slot.ars):
+                continue
+            key = (self.slot_priority(slot), slot.last_use_ns, slot.index)
+            if victim_key is None or key < victim_key:
+                victim = slot
+                victim_key = key
+        if victim is None:
+            return None, None
+        return victim, victim_key[0]

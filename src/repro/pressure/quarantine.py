@@ -1,0 +1,138 @@
+"""AR quarantine: sampled monitoring for pathologically hot regions.
+
+The seed's circuit breaker fails an AR open for an exponentially growing
+backoff window — under sustained pressure that converges to *zero*
+detection coverage for exactly the regions most likely to harbor bugs.
+Quarantine replaces the open-ended fail-open with a sampled tier: a
+quarantined AR is still monitored 1-in-N of the time, with N adapted by
+an AIMD rule on observed pressure (multiplicative increase when a
+monitored entry times out or trips the breaker again, additive decrease
+on every clean monitored end). When N has decayed back to 1 and a
+streak of clean ends follows, the AR is released to full monitoring.
+
+Every decision is a deterministic function of the entry count and the
+pressure events, so replaying a journal reproduces the same sampling
+choices without any extra recorded state.
+"""
+
+
+class QuarantineEntry:
+    """Adaptive sampling state for one quarantined AR."""
+
+    __slots__ = ("ar_id", "n", "entered_at", "entries", "monitored",
+                 "skipped", "increases", "decreases", "clean_streak",
+                 "monitored_since_increase", "released", "released_at")
+
+    def __init__(self, ar_id, n, entered_at):
+        self.ar_id = ar_id
+        self.n = n
+        self.entered_at = entered_at
+        self.entries = 0
+        self.monitored = 0
+        self.skipped = 0
+        self.increases = 0
+        self.decreases = 0
+        self.clean_streak = 0
+        self.monitored_since_increase = 0
+        self.released = False
+        self.released_at = None
+
+    @property
+    def settled(self):
+        """The AIMD loop reached a steady state: released, or at least
+        one monitored entry happened after the last N increase (the AR
+        is operating at its current sampling rate, not still climbing)."""
+        return (self.released or self.increases == 0
+                or self.monitored_since_increase > 0)
+
+    def __repr__(self):
+        state = "released" if self.released else "n=%d" % self.n
+        return "QuarantineEntry(ar=%d, %s, %d/%d monitored)" % (
+            self.ar_id, state, self.monitored, self.entries)
+
+
+class QuarantineManager:
+    """Tracks pressure strikes per AR and the quarantined population."""
+
+    __slots__ = ("policy", "strikes", "entries")
+
+    def __init__(self, policy):
+        self.policy = policy
+        #: ar_id -> pressure events (breaker trips + suspension
+        #: timeouts) seen while *not* quarantined
+        self.strikes = {}
+        #: ar_id -> QuarantineEntry (kept after release for reporting)
+        self.entries = {}
+
+    def is_quarantined(self, ar_id):
+        entry = self.entries.get(ar_id)
+        return entry is not None and not entry.released
+
+    def active(self):
+        return [e for e in self.entries.values() if not e.released]
+
+    def admit(self, ar_id):
+        """Sampling decision for a begin_atomic of a quarantined AR:
+        ``"monitor"`` for the 1-in-N monitored entries, ``"skip"``
+        otherwise. Caller must have checked :meth:`is_quarantined`."""
+        entry = self.entries[ar_id]
+        entry.entries += 1
+        if (entry.entries - 1) % entry.n == 0:
+            entry.monitored += 1
+            entry.monitored_since_increase += 1
+            return "monitor"
+        entry.skipped += 1
+        return "skip"
+
+    def note_pressure(self, ar_id, now):
+        """A breaker trip or suspension timeout hit ``ar_id``.
+
+        Returns ``("enter", n)`` when this strike quarantines the AR,
+        ``("increase", n)`` when an already-quarantined AR takes the
+        multiplicative hit, or None while the AR is still below the
+        strike threshold.
+        """
+        entry = self.entries.get(ar_id)
+        if entry is not None and not entry.released:
+            grown = min(entry.n * 2, self.policy.sample_max_n)
+            entry.n = grown
+            entry.increases += 1
+            entry.monitored_since_increase = 0
+            entry.clean_streak = 0
+            return "increase", grown
+        strikes = self.strikes.get(ar_id, 0) + 1
+        self.strikes[ar_id] = strikes
+        if strikes < self.policy.quarantine_after_trips:
+            return None
+        self.strikes[ar_id] = 0
+        entry = QuarantineEntry(ar_id, self.policy.sample_initial_n, now)
+        self.entries[ar_id] = entry
+        return "enter", entry.n
+
+    def note_clean_end(self, ar_id, now):
+        """A monitored entry of a quarantined AR ended without pressure.
+
+        Returns ``("release", 1)`` when the additive decrease has
+        brought N to 1 and the clean streak clears the release bar,
+        ``("decrease", n)`` for an ordinary additive step, or None for
+        non-quarantined ARs.
+        """
+        entry = self.entries.get(ar_id)
+        if entry is None or entry.released:
+            return None
+        if entry.n > 1:
+            entry.n -= 1
+            entry.decreases += 1
+            return "decrease", entry.n
+        entry.clean_streak += 1
+        if entry.clean_streak >= self.policy.release_streak:
+            entry.released = True
+            entry.released_at = now
+            return "release", 1
+        return "decrease", 1
+
+    @property
+    def converged(self):
+        """True when every quarantine entry has settled (acceptance
+        criterion for the soak harness)."""
+        return all(e.settled for e in self.entries.values())

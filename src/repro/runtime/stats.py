@@ -59,6 +59,24 @@ class KivatiStats:
         # journal frames produced (0 when the facility is not attached)
         "trace_dropped_events",
         "journal_frames",
+        # overload control plane (repro.pressure)
+        "slots_leaked",
+        "slots_reclaimed",
+        "slots_leaked_at_exit",
+        "arbiter_preemptions",
+        "arbiter_denials",
+        "quarantined_ars",
+        "quarantine_monitored",
+        "quarantine_sampled_skips",
+        "quarantine_releases",
+        "quarantine_adaptations",
+        "admission_sheds",
+        "timeout_extensions",
+        # bounded-log evictions (satellite of the pressure plane: long
+        # soaks must not grow memory without bound, and must say when
+        # they dropped records)
+        "degradations_dropped",
+        "quarantine_history_dropped",
     )
 
     __slots__ = FIELDS

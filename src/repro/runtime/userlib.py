@@ -22,6 +22,8 @@ from repro.core.config import Mode
 from repro.core.reports import DegradationLog
 from repro.faults.breaker import BreakerPolicy, CircuitBreaker
 from repro.kernel.kivati import KivatiKernel
+from repro.pressure.plane import PressurePlane
+from repro.pressure.policy import PressurePolicy
 from repro.machine.runtime_iface import BaseRuntime
 from repro.machine.threads import ThreadState
 from repro.runtime.stats import KivatiStats
@@ -67,9 +69,18 @@ class KivatiRuntime(BaseRuntime):
             self.breaker = CircuitBreaker(config.breaker)
         else:
             self.breaker = None
+        # overload control plane: slot arbitration, AR quarantine,
+        # admission control, adaptive suspension timeouts
+        if config.pressure is True:
+            self.pressure = PressurePlane(PressurePolicy())
+        elif isinstance(config.pressure, PressurePolicy):
+            self.pressure = PressurePlane(config.pressure)
+        else:
+            self.pressure = None
         self.kernel = KivatiKernel(config, ar_table, self.stats, log,
                                    faults=faults, degrade=self.degrade,
-                                   breaker=self.breaker)
+                                   breaker=self.breaker,
+                                   pressure=self.pressure)
         self.machine = None
         self._pause_seq = 0
         self.trace = config.trace
@@ -122,8 +133,36 @@ class KivatiRuntime(BaseRuntime):
             self.machine.kernel_entry(core, thread)
             return cost + costs.syscall
 
-        if self.breaker is not None and not self.breaker.allows(
-                ar_id, core.clock):
+        if self.pressure is not None and self.pressure.is_quarantined(ar_id):
+            # quarantined AR: sampled monitoring (1-in-N entries) instead
+            # of the breaker's all-or-nothing fail-open; the sampling
+            # decision replaces the breaker check entirely
+            decision = self.pressure.admit_quarantined(ar_id)
+            self.kernel._journal(core.clock, thread.tid, "quarantine",
+                                 action=decision, ar=ar_id)
+            if decision == "skip":
+                self.stats.quarantine_sampled_skips += 1
+                return cost + costs.userlib_check
+            self.stats.quarantine_monitored += 1
+        elif self.pressure is not None:
+            shed = self.pressure.shed_reason(
+                len(self.kernel.suspensions),
+                self.machine.sched_latency_ema)
+            if shed is not None:
+                # backpressure: overload watermark crossed — shed this
+                # entry's *monitoring* (correctness is untouched; the
+                # program simply runs this window unprotected)
+                self.stats.admission_sheds += 1
+                self.kernel._record_degradation(
+                    "admission-shed", core.clock, tid=thread.tid,
+                    ar=ar_id, reason=shed)
+                self.kernel._journal(core.clock, thread.tid, "pressure",
+                                     action="shed", ar=ar_id, reason=shed)
+                return cost + costs.userlib_check
+        if (self.breaker is not None
+                and not (self.pressure is not None
+                         and self.pressure.is_quarantined(ar_id))
+                and not self.breaker.allows(ar_id, core.clock)):
             # fail-open: this AR tripped its circuit breaker and runs
             # unmonitored until the backoff window closes
             self.stats.breaker_skips += 1
@@ -296,3 +335,24 @@ class KivatiRuntime(BaseRuntime):
             self.stats.trace_dropped_events = self.trace.dropped
         if self.journal is not None:
             self.stats.journal_frames = len(self.journal) + self.journal.dropped
+        self.stats.degradations_dropped = self.degrade.dropped
+        # end-of-run slot audit: a lazily-freed slot that aged past the
+        # leak bound without any begin/trap reconciling it is a leaked
+        # debug register (the O2 leak the watchdog exists to reclaim).
+        # Recently lazily-freed slots are normal O2 operation, not leaks.
+        if self.pressure is not None:
+            # the watchdog gets a last pass first: slots that aged out
+            # after the final kernel entry are its to reclaim, and only
+            # what it still misses counts as leaked at exit
+            self.kernel.shutdown_leak_sweep()
+            age_bound = self.pressure.policy.leak_age_ns
+            self.stats.quarantine_history_dropped = (
+                self.pressure.history_dropped)
+        else:
+            age_bound = PressurePolicy().leak_age_ns
+        now = machine.now()
+        for slot in self.kernel.slots:
+            if (slot.enabled and slot.lazily_freed
+                    and slot.freed_at is not None
+                    and now - slot.freed_at >= age_bound):
+                self.stats.slots_leaked_at_exit += 1

@@ -1,0 +1,63 @@
+"""Soak harness smoke tests (time-bounded: small multipliers, one
+seed; the CLI/CI path runs the full sweep)."""
+
+import pytest
+
+from repro.bench import soakbench
+from repro.core.session import ProtectedProgram
+
+
+def test_build_soak_workloads_inflates_threads():
+    base = {w.name: w.threads for w in
+            soakbench.build_soak_workloads(multiplier=1)}
+    inflated = {w.name: w.threads for w in
+                soakbench.build_soak_workloads(multiplier=4)}
+    for name in base:
+        if name == "VLC":
+            # fixed 3-thread pipeline: pressure scales via frame volume
+            assert inflated[name] == base[name]
+        else:
+            assert inflated[name] == 4 * base[name]
+
+
+def test_soak_policy_scales_time_constants():
+    policy = soakbench.soak_policy()
+    # bench scale: everything far below the OS-scale defaults
+    assert policy.leak_age_ns < 1_000_000
+    assert policy.latency_watermark_ns < 1_000_000
+
+
+def test_soak_case_liveness_asserts_pass_on_one_app():
+    workload = soakbench.build_soak_workloads(multiplier=2, scale=0.2)[0]
+    program = ProtectedProgram(workload.source)
+    config = soakbench.soak_config()
+    case = soakbench.run_soak_case(program, workload, config, seed=0,
+                                   multiplier=2)
+    assert case.ok, case.problems
+    assert 0.0 < case.coverage <= 1.0
+
+
+def test_soak_sweep_smoke():
+    result = soakbench.generate(seeds=(0,), multipliers=(1,), scale=0.15)
+    assert result.check() == []
+    text = result.render()
+    assert "coverage" in text
+    assert len(result.rows) == 5  # one row per app
+    # coverage never collapses to zero: monitoring degrades, not dies
+    for case in result.cases:
+        assert case.coverage > 0.0
+
+
+def test_soak_replay_determinism():
+    case, replay = soakbench.replay_determinism_check(multiplier=1,
+                                                     scale=0.15)
+    assert replay.ok, replay.describe()
+    assert replay.verdicts_match
+    assert case.report.pressure is not None
+
+
+def test_corpus_recall_under_pressure_subset():
+    cases = soakbench.corpus_recall(bug_ids=("341323", "19938"),
+                                    max_attempts=10)
+    assert all(c.outcome in ("detected", "sampled") for c in cases), \
+        [(c.bug_id, c.outcome) for c in cases]

@@ -74,6 +74,11 @@ def test_config_validation():
         KivatiConfig(num_cores=0)
     with pytest.raises(ConfigError):
         KivatiConfig(pause_probability=1.5)
+    with pytest.raises(ConfigError):
+        KivatiConfig(suspend_timeout_ns=0)
+    with pytest.raises(ConfigError):
+        KivatiConfig(suspend_timeout_ns="10ms")
+    assert KivatiConfig(suspend_timeout_ns=1).suspend_timeout_ns == 1
 
 
 def test_config_copy_overrides():

@@ -57,3 +57,17 @@ def test_false_positive_excludes_known_bugs():
     report = RunReport(FakeResult(), None, log, None, {})
     assert report.false_positives(buggy_ar_ids={2}) == {1}
     assert report.false_positives() == {1, 2}
+
+
+def test_degradation_log_bounded_with_drop_counter():
+    from repro.core.reports import DegradationLog, DegradationRecord
+
+    log = DegradationLog(max_records=3)
+    for i in range(5):
+        log.add(DegradationRecord("arbiter-deny", time_ns=i, ar=i))
+    assert len(log) == 3
+    assert log.dropped == 2
+    # the retained prefix is the oldest records (drop-on-full, like the
+    # trace ring buffer's eviction accounting)
+    assert [r.time_ns for r in log.records] == [0, 1, 2]
+    assert log.kinds() == {"arbiter-deny"}

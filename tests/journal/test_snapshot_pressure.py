@@ -1,0 +1,68 @@
+"""Snapshot version 2: the pressure-plane policy travels in the
+run-start header, and version-1 journals (recorded before the plane
+existed) still load."""
+
+import pytest
+
+from journal_common import RACY_SRC, base_config
+from repro.errors import JournalError
+from repro.journal.snapshot import (SUPPORTED_SNAPSHOT_VERSIONS,
+                                    config_from_snapshot, config_snapshot)
+from repro.pressure import PressurePolicy
+
+
+def test_policy_roundtrips_through_snapshot():
+    policy = PressurePolicy(sample_max_n=32, suspended_watermark=5,
+                            leak_age_ns=123_456)
+    config = base_config(pressure=policy)
+    snap = config_snapshot(config, RACY_SRC)
+    rebuilt = config_from_snapshot(snap)
+    assert isinstance(rebuilt.pressure, PressurePolicy)
+    assert rebuilt.pressure.sample_max_n == 32
+    assert rebuilt.pressure.suspended_watermark == 5
+    assert rebuilt.pressure.leak_age_ns == 123_456
+    assert config_snapshot(rebuilt, RACY_SRC) == snap
+
+
+def test_pressure_true_and_none_roundtrip():
+    snap_on = config_snapshot(base_config(pressure=True))
+    assert snap_on["pressure"] is True
+    assert config_from_snapshot(snap_on).pressure is True
+    snap_off = config_snapshot(base_config())
+    assert snap_off["pressure"] is None
+    assert config_from_snapshot(snap_off).pressure is None
+
+
+def test_version1_snapshot_without_pressure_key_loads():
+    """A journal recorded before the pressure plane existed has
+    version 1 and no ``pressure`` key: it must still replay."""
+    snap = config_snapshot(base_config(seed=9))
+    snap["version"] = 1
+    del snap["pressure"]
+    assert 1 in SUPPORTED_SNAPSHOT_VERSIONS
+    rebuilt = config_from_snapshot(snap)
+    assert rebuilt.pressure is None
+    assert rebuilt.seed == 9
+
+
+def test_bad_suspend_timeout_rejected_at_load():
+    snap = config_snapshot(base_config())
+    snap["suspend_timeout_ns"] = 0
+    with pytest.raises(JournalError):
+        config_from_snapshot(snap)
+    snap["suspend_timeout_ns"] = "10ms"
+    with pytest.raises(JournalError):
+        config_from_snapshot(snap)
+
+
+def test_missing_suspend_timeout_takes_historic_default():
+    snap = config_snapshot(base_config())
+    del snap["suspend_timeout_ns"]
+    assert config_from_snapshot(snap).suspend_timeout_ns == 10_000_000
+
+
+def test_garbage_pressure_value_rejected():
+    snap = config_snapshot(base_config())
+    snap["pressure"] = "yes please"
+    with pytest.raises(JournalError):
+        config_from_snapshot(snap)

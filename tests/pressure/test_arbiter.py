@@ -1,0 +1,89 @@
+"""SlotArbiter unit tests: priority accumulation, victim choice, LRU
+tiebreak, and the slots it must never preempt."""
+
+from repro.kernel.state import KernelSlot
+from repro.pressure import SlotArbiter
+
+
+class _AR:
+    def __init__(self, ar_id):
+        self.ar_id = ar_id
+
+
+def _slot(index, ar_ids=(1,), last_use=0):
+    slot = KernelSlot(index)
+    slot.enabled = True
+    slot.ars = [_AR(a) for a in ar_ids]
+    slot.last_use_ns = last_use
+    return slot
+
+
+def test_priority_accumulates_per_ar():
+    arb = SlotArbiter()
+    assert arb.priority(7) == 0
+    arb.note_violation(7)
+    arb.note_violation(7)
+    arb.note_violation(9)
+    assert arb.priority(7) == 2
+    assert arb.priority(9) == 1
+    assert arb.priority(8) == 0
+
+
+def test_slot_defends_with_its_hottest_tenant():
+    arb = SlotArbiter()
+    arb.note_violation(2)
+    arb.note_violation(2)
+    slot = _slot(0, ar_ids=(1, 2, 3))
+    assert arb.slot_priority(slot) == 2
+
+
+def test_choose_victim_prefers_lowest_priority():
+    arb = SlotArbiter()
+    arb.note_violation(1)
+    hot = _slot(0, ar_ids=(1,))
+    quiet = _slot(1, ar_ids=(2,))
+    victim, prio = arb.choose_victim([hot, quiet])
+    assert victim is quiet
+    assert prio == 0
+
+
+def test_lru_breaks_priority_ties():
+    arb = SlotArbiter()
+    older = _slot(0, ar_ids=(1,), last_use=100)
+    newer = _slot(1, ar_ids=(2,), last_use=200)
+    victim, _prio = arb.choose_victim([newer, older])
+    assert victim is older
+
+
+def test_index_breaks_full_ties_deterministically():
+    arb = SlotArbiter()
+    a = _slot(0, ar_ids=(1,), last_use=100)
+    b = _slot(1, ar_ids=(2,), last_use=100)
+    victim, _prio = arb.choose_victim([b, a])
+    assert victim is a
+
+
+def test_protected_slots_are_never_candidates():
+    arb = SlotArbiter()
+    disabled = _slot(0)
+    disabled.enabled = False
+    lazy = _slot(1)
+    lazy.lazily_freed = True
+    suspended = _slot(2)
+    suspended.suspended = [object()]
+    containment = _slot(3)
+    containment.containment_owner = 5
+    empty = _slot(4, ar_ids=())
+    victim, prio = arb.choose_victim(
+        [disabled, lazy, suspended, containment, empty])
+    assert victim is None and prio is None
+
+
+def test_victim_found_among_mixed_slots():
+    arb = SlotArbiter()
+    suspended = _slot(0)
+    suspended.suspended = [object()]
+    plain = _slot(1, ar_ids=(4,), last_use=50)
+    victim, prio = arb.choose_victim([suspended, plain])
+    assert victim is plain
+    assert prio == 0

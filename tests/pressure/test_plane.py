@@ -1,0 +1,69 @@
+"""PressurePlane facade: watermarks, adaptive timeout, bounded history,
+policy gating."""
+
+from repro.pressure import PressurePlane, PressurePolicy
+
+
+def test_shed_reason_suspended_watermark():
+    plane = PressurePlane(PressurePolicy(suspended_watermark=4,
+                                         latency_watermark_ns=10_000))
+    assert plane.shed_reason(3, 0) is None
+    assert plane.shed_reason(4, 0) == "suspended-watermark"
+
+
+def test_shed_reason_latency_watermark():
+    plane = PressurePlane(PressurePolicy(suspended_watermark=100,
+                                         latency_watermark_ns=10_000))
+    assert plane.shed_reason(0, 9_999) is None
+    assert plane.shed_reason(0, 10_000) == "latency-watermark"
+
+
+def test_admission_disabled_never_sheds():
+    plane = PressurePlane(PressurePolicy(admission=False,
+                                         suspended_watermark=1,
+                                         latency_watermark_ns=1))
+    assert plane.shed_reason(10**6, 10**9) is None
+
+
+def test_timeout_multiplier_scales_linearly_and_saturates():
+    plane = PressurePlane(PressurePolicy(latency_ref_ns=1_000,
+                                         timeout_max_scale=4))
+    assert plane.timeout_multiplier(0) == 1
+    assert plane.timeout_multiplier(999) == 1
+    assert plane.timeout_multiplier(1_000) == 2
+    assert plane.timeout_multiplier(3_500) == 4
+    assert plane.timeout_multiplier(10**9) == 4  # saturates
+
+
+def test_timeout_multiplier_disabled_is_identity():
+    plane = PressurePlane(PressurePolicy(adaptive_timeout=False,
+                                         latency_ref_ns=1))
+    assert plane.timeout_multiplier(10**9) == 1
+
+
+def test_history_is_bounded_and_counts_drops():
+    plane = PressurePlane(PressurePolicy(max_history=3))
+    for i in range(5):
+        plane.note(i, "test", "event", n=i)
+    assert len(plane.history) == 3
+    assert plane.history_dropped == 2
+    assert "(+2 dropped)" in plane.describe()
+
+
+def test_quarantine_facade_gated_by_policy():
+    plane = PressurePlane(PressurePolicy(quarantine=False))
+    assert plane.note_pressure(1, 0) is None
+    assert plane.note_pressure(1, 1) is None
+    assert not plane.is_quarantined(1)
+    assert plane.note_clean_end(1, 2) is None
+
+
+def test_quarantine_decisions_land_in_history():
+    plane = PressurePlane(PressurePolicy(quarantine_after_trips=1))
+    plane.note_pressure(5, 100)
+    assert any(component == "quarantine" and action == "enter"
+               for _t, component, action, _d in plane.history)
+
+
+def test_converged_with_no_entries():
+    assert PressurePlane().quarantine_converged

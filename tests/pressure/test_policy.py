@@ -1,0 +1,44 @@
+"""PressurePolicy validation and copy semantics."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pressure import PressurePolicy
+
+
+def test_defaults_validate():
+    policy = PressurePolicy()
+    assert policy.arbiter and policy.quarantine
+    assert policy.admission and policy.adaptive_timeout
+    assert 1 <= policy.sample_initial_n <= policy.sample_max_n
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"quarantine_after_trips": 0},
+    {"sample_initial_n": 0},
+    {"sample_initial_n": 8, "sample_max_n": 4},
+    {"release_streak": 0},
+    {"suspended_watermark": 0},
+    {"latency_watermark_ns": 0},
+    {"latency_ref_ns": -5},
+    {"timeout_max_scale": 0},
+    {"leak_age_ns": 0},
+    {"leak_scan_ns": 0},
+    {"max_history": 0},
+])
+def test_invalid_knobs_rejected(kwargs):
+    with pytest.raises(ConfigError):
+        PressurePolicy(**kwargs)
+
+
+def test_copy_overrides_one_field_and_keeps_the_rest():
+    policy = PressurePolicy(sample_max_n=32, release_streak=5)
+    clone = policy.copy(sample_max_n=16)
+    assert clone.sample_max_n == 16
+    assert clone.release_streak == 5
+    assert policy.sample_max_n == 32  # original untouched
+
+
+def test_copy_validates_overrides():
+    with pytest.raises(ConfigError):
+        PressurePolicy().copy(leak_age_ns=0)

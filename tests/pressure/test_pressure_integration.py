@@ -1,0 +1,228 @@
+"""Pressure plane end-to-end: slot exhaustion under the arbiter, the
+arbiter-disabled regression baseline, quarantine engagement, journal
+replay, and chaos-schedule survival (ISSUE 4 satellite 3)."""
+
+import pytest
+
+from repro.bench.soakbench import SLOT_PRESSURE_SRC
+from repro.core.config import KivatiConfig, Mode, OptLevel
+from repro.core.session import ProtectedProgram
+from repro.journal.recorder import JournalRecorder
+from repro.pressure import PressurePolicy
+
+
+@pytest.fixture(scope="module")
+def pressure_program():
+    return ProtectedProgram(SLOT_PRESSURE_SRC)
+
+
+def _config(**overrides):
+    kwargs = dict(opt=OptLevel.BASE, mode=Mode.PREVENTION, num_cores=4,
+                  pressure=PressurePolicy(admission=False))
+    kwargs.update(overrides)
+    return KivatiConfig(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# slot exhaustion: >4 concurrent watchpoint-demanding ARs per core
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_arbiter_preempts_for_hot_ar_and_denies_quiet_ones(
+        pressure_program, seed):
+    journal = JournalRecorder()
+    report = pressure_program.run(_config(journal=journal, seed=seed))
+    stats = report.stats
+    assert report.result.output == [25]
+    assert not report.result.deadlocked
+    # the quiet flood exceeds the 4 watchpoints: denials are recorded
+    assert stats.arbiter_denials > 0
+    # the hot AR earned priority in burst 1 and preempts in burst 2
+    assert stats.arbiter_preemptions >= 1
+    # every decision is journaled with its priorities
+    arbiter_events = [e for e in journal.events if e.kind == "arbiter"]
+    assert len(arbiter_events) == (stats.arbiter_preemptions
+                                   + stats.arbiter_denials)
+    preempts = [e for e in arbiter_events
+                if e.payload["action"] == "preempt"]
+    assert preempts and all(
+        e.payload["prio"] > e.payload["victim_prio"] for e in preempts)
+    denies = [e for e in arbiter_events if e.payload["action"] == "deny"]
+    assert all(e.payload["prio"] <= e.payload["victim_prio"]
+               for e in denies)
+    # preemption is visible degradation: a DegradationRecord per event
+    assert len(report.degradations.of_kind("arbiter-preempt")) \
+        == stats.arbiter_preemptions
+    assert len(report.degradations.of_kind("arbiter-deny")) \
+        == stats.arbiter_denials
+
+
+def test_arbiter_disabled_baseline_fails_open(pressure_program):
+    """Regression baseline: without the arbiter the same workload just
+    misses (seed behavior), with zero arbiter activity on record."""
+    journal = JournalRecorder()
+    report = pressure_program.run(_config(
+        pressure=PressurePolicy(arbiter=False, admission=False),
+        journal=journal, seed=0))
+    stats = report.stats
+    assert report.result.output == [25]
+    assert stats.missed_ars > 0
+    assert stats.arbiter_preemptions == 0 and stats.arbiter_denials == 0
+    assert not any(e.kind == "arbiter" for e in journal.events)
+
+
+def test_preempted_victims_become_zombies_not_lost(pressure_program):
+    """A preempted AR keeps detection: its tenants go through the zombie
+    path (late end_atomic still records violations) instead of
+    vanishing."""
+    journal = JournalRecorder()
+    report = pressure_program.run(_config(journal=journal, seed=0))
+    zombifies = sum(1 for e in journal.events if e.kind == "zombify")
+    assert zombifies >= report.stats.arbiter_preemptions >= 1
+
+
+def test_pressure_decisions_are_deterministic(pressure_program):
+    j1, j2 = JournalRecorder(), JournalRecorder()
+    r1 = pressure_program.run(_config(journal=j1, seed=1))
+    r2 = pressure_program.run(_config(journal=j2, seed=1))
+    assert r1.stats.as_dict() == r2.stats.as_dict()
+    assert [e.key() for e in j1.events] == [e.key() for e in j2.events]
+
+
+# ----------------------------------------------------------------------
+# chaos: the workload completes under every fault schedule with the
+# pressure plane on, and invariant 5 holds (decisions journaled, slot
+# accounting balanced)
+# ----------------------------------------------------------------------
+
+def test_slot_exhaustion_survives_every_chaos_schedule(pressure_program):
+    from repro.faults.chaos import builtin_schedules, run_chaos_case
+
+    config = _config()
+    failures = []
+    for schedule in builtin_schedules():
+        if schedule.needs_whitelist_file:
+            continue  # whitelist corruption needs an on-disk whitelist
+        case = run_chaos_case(pressure_program, schedule.plan, seed=1,
+                              config=config)
+        if not case.ok:
+            failures.append("%s: %s" % (schedule.name,
+                                        "; ".join(case.problems)))
+    assert not failures, failures
+
+
+# ----------------------------------------------------------------------
+# quarantine engages on real suspension pressure
+# ----------------------------------------------------------------------
+
+def test_quarantine_engages_under_tight_timeouts():
+    from repro.faults.chaos import CHAOS_SRC
+
+    program = ProtectedProgram(CHAOS_SRC)
+    journal = JournalRecorder()
+    config = KivatiConfig(
+        opt=OptLevel.BASE, mode=Mode.PREVENTION, seed=3,
+        suspend_timeout_ns=300,
+        pressure=PressurePolicy(quarantine_after_trips=1,
+                                adaptive_timeout=False, admission=False),
+        journal=journal)
+    report = program.run(config)
+    stats = report.stats
+    assert stats.quarantined_ars > 0
+    # sampling actually happened: some entries monitored, some skipped
+    assert stats.quarantine_monitored > 0
+    assert stats.quarantine_sampled_skips > 0
+    # quarantine transitions and sampling decisions are journaled
+    actions = {e.payload["action"] for e in journal.events
+               if e.kind == "quarantine"}
+    assert "enter" in actions
+    assert "skip" in actions or "monitor" in actions
+    # the plane reports through the run report
+    assert report.pressure is not None
+    assert report.pressure.quarantine.entries
+
+
+def test_quarantined_ar_bypasses_breaker_fail_open():
+    """Quarantine replaces the breaker's permanent fail-open: a
+    quarantined AR still gets monitored entries (1-in-N), where the
+    breaker alone would skip it for the whole backoff window."""
+    from repro.faults.chaos import CHAOS_SRC
+
+    program = ProtectedProgram(CHAOS_SRC)
+    config = KivatiConfig(
+        opt=OptLevel.BASE, mode=Mode.PREVENTION, seed=3,
+        suspend_timeout_ns=300,
+        pressure=PressurePolicy(quarantine_after_trips=1,
+                                sample_initial_n=2,
+                                adaptive_timeout=False, admission=False))
+    report = program.run(config)
+    entries = report.pressure.quarantine.entries
+    assert entries
+    assert any(e.monitored > 0 for e in entries.values())
+
+
+# ----------------------------------------------------------------------
+# journal: pressure events replay frame-for-frame, survive crashes
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def recorded_pressure_run(pressure_program):
+    from repro.journal.replay import record_run
+
+    return record_run(pressure_program, _config(), seed=1)
+
+
+def test_pressure_run_replays_deterministically(pressure_program,
+                                                recorded_pressure_run):
+    from repro.journal.replay import replay_run
+
+    report, recorder = recorded_pressure_run
+    assert any(e.kind == "arbiter" for e in recorder.events)
+    result = replay_run(pressure_program, recorder)
+    assert result.ok, result.describe()
+    assert result.verdicts_match
+
+
+def test_pressure_run_recovers_after_crash(pressure_program,
+                                           recorded_pressure_run,
+                                           tmp_path):
+    from repro.journal.format import JournalWriter
+    from repro.journal.recovery import crash_at_frame, recover
+
+    _report, recorder = recorded_pressure_run
+    # crash beyond the first arbiter decision so the salvaged prefix
+    # includes pressure events
+    first_arbiter = next(i for i, e in enumerate(recorder.events)
+                         if e.kind == "arbiter")
+    frame = min(first_arbiter + 5, len(recorder.events) - 1)
+    path = str(tmp_path / "pressure-crash.journal")
+    crash = crash_at_frame(pressure_program, _config(seed=1), frame,
+                           JournalWriter(path))
+    assert crash is not None
+    result = recover(pressure_program, path)
+    assert result.ok, result.describe()
+    assert len(result.salvaged) == frame
+    assert any(e.kind == "arbiter" for e in result.salvaged)
+
+
+# ----------------------------------------------------------------------
+# pressure off: bit-identical to the seed behavior
+# ----------------------------------------------------------------------
+
+def test_pressure_off_leaves_no_trace(pressure_program):
+    journal = JournalRecorder()
+    report = pressure_program.run(_config(pressure=None, journal=journal,
+                                          seed=0))
+    stats = report.stats
+    assert report.pressure is None
+    for name in ("arbiter_preemptions", "arbiter_denials",
+                 "quarantined_ars", "quarantine_monitored",
+                 "quarantine_sampled_skips", "admission_sheds",
+                 "timeout_extensions", "slots_leaked", "slots_reclaimed"):
+        assert getattr(stats, name) == 0, name
+    assert not any(e.kind in ("arbiter", "quarantine", "pressure")
+                   for e in journal.events)
+    # suspend events carry no tmult field when the plane is off (journal
+    # byte-compatibility with pre-pressure recordings)
+    assert not any("tmult" in e.payload for e in journal.events
+                   if e.kind == "suspend")

@@ -1,0 +1,106 @@
+"""Quarantine AIMD unit tests: strike threshold, sampled admission,
+multiplicative increase, additive decrease, release, convergence."""
+
+from repro.pressure import PressurePolicy, QuarantineManager
+
+
+def _mgr(**overrides):
+    kwargs = dict(quarantine_after_trips=2, sample_initial_n=4,
+                  sample_max_n=16, release_streak=3)
+    kwargs.update(overrides)
+    return QuarantineManager(PressurePolicy(**kwargs))
+
+
+def test_enters_after_strike_threshold():
+    mgr = _mgr()
+    assert mgr.note_pressure(1, now=100) is None
+    assert not mgr.is_quarantined(1)
+    assert mgr.note_pressure(1, now=200) == ("enter", 4)
+    assert mgr.is_quarantined(1)
+    assert mgr.entries[1].entered_at == 200
+    # strike counter reset on entry
+    assert mgr.strikes[1] == 0
+
+
+def test_strikes_are_per_ar():
+    mgr = _mgr()
+    mgr.note_pressure(1, now=0)
+    assert mgr.note_pressure(2, now=0) is None
+    assert not mgr.is_quarantined(2)
+
+
+def test_admission_samples_one_in_n():
+    mgr = _mgr(quarantine_after_trips=1, sample_initial_n=4)
+    mgr.note_pressure(1, now=0)
+    decisions = [mgr.admit(1) for _ in range(8)]
+    assert decisions == ["monitor", "skip", "skip", "skip",
+                         "monitor", "skip", "skip", "skip"]
+    entry = mgr.entries[1]
+    assert entry.monitored == 2 and entry.skipped == 6
+
+
+def test_pressure_on_quarantined_ar_doubles_n_capped():
+    mgr = _mgr(quarantine_after_trips=1, sample_initial_n=4, sample_max_n=16)
+    mgr.note_pressure(1, now=0)
+    assert mgr.note_pressure(1, now=1) == ("increase", 8)
+    assert mgr.note_pressure(1, now=2) == ("increase", 16)
+    assert mgr.note_pressure(1, now=3) == ("increase", 16)  # capped
+    assert mgr.entries[1].increases == 3
+
+
+def test_clean_ends_decrease_additively_then_release():
+    mgr = _mgr(quarantine_after_trips=1, sample_initial_n=3,
+               release_streak=2)
+    mgr.note_pressure(1, now=0)
+    assert mgr.note_clean_end(1, now=10) == ("decrease", 2)
+    assert mgr.note_clean_end(1, now=20) == ("decrease", 1)
+    # n == 1: clean streak builds toward release
+    assert mgr.note_clean_end(1, now=30) == ("decrease", 1)
+    assert mgr.note_clean_end(1, now=40) == ("release", 1)
+    assert not mgr.is_quarantined(1)
+    entry = mgr.entries[1]
+    assert entry.released and entry.released_at == 40
+
+
+def test_pressure_resets_clean_streak():
+    mgr = _mgr(quarantine_after_trips=1, sample_initial_n=1,
+               release_streak=3)
+    mgr.note_pressure(1, now=0)
+    mgr.note_clean_end(1, now=1)
+    mgr.note_clean_end(1, now=2)
+    mgr.note_pressure(1, now=3)  # streak back to zero, n doubled
+    assert mgr.entries[1].clean_streak == 0
+    mgr.note_clean_end(1, now=4)  # n 2 -> 1
+    mgr.note_clean_end(1, now=5)
+    mgr.note_clean_end(1, now=6)
+    assert mgr.note_clean_end(1, now=7) == ("release", 1)
+
+
+def test_clean_end_of_unquarantined_ar_is_noop():
+    mgr = _mgr()
+    assert mgr.note_clean_end(1, now=0) is None
+
+
+def test_settled_and_converged():
+    mgr = _mgr(quarantine_after_trips=1)
+    mgr.note_pressure(1, now=0)
+    # no increases yet: settled by definition
+    assert mgr.entries[1].settled and mgr.converged
+    mgr.note_pressure(1, now=1)
+    assert not mgr.entries[1].settled and not mgr.converged
+    # a monitored entry at the new rate settles it again
+    mgr.admit(1)
+    assert mgr.entries[1].settled and mgr.converged
+
+
+def test_released_entry_can_be_requarantined():
+    mgr = _mgr(quarantine_after_trips=2, sample_initial_n=2,
+               release_streak=1)
+    mgr.note_pressure(1, now=0)
+    mgr.note_pressure(1, now=1)
+    mgr.note_clean_end(1, now=2)
+    assert mgr.note_clean_end(1, now=3) == ("release", 1)
+    # post-release pressure counts as fresh strikes, not an increase
+    assert mgr.note_pressure(1, now=4) is None
+    assert mgr.note_pressure(1, now=5) == ("enter", 2)
+    assert mgr.is_quarantined(1)
