@@ -6,6 +6,11 @@ run the workload, mark every violated AR that is not a real bug as
 benign, repeat until no new false positives appear. The whitelist file is
 shipped to customers and re-read periodically by the runtime.
 
+The last section trains *federated*: each round's seeds are split across
+two worker processes, the per-shard observations are merged, and the
+result is asserted equal to serial training — the fleet's core
+equivalence guarantee, live.
+
 Usage::
 
     python examples/train_whitelist.py
@@ -17,8 +22,10 @@ import tempfile
 from repro.bench.scale import bench_config
 from repro.core.config import Mode, OptLevel
 from repro.core.session import ProtectedProgram
-from repro.core.training import train
-from repro.runtime.whitelist import Whitelist
+from repro.core.training import train, train_rounds
+from repro.fleet import FleetSupervisor, federated_train
+from repro.fleet.supervisor import FleetPolicy
+from repro.runtime.whitelist import Whitelist, read_whitelist_ids
 from repro.workloads.apps.tpcw import build_tpcw
 
 
@@ -57,6 +64,29 @@ def main():
           % (before.stats.crossings(), after.stats.crossings()))
     print("run time: %.3f ms -> %.3f ms"
           % (before.time_ns / 1e6, after.time_ns / 1e6))
+
+    print("\n=== federated training across 2 worker processes ===")
+    config = bench_config(Mode.BUG_FINDING, OptLevel.OPTIMIZED,
+                          pause_probability=0.15)
+    seed_rounds = [[100 + r * 4 + i for i in range(4)] for r in range(3)]
+    shard_dir = tempfile.mkdtemp(prefix="kivati-shards-")
+    supervisor = FleetSupervisor(
+        workers=2,
+        policy=FleetPolicy(workers=2, verify=False, collect_journals=False,
+                           start_method="fork"))
+    fed = federated_train(supervisor, workload.source, config, seed_rounds,
+                          shards=2, shard_dir=shard_dir)
+    print(fed.describe())
+    serial = train_rounds(pp, config, seed_rounds)
+    assert fed.whitelist == serial.whitelist, "federated != serial"
+    assert fed.iterations == serial.iterations, "per-round FP series differ"
+    print("federated whitelist == serial training "
+          "(%d ARs, rounds %s)" % (len(fed.whitelist), fed.iterations))
+    merged_ids, _, ok = read_whitelist_ids(
+        os.path.join(shard_dir, "merged.whitelist"))
+    assert ok and merged_ids == set(serial.whitelist)
+    print("merged shard files reproduce it too: %s"
+          % os.path.join(shard_dir, "merged.whitelist"))
 
 
 if __name__ == "__main__":

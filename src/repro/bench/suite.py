@@ -70,26 +70,83 @@ _CACHE = {}
 
 
 def run_suite(scale=0.6, seed=3, levels=OPT_LEVELS, modes=MODES,
-              use_cache=True):
-    """Run the full measurement pass; cached on (scale, seed)."""
+              use_cache=True, jobs=1):
+    """Run the full measurement pass; cached on (scale, seed).
+
+    ``jobs`` > 1 fans the per-application passes out over a fleet worker
+    pool (one ``suite`` job per application); the default of 1 keeps the
+    classic in-process loop, so existing callers are byte-identical.
+    Every run is a deterministic simulation keyed by (config, seed), so
+    the fanned-out results equal the serial ones — asserted in tests,
+    not assumed.
+    """
     key = (scale, seed, tuple(levels), tuple(modes))
     if use_cache and key in _CACHE:
         return _CACHE[key]
 
-    apps = {}
-    for workload in workload_suite(scale=scale):
-        pp = ProtectedProgram(workload.source)
-        vanilla = pp.run_vanilla(seed=seed)
-        assert workload.check_output(vanilla.output), (
-            "vanilla run of %s produced wrong output" % workload.name)
-        reports = {}
-        for opt in levels:
-            for mode in modes:
-                config = bench_config(mode=mode, opt=opt)
-                report = pp.run(config, seed=seed)
-                reports[(opt, mode)] = report
-        apps[workload.name] = AppMeasurement(workload, pp, vanilla, reports)
-    results = SuiteResults(apps, scale, seed)
+    if jobs > 1:
+        results = _run_suite_fleet(scale, seed, levels, modes, jobs)
+    else:
+        apps = {}
+        for workload in workload_suite(scale=scale):
+            pp = ProtectedProgram(workload.source)
+            vanilla = pp.run_vanilla(seed=seed)
+            assert workload.check_output(vanilla.output), (
+                "vanilla run of %s produced wrong output" % workload.name)
+            reports = {}
+            for opt in levels:
+                for mode in modes:
+                    config = bench_config(mode=mode, opt=opt)
+                    report = pp.run(config, seed=seed)
+                    reports[(opt, mode)] = report
+            apps[workload.name] = AppMeasurement(workload, pp, vanilla,
+                                                 reports)
+        results = SuiteResults(apps, scale, seed)
     if use_cache:
         _CACHE[key] = results
     return results
+
+
+def _run_suite_fleet(scale, seed, levels, modes, jobs):
+    """Fan the measurement pass out: one fleet ``suite`` job per app.
+
+    Workers ship live report objects back (pickled over the result
+    queue); the parent compiles each program once more to keep
+    ``AppMeasurement.protected`` usable by table code that re-runs it.
+    """
+    from repro.fleet.jobs import JobSpec
+    from repro.fleet.supervisor import FleetPolicy, FleetSupervisor
+
+    workloads = {w.name: w for w in workload_suite(scale=scale)}
+    config = bench_config()
+    specs = [
+        JobSpec.for_config(
+            "suite-%s-s%d" % (name.replace(" ", ""), seed), "suite",
+            workload.source, config, seed=seed,
+            params={"workload": name, "scale": scale,
+                    "levels": [opt.value for opt in levels],
+                    "modes": [mode.value for mode in modes]})
+        for name, workload in workloads.items()
+    ]
+    supervisor = FleetSupervisor(
+        workers=jobs,
+        policy=FleetPolicy(workers=jobs, verify=False,
+                           collect_journals=False))
+    fleet_result = supervisor.run_jobs(specs)
+    failed = [r for r in fleet_result.results.values() if not r.ok]
+    if failed:
+        raise RuntimeError("suite fleet pass failed: %s"
+                           % "; ".join("%s (%s)" % (r.job_id, r.error)
+                                       for r in failed))
+    apps = {}
+    for result in fleet_result.results.values():
+        payload = result.payload
+        name = payload["workload"]
+        reports = {(OptLevel(level_value), Mode(mode_value)): report
+                   for (level_value, mode_value), report
+                   in payload["reports"].items()}
+        apps[name] = AppMeasurement(workloads[name],
+                                    ProtectedProgram(workloads[name].source),
+                                    payload["vanilla"], reports)
+    apps = {name: apps[name] for name in workloads if name in apps}
+    return SuiteResults(apps, scale, seed)

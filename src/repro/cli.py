@@ -15,10 +15,13 @@ Commands::
     kivati soak                   soak the app suite under overload + faults
     kivati journal JOURNAL        inspect / postmortem-reverify a journal
     kivati replay FILE JOURNAL    deterministically replay a recorded run
+    kivati fleet run              shard the app suite over worker processes
+    kivati fleet train            federated whitelist training over shards
+    kivati fleet bench            fleet throughput benchmark (BENCH_fleet.json)
 
 Exit codes: 0 success; 1 invariant failure (chaos divergence, replay
-divergence, postmortem disagreement); 2 usage error; 3 violations found
-under ``--strict``.
+divergence, postmortem disagreement, fleet determinism/recovery failure);
+2 usage error; 3 violations found under ``--strict``.
 """
 
 import argparse
@@ -209,7 +212,8 @@ def cmd_report(args):
     from repro.bench.report import generate_report
 
     generate_report(scale=args.scale, include_table6=not args.quick,
-                    include_ablations=not args.quick, stream=_sys.stdout)
+                    include_ablations=not args.quick, stream=_sys.stdout,
+                    jobs=args.jobs)
     return 0
 
 
@@ -331,6 +335,111 @@ def cmd_replay(args):
     return 0 if result.ok and result.verdicts_match else 1
 
 
+def cmd_fleet_run(args):
+    from repro.bench.scale import bench_config
+    from repro.fleet import FleetPolicy, FleetSupervisor, app_run_jobs
+
+    config = bench_config(mode=Mode.BUG_FINDING if args.bug_finding
+                          else Mode.PREVENTION)
+    specs = app_run_jobs(config, seeds=tuple(args.seeds), scale=args.scale)
+    if args.crash_drill:
+        specs[0].params["crash"] = {"at_frame": 5, "torn": 1}
+    policy = FleetPolicy(workers=max(1, args.workers),
+                         verify=not args.no_verify,
+                         start_method=args.start_method)
+    result = FleetSupervisor(workers=args.workers, policy=policy).run_jobs(
+        specs)
+    print(result.describe())
+    aggregate = result.aggregate()
+    print(aggregate.summary())
+    status = 0 if result.ok else 1
+    if args.check:
+        # re-run the same batch inline; the aggregate digest must match
+        inline = FleetSupervisor(workers=0, policy=FleetPolicy(
+            workers=1, verify=False)).run_jobs(
+                [s.without_crash_drill() for s in specs])
+        if inline.aggregate().digest() != aggregate.digest():
+            print("FLEET FAIL: aggregate differs from inline reference")
+            status = 1
+        else:
+            print("determinism check: fleet aggregate == inline reference")
+    return status
+
+
+def cmd_fleet_train(args):
+    from repro.bench.scale import bench_config
+    from repro.fleet import FleetSupervisor, federated_train
+    from repro.fleet.supervisor import FleetPolicy
+    from repro.workloads.catalog import workload_suite
+
+    matches = [w for w in workload_suite(scale=args.scale)
+               if w.name.lower() == args.app.lower()]
+    if not matches:
+        print("unknown app %r (see: kivati apps)" % args.app,
+              file=sys.stderr)
+        return 2
+    workload = matches[0]
+    config = bench_config(mode=Mode.BUG_FINDING)
+    seed_rounds = [[args.seed_base + r * args.seeds_per_round + i
+                    for i in range(args.seeds_per_round)]
+                   for r in range(args.rounds)]
+    supervisor = FleetSupervisor(
+        workers=args.workers,
+        policy=FleetPolicy(workers=max(1, args.workers), verify=False,
+                           collect_journals=False,
+                           start_method=args.start_method))
+    fed = federated_train(supervisor, workload.source, config, seed_rounds,
+                          shards=args.shards, shard_dir=args.shard_dir)
+    print(fed.describe())
+    status = 0
+    if args.check:
+        from repro.core.training import train_rounds
+
+        serial = train_rounds(ProtectedProgram(workload.source), config,
+                              seed_rounds)
+        if (serial.whitelist != fed.whitelist
+                or serial.iterations != fed.iterations):
+            print("FLEET FAIL: federated training != serial reference")
+            status = 1
+        else:
+            print("equivalence check: federated == serial training")
+    if args.out:
+        from repro.runtime.whitelist import Whitelist
+
+        Whitelist.write_file(args.out, fed.whitelist,
+                             comment="federated training (%d shards)"
+                             % args.shards)
+        print("whitelist written: %s (%d ARs)"
+              % (args.out, len(fed.whitelist)))
+    return status
+
+
+def cmd_fleet_bench(args):
+    from repro.bench import fleetbench
+
+    workers_list = tuple(args.workers) if args.workers \
+        else fleetbench.DEFAULT_WORKERS
+    scale = args.scale
+    seeds = fleetbench.DEFAULT_SEEDS
+    if args.smoke:
+        workers_list = tuple(w for w in workers_list if w <= 2) or (1, 2)
+        scale = min(scale, 0.25)
+        seeds = seeds[:1]
+    payload = fleetbench.generate(workers_list=workers_list, scale=scale,
+                                  seeds=seeds,
+                                  start_method=args.start_method,
+                                  crash_drill=args.crash_drill)
+    print(fleetbench.render(payload))
+    problems = fleetbench.validate(payload,
+                                   require_speedup=args.assert_speedup)
+    for problem in problems:
+        print("FLEETBENCH FAIL: " + problem)
+    if args.out:
+        fleetbench.write_payload(payload, args.out)
+        print("wrote %s" % args.out)
+    return 1 if problems else 0
+
+
 def cmd_apps(args):
     from repro.workloads.catalog import workload_suite
 
@@ -413,6 +522,10 @@ def main(argv=None):
     p.add_argument("--scale", type=float, default=0.6)
     p.add_argument("--quick", action="store_true",
                    help="skip Table 6 and the ablations (the slow parts)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="fan the shared measurement pass out over N fleet "
+                        "workers (default 1: serial, byte-identical "
+                        "output)")
     p.set_defaults(fn=cmd_report)
 
     p = sub.add_parser("apps", help="list the application models")
@@ -453,6 +566,70 @@ def main(argv=None):
                    help="re-verify serializability offline; exit 1 on any "
                         "disagreement with the online detector")
     p.set_defaults(fn=cmd_journal)
+
+    p = sub.add_parser("fleet",
+                       help="multi-process sharded runs and training")
+    fleet_sub = p.add_subparsers(dest="fleet_command", required=True)
+
+    def add_fleet_common(fp):
+        fp.add_argument("--workers", type=int, default=2,
+                        help="worker processes (0 = inline, default 2)")
+        fp.add_argument("--start-method", default="spawn",
+                        choices=["spawn", "fork", "forkserver"])
+        fp.add_argument("--scale", type=float, default=0.4,
+                        help="per-thread work scale factor")
+
+    fp = fleet_sub.add_parser(
+        "run", help="shard the 5-app suite over a worker pool")
+    add_fleet_common(fp)
+    fp.add_argument("--seeds", type=int, nargs="*", default=[3],
+                    help="seeds per application (default: 3)")
+    fp.add_argument("--bug-finding", action="store_true")
+    fp.add_argument("--crash-drill", action="store_true",
+                    help="kill one worker mid-job to exercise salvage + "
+                         "retry")
+    fp.add_argument("--no-verify", action="store_true",
+                    help="skip supervisor-side replay verification")
+    fp.add_argument("--check", action="store_true",
+                    help="also run inline and assert identical aggregates")
+    fp.set_defaults(fn=cmd_fleet_run)
+
+    fp = fleet_sub.add_parser(
+        "train", help="federated whitelist training over shards")
+    add_fleet_common(fp)
+    fp.add_argument("--app", default="NSS",
+                    help="application model to train on (default: NSS)")
+    fp.add_argument("--shards", type=int, default=2)
+    fp.add_argument("--rounds", type=int, default=3)
+    fp.add_argument("--seeds-per-round", type=int, default=4)
+    fp.add_argument("--seed-base", type=int, default=100)
+    fp.add_argument("--shard-dir", default=None,
+                    help="write per-shard + merged whitelist files here")
+    fp.add_argument("--out", default=None,
+                    help="write the trained whitelist to this file")
+    fp.add_argument("--check", action="store_true",
+                    help="assert federated == serial training")
+    fp.set_defaults(fn=cmd_fleet_train)
+
+    fp = fleet_sub.add_parser(
+        "bench", help="fleet throughput benchmark (BENCH_fleet.json)")
+    fp.add_argument("--workers", type=int, nargs="*", default=None,
+                    help="worker counts to sweep (default: 1 2 4)")
+    fp.add_argument("--start-method", default="spawn",
+                    choices=["spawn", "fork", "forkserver"])
+    fp.add_argument("--scale", type=float, default=0.6,
+                    help="per-thread work scale factor")
+    fp.add_argument("--crash-drill", action="store_true",
+                    help="include a worker kill + recovery in the "
+                         "measured run")
+    fp.add_argument("--smoke", action="store_true",
+                    help="CI-sized: workers <= 2, reduced scale")
+    fp.add_argument("--assert-speedup", action="store_true",
+                    help="fail unless 4 workers reach >= 1.8x jobs/sec "
+                         "(for multi-core hosts)")
+    fp.add_argument("--out", default=None, metavar="PATH",
+                    help="write the artifact JSON to PATH")
+    fp.set_defaults(fn=cmd_fleet_bench)
 
     p = sub.add_parser("replay",
                        help="replay a journaled run and check determinism")

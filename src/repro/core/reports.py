@@ -228,6 +228,34 @@ class RunReport:
         """True if any graceful-degradation policy fired during the run."""
         return len(self.degradations) > 0
 
+    def as_payload(self):
+        """Plain-JSON summary of this run for cross-process aggregation.
+
+        This is the wire format a fleet worker sends back to the
+        supervisor (repro.fleet): only deterministic, order-normalized
+        plain types, so payloads from different workers for the same
+        (program, config, seed) are *identical* and can be digested,
+        compared and merged independent of completion order.
+        """
+        return {
+            "output": list(self.result.output),
+            "time_ns": self.result.time_ns,
+            "instr_count": self.result.instr_count,
+            "deadlocked": bool(self.result.deadlocked),
+            "fault": (str(self.result.fault)
+                      if self.result.fault is not None else None),
+            "threads": self.result.threads,
+            "stats": self.stats.as_dict(),
+            "violations": sorted(
+                (r.ar_id, r.var, r.local_tid, r.remote_tid,
+                 r.interleaving, r.time_ns, bool(r.prevented))
+                for r in self.violations),
+            "violated_ars": sorted(self.violated_ars()),
+            "degradation_kinds": sorted(self.degradations.kinds()),
+            "degradations": len(self.degradations),
+            "injected_faults": len(self.injected),
+        }
+
     def summary(self):
         text = (
             "time=%.3fms instrs=%d crossings=%d traps=%d violations=%d "

@@ -35,6 +35,50 @@ class TrainingResult:
                                                     self.iterations)
 
 
+def observe_false_positives(protected_program, config, seed, whitelist,
+                            buggy_ar_ids=()):
+    """One training observation: run ``seed`` with a *frozen* whitelist
+    and return the new benign ARs it exposed (violated, not known-buggy,
+    not already whitelisted) as a sorted tuple.
+
+    This is the unit of work the fleet farms out: because the whitelist
+    is frozen for the whole round, the observation for a given
+    ``(seed, whitelist)`` pair is a pure deterministic function —
+    independent of which worker runs it and of every other seed in the
+    round.
+    """
+    run_config = config.copy(whitelist=frozenset(whitelist), seed=seed)
+    report = protected_program.run(run_config)
+    new_fps = report.false_positives(set(buggy_ar_ids)) - set(whitelist)
+    return tuple(sorted(new_fps))
+
+
+def train_rounds(protected_program, config, seed_rounds, buggy_ar_ids=(),
+                 initial_whitelist=()):
+    """Round-based training: every seed in a round runs with the same
+    frozen whitelist; the union of new false positives is folded in
+    between rounds.
+
+    Returns a TrainingResult whose ``iterations`` list counts the new
+    unique false positives per *round*.  With singleton rounds
+    (``[[s0], [s1], ...]``) this is exactly the classic sequential
+    Figure 7 campaign; with wider rounds it is the serial reference the
+    federated fleet trainer (repro.fleet.shard) must match — the
+    synchronous whitelist update is what makes the per-round work
+    order- and partition-independent.
+    """
+    whitelist = set(initial_whitelist)
+    series = []
+    for seeds in seed_rounds:
+        new_this_round = set()
+        for seed in seeds:
+            new_this_round.update(observe_false_positives(
+                protected_program, config, seed, whitelist, buggy_ar_ids))
+        series.append(len(new_this_round))
+        whitelist |= new_this_round
+    return TrainingResult(series, whitelist, config.mode)
+
+
 def train(protected_program, config, iterations=10, buggy_ar_ids=(),
           initial_whitelist=(), seed_base=100):
     """Run ``iterations`` training runs, growing the whitelist each time.
@@ -42,14 +86,7 @@ def train(protected_program, config, iterations=10, buggy_ar_ids=(),
     Returns a TrainingResult whose ``iterations`` list is the Figure 7
     series (new false positives observed per iteration).
     """
-    whitelist = set(initial_whitelist)
-    buggy = set(buggy_ar_ids)
-    series = []
-    for i in range(iterations):
-        run_config = config.copy(whitelist=frozenset(whitelist),
-                                 seed=seed_base + i)
-        report = protected_program.run(run_config)
-        new_fps = report.false_positives(buggy) - whitelist
-        series.append(len(new_fps))
-        whitelist |= new_fps
-    return TrainingResult(series, whitelist, config.mode)
+    return train_rounds(
+        protected_program, config,
+        [[seed_base + i] for i in range(iterations)],
+        buggy_ar_ids=buggy_ar_ids, initial_whitelist=initial_whitelist)

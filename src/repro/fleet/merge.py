@@ -1,0 +1,124 @@
+"""Deterministic aggregation of fleet job results.
+
+The merge is keyed by job id and folds results in sorted-key order, so
+the aggregate is a pure function of the result *set* — independent of
+worker count, retry history and completion order.  Per-worker
+``KivatiStats`` counter dicts merge losslessly via
+:meth:`repro.runtime.stats.KivatiStats.merge` (field-introspected, so a
+newly added counter cannot silently skip aggregation), and train-shard
+payloads union into one whitelist.
+"""
+
+from repro.fleet.jobs import digest_of
+from repro.runtime.stats import KivatiStats
+
+
+def merge_stats(stat_dicts):
+    """Fold per-worker ``KivatiStats.as_dict`` payloads into one
+    fleet-wide KivatiStats."""
+    total = KivatiStats()
+    for data in stat_dicts:
+        total.merge(data)
+    return total
+
+
+class FleetAggregate:
+    """Order-independent summary of a fleet run's results."""
+
+    __slots__ = ("jobs", "failed_jobs", "stats", "time_ns", "violations",
+                 "violated_ars", "outputs", "whitelist", "detections",
+                 "deadlocks")
+
+    def __init__(self, jobs, failed_jobs, stats, time_ns, violations,
+                 violated_ars, outputs, whitelist, detections, deadlocks):
+        self.jobs = jobs                  # job ids aggregated, sorted
+        self.failed_jobs = failed_jobs    # job_id -> error, sorted items
+        self.stats = stats                # merged KivatiStats
+        self.time_ns = time_ns            # total simulated time
+        self.violations = violations      # sorted (job_id, record tuple)
+        self.violated_ars = violated_ars  # sorted (job_id, ar_id)
+        self.outputs = outputs            # job_id -> output list
+        self.whitelist = whitelist        # union of train-shard FPs
+        self.detections = detections      # job_id -> detect payload
+        self.deadlocks = deadlocks        # job ids that deadlocked
+
+    @property
+    def ok(self):
+        return not self.failed_jobs
+
+    def digest(self):
+        """Identity of the aggregate for cross-worker-count determinism
+        checks (JSON-able content only; scheduling metadata excluded)."""
+        return digest_of({
+            "jobs": self.jobs,
+            "failed": sorted(self.failed_jobs),
+            "stats": self.stats.as_dict(),
+            "time_ns": self.time_ns,
+            "violations": [[j, list(v)] for j, v in self.violations],
+            "outputs": {j: list(o) for j, o in self.outputs.items()},
+            "whitelist": sorted(self.whitelist),
+            "detections": self.detections,
+        })
+
+    def summary(self):
+        text = ("fleet aggregate: %d jobs (%d failed), simulated %.3fms, "
+                "crossings=%d traps=%d violations=%d (unique ARs %d)"
+                % (len(self.jobs), len(self.failed_jobs),
+                   self.time_ns / 1e6, self.stats.crossings(),
+                   self.stats.traps, self.stats.violations,
+                   len({(j, ar) for j, ar in self.violated_ars})))
+        if self.whitelist:
+            text += " trained_whitelist=%d" % len(self.whitelist)
+        if self.detections:
+            found = sum(1 for p in self.detections.values() if p["detected"])
+            text += " detected=%d/%d" % (found, len(self.detections))
+        if self.deadlocks:
+            text += " DEADLOCKS=%s" % ",".join(self.deadlocks)
+        return text
+
+
+def aggregate_results(results):
+    """Merge a ``job_id -> JobResult`` mapping (or iterable of results)
+    into a :class:`FleetAggregate`."""
+    if isinstance(results, dict):
+        ordered = [results[job_id] for job_id in sorted(results)]
+    else:
+        ordered = sorted(results, key=lambda r: r.job_id)
+    jobs = []
+    failed = {}
+    stats = KivatiStats()
+    time_ns = 0
+    violations = []
+    violated = []
+    outputs = {}
+    whitelist = set()
+    detections = {}
+    deadlocks = []
+    for result in ordered:
+        jobs.append(result.job_id)
+        if not result.ok:
+            failed[result.job_id] = result.error
+            continue
+        payload = result.payload
+        if result.kind == "run":
+            stats.merge(payload["stats"])
+            time_ns += payload["time_ns"]
+            outputs[result.job_id] = payload["output"]
+            violations.extend((result.job_id, tuple(v))
+                              for v in payload["violations"])
+            violated.extend((result.job_id, ar)
+                            for ar in payload["violated_ars"])
+            if payload["deadlocked"]:
+                deadlocks.append(result.job_id)
+        elif result.kind == "train":
+            whitelist.update(payload["union"])
+        elif result.kind == "detect":
+            detections[result.job_id] = payload
+            time_ns += payload["time_ns"]
+    return FleetAggregate(jobs, dict(sorted(failed.items())), stats,
+                          time_ns, sorted(violations), sorted(violated),
+                          outputs, frozenset(whitelist), detections,
+                          deadlocks)
+
+
+__all__ = ["FleetAggregate", "aggregate_results", "merge_stats"]

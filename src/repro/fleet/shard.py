@@ -1,0 +1,139 @@
+"""Federated whitelist training.
+
+Training (Figure 7) is round-based: every seed in a round observes
+false positives against the same *frozen* whitelist, and the union of
+the round's new FPs is folded in synchronously between rounds
+(:func:`repro.core.training.train_rounds`).  That makes each
+observation a pure function of ``(seed, whitelist)``, so the round's
+work can be partitioned across shards arbitrarily:
+
+    union over shards of (new FPs per shard)
+      == union over seeds of (new FPs per seed)       -- set algebra
+      == the serial round's new-FP set                -- by definition
+
+hence federated training over any shard count converges to exactly the
+serial whitelist for the same seed schedule.  The property test in
+``tests/fleet`` checks this end to end, and
+:func:`repro.runtime.whitelist.merge_whitelist_files` performs the same
+union at the file level for shards trained on different hosts.
+"""
+
+import os
+
+from repro.core.training import TrainingResult, train_rounds
+from repro.errors import ConfigError
+from repro.fleet.jobs import train_shard_job
+from repro.runtime.whitelist import Whitelist, merge_whitelist_files
+
+
+def partition_round_robin(items, shards):
+    """Deal ``items`` round-robin into ``shards`` non-empty-preserving
+    buckets. Deterministic; with fewer items than shards the tail
+    buckets are empty (and callers skip them)."""
+    if shards < 1:
+        raise ConfigError("shards must be >= 1")
+    buckets = [[] for _ in range(shards)]
+    for index, item in enumerate(items):
+        buckets[index % shards].append(item)
+    return buckets
+
+
+class FederatedTrainingResult:
+    """Outcome of a federated training campaign.
+
+    ``result`` is a plain :class:`TrainingResult` (so Figure 7 tooling
+    works unchanged); the federated extras record how the rounds were
+    sharded and where per-shard whitelist files were written.
+    """
+
+    __slots__ = ("result", "shards", "rounds", "shard_new", "shard_files",
+                 "fleet_stats")
+
+    def __init__(self, result, shards, rounds, shard_new, shard_files,
+                 fleet_stats):
+        self.result = result
+        self.shards = shards
+        self.rounds = rounds
+        #: shard_new[round][shard] = sorted new FPs that shard observed
+        self.shard_new = shard_new
+        self.shard_files = list(shard_files)
+        self.fleet_stats = fleet_stats
+
+    @property
+    def whitelist(self):
+        return self.result.whitelist
+
+    @property
+    def iterations(self):
+        return self.result.iterations
+
+    def describe(self):
+        return ("federated training: %d round(s) x %d shard(s), "
+                "new FPs per round %s, whitelist=%d"
+                % (self.rounds, self.shards, self.result.iterations,
+                   len(self.result.whitelist)))
+
+
+def federated_train(supervisor, source, config, seed_rounds, shards=2,
+                    buggy_ar_ids=(), initial_whitelist=(), shard_dir=None):
+    """Train a whitelist round by round, farming each round's seeds out
+    to ``shards`` parallel train jobs through ``supervisor``.
+
+    Equivalent by construction to
+    ``train_rounds(program, config, seed_rounds, ...)`` — see the module
+    docstring.  When ``shard_dir`` is given, each shard's cumulative
+    observations are also written as a whitelist file, and the merged
+    file (via :func:`merge_whitelist_files`) equals the final whitelist.
+    """
+    whitelist = set(initial_whitelist)
+    series = []
+    shard_new = []
+    per_shard_seen = [set() for _ in range(shards)]
+    for round_index, seeds in enumerate(seed_rounds):
+        buckets = partition_round_robin(list(seeds), shards)
+        specs = [
+            train_shard_job(
+                "train-r%d-shard%d" % (round_index, shard_index),
+                source, config, bucket, whitelist,
+                buggy_ar_ids=buggy_ar_ids)
+            for shard_index, bucket in enumerate(buckets) if bucket
+        ]
+        fleet_result = supervisor.run_jobs(specs)
+        failed = [r for r in fleet_result.results.values() if not r.ok]
+        if failed:
+            raise RuntimeError("federated training round %d failed: %s"
+                               % (round_index,
+                                  "; ".join(str(r.error) for r in failed)))
+        round_new = []
+        new_this_round = set()
+        for shard_index in range(shards):
+            job_id = "train-r%d-shard%d" % (round_index, shard_index)
+            result = fleet_result.results.get(job_id)
+            new = sorted(result.payload["union"]) if result else []
+            round_new.append(new)
+            new_this_round.update(new)
+            per_shard_seen[shard_index].update(new)
+        shard_new.append(round_new)
+        series.append(len(new_this_round))
+        whitelist |= new_this_round
+    shard_files = []
+    if shard_dir is not None:
+        os.makedirs(shard_dir, exist_ok=True)
+        for shard_index, seen in enumerate(per_shard_seen):
+            path = os.path.join(shard_dir, "shard-%d.whitelist" % shard_index)
+            Whitelist.write_file(
+                path, seen,
+                comment="federated training shard %d" % shard_index)
+            shard_files.append(path)
+        merged_path = os.path.join(shard_dir, "merged.whitelist")
+        merge_whitelist_files(merged_path, shard_files,
+                              comment="federated merge of %d shards"
+                              % shards, initial=initial_whitelist)
+        shard_files.append(merged_path)
+    result = TrainingResult(series, whitelist, config.mode)
+    return FederatedTrainingResult(result, shards, len(series), shard_new,
+                                   shard_files, None)
+
+
+__all__ = ["FederatedTrainingResult", "federated_train",
+           "partition_round_robin"]

@@ -1,0 +1,486 @@
+"""Fleet supervisor: dispatch, crash recovery, backpressure, aggregation.
+
+The supervisor owns a pool of spawn-safe worker processes (one job
+outstanding per worker, per-worker dispatch queues, one shared result
+queue) and guarantees:
+
+- **zero lost jobs** — a job is accounted for exactly once: as a
+  completed result, a bounded-retry failure, or an admission rejection;
+- **crash tolerance** — a worker that dies mid-job (detected by
+  exitcode/heartbeat) has its torn journal salvaged via
+  :func:`repro.journal.recovery.salvage`, the salvage journaled as a
+  :class:`FleetRecovery` record, and the job retried on a fresh worker
+  with bounded retries (crash drills are stripped from the retry the
+  same way recovery strips ``journal.crash``);
+- **determinism** — results are keyed by job id and merged in sorted
+  order, so aggregates are identical for any worker count and any
+  completion order;
+- **backpressure** — queue-depth watermarks derived from
+  :meth:`repro.pressure.PressurePolicy.fleet_watermarks` shed the
+  supervisor's own monitoring (per-job replay verification) before they
+  shed jobs, mirroring the in-process admission-control ordering.
+"""
+
+import os
+import queue as queue_mod
+import tempfile
+import time
+
+from repro.errors import ConfigError, JournalCrash
+from repro.fleet.jobs import JobResult, JobSpec
+from repro.fleet.merge import aggregate_results
+from repro.fleet.worker import execute_job, job_journal_path, worker_main
+from repro.journal.recovery import salvage
+from repro.pressure.policy import PressurePolicy
+
+
+class FleetPolicy:
+    """Supervisor knobs; watermarks derive from a PressurePolicy."""
+
+    __slots__ = ("max_retries", "verify", "collect_journals", "pressure",
+                 "shed_depth", "reject_depth", "start_method", "poll_s",
+                 "job_timeout_s")
+
+    def __init__(self, workers=2, max_retries=2, verify=True,
+                 collect_journals=True, pressure=None, start_method="spawn",
+                 poll_s=0.05, job_timeout_s=None):
+        if max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        if start_method not in ("spawn", "fork", "forkserver"):
+            raise ConfigError("unknown start method %r" % (start_method,))
+        self.max_retries = max_retries
+        self.verify = verify
+        self.collect_journals = collect_journals
+        self.pressure = pressure if pressure is not None else PressurePolicy()
+        self.shed_depth, self.reject_depth = \
+            self.pressure.fleet_watermarks(max(1, workers))
+        self.start_method = start_method
+        self.poll_s = poll_s
+        #: optional wall-clock bound per job attempt; a worker that
+        #: exceeds it is terminated and handled like a crash
+        self.job_timeout_s = job_timeout_s
+
+
+class FleetStats:
+    """Supervisor-side accounting (fleet health, not job content)."""
+
+    FIELDS = ("jobs_submitted", "jobs_completed", "jobs_failed",
+              "jobs_rejected", "jobs_retried", "workers_spawned",
+              "workers_crashed", "workers_timed_out", "verifications",
+              "verification_failures", "verifications_shed",
+              "frames_salvaged")
+
+    __slots__ = FIELDS
+
+    def __init__(self):
+        for name in self.FIELDS:
+            setattr(self, name, 0)
+
+    def as_dict(self):
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+    def __repr__(self):
+        return ("FleetStats(done=%d, failed=%d, retried=%d, crashed=%d)"
+                % (self.jobs_completed, self.jobs_failed, self.jobs_retried,
+                   self.workers_crashed))
+
+
+class FleetRecovery:
+    """Journaled record of one crashed-worker salvage decision."""
+
+    __slots__ = ("job_id", "worker_id", "attempt", "exitcode", "reason",
+                 "frames_salvaged", "torn", "consistent", "action",
+                 "journal_path")
+
+    def __init__(self, job_id, worker_id, attempt, exitcode, reason,
+                 frames_salvaged, torn, consistent, action, journal_path):
+        self.job_id = job_id
+        self.worker_id = worker_id
+        self.attempt = attempt
+        self.exitcode = exitcode
+        self.reason = reason            # "crash" or "timeout"
+        self.frames_salvaged = frames_salvaged
+        self.torn = torn
+        self.consistent = consistent
+        self.action = action            # "retried" or "failed"
+        self.journal_path = journal_path
+
+    def describe(self):
+        return ("worker %s %s on job %s (attempt %d, exit %s): salvaged "
+                "%d frames%s%s -> %s"
+                % (self.worker_id, self.reason, self.job_id, self.attempt,
+                   self.exitcode, self.frames_salvaged,
+                   ", torn" if self.torn else "",
+                   "" if self.consistent else ", INCONSISTENT",
+                   self.action))
+
+    def __repr__(self):
+        return "FleetRecovery(%s, %s)" % (self.job_id, self.action)
+
+
+class FleetRejection:
+    """A job shed at admission (queue depth above the reject
+    watermark). Rejections are returned, never silently dropped."""
+
+    __slots__ = ("spec", "depth", "reason")
+
+    def __init__(self, spec, depth, reason):
+        self.spec = spec
+        self.depth = depth
+        self.reason = reason
+
+
+class FleetResult:
+    """Everything one batch produced, aggregation-ready."""
+
+    __slots__ = ("results", "recoveries", "rejections", "stats",
+                 "elapsed_s", "workers", "completion_order")
+
+    def __init__(self, results, recoveries, rejections, stats, elapsed_s,
+                 workers, completion_order):
+        self.results = results            # job_id -> JobResult
+        self.recoveries = list(recoveries)
+        self.rejections = list(rejections)
+        self.stats = stats
+        self.elapsed_s = elapsed_s
+        self.workers = workers
+        self.completion_order = list(completion_order)
+
+    @property
+    def ok(self):
+        return (all(r.ok for r in self.results.values())
+                and not self.rejections
+                and self.stats.verification_failures == 0)
+
+    @property
+    def jobs_per_sec(self):
+        if self.elapsed_s <= 0:
+            return 0.0
+        return len(self.results) / self.elapsed_s
+
+    def aggregate(self):
+        return aggregate_results(self.results)
+
+    def describe(self):
+        lines = ["fleet: %d jobs on %d worker(s) in %.2fs (%.2f jobs/s)%s"
+                 % (len(self.results), self.workers, self.elapsed_s,
+                    self.jobs_per_sec, "" if self.ok else " [PROBLEMS]")]
+        stats = self.stats
+        lines.append("  completed=%d failed=%d retried=%d rejected=%d "
+                     "crashed_workers=%d verified=%d (shed %d, failed %d)"
+                     % (stats.jobs_completed, stats.jobs_failed,
+                        stats.jobs_retried, stats.jobs_rejected,
+                        stats.workers_crashed, stats.verifications,
+                        stats.verifications_shed,
+                        stats.verification_failures))
+        for recovery in self.recoveries:
+            lines.append("  recovery: " + recovery.describe())
+        return "\n".join(lines)
+
+
+class _Worker:
+    """Supervisor-side handle for one worker process."""
+
+    __slots__ = ("worker_id", "process", "job_queue", "journal_dir",
+                 "inflight", "dispatched_at")
+
+    def __init__(self, worker_id, process, job_queue, journal_dir):
+        self.worker_id = worker_id
+        self.process = process
+        self.job_queue = job_queue
+        self.journal_dir = journal_dir
+        self.inflight = None        # (JobSpec, attempt) or None
+        self.dispatched_at = None
+
+
+class FleetSupervisor:
+    """Dispatches job batches over a spawn-safe worker pool.
+
+    ``workers=0`` executes inline in this process (no multiprocessing):
+    same job semantics, same salvage+retry handling for crash drills,
+    fully deterministic — the reference the multi-process path is tested
+    against.
+    """
+
+    def __init__(self, workers=2, policy=None, journal_root=None):
+        if workers < 0:
+            raise ConfigError("workers must be >= 0")
+        self.workers = workers
+        self.policy = policy if policy is not None else FleetPolicy(
+            workers=workers)
+        self._journal_root = journal_root
+        self._owns_journal_root = journal_root is None
+
+    def journal_root(self):
+        if self._journal_root is None:
+            self._journal_root = tempfile.mkdtemp(prefix="kivati-fleet-")
+        return self._journal_root
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def run_jobs(self, specs, reject_overflow=False):
+        """Execute a batch; returns a :class:`FleetResult`.
+
+        With ``reject_overflow`` the admission-control reject watermark
+        applies at submission (service posture: a caller pushing an
+        unbounded batch gets explicit rejections back); without it the
+        whole batch is accepted and backpressure only sheds supervisor
+        monitoring (batch posture — jobs are never dropped).
+        """
+        specs = [spec if isinstance(spec, JobSpec) else JobSpec.from_dict(spec)
+                 for spec in specs]
+        seen = set()
+        for spec in specs:
+            if spec.job_id in seen:
+                raise ConfigError("duplicate job_id %r" % spec.job_id)
+            seen.add(spec.job_id)
+        stats = FleetStats()
+        admitted = []
+        rejections = []
+        for spec in specs:
+            depth = len(admitted)
+            if reject_overflow and depth >= self.policy.reject_depth:
+                rejections.append(FleetRejection(
+                    spec, depth, "queue depth %d >= reject watermark %d"
+                    % (depth, self.policy.reject_depth)))
+                stats.jobs_rejected += 1
+                continue
+            admitted.append(spec)
+        stats.jobs_submitted = len(admitted)
+        started = time.perf_counter()
+        if self.workers == 0:
+            results, recoveries, order = self._run_inline(admitted, stats)
+        else:
+            results, recoveries, order = self._run_pool(admitted, stats)
+        elapsed = time.perf_counter() - started
+        return FleetResult(results, recoveries, rejections, stats, elapsed,
+                           self.workers, order)
+
+    # ------------------------------------------------------------------
+    # inline execution (workers=0)
+    # ------------------------------------------------------------------
+
+    def _run_inline(self, specs, stats):
+        results = {}
+        recoveries = []
+        order = []
+        journal_dir = os.path.join(self.journal_root(), "inline")
+        os.makedirs(journal_dir, exist_ok=True)
+        pending = [(spec, 0) for spec in specs]
+        pending.reverse()  # treat as stack; deterministic order
+        while pending:
+            spec, attempt = pending.pop()
+            use_dir = journal_dir if self.policy.collect_journals else None
+            try:
+                raw = execute_job(spec.as_dict(), journal_dir=use_dir)
+            except JournalCrash:
+                recovery, retry = self._handle_crash(
+                    spec, attempt, worker_id="inline", exitcode=None,
+                    reason="crash",
+                    journal_dir=use_dir, stats=stats, results=results)
+                recoveries.append(recovery)
+                if retry is not None:
+                    pending.append(retry)
+                continue
+            result = self._record_result(raw, spec, attempt, "inline",
+                                         stats, backlog=len(pending))
+            results[spec.job_id] = result
+            order.append(spec.job_id)
+        return results, recoveries, order
+
+    # ------------------------------------------------------------------
+    # multi-process execution
+    # ------------------------------------------------------------------
+
+    def _run_pool(self, specs, stats):
+        import multiprocessing as mp
+
+        ctx = mp.get_context(self.policy.start_method)
+        result_queue = ctx.Queue()
+        workers = {}
+        next_id = [0]
+
+        def spawn_worker():
+            worker_id = "w%d" % next_id[0]
+            next_id[0] += 1
+            journal_dir = os.path.join(self.journal_root(), worker_id)
+            os.makedirs(journal_dir, exist_ok=True)
+            job_queue = ctx.Queue()
+            process = ctx.Process(
+                target=worker_main,
+                args=(worker_id, job_queue, result_queue,
+                      journal_dir if self.policy.collect_journals else None),
+                daemon=True)
+            process.start()
+            workers[worker_id] = _Worker(worker_id, process, job_queue,
+                                         journal_dir)
+            stats.workers_spawned += 1
+            return worker_id
+
+        for _ in range(self.workers):
+            spawn_worker()
+
+        results = {}
+        recoveries = []
+        order = []
+        pending = list(reversed([(spec, 0) for spec in specs]))
+
+        def dispatch():
+            for worker in workers.values():
+                if not pending:
+                    return
+                if worker.inflight is None and worker.process.is_alive():
+                    spec, attempt = pending.pop()
+                    worker.inflight = (spec, attempt)
+                    worker.dispatched_at = time.perf_counter()
+                    worker.job_queue.put(spec.as_dict())
+
+        def handle_dead(worker, reason):
+            spec, attempt = worker.inflight
+            worker.inflight = None
+            stats.workers_crashed += 1
+            use_dir = (worker.journal_dir if self.policy.collect_journals
+                       else None)
+            recovery, retry = self._handle_crash(
+                spec, attempt, worker_id=worker.worker_id,
+                exitcode=worker.process.exitcode, reason=reason,
+                journal_dir=use_dir, stats=stats, results=results)
+            recoveries.append(recovery)
+            if retry is not None:
+                pending.append(retry)
+            del workers[worker.worker_id]
+            spawn_worker()
+
+        try:
+            while pending or any(w.inflight is not None
+                                 for w in workers.values()):
+                dispatch()
+                try:
+                    tag, worker_id, body = result_queue.get(
+                        timeout=self.policy.poll_s)
+                except queue_mod.Empty:
+                    for worker in list(workers.values()):
+                        if worker.inflight is None:
+                            continue
+                        if not worker.process.is_alive():
+                            handle_dead(worker, "crash")
+                        elif (self.policy.job_timeout_s is not None
+                              and time.perf_counter() - worker.dispatched_at
+                              > self.policy.job_timeout_s):
+                            worker.process.terminate()
+                            worker.process.join(timeout=5.0)
+                            stats.workers_timed_out += 1
+                            handle_dead(worker, "timeout")
+                    continue
+                if tag == "claim" or tag == "bye":
+                    continue
+                worker = workers.get(worker_id)
+                if worker is None or worker.inflight is None:
+                    continue  # stale message from a replaced worker
+                spec, attempt = worker.inflight
+                if body["job_id"] != spec.job_id:
+                    continue
+                worker.inflight = None
+                result = self._record_result(
+                    body, spec, attempt, worker_id, stats,
+                    backlog=len(pending))
+                results[spec.job_id] = result
+                order.append(spec.job_id)
+        finally:
+            for worker in workers.values():
+                if worker.process.is_alive():
+                    worker.job_queue.put(None)
+            deadline = time.perf_counter() + 5.0
+            for worker in workers.values():
+                worker.process.join(
+                    timeout=max(0.1, deadline - time.perf_counter()))
+                if worker.process.is_alive():
+                    worker.process.terminate()
+            result_queue.cancel_join_thread()
+        return results, recoveries, order
+
+    # ------------------------------------------------------------------
+    # shared handling
+    # ------------------------------------------------------------------
+
+    def _handle_crash(self, spec, attempt, worker_id, exitcode, reason,
+                      journal_dir, stats, results):
+        """Salvage a crashed attempt's journal and decide retry/fail.
+
+        Returns ``(FleetRecovery, retry_or_None)``; when retries are
+        exhausted the job is recorded as a failed result — accounted
+        for, never lost.
+        """
+        frames = 0
+        torn = False
+        consistent = True
+        journal_path = None
+        if journal_dir is not None:
+            journal_path = job_journal_path(journal_dir, spec.job_id)
+            if os.path.exists(journal_path):
+                salvaged = salvage(journal_path)
+                frames = len(salvaged.events)
+                torn = salvaged.torn
+                consistent = (salvaged.state is None
+                              or salvaged.state.consistent)
+                stats.frames_salvaged += frames
+        if attempt < self.policy.max_retries:
+            action = "retried"
+            stats.jobs_retried += 1
+            retry = (spec.without_crash_drill(), attempt + 1)
+        else:
+            action = "failed"
+            stats.jobs_failed += 1
+            results[spec.job_id] = JobResult(
+                spec.job_id, spec.kind, False, None,
+                error="worker %s after %d attempts" % (reason, attempt + 1),
+                worker_id=worker_id, attempt=attempt,
+                journal_path=journal_path)
+            retry = None
+        return (FleetRecovery(spec.job_id, worker_id, attempt, exitcode,
+                              reason, frames, torn, consistent, action,
+                              journal_path),
+                retry)
+
+    def _record_result(self, raw, spec, attempt, worker_id, stats,
+                       backlog=0):
+        result = JobResult.from_dict(raw)
+        result.worker_id = worker_id
+        result.attempt = attempt
+        if result.ok:
+            stats.jobs_completed += 1
+        else:
+            stats.jobs_failed += 1
+        self._maybe_verify(result, spec, stats, backlog)
+        return result
+
+    def _maybe_verify(self, result, spec, stats, backlog):
+        """Replay-verify a completed run job's journal, unless the
+        pending backlog sits above the shed watermark — monitoring is
+        shed before jobs, reusing the pressure plane's ordering."""
+        if (not self.policy.verify or not result.ok
+                or result.journal_path is None or spec.kind != "run"):
+            return
+        if backlog >= self.policy.shed_depth:
+            result.verify_shed = True
+            stats.verifications_shed += 1
+            return
+        from repro.fleet.worker import cached_program
+        from repro.journal.replay import replay_run
+
+        stats.verifications += 1
+        try:
+            replay = replay_run(cached_program(spec.source),
+                                result.journal_path,
+                                drop_fault_points=("journal.crash",))
+            result.verified = replay.ok and replay.verdicts_match
+        except Exception:
+            result.verified = False
+        if not result.verified:
+            stats.verification_failures += 1
+
+
+__all__ = ["FleetPolicy", "FleetRecovery", "FleetRejection", "FleetResult",
+           "FleetStats", "FleetSupervisor"]

@@ -1,0 +1,200 @@
+"""Spawn-safe fleet worker.
+
+``worker_main`` is the entry point the supervisor passes to
+``multiprocessing.Process`` — a module-level function so it survives the
+``spawn`` start method (no closures, no lambdas, nothing that needs the
+parent's memory image).  All work flows through :func:`execute_job`,
+which is also what the supervisor calls directly for inline
+(``workers=0``) execution, so the two paths cannot drift.
+
+Workers are crash-transparent by design: a job whose spec carries a
+``crash`` drill dies via ``os._exit`` the instant the ``journal.crash``
+fault point fires — no cleanup, no result message, exactly like a
+SIGKILL — leaving a torn on-disk journal for the supervisor to salvage.
+"""
+
+import os
+import time
+
+from repro.core.session import ProtectedProgram
+from repro.core.training import observe_false_positives
+from repro.errors import JournalCrash
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.fleet.jobs import JobSpec
+from repro.journal.format import JournalWriter
+from repro.journal.recorder import JournalRecorder
+from repro.journal.snapshot import config_from_snapshot, source_digest
+
+#: exit status a worker uses to die mid-job during a crash drill;
+#: chosen to look like SIGKILL's shell status
+CRASH_EXIT_STATUS = 137
+
+#: per-process compiled-program cache: workers are long-lived, programs
+#: are immutable, and annotation+compilation is pure per source text
+_PROGRAM_CACHE = {}
+
+
+def cached_program(source):
+    key = source_digest(source)
+    program = _PROGRAM_CACHE.get(key)
+    if program is None:
+        program = ProtectedProgram(source)
+        _PROGRAM_CACHE[key] = program
+    return program
+
+
+def job_journal_path(journal_dir, job_id):
+    return os.path.join(journal_dir, "job-%s.journal" % job_id)
+
+
+def _config_for(spec):
+    """Rebuild the job's KivatiConfig, wiring in the crash drill."""
+    config = config_from_snapshot(spec.snapshot).copy(seed=spec.seed)
+    crash = spec.params.get("crash")
+    if crash is not None:
+        specs = [FaultSpec("journal.crash", probability=1.0, max_fires=1,
+                           start_after=int(crash.get("at_frame", 0)),
+                           param={"torn": int(crash.get("torn", 1))})]
+        if config.faults is not None:
+            specs.extend(s for s in config.faults.specs
+                         if s.point != "journal.crash")
+        config = config.copy(faults=FaultPlan("fleet-crash-drill", specs))
+    return config
+
+
+def _execute_run(spec, config, journal_dir):
+    journal_path = None
+    if journal_dir is not None:
+        journal_path = job_journal_path(journal_dir, spec.job_id)
+        config = config.copy(
+            journal=JournalRecorder(writer=JournalWriter(journal_path)))
+    report = cached_program(spec.source).run(config)
+    return report.as_payload(), journal_path
+
+
+def _execute_train(spec, config, journal_dir):
+    program = cached_program(spec.source)
+    whitelist = frozenset(spec.params.get("whitelist", ()))
+    buggy = spec.params.get("buggy", ())
+    new_by_seed = {}
+    for seed in spec.params["seeds"]:
+        new_by_seed[str(seed)] = list(observe_false_positives(
+            program, config, seed, whitelist, buggy_ar_ids=buggy))
+    union = sorted(set().union(*new_by_seed.values())
+                   if new_by_seed else set())
+    return {"new_by_seed": new_by_seed, "union": union,
+            "seeds": list(spec.params["seeds"])}, None
+
+
+def _execute_detect(spec, config, journal_dir):
+    """Self-contained Table-6 campaign: rerun until a violation lands on
+    one of the bug's victim variables (same protocol and seed stride as
+    repro.workloads.driver.detect_bug)."""
+    program = cached_program(spec.source)
+    victims = set(spec.params["victim_vars"])
+    max_attempts = int(spec.params.get("max_attempts", 40))
+    seed_base = int(spec.params.get("seed_base", 0))
+    total_ns = 0
+    for attempt in range(max_attempts):
+        report = program.run(config, seed=seed_base + attempt * 7919)
+        total_ns += report.time_ns
+        records = [r for r in report.violations if r.var in victims]
+        if records:
+            return {"bug_id": spec.params.get("bug_id"), "detected": True,
+                    "attempts": attempt + 1, "time_ns": total_ns,
+                    "prevented": all(r.prevented for r in records)}, None
+    return {"bug_id": spec.params.get("bug_id"), "detected": False,
+            "attempts": max_attempts, "time_ns": total_ns,
+            "prevented": False}, None
+
+
+def _execute_suite(spec, config, journal_dir):
+    """One application's full measurement pass (``run_suite --jobs``).
+
+    The payload carries live report objects (pickled by the queue) —
+    this kind exists so the existing table benchmarks can fan out
+    without changing what they compute.
+    """
+    from repro.bench.scale import bench_config
+    from repro.core.config import Mode, OptLevel
+    from repro.workloads.catalog import workload_suite
+
+    name = spec.params["workload"]
+    scale = spec.params.get("scale", 0.6)
+    matches = [w for w in workload_suite(scale=scale) if w.name == name]
+    if not matches:
+        raise ValueError("unknown suite workload %r" % name)
+    workload = matches[0]
+    program = cached_program(workload.source)
+    vanilla = program.run_vanilla(seed=spec.seed)
+    if not workload.check_output(vanilla.output):
+        raise AssertionError("vanilla run of %s produced wrong output"
+                             % workload.name)
+    reports = {}
+    for level_value in spec.params["levels"]:
+        for mode_value in spec.params["modes"]:
+            run_config = bench_config(mode=Mode(mode_value),
+                                      opt=OptLevel(level_value))
+            report = program.run(run_config, seed=spec.seed)
+            reports[(level_value, mode_value)] = report
+    return {"workload": name, "vanilla": vanilla, "reports": reports}, None
+
+
+_EXECUTORS = {
+    "run": _execute_run,
+    "train": _execute_train,
+    "detect": _execute_detect,
+    "suite": _execute_suite,
+}
+
+
+def execute_job(spec_dict, journal_dir=None):
+    """Execute one job dict; returns a result dict.
+
+    Shared by worker processes and the supervisor's inline mode.  A
+    ``JournalCrash`` (crash drill) propagates to the caller — workers
+    turn it into ``os._exit``, inline mode turns it into salvage+retry.
+    """
+    spec = JobSpec.from_dict(spec_dict)
+    started = time.perf_counter()
+    config = _config_for(spec)
+    try:
+        payload, journal_path = _EXECUTORS[spec.kind](spec, config,
+                                                      journal_dir)
+        return {"job_id": spec.job_id, "kind": spec.kind, "ok": True,
+                "error": None, "payload": payload,
+                "journal_path": journal_path,
+                "elapsed_s": time.perf_counter() - started}
+    except JournalCrash:
+        raise
+    except Exception as exc:  # a broken job must not take the worker down
+        return {"job_id": spec.job_id, "kind": spec.kind, "ok": False,
+                "error": "%s: %s" % (type(exc).__name__, exc),
+                "payload": None, "journal_path": None,
+                "elapsed_s": time.perf_counter() - started}
+
+
+def worker_main(worker_id, job_queue, result_queue, journal_dir):
+    """Worker loop: claim, execute, report; ``None`` is the shutdown
+    sentinel.  The claim message doubles as the heartbeat that lets the
+    supervisor attribute a crashed worker's in-flight job."""
+    if journal_dir is not None:
+        os.makedirs(journal_dir, exist_ok=True)
+    while True:
+        spec_dict = job_queue.get()
+        if spec_dict is None:
+            result_queue.put(("bye", worker_id, None))
+            return
+        result_queue.put(("claim", worker_id, spec_dict["job_id"]))
+        try:
+            result = execute_job(spec_dict, journal_dir=journal_dir)
+        except JournalCrash:
+            # simulate the kill: no result, no cleanup, nonzero status;
+            # the torn journal stays on disk for the supervisor
+            os._exit(CRASH_EXIT_STATUS)
+        result["worker_id"] = worker_id
+        result_queue.put(("done", worker_id, result))
+
+
+__all__ = ["CRASH_EXIT_STATUS", "cached_program", "execute_job",
+           "job_journal_path", "worker_main"]

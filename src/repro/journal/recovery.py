@@ -183,6 +183,70 @@ class RecoveryResult:
         return "\n".join(lines)
 
 
+class SalvageResult:
+    """Step 1+2 of recovery without re-execution: what a torn journal
+    yields once read tolerantly and folded into implied state.
+
+    The fleet supervisor uses this to triage a crashed worker's journal
+    cheaply (frames salvaged, internal consistency, whether the header
+    survived) before deciding to pay for a full deterministic re-run.
+    """
+
+    __slots__ = ("path", "events", "state", "torn", "reason")
+
+    def __init__(self, path, events, state, torn, reason):
+        self.path = path
+        self.events = events
+        self.state = state        # ReconstructedState or None
+        self.torn = torn
+        self.reason = reason
+
+    @property
+    def ok(self):
+        """True when the salvaged frames describe a usable prefix: at
+        least one frame, a surviving run-start header, and no internal
+        contradictions (contradictions mean frames were *lost*, not just
+        torn off the tail)."""
+        return (bool(self.events) and self.state is not None
+                and self.state.header is not None and self.state.consistent)
+
+    @property
+    def completed(self):
+        return self.state is not None and self.state.completed
+
+    def describe(self):
+        return "salvage of %s: %d frames%s — %s" % (
+            self.path, len(self.events),
+            ", torn tail" if self.torn else "", self.reason)
+
+
+def salvage(journal_path):
+    """Read a (possibly torn) journal and reconstruct its implied state.
+
+    Never raises: an unreadable journal is reported as an empty, not-ok
+    salvage.  This is the cheap triage step shared by :func:`recover`
+    and the fleet supervisor's crashed-worker handling.
+    """
+    try:
+        result = read_journal(journal_path)
+    except JournalError as exc:
+        return SalvageResult(journal_path, [], None, False,
+                             "unreadable journal: %s" % exc)
+    events = list(result.events)
+    if not events:
+        return SalvageResult(journal_path, events, None, result.torn,
+                             "no complete frame survived")
+    state = reconstruct_state(events)
+    if state.header is None:
+        reason = "run-start header lost (rotated away or torn)"
+    elif not state.consistent:
+        reason = ("journal is internally inconsistent (%d problems — "
+                  "frames lost, not just torn)" % len(state.problems))
+    else:
+        reason = "%d frames form a consistent prefix" % len(events)
+    return SalvageResult(journal_path, events, state, result.torn, reason)
+
+
 def recover(program, journal_path):
     """Recover a crashed session from its on-disk journal."""
     try:
@@ -246,4 +310,5 @@ def crash_at_frame(program, config, frame, writer, torn=1):
 
 
 __all__ = ["OpenWindow", "ReconstructedState", "RecoveryResult",
-           "crash_at_frame", "reconstruct_state", "recover"]
+           "SalvageResult", "crash_at_frame", "reconstruct_state",
+           "recover", "salvage"]

@@ -91,6 +91,22 @@ class PressurePolicy:
         kwargs.update(overrides)
         return PressurePolicy(**kwargs)
 
+    def fleet_watermarks(self, workers):
+        """Queue-depth watermarks for fleet-level backpressure
+        (repro.fleet.supervisor), derived from the same signal this
+        policy uses in-process: ``suspended_watermark`` is "how much
+        queued-behind-the-plane work is tolerable per execution unit".
+
+        Returns ``(shed_depth, reject_depth)`` in pending jobs: at
+        ``shed_depth`` the supervisor sheds *monitoring* (per-job replay
+        verification) first; only at ``reject_depth`` does it shed jobs
+        themselves — the same monitoring-before-correctness ordering as
+        in-process admission control.
+        """
+        per_worker = max(1, self.suspended_watermark)
+        shed = per_worker * max(1, workers)
+        return shed, 4 * shed
+
     def __repr__(self):
         on = [n for n in ("arbiter", "quarantine", "admission",
                           "adaptive_timeout") if getattr(self, n)]

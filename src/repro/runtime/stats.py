@@ -104,6 +104,39 @@ class KivatiStats:
     def as_dict(self):
         return {name: getattr(self, name) for name in self.FIELDS}
 
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a stats object from :meth:`as_dict` output.
+
+        Unknown keys raise — a worker built from newer code must not
+        silently drop counters the aggregating supervisor does not know
+        about.  Missing keys default to 0 so older payloads still load.
+        """
+        unknown = set(data) - set(cls.FIELDS)
+        if unknown:
+            raise ValueError("unknown stats fields: %s"
+                             % ", ".join(sorted(unknown)))
+        stats = cls()
+        for name, value in data.items():
+            setattr(stats, name, value)
+        return stats
+
+    def merge(self, other):
+        """Accumulate ``other`` (a KivatiStats or an ``as_dict`` dict)
+        into this object, field by field over ``FIELDS`` so a newly
+        added counter can never silently skip aggregation.  Returns
+        ``self`` for chaining."""
+        if isinstance(other, dict):
+            other = type(self).from_dict(other)
+        for name in self.FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        return self
+
+    def __eq__(self, other):
+        if not isinstance(other, KivatiStats):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
     def __repr__(self):
         return "KivatiStats(crossings=%d, traps=%d, violations=%d)" % (
             self.crossings(), self.traps, self.violations)

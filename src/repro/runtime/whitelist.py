@@ -137,3 +137,80 @@ class Whitelist:
             f.flush()
             os.fsync(f.fileno())
         os.replace(tmp, path)
+
+
+def read_whitelist_ids(path):
+    """Tolerantly read one whitelist file without a Whitelist instance.
+
+    Returns ``(ids, malformed_lines, ok)``: the parsed AR ids, how many
+    unparseable lines were skipped, and whether the file could be read
+    at all (a missing file is ok with an empty set — nothing trained
+    yet).  The same survival rules as the in-process reader apply:
+    malformed lines are skipped, never raised.
+    """
+    try:
+        with open(path) as f:
+            data = f.read()
+    except FileNotFoundError:
+        return set(), 0, True
+    except OSError:
+        return set(), 0, False
+    ids = set()
+    malformed = 0
+    for line in data.splitlines():
+        line = line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            ids.add(int(line))
+        except ValueError:
+            malformed += 1
+    return ids, malformed, True
+
+
+class WhitelistMergeResult:
+    """Outcome of merging per-shard whitelist files."""
+
+    __slots__ = ("ids", "sources", "malformed_lines", "unreadable")
+
+    def __init__(self, ids, sources, malformed_lines, unreadable):
+        self.ids = frozenset(ids)
+        self.sources = tuple(sources)   # (path, ids_contributed) pairs
+        self.malformed_lines = malformed_lines
+        self.unreadable = tuple(unreadable)
+
+    @property
+    def ok(self):
+        return not self.unreadable
+
+    def __len__(self):
+        return len(self.ids)
+
+
+def merge_whitelist_files(out_path, shard_paths, comment=None,
+                          initial=()):
+    """Merge per-shard whitelist files into one atomic whitelist.
+
+    The merged set is the union of every shard's benign-AR ids (plus
+    ``initial``); order of ``shard_paths`` therefore cannot change the
+    result.  Each shard is read with the tolerant reader (malformed
+    lines skipped and counted, unreadable files recorded — never
+    raised), and the output is written with the temp+rename discipline
+    so a concurrent re-reader never observes a half-written merge.
+    ``out_path=None`` merges in memory only.
+    """
+    ids = set(initial)
+    sources = []
+    malformed = 0
+    unreadable = []
+    for path in shard_paths:
+        shard_ids, shard_malformed, ok = read_whitelist_ids(path)
+        malformed += shard_malformed
+        if not ok:
+            unreadable.append(path)
+            continue
+        sources.append((path, len(shard_ids)))
+        ids |= shard_ids
+    if out_path is not None:
+        Whitelist.write_file(out_path, ids, comment=comment)
+    return WhitelistMergeResult(ids, sources, malformed, unreadable)

@@ -1,0 +1,115 @@
+"""Job wire-format tests."""
+
+import pytest
+
+from repro.core.config import KivatiConfig, Mode
+from repro.errors import ConfigError
+from repro.fleet.jobs import (JobResult, JobSpec, app_run_jobs,
+                              canonical_json, detect_jobs, digest_of,
+                              train_shard_job)
+
+SRC = """
+int x = 0;
+void main() { x = 1; output(x); }
+"""
+
+
+def _spec(**kwargs):
+    base = dict(job_id="j1", kind="run", source=SRC, seed=7,
+                params={"workload": "t"})
+    base.update(kwargs)
+    return JobSpec.for_config(base.pop("job_id"), base.pop("kind"),
+                              base.pop("source"), KivatiConfig(),
+                              seed=base.pop("seed"),
+                              params=base.pop("params"))
+
+
+def test_spec_round_trip():
+    spec = _spec()
+    clone = JobSpec.from_dict(spec.as_dict())
+    assert clone.as_dict() == spec.as_dict()
+    assert clone.digest() == spec.digest()
+
+
+def test_spec_dict_is_json_only():
+    import json
+
+    json.loads(canonical_json(_spec().as_dict()))  # must not raise
+
+
+def test_spec_rejects_unknown_kind():
+    with pytest.raises(ConfigError):
+        JobSpec("j", "explode", SRC, {})
+
+
+def test_spec_rejects_path_unsafe_id():
+    with pytest.raises(ConfigError):
+        JobSpec("../evil", "run", SRC, {})
+    with pytest.raises(ConfigError):
+        JobSpec("", "run", SRC, {})
+
+
+def test_spec_seed_overrides_config_seed():
+    spec = JobSpec.for_config("j", "run", SRC, KivatiConfig(seed=3), seed=99)
+    assert spec.seed == 99
+    inherited = JobSpec.for_config("j", "run", SRC, KivatiConfig(seed=3))
+    assert inherited.seed == 3
+
+
+def test_without_crash_drill_strips_only_crash():
+    spec = _spec(params={"workload": "t",
+                         "crash": {"at_frame": 5, "torn": 1}})
+    stripped = spec.without_crash_drill()
+    assert "crash" not in stripped.params
+    assert stripped.params["workload"] == "t"
+    # no drill -> same object (cheap identity)
+    plain = _spec()
+    assert plain.without_crash_drill() is plain
+
+
+def test_result_digest_ignores_scheduling_metadata():
+    a = JobResult("j", "run", True, {"x": 1}, worker_id="w0", attempt=0,
+                  elapsed_s=1.0)
+    b = JobResult("j", "run", True, {"x": 1}, worker_id="w3", attempt=2,
+                  elapsed_s=9.9, journal_path="/elsewhere")
+    assert a.digest() == b.digest()
+    c = JobResult("j", "run", True, {"x": 2})
+    assert a.digest() != c.digest()
+
+
+def test_result_round_trip():
+    result = JobResult("j", "train", True, {"union": [1, 2]}, worker_id="w1",
+                       attempt=1, elapsed_s=0.5, journal_path="/p")
+    clone = JobResult.from_dict(result.as_dict())
+    assert clone.as_dict() == result.as_dict()
+
+
+def test_digest_of_is_order_insensitive_for_keys():
+    assert digest_of({"a": 1, "b": 2}) == digest_of({"b": 2, "a": 1})
+
+
+def test_app_run_jobs_covers_suite_x_seeds():
+    specs = app_run_jobs(KivatiConfig(), seeds=(1, 2), scale=0.2)
+    assert len(specs) == 10  # 5 apps x 2 seeds
+    assert len({s.job_id for s in specs}) == 10
+    assert all(s.kind == "run" for s in specs)
+    seeds = {s.seed for s in specs}
+    assert seeds == {1, 2}
+
+
+def test_detect_jobs_cover_the_corpus():
+    from repro.workloads.bugs import BUGS
+
+    specs = detect_jobs(KivatiConfig(mode=Mode.BUG_FINDING))
+    assert len(specs) == len(BUGS)
+    for spec in specs:
+        assert spec.kind == "detect"
+        assert spec.params["victim_vars"]
+        assert spec.params["bug_id"] in BUGS
+
+
+def test_train_shard_job_freezes_whitelist():
+    spec = train_shard_job("t0", SRC, KivatiConfig(mode=Mode.BUG_FINDING),
+                           seeds=[5, 6], whitelist={3, 1})
+    assert spec.params["whitelist"] == [1, 3]
+    assert spec.params["seeds"] == [5, 6]

@@ -1,0 +1,76 @@
+"""Aggregation determinism: the merge is a pure function of the result
+set, independent of completion order and worker attribution."""
+
+import random
+
+from repro.fleet.jobs import JobResult
+from repro.fleet.merge import aggregate_results, merge_stats
+from repro.runtime.stats import KivatiStats
+
+
+def _run_result(job_id, traps, output, worker="w0"):
+    stats = KivatiStats()
+    stats.traps = traps
+    stats.violations = 1
+    return JobResult(job_id, "run", True, {
+        "stats": stats.as_dict(),
+        "time_ns": 1000,
+        "output": [output],
+        "violations": [["ar%s" % job_id, "x", 0, 1, "RWR", 10, True]],
+        "violated_ars": ["ar%s" % job_id],
+        "deadlocked": False,
+    }, worker_id=worker)
+
+
+def test_merge_stats_folds_counters():
+    a = KivatiStats()
+    a.traps = 3
+    b = KivatiStats()
+    b.traps = 4
+    total = merge_stats([a.as_dict(), b.as_dict()])
+    assert total.traps == 7
+
+
+def test_aggregate_order_and_worker_independent():
+    results = [_run_result("j%d" % i, traps=i, output=i, worker="w%d" % i)
+               for i in range(8)]
+    base = aggregate_results(results)
+    for trial in range(5):
+        shuffled = list(results)
+        random.Random(trial).shuffle(shuffled)
+        relabeled = [JobResult(r.job_id, r.kind, r.ok, r.payload,
+                               worker_id="w%d" % trial, attempt=trial)
+                     for r in shuffled]
+        again = aggregate_results(relabeled)
+        assert again.digest() == base.digest()
+        assert again.stats.as_dict() == base.stats.as_dict()
+
+
+def test_aggregate_dict_and_list_inputs_agree():
+    results = [_run_result("a", 1, 10), _run_result("b", 2, 20)]
+    as_list = aggregate_results(results)
+    as_dict = aggregate_results({r.job_id: r for r in results})
+    assert as_list.digest() == as_dict.digest()
+
+
+def test_aggregate_failed_jobs_are_reported_not_merged():
+    good = _run_result("good", 5, 1)
+    bad = JobResult("bad", "run", False, None, error="boom")
+    aggregate = aggregate_results([good, bad])
+    assert not aggregate.ok
+    assert aggregate.failed_jobs == {"bad": "boom"}
+    assert aggregate.stats.traps == 5  # only the good job merged
+
+
+def test_aggregate_kinds_fold_into_their_own_fields():
+    run = _run_result("r0", 2, 7)
+    train = JobResult("t0", "train", True,
+                      {"union": [4, 9], "new_by_seed": {}, "seeds": []})
+    detect = JobResult("d0", "detect", True,
+                       {"bug_id": "b", "detected": True, "attempts": 2,
+                        "time_ns": 500, "prevented": True})
+    aggregate = aggregate_results([run, train, detect])
+    assert aggregate.whitelist == frozenset({4, 9})
+    assert aggregate.detections["d0"]["detected"]
+    assert aggregate.time_ns == 1500
+    assert "detected=1/1" in aggregate.summary()

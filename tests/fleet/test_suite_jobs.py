@@ -1,0 +1,43 @@
+"""``run_suite(jobs=N)``: the fanned-out measurement pass equals the
+serial one, report for report."""
+
+from repro.bench.suite import run_suite
+from repro.core.config import Mode, OptLevel
+
+LEVELS = (OptLevel.OPTIMIZED,)
+MODES = (Mode.PREVENTION,)
+
+
+def test_run_suite_jobs_matches_serial():
+    serial = run_suite(scale=0.15, seed=3, levels=LEVELS, modes=MODES,
+                       use_cache=False)
+    fleet = run_suite(scale=0.15, seed=3, levels=LEVELS, modes=MODES,
+                      use_cache=False, jobs=2)
+    assert sorted(fleet.apps) == sorted(serial.apps)
+    for app in serial:
+        other = fleet[app.name]
+        assert other.vanilla.time_ns == app.vanilla.time_ns
+        assert other.vanilla.output == app.vanilla.output
+        for key, report in app.reports.items():
+            fleet_report = other.reports[key]
+            assert fleet_report.time_ns == report.time_ns, (app.name, key)
+            assert fleet_report.output == report.output
+            assert (fleet_report.stats.as_dict()
+                    == report.stats.as_dict()), (app.name, key)
+        assert (other.overhead(OptLevel.OPTIMIZED)
+                == app.overhead(OptLevel.OPTIMIZED))
+    assert (fleet.geometric_mean_overhead(OptLevel.OPTIMIZED)
+            == serial.geometric_mean_overhead(OptLevel.OPTIMIZED))
+
+
+def test_run_suite_default_jobs_is_serial_path():
+    # jobs=1 must not touch the fleet machinery at all (byte-identical
+    # legacy behavior, no subprocess imports)
+    import sys
+
+    preloaded = "repro.fleet.supervisor" in sys.modules
+    result = run_suite(scale=0.15, seed=4, levels=LEVELS, modes=MODES,
+                       use_cache=False)
+    assert len(result.apps) == 5
+    if not preloaded:
+        assert "repro.fleet.supervisor" not in sys.modules

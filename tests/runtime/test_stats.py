@@ -30,3 +30,60 @@ def test_missed_fraction():
 def test_as_dict_covers_all_fields():
     stats = KivatiStats()
     assert set(stats.as_dict()) == set(KivatiStats.FIELDS)
+
+
+# ----------------------------------------------------------------------
+# merge / round-trip (fleet aggregation contract)
+# ----------------------------------------------------------------------
+
+def _stats_with(offset):
+    """A stats object with a distinct nonzero value in *every* field, so
+    a counter skipped by merge/round-trip cannot hide."""
+    stats = KivatiStats()
+    for index, name in enumerate(KivatiStats.FIELDS):
+        setattr(stats, name, offset + index)
+    return stats
+
+
+def test_as_dict_from_dict_round_trip_every_field():
+    stats = _stats_with(100)
+    clone = KivatiStats.from_dict(stats.as_dict())
+    for name in KivatiStats.FIELDS:
+        assert getattr(clone, name) == getattr(stats, name), name
+    assert clone == stats
+
+
+def test_from_dict_rejects_unknown_fields():
+    import pytest
+
+    with pytest.raises(ValueError):
+        KivatiStats.from_dict({"traps": 1, "not_a_counter": 2})
+
+
+def test_merge_adds_every_field():
+    a = _stats_with(10)
+    b = _stats_with(1000)
+    merged = KivatiStats.from_dict(a.as_dict()).merge(b)
+    for name in KivatiStats.FIELDS:
+        assert getattr(merged, name) == getattr(a, name) + getattr(b, name), \
+            name
+
+
+def test_merge_accepts_dict_and_returns_self():
+    a = _stats_with(1)
+    result = a.merge(_stats_with(5).as_dict())
+    assert result is a
+    assert a.traps == _stats_with(1).traps + _stats_with(5).traps
+
+
+def test_merge_with_zero_is_identity():
+    a = _stats_with(7)
+    before = a.as_dict()
+    a.merge(KivatiStats())
+    assert a.as_dict() == before
+
+
+def test_merge_is_commutative():
+    left = _stats_with(3).merge(_stats_with(40))
+    right = _stats_with(40).merge(_stats_with(3))
+    assert left == right

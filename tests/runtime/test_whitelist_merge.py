@@ -1,0 +1,107 @@
+"""Whitelist shard-merge utility tests (fleet federated training)."""
+
+import os
+
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.whitelist import (Whitelist, merge_whitelist_files,
+                                     read_whitelist_ids)
+
+
+def _write_shard(tmp_path, name, ids, extra_lines=()):
+    path = str(tmp_path / name)
+    Whitelist.write_file(path, ids)
+    if extra_lines:
+        with open(path, "a") as f:
+            for line in extra_lines:
+                f.write(line + "\n")
+    return path
+
+
+def test_merge_is_union(tmp_path):
+    a = _write_shard(tmp_path, "a", {1, 2, 3})
+    b = _write_shard(tmp_path, "b", {3, 4})
+    out = str(tmp_path / "merged")
+    result = merge_whitelist_files(out, [a, b])
+    assert result.ok
+    assert result.ids == {1, 2, 3, 4}
+    assert read_whitelist_ids(out) == ({1, 2, 3, 4}, 0, True)
+
+
+def test_merge_order_independent(tmp_path):
+    paths = [_write_shard(tmp_path, "s%d" % i, ids)
+             for i, ids in enumerate(({5, 6}, {6, 7}, {8}))]
+    forward = merge_whitelist_files(None, paths)
+    backward = merge_whitelist_files(None, list(reversed(paths)))
+    assert forward.ids == backward.ids
+
+
+def test_merge_tolerates_malformed_lines(tmp_path):
+    a = _write_shard(tmp_path, "a", {1},
+                     extra_lines=["garbage", "4  # trailing comment", "7x"])
+    out = str(tmp_path / "merged")
+    result = merge_whitelist_files(out, [a])
+    assert result.ids == {1, 4}
+    assert result.malformed_lines == 2
+    assert result.ok
+
+
+def test_merge_records_unreadable_shards(tmp_path):
+    a = _write_shard(tmp_path, "a", {1})
+    unreadable = str(tmp_path / "locked")
+    with open(unreadable, "w") as f:
+        f.write("2\n")
+    os.chmod(unreadable, 0)
+    try:
+        result = merge_whitelist_files(None, [a, unreadable])
+    finally:
+        os.chmod(unreadable, 0o644)
+    if os.getuid() == 0:
+        # root reads through mode 000; the unreadable path is untestable
+        assert result.ok
+    else:
+        assert not result.ok
+        assert result.unreadable == (unreadable,)
+        assert result.ids == {1}
+
+
+def test_missing_shard_is_empty_not_error(tmp_path):
+    a = _write_shard(tmp_path, "a", {9})
+    result = merge_whitelist_files(None, [a, str(tmp_path / "nope")])
+    assert result.ok
+    assert result.ids == {9}
+
+
+def test_merge_write_is_atomic(tmp_path):
+    out = str(tmp_path / "merged")
+    a = _write_shard(tmp_path, "a", {1, 2})
+    merge_whitelist_files(out, [a])
+    # no temp file left behind; the rename completed
+    assert not os.path.exists(out + ".tmp")
+    assert read_whitelist_ids(out)[0] == {1, 2}
+
+
+def test_initial_ids_survive_merge(tmp_path):
+    a = _write_shard(tmp_path, "a", {2})
+    result = merge_whitelist_files(None, [a], initial={1})
+    assert result.ids == {1, 2}
+
+
+@settings(max_examples=30, deadline=None)
+@given(shards=st.lists(st.sets(st.integers(min_value=0, max_value=50)),
+                       min_size=1, max_size=5))
+def test_property_merge_equals_serial_union(tmp_path_factory, shards):
+    """merge(shard files) == the whitelist serial training would build
+    from the same observation sets, for any partitioning."""
+    tmp = tmp_path_factory.mktemp("shards")
+    paths = []
+    for index, ids in enumerate(shards):
+        path = str(tmp / ("shard-%d" % index))
+        Whitelist.write_file(path, ids)
+        paths.append(path)
+    serial = set()
+    for ids in shards:
+        serial |= ids
+    merged = merge_whitelist_files(str(tmp / "merged"), paths)
+    assert merged.ids == serial
+    assert read_whitelist_ids(str(tmp / "merged"))[0] == serial
