@@ -1,0 +1,480 @@
+"""Sustained-traffic benchmark for the detection service.
+
+Writes ``BENCH_service.json`` (schema ``kivati-servicebench/v1``) — the
+"millions of users" story made measurable, honestly, on whatever host
+runs it:
+
+- **open-loop Poisson swarm** — request arrival times are drawn from a
+  seeded exponential distribution at several target rates and submitted
+  on schedule *regardless of completions* (open loop: a slow service
+  cannot slow its own offered load). Reported latency is completion
+  minus *intended* arrival, so queueing delay counts.
+- **warm vs cold** — p50 per-request latency through the warm pool
+  versus a cold spawn (fresh interpreter + imports + compile per
+  request, always measured with the ``spawn`` start method — that is
+  what "no serving story" costs). The warm pool must win by >= 5x.
+- **determinism gate (unconditional)** — the 5-app suite submitted
+  through the service must be digest-equal to the serial inline
+  reference; concurrency and recovery change wall-clock only, never
+  answers.
+- **chaos drill** — seeded crash drills kill workers mid-request and a
+  poison job kills every worker that touches it: zero lost requests
+  (every submission answered), every kill and retry in the service log,
+  the poison job rejected with a structured error after bounded
+  retries, and the drilled requests' results digest-equal to the
+  undrilled reference.
+- **drain** — the run ends by draining the daemon; a hung drain fails
+  the artifact.
+"""
+
+import json
+import os
+import random
+import threading
+import time
+
+from repro.bench.fleetbench import host_info
+from repro.bench.render import Table
+from repro.bench.scale import bench_config
+from repro.core.config import Mode
+from repro.fleet.jobs import JobSpec, app_run_jobs, digest_of
+from repro.fleet.supervisor import FleetPolicy, FleetSupervisor
+from repro.pressure.policy import PressurePolicy
+from repro.service.client import ServiceClient
+from repro.service.daemon import KivatiDaemon, ServicePolicy
+
+SCHEMA = "kivati-servicebench/v1"
+DEFAULT_RATES = (4.0, 8.0, 16.0)
+
+#: Micro request used for the latency swarm: two lock-guarded atomic
+#: regions, enough journal frames for mid-request crash drills, runs in
+#: ~10ms — so the swarm measures the *service*, not one big simulation.
+MICRO_SOURCE = """\
+int counter = 0;
+int peak = 0;
+int m = 0;
+
+void bump() {
+    lock(&m);
+    counter = counter + 1;
+    if (counter > peak) {
+        peak = counter;
+    }
+    unlock(&m);
+}
+
+void worker(int iters) {
+    int i = 0;
+    while (i < iters) {
+        bump();
+        i = i + 1;
+    }
+}
+
+void main() {
+    spawn worker(12);
+    spawn worker(12);
+    join();
+    output(counter);
+}
+"""
+
+
+def micro_spec(config, job_id, seed):
+    return JobSpec.for_config(job_id, "run", MICRO_SOURCE, config,
+                              seed=seed, params={"workload": "micro"})
+
+
+def response_digest(response):
+    """Scheduling-independent digest of one service response, matching
+    :meth:`repro.fleet.jobs.JobResult.digest` field-for-field."""
+    result = response["result"]
+    return digest_of({"job_id": result["job_id"], "kind": result["kind"],
+                      "ok": result["ok"], "payload": result["payload"]})
+
+
+def percentile(values, q):
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return ordered[index]
+
+
+# ----------------------------------------------------------------------
+# cold baseline
+# ----------------------------------------------------------------------
+
+def _cold_entry(spec_dict, result_queue):
+    """Spawn-safe cold executor: everything — imports included — is paid
+    inside this fresh process."""
+    from repro.fleet.worker import execute_job
+
+    result_queue.put(execute_job(spec_dict))
+
+
+def measure_cold(spec_dicts):
+    """Per-request latency of one fresh ``spawn`` process per request —
+    the no-daemon baseline the warm pool is judged against."""
+    import multiprocessing as mp
+
+    ctx = mp.get_context("spawn")
+    latencies = []
+    for spec_dict in spec_dicts:
+        result_queue = ctx.Queue()
+        started = time.perf_counter()
+        process = ctx.Process(target=_cold_entry,
+                              args=(spec_dict, result_queue))
+        process.start()
+        result = result_queue.get()
+        latencies.append(time.perf_counter() - started)
+        process.join(timeout=10.0)
+        assert result["ok"], "cold run failed: %s" % result["error"]
+    return latencies
+
+
+# ----------------------------------------------------------------------
+# open-loop swarm
+# ----------------------------------------------------------------------
+
+def run_swarm(socket_path, specs, rate_rps, seed, deadline_s=60.0):
+    """Submit ``specs`` open-loop at ``rate_rps`` (Poisson arrivals);
+    returns per-request records (every submission produces exactly one)."""
+    rng = random.Random(seed)
+    arrivals = []
+    t = 0.0
+    for _ in specs:
+        t += rng.expovariate(rate_rps)
+        arrivals.append(t)
+    start = time.perf_counter() + 0.05
+    records = [None] * len(specs)
+
+    def submit_one(i):
+        target = start + arrivals[i]
+        delay = target - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        try:
+            with ServiceClient(socket_path, timeout=deadline_s + 15.0) \
+                    as client:
+                response = client.submit(specs[i], deadline_s=deadline_s,
+                                         request_id="swarm-%d" % i)
+        except Exception as exc:  # a lost request would land here
+            response = {"ok": False,
+                        "error": {"kind": "lost", "message": str(exc)}}
+        records[i] = {"response": response,
+                      "latency_s": time.perf_counter() - target}
+
+    threads = [threading.Thread(target=submit_one, args=(i,), daemon=True)
+               for i in range(len(specs))]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return records, start
+
+
+# ----------------------------------------------------------------------
+# the benchmark
+# ----------------------------------------------------------------------
+
+def _inline_digests(specs):
+    # journaling stays ON: the payload's journal_frames stat is part of
+    # the digest, and service workers journal every run
+    supervisor = FleetSupervisor(
+        workers=0, policy=FleetPolicy(workers=1, verify=False))
+    result = supervisor.run_jobs([s.without_crash_drill() for s in specs])
+    assert result.ok, "inline reference failed"
+    return sorted(r.digest() for r in result.results.values())
+
+
+def generate(workers=2, rates=DEFAULT_RATES, requests_per_rate=30,
+             warm_samples=15, cold_samples=3, scale=0.05, seed=7,
+             start_method="spawn", verify=True, smoke=False):
+    """Run the full benchmark; returns the artifact dict."""
+    if smoke:
+        requests_per_rate = min(requests_per_rate, 8)
+        warm_samples = min(warm_samples, 6)
+        cold_samples = min(cold_samples, 2)
+    if len(rates) < 3:
+        raise ValueError("need >= 3 arrival rates for the artifact")
+    config = bench_config(mode=Mode.PREVENTION)
+    suite_specs = app_run_jobs(config, seeds=(3,), scale=scale,
+                               prefix="svc")
+    warm_sources = [MICRO_SOURCE] + [s.source for s in suite_specs]
+
+    import tempfile
+
+    socket_path = os.path.join(tempfile.mkdtemp(prefix="kivati-svcbench-"),
+                               "kivati.sock")
+    policy = ServicePolicy(
+        workers=workers, start_method=start_method, verify=verify,
+        warm_sources=warm_sources, retry_backoff_s=0.02,
+        default_deadline_s=120.0, poll_s=0.005,
+        pressure=PressurePolicy(suspended_watermark=2))
+    daemon = KivatiDaemon(socket_path, policy)
+    daemon.start()
+    try:
+        payload = _generate_against(daemon, socket_path, config, rates,
+                                    requests_per_rate, warm_samples,
+                                    cold_samples, suite_specs, seed)
+    finally:
+        daemon.initiate_drain("servicebench done")
+        drained = daemon.wait_drained(timeout=60.0)
+    payload["drain"] = {"ok": bool(drained),
+                        "socket_removed": not os.path.exists(socket_path)}
+    payload["workers"] = workers
+    payload["start_method"] = start_method
+    payload["verify"] = verify
+    payload["scale"] = scale
+    payload["seed"] = seed
+    payload["host"] = host_info()
+    payload["schema"] = SCHEMA
+    payload["stats"] = daemon.stats.as_dict()
+    return payload
+
+
+def _generate_against(daemon, socket_path, config, rates,
+                      requests_per_rate, warm_samples, cold_samples,
+                      suite_specs, seed):
+    # --- warm vs cold ------------------------------------------------
+    warm_latencies = []
+    with ServiceClient(socket_path) as client:
+        # one un-timed request absorbs any residual first-touch cost
+        client.submit(micro_spec(config, "wc-prime", 1))
+        for i in range(warm_samples):
+            spec = micro_spec(config, "wc-warm-%d" % i, 100 + i)
+            started = time.perf_counter()
+            response = client.submit(spec)
+            assert response["ok"], response
+            warm_latencies.append(time.perf_counter() - started)
+            # pacing gap: let the verifier retire this sample's
+            # monitoring debt so the next sample measures unloaded
+            # request latency, not contention with our own monitoring
+            # (loaded behavior is the rate sweep's job)
+            time.sleep(0.08)
+    cold_latencies = measure_cold(
+        [micro_spec(config, "wc-cold-%d" % i, 100 + i).as_dict()
+         for i in range(cold_samples)])
+    warm_p50 = percentile(warm_latencies, 0.5)
+    cold_p50 = percentile(cold_latencies, 0.5)
+    warm_cold = {
+        "warm_samples": len(warm_latencies),
+        "cold_samples": len(cold_latencies),
+        "warm_p50_ms": round(warm_p50 * 1000, 3),
+        "cold_p50_ms": round(cold_p50 * 1000, 3),
+        "speedup_p50": round(cold_p50 / warm_p50, 2) if warm_p50 else None,
+    }
+
+    # --- open-loop rate sweep ----------------------------------------
+    rate_entries = []
+    for rate in rates:
+        specs = [micro_spec(config, "r%g-%d" % (rate, i), 1000 + i)
+                 for i in range(requests_per_rate)]
+        before = daemon.stats.as_dict()
+        records, started = run_swarm(socket_path, specs, rate,
+                                     seed=int(seed * 1000 + rate))
+        after = daemon.stats.as_dict()
+        answered = [r for r in records if r["response"].get("ok")]
+        latencies = [r["latency_s"] for r in records]
+        span = max(r["latency_s"] for r in records) + max(
+            0.0, (len(records) - 1) / rate)
+        digests = sorted(response_digest(r["response"]) for r in answered)
+        rate_entries.append({
+            "rate_rps": rate,
+            "requests": len(records),
+            "answered": len([r for r in records
+                             if r["response"] is not None]),
+            "completed": len(answered),
+            "achieved_rps": round(len(answered) / span, 3) if span else 0.0,
+            "p50_ms": round(percentile(latencies, 0.5) * 1000, 3),
+            "p99_ms": round(percentile(latencies, 0.99) * 1000, 3),
+            "mean_ms": round(sum(latencies) / len(latencies) * 1000, 3),
+            "max_ms": round(max(latencies) * 1000, 3),
+            "verifications": (after["verifications"]
+                              - before["verifications"]),
+            "verifications_shed": (after["verifications_shed"]
+                                   - before["verifications_shed"]),
+            "rejected_overload": (after["requests_rejected_overload"]
+                                  - before["requests_rejected_overload"]),
+            "digest_ok": digests == _inline_digests(specs),
+        })
+
+    # --- determinism gate over the 5-app suite -----------------------
+    service_digests = []
+    with ServiceClient(socket_path, timeout=300.0) as client:
+        for spec in suite_specs:
+            response = client.submit(spec, deadline_s=120.0)
+            assert response["ok"], response
+            service_digests.append(response_digest(response))
+    determinism = {
+        "suite_jobs": len(suite_specs),
+        "service_digest": digest_of(sorted(service_digests)),
+        "serial_digest": digest_of(_inline_digests(suite_specs)),
+    }
+    determinism["ok"] = (determinism["service_digest"]
+                         == determinism["serial_digest"])
+
+    # --- chaos drill -------------------------------------------------
+    chaos = _chaos_drill(daemon, socket_path, config, seed)
+
+    return {"warm_cold": warm_cold, "rates": rate_entries,
+            "determinism": determinism, "chaos": chaos}
+
+
+def _chaos_drill(daemon, socket_path, config, seed, n_requests=8,
+                 n_kills=3):
+    """Seeded worker kills mid-request plus one poison job, pushed
+    through the service as a swarm; see module docstring for the gates."""
+    rng = random.Random(seed + 17)
+    specs = [micro_spec(config, "chaos-%d" % i, 2000 + i)
+             for i in range(n_requests)]
+    drilled = sorted(rng.sample(range(n_requests), n_kills))
+    for i in drilled:
+        specs[i].params["crash"] = {"at_frame": rng.randrange(2, 6),
+                                    "torn": 1}
+    poison = micro_spec(config, "chaos-poison", 3000)
+    poison.params["poison"] = True
+    events_before = len(daemon.events)
+    stats_before = daemon.stats.as_dict()
+    records, _ = run_swarm(socket_path, specs + [poison], rate_rps=20.0,
+                           seed=seed + 18)
+    stats_after = daemon.stats.as_dict()
+    events = daemon.events[events_before:]
+    answered = [r for r in records if r["response"] is not None]
+    poison_resp = records[-1]["response"]
+    poison_rejected = (not poison_resp.get("ok")
+                       and poison_resp.get("error", {}).get("kind")
+                       == "poison")
+    ok_records = records[:n_requests]
+    digests = sorted(response_digest(r["response"]) for r in ok_records
+                     if r["response"].get("ok"))
+    retries = [e for e in events if e["kind"] == "retry"]
+    recoveries = [e for e in events if e["kind"] == "recovery"]
+    kills = stats_after["workers_crashed"] - stats_before["workers_crashed"]
+    return {
+        "requests": len(records),
+        "answered": len(answered),
+        "lost": len(records) - len(answered),
+        "drilled": len(drilled),
+        "kills": kills,
+        "retries": len(retries),
+        "recoveries": len(recoveries),
+        # every worker kill produced a journaled recovery record and
+        # every re-dispatch a journaled retry record
+        "retries_journaled": (len(recoveries) == kills
+                              and len(retries) >= len(drilled)),
+        "poison_rejected": poison_rejected,
+        "frames_salvaged": (stats_after["frames_salvaged"]
+                            - stats_before["frames_salvaged"]),
+        "completed": sum(1 for r in ok_records if r["response"].get("ok")),
+        "digest_ok": digests == _inline_digests(specs),
+    }
+
+
+# ----------------------------------------------------------------------
+# validation / rendering / artifact
+# ----------------------------------------------------------------------
+
+def validate(payload, min_speedup=5.0):
+    """Schema/invariant problems (empty list = valid). All gates are
+    unconditional: cold spawn pays interpreter+import on every host."""
+    problems = []
+    if not isinstance(payload, dict):
+        return ["payload is not an object"]
+    if payload.get("schema") != SCHEMA:
+        problems.append("schema is %r, want %r"
+                        % (payload.get("schema"), SCHEMA))
+    for key in ("host", "workers", "rates", "warm_cold", "determinism",
+                "chaos", "drain", "stats"):
+        if key not in payload:
+            problems.append("missing key %r" % key)
+    rates = payload.get("rates") or []
+    if len(rates) < 3:
+        problems.append("need >= 3 arrival rates, got %d" % len(rates))
+    for entry in rates:
+        for key in ("rate_rps", "requests", "answered", "achieved_rps",
+                    "p50_ms", "p99_ms", "digest_ok"):
+            if key not in entry:
+                problems.append("rate entry missing %r" % key)
+        if entry.get("answered") != entry.get("requests"):
+            problems.append("rate %s: %s answered of %s submitted (lost?)"
+                            % (entry.get("rate_rps"), entry.get("answered"),
+                               entry.get("requests")))
+        if not entry.get("digest_ok"):
+            problems.append("rate %s: digests differ from inline reference"
+                            % entry.get("rate_rps"))
+    warm_cold = payload.get("warm_cold") or {}
+    speedup = warm_cold.get("speedup_p50") or 0
+    if speedup < min_speedup:
+        problems.append("warm pool p50 speedup %.2fx < %.1fx"
+                        % (speedup, min_speedup))
+    determinism = payload.get("determinism") or {}
+    if not determinism.get("ok"):
+        problems.append("service suite digest != serial reference")
+    chaos = payload.get("chaos") or {}
+    if chaos.get("lost", 1) != 0:
+        problems.append("chaos drill lost %s request(s)" % chaos.get("lost"))
+    if not chaos.get("poison_rejected"):
+        problems.append("poison job was not rejected with a structured "
+                        "error")
+    if not chaos.get("retries_journaled"):
+        problems.append("chaos kills/retries not fully journaled")
+    if not chaos.get("digest_ok"):
+        problems.append("chaos results differ from undrilled reference")
+    if not (payload.get("drain") or {}).get("ok"):
+        problems.append("drain did not complete")
+    return problems
+
+
+def render(payload):
+    table = Table(
+        "Service sustained traffic: open-loop Poisson swarm "
+        "(%d warm worker(s), host cpus=%d)"
+        % (payload["workers"], payload["host"]["cpu_count"]),
+        ["rate rps", "requests", "achieved rps", "p50 ms", "p99 ms",
+         "verify", "shed", "digest ok"],
+        note="latency is completion minus intended arrival (queueing "
+             "included); verification sheds before any request is "
+             "rejected; digests equal the serial inline reference",
+    )
+    for entry in payload["rates"]:
+        table.add_row(
+            "%g" % entry["rate_rps"], entry["requests"],
+            "%.2f" % entry["achieved_rps"], "%.1f" % entry["p50_ms"],
+            "%.1f" % entry["p99_ms"], entry["verifications"],
+            entry["verifications_shed"],
+            "yes" if entry["digest_ok"] else "NO")
+    lines = [table.render()]
+    warm_cold = payload["warm_cold"]
+    lines.append(
+        "warm pool p50 %.1f ms vs cold spawn p50 %.1f ms -> %.1fx"
+        % (warm_cold["warm_p50_ms"], warm_cold["cold_p50_ms"],
+           warm_cold["speedup_p50"]))
+    chaos = payload["chaos"]
+    lines.append(
+        "chaos: %d requests, %d kills, %d retries, %d lost, poison %s, "
+        "digests %s"
+        % (chaos["requests"], chaos["kills"], chaos["retries"],
+           chaos["lost"],
+           "rejected" if chaos["poison_rejected"] else "NOT REJECTED",
+           "ok" if chaos["digest_ok"] else "DIFFER"))
+    determinism = payload["determinism"]
+    lines.append("determinism: 5-app suite via service %s serial reference"
+                 % ("==" if determinism["ok"] else "!="))
+    lines.append("drain: %s" % ("clean" if payload["drain"]["ok"]
+                                else "HUNG"))
+    return "\n".join(lines)
+
+
+def write_payload(payload, path):
+    tmp = "%s.tmp" % path
+    with open(tmp, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    os.replace(tmp, path)
+
+
+__all__ = ["DEFAULT_RATES", "MICRO_SOURCE", "SCHEMA", "generate",
+           "measure_cold", "micro_spec", "percentile", "render",
+           "response_digest", "run_swarm", "validate", "write_payload"]

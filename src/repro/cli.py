@@ -18,6 +18,10 @@ Commands::
     kivati fleet run              shard the app suite over worker processes
     kivati fleet train            federated whitelist training over shards
     kivati fleet bench            fleet throughput benchmark (BENCH_fleet.json)
+    kivati serve                  long-lived warm-worker detection daemon
+    kivati service ping|stats|events|drain   operate a running daemon
+    kivati service run FILE       submit one detection job to the daemon
+    kivati service bench          sustained-traffic bench (BENCH_service.json)
 
 Exit codes: 0 success; 1 invariant failure (chaos divergence, replay
 divergence, postmortem disagreement, fleet determinism/recovery failure);
@@ -440,6 +444,78 @@ def cmd_fleet_bench(args):
     return 1 if problems else 0
 
 
+def cmd_serve(args):
+    from repro.service import KivatiDaemon, ServicePolicy
+
+    warm_sources = []
+    if args.warm_apps:
+        from repro.workloads.catalog import workload_suite
+
+        warm_sources = [w.source for w in workload_suite(scale=args.scale)]
+    policy = ServicePolicy(
+        workers=args.workers, start_method=args.start_method,
+        heartbeat_s=args.heartbeat, rss_limit_kb=args.rss_limit_kb,
+        max_jobs_per_worker=args.max_jobs_per_worker,
+        default_deadline_s=args.deadline, max_retries=args.max_retries,
+        poison_kills=args.poison_kills, verify=not args.no_verify,
+        warm_sources=warm_sources)
+    daemon = KivatiDaemon(args.socket, policy,
+                          journal_root=args.journal_root)
+    print("kivati serve: %d warm worker(s) on %s (SIGTERM drains)"
+          % (args.workers, args.socket))
+    sys.stdout.flush()
+    return daemon.serve_forever()
+
+
+def cmd_service(args):
+    import json
+
+    from repro.service import ServiceClient, ServiceUnavailable
+
+    try:
+        with ServiceClient(args.socket, timeout=args.timeout) as client:
+            if args.service_command == "ping":
+                response = client.ping()
+            elif args.service_command == "stats":
+                response = client.stats()
+            elif args.service_command == "events":
+                response = client.events(limit=args.limit)
+            elif args.service_command == "drain":
+                response = client.drain()
+            else:  # run
+                from repro.fleet.jobs import JobSpec
+
+                config = KivatiConfig(
+                    mode=Mode.BUG_FINDING if args.bug_finding
+                    else Mode.PREVENTION, seed=args.seed)
+                spec = JobSpec.for_config(args.job_id, "run",
+                                          _read(args.file), config)
+                response = client.submit(spec, deadline_s=args.deadline)
+    except ServiceUnavailable as exc:
+        print("service unavailable: %s" % exc, file=sys.stderr)
+        return 1
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0 if response.get("ok") else 1
+
+
+def cmd_service_bench(args):
+    from repro.bench import servicebench
+
+    rates = tuple(args.rates) if args.rates else servicebench.DEFAULT_RATES
+    payload = servicebench.generate(
+        workers=args.workers, rates=rates,
+        requests_per_rate=args.requests, scale=args.scale, seed=args.seed,
+        start_method=args.start_method, smoke=args.smoke)
+    print(servicebench.render(payload))
+    problems = servicebench.validate(payload, min_speedup=args.min_speedup)
+    for problem in problems:
+        print("SERVICEBENCH FAIL: " + problem)
+    if args.out:
+        servicebench.write_payload(payload, args.out)
+        print("wrote %s" % args.out)
+    return 1 if problems else 0
+
+
 def cmd_apps(args):
     from repro.workloads.catalog import workload_suite
 
@@ -630,6 +706,85 @@ def main(argv=None):
     fp.add_argument("--out", default=None, metavar="PATH",
                     help="write the artifact JSON to PATH")
     fp.set_defaults(fn=cmd_fleet_bench)
+
+    p = sub.add_parser("serve",
+                       help="long-lived warm-worker detection daemon")
+    p.add_argument("--socket", required=True, metavar="PATH",
+                   help="Unix-domain socket path to listen on")
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--start-method", default="spawn",
+                   choices=["spawn", "fork", "forkserver"])
+    p.add_argument("--heartbeat", type=float, default=1.0,
+                   help="idle-worker heartbeat interval in seconds")
+    p.add_argument("--deadline", type=float, default=30.0,
+                   help="default per-request deadline in seconds")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="retries for a request whose worker died")
+    p.add_argument("--poison-kills", type=int, default=2,
+                   help="worker kills before a job is quarantined")
+    p.add_argument("--rss-limit-kb", type=int, default=None,
+                   help="recycle an idle worker above this RSS")
+    p.add_argument("--max-jobs-per-worker", type=int, default=None,
+                   help="recycle an idle worker after serving this many")
+    p.add_argument("--no-verify", action="store_true",
+                   help="disable post-response replay verification")
+    p.add_argument("--warm-apps", action="store_true",
+                   help="pre-compile the 5-app suite in every worker")
+    p.add_argument("--scale", type=float, default=0.4,
+                   help="scale for --warm-apps pre-compilation")
+    p.add_argument("--journal-root", default=None, metavar="DIR",
+                   help="directory for worker journals (default: tmpdir)")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("service", help="talk to a running kivati serve")
+    service_sub = p.add_subparsers(dest="service_command", required=True)
+
+    def add_service_common(sp):
+        sp.add_argument("--socket", required=True, metavar="PATH")
+        sp.add_argument("--timeout", type=float, default=60.0)
+
+    for name, help_text in (("ping", "liveness probe"),
+                            ("stats", "daemon stats + pool detail"),
+                            ("drain", "ask the daemon to drain and exit")):
+        sp = service_sub.add_parser(name, help=help_text)
+        add_service_common(sp)
+        sp.set_defaults(fn=cmd_service)
+
+    sp = service_sub.add_parser("events", help="tail the service log")
+    add_service_common(sp)
+    sp.add_argument("--limit", type=int, default=100)
+    sp.set_defaults(fn=cmd_service)
+
+    sp = service_sub.add_parser("run",
+                                help="submit one detection job")
+    add_service_common(sp)
+    sp.add_argument("file", help="mini-C program to run under Kivati")
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--deadline", type=float, default=None,
+                    help="per-request deadline (default: daemon policy)")
+    sp.add_argument("--bug-finding", action="store_true")
+    sp.add_argument("--job-id", default="cli-run")
+    sp.set_defaults(fn=cmd_service)
+
+    sp = service_sub.add_parser(
+        "bench", help="sustained-traffic benchmark (BENCH_service.json)")
+    sp.add_argument("--workers", type=int, default=2)
+    sp.add_argument("--start-method", default="spawn",
+                    choices=["spawn", "fork", "forkserver"])
+    sp.add_argument("--rates", type=float, nargs="*", default=None,
+                    help="Poisson arrival rates in req/s (default: 4 8 16)")
+    sp.add_argument("--requests", type=int, default=30,
+                    help="requests per rate (default: 30)")
+    sp.add_argument("--scale", type=float, default=0.05,
+                    help="app-suite scale for the determinism gate")
+    sp.add_argument("--seed", type=int, default=7)
+    sp.add_argument("--min-speedup", type=float, default=5.0,
+                    help="required warm-vs-cold p50 speedup")
+    sp.add_argument("--smoke", action="store_true",
+                    help="CI-sized: fewer requests and samples")
+    sp.add_argument("--out", default=None, metavar="PATH",
+                    help="write the artifact JSON to PATH")
+    sp.set_defaults(fn=cmd_service_bench)
 
     p = sub.add_parser("replay",
                        help="replay a journaled run and check determinism")

@@ -84,6 +84,23 @@ class JournalError(ReproError):
     """Malformed journal data, payload, or writer misuse."""
 
 
+class ServiceError(ReproError):
+    """Error in the long-lived detection service (`repro.service`)."""
+
+
+class ProtocolError(ServiceError):
+    """Malformed frame or request on the service wire protocol.
+
+    Carries a stable machine-readable ``kind`` (e.g. ``malformed-frame``,
+    ``frame-too-large``) so clients and tests can assert on the failure
+    class, not on message text.
+    """
+
+    def __init__(self, kind, message):
+        self.kind = kind
+        super().__init__("%s: %s" % (kind, message))
+
+
 class JournalCrash(ReproError):
     """Simulated process death at a journal frame boundary.
 

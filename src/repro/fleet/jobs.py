@@ -84,14 +84,20 @@ class JobSpec:
                    data["snapshot"], seed=data.get("seed", 0),
                    params=data.get("params"))
 
+    #: drill params stripped on retry; ``poison`` is deliberately NOT
+    #: here — it models hostile input that kills workers on every
+    #: attempt and only quarantine ends it
+    RETRY_STRIPPED_DRILLS = ("crash", "stall_s")
+
     def without_crash_drill(self):
-        """The same spec minus any worker-kill drill — retries of a
-        crashed job must outlive the recorded crash, exactly like
+        """The same spec minus any recoverable drill (worker-kill
+        ``crash``, live-but-stuck ``stall_s``) — retries of a crashed or
+        timed-out job must outlive the recorded incident, exactly like
         recovery strips ``journal.crash`` before re-execution."""
-        if "crash" not in self.params:
+        if not any(k in self.params for k in self.RETRY_STRIPPED_DRILLS):
             return self
-        params = dict(self.params)
-        params.pop("crash")
+        params = {k: v for k, v in self.params.items()
+                  if k not in self.RETRY_STRIPPED_DRILLS}
         return JobSpec(self.job_id, self.kind, self.source, self.snapshot,
                        seed=self.seed, params=params)
 

@@ -1,0 +1,113 @@
+"""Client for the `kivati serve` daemon.
+
+A thin, dependency-free wrapper over the frame protocol: one client
+holds one connection, requests are synchronous (submit blocks until the
+daemon answers or the socket times out). A :class:`ServiceUnavailable`
+distinguishes "daemon not there / went away" from a structured error
+*response* (which is returned, never raised — callers decide whether an
+``error.kind`` of ``poison`` or ``deadline`` is exceptional).
+"""
+
+import time
+
+from repro.errors import ServiceError
+from repro.service.protocol import connect, recv_frame, send_frame
+
+
+class ServiceUnavailable(ServiceError):
+    """The daemon socket is absent, refused, or died mid-request."""
+
+
+class ServiceClient:
+    """Synchronous client; usable as a context manager."""
+
+    def __init__(self, socket_path, timeout=60.0):
+        self.socket_path = socket_path
+        self.timeout = timeout
+        self._sock = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    def _connection(self):
+        if self._sock is None:
+            try:
+                self._sock = connect(self.socket_path, timeout=self.timeout)
+            except OSError as exc:
+                raise ServiceUnavailable(
+                    "cannot connect to %s: %s" % (self.socket_path, exc))
+        return self._sock
+
+    def close(self):
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def request(self, frame):
+        """Send one request frame, return the response object."""
+        sock = self._connection()
+        try:
+            send_frame(sock, frame)
+            response = recv_frame(sock)
+        except OSError as exc:
+            self.close()
+            raise ServiceUnavailable("daemon connection lost: %s" % exc)
+        if response is None:
+            self.close()
+            raise ServiceUnavailable("daemon closed the connection")
+        return response
+
+    # ------------------------------------------------------------------
+    # ops
+    # ------------------------------------------------------------------
+
+    def ping(self):
+        return self.request({"op": "ping"})
+
+    def stats(self):
+        return self.request({"op": "stats"})
+
+    def events(self, limit=100):
+        return self.request({"op": "events", "limit": limit})
+
+    def drain(self):
+        return self.request({"op": "drain"})
+
+    def submit(self, spec, deadline_s=None, request_id=None):
+        """Submit one JobSpec (object or dict); returns the response."""
+        spec_dict = spec if isinstance(spec, dict) else spec.as_dict()
+        frame = {"op": "submit", "spec": spec_dict}
+        if deadline_s is not None:
+            frame["deadline_s"] = deadline_s
+        if request_id is not None:
+            frame["request_id"] = request_id
+        return self.request(frame)
+
+
+def wait_for_socket(socket_path, timeout=10.0, interval=0.05):
+    """Block until a daemon answers pings at ``socket_path``.
+
+    Returns the first successful ping response; raises
+    :class:`ServiceUnavailable` if the deadline passes — used by tests
+    and the CI smoke to avoid racing daemon startup.
+    """
+    deadline = time.perf_counter() + timeout
+    last_error = None
+    while time.perf_counter() < deadline:
+        try:
+            with ServiceClient(socket_path, timeout=interval * 4) as client:
+                return client.ping()
+        except ServiceError as exc:
+            last_error = exc
+            time.sleep(interval)
+    raise ServiceUnavailable("no daemon at %s after %.1fs (%s)"
+                             % (socket_path, timeout, last_error))
+
+
+__all__ = ["ServiceClient", "ServiceUnavailable", "wait_for_socket"]

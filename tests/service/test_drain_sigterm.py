@@ -1,0 +1,69 @@
+"""End-to-end drain test against a real ``kivati serve`` process:
+SIGTERM mid-load must finish the in-flight request, flush and remove the
+socket, and exit 0 — the exact contract the CI drain smoke holds."""
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.bench.scale import bench_config
+from repro.bench.servicebench import micro_spec
+from repro.core.config import Mode
+from repro.service import ServiceClient, wait_for_socket
+
+CONFIG = bench_config(mode=Mode.PREVENTION)
+
+
+@pytest.fixture()
+def serve_proc(tmp_path):
+    socket_path = str(tmp_path / "kivati.sock")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [p for p in (env.get("PYTHONPATH"),) if p]
+        + [os.path.join(os.path.dirname(__file__), "..", "..", "src")])
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--socket",
+         socket_path, "--workers", "1", "--start-method", "fork"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+    try:
+        wait_for_socket(socket_path, timeout=60.0)
+        yield proc, socket_path
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait(timeout=10.0)
+
+
+def test_sigterm_mid_load_drains_clean(serve_proc):
+    proc, socket_path = serve_proc
+    inflight = {}
+
+    def slow_submit():
+        spec = micro_spec(CONFIG, "mid-drain", 3)
+        spec.params["stall_s"] = 1.0
+        with ServiceClient(socket_path, timeout=60.0) as client:
+            inflight["response"] = client.submit(spec, deadline_s=30.0)
+
+    thread = threading.Thread(target=slow_submit)
+    thread.start()
+    time.sleep(0.3)  # the request is in flight on the worker
+    proc.send_signal(signal.SIGTERM)
+    assert proc.wait(timeout=60.0) == 0, proc.stdout.read().decode()
+    thread.join(timeout=30.0)
+    response = inflight.get("response")
+    assert response is not None, "in-flight request got no answer"
+    assert response["ok"], response
+    assert response["result"]["job_id"] == "mid-drain"
+    assert not os.path.exists(socket_path), "drain left the socket behind"
+
+
+def test_sigterm_idle_exits_zero(serve_proc):
+    proc, socket_path = serve_proc
+    proc.send_signal(signal.SIGTERM)
+    assert proc.wait(timeout=60.0) == 0
+    assert not os.path.exists(socket_path)

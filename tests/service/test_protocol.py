@@ -1,0 +1,117 @@
+"""Framing-layer tests: the daemon's first line of defense against
+hostile input. Every malformed input must become a ProtocolError with a
+stable kind — never a hang, a huge allocation, or a stray exception."""
+
+import socket
+import struct
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.service.protocol import (ERROR_KINDS, MAX_FRAME_BYTES,
+                                    canonical_bytes, error_response,
+                                    ok_response, recv_frame, send_frame)
+
+
+@pytest.fixture()
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+def test_roundtrip(pair):
+    a, b = pair
+    frame = {"op": "ping", "nested": {"x": [1, 2, 3]}, "s": "text"}
+    send_frame(a, frame)
+    assert recv_frame(b) == frame
+
+
+def test_multiple_frames_in_sequence(pair):
+    a, b = pair
+    for i in range(5):
+        send_frame(a, {"op": "ping", "i": i})
+    for i in range(5):
+        assert recv_frame(b) == {"op": "ping", "i": i}
+
+
+def test_canonical_bytes_is_deterministic():
+    assert (canonical_bytes({"b": 1, "a": 2})
+            == canonical_bytes({"a": 2, "b": 1})
+            == b'{"a":2,"b":1}')
+
+
+def test_clean_eof_reads_as_none(pair):
+    a, b = pair
+    a.close()
+    assert recv_frame(b) is None
+
+
+def test_eof_mid_header_is_protocol_error(pair):
+    a, b = pair
+    a.sendall(b"\x00\x00")  # half a length header
+    a.close()
+    with pytest.raises(ProtocolError) as excinfo:
+        recv_frame(b)
+    assert excinfo.value.kind == "malformed-frame"
+
+
+def test_eof_mid_payload_is_protocol_error(pair):
+    a, b = pair
+    a.sendall(struct.pack(">I", 100) + b"only-a-few-bytes")
+    a.close()
+    with pytest.raises(ProtocolError) as excinfo:
+        recv_frame(b)
+    assert excinfo.value.kind == "malformed-frame"
+
+
+def test_garbage_payload_is_protocol_error(pair):
+    a, b = pair
+    garbage = b"\xff\xfenot json at all"
+    a.sendall(struct.pack(">I", len(garbage)) + garbage)
+    with pytest.raises(ProtocolError) as excinfo:
+        recv_frame(b)
+    assert excinfo.value.kind == "malformed-frame"
+
+
+def test_non_object_payload_is_protocol_error(pair):
+    a, b = pair
+    payload = b"[1,2,3]"
+    a.sendall(struct.pack(">I", len(payload)) + payload)
+    with pytest.raises(ProtocolError) as excinfo:
+        recv_frame(b)
+    assert "not an object" in str(excinfo.value)
+
+
+def test_oversized_length_prefix_rejected_without_allocation(pair):
+    a, b = pair
+    a.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+    with pytest.raises(ProtocolError) as excinfo:
+        recv_frame(b)
+    assert "exceeds cap" in str(excinfo.value)
+
+
+def test_send_frame_refuses_oversized_payload(pair):
+    a, _ = pair
+    with pytest.raises(ProtocolError):
+        send_frame(a, {"blob": "x" * (MAX_FRAME_BYTES + 1)})
+
+
+def test_error_response_shape():
+    resp = error_response("poison", "quarantined", request_id="r1")
+    assert resp == {"ok": False, "request_id": "r1",
+                    "error": {"kind": "poison", "message": "quarantined"}}
+    for kind in ERROR_KINDS:
+        assert error_response(kind, "m")["error"]["kind"] == kind
+
+
+def test_error_response_rejects_unknown_kind():
+    with pytest.raises(ProtocolError):
+        error_response("made-up-kind", "nope")
+
+
+def test_ok_response_shape():
+    assert ok_response("r2", pong=True) == {"ok": True, "request_id": "r2",
+                                            "pong": True}
+    assert ok_response() == {"ok": True}
