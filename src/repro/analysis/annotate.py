@@ -36,10 +36,12 @@ class AnnotationResult:
     """Everything the annotator produced for one program."""
 
     __slots__ = ("ast", "pinfo", "ar_table", "lsvs", "sync_ar_ids",
-                 "ar_ids_by_func", "locks", "guards", "prune")
+                 "ar_ids_by_func", "locks", "guards", "prune",
+                 "footprints", "func_footprints", "conflicts")
 
     def __init__(self, ast_, pinfo, ar_table, lsvs, sync_ar_ids,
-                 ar_ids_by_func, locks=None, guards=None, prune=None):
+                 ar_ids_by_func, locks=None, guards=None, prune=None,
+                 footprints=None, func_footprints=None, conflicts=None):
         self.ast = ast_
         self.pinfo = pinfo
         self.ar_table = ar_table          # ar_id -> ARInfo
@@ -49,6 +51,9 @@ class AnnotationResult:
         self.locks = locks                # locks.LockAnalysis
         self.guards = guards              # guarded.GuardReport
         self.prune = prune                # prune.PruneResult
+        self.footprints = footprints or {}        # ar_id -> Footprint
+        self.func_footprints = func_footprints or {}  # name -> Footprint
+        self.conflicts = conflicts        # conflict.ConflictGraph
 
     @property
     def num_ars(self):
@@ -277,6 +282,19 @@ def annotate(source_or_ast, emit_shadow_stores=True,
                           points_to=points_to, extra_sync_vars=flag_vars)
     prune_result = classify_ars(ar_table, guards, lock_analysis)
 
+    # ---- per-AR footprints and the inter-AR conflict graph ---------------
+    # (on the pristine bodies/CFGs: the span uids predate the rewrite)
+    from repro.analysis.conflict import build_conflict_graph
+    from repro.analysis.footprint import (compute_ar_footprints,
+                                          compute_function_footprints)
+
+    func_footprints = compute_function_footprints(program, pinfo, points_to)
+    footprints = compute_ar_footprints(program, pinfo, ar_table, cfgs,
+                                       points_to,
+                                       func_footprints=func_footprints)
+    conflicts = build_conflict_graph(ar_table, footprints,
+                                     sync_names=guards.sync_names)
+
     # ---- phase 2: rewrite bodies with the annotation statements ----------
     for func in program.funcs:
         _, pair_result = func_data[func.name]
@@ -309,4 +327,6 @@ def annotate(source_or_ast, emit_shadow_stores=True,
     return AnnotationResult(program, pinfo, ar_table, lsvs,
                             frozenset(sync_ar_ids), ar_ids_by_func,
                             locks=lock_analysis, guards=guards,
-                            prune=prune_result)
+                            prune=prune_result, footprints=footprints,
+                            func_footprints=func_footprints,
+                            conflicts=conflicts)

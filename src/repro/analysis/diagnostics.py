@@ -14,15 +14,29 @@ Stable warning codes (``kivati lint``):
   synchronization call (``lock``, ``join``, ``sleep`` or a callee that
   may block): the watchpoint stays pinned across the wait, increasing
   missed-AR and suspension pressure.
+- **W005** — predicted write-write interleaving: two atomic regions'
+  static footprints both may-write a common shared variable, so
+  co-scheduling them risks suspensions/undos on every overlap.
+- **W006** — predicted read-write interleaving: one region's may-read
+  set intersects another's may-write set.
+- **W007** — predicted *unserializable* interleaving: the remote
+  region's accesses complete one of Figure 2's four non-serializable
+  single-variable patterns with the local region's access pair (the
+  AVIO shape) — this co-schedule can produce a flagged violation, not
+  just scheduler pressure.
 
 Diagnostics carry ``file:line`` anchors and render as text
 (``file:line: W00N: message``) or JSON; ordering is fully deterministic.
 """
 
+from repro.analysis import conflict as _c
 from repro.analysis import guarded as _g
 from repro.minic.ast import AccessKind
 
-CODES = ("W001", "W002", "W003", "W004")
+CODES = ("W001", "W002", "W003", "W004", "W005", "W006", "W007")
+
+#: conflict-edge class -> lint code
+CONFLICT_CODES = {_c.WW: "W005", _c.RW: "W006", _c.UNSERIALIZABLE: "W007"}
 
 
 class Diagnostic:
@@ -149,12 +163,43 @@ def _ar_diags(result, filename, out):
             func=info.func, var=info.var))
 
 
+_CONFLICT_PHRASE = {
+    _c.WW: "may write-write conflict on",
+    _c.RW: "may read-write conflict on",
+    _c.UNSERIALIZABLE: "admit an unserializable interleaving on",
+}
+
+
+def _conflict_diags(result, filename, out):
+    graph = result.conflicts
+    if graph is None:
+        return
+    for edge in graph.edges:
+        # sync ARs and lock-word-only conflicts are the scheduler's
+        # business, not the programmer's (same carve-out as W004)
+        if edge.sync_only:
+            continue
+        info_a = result.ar_table[edge.a]
+        info_b = result.ar_table[edge.b]
+        if info_a.is_sync or info_b.is_sync:
+            continue
+        out.append(Diagnostic(
+            CONFLICT_CODES[edge.kind], filename, info_a.line,
+            "atomic regions %d (%s:%d) and %d (%s:%d) %s '%s'"
+            % (edge.a, info_a.func, info_a.line,
+               edge.b, info_b.func, info_b.line,
+               _CONFLICT_PHRASE[edge.kind],
+               "', '".join(edge.variables)),
+            func=info_a.func, var=",".join(edge.variables)))
+
+
 def run_diagnostics(result, filename="<source>"):
     """All lint findings for one :class:`AnnotationResult`, sorted."""
     out = []
     _guard_diags(result, filename, out)
     _lock_diags(result, filename, out)
     _ar_diags(result, filename, out)
+    _conflict_diags(result, filename, out)
     out.sort(key=lambda d: (d.line, d.code, d.var or "", d.message))
     return out
 
@@ -308,4 +353,66 @@ def render_dump(dump):
         lines.append("prune: %d static-safe, %d monitored"
                      % (counts.get("static-safe", 0),
                         counts.get("monitor", 0)))
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# --dump-footprints payload
+# ---------------------------------------------------------------------------
+
+
+def footprint_dump(result):
+    """JSON-able dump of per-function and per-AR footprints plus the
+    inter-AR conflict graph (``kivati annotate --dump-footprints``)."""
+    funcs = {}
+    for name in sorted(result.func_footprints):
+        funcs[name] = result.func_footprints[name].as_dict()
+    ars = []
+    for ar_id in sorted(result.footprints):
+        info = result.ar_table[ar_id]
+        entry = {"ar_id": ar_id, "func": info.func, "var": info.var,
+                 "line": info.line, "is_sync": info.is_sync}
+        entry.update(result.footprints[ar_id].as_dict())
+        ars.append(entry)
+    dump = {"functions": funcs, "ars": ars}
+    if result.conflicts is not None:
+        dump["conflicts"] = result.conflicts.as_dict()
+    return dump
+
+
+def render_footprints(dump):
+    """Human-readable rendering of :func:`footprint_dump`."""
+
+    def fmt(entry):
+        bits = []
+        if entry["reads"]:
+            bits.append("R{%s}" % ",".join(entry["reads"]))
+        if entry["writes"]:
+            bits.append("W{%s}" % ",".join(entry["writes"]))
+        if entry["wild"]:
+            bits.append("wild")
+        return " ".join(bits) or "(empty)"
+
+    lines = ["function footprints:"]
+    for name in sorted(dump["functions"]):
+        lines.append("  %s: %s" % (name, fmt(dump["functions"][name])))
+    lines.append("atomic-region footprints:")
+    for entry in dump["ars"]:
+        lines.append("  AR %d %s:%d var=%s%s -> %s"
+                     % (entry["ar_id"], entry["func"], entry["line"],
+                        entry["var"], " [sync]" if entry["is_sync"] else "",
+                        fmt(entry)))
+    graph = dump.get("conflicts")
+    if graph is not None:
+        counts = graph["counts"]
+        lines.append("conflict graph: %d edges (%d unserializable, "
+                     "%d ww, %d rw), %d wild AR(s)"
+                     % (len(graph["edges"]), counts["unserializable"],
+                        counts["ww"], counts["rw"],
+                        len(graph["wild_ars"])))
+        for edge in graph["edges"]:
+            lines.append("  AR %d <-> AR %d: %s on %s%s"
+                         % (edge["a"], edge["b"], edge["kind"],
+                            ", ".join(edge["vars"]),
+                            " [sync]" if edge["sync_only"] else ""))
     return "\n".join(lines)

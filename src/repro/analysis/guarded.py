@@ -178,7 +178,10 @@ def infer_guards(program, pinfo, lock_analysis, func_data, points_to=None,
             if base.startswith("*"):
                 ptr = base.lstrip("*")
                 targets = pts.targets(ptr) if pts is not None else frozenset()
-                named = [t for t in targets if not t.startswith("heap@")]
+                # sorted: the frozenset's iteration order varies with
+                # PYTHONHASHSEED, and site order feeds diagnostics
+                named = sorted(t for t in targets
+                               if not t.startswith("heap@"))
                 if not targets:
                     # wild pointer: could touch anything
                     site = AccessSite(fname, acc.line, acc.kind, locks)

@@ -1,0 +1,152 @@
+"""SARIF 2.1.0 output for ``kivati lint --sarif``.
+
+Static Analysis Results Interchange Format: the JSON shape CI systems
+(GitHub code scanning et al.) ingest to surface diagnostics as inline
+annotations.  Only the mandatory skeleton is emitted — tool driver with
+rule metadata, one result per diagnostic with a physical location —
+and :func:`validate_sarif` structurally checks that skeleton (the
+container has no ``jsonschema``; the validator is hand-rolled the same
+way the bench artifact validators are).
+"""
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+RULE_DESCRIPTIONS = {
+    "W001": "Shared variable written with no lock held",
+    "W002": "Inconsistent lock discipline across access sites",
+    "W003": "Lock/unlock imbalance on some path",
+    "W004": "Atomic region spans a potentially blocking call",
+    "W005": "Predicted write-write interleaving between atomic regions",
+    "W006": "Predicted read-write interleaving between atomic regions",
+    "W007": "Predicted unserializable (AVIO-pattern) interleaving",
+}
+
+
+def sarif_payload(diags_by_file):
+    """One SARIF run over ``{display name: [Diagnostic, ...]}``."""
+    rules_used = sorted({d.code for diags in diags_by_file.values()
+                         for d in diags})
+    results = []
+    for name in sorted(diags_by_file):
+        for d in diags_by_file[name]:
+            results.append({
+                "ruleId": d.code,
+                "level": "warning",
+                "message": {"text": d.message},
+                "locations": [{
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": d.file},
+                        "region": {"startLine": max(1, d.line)},
+                    },
+                }],
+            })
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "kivati-lint",
+                    "informationUri":
+                        "https://doi.org/10.1145/1755913.1755932",
+                    "rules": [
+                        {"id": code,
+                         "shortDescription":
+                             {"text": RULE_DESCRIPTIONS[code]}}
+                        for code in rules_used
+                    ],
+                },
+            },
+            "results": results,
+        }],
+    }
+
+
+def validate_sarif(payload):
+    """Structural SARIF 2.1.0 check; returns a list of problem strings
+    (empty when valid)."""
+    problems = []
+
+    def need(cond, msg):
+        if not cond:
+            problems.append(msg)
+        return cond
+
+    if not need(isinstance(payload, dict), "payload is not an object"):
+        return problems
+    need(payload.get("version") == SARIF_VERSION,
+         "version is not %r" % SARIF_VERSION)
+    need(isinstance(payload.get("$schema"), str), "$schema missing")
+    runs = payload.get("runs")
+    if not need(isinstance(runs, list) and runs, "runs must be a non-empty "
+                "array"):
+        return problems
+    for i, run in enumerate(runs):
+        where = "runs[%d]" % i
+        if not need(isinstance(run, dict), where + " is not an object"):
+            continue
+        driver = run.get("tool", {}).get("driver") \
+            if isinstance(run.get("tool"), dict) else None
+        if need(isinstance(driver, dict), where + ".tool.driver missing"):
+            need(isinstance(driver.get("name"), str) and driver.get("name"),
+                 where + ".tool.driver.name missing")
+            rule_ids = set()
+            for j, rule in enumerate(driver.get("rules", ())):
+                rwhere = "%s.rules[%d]" % (where, j)
+                if need(isinstance(rule, dict) and
+                        isinstance(rule.get("id"), str), rwhere + " has no "
+                        "string id"):
+                    rule_ids.add(rule["id"])
+                    desc = rule.get("shortDescription")
+                    need(isinstance(desc, dict) and
+                         isinstance(desc.get("text"), str),
+                         rwhere + ".shortDescription.text missing")
+        else:
+            rule_ids = set()
+        results = run.get("results")
+        if not need(isinstance(results, list), where + ".results must be "
+                    "an array"):
+            continue
+        for j, res in enumerate(results):
+            rwhere = "%s.results[%d]" % (where, j)
+            if not need(isinstance(res, dict), rwhere + " is not an "
+                        "object"):
+                continue
+            need(isinstance(res.get("ruleId"), str),
+                 rwhere + ".ruleId missing")
+            if rule_ids:
+                need(res.get("ruleId") in rule_ids,
+                     rwhere + ".ruleId %r not declared in driver.rules"
+                     % (res.get("ruleId"),))
+            need(res.get("level") in ("none", "note", "warning", "error"),
+                 rwhere + ".level invalid")
+            msg = res.get("message")
+            need(isinstance(msg, dict) and isinstance(msg.get("text"), str),
+                 rwhere + ".message.text missing")
+            locs = res.get("locations")
+            if not need(isinstance(locs, list) and locs,
+                        rwhere + ".locations must be non-empty"):
+                continue
+            for k, loc in enumerate(locs):
+                lwhere = "%s.locations[%d]" % (rwhere, k)
+                phys = loc.get("physicalLocation") \
+                    if isinstance(loc, dict) else None
+                if not need(isinstance(phys, dict),
+                            lwhere + ".physicalLocation missing"):
+                    continue
+                art = phys.get("artifactLocation")
+                need(isinstance(art, dict) and
+                     isinstance(art.get("uri"), str),
+                     lwhere + ".artifactLocation.uri missing")
+                region = phys.get("region")
+                need(isinstance(region, dict) and
+                     isinstance(region.get("startLine"), int) and
+                     region["startLine"] >= 1,
+                     lwhere + ".region.startLine must be a positive int")
+    return problems
+
+
+__all__ = ["RULE_DESCRIPTIONS", "SARIF_SCHEMA", "SARIF_VERSION",
+           "sarif_payload", "validate_sarif"]

@@ -4,6 +4,7 @@ Commands::
 
     kivati annotate FILE          print the annotated program and AR table
     kivati lint FILE...           static lock-discipline diagnostics
+    kivati conflict bench         conflict-sched benchmark (BENCH_conflict.json)
     kivati run FILE               run FILE under Kivati and report
     kivati vanilla FILE           run FILE without instrumentation
     kivati bugs [ID...]           run the Table 6 detection campaign
@@ -44,7 +45,8 @@ def cmd_annotate(args):
     import json
 
     from repro.analysis.annotate import annotate
-    from repro.analysis.diagnostics import analysis_dump, render_dump
+    from repro.analysis.diagnostics import (analysis_dump, footprint_dump,
+                                            render_dump, render_footprints)
     from repro.minic.pretty import pretty
 
     result = annotate(_read(args.file),
@@ -55,6 +57,13 @@ def cmd_annotate(args):
             print(json.dumps(dump, indent=2, sort_keys=True))
         else:
             print(render_dump(dump))
+        return 0
+    if args.dump_footprints:
+        dump = footprint_dump(result)
+        if args.json:
+            print(json.dumps(dump, indent=2, sort_keys=True))
+        else:
+            print(render_footprints(dump))
         return 0
     text = pretty(result.ast)
     print(text)
@@ -88,14 +97,20 @@ def cmd_lint(args):
 
     all_diags = []
     payload = {}
+    by_file = {}
     for name, source in _lint_sources(args):
         diags = run_diagnostics(annotate(source), filename=name)
         all_diags.extend(diags)
+        by_file[name] = diags
         if args.json:
             payload[name] = diagnostics_json(diags)
-        else:
+        elif not args.sarif:
             print(render_diagnostics(diags))
-    if args.json:
+    if args.sarif:
+        from repro.analysis.sarif import sarif_payload
+
+        print(json.dumps(sarif_payload(by_file), indent=2, sort_keys=True))
+    elif args.json:
         print(json.dumps(payload, indent=2, sort_keys=True))
     return 0
 
@@ -346,6 +361,13 @@ def cmd_fleet_run(args):
     config = bench_config(mode=Mode.BUG_FINDING if args.bug_finding
                           else Mode.PREVENTION)
     specs = app_run_jobs(config, seeds=tuple(args.seeds), scale=args.scale)
+    if args.bin_by_conflict:
+        from repro.fleet import bin_jobs_by_conflict
+
+        specs, weights = bin_jobs_by_conflict(specs)
+        print("conflict binning (heaviest first): "
+              + " ".join("%s=%d" % (s.job_id, weights[s.job_id])
+                         for s in specs))
     if args.crash_drill:
         specs[0].params["crash"] = {"at_frame": 5, "torn": 1}
     policy = FleetPolicy(workers=max(1, args.workers),
@@ -440,6 +462,24 @@ def cmd_fleet_bench(args):
         print("FLEETBENCH FAIL: " + problem)
     if args.out:
         fleetbench.write_payload(payload, args.out)
+        print("wrote %s" % args.out)
+    return 1 if problems else 0
+
+
+def cmd_conflict_bench(args):
+    from repro.bench import conflictbench
+
+    seeds = (tuple(args.seeds) if args.seeds
+             else conflictbench.DEFAULT_SEEDS)
+    payload = conflictbench.generate(scale=args.scale, seeds=seeds,
+                                     num_cores=args.cores,
+                                     smoke=args.smoke)
+    print(conflictbench.render(payload))
+    problems = conflictbench.validate(payload)
+    for problem in problems:
+        print("CONFLICTBENCH FAIL: " + problem)
+    if args.out:
+        conflictbench.write_payload(payload, args.out)
         print("wrote %s" % args.out)
     return 1 if problems else 0
 
@@ -552,8 +592,11 @@ def main(argv=None):
     p.add_argument("--dump-analysis", action="store_true",
                    help="print per-function locksets, guard verdicts and "
                         "AR prune classifications instead of the program")
+    p.add_argument("--dump-footprints", action="store_true",
+                   help="print per-function and per-AR may-read/may-write "
+                        "footprints and the inter-AR conflict graph")
     p.add_argument("--json", action="store_true",
-                   help="with --dump-analysis, emit JSON")
+                   help="with --dump-analysis/--dump-footprints, emit JSON")
     p.set_defaults(fn=cmd_annotate)
 
     p = sub.add_parser("lint", help="static lock-discipline diagnostics")
@@ -563,6 +606,8 @@ def main(argv=None):
                    help="also lint the built-in bug corpus and app models")
     p.add_argument("--json", action="store_true",
                    help="emit diagnostics as JSON keyed by input name")
+    p.add_argument("--sarif", action="store_true",
+                   help="emit diagnostics as a SARIF 2.1.0 document")
     p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("run", help="run a program under Kivati")
@@ -664,6 +709,9 @@ def main(argv=None):
     fp.add_argument("--crash-drill", action="store_true",
                     help="kill one worker mid-job to exercise salvage + "
                          "retry")
+    fp.add_argument("--bin-by-conflict", action="store_true",
+                    help="order jobs by static conflict weight (heaviest "
+                         "first); pure reordering, aggregates unchanged")
     fp.add_argument("--no-verify", action="store_true",
                     help="skip supervisor-side replay verification")
     fp.add_argument("--check", action="store_true",
@@ -706,6 +754,26 @@ def main(argv=None):
     fp.add_argument("--out", default=None, metavar="PATH",
                     help="write the artifact JSON to PATH")
     fp.set_defaults(fn=cmd_fleet_bench)
+
+    p = sub.add_parser(
+        "conflict",
+        help="conflict-footprint analysis tooling")
+    conflict_sub = p.add_subparsers(dest="conflict_cmd", required=True)
+    cp = conflict_sub.add_parser(
+        "bench",
+        help="conflict-aware scheduling benchmark (BENCH_conflict.json)")
+    cp.add_argument("--scale", type=float, default=1.0,
+                    help="per-thread work scale factor")
+    cp.add_argument("--seeds", type=int, nargs="*", default=None,
+                    help="seeds to sum over (default: 0 1 2 3)")
+    cp.add_argument("--cores", type=int, default=2,
+                    help="machine cores (oversubscribed vs app threads)")
+    cp.add_argument("--smoke", action="store_true",
+                    help="CI-sized: one seed, reduced scale, 3-bug "
+                         "corpus slice, improvement gate relaxed")
+    cp.add_argument("--out", default=None, metavar="PATH",
+                    help="write the artifact JSON to PATH")
+    cp.set_defaults(fn=cmd_conflict_bench)
 
     p = sub.add_parser("serve",
                        help="long-lived warm-worker detection daemon")

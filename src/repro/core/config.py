@@ -95,6 +95,7 @@ class KivatiConfig:
         "watchdog",
         "static_prune",
         "pressure",
+        "conflict_sched",
     )
 
     def __init__(
@@ -121,6 +122,7 @@ class KivatiConfig:
         watchdog=True,
         static_prune=False,
         pressure=None,
+        conflict_sched=False,
     ):
         self.mode = mode
         self.opt = (OptimizationConfig.from_level(opt)
@@ -174,6 +176,12 @@ class KivatiConfig:
         # policy, a PressurePolicy instance for tuned watermarks, or
         # None (the default) to keep the seed fail-open behavior
         self.pressure = pressure
+        # opt-in: conflict-aware machine scheduling — in PREVENTION mode
+        # the scheduler deprioritizes runnable threads whose static AR
+        # footprints (repro.analysis.footprint) intersect a thread
+        # already running on another core, turning suspensions/undos
+        # into cheap scheduling decisions
+        self.conflict_sched = conflict_sched
 
     @property
     def detection_enabled(self):
@@ -207,6 +215,7 @@ class KivatiConfig:
             "watchdog": self.watchdog,
             "static_prune": self.static_prune,
             "pressure": self.pressure,
+            "conflict_sched": self.conflict_sched,
         }
         kwargs.update(overrides)
         return KivatiConfig(**kwargs)

@@ -78,7 +78,12 @@ class ProtectedProgram:
             config, self.ar_table, log, self.sync_ar_ids,
             faults=injector, degrade=degradations,
             static_safe_ar_ids=self.annotation.static_safe_ar_ids,
-            journal=journal)
+            journal=journal,
+            footprints=self.annotation.footprints,
+            func_footprints=self.annotation.func_footprints,
+            blocking_ar_ids=frozenset(
+                ar_id for ar_id, v in self.annotation.prune.verdicts.items()
+                if v.blocking))
         machine = Machine(
             self.program,
             num_cores=config.num_cores,

@@ -21,6 +21,7 @@ service:
   whitelist provably equal to serial training on the same seeds.
 """
 
+from repro.fleet.binning import bin_jobs_by_conflict, job_conflict_weight
 from repro.fleet.jobs import JobSpec, JobResult, app_run_jobs, detect_jobs
 from repro.fleet.merge import FleetAggregate, aggregate_results
 from repro.fleet.shard import (FederatedTrainingResult, federated_train,
@@ -40,7 +41,9 @@ __all__ = [
     "JobSpec",
     "aggregate_results",
     "app_run_jobs",
+    "bin_jobs_by_conflict",
     "detect_jobs",
+    "job_conflict_weight",
     "federated_train",
     "partition_round_robin",
 ]

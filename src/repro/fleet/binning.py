@@ -1,0 +1,45 @@
+"""Conflict-aware fleet job binning (``fleet run --bin-by-conflict``).
+
+Orders a batch of job specs by the static conflict weight of each
+job's program (:func:`repro.analysis.conflict.conflict_weight`):
+heaviest first, so the jobs most likely to burn time on suspensions
+and undos start earliest (longest-processing-time order) and, with
+more than one worker, the heaviest jobs land on distinct workers
+instead of queueing behind each other.
+
+Binning is a pure reordering: job payloads, digests and aggregates are
+unchanged — :meth:`JobResult.digest` excludes scheduling metadata, so a
+binned run must aggregate identically to the unbinned run (pinned by a
+test).  ``history`` accepts the pressure arbiter's
+``{ar_id: violation count}`` map so past violations sharpen the static
+prediction.
+"""
+
+
+def job_conflict_weight(source, history=None, _cache={}):
+    """Static conflict weight of one program (annotation is memoized by
+    source text — a batch typically repeats the same 5 apps)."""
+    from repro.analysis.annotate import annotate
+    from repro.analysis.conflict import conflict_weight
+
+    graph = _cache.get(source)
+    if graph is None:
+        graph = annotate(source).conflicts
+        _cache[source] = graph
+    return conflict_weight(graph, history=history)
+
+
+def bin_jobs_by_conflict(specs, history=None):
+    """Reorder ``specs`` heaviest-conflict-first (job_id tiebreak).
+
+    Returns ``(ordered specs, {job_id: weight})``.
+    """
+    weights = {spec.job_id: job_conflict_weight(spec.source,
+                                                history=history)
+               for spec in specs}
+    ordered = sorted(specs,
+                     key=lambda s: (-weights[s.job_id], s.job_id))
+    return ordered, weights
+
+
+__all__ = ["bin_jobs_by_conflict", "job_conflict_weight"]

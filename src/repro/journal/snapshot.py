@@ -21,12 +21,13 @@ from repro.faults.plan import FaultPlan, FaultSpec
 from repro.pressure.policy import PressurePolicy
 
 #: Bump when the snapshot layout changes incompatibly. Version 2 added
-#: the pressure-plane policy; version-1 journals (no ``pressure`` key)
-#: still load — missing fields take the defaults the recording run used.
-SNAPSHOT_VERSION = 2
+#: the pressure-plane policy; version 3 added ``conflict_sched``.
+#: Older journals (missing keys) still load — missing fields take the
+#: defaults the recording run used.
+SNAPSHOT_VERSION = 3
 
 #: Every version :func:`config_from_snapshot` can rebuild.
-SUPPORTED_SNAPSHOT_VERSIONS = frozenset((1, 2))
+SUPPORTED_SNAPSHOT_VERSIONS = frozenset((1, 2, 3))
 
 
 def source_digest(source):
@@ -94,6 +95,7 @@ def config_snapshot(config, source=None):
         "static_prune": bool(config.static_prune),
         "faults": _faults_snapshot(config.faults),
         "pressure": _pressure_snapshot(config.pressure),
+        "conflict_sched": bool(config.conflict_sched),
     }
     if source is not None:
         snap["source_sha256"] = source_digest(source)
@@ -163,6 +165,8 @@ def config_from_snapshot(snap, drop_fault_points=()):
         static_prune=snap["static_prune"],
         faults=faults,
         pressure=pressure,
+        # absent before version 3
+        conflict_sched=snap.get("conflict_sched", False),
     )
 
 

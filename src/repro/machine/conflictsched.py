@@ -1,0 +1,254 @@
+"""Conflict-aware machine scheduling (``KivatiConfig(conflict_sched=True)``).
+
+A suspension or undo is Kivati paying at run time for a co-scheduling
+decision the static conflict analysis could have vetoed: two threads
+whose atomic regions touch the same shared words were placed on
+different cores at the same time.  This policy sits in front of the
+machine's FIFO run queue and, in PREVENTION mode, picks the first
+runnable thread whose static footprint (:mod:`repro.analysis.footprint`)
+does *not* intersect the footprints of the atomic regions currently
+active on other cores — turning would-be suspensions and undos into
+cheap scheduling decisions.
+
+Determinism contract (the reason the policy can be on during replay):
+
+- :meth:`ConflictPolicy.preview` is a pure function of the run queue,
+  thread states, per-core running threads and the kernel's active-AR
+  tables — it never mutates machine state.  ``Machine._schedule`` runs
+  it *before* the schedule pin, in both recording and replaying runs,
+  so the ``csched`` journal frames it emits line up frame-for-frame.
+- In a recording run the machine removes the chosen tid from the run
+  queue (first occurrence — exactly the entry the replaying
+  :class:`repro.journal.replay.SchedulePin` deletes when it enforces
+  the journaled ``sched`` frame), so the queue evolves identically.
+- Every decision the policy influences is journaled through the
+  ordinary ``sched`` frame; replay therefore stays pinned without any
+  policy-specific machinery.
+
+The policy is a heuristic, not a correctness mechanism: candidate
+footprints over-approximate (active ARs plus the thread's whole root
+function), and a bounded defer count forces FIFO order when every
+candidate conflicts, so starvation is impossible and verdicts are
+untouched — only *when* conflicting windows overlap changes.
+
+When every runnable thread conflicts, the policy *stalls* the core for
+one quantum instead of knowingly co-scheduling a conflicting thread.
+Whether that pays depends on the workload's atomic-window length, so
+the stall is adaptive: an episode whose whole stall budget burns
+without the remote window closing (it ends in forced FIFO) counts as a
+failure, and after :data:`STALL_FAILURE_LIMIT` failures stalling
+self-disables for the rest of the run.  The adaptation is a pure
+function of the decision history, so record and replay make identical
+choices.
+"""
+
+from repro.analysis.footprint import Footprint
+from repro.machine.threads import ThreadState
+
+#: consecutive times one head-of-queue thread may be deferred before
+#: the policy gives up and schedules it FIFO anyway
+MAX_DEFERS = 4
+
+#: stall episodes that may end in forced FIFO (the remote window
+#: outlived the whole stall budget) before stalling self-disables for
+#: the rest of the run — on workloads with long atomic windows a stall
+#: only delays the inevitable and perturbs the schedule for nothing
+STALL_FAILURE_LIMIT = 3
+
+
+class _Stall:
+    """Sentinel: idle this core briefly instead of scheduling anyone —
+    every runnable thread conflicts with an atomic region open on
+    another core, so the cheapest move is to let that window close."""
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return "STALL"
+
+
+STALL = _Stall()
+
+
+class ConflictPolicy:
+    """Deprioritizes runnable threads that conflict with running ARs."""
+
+    __slots__ = ("footprints", "func_footprints", "kernel", "stats",
+                 "max_defers", "blocking_ar_ids", "stall_enabled",
+                 "_defers", "_fp_cache", "_stalled", "_stall_failures")
+
+    def __init__(self, footprints, func_footprints, kernel, stats,
+                 max_defers=MAX_DEFERS, blocking_ar_ids=frozenset()):
+        self.footprints = footprints or {}
+        self.func_footprints = func_footprints or {}
+        self.kernel = kernel
+        self.stats = stats
+        self.max_defers = max_defers
+        # ARs whose span contains a potentially blocking call (the W004
+        # analysis): a stall waits for the remote window to close, and
+        # a blocked window may never close within any stall budget
+        self.blocking_ar_ids = frozenset(blocking_ar_ids)
+        # per-run static gate: when *most* atomic regions can block,
+        # windows routinely outlive any stall budget and stalling only
+        # perturbs the schedule — restrict the policy to reordering
+        n_ars = len(self.footprints)
+        n_blocking = len(self.blocking_ar_ids & frozenset(self.footprints))
+        self.stall_enabled = n_ars == 0 or 2 * n_blocking < n_ars
+        self._defers = {}  # tid -> consecutive times deferred at head
+        # root-function footprints never change mid-run; cache the
+        # per-thread candidate base to keep preview cheap
+        self._fp_cache = {}
+        # adaptive stall: tids with an open stall episode, and how many
+        # episodes ended in forced FIFO (= the stall bought nothing)
+        self._stalled = set()
+        self._stall_failures = 0
+
+    # -- footprint lookups ---------------------------------------------
+
+    def _active_footprint(self, tid):
+        """Union of the footprints of ``tid``'s currently-active ARs."""
+        table = self.kernel.ar_tables.get(tid)
+        if not table:
+            return Footprint.EMPTY
+        fp = Footprint.EMPTY
+        for ar_id in table:
+            ar_fp = self.footprints.get(ar_id)
+            if ar_fp is not None:
+                fp = fp.union(ar_fp)
+        return fp
+
+    def _candidate_footprint(self, machine, tid):
+        """What ``tid`` may touch if scheduled now: its active ARs plus
+        everything its root function can reach (the thread's future)."""
+        base = self._fp_cache.get(tid)
+        if base is None:
+            func = machine.thread_funcs.get(tid)
+            base = self.func_footprints.get(func, Footprint.EMPTY)
+            self._fp_cache[tid] = base
+        return base.union(self._active_footprint(tid))
+
+    # -- the decision --------------------------------------------------
+
+    def preview(self, machine, core):
+        """Choose the next tid for ``core`` without touching the queue.
+
+        Returns the chosen tid, the :data:`STALL` sentinel (idle the
+        core one stall quantum), or None when nothing is runnable.  Pure
+        with respect to machine state; policy-internal defer counters
+        and stats advance deterministically from the same inputs in
+        recording and replaying runs alike.
+        """
+        candidates = []
+        seen = set()
+        threads = machine.threads
+        for tid in machine.run_queue:
+            if tid in seen:
+                continue
+            thread = threads.get(tid)
+            if thread is None or thread.state != ThreadState.RUNNABLE:
+                continue
+            seen.add(tid)
+            candidates.append(tid)
+        if not candidates:
+            return None
+        head = candidates[0]
+        if len(candidates) == 1:
+            self._stalled.discard(head)
+            self._defers.pop(head, None)
+            return head
+        # only engage when the machine is oversubscribed: with a core
+        # available for every live thread, everything gets co-scheduled
+        # regardless of queue order, and deferring would merely idle
+        # hardware (it also keeps the one-core-per-thread detection
+        # configs bit-identical with the policy installed)
+        live = 0
+        for thread in threads.values():
+            if thread.state in (ThreadState.RUNNABLE, ThreadState.RUNNING):
+                live += 1
+        if live <= len(machine.cores):
+            self._stalled.discard(head)
+            self._defers.pop(head, None)
+            return head
+
+        running = Footprint.EMPTY
+        remote_blocking = False
+        for other in machine.cores:
+            if other is core or other.thread is None:
+                continue
+            tid = other.thread.tid
+            running = running.union(self._active_footprint(tid))
+            table = self.kernel.ar_tables.get(tid)
+            if table and not self.blocking_ar_ids.isdisjoint(table):
+                remote_blocking = True
+        if running.is_empty():
+            # no AR is open anywhere else: plain FIFO, and any stall
+            # episode trivially resolved
+            self._stalled.discard(head)
+            self._defers.pop(head, None)
+            return head
+
+        if not self._candidate_footprint(machine, head).conflicts_with(
+                running):
+            # the head's conflict cleared; a stall episode that ends
+            # here paid off (the remote window closed while we idled)
+            self._stalled.discard(head)
+            self._defers.pop(head, None)
+            return head
+        if self._defers.get(head, 0) >= self.max_defers:
+            # the head has waited long enough; force FIFO order so a
+            # persistently conflicting thread cannot starve
+            if head in self._stalled:
+                # the whole stall budget burned and the window is still
+                # open: stalling does not fit this workload's AR shape
+                self._stalled.discard(head)
+                self._stall_failures += 1
+            self.stats.conflict_forced_fifo += 1
+            self._defers.pop(head, None)
+            self._note(machine, core, head, forced=True)
+            return head
+        for tid in candidates[1:]:
+            if not self._candidate_footprint(machine, tid).conflicts_with(
+                    running):
+                self.stats.conflict_sched_decisions += 1
+                self.stats.conflict_defers += 1
+                self._defers[head] = self._defers.get(head, 0) + 1
+                self._note(machine, core, tid, over=head)
+                return tid
+        if not self.stall_enabled or remote_blocking:
+            # stalling is statically off for this program (most of its
+            # ARs can block), or a remote window spans a potentially
+            # blocking call right now: idling this core may wait
+            # forever, so co-schedule FIFO and let the kernel's
+            # suspension machinery arbitrate
+            self._defers.pop(head, None)
+            return head
+        if self._stall_failures >= STALL_FAILURE_LIMIT:
+            # stalling kept failing on this run: plain FIFO from here on
+            self._defers.pop(head, None)
+            return head
+        # every runnable thread conflicts: idle the core for one stall
+        # quantum so the remote window can close, instead of scheduling
+        # a thread that is likely to trap and suspend straight away
+        self.stats.conflict_sched_decisions += 1
+        self.stats.conflict_defers += 1
+        self._defers[head] = self._defers.get(head, 0) + 1
+        self._stalled.add(head)
+        self._note(machine, core, head, stall=True)
+        return STALL
+
+    def _note(self, machine, core, tid, over=None, forced=False,
+              stall=False):
+        """Journal the deviation (identically in record and replay)."""
+        if machine.journal is None:
+            return
+        payload = {"core": core.index}
+        if forced:
+            payload["forced"] = True
+        elif stall:
+            payload["stall"] = True
+        else:
+            payload["over"] = over
+        machine.journal.emit(core.clock, tid, "csched", **payload)
+
+
+__all__ = ["ConflictPolicy", "MAX_DEFERS", "STALL_FAILURE_LIMIT"]

@@ -20,6 +20,7 @@ class CostModel:
         "syscall",
         "trap",
         "context_switch",
+        "conflict_stall",
         "userlib_check",
         "whitelist_check",
         "shadow_store",
@@ -40,6 +41,7 @@ class CostModel:
         syscall=90,
         trap=450,
         context_switch=400,
+        conflict_stall=300,
         userlib_check=6,
         whitelist_check=4,
         shadow_store=4,
@@ -57,6 +59,10 @@ class CostModel:
         self.syscall = syscall
         self.trap = trap
         self.context_switch = context_switch
+        # conflict-aware scheduling: how long a core idles when
+        # every runnable thread conflicts with an atomic region
+        # open on another core (repro.machine.conflictsched)
+        self.conflict_stall = conflict_stall
         self.userlib_check = userlib_check
         self.whitelist_check = whitelist_check
         self.shadow_store = shadow_store

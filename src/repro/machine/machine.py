@@ -108,6 +108,10 @@ class Machine:
         # schedule; optional SchedulePin enforces a recorded schedule
         self.journal = journal
         self.schedule_pin = schedule_pin
+        # optional repro.machine.conflictsched.ConflictPolicy, installed
+        # by the runtime's attach(); consulted (pure preview) before the
+        # schedule pin so journal frames line up between record/replay
+        self.conflict_policy = None
 
         self.cores = [Core(i, num_watchpoints) for i in range(num_cores)]
         for core in self.cores:
@@ -143,6 +147,9 @@ class Machine:
         main = Thread(self._alloc_tid(), program.entry(), parent=None, seed=seed)
         self.threads[main.tid] = main
         self.run_queue.append(main.tid)
+        # tid -> root function name (the conflict scheduler's candidate
+        # footprints come from the function a thread was spawned into)
+        self.thread_funcs = {main.tid: "main"}
 
         self.runtime.attach(self)
 
@@ -251,6 +258,7 @@ class Machine:
         parent.live_children += 1
         self.threads[child.tid] = child
         self.run_queue.append(child.tid)
+        self.thread_funcs[child.tid] = image.name
         return child
 
     def _thread_exit(self, core, thread):
@@ -267,10 +275,28 @@ class Machine:
         """Pick the next runnable thread for ``core``; returns True if one
         was placed."""
         tid = None
+        choice = None
+        if self.conflict_policy is not None:
+            # pure preview: consulted before the pin in both recording
+            # and replaying runs so its csched frames line up; the queue
+            # is only mutated below (record) or by the pin (replay)
+            choice = self.conflict_policy.preview(self, core)
+            if choice is not None and not isinstance(choice, int):
+                # STALL: idle this core one stall quantum so a
+                # conflicting atomic region on another core can close;
+                # deterministic in replay too (the preview re-decides
+                # identically, and no sched frame was recorded here)
+                core.clock += self.costs.conflict_stall
+                return False
         if self.schedule_pin is not None:
             # replay: prefer the thread the recorded run scheduled at
             # this decision point (removed from the run queue by select)
             tid = self.schedule_pin.select(self, core)
+        elif choice is not None:
+            # first occurrence — the same entry SchedulePin.select
+            # deletes when it replays the journaled frame
+            self.run_queue.remove(choice)
+            tid = choice
         if tid is None:
             while self.run_queue:
                 cand = self.run_queue.popleft()

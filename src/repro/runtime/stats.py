@@ -77,6 +77,12 @@ class KivatiStats:
         # they dropped records)
         "degradations_dropped",
         "quarantine_history_dropped",
+        # conflict-aware scheduling (repro.machine.conflictsched): times
+        # the policy picked a non-FIFO thread, times it deferred a
+        # conflicting head, and times a deferral cap forced FIFO order
+        "conflict_sched_decisions",
+        "conflict_defers",
+        "conflict_forced_fifo",
     )
 
     __slots__ = FIELDS

@@ -36,7 +36,9 @@ class KivatiRuntime(BaseRuntime):
     wants_all_accesses = False
 
     def __init__(self, config, ar_table, log, sync_ar_ids=(), faults=None,
-                 degrade=None, static_safe_ar_ids=(), journal=None):
+                 degrade=None, static_safe_ar_ids=(), journal=None,
+                 footprints=None, func_footprints=None,
+                 blocking_ar_ids=()):
         if journal is not None and config.journal is None:
             # convenience: callers may hand the recorder here instead of
             # pre-binding it on the config
@@ -85,12 +87,31 @@ class KivatiRuntime(BaseRuntime):
         self._pause_seq = 0
         self.trace = config.trace
         self.journal = config.journal
+        # static conflict-footprint analysis products (repro.analysis
+        # .footprint), consumed by the conflict-aware scheduler
+        self.footprints = footprints or {}
+        self.func_footprints = func_footprints or {}
+        # ARs whose span contains a potentially blocking call (the W004
+        # analysis): the conflict scheduler must not stall waiting for
+        # such a window to close
+        self.blocking_ar_ids = frozenset(blocking_ar_ids)
 
     # ------------------------------------------------------------------
 
     def attach(self, machine):
         self.machine = machine
         self.kernel.attach(machine)
+        if (self.config.conflict_sched
+                and self.config.mode == Mode.PREVENTION
+                and self.footprints):
+            # conflict-aware scheduling only makes sense when Kivati is
+            # *preventing*: bug-finding mode deliberately widens racy
+            # windows, and deconflicting them would fight the pauses
+            from repro.machine.conflictsched import ConflictPolicy
+
+            machine.conflict_policy = ConflictPolicy(
+                self.footprints, self.func_footprints, self.kernel,
+                self.stats, blocking_ar_ids=self.blocking_ar_ids)
 
     def _costs(self):
         return self.machine.costs

@@ -63,3 +63,25 @@ def test_stable_across_hash_seeds(tmp_path):
         dumps.append(proc.stdout)
     assert dumps[0] == dumps[1]
     json.loads(dumps[0])  # and it is well-formed JSON
+
+
+@pytest.mark.parametrize("name", ["bug-19938", "app-VLC"])
+def test_footprint_dump_stable_across_hash_seeds(tmp_path, name):
+    """Footprints and the conflict graph are built from frozensets of
+    variable names; the dump must not leak hash-seed iteration order."""
+    src = tmp_path / "prog.c"
+    src.write_text(_SOURCES[name])
+    dumps = []
+    for seed in ("0", "12345"):
+        env = dict(os.environ, PYTHONHASHSEED=seed)
+        env["PYTHONPATH"] = "src"
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "annotate", str(src),
+             "--dump-footprints", "--json"],
+            capture_output=True, text=True, env=env, cwd="/root/repo",
+            check=True,
+        )
+        dumps.append(proc.stdout)
+    assert dumps[0] == dumps[1]
+    payload = json.loads(dumps[0])
+    assert set(payload) == {"functions", "ars", "conflicts"}

@@ -1,0 +1,354 @@
+"""Unit tests for per-AR footprints and the inter-AR conflict graph."""
+
+import pytest
+
+from repro.analysis.annotate import annotate
+from repro.analysis.conflict import (RW, UNSERIALIZABLE, WW,
+                                     build_conflict_graph, conflict_weight)
+from repro.analysis.footprint import WILD, Footprint
+
+
+# ---------------------------------------------------------------------------
+# Footprint algebra
+
+def test_empty_footprint_identity():
+    fp = Footprint(reads=("x",), writes=("y",))
+    assert Footprint.EMPTY.union(fp) is fp
+    assert fp.union(Footprint.EMPTY) is fp
+    assert Footprint.EMPTY.is_empty()
+    assert not Footprint.EMPTY.conflicts_with(Footprint.EMPTY)
+
+
+def test_wild_conflicts_with_everything_nonempty():
+    fp = Footprint(reads=("x",))
+    assert WILD.conflicts_with(fp)
+    assert fp.conflicts_with(WILD)
+    # ...but not with a truly empty region: nothing to collide on
+    assert not WILD.conflicts_with(Footprint.EMPTY)
+    assert not Footprint.EMPTY.conflicts_with(WILD)
+
+
+def test_conflict_requires_a_write():
+    r1 = Footprint(reads=("x",))
+    r2 = Footprint(reads=("x",))
+    w = Footprint(writes=("x",))
+    assert not r1.conflicts_with(r2)
+    assert r1.conflicts_with(w)
+    assert w.conflicts_with(r1)
+    assert w.conflict_vars(r1) == frozenset(["x"])
+
+
+def test_union_merges_wild():
+    assert Footprint(reads=("x",)).union(WILD).wild
+    assert not Footprint(reads=("x",)).union(Footprint(writes=("y",))).wild
+
+
+# ---------------------------------------------------------------------------
+# Whole-program footprint extraction
+
+def _footprints_by_var(result):
+    return {info.var: result.footprints[ar_id]
+            for ar_id, info in result.ar_table.items()}
+
+
+def test_plain_rmw_footprint_has_its_variable():
+    result = annotate("""
+int x;
+int y;
+void worker() {
+    int t = x;
+    y = 1;
+    x = t + 1;
+}
+void main() { spawn worker(); spawn worker(); }
+""")
+    fps = _footprints_by_var(result)
+    fp = fps["x"]
+    assert not fp.wild
+    assert "x" in fp.reads and "x" in fp.writes
+    # y is written inside the span
+    assert "y" in fp.writes
+    # the local t never enters the footprint domain
+    assert "t" not in fp.touched()
+
+
+def test_locals_excluded_from_domain():
+    result = annotate("""
+int x;
+void worker() {
+    int t = x;
+    int u = t * 2;
+    x = u;
+}
+void main() { spawn worker(); spawn worker(); }
+""")
+    for fp in result.footprints.values():
+        assert not {"t", "u"} & fp.touched()
+
+
+def test_alias_deref_expands_to_target():
+    result = annotate("""
+int x;
+void worker() {
+    int* p = &x;
+    int t = *p;
+    *p = t + 1;
+}
+void main() { spawn worker(); spawn worker(); }
+""")
+    assert result.footprints, "aliased RMW produced no AR"
+    # every AR span touches x through the alias, and at least one span
+    # covers the write through *p
+    for fp in result.footprints.values():
+        assert fp.wild or "x" in fp.touched()
+    assert any("x" in fp.writes for fp in result.footprints.values()
+               if not fp.wild)
+
+
+def test_array_element_collapses_to_base():
+    result = annotate("""
+int a[4];
+void worker(int i) {
+    int t = a[i];
+    a[i] = t + 1;
+}
+void main() { spawn worker(0); spawn worker(1); }
+""")
+    fps = [fp for fp in result.footprints.values() if not fp.wild]
+    assert fps
+    assert any("a" in fp.writes for fp in fps)
+    assert all("a[i]" not in fp.touched() for fp in fps)
+
+
+def test_heap_site_enters_footprint():
+    result = annotate("""
+int x;
+void worker() {
+    int* p = alloc(2);
+    int t = x;
+    *p = t;
+    x = t + 1;
+}
+void main() { spawn worker(); spawn worker(); }
+""")
+    fps = _footprints_by_var(result)
+    fp = fps["x"]
+    assert fp.wild or any(v.startswith("heap@") for v in fp.writes)
+
+
+# ---------------------------------------------------------------------------
+# Interprocedural corner cases
+
+def test_callee_footprint_folds_into_ar():
+    result = annotate("""
+int x;
+int z;
+void bump() { z = z + 1; }
+void worker() {
+    int t = x;
+    bump();
+    x = t + 1;
+}
+void main() { spawn worker(); spawn worker(); }
+""")
+    fps = _footprints_by_var(result)
+    fp = fps["x"]
+    assert not fp.wild
+    assert "z" in fp.writes, "callee write did not fold into the span"
+
+
+def test_recursive_function_footprint_converges():
+    result = annotate("""
+int x;
+int depth;
+void rec(int n) {
+    x = x + 1;
+    if (n > 0) {
+        rec(n - 1);
+    }
+}
+void worker() {
+    int t = depth;
+    rec(3);
+    depth = t + 1;
+}
+void main() { spawn worker(); spawn worker(); }
+""")
+    rec_fp = result.func_footprints["rec"]
+    assert not rec_fp.wild
+    assert "x" in rec_fp.writes
+    # the AR over depth folds the recursive callee transitively
+    fps = _footprints_by_var(result)
+    assert "x" in fps["depth"].writes
+
+
+def test_mutual_recursion_converges():
+    result = annotate("""
+int x;
+int y;
+void ping(int n) {
+    x = x + 1;
+    if (n > 0) {
+        pong(n - 1);
+    }
+}
+void pong(int n) {
+    y = y + 1;
+    if (n > 0) {
+        ping(n - 1);
+    }
+}
+void main() { ping(4); }
+""")
+    ping = result.func_footprints["ping"]
+    pong = result.func_footprints["pong"]
+    assert {"x", "y"} <= ping.writes
+    assert {"x", "y"} <= pong.writes
+    assert not ping.wild and not pong.wild
+
+
+def test_invoke_makes_footprint_wild():
+    result = annotate("""
+int x;
+int fp;
+void target() { x = x + 1; }
+void worker() {
+    int t = x;
+    invoke(fp);
+    x = t + 1;
+}
+void main() { fp = 0; spawn worker(); spawn worker(); }
+""")
+    fps = _footprints_by_var(result)
+    assert fps["x"].wild, "indirect call must poison the span footprint"
+
+
+def test_function_footprints_cover_all_funcs():
+    result = annotate("""
+int x;
+void idle() { int a = 1; }
+void worker() { x = x + 1; }
+void main() { spawn worker(); idle(); }
+""")
+    assert set(result.func_footprints) == {"idle", "worker", "main"}
+    assert result.func_footprints["idle"].is_empty()
+    assert "x" in result.func_footprints["worker"].writes
+    # spawned bodies run on *other* threads, so they deliberately do
+    # not fold into the spawner: main itself never touches x, and a
+    # scheduler consulting main's footprint must see that
+    assert "x" not in result.func_footprints["main"].touched()
+
+
+# ---------------------------------------------------------------------------
+# Conflict graph
+
+def test_ww_conflict_between_two_writers():
+    result = annotate("""
+int x;
+void worker() {
+    int t = x;
+    x = t + 1;
+}
+void main() { spawn worker(); spawn worker(); }
+""")
+    graph = result.conflicts
+    assert graph.edges, "two RMW ARs over x must conflict"
+    kinds = {e.kind for e in graph.edges}
+    assert kinds <= {WW, UNSERIALIZABLE}
+    for edge in graph.edges:
+        assert "x" in edge.variables
+
+
+def test_disjoint_footprints_no_edge():
+    result = annotate("""
+int x;
+int y;
+void fx() {
+    int t = x;
+    x = t + 1;
+}
+void fy() {
+    int t = y;
+    y = t + 1;
+}
+void main() { spawn fx(); spawn fy(); }
+""")
+    graph = result.conflicts
+    ar_by_var = {info.var: ar_id for ar_id, info in result.ar_table.items()}
+    if "x" in ar_by_var and "y" in ar_by_var:
+        a, b = ar_by_var["x"], ar_by_var["y"]
+        assert not any({e.a, e.b} == {a, b} for e in graph.edges), (
+            "ARs over disjoint variables must not conflict")
+
+
+def test_wild_ar_gets_no_edges_but_is_listed():
+    result = annotate("""
+int x;
+int fp;
+void worker() {
+    int t = x;
+    invoke(fp);
+    x = t + 1;
+}
+void other() {
+    int t = x;
+    x = t + 2;
+}
+void main() { fp = 0; spawn worker(); spawn other(); }
+""")
+    graph = result.conflicts
+    assert graph.wild_ar_ids, "the invoke AR must be flagged wild"
+    for wild_id in graph.wild_ar_ids:
+        assert graph.degree(wild_id) == 0
+
+
+def test_sync_only_edges_marked():
+    result = annotate("""
+int m;
+int x;
+void worker() {
+    lock(&m);
+    x = x + 1;
+    unlock(&m);
+}
+void main() { spawn worker(); spawn worker(); }
+""")
+    graph = result.conflicts
+    for edge in graph.edges:
+        witnesses_sync = all(v == "m" for v in edge.variables)
+        assert edge.sync_only == witnesses_sync
+
+
+def test_conflict_weight_orders_by_history():
+    fp = Footprint(reads=("x",), writes=("x",))
+    table_stub = {}
+
+    class _Info:
+        def __init__(self, var):
+            self.var = var
+            self.first_kind = None
+            self.second_kinds = {}
+
+    table_stub[1] = _Info("x")
+    table_stub[2] = _Info("x")
+    graph = build_conflict_graph(table_stub, {1: fp, 2: fp})
+    base = conflict_weight(graph)
+    assert base > 0
+    boosted = conflict_weight(graph, history={1: 3})
+    assert boosted > base
+
+
+def test_conflict_graph_as_dict_roundtrips():
+    result = annotate("""
+int x;
+void worker() {
+    int t = x;
+    x = t + 1;
+}
+void main() { spawn worker(); spawn worker(); }
+""")
+    payload = result.conflicts.as_dict()
+    assert set(payload) == {"edges", "wild_ars", "counts"}
+    assert set(payload["counts"]) == {UNSERIALIZABLE, WW, RW}
+    for edge in payload["edges"]:
+        assert edge["a"] < edge["b"]

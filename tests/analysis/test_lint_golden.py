@@ -32,9 +32,10 @@ def test_golden_file_is_sane():
     with open(GOLDEN) as f:
         golden = json.load(f)
     # every bug kernel exhibits at least one warning (they are bugs), and
-    # all four stable codes appear somewhere in the corpus
+    # all seven stable codes appear somewhere in the corpus
     assert all(golden[n]["count"] >= 1 for n in golden if
                n.startswith("bug-"))
     codes = {w["code"] for entry in golden.values()
              for w in entry["warnings"]}
-    assert codes == {"W001", "W002", "W003", "W004"}
+    assert codes == {"W001", "W002", "W003", "W004",
+                     "W005", "W006", "W007"}

@@ -1,0 +1,88 @@
+"""Conflictbench artifact tests: validation gates + the committed
+``BENCH_conflict.json`` (the performance claim CI pins)."""
+
+import json
+import os
+
+from repro.bench import conflictbench
+
+
+def _payload(**overrides):
+    base = {
+        "schema": conflictbench.SCHEMA,
+        "smoke": False,
+        "scale": 1.0,
+        "seeds": [0, 1, 2, 3],
+        "num_cores": 2,
+        "apps": [
+            {"app": name, "base_total": 20, "conf_total": total,
+             "decisions": 5, "verdict": verdict}
+            for name, total, verdict in (
+                ("NSS", 10, "improved"), ("VLC", 15, "improved"),
+                ("Webstone", 12, "improved"), ("TPC-W", 25, "regressed"),
+                ("SPEC OMP", 20, "same"))
+        ],
+        "improved": ["NSS", "VLC", "Webstone"],
+        "regressed": ["TPC-W"],
+        "min_improved": conflictbench.MIN_IMPROVED,
+        "corpus": {"runs_checked": 33, "diffs": [], "identical": True},
+        "recall": {"bugs_checked": 11, "missed": [], "all_detected": True},
+        "replay": {"ok": True, "verdicts_match": True, "csched_frames": 4},
+    }
+    base.update(overrides)
+    return base
+
+
+def test_validate_accepts_well_formed_payload():
+    assert conflictbench.validate(_payload()) == []
+
+
+def test_validate_rejects_wrong_schema():
+    assert conflictbench.validate(_payload(schema="nope/v9"))
+
+
+def test_validate_rejects_too_few_improvements():
+    payload = _payload(improved=["NSS"])
+    assert any("improved" in p for p in conflictbench.validate(payload))
+
+
+def test_validate_rejects_corpus_divergence():
+    payload = _payload(corpus={"runs_checked": 33, "identical": False,
+                               "diffs": [{"bug": "19938", "seed": 0}]})
+    assert any("multiset" in p for p in conflictbench.validate(payload))
+
+
+def test_validate_rejects_lost_recall():
+    payload = _payload(recall={"bugs_checked": 11, "missed": ["19938"],
+                               "all_detected": False})
+    assert any("recall" in p for p in conflictbench.validate(payload))
+
+
+def test_validate_rejects_replay_divergence():
+    payload = _payload(replay={"ok": False, "verdicts_match": False,
+                               "csched_frames": 0})
+    assert any("replay" in p for p in conflictbench.validate(payload))
+
+
+def test_validate_requires_csched_frames_in_full_artifact():
+    payload = _payload(replay={"ok": True, "verdicts_match": True,
+                               "csched_frames": 0})
+    assert any("csched" in p for p in conflictbench.validate(payload))
+
+
+def test_smoke_artifact_relaxes_gates():
+    payload = _payload(smoke=True, min_improved=0, improved=[],
+                       apps=_payload()["apps"][:3],
+                       replay={"ok": True, "verdicts_match": True,
+                               "csched_frames": 0})
+    assert conflictbench.validate(payload) == []
+
+
+def test_committed_artifact_is_valid():
+    path = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
+                        "BENCH_conflict.json")
+    with open(path) as f:
+        payload = json.load(f)
+    assert conflictbench.validate(payload) == []
+    assert not payload["smoke"], "the committed artifact must be full-size"
+    assert len(payload["improved"]) >= conflictbench.MIN_IMPROVED

@@ -1,0 +1,296 @@
+"""Conflict-aware scheduling: policy decisions, determinism, snapshots.
+
+The policy's contract has three legs, each pinned here:
+
+- the *decision* logic (stub-machine unit tests): oversubscription gate,
+  reorder over a conflicting head, bounded defers forcing FIFO, the
+  all-conflict stall, and the adaptive stall self-disable;
+- *transparency* when inert: with a core per thread the policy must not
+  change a single journal frame;
+- *replayability* when active: a conflict-scheduled recording replays
+  pinned, csched frames and all, and a version-2 snapshot (predating
+  ``conflict_sched``) still rebuilds a config.
+"""
+
+from collections import deque
+
+import pytest
+
+from repro.analysis.footprint import Footprint
+from repro.core.config import KivatiConfig
+from repro.core.session import ProtectedProgram
+from repro.journal.replay import first_divergence, record_run, replay_run
+from repro.journal.snapshot import (SNAPSHOT_VERSION, config_from_snapshot,
+                                    config_snapshot)
+from repro.machine.conflictsched import (MAX_DEFERS, STALL,
+                                         STALL_FAILURE_LIMIT, ConflictPolicy)
+from repro.machine.costs import CostModel
+from repro.machine.threads import ThreadState
+from repro.runtime.stats import KivatiStats
+
+CONTENDED = """
+int x;
+void worker() {
+    int t = x;
+    x = t + 1;
+}
+void main() {
+    spawn worker(); spawn worker(); spawn worker(); spawn worker();
+}
+"""
+
+MIXED = """
+int x;
+int y;
+void fx() {
+    int t = x;
+    x = t + 1;
+}
+void fy() {
+    int t = y;
+    y = t + 1;
+}
+void main() { spawn fx(); spawn fx(); spawn fy(); spawn fy(); }
+"""
+
+
+# ---------------------------------------------------------------------------
+# Stub-machine unit tests for the decision logic
+
+class _Thread:
+    def __init__(self, tid, state=ThreadState.RUNNABLE):
+        self.tid = tid
+        self.state = state
+
+
+class _Core:
+    def __init__(self, index, thread=None):
+        self.index = index
+        self.thread = thread
+        self.clock = 0
+
+
+class _Kernel:
+    def __init__(self, ar_tables):
+        self.ar_tables = ar_tables
+
+
+class _Machine:
+    def __init__(self, run_queue, threads, cores, thread_funcs):
+        self.run_queue = deque(run_queue)
+        self.threads = threads
+        self.cores = cores
+        self.thread_funcs = thread_funcs
+        self.journal = None
+
+
+FP_X = Footprint(reads=("x",), writes=("x",))
+FP_Y = Footprint(reads=("y",), writes=("y",))
+
+
+def _policy(ar_tables=None, func_footprints=None, footprints=None):
+    return ConflictPolicy(footprints or {1: FP_X},
+                          func_footprints or {},
+                          _Kernel(ar_tables or {}), KivatiStats())
+
+
+def _contended_machine(extra_runnable=2):
+    """Core 1 runs tid 2 (inside AR 1 over x); tids 3.. are queued."""
+    threads = {2: _Thread(2, ThreadState.RUNNING)}
+    queue = []
+    for tid in range(3, 3 + extra_runnable):
+        threads[tid] = _Thread(tid)
+        queue.append(tid)
+    busy = _Core(1, threads[2])
+    idle = _Core(0)
+    funcs = {tid: "wx" for tid in threads}
+    return _Machine(queue, threads, [idle, busy], funcs), idle
+
+
+def test_single_candidate_returned_directly():
+    machine, core = _contended_machine(extra_runnable=1)
+    policy = _policy(ar_tables={2: {1: None}},
+                     func_footprints={"wx": FP_X})
+    assert policy.preview(machine, core) == 3
+    assert policy.stats.conflict_sched_decisions == 0
+
+
+def test_gate_keeps_policy_inert_without_oversubscription():
+    machine, core = _contended_machine(extra_runnable=2)
+    machine.cores.append(_Core(2))  # 3 cores, 3 live threads
+    policy = _policy(ar_tables={2: {1: None}},
+                     func_footprints={"wx": FP_X})
+    assert policy.preview(machine, core) == 3  # FIFO head despite conflict
+    assert policy.stats.conflict_sched_decisions == 0
+
+
+def test_reorders_over_conflicting_head():
+    machine, core = _contended_machine(extra_runnable=2)
+    policy = _policy(ar_tables={2: {1: None}},
+                     func_footprints={"wx": FP_X})
+    # head tid 3 conflicts (runs wx touching x); tid 4 gets a clean
+    # footprint by running a different function
+    machine.thread_funcs[4] = "wy"
+    policy.func_footprints["wy"] = FP_Y
+    assert policy.preview(machine, core) == 4
+    assert policy.stats.conflict_sched_decisions == 1
+    assert policy.stats.conflict_defers == 1
+
+
+def test_defer_cap_forces_fifo():
+    machine, core = _contended_machine(extra_runnable=2)
+    policy = _policy(ar_tables={2: {1: None}},
+                     func_footprints={"wx": FP_X, "wy": FP_Y})
+    machine.thread_funcs[4] = "wy"
+    for _ in range(MAX_DEFERS):
+        assert policy.preview(machine, core) == 4
+    assert policy.preview(machine, core) == 3  # cap reached: FIFO
+    assert policy.stats.conflict_forced_fifo == 1
+
+
+def test_all_conflict_stalls_core():
+    machine, core = _contended_machine(extra_runnable=2)
+    policy = _policy(ar_tables={2: {1: None}},
+                     func_footprints={"wx": FP_X})
+    assert policy.preview(machine, core) is STALL
+    assert policy.stats.conflict_sched_decisions == 1
+
+
+def test_stall_self_disables_after_failed_episodes():
+    machine, core = _contended_machine(extra_runnable=2)
+    policy = _policy(ar_tables={2: {1: None}},
+                     func_footprints={"wx": FP_X})
+    for _ in range(STALL_FAILURE_LIMIT):
+        # burn the whole stall budget, then the forced-FIFO pick marks
+        # the episode failed
+        for _ in range(MAX_DEFERS):
+            assert policy.preview(machine, core) is STALL
+        assert policy.preview(machine, core) == 3  # forced FIFO
+        machine.run_queue.rotate(-1)  # 3 went to the back after running
+        machine.run_queue.rotate(1)   # ...and comes around again
+    assert policy.stats.conflict_forced_fifo == STALL_FAILURE_LIMIT
+    # stalling is now disabled: all-conflict falls through to plain FIFO
+    assert policy.preview(machine, core) == 3
+    assert policy.preview(machine, core) == 3
+
+
+def test_remote_blocking_window_suppresses_stall():
+    # remote tid 2 is inside AR 1, whose span contains a blocking call
+    # (W004): idling for that window could wait forever, so the
+    # all-conflict case must co-schedule FIFO instead of stalling
+    machine, core = _contended_machine(extra_runnable=2)
+    footprints = {1: FP_X, 5: FP_Y, 6: FP_Y, 7: FP_Y}
+    policy = ConflictPolicy(footprints, {"wx": FP_X},
+                            _Kernel({2: {1: None}}), KivatiStats(),
+                            blocking_ar_ids=frozenset([1]))
+    assert policy.stall_enabled  # 1 of 4 ARs blocking: stall stays on
+    assert policy.preview(machine, core) == 3
+    assert policy.stats.conflict_sched_decisions == 0
+
+
+def test_majority_blocking_program_never_stalls():
+    # when most ARs can block, windows outlive any stall budget; the
+    # per-run static gate restricts the policy to reordering
+    machine, core = _contended_machine(extra_runnable=2)
+    footprints = {1: FP_X, 5: FP_Y}
+    policy = ConflictPolicy(footprints, {"wx": FP_X},
+                            _Kernel({2: {1: None}}), KivatiStats(),
+                            blocking_ar_ids=frozenset([1, 5]))
+    assert not policy.stall_enabled
+    # every candidate conflicts, yet the static gate forces plain FIFO
+    assert policy.preview(machine, core) == 3
+    assert policy.preview(machine, core) == 3
+
+
+def test_wild_footprint_conflicts_with_running():
+    machine, core = _contended_machine(extra_runnable=2)
+    policy = _policy(ar_tables={2: {1: None}},
+                     func_footprints={"wx": Footprint(wild=True)})
+    assert policy.preview(machine, core) is STALL
+
+
+# ---------------------------------------------------------------------------
+# Whole-machine transparency and replay
+
+def test_inert_when_cores_cover_threads():
+    """One core per thread: the journal must be bit-identical with the
+    policy installed (this is what keeps the detection corpus pinned)."""
+    pp = ProtectedProgram(CONTENDED)
+    base_cfg = KivatiConfig(num_cores=8, seed=7)
+    conf_cfg = KivatiConfig(num_cores=8, seed=7, conflict_sched=True)
+    _, base_rec = record_run(pp, base_cfg)
+    _, conf_rec = record_run(pp, conf_cfg)
+    # run-start headers legitimately differ (conflict_sched snapshot key)
+    assert first_divergence(base_rec.events[1:], conf_rec.events[1:]) is None
+
+
+def test_conflict_sched_replays_deterministically():
+    pp = ProtectedProgram(MIXED)
+    report, recorder = record_run(
+        pp, KivatiConfig(num_cores=2, seed=3, conflict_sched=True))
+    assert report.stats.conflict_sched_decisions >= 0
+    result = replay_run(pp, recorder)
+    assert result.ok, result.describe()
+    assert result.verdicts_match
+    recorded_csched = [e.key() for e in recorder.events
+                       if e.kind == "csched"]
+    replayed_csched = [e.key() for e in result.replayed
+                       if e.kind == "csched"]
+    assert recorded_csched == replayed_csched
+
+
+LOOPED = """
+int x;
+void worker() {
+    int i = 0;
+    while (i < 40) {
+        int t = x;
+        int a = t + 1;
+        int b = a * 2;
+        int c = b - a;
+        x = t + 1;
+        i = i + 1;
+    }
+}
+void main() {
+    spawn worker(); spawn worker(); spawn worker(); spawn worker();
+}
+"""
+
+
+def test_conflict_sched_decisions_counted_on_oversubscribed_run():
+    # the one-shot CONTENDED workers finish within a quantum, so no AR
+    # is ever open on a remote core at a decision point; the looping
+    # workers get preempted mid-window, which is where the policy bites
+    pp = ProtectedProgram(LOOPED)
+    found = False
+    for seed in range(4):
+        stats = pp.run(KivatiConfig(num_cores=2, seed=seed,
+                                    conflict_sched=True)).stats
+        if stats.conflict_sched_decisions:
+            found = True
+            break
+    assert found, "4 contended workers on 2 cores never tripped the policy"
+
+
+# ---------------------------------------------------------------------------
+# Snapshot compatibility
+
+def test_snapshot_roundtrips_conflict_sched():
+    cfg = KivatiConfig(conflict_sched=True,
+                       costs=CostModel(conflict_stall=555))
+    snap = config_snapshot(cfg)
+    assert snap["version"] == SNAPSHOT_VERSION
+    rebuilt = config_from_snapshot(snap)
+    assert rebuilt.conflict_sched is True
+    assert rebuilt.costs.conflict_stall == 555
+
+
+def test_v2_snapshot_still_loads_without_conflict_sched():
+    snap = config_snapshot(KivatiConfig())
+    snap["version"] = 2
+    del snap["conflict_sched"]
+    del snap["costs"]["conflict_stall"]
+    rebuilt = config_from_snapshot(snap)
+    assert rebuilt.conflict_sched is False
+    assert rebuilt.costs.conflict_stall == CostModel().conflict_stall

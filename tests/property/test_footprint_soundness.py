@@ -1,0 +1,168 @@
+"""Property: static AR footprints over-approximate dynamic footprints.
+
+The footprint analysis (:mod:`repro.analysis.footprint`) claims that the
+set of globals an atomic region's dynamic window touches — on *any*
+schedule — is a subset of the statically computed may-read/may-write
+sets (or the footprint is wild).  This is the soundness contract the
+conflict graph and the conflict-aware scheduler rest on: a pair of ARs
+with disjoint static footprints must never be able to touch a common
+word at run time.
+
+The check runs the real Kivati runtime with the all-accesses observer
+hook; every memory access a thread performs while it has an active AR
+is charged to that AR and mapped back to a global name through the
+binary's layout.  Stack accesses are skipped — named locals are
+per-thread and deliberately outside the footprint domain.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import KivatiConfig
+from repro.core.reports import ViolationLog
+from repro.core.session import ProtectedProgram
+from repro.machine.machine import Machine
+from repro.runtime.userlib import KivatiRuntime
+
+PROGRAMS = {
+    "plain_rmw": """
+int x;
+void worker() {
+    int t = x;
+    x = t + 1;
+}
+void main() { spawn worker(); spawn worker(); }
+""",
+    "locked_rmw": """
+int m;
+int x;
+int y;
+void worker() {
+    lock(&m);
+    int t = x;
+    y = t;
+    x = t + 1;
+    unlock(&m);
+}
+void main() { spawn worker(); spawn worker(); }
+""",
+    "alias_write": """
+int x;
+int y;
+void worker() {
+    int* p = &x;
+    int t = x;
+    *p = t + 1;
+    y = y + 2;
+}
+void main() { spawn worker(); spawn worker(); }
+""",
+    "helper_call": """
+int x;
+int z;
+void bump() { z = z + 1; }
+void worker() {
+    int t = x;
+    bump();
+    x = t + 1;
+}
+void main() { spawn worker(); spawn worker(); }
+""",
+    "array_slot": """
+int a[4];
+int x;
+void worker(int i) {
+    int t = a[i];
+    x = x + t;
+    a[i] = t + 1;
+}
+void main() { spawn worker(0); spawn worker(1); }
+""",
+    "branchy_span": """
+int x;
+int y;
+int z;
+void worker(int w) {
+    int t = x;
+    if (w > 0) {
+        y = y + 1;
+    } else {
+        z = z + 1;
+    }
+    x = t + 1;
+}
+void main() { spawn worker(0); spawn worker(1); }
+""",
+}
+
+
+class FootprintObserver(KivatiRuntime):
+    """Charges every in-window access to the accessing thread's ARs."""
+
+    wants_all_accesses = True
+
+    def __init__(self, name_of, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._name_of = name_of
+        self.dynamic = {}  # ar_id -> set of (global name, is_write)
+
+    def on_memory_access(self, core, thread, addr, is_write):
+        table = self.kernel.ar_tables.get(thread.tid)
+        if table:
+            name = self._name_of(addr)
+            if name is not None:
+                for ar_id in table:
+                    self.dynamic.setdefault(ar_id, set()).add(
+                        (name, bool(is_write)))
+        return 0
+
+
+def _global_namer(program, pinfo):
+    """addr -> global base name (arrays cover their whole range)."""
+    spans = []
+    for name, base in program.global_addrs.items():
+        size = pinfo.global_sizes.get(name, 1)
+        spans.append((base, base + size, name))
+    spans.sort()
+
+    def name_of(addr):
+        for lo, hi, name in spans:
+            if lo <= addr < hi:
+                return name
+        return None
+
+    return name_of
+
+
+@settings(max_examples=25, deadline=None)
+@given(name=st.sampled_from(sorted(PROGRAMS)),
+       seed=st.integers(min_value=0, max_value=10_000),
+       num_cores=st.integers(min_value=1, max_value=4))
+def test_static_footprint_superset_of_dynamic(name, seed, num_cores):
+    pp = ProtectedProgram(PROGRAMS[name])
+    config = KivatiConfig(num_cores=num_cores, seed=seed)
+    observer = FootprintObserver(
+        _global_namer(pp.program, pp.annotation.pinfo),
+        config, pp.ar_table, ViolationLog(), pp.sync_ar_ids,
+        footprints=pp.annotation.footprints,
+        func_footprints=pp.annotation.func_footprints)
+    machine = Machine(pp.program, num_cores=num_cores, runtime=observer,
+                      seed=seed, costs=config.costs)
+    result = machine.run()
+    assert result.fault is None
+
+    assert observer.dynamic, "no AR window ever executed an access"
+    for ar_id, touched in sorted(observer.dynamic.items()):
+        fp = pp.annotation.footprints.get(ar_id)
+        assert fp is not None, "AR %d has no static footprint" % ar_id
+        if fp.wild:
+            continue  # wild = may touch anything: trivially sound
+        dynamic_all = {n for n, _ in touched}
+        dynamic_writes = {n for n, w in touched if w}
+        assert dynamic_all <= (fp.reads | fp.writes), (
+            "AR %d dynamically touched %s outside its static footprint %s"
+            % (ar_id, sorted(dynamic_all - (fp.reads | fp.writes)),
+               fp.describe()))
+        assert dynamic_writes <= fp.writes, (
+            "AR %d dynamically wrote %s outside its may-write set %s"
+            % (ar_id, sorted(dynamic_writes - fp.writes), fp.describe()))
