@@ -1,0 +1,23 @@
+int g0 = 0;
+
+void worker1()
+{
+    int i = 0;
+    while (i < 1)
+    {
+        g0 = 2;
+        i = 1;
+    }
+}
+
+void worker2()
+{
+    int t = 0;
+    t = g0;
+}
+
+void main()
+{
+    spawn worker1();
+    spawn worker2();
+}

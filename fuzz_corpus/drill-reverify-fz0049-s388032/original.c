@@ -1,0 +1,90 @@
+int g0 = 0;
+int g1 = 0;
+int g2 = 0;
+int lk0 = 0;
+int lk1 = 0;
+int lk2 = 0;
+int h0 = 0;
+int h1 = 0;
+int h2 = 0;
+int h3 = 0;
+
+void mix(int a, int b)
+{
+    return a * 2 + b % 7;
+}
+
+void worker0()
+{
+    int i = 0;
+    int t = 0;
+    int u = 0;
+    while (i < 4)
+    {
+        t = t + h0;
+        t = h0;
+        i = i + 1;
+    }
+}
+
+void worker1()
+{
+    int i = 0;
+    int t = 0;
+    int u = 0;
+    while (i < 4)
+    {
+        t = mix(t, 7);
+        lock(&lk0);
+        g0 = t + 2;
+        unlock(&lk0);
+        i = i + 1;
+    }
+}
+
+void worker2()
+{
+    int i = 0;
+    int t = 0;
+    int u = 0;
+    while (i < 4)
+    {
+        lock(&lk0);
+        t = g0;
+        u = t * 2;
+        g0 = t + 2;
+        unlock(&lk0);
+        lock(&lk0);
+        t = g0;
+        u = mix(t, 2);
+        g0 = t + 1;
+        unlock(&lk0);
+        i = i + 1;
+    }
+}
+
+void worker3()
+{
+    int i = 0;
+    int t = 0;
+    int u = 0;
+    while (i < 4)
+    {
+        t = h3;
+        h3 = t + 1;
+        h3 = t + 4;
+        i = i + 1;
+    }
+}
+
+void main()
+{
+    spawn worker0();
+    spawn worker1();
+    spawn worker2();
+    spawn worker3();
+    join();
+    output(g0);
+    output(g1);
+    output(g2);
+}

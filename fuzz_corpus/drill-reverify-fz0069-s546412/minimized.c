@@ -1,0 +1,23 @@
+int g0 = 0;
+
+void worker0()
+{
+    int t = 0;
+    t = g0;
+}
+
+void worker1()
+{
+    int i = 0;
+    while (i < 1)
+    {
+        g0 = 2;
+        i = 1;
+    }
+}
+
+void main()
+{
+    spawn worker0();
+    spawn worker1();
+}

@@ -1,0 +1,52 @@
+int g0 = 0;
+int lk0 = 0;
+int h0 = 0;
+int h1 = 0;
+
+void mix(int a, int b)
+{
+    return a * 2 + b % 7;
+}
+
+void worker0()
+{
+    int i = 0;
+    int t = 0;
+    int u = 0;
+    while (i < 4)
+    {
+        t = g0;
+        t = t + g0;
+        g0 = t + 3;
+        i = i + 1;
+    }
+}
+
+void worker1()
+{
+    int i = 0;
+    int t = 0;
+    int u = 0;
+    while (i < 4)
+    {
+        t = g0;
+        u = t * 2;
+        g0 = t + 2;
+        lock(&lk0);
+        t = g0;
+        u = t * 2;
+        g0 = t + 2;
+        unlock(&lk0);
+        t = g0;
+        g0 = t + 2;
+        i = i + 1;
+    }
+}
+
+void main()
+{
+    spawn worker0();
+    spawn worker1();
+    join();
+    output(g0);
+}

@@ -1,0 +1,23 @@
+int g1 = 0;
+
+void worker0()
+{
+    int i = 0;
+    while (i < 3)
+    {
+        g1 = 4;
+        i = i + 1;
+    }
+}
+
+void worker1()
+{
+    int t = 0;
+    t = g1;
+}
+
+void main()
+{
+    spawn worker0();
+    spawn worker1();
+}

@@ -1,0 +1,76 @@
+int g0 = 0;
+int g1 = 0;
+int lk0 = 0;
+int lk1 = 0;
+int h0 = 0;
+int h1 = 0;
+int h2 = 0;
+
+void mix(int a, int b)
+{
+    return a * 2 + b % 7;
+}
+
+void worker0()
+{
+    int i = 0;
+    int t = 0;
+    int u = 0;
+    while (i < 3)
+    {
+        lock(&lk1);
+        g1 = t + 3;
+        unlock(&lk1);
+        t = mix(t, 5);
+        lock(&lk1);
+        g1 = t + 4;
+        unlock(&lk1);
+        i = i + 1;
+    }
+}
+
+void worker1()
+{
+    int i = 0;
+    int t = 0;
+    int u = 0;
+    while (i < 3)
+    {
+        lock(&lk1);
+        t = g1;
+        u = mix(t, 2);
+        g1 = t + 1;
+        unlock(&lk1);
+        t = t + 1;
+        t = mix(t, 5);
+        i = i + 1;
+    }
+}
+
+void worker2()
+{
+    int i = 0;
+    int t = 0;
+    int u = 0;
+    while (i < 3)
+    {
+        lock(&lk0);
+        t = g0;
+        unlock(&lk0);
+        lock(&lk0);
+        g0 = t + 2;
+        unlock(&lk0);
+        t = mix(t, 2);
+        i = i + 1;
+    }
+}
+
+void main()
+{
+    spawn worker0();
+    spawn worker1();
+    spawn worker2();
+    join();
+    output(g0);
+    output(g1);
+}

@@ -1,0 +1,23 @@
+int g0 = 0;
+
+void worker2()
+{
+    int i = 0;
+    int t = 0;
+    while (i < 1)
+    {
+        t = g0;
+        i = 1;
+    }
+}
+
+void worker3()
+{
+    atomic_add(&g0, 2);
+}
+
+void main()
+{
+    spawn worker2();
+    spawn worker3();
+}

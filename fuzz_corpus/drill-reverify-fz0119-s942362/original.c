@@ -1,0 +1,108 @@
+int g0 = 0;
+int lk0 = 0;
+int h0 = 0;
+int h1 = 0;
+int h2 = 0;
+int h3 = 0;
+
+void mix(int a, int b)
+{
+    return a * 2 + b % 7;
+}
+
+void worker0()
+{
+    int i = 0;
+    int t = 0;
+    int u = 0;
+    while (i < 3)
+    {
+        atomic_add(&g0, 2);
+        t = atomic_add(&g0, 1);
+        if (t % 3 == 1)
+        {
+            t = mix(t, 2);
+        }
+        if (t % 2 == 0)
+        {
+            lock(&lk0);
+            t = g0;
+            u = mix(t, 3);
+            g0 = t + 2;
+            unlock(&lk0);
+        }
+        i = i + 1;
+    }
+}
+
+void worker1()
+{
+    int i = 0;
+    int t = 0;
+    int u = 0;
+    while (i < 3)
+    {
+        lock(&lk0);
+        t = g0;
+        g0 = t + 2;
+        unlock(&lk0);
+        t = mix(t, 4);
+        t = mix(t, 4);
+        t = atomic_add(&g0, 1);
+        i = i + 1;
+    }
+}
+
+void worker2()
+{
+    int i = 0;
+    int t = 0;
+    int u = 0;
+    while (i < 3)
+    {
+        lock(&lk0);
+        t = g0;
+        u = mix(t, 2);
+        g0 = t + 2;
+        unlock(&lk0);
+        lock(&lk0);
+        g0 = t + 3;
+        unlock(&lk0);
+        lock(&lk0);
+        t = t + g0;
+        unlock(&lk0);
+        t = mix(t, 5);
+        i = i + 1;
+    }
+}
+
+void worker3()
+{
+    int i = 0;
+    int t = 0;
+    int u = 0;
+    while (i < 3)
+    {
+        t = mix(t, 6);
+        lock(&lk0);
+        t = t + g0;
+        unlock(&lk0);
+        lock(&lk0);
+        t = g0;
+        u = mix(t, 4);
+        g0 = t + 1;
+        unlock(&lk0);
+        atomic_add(&g0, 2);
+        i = i + 1;
+    }
+}
+
+void main()
+{
+    spawn worker0();
+    spawn worker1();
+    spawn worker2();
+    spawn worker3();
+    join();
+    output(g0);
+}

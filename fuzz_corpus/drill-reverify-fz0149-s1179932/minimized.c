@@ -1,0 +1,23 @@
+int g0 = 0;
+
+void worker2()
+{
+    int i = 0;
+    while (i < 1)
+    {
+        g0 = 1;
+        i = 1;
+    }
+}
+
+void worker3()
+{
+    int t = 0;
+    t = g0;
+}
+
+void main()
+{
+    spawn worker2();
+    spawn worker3();
+}

@@ -1,0 +1,94 @@
+int g0 = 0;
+int h0 = 0;
+int h1 = 0;
+int h2 = 0;
+int h3 = 0;
+
+void mix(int a, int b)
+{
+    return a * 2 + b % 7;
+}
+
+void worker0()
+{
+    int i = 0;
+    int t = 0;
+    int u = 0;
+    while (i < 2)
+    {
+        t = t + 4;
+        if (t % 2 == 0)
+        {
+            t = t + 4;
+        }
+        t = t + 6;
+        i = i + 1;
+    }
+}
+
+void worker1()
+{
+    int i = 0;
+    int t = 0;
+    int u = 0;
+    while (i < 2)
+    {
+        t = g0;
+        u = mix(t, 4);
+        g0 = t + 3;
+        if (t % 2 == 1)
+        {
+            g0 = t + 1;
+        }
+        if (t % 3 == 2)
+        {
+            t = g0;
+            g0 = t + 2;
+        }
+        i = i + 1;
+    }
+}
+
+void worker2()
+{
+    int i = 0;
+    int t = 0;
+    int u = 0;
+    while (i < 2)
+    {
+        t = t + 3;
+        if (t % 3 == 2)
+        {
+            t = g0;
+            g0 = t + 3;
+        }
+        t = g0;
+        yield();
+        g0 = t + 1;
+        i = i + 1;
+    }
+}
+
+void worker3()
+{
+    int i = 0;
+    int t = 0;
+    int u = 0;
+    while (i < 2)
+    {
+        g0 = t + 4;
+        t = mix(t, 1);
+        t = t + g0;
+        i = i + 1;
+    }
+}
+
+void main()
+{
+    spawn worker0();
+    spawn worker1();
+    spawn worker2();
+    spawn worker3();
+    join();
+    output(g0);
+}

@@ -1,0 +1,23 @@
+int g2 = 0;
+
+void worker0()
+{
+    int i = 0;
+    while (i < 1)
+    {
+        g2 = 2;
+        i = 1;
+    }
+}
+
+void worker1()
+{
+    int t = 0;
+    t = g2;
+}
+
+void main()
+{
+    spawn worker0();
+    spawn worker1();
+}

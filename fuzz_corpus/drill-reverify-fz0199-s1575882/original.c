@@ -1,0 +1,55 @@
+int g0 = 0;
+int g1 = 0;
+int g2 = 0;
+int h0 = 0;
+int h1 = 0;
+
+void mix(int a, int b)
+{
+    return a * 2 + b % 7;
+}
+
+void worker0()
+{
+    int i = 0;
+    int t = 0;
+    int u = 0;
+    while (i < 4)
+    {
+        if (t % 2 == 0)
+        {
+            t = g2;
+            yield();
+            g2 = t + 2;
+        }
+        t = g1;
+        u = t * 2;
+        g1 = t + 1;
+        i = i + 1;
+    }
+}
+
+void worker1()
+{
+    int i = 0;
+    int t = 0;
+    int u = 0;
+    while (i < 4)
+    {
+        t = g2;
+        g2 = t + 2;
+        t = g0;
+        g0 = t + 2;
+        i = i + 1;
+    }
+}
+
+void main()
+{
+    spawn worker0();
+    spawn worker1();
+    join();
+    output(g0);
+    output(g1);
+    output(g2);
+}

@@ -19,6 +19,11 @@ Commands::
     kivati fleet run              shard the app suite over worker processes
     kivati fleet train            federated whitelist training over shards
     kivati fleet bench            fleet throughput benchmark (BENCH_fleet.json)
+    kivati fuzz gen               emit one generated mini-C program
+    kivati fuzz run               fuzz campaign through the fleet
+    kivati fuzz minimize FILE     ddmin-shrink a diverging program
+    kivati fuzz fix FILE          synthesize + verify a fix for a violation
+    kivati fuzz bench             fuzz-campaign benchmark (BENCH_fuzz.json)
     kivati serve                  long-lived warm-worker detection daemon
     kivati service ping|stats|events|drain   operate a running daemon
     kivati service run FILE       submit one detection job to the daemon
@@ -26,7 +31,8 @@ Commands::
 
 Exit codes: 0 success; 1 invariant failure (chaos divergence, replay
 divergence, postmortem disagreement, fleet determinism/recovery failure);
-2 usage error; 3 violations found under ``--strict``.
+2 usage error; 3 violations found under ``--strict`` (for ``fuzz``:
+any archived divergence).
 """
 
 import argparse
@@ -484,6 +490,104 @@ def cmd_conflict_bench(args):
     return 1 if problems else 0
 
 
+def cmd_fuzz_gen(args):
+    import json
+
+    from repro.fuzz.generator import FuzzParams, generate_source
+
+    if args.params:
+        params = FuzzParams.from_dict(json.loads(args.params))
+    else:
+        from random import Random
+
+        params = FuzzParams.sampled(Random(args.seed))
+    source = generate_source(params, args.seed)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(source)
+        print("wrote %s (%s)" % (args.out, params.as_dict()))
+    else:
+        print(source, end="")
+    return 0
+
+
+def cmd_fuzz_run(args):
+    from repro.fuzz.campaign import CampaignSpec, run_campaign
+
+    spec = CampaignSpec(
+        n_programs=args.programs, base_seed=args.base_seed,
+        workers=args.workers, drill_every=args.drill_every,
+        corpus_dir=args.corpus, chaos=args.chaos,
+        minimize_tests=args.minimize_tests, fix=not args.no_fix)
+    result = run_campaign(spec, log=print)
+    print(result.describe())
+    if not result.ok:
+        return 1
+    if args.strict and result.archived:
+        return 3
+    return 0
+
+
+def cmd_fuzz_minimize(args):
+    from repro.fuzz.campaign import divergence_predicate, fuzz_config
+    from repro.fuzz.minimize import minimize
+    from repro.minic.parser import parse
+
+    threads = sum(1 for _ in parse(_read(args.file)).funcs) - 1
+    config = fuzz_config(max(threads, 1), max_steps=20_000)
+    kinds = args.kinds.split(",")
+    predicate = divergence_predicate(kinds, config, args.seed,
+                                     drill=args.drill)
+    try:
+        result = minimize(_read(args.file), predicate,
+                          max_tests=args.max_tests)
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+    print(result.describe(), file=sys.stderr)
+    print(result.source, end="")
+    return 0
+
+
+def cmd_fuzz_fix(args):
+    from repro.fuzz.campaign import fuzz_config
+    from repro.fuzz.fix import synthesize_fix
+    from repro.minic.parser import parse
+
+    threads = sum(1 for _ in parse(_read(args.file)).funcs) - 1
+    config = fuzz_config(max(threads, 1))
+    outcome = synthesize_fix(_read(args.file), config, args.seed)
+    print(outcome.describe(), file=sys.stderr)
+    if not outcome.verified:
+        return 1
+    print(outcome.fixed_source, end="")
+    return 0
+
+
+def cmd_fuzz_bench(args):
+    from repro.bench import fuzzbench
+
+    overrides = {}
+    if args.programs is not None:
+        overrides["n_programs"] = args.programs
+    if args.workers is not None:
+        overrides["workers"] = args.workers
+    payload = fuzzbench.generate(smoke=args.smoke, corpus_dir=args.corpus,
+                                 log=print, **overrides)
+    print(fuzzbench.render(payload))
+    problems = fuzzbench.validate(payload)
+    for problem in problems:
+        print("FUZZBENCH FAIL: " + problem)
+    if args.out:
+        fuzzbench.write_payload(payload, args.out)
+        print("wrote %s" % args.out)
+    if problems:
+        return 1
+    if args.strict and payload["campaign"]["archived"]:
+        return 3
+    return 0
+
+
 def cmd_serve(args):
     from repro.service import KivatiDaemon, ServicePolicy
 
@@ -774,6 +878,72 @@ def main(argv=None):
     cp.add_argument("--out", default=None, metavar="PATH",
                     help="write the artifact JSON to PATH")
     cp.set_defaults(fn=cmd_conflict_bench)
+
+    p = sub.add_parser("fuzz",
+                       help="generative workload fuzzing of the detector")
+    fuzz_sub = p.add_subparsers(dest="fuzz_cmd", required=True)
+
+    zp = fuzz_sub.add_parser("gen", help="emit one generated mini-C program")
+    zp.add_argument("--seed", type=int, default=0,
+                    help="generator seed (also samples params)")
+    zp.add_argument("--params", default=None, metavar="JSON",
+                    help="explicit FuzzParams as a JSON object")
+    zp.add_argument("--out", default=None, metavar="PATH")
+    zp.set_defaults(fn=cmd_fuzz_gen)
+
+    zp = fuzz_sub.add_parser(
+        "run", help="run a fuzz campaign through the fleet")
+    zp.add_argument("--programs", type=int, default=50)
+    zp.add_argument("--base-seed", type=int, default=0)
+    zp.add_argument("--workers", type=int, default=0,
+                    help="fleet worker processes (0 = inline)")
+    zp.add_argument("--drill-every", type=int, default=10,
+                    help="journal-loss drill on every k-th program "
+                         "(0 disables)")
+    zp.add_argument("--corpus", default=None, metavar="DIR",
+                    help="archive divergences into DIR")
+    zp.add_argument("--chaos", default=None, metavar="SCHEDULE",
+                    help="run under a builtin chaos schedule")
+    zp.add_argument("--minimize-tests", type=int, default=250)
+    zp.add_argument("--no-fix", action="store_true",
+                    help="skip the fix-synthesis stage")
+    zp.add_argument("--strict", action="store_true",
+                    help="exit 3 when any divergence was archived")
+    zp.set_defaults(fn=cmd_fuzz_run)
+
+    zp = fuzz_sub.add_parser(
+        "minimize", help="ddmin-shrink a diverging program")
+    zp.add_argument("file", help="mini-C program exhibiting a divergence")
+    zp.add_argument("--seed", type=int, required=True,
+                    help="run seed the divergence was seen under")
+    zp.add_argument("--kinds", default="reverify",
+                    help="comma-separated divergence kinds to preserve")
+    zp.add_argument("--drill", default=None,
+                    help="journal-loss drill (e.g. drop-trigger)")
+    zp.add_argument("--max-tests", type=int, default=400)
+    zp.set_defaults(fn=cmd_fuzz_minimize)
+
+    zp = fuzz_sub.add_parser(
+        "fix", help="synthesize + replay-verify a fix for a violation")
+    zp.add_argument("file", help="mini-C program with a confirmed violation")
+    zp.add_argument("--seed", type=int, default=0)
+    zp.set_defaults(fn=cmd_fuzz_fix)
+
+    zp = fuzz_sub.add_parser(
+        "bench", help="fuzz-campaign benchmark (BENCH_fuzz.json)")
+    zp.add_argument("--smoke", action="store_true",
+                    help="CI-sized campaign (10 programs, inline)")
+    zp.add_argument("--programs", type=int, default=None,
+                    help="override the campaign size")
+    zp.add_argument("--workers", type=int, default=None,
+                    help="override the fleet worker count")
+    zp.add_argument("--corpus", default=None, metavar="DIR",
+                    help="archive divergences into DIR")
+    zp.add_argument("--strict", action="store_true",
+                    help="exit 3 when any divergence was archived")
+    zp.add_argument("--out", default=None, metavar="PATH",
+                    help="write the artifact JSON to PATH")
+    zp.set_defaults(fn=cmd_fuzz_bench)
 
     p = sub.add_parser("serve",
                        help="long-lived warm-worker detection daemon")

@@ -83,7 +83,10 @@ class ProtectedProgram:
             func_footprints=self.annotation.func_footprints,
             blocking_ar_ids=frozenset(
                 ar_id for ar_id, v in self.annotation.prune.verdicts.items()
-                if v.blocking))
+                if v.blocking),
+            coarse_vars=frozenset(
+                name for name, size in
+                self.annotation.pinfo.global_sizes.items() if size > 1))
         machine = Machine(
             self.program,
             num_cores=config.num_cores,

@@ -18,6 +18,10 @@ Job kinds:
 - ``suite``   one application's full (opt level x mode) measurement
               pass for ``run_suite --jobs``; payload carries pickled
               report objects and is intentionally not JSON/digestable
+- ``fuzz``    one generated program through the fuzz oracle: online
+              detector vs journal reverify vs conflict-sched
+              transparency vs pinned replay; payload =
+              CrossCheck.as_payload() plus program identity
 """
 
 import hashlib
@@ -26,7 +30,7 @@ import json
 from repro.errors import ConfigError
 from repro.journal.snapshot import config_snapshot
 
-JOB_KINDS = ("run", "train", "detect", "suite")
+JOB_KINDS = ("run", "train", "detect", "suite", "fuzz")
 
 
 def canonical_json(obj):

@@ -457,11 +457,12 @@ class FleetSupervisor:
         return result
 
     def _maybe_verify(self, result, spec, stats, backlog):
-        """Replay-verify a completed run job's journal, unless the
-        pending backlog sits above the shed watermark — monitoring is
-        shed before jobs, reusing the pressure plane's ordering."""
+        """Replay-verify a completed run or fuzz job's journal, unless
+        the pending backlog sits above the shed watermark — monitoring
+        is shed before jobs, reusing the pressure plane's ordering."""
         if (not self.policy.verify or not result.ok
-                or result.journal_path is None or spec.kind != "run"):
+                or result.journal_path is None
+                or spec.kind not in ("run", "fuzz")):
             return
         if backlog >= self.policy.shed_depth:
             result.verify_shed = True

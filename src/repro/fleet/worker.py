@@ -225,11 +225,45 @@ def _execute_suite(spec, config, journal_dir):
     return {"workload": name, "vanilla": vanilla, "reports": reports}, None
 
 
+def _execute_fuzz(spec, config, journal_dir):
+    """One generated program through the full fuzz oracle.
+
+    The detection run records to the job's on-disk journal (so the
+    supervisor can replay-verify it and a diverging case can archive
+    the schedule); the reverify / report / replay / conflict cross-checks
+    run in-worker on the in-memory event stream.
+    """
+    global _ACTIVE_WRITER
+
+    from repro.fuzz.oracle import cross_check
+
+    program = cached_program(spec.source)
+    journal_path = None
+    writer = None
+    if journal_dir is not None:
+        journal_path = job_journal_path(journal_dir, spec.job_id)
+        writer = JournalWriter(journal_path)
+    recorder = JournalRecorder(writer=writer)
+    _ACTIVE_WRITER = writer
+    try:
+        report = program.run(config.copy(journal=recorder))
+    finally:
+        _ACTIVE_WRITER = None
+    check = cross_check(program, config, spec.seed,
+                        drill=spec.params.get("drill"),
+                        recorder=recorder, report=report)
+    payload = check.as_payload()
+    payload["program_id"] = spec.params.get("program_id")
+    payload["gen_seed"] = spec.params.get("gen_seed")
+    return payload, journal_path
+
+
 _EXECUTORS = {
     "run": _execute_run,
     "train": _execute_train,
     "detect": _execute_detect,
     "suite": _execute_suite,
+    "fuzz": _execute_fuzz,
 }
 
 

@@ -1,0 +1,118 @@
+"""Atomic corpus of minimized fuzz repros.
+
+Each archived case is a directory holding everything needed to replay
+the divergence on another machine:
+
+- ``meta.json``      generator seed + params, run seed, divergence
+                     kinds, verdict multisets, minimization stats
+- ``original.c``     the generated program as the campaign ran it
+- ``minimized.c``    the ddmin result (what a human should read first)
+- ``run.journal``    the recorded journal — which *is* the schedule:
+                     replaying it pins every scheduler decision
+
+Writes are atomic the same way whitelist writes are (temp + rename):
+the case is staged under ``.tmp.<name>.<pid>`` inside the corpus
+directory and published with one ``os.replace``.  A crash mid-archive
+leaves only a ``.tmp.*`` directory, never a half-written case;
+:func:`salvage_corpus` sweeps those up and reports them, so a campaign
+restarted over a torn corpus starts clean and says so.
+"""
+
+import json
+import os
+import shutil
+
+from repro.journal.format import JournalWriter
+
+#: staging prefix; anything under it is torn state, never a case
+TMP_PREFIX = ".tmp."
+
+#: files every complete case carries
+CASE_FILES = ("meta.json", "original.c", "minimized.c", "run.journal")
+
+
+class ArchivedCase:
+    __slots__ = ("name", "path", "meta")
+
+    def __init__(self, name, path, meta):
+        self.name = name
+        self.path = path
+        self.meta = meta
+
+    def __repr__(self):
+        return "ArchivedCase(%r)" % self.name
+
+
+def case_name(kind, program_id, run_seed):
+    return "%s-%s-s%d" % (kind, program_id, run_seed)
+
+
+def archive_case(corpus_dir, name, meta, original_source, minimized_source,
+                 events):
+    """Atomically publish one case; returns its final path.
+
+    ``events`` is the recorded journal event list; it is re-framed
+    through the ordinary JournalWriter so the archived file is a real
+    journal (CRC frames and all), loadable by ``kivati replay``.
+    """
+    os.makedirs(corpus_dir, exist_ok=True)
+    final = os.path.join(corpus_dir, name)
+    staging = os.path.join(corpus_dir, "%s%s.%d" % (TMP_PREFIX, name,
+                                                    os.getpid()))
+    if os.path.isdir(staging):
+        shutil.rmtree(staging)
+    os.makedirs(staging)
+    try:
+        with open(os.path.join(staging, "original.c"), "w") as f:
+            f.write(original_source)
+        with open(os.path.join(staging, "minimized.c"), "w") as f:
+            f.write(minimized_source)
+        writer = JournalWriter(os.path.join(staging, "run.journal"))
+        for event in events:
+            writer.append(event)
+        writer.close()
+        with open(os.path.join(staging, "meta.json"), "w") as f:
+            json.dump(meta, f, indent=2, sort_keys=True)
+            f.write("\n")
+        if os.path.isdir(final):
+            shutil.rmtree(final)
+        os.replace(staging, final)
+    finally:
+        if os.path.isdir(staging):
+            shutil.rmtree(staging)
+    return final
+
+
+def salvage_corpus(corpus_dir):
+    """Remove torn staging directories; returns the names removed."""
+    if not os.path.isdir(corpus_dir):
+        return []
+    torn = []
+    for entry in sorted(os.listdir(corpus_dir)):
+        if entry.startswith(TMP_PREFIX):
+            shutil.rmtree(os.path.join(corpus_dir, entry),
+                          ignore_errors=True)
+            torn.append(entry)
+    return torn
+
+
+def load_corpus(corpus_dir):
+    """Enumerate complete cases (sorted by name); skips torn state."""
+    if not os.path.isdir(corpus_dir):
+        return []
+    cases = []
+    for entry in sorted(os.listdir(corpus_dir)):
+        if entry.startswith(TMP_PREFIX):
+            continue
+        path = os.path.join(corpus_dir, entry)
+        meta_path = os.path.join(path, "meta.json")
+        if not os.path.isfile(meta_path):
+            continue
+        with open(meta_path) as f:
+            meta = json.load(f)
+        cases.append(ArchivedCase(entry, path, meta))
+    return cases
+
+
+__all__ = ["ArchivedCase", "CASE_FILES", "TMP_PREFIX", "archive_case",
+           "case_name", "load_corpus", "salvage_corpus"]

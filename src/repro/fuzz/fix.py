@@ -1,0 +1,267 @@
+"""Auto-fix synthesizer for confirmed atomicity violations.
+
+Per VeriFix and Joshi & Lal, a confirmed violation is answered with a
+*source* fix, then the fix is proven against the exact interleaving
+that exposed the bug:
+
+Strategies (tried in order, first verified one wins):
+
+1. ``guard-complete`` — the GUARDED_BY inference already knows a lock
+   that guards *some* of the victim's access sites; complete the
+   discipline by wrapping the unguarded spans with the same lock.
+2. ``lock-span`` — introduce a fresh lock and wrap, in every function
+   whose static footprint touches a victim variable, the minimal span
+   of top-level statements covering all victim accesses (the local
+   read/modify/write pair becomes one critical section; every remote
+   site becomes another).
+3. ``widen-body`` — same fresh lock, but the critical section is
+   widened to the whole function body (the AR-boundary-widening
+   analog: coarse, always well-nested, and acquired before any
+   pre-existing lock so the lock order stays acyclic).
+
+Placement comes from the static analyses, not from the trace: the
+function set is chosen by footprint intersection
+(``annotation.func_footprints``) and the guard lock by the GUARDED_BY
+report — the dynamic journal only *votes* on whether the patch worked.
+
+Verification is two-fold, and both legs must pass:
+
+- **pinned replay**: the violating run's journal is replayed against
+  the *patched* program (``check_source=False``; the schedule pin
+  follows the recorded decisions wherever the patched code still
+  offers them, and records divergences instead of hanging).  The
+  violating interleaving must no longer produce any verdict on a
+  victim variable, and must not deadlock.
+- **seed sweep**: the patched program runs under a fan of fresh seeds;
+  no victim verdict and no deadlock anywhere.
+"""
+
+from repro.core.session import ProtectedProgram
+from repro.journal.replay import record_run, replay_run
+from repro.minic import ast
+from repro.minic.parser import parse
+from repro.minic.pretty import pretty
+from repro.minic.typecheck import TypeError_, check
+
+#: name of the lock the synthesizer introduces (fresh by construction:
+#: the generator never emits identifiers with this prefix)
+FIX_LOCK = "fixlk"
+
+#: seeds swept during verification, relative to the violating seed
+SWEEP_SEEDS = 6
+
+#: the GUARDED_BY verdict string (kept local to avoid a lint import)
+_GUARDED_BY = "guarded-by"
+
+
+def _touches(stmt, victims):
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Var) and node.name in victims:
+            return True
+    return False
+
+
+def _locks_in(stmt, lock_name):
+    for node in ast.walk(stmt):
+        if (isinstance(node, ast.Call) and node.name in ("lock", "unlock")
+                and node.args and isinstance(node.args[0], ast.AddrOf)
+                and isinstance(node.args[0].operand, ast.Var)
+                and node.args[0].operand.name == lock_name):
+            return True
+    return False
+
+
+def _lock_call(name, lock_name):
+    return ast.ExprStmt(ast.Call(name, [ast.AddrOf(ast.Var(lock_name))]))
+
+
+def _has_return(func):
+    return any(isinstance(node, ast.Return) for node in ast.walk(func.body))
+
+
+def _wrap_span(func, victims, lock_name, whole_body):
+    """Wrap victim accesses in ``func`` with lock/unlock; returns True
+    when a span was wrapped.  Spans cover top-level statements of the
+    function body, so pre-existing locks stay strictly inside the new
+    critical section (acyclic lock order by construction)."""
+    stmts = func.body.stmts
+    touched = [i for i, s in enumerate(stmts) if _touches(s, victims)]
+    if not touched:
+        return False
+    if whole_body:
+        first, last = 0, len(stmts) - 1
+    else:
+        first, last = touched[0], touched[-1]
+    span = stmts[first:last + 1]
+    if any(_locks_in(s, lock_name) for s in span):
+        # wrapping would re-acquire a lock the span already takes —
+        # a guaranteed self-deadlock; let verification pick another
+        # strategy instead of emitting a known-broken patch
+        return False
+    func.body.stmts = (stmts[:first]
+                       + [_lock_call("lock", lock_name)]
+                       + span
+                       + [_lock_call("unlock", lock_name)]
+                       + stmts[last + 1:])
+    return True
+
+
+def _guard_locks(annotation, victims):
+    """Common GUARDED_BY lock per victim, when the inference found one."""
+    locks = set()
+    guards = annotation.guards
+    if guards is None:
+        return locks
+    for var in victims:
+        vg = guards.globals_.get(var)
+        if vg is not None and vg.verdict == _GUARDED_BY and vg.locks:
+            locks.update(vg.locks)
+    return locks
+
+
+def _base(name):
+    return name.split("[", 1)[0]
+
+
+def _target_functions(annotation, victims):
+    """Functions whose static footprint may touch a victim variable."""
+    names = []
+    for fname in sorted(annotation.func_footprints):
+        fp = annotation.func_footprints[fname]
+        if fp.wild or {_base(n) for n in fp.touched()} & victims:
+            names.append(fname)
+    return names
+
+
+def _apply_strategy(source, annotation, victims, strategy):
+    """Produce patched source for one strategy, or None when it does
+    not apply (no guard lock known, nothing to wrap, bad typecheck)."""
+    program = parse(source)
+    if strategy == "guard-complete":
+        locks = _guard_locks(annotation, victims)
+        if len(locks) != 1:
+            return None
+        lock_name = sorted(locks)[0]
+        declare = False
+    else:
+        lock_name = FIX_LOCK
+        declare = True
+    whole_body = strategy == "widen-body"
+    targets = set(_target_functions(annotation, victims))
+    wrapped = 0
+    for func in program.funcs:
+        if func.name not in targets:
+            continue
+        if whole_body and _has_return(func):
+            continue  # unlock-before-return rewriting is not worth it
+        if _wrap_span(func, victims, lock_name, whole_body):
+            wrapped += 1
+    if wrapped < 2:
+        # a race needs two sides; wrapping fewer cannot have fixed it
+        return None
+    if declare:
+        program.globals.append(ast.GlobalVar(lock_name, init=0))
+    text = pretty(program)
+    try:
+        check(parse(text))
+    except TypeError_:
+        return None
+    return text
+
+
+def _victim_verdicts(report, victims):
+    return [r for r in report.violations if r.var in victims]
+
+
+class FixOutcome:
+    """One program's trip through the synthesizer."""
+
+    __slots__ = ("victims", "strategy", "fixed_source", "verified",
+                 "attempts", "replay_ok", "sweep_ok", "detail")
+
+    def __init__(self, victims, strategy=None, fixed_source=None,
+                 verified=False, attempts=(), replay_ok=False,
+                 sweep_ok=False, detail=""):
+        self.victims = sorted(victims)
+        self.strategy = strategy
+        self.fixed_source = fixed_source
+        self.verified = verified
+        self.attempts = list(attempts)
+        self.replay_ok = replay_ok
+        self.sweep_ok = sweep_ok
+        self.detail = detail
+
+    def as_payload(self):
+        return {
+            "victims": self.victims,
+            "strategy": self.strategy,
+            "verified": self.verified,
+            "attempts": self.attempts,
+            "replay_ok": self.replay_ok,
+            "sweep_ok": self.sweep_ok,
+            "detail": self.detail,
+        }
+
+    def describe(self):
+        if self.verified:
+            return ("fix verified (%s) for %s"
+                    % (self.strategy, ", ".join(self.victims)))
+        return "no verified fix for %s (%s)" % (", ".join(self.victims),
+                                                self.detail or "all "
+                                                "strategies failed")
+
+
+def _verify_fix(fixed_source, recorder, config, seed, victims):
+    """Both verification legs; returns (replay_ok, sweep_ok)."""
+    patched = ProtectedProgram(fixed_source)
+    replay = replay_run(patched, recorder, check_source=False)
+    replay_ok = (not _victim_verdicts(replay.report, victims)
+                 and not replay.report.result.deadlocked)
+    if not replay_ok:
+        return False, False
+    for k in range(SWEEP_SEEDS):
+        report = patched.run(config, seed=seed + 1 + k * 7919)
+        if (_victim_verdicts(report, victims)
+                or report.result.deadlocked):
+            return True, False
+    return True, True
+
+
+def synthesize_fix(source, config, seed, recorder=None, report=None,
+                   victims=None):
+    """Propose and verify a fix for the violation ``(source, seed)``
+    exhibits under ``config``; returns a FixOutcome.
+
+    ``recorder``/``report`` may carry an already-recorded violating run
+    (the campaign has one); otherwise the run is re-recorded — which,
+    by the determinism contract, reproduces the identical journal.
+    """
+    program = ProtectedProgram(source)
+    if recorder is None or report is None:
+        report, recorder = record_run(program, config, seed=seed)
+    if victims is None:
+        victims = {r.var for r in report.violations}
+    victims = {_base(str(v)) for v in victims}
+    if not victims:
+        return FixOutcome(victims, detail="no violation to fix")
+    attempts = []
+    for strategy in ("guard-complete", "lock-span", "widen-body"):
+        fixed = _apply_strategy(source, program.annotation, victims,
+                                strategy)
+        if fixed is None:
+            attempts.append({"strategy": strategy, "applied": False})
+            continue
+        replay_ok, sweep_ok = _verify_fix(fixed, recorder, config, seed,
+                                          victims)
+        attempts.append({"strategy": strategy, "applied": True,
+                         "replay_ok": replay_ok, "sweep_ok": sweep_ok})
+        if replay_ok and sweep_ok:
+            return FixOutcome(victims, strategy=strategy,
+                              fixed_source=fixed, verified=True,
+                              attempts=attempts, replay_ok=True,
+                              sweep_ok=True)
+    return FixOutcome(victims, attempts=attempts,
+                      detail="no strategy verified")
+
+
+__all__ = ["FIX_LOCK", "FixOutcome", "SWEEP_SEEDS", "synthesize_fix"]

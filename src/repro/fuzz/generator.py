@@ -1,0 +1,315 @@
+"""Deterministic, seed-driven mini-C program generator.
+
+The generator builds :mod:`repro.minic.ast` nodes directly (never text
+templates), renders them through the canonical pretty-printer, and
+asserts the result typechecks — so every emitted program is valid *by
+construction*: all names declared before use, every call at the right
+arity, no ``break``/``continue`` outside loops, a ``main`` with no
+parameters.
+
+Termination is also by construction: the only loops are counted
+(``while (i < N)`` over a local initialized to 0 and incremented as the
+last statement of the body), critical sections use exactly one lock and
+are never nested, and ``sleep`` durations are small literals.  Any
+generated program therefore terminates under *every* schedule — a
+deadlock or max-step abort during a campaign is a finding, not noise.
+
+Determinism contract: ``generate_source(params, seed)`` is a pure
+function of its arguments.  All randomness flows from one
+``random.Random(seed)`` (hash-seed independent), iteration is over
+lists only, and the AST is rendered with the canonical printer — so the
+same (params, seed) pair yields byte-identical source in any process,
+under any ``PYTHONHASHSEED``.
+"""
+
+from random import Random
+
+from repro.minic import ast
+from repro.minic.parser import parse
+from repro.minic.pretty import pretty
+from repro.minic.typecheck import check
+
+#: lock disciplines the generator knows how to emit
+DISCIPLINES = ("none", "clean", "mixed")
+
+
+class FuzzParams:
+    """Knobs for one generated program (pmsim's factories idiom).
+
+    ``threads``         worker threads spawned by main
+    ``shared_vars``     size of the hot global pool all workers draw from
+    ``read_set``        shared variables each worker may read
+    ``write_set``       shared variables each worker may update
+    ``sharing_rate``    probability a read/write-set slot draws from the
+                        hot pool instead of the worker's private word
+    ``lock_discipline`` "none" (never lock), "clean" (every shared
+                        access under that variable's lock) or "mixed"
+                        (each update locked with probability 1/2 — the
+                        inconsistent discipline real bugs exhibit)
+    ``sync_fraction``   probability a shared update is an ``atomic_add``
+                        (a syncvar access) rather than a read/modify/write
+    ``ops_per_thread``  operations in each worker's loop body
+    ``iters``           loop iterations per worker
+    ``pad_rate``        probability of padding between a racy pair's read
+                        and write (widens the atomic window)
+    ``cond_rate``       probability an operation is guarded by a
+                        data-dependent ``if``
+    """
+
+    __slots__ = ("threads", "shared_vars", "read_set", "write_set",
+                 "sharing_rate", "lock_discipline", "sync_fraction",
+                 "ops_per_thread", "iters", "pad_rate", "cond_rate")
+
+    def __init__(self, threads=3, shared_vars=2, read_set=2, write_set=1,
+                 sharing_rate=0.8, lock_discipline="none", sync_fraction=0.0,
+                 ops_per_thread=3, iters=3, pad_rate=0.6, cond_rate=0.15):
+        if lock_discipline not in DISCIPLINES:
+            raise ValueError("unknown lock discipline %r" % (lock_discipline,))
+        self.threads = int(threads)
+        self.shared_vars = int(shared_vars)
+        self.read_set = int(read_set)
+        self.write_set = int(write_set)
+        self.sharing_rate = float(sharing_rate)
+        self.lock_discipline = lock_discipline
+        self.sync_fraction = float(sync_fraction)
+        self.ops_per_thread = int(ops_per_thread)
+        self.iters = int(iters)
+        self.pad_rate = float(pad_rate)
+        self.cond_rate = float(cond_rate)
+
+    def as_dict(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**data)
+
+    @classmethod
+    def sampled(cls, rng):
+        """Draw one parameter point (used to vary shape across a
+        campaign); ``rng`` is a ``random.Random``."""
+        return cls(
+            threads=rng.randint(2, 4),
+            shared_vars=rng.randint(1, 3),
+            read_set=rng.randint(1, 2),
+            write_set=rng.randint(1, 2),
+            sharing_rate=rng.choice((0.5, 0.8, 1.0)),
+            lock_discipline=rng.choice(DISCIPLINES),
+            sync_fraction=rng.choice((0.0, 0.0, 0.25, 0.5)),
+            ops_per_thread=rng.randint(2, 4),
+            iters=rng.randint(2, 4),
+            pad_rate=rng.choice((0.3, 0.6, 0.9)),
+            cond_rate=rng.choice((0.0, 0.15, 0.3)),
+        )
+
+    def __repr__(self):
+        inner = ", ".join("%s=%r" % (k, getattr(self, k))
+                          for k in self.__slots__)
+        return "FuzzParams(%s)" % inner
+
+
+def _call(name, *args):
+    return ast.ExprStmt(ast.Call(name, list(args)))
+
+
+def _lk(index):
+    return "lk%d" % index
+
+
+class ProgramGenerator:
+    """Builds one program AST from (params, seed)."""
+
+    def __init__(self, params, seed):
+        self.params = params
+        self.seed = int(seed)
+        self.rng = Random(self.seed)
+        # hot pool indices; workers draw (var, lock) pairs from here
+        self.hot = list(range(params.shared_vars))
+
+    # -- variable selection -------------------------------------------
+
+    def _pick_set(self, size, private):
+        """A worker's read or write set: hot-pool names plus, below the
+        sharing rate, the worker's private word."""
+        chosen = []
+        for _ in range(max(1, size)):
+            if self.rng.random() < self.params.sharing_rate:
+                chosen.append("g%d" % self.rng.choice(self.hot))
+            else:
+                chosen.append(private)
+        return chosen
+
+    # -- statement builders -------------------------------------------
+
+    def _pad_stmts(self):
+        """Window-widening filler between a racy read and its write."""
+        pads = []
+        roll = self.rng.random()
+        if roll < 0.4:
+            pads.append(ast.Assign(ast.Var("u"),
+                                   ast.Binary("*", ast.Var("t"),
+                                              ast.IntLit(2))))
+        elif roll < 0.7:
+            pads.append(ast.Assign(
+                ast.Var("u"),
+                ast.Call("mix", [ast.Var("t"),
+                                 ast.IntLit(self.rng.randint(1, 5))])))
+        elif roll < 0.9:
+            pads.append(_call("yield"))
+        else:
+            pads.append(_call("sleep", ast.IntLit(self.rng.randint(1, 3) * 10)))
+        return pads
+
+    def _locked(self, var, stmts, forced=None):
+        """Wrap ``stmts`` per the lock discipline.  ``var`` names the
+        shared word being touched; private words are never locked."""
+        discipline = self.params.lock_discipline
+        if not var.startswith("g") or discipline == "none":
+            return stmts
+        if forced is None:
+            forced = discipline == "clean" or self.rng.random() < 0.5
+        if not forced:
+            return stmts
+        index = int(var[1:])
+        return ([_call("lock", ast.AddrOf(ast.Var(_lk(index))))]
+                + stmts
+                + [_call("unlock", ast.AddrOf(ast.Var(_lk(index))))])
+
+    def _read_op(self, var):
+        if self.rng.random() < 0.5:
+            body = [ast.Assign(ast.Var("t"), ast.Var(var))]
+        else:
+            body = [ast.Assign(ast.Var("t"),
+                               ast.Binary("+", ast.Var("t"), ast.Var(var)))]
+        return self._locked(var, body)
+
+    def _write_op(self, var):
+        value = ast.Binary("+", ast.Var("t"),
+                           ast.IntLit(self.rng.randint(1, 4)))
+        return self._locked(var, [ast.Assign(ast.Var(var), value)])
+
+    def _rmw_op(self, var):
+        """The atomicity-violation seed: a read/modify/write pair whose
+        window may be padded wide open."""
+        stmts = [ast.Assign(ast.Var("t"), ast.Var(var))]
+        if self.rng.random() < self.params.pad_rate:
+            stmts.extend(self._pad_stmts())
+        stmts.append(ast.Assign(
+            ast.Var(var),
+            ast.Binary("+", ast.Var("t"),
+                       ast.IntLit(self.rng.randint(1, 3)))))
+        return self._locked(var, stmts)
+
+    def _sync_op(self, var):
+        """Syncvar traffic: whitelisted by the fourth optimization."""
+        add = ast.Call("atomic_add", [ast.AddrOf(ast.Var(var)),
+                                      ast.IntLit(self.rng.randint(1, 2))])
+        if self.rng.random() < 0.3:
+            return [ast.Assign(ast.Var("t"), add)]
+        return [ast.ExprStmt(add)]
+
+    def _local_op(self):
+        roll = self.rng.random()
+        if roll < 0.5:
+            return [ast.Assign(
+                ast.Var("t"),
+                ast.Binary("+", ast.Var("t"),
+                           ast.IntLit(self.rng.randint(1, 9))))]
+        return [ast.Assign(
+            ast.Var("t"),
+            ast.Call("mix", [ast.Var("t"),
+                             ast.IntLit(self.rng.randint(1, 9))]))]
+
+    def _one_op(self, reads, writes):
+        roll = self.rng.random()
+        if roll < 0.25:
+            stmts = self._local_op()
+        elif roll < 0.5:
+            stmts = self._read_op(self.rng.choice(reads))
+        else:
+            var = self.rng.choice(writes)
+            if (var.startswith("g")
+                    and self.rng.random() < self.params.sync_fraction):
+                stmts = self._sync_op(var)
+            elif roll < 0.7:
+                stmts = self._write_op(var)
+            else:
+                stmts = self._rmw_op(var)
+        if self.rng.random() < self.params.cond_rate:
+            modulus = self.rng.randint(2, 3)
+            cond = ast.Binary("==",
+                              ast.Binary("%", ast.Var("t"),
+                                         ast.IntLit(modulus)),
+                              ast.IntLit(self.rng.randint(0, modulus - 1)))
+            return [ast.If(cond, ast.Block(stmts))]
+        return stmts
+
+    # -- functions -----------------------------------------------------
+
+    def _worker(self, index):
+        private = "h%d" % index
+        reads = self._pick_set(self.params.read_set, private)
+        writes = self._pick_set(self.params.write_set, private)
+        ops = []
+        for _ in range(max(1, self.params.ops_per_thread)):
+            ops.extend(self._one_op(reads, writes))
+        body = [
+            ast.Decl("i", init=ast.IntLit(0)),
+            ast.Decl("t", init=ast.IntLit(0)),
+            ast.Decl("u", init=ast.IntLit(0)),
+            ast.While(ast.Binary("<", ast.Var("i"),
+                                 ast.IntLit(max(1, self.params.iters))),
+                      ast.Block(ops + [ast.Assign(
+                          ast.Var("i"),
+                          ast.Binary("+", ast.Var("i"), ast.IntLit(1)))])),
+        ]
+        return ast.FuncDef("worker%d" % index, [], ast.Block(body))
+
+    def _mix_helper(self):
+        # pure arithmetic on parameters: never touches shared state, so
+        # the fix synthesizer and the footprint analysis can ignore it
+        body = ast.Block([
+            ast.Return(ast.Binary("+",
+                                  ast.Binary("*", ast.Var("a"),
+                                             ast.IntLit(2)),
+                                  ast.Binary("%", ast.Var("b"),
+                                             ast.IntLit(7)))),
+        ])
+        return ast.FuncDef("mix", [("a", False), ("b", False)], body)
+
+    def _main(self, n_workers):
+        stmts = [ast.Spawn("worker%d" % k, []) for k in range(n_workers)]
+        stmts.append(_call("join"))
+        for index in self.hot:
+            stmts.append(_call("output", ast.Var("g%d" % index)))
+        return ast.FuncDef("main", [], ast.Block(stmts))
+
+    # -- entry points --------------------------------------------------
+
+    def build(self):
+        params = self.params
+        globals_ = [ast.GlobalVar("g%d" % i, init=0) for i in self.hot]
+        if params.lock_discipline != "none":
+            globals_.extend(ast.GlobalVar(_lk(i), init=0) for i in self.hot)
+        globals_.extend(ast.GlobalVar("h%d" % k, init=0)
+                        for k in range(params.threads))
+        funcs = [self._mix_helper()]
+        funcs.extend(self._worker(k) for k in range(params.threads))
+        funcs.append(self._main(params.threads))
+        return ast.Program(globals_, funcs)
+
+    def source(self):
+        text = pretty(self.build())
+        # the by-construction claim, enforced: a generator bug must
+        # surface here, not as noise inside a campaign
+        check(parse(text))
+        return text
+
+
+def generate_source(params, seed):
+    """Pure function (params, seed) -> canonical mini-C source text."""
+    return ProgramGenerator(params, seed).source()
+
+
+__all__ = ["DISCIPLINES", "FuzzParams", "ProgramGenerator",
+           "generate_source"]

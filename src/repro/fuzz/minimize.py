@@ -1,0 +1,510 @@
+"""Delta-debugging minimizer for diverging fuzz programs.
+
+Classic ddmin (Zeller & Hildebrandt) over the program's *statements* —
+which subsumes thread reduction, since a ``spawn`` is just a statement
+in ``main`` — followed by cleanup passes that drop now-unreferenced
+functions and globals and shrink loop bounds.  Every candidate is
+re-rendered through the canonical pretty-printer, re-typechecked, and
+re-confirmed by the caller's predicate before it replaces the current
+best, so the result is always a valid mini-C program that still
+exhibits the original divergence.
+
+The predicate receives canonical source text and decides "still
+interesting?" — typically by re-running the oracle with the original
+seed and checking the same divergence kind persists.  Reductions that
+make the divergence vanish (including for scheduling reasons) are
+simply rejected; the algorithm never assumes monotonicity.
+"""
+
+from repro.minic import ast
+from repro.minic.parser import parse
+from repro.minic.pretty import pretty
+from repro.minic.typecheck import TypeError_, check
+
+
+def canonical(source):
+    """Round-trip through the pretty-printer (stable statement ids)."""
+    return pretty(parse(source))
+
+
+# -- statement addressing ---------------------------------------------------
+
+def _child_blocks(stmt):
+    blocks = []
+    if isinstance(stmt, ast.Block):
+        blocks.append(stmt)
+    elif isinstance(stmt, ast.If):
+        for child in (stmt.then, stmt.els):
+            if child is not None:
+                blocks.append(child if isinstance(child, ast.Block)
+                              else ast.Block([child]))
+    elif isinstance(stmt, ast.While):
+        blocks.append(stmt.body if isinstance(stmt.body, ast.Block)
+                      else ast.Block([stmt.body]))
+    return blocks
+
+
+def _prune_block(block, counter, drop):
+    """Rewrite ``block`` keeping statements whose id is not in ``drop``.
+
+    Ids are assigned in pre-order and *always* consumed — descent happens
+    even into dropped statements — so the numbering is identical no
+    matter which subset is dropped.
+    """
+    kept = []
+    for stmt in block.stmts:
+        index = counter[0]
+        counter[0] += 1
+        for child in _child_blocks(stmt):
+            _prune_block(child, counter, drop)
+        if isinstance(stmt, ast.If):
+            # normalize branches to Blocks so child pruning sticks
+            if stmt.then is not None and not isinstance(stmt.then, ast.Block):
+                stmt.then = ast.Block([stmt.then])
+            if stmt.els is not None and not isinstance(stmt.els, ast.Block):
+                stmt.els = ast.Block([stmt.els])
+        elif isinstance(stmt, ast.While):
+            if not isinstance(stmt.body, ast.Block):
+                stmt.body = ast.Block([stmt.body])
+        if index not in drop:
+            kept.append(stmt)
+    block.stmts = kept
+
+
+def _count_block(block):
+    count = 0
+    for stmt in block.stmts:
+        count += 1
+        for child in _child_blocks(stmt):
+            count += _count_block(child)
+    return count
+
+
+def count_statements(source):
+    program = parse(source)
+    return sum(_count_block(f.body) for f in program.funcs)
+
+
+def _render_without(source, drop):
+    """Source with the dropped statement ids removed, or None when the
+    result no longer parses/typechecks (a rejected candidate)."""
+    program = parse(source)
+    counter = [0]
+    for func in program.funcs:
+        _prune_block(func.body, counter, drop)
+    text = pretty(program)
+    try:
+        check(parse(text))
+    except TypeError_:
+        return None
+    return text
+
+
+# -- cleanup passes ---------------------------------------------------------
+
+def _referenced_names(program):
+    names = set()
+    for node in ast.walk(program):
+        if isinstance(node, ast.Var):
+            names.add(node.name)
+        elif isinstance(node, ast.Call):
+            names.add(node.name)
+        elif isinstance(node, ast.Spawn):
+            names.add(node.func)
+    return names
+
+
+def _drop_unreferenced(source, predicate, budget):
+    """Remove functions (except main) and globals nothing references.
+
+    Victims are dropped one at a time, each drop predicate-checked, so
+    one load-bearing decl (e.g. the function holding the racy write a
+    textual predicate pins) does not veto removing the genuinely dead
+    ones alongside it.
+    """
+    current = source
+
+    def try_without(kind, victim):
+        program = parse(current)
+        if kind == "func":
+            program.funcs = [f for f in program.funcs if f.name != victim]
+        else:
+            program.globals = [g for g in program.globals
+                               if g.name != victim]
+        text = pretty(program)
+        try:
+            check(parse(text))
+        except TypeError_:
+            return None
+        return text
+
+    for kind in ("func", "global"):
+        index = 0
+        while budget[0] > 0:
+            program = parse(current)
+            used = _referenced_names(program)
+            if kind == "func":
+                victims = [f.name for f in program.funcs
+                           if f.name != "main" and f.name not in used]
+            else:
+                victims = [g.name for g in program.globals
+                           if g.name not in used]
+            if index >= len(victims):
+                break
+            candidate = try_without(kind, victims[index])
+            if candidate is None or candidate == current:
+                index += 1
+                continue
+            budget[0] -= 1
+            if predicate(candidate):
+                current = candidate
+                index = 0
+            else:
+                index += 1
+    return current
+
+
+def _hoist_one_loop(source, skip):
+    """Replace the ``skip``-th While with its body (straight-lined), or
+    None when there is no such loop or the result fails typecheck."""
+    program = parse(source)
+    seen = 0
+    hoisted = False
+
+    def rewrite(block):
+        nonlocal seen, hoisted
+        out = []
+        for stmt in block.stmts:
+            for child in _child_blocks(stmt):
+                rewrite(child)
+            if isinstance(stmt, ast.While):
+                if seen == skip:
+                    seen += 1
+                    hoisted = True
+                    body = (stmt.body.stmts
+                            if isinstance(stmt.body, ast.Block)
+                            else [stmt.body])
+                    out.extend(body)
+                    continue
+                seen += 1
+            out.append(stmt)
+        block.stmts = out
+
+    for func in program.funcs:
+        rewrite(func.body)
+    if not hoisted:
+        # skip is past the last loop — tell the caller to stop instead
+        # of handing back unchanged text (which would burn its budget)
+        return None
+    text = pretty(program)
+    try:
+        check(parse(text))
+    except TypeError_:
+        return None
+    return text
+
+
+def _hoist_loops(source, predicate, budget):
+    """Try unwrapping each loop into straight-line code (one iteration
+    is often enough to keep a divergence alive, and saves 3 lines)."""
+    current = source
+    index = 0
+    while budget[0] > 0:
+        candidate = _hoist_one_loop(current, index)
+        if candidate is None:
+            break
+        if candidate != current:
+            budget[0] -= 1
+            if predicate(candidate):
+                current = candidate
+                # same index now points at the next loop (one removed)
+                continue
+        index += 1
+    return current
+
+
+def _drop_empty_spawns(source, predicate, budget):
+    """Try removing ``spawn`` statements whose target function body is
+    already empty.  ddmin cannot reach these: dropping the function
+    body leaves the spawn pinning the (now trivial) function, and the
+    spawn+function pair never lands in one complement.  The spawned
+    thread still participates in scheduling, so each removal is
+    predicate-checked like any other reduction."""
+    current = source
+    index = 0
+    while budget[0] > 0:
+        program = parse(current)
+        empty = {f.name for f in program.funcs
+                 if f.name != "main" and not f.body.stmts}
+        spawns = [node for node in ast.walk(program)
+                  if isinstance(node, ast.Spawn) and node.func in empty]
+        if index >= len(spawns):
+            break
+        victim = spawns[index]
+
+        def rewrite(block):
+            block.stmts = [s for s in block.stmts if s is not victim]
+            for stmt in block.stmts:
+                for child in _child_blocks(stmt):
+                    rewrite(child)
+
+        for func in program.funcs:
+            rewrite(func.body)
+        text = pretty(program)
+        try:
+            check(parse(text))
+        except TypeError_:
+            index += 1
+            continue
+        budget[0] -= 1
+        if predicate(text):
+            current = text
+            # same index now points at the next empty spawn
+            continue
+        index += 1
+    return current
+
+
+def _unwrap_ifs(source, predicate, budget):
+    """Try replacing each ``if`` with its then-branch (straight-lined).
+    The branch condition costs three rendered lines; when the
+    divergence lives in the body, the conditional is scaffolding."""
+    current = source
+    index = 0
+    while budget[0] > 0:
+        program = parse(current)
+        seen = 0
+        unwrapped = False
+
+        def rewrite(block):
+            nonlocal seen, unwrapped
+            out = []
+            for stmt in block.stmts:
+                for child in _child_blocks(stmt):
+                    rewrite(child)
+                if isinstance(stmt, ast.If):
+                    if seen == index:
+                        seen += 1
+                        unwrapped = True
+                        then = stmt.then
+                        out.extend(then.stmts
+                                   if isinstance(then, ast.Block)
+                                   else [then] if then is not None else [])
+                        continue
+                    seen += 1
+                out.append(stmt)
+            block.stmts = out
+
+        for func in program.funcs:
+            rewrite(func.body)
+        if not unwrapped:
+            break
+        text = pretty(program)
+        try:
+            check(parse(text))
+        except TypeError_:
+            index += 1
+            continue
+        if text == current:
+            index += 1
+            continue
+        budget[0] -= 1
+        if predicate(text):
+            current = text
+            continue
+        index += 1
+    return current
+
+
+def _simplify_exprs(source, predicate, budget):
+    """Try replacing each binary right-hand side with one of its
+    operands (``g0 = t + 2`` -> ``g0 = 2``) — the standard HDD-style
+    expression-level reduction.  Severing the last use of a local often
+    unlocks whole statements for the next ddmin round."""
+    current = source
+    index = 0
+    while budget[0] > 0:
+        program = parse(current)
+        assigns = [node for node in ast.walk(program)
+                   if isinstance(node, ast.Assign)
+                   and isinstance(node.value, ast.Binary)]
+        if index >= len(assigns):
+            break
+        node = assigns[index]
+        replaced = False
+        for operand in (node.value.right, node.value.left):
+            if budget[0] <= 0:
+                break
+            saved = node.value
+            node.value = operand
+            text = pretty(program)
+            node.value = saved
+            try:
+                check(parse(text))
+            except TypeError_:
+                continue
+            if text == current:
+                continue
+            budget[0] -= 1
+            if predicate(text):
+                current = text
+                replaced = True
+                break
+        if not replaced:
+            index += 1
+    return current
+
+
+def _shrink_loop_bounds(source, predicate, budget):
+    """Try reducing each counted loop's literal bound toward 1."""
+    current = source
+    while budget[0] > 0:
+        program = parse(current)
+        shrunk = False
+        for node in ast.walk(program):
+            if (isinstance(node, ast.While)
+                    and isinstance(node.cond, ast.Binary)
+                    and node.cond.op == "<"
+                    and isinstance(node.cond.right, ast.IntLit)
+                    and node.cond.right.value > 1):
+                old = node.cond.right.value
+                node.cond.right.value = max(1, old // 2)
+                text = pretty(program)
+                budget[0] -= 1
+                if predicate(text):
+                    current = text
+                    shrunk = True
+                    break
+                node.cond.right.value = old
+        if not shrunk:
+            break
+    return current
+
+
+# -- ddmin proper -----------------------------------------------------------
+
+class MinimizeResult:
+    __slots__ = ("source", "original_lines", "minimized_lines", "tests",
+                 "statements_before", "statements_after")
+
+    def __init__(self, source, original_lines, minimized_lines, tests,
+                 statements_before, statements_after):
+        self.source = source
+        self.original_lines = original_lines
+        self.minimized_lines = minimized_lines
+        self.tests = tests
+        self.statements_before = statements_before
+        self.statements_after = statements_after
+
+    def as_payload(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def describe(self):
+        return ("minimized %d -> %d lines (%d -> %d statements, %d tests)"
+                % (self.original_lines, self.minimized_lines,
+                   self.statements_before, self.statements_after,
+                   self.tests))
+
+
+def _line_count(source):
+    return len([ln for ln in source.splitlines() if ln.strip()])
+
+
+def minimize(source, predicate, max_tests=600):
+    """Shrink ``source`` while ``predicate`` keeps holding.
+
+    ``predicate(text) -> bool`` decides interestingness on canonical,
+    typechecked candidates.  Raises ValueError if the original program
+    does not satisfy the predicate (a minimizer invoked on a
+    non-diverging input is a caller bug worth surfacing).
+    """
+    current = canonical(source)
+    if not predicate(current):
+        raise ValueError("original program does not satisfy the predicate")
+    budget = [max_tests]
+    tests = [0]
+
+    def test_without(drop):
+        if budget[0] <= 0:
+            return None
+        candidate = _render_without(current, drop)
+        if candidate is None or candidate == current:
+            return None
+        budget[0] -= 1
+        tests[0] += 1
+        return candidate if predicate(candidate) else None
+
+    statements_before = count_statements(current)
+    original_lines = _line_count(current)
+
+    def counted(text):
+        tests[0] += 1
+        return predicate(text)
+
+    # shrink loop bounds FIRST: every later predicate call re-executes
+    # the candidate, and dropping iteration counts toward 1 makes each
+    # of those executions (including the many rejected ones) cheap
+    shrunk = _shrink_loop_bounds(current, counted, budget)
+    if shrunk != current:
+        current = shrunk
+
+    changed = True
+    while changed and budget[0] > 0:
+        changed = False
+        # ddmin over statement ids of the *current* best
+        n = count_statements(current)
+        ids = list(range(n))
+        granularity = 2
+        while len(ids) >= 2 and budget[0] > 0:
+            chunk = max(1, len(ids) // granularity)
+            reduced = False
+            start = 0
+            while start < len(ids) and budget[0] > 0:
+                drop = set(ids[start:start + chunk])
+                candidate = test_without(drop)
+                if candidate is not None:
+                    current = candidate
+                    n = count_statements(current)
+                    ids = list(range(n))
+                    granularity = max(granularity - 1, 2)
+                    reduced = True
+                    changed = True
+                    break
+                start += chunk
+            if not reduced:
+                if granularity >= len(ids):
+                    break
+                granularity = min(len(ids), granularity * 2)
+        # structural cleanup: unreferenced functions and globals
+        cleaned = _drop_unreferenced(current, counted, budget)
+        if cleaned != current:
+            current = cleaned
+            changed = True
+
+        shrunk = _shrink_loop_bounds(current, counted, budget)
+        if shrunk != current:
+            current = shrunk
+            changed = True
+        hoisted = _hoist_loops(current, counted, budget)
+        if hoisted != current:
+            current = hoisted
+            changed = True
+        unwrapped = _unwrap_ifs(current, counted, budget)
+        if unwrapped != current:
+            current = unwrapped
+            changed = True
+        despawned = _drop_empty_spawns(current, counted, budget)
+        if despawned != current:
+            current = despawned
+            changed = True
+        simplified = _simplify_exprs(current, counted, budget)
+        if simplified != current:
+            current = simplified
+            changed = True
+
+    return MinimizeResult(current, original_lines, _line_count(current),
+                          tests[0], statements_before,
+                          count_statements(current))
+
+
+__all__ = ["MinimizeResult", "canonical", "count_statements", "minimize"]

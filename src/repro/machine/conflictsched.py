@@ -33,13 +33,39 @@ untouched — only *when* conflicting windows overlap changes.
 
 When every runnable thread conflicts, the policy *stalls* the core for
 one quantum instead of knowingly co-scheduling a conflicting thread.
-Whether that pays depends on the workload's atomic-window length, so
-the stall is adaptive: an episode whose whole stall budget burns
-without the remote window closing (it ends in forced FIFO) counts as a
-failure, and after :data:`STALL_FAILURE_LIMIT` failures stalling
-self-disables for the rest of the run.  The adaptation is a pure
-function of the decision history, so record and replay make identical
-choices.
+Whether that pays depends on the workload's atomic-window shape, so
+stalling runs on an adaptive per-workload *budget*:
+
+- the starting budget comes from the static W004-blocking density —
+  a program whose atomic regions frequently span potentially blocking
+  calls gets little or no budget, because those windows routinely
+  outlive any stall (this subsumes the old binary on/off gate);
+- the budget starts at zero outright when the majority of the
+  program's statically conflicting AR pairs are witnessed only by
+  *coarse* variables — whole arrays standing in for element accesses
+  (``a[k]`` collapses to ``a`` in a footprint).  Lock striping and
+  per-thread slot arrays make such pairs phantom conflicts: the
+  elements are usually disjoint at run time, so idling a core on that
+  evidence buys nothing and merely perturbs the schedule;
+- a stall *episode* (first stall for a queue head until that head is
+  scheduled) is judged by what the machine's own pain counters do from
+  the moment the core started idling until shortly *after* the head
+  resumes (a probation window of a few scheduling decisions): the
+  damage a bad stall causes — the resumed window overlapping a
+  conflicting one and suspending or undoing — lands just after the
+  episode closes, not during the idle itself, so episodes are judged
+  on probation rather than at close;
+- a failed episode (pain during idle or probation, or an episode that
+  burned its whole defer allowance and ended in forced FIFO) shrinks
+  the budget by one and counts ``conflict_stall_failures``; an episode
+  that survives probation earns the budget back (capped at the
+  starting value);
+- at budget zero, stalling is off for the rest of the run and the
+  policy is reordering-only.
+
+The budget is a pure function of the decision history and the pain
+counters, and a replay re-executes the run in full — so record and
+replay make identical choices.
 """
 
 from repro.analysis.footprint import Footprint
@@ -49,11 +75,16 @@ from repro.machine.threads import ThreadState
 #: the policy gives up and schedules it FIFO anyway
 MAX_DEFERS = 4
 
-#: stall episodes that may end in forced FIFO (the remote window
-#: outlived the whole stall budget) before stalling self-disables for
-#: the rest of the run — on workloads with long atomic windows a stall
-#: only delays the inevitable and perturbs the schedule for nothing
-STALL_FAILURE_LIMIT = 3
+#: starting stall budget for a program with no blocking atomic regions;
+#: the budget tapers linearly with W004-blocking density and hits zero
+#: at 50% (where the old binary gate used to switch stalling off)
+STALL_BUDGET_MAX = 3
+
+#: scheduling decisions a closed stall episode stays on probation: new
+#: pain inside this window retroactively fails the episode (a bad
+#: stall's damage lands when the delayed head resumes, not while the
+#: core idles)
+PROBATION_PREVIEWS = 2
 
 
 class _Stall:
@@ -74,11 +105,13 @@ class ConflictPolicy:
     """Deprioritizes runnable threads that conflict with running ARs."""
 
     __slots__ = ("footprints", "func_footprints", "kernel", "stats",
-                 "max_defers", "blocking_ar_ids", "stall_enabled",
-                 "_defers", "_fp_cache", "_stalled", "_stall_failures")
+                 "max_defers", "blocking_ar_ids", "coarse_vars",
+                 "initial_stall_budget", "stall_budget", "_defers",
+                 "_fp_cache", "_stalled", "_episode_pain", "_probation")
 
     def __init__(self, footprints, func_footprints, kernel, stats,
-                 max_defers=MAX_DEFERS, blocking_ar_ids=frozenset()):
+                 max_defers=MAX_DEFERS, blocking_ar_ids=frozenset(),
+                 coarse_vars=frozenset()):
         self.footprints = footprints or {}
         self.func_footprints = func_footprints or {}
         self.kernel = kernel
@@ -88,20 +121,59 @@ class ConflictPolicy:
         # analysis): a stall waits for the remote window to close, and
         # a blocked window may never close within any stall budget
         self.blocking_ar_ids = frozenset(blocking_ar_ids)
-        # per-run static gate: when *most* atomic regions can block,
-        # windows routinely outlive any stall budget and stalling only
-        # perturbs the schedule — restrict the policy to reordering
+        # variables the footprint analysis tracks only at array
+        # granularity (element accesses collapse to the base name)
+        self.coarse_vars = frozenset(coarse_vars)
+        # adaptive stall budget, seeded from static blocking density:
+        # full at density 0, zero from density 0.5 up (where the old
+        # binary gate used to switch stalling off)
         n_ars = len(self.footprints)
         n_blocking = len(self.blocking_ar_ids & frozenset(self.footprints))
-        self.stall_enabled = n_ars == 0 or 2 * n_blocking < n_ars
+        density = (n_blocking / n_ars) if n_ars else 0.0
+        self.initial_stall_budget = max(
+            0, int(round(STALL_BUDGET_MAX * (1.0 - 2.0 * density))))
+        if self._phantom_conflict_majority():
+            # most conflict evidence is whole-array stand-ins for
+            # element accesses (lock striping, per-thread slots): the
+            # windows a stall would wait out are usually disjoint at
+            # run time, so never pay an idle core for them
+            self.initial_stall_budget = 0
+        self.stall_budget = self.initial_stall_budget
         self._defers = {}  # tid -> consecutive times deferred at head
         # root-function footprints never change mid-run; cache the
         # per-thread candidate base to keep preview cheap
         self._fp_cache = {}
-        # adaptive stall: tids with an open stall episode, and how many
-        # episodes ended in forced FIFO (= the stall bought nothing)
+        # open stall episodes: heads currently stalled for, and the
+        # pain counter (suspensions+undos) when each episode opened
         self._stalled = set()
-        self._stall_failures = 0
+        self._episode_pain = {}
+        # closed episodes still on probation: head -> (pain when the
+        # episode opened, preview calls left in the window)
+        self._probation = {}
+
+    def _phantom_conflict_majority(self):
+        """True when most statically conflicting AR pairs are witnessed
+        only by coarse (array-granular) variables.
+
+        Such a pair usually touches *different* elements at run time —
+        the footprint just cannot say which — so its conflicts are
+        phantoms of the analysis granularity, not of the program."""
+        if not self.coarse_vars:
+            return False
+        pairs = phantom = 0
+        ids = sorted(self.footprints)
+        for i, a in enumerate(ids):
+            fa = self.footprints[a]
+            for b in ids[i + 1:]:
+                fb = self.footprints[b]
+                if not fa.conflicts_with(fb):
+                    continue
+                pairs += 1
+                vars_ = fa.conflict_vars(fb)
+                if (vars_ and vars_ <= self.coarse_vars
+                        and not (fa.wild or fb.wild)):
+                    phantom += 1
+        return pairs > 0 and phantom * 2 > pairs
 
     # -- footprint lookups ---------------------------------------------
 
@@ -127,6 +199,61 @@ class ConflictPolicy:
             self._fp_cache[tid] = base
         return base.union(self._active_footprint(tid))
 
+    # -- stall episodes ------------------------------------------------
+
+    def _pain(self):
+        """The machine's own cost signal: work lost to conflicts."""
+        return self.stats.suspensions + self.stats.undos
+
+    def _fail_episode(self):
+        self.stall_budget -= 1
+        self.stats.conflict_stall_failures += 1
+
+    def _close_episode(self, head, failed=False):
+        """End ``head``'s stall episode (if one is open).
+
+        An episode that burned its whole defer allowance and ended in
+        forced FIFO fails on the spot.  Every other close goes on
+        *probation* instead of being judged immediately: a bad stall's
+        damage — the delayed head resuming straight into a conflicting
+        window and suspending or undoing — shows up in the pain
+        counters just *after* the head is rescheduled, so the episode
+        is only credited once :data:`PROBATION_PREVIEWS` further
+        scheduling decisions pass without new pain since the episode
+        opened (see :meth:`_tick_probation`)."""
+        self._defers.pop(head, None)
+        if head not in self._stalled:
+            return
+        self._stalled.discard(head)
+        opened_at = self._episode_pain.pop(head, None)
+        if failed:
+            self._fail_episode()
+        elif opened_at is not None:
+            self._probation[head] = (opened_at, PROBATION_PREVIEWS)
+
+    def _tick_probation(self):
+        """Advance probation windows by one scheduling decision.
+
+        Pain since an episode opened fails it retroactively; surviving
+        the window earns back a point a failure cost (capped at the
+        starting budget)."""
+        if not self._probation:
+            return
+        pain = self._pain()
+        expired = []
+        for head, (opened_at, left) in self._probation.items():
+            if pain > opened_at:
+                self._fail_episode()
+                expired.append(head)
+            elif left <= 1:
+                if 0 < self.stall_budget < self.initial_stall_budget:
+                    self.stall_budget += 1
+                expired.append(head)
+            else:
+                self._probation[head] = (opened_at, left - 1)
+        for head in expired:
+            del self._probation[head]
+
     # -- the decision --------------------------------------------------
 
     def preview(self, machine, core):
@@ -138,6 +265,7 @@ class ConflictPolicy:
         and stats advance deterministically from the same inputs in
         recording and replaying runs alike.
         """
+        self._tick_probation()
         candidates = []
         seen = set()
         threads = machine.threads
@@ -153,8 +281,7 @@ class ConflictPolicy:
             return None
         head = candidates[0]
         if len(candidates) == 1:
-            self._stalled.discard(head)
-            self._defers.pop(head, None)
+            self._close_episode(head)
             return head
         # only engage when the machine is oversubscribed: with a core
         # available for every live thread, everything gets co-scheduled
@@ -166,8 +293,7 @@ class ConflictPolicy:
             if thread.state in (ThreadState.RUNNABLE, ThreadState.RUNNING):
                 live += 1
         if live <= len(machine.cores):
-            self._stalled.discard(head)
-            self._defers.pop(head, None)
+            self._close_episode(head)
             return head
 
         running = Footprint.EMPTY
@@ -181,29 +307,24 @@ class ConflictPolicy:
             if table and not self.blocking_ar_ids.isdisjoint(table):
                 remote_blocking = True
         if running.is_empty():
-            # no AR is open anywhere else: plain FIFO, and any stall
-            # episode trivially resolved
-            self._stalled.discard(head)
-            self._defers.pop(head, None)
+            # no AR is open anywhere else: plain FIFO; the remote
+            # window closed, so any open episode resolves on its merits
+            self._close_episode(head)
             return head
 
         if not self._candidate_footprint(machine, head).conflicts_with(
                 running):
-            # the head's conflict cleared; a stall episode that ends
-            # here paid off (the remote window closed while we idled)
-            self._stalled.discard(head)
-            self._defers.pop(head, None)
+            # the head's conflict cleared; the episode closes and is
+            # judged by whether pain accumulated while the core idled
+            self._close_episode(head)
             return head
         if self._defers.get(head, 0) >= self.max_defers:
             # the head has waited long enough; force FIFO order so a
-            # persistently conflicting thread cannot starve
-            if head in self._stalled:
-                # the whole stall budget burned and the window is still
-                # open: stalling does not fit this workload's AR shape
-                self._stalled.discard(head)
-                self._stall_failures += 1
+            # persistently conflicting thread cannot starve.  A stall
+            # episode ending here burned its whole defer allowance with
+            # the window still open — an unconditional failure
+            self._close_episode(head, failed=True)
             self.stats.conflict_forced_fifo += 1
-            self._defers.pop(head, None)
             self._note(machine, core, head, forced=True)
             return head
         for tid in candidates[1:]:
@@ -214,16 +335,13 @@ class ConflictPolicy:
                 self._defers[head] = self._defers.get(head, 0) + 1
                 self._note(machine, core, tid, over=head)
                 return tid
-        if not self.stall_enabled or remote_blocking:
-            # stalling is statically off for this program (most of its
-            # ARs can block), or a remote window spans a potentially
-            # blocking call right now: idling this core may wait
-            # forever, so co-schedule FIFO and let the kernel's
-            # suspension machinery arbitrate
-            self._defers.pop(head, None)
-            return head
-        if self._stall_failures >= STALL_FAILURE_LIMIT:
-            # stalling kept failing on this run: plain FIFO from here on
+        if self.stall_budget <= 0 or remote_blocking:
+            # the adaptive budget is exhausted (statically zero for
+            # blocking-heavy programs, or drained by failed episodes),
+            # or a remote window spans a potentially blocking call
+            # right now: idling this core may wait forever, so
+            # co-schedule FIFO and let the kernel's suspension
+            # machinery arbitrate
             self._defers.pop(head, None)
             return head
         # every runnable thread conflicts: idle the core for one stall
@@ -232,7 +350,14 @@ class ConflictPolicy:
         self.stats.conflict_sched_decisions += 1
         self.stats.conflict_defers += 1
         self._defers[head] = self._defers.get(head, 0) + 1
-        self._stalled.add(head)
+        if head not in self._stalled:
+            self._stalled.add(head)
+            # a head re-stalling while its last episode is still on
+            # probation folds into one longer episode: keep the older
+            # pain reference so damage between the two is not excused
+            prior = self._probation.pop(head, None)
+            self._episode_pain[head] = (prior[0] if prior is not None
+                                        else self._pain())
         self._note(machine, core, head, stall=True)
         return STALL
 
@@ -251,4 +376,5 @@ class ConflictPolicy:
         machine.journal.emit(core.clock, tid, "csched", **payload)
 
 
-__all__ = ["ConflictPolicy", "MAX_DEFERS", "STALL_FAILURE_LIMIT"]
+__all__ = ["ConflictPolicy", "MAX_DEFERS", "PROBATION_PREVIEWS",
+           "STALL_BUDGET_MAX"]

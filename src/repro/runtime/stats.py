@@ -83,6 +83,10 @@ class KivatiStats:
         "conflict_sched_decisions",
         "conflict_defers",
         "conflict_forced_fifo",
+        # stall episodes judged failed (ended in forced FIFO, or
+        # suspensions+undos rose while the core idled); each failure
+        # shrinks the policy's adaptive stall budget by one
+        "conflict_stall_failures",
     )
 
     __slots__ = FIELDS

@@ -38,7 +38,7 @@ class KivatiRuntime(BaseRuntime):
     def __init__(self, config, ar_table, log, sync_ar_ids=(), faults=None,
                  degrade=None, static_safe_ar_ids=(), journal=None,
                  footprints=None, func_footprints=None,
-                 blocking_ar_ids=()):
+                 blocking_ar_ids=(), coarse_vars=()):
         if journal is not None and config.journal is None:
             # convenience: callers may hand the recorder here instead of
             # pre-binding it on the config
@@ -95,6 +95,10 @@ class KivatiRuntime(BaseRuntime):
         # analysis): the conflict scheduler must not stall waiting for
         # such a window to close
         self.blocking_ar_ids = frozenset(blocking_ar_ids)
+        # globals the footprint analysis tracks at array granularity
+        # (element accesses collapse to the base name); the scheduler
+        # treats conflicts witnessed only by these as phantoms
+        self.coarse_vars = frozenset(coarse_vars)
 
     # ------------------------------------------------------------------
 
@@ -111,7 +115,8 @@ class KivatiRuntime(BaseRuntime):
 
             machine.conflict_policy = ConflictPolicy(
                 self.footprints, self.func_footprints, self.kernel,
-                self.stats, blocking_ar_ids=self.blocking_ar_ids)
+                self.stats, blocking_ar_ids=self.blocking_ar_ids,
+                coarse_vars=self.coarse_vars)
 
     def _costs(self):
         return self.machine.costs

@@ -1,0 +1,70 @@
+"""End-to-end campaign invariants on small, fixed-seed campaigns."""
+
+import json
+import os
+
+from repro.fuzz.archive import load_corpus
+from repro.fuzz.campaign import (CampaignSpec, build_specs,
+                                 generate_programs, run_campaign)
+
+
+def test_generated_program_list_is_deterministic():
+    spec = CampaignSpec(n_programs=6, base_seed=3)
+    first = generate_programs(spec)
+    second = generate_programs(spec)
+    assert [p.source for p in first] == [p.source for p in second]
+    assert [p.run_seed for p in first] == [p.run_seed for p in second]
+    # seeds stride apart so program schedules decorrelate
+    assert len({p.run_seed for p in first}) == 6
+
+
+def test_job_specs_cover_every_program():
+    spec = CampaignSpec(n_programs=5, base_seed=1, drill_every=2)
+    programs = generate_programs(spec)
+    specs = build_specs(spec, programs)
+    assert len(specs) == 5
+    assert all(js.kind == "fuzz" for js in specs)
+    drills = [js for js in specs if js.params.get("drill")]
+    assert len(drills) == sum(1 for p in programs if p.drill) == 2
+
+
+def test_small_campaign_loses_no_jobs_and_archives_divergences(tmp_path):
+    corpus = str(tmp_path / "corpus")
+    spec = CampaignSpec(n_programs=8, base_seed=1, workers=0,
+                        drill_every=4, minimize_tests=40,
+                        corpus_dir=corpus, fix=False)
+    result = run_campaign(spec)
+    assert result.lost == []
+    assert result.unarchived == []
+    assert len(result.programs) == 8
+    # every reported divergence became an archived corpus case
+    assert len(result.archived) == len(result.divergences)
+    cases = load_corpus(corpus)
+    assert sorted(c.name for c in cases) == sorted(result.archived)
+    for case in cases:
+        meta = case.meta
+        assert meta["kinds"]
+        assert os.path.isfile(os.path.join(case.path, "minimized.c"))
+        assert os.path.isfile(os.path.join(case.path, "run.journal"))
+
+
+def test_campaign_results_are_worker_count_independent(tmp_path):
+    inline = run_campaign(CampaignSpec(
+        n_programs=6, base_seed=2, workers=0, drill_every=0, fix=False))
+    sharded = run_campaign(CampaignSpec(
+        n_programs=6, base_seed=2, workers=2, drill_every=0, fix=False))
+    key = lambda r: sorted((d["program_id"], tuple(d["kinds"]))
+                           for d in r.divergences)
+    assert key(inline) == key(sharded)
+    assert inline.confirmed == sharded.confirmed
+    assert inline.lost == sharded.lost == []
+
+
+def test_campaign_payload_shape(tmp_path):
+    spec = CampaignSpec(n_programs=4, base_seed=1, workers=0,
+                        drill_every=0, fix=False)
+    payload = run_campaign(spec).as_payload()
+    json.dumps(payload)  # must be plain JSON
+    assert payload["programs"] == 4
+    assert payload["lost"] == 0
+    assert payload["ok"] is True

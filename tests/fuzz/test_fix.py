@@ -1,0 +1,77 @@
+"""Fix synthesis: replay pinning plus seed-sweep verification."""
+
+from repro.core.config import KivatiConfig, Mode
+from repro.core.session import ProtectedProgram
+from repro.fuzz.fix import FIX_LOCK, synthesize_fix
+from repro.minic.parser import parse
+from repro.minic.typecheck import check
+
+# classic load/add/store atomicity violation on g0, no locks at all
+RACY = """
+int g0 = 0;
+
+void worker() {
+    int t = 0;
+    t = g0;
+    t = t + 1;
+    g0 = t;
+}
+
+void main() {
+    spawn worker();
+    spawn worker();
+    join();
+    output(g0);
+}
+"""
+
+
+def _violating_seed(config):
+    program = ProtectedProgram(RACY)
+    for seed in range(60):
+        report = program.run(config, seed=seed)
+        if any(str(r.var).startswith("g0") for r in report.violations):
+            return seed
+    raise AssertionError("no violating seed found for the racy program")
+
+
+def test_synthesized_fix_is_replay_verified():
+    config = KivatiConfig(num_cores=3, mode=Mode.BUG_FINDING,
+                          max_steps=100_000)
+    seed = _violating_seed(config)
+    outcome = synthesize_fix(RACY, config, seed)
+    assert outcome.verified
+    assert outcome.replay_ok and outcome.sweep_ok
+    assert outcome.victims == ["g0"]
+    assert outcome.strategy is not None
+    # the fixed program is valid mini-C and actually introduces a lock
+    check(parse(outcome.fixed_source))
+    assert FIX_LOCK in outcome.fixed_source
+    # the fix holds on a fresh run at the original violating seed
+    fixed = ProtectedProgram(outcome.fixed_source)
+    report = fixed.run(config, seed=seed)
+    assert not [r for r in report.violations
+                if str(r.var).startswith("g0")]
+
+
+def test_fix_payload_is_json_safe_and_complete():
+    import json
+
+    config = KivatiConfig(num_cores=3, mode=Mode.BUG_FINDING,
+                          max_steps=100_000)
+    outcome = synthesize_fix(RACY, config, _violating_seed(config))
+    payload = outcome.as_payload()
+    json.dumps(payload)
+    assert payload["verified"] is True
+    assert payload["attempts"]
+    assert all("strategy" in a for a in payload["attempts"])
+
+
+def test_non_violating_program_yields_no_fix():
+    config = KivatiConfig(num_cores=2, mode=Mode.BUG_FINDING,
+                          max_steps=100_000)
+    quiet = "int g0 = 0;\nvoid main() { g0 = 1; output(g0); }\n"
+    outcome = synthesize_fix(quiet, config, 1)
+    assert not outcome.verified
+    assert outcome.victims == []
+    assert "no violation" in outcome.detail

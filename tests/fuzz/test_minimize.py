@@ -1,0 +1,141 @@
+"""ddmin unit tests: pure predicates, no oracle in the loop."""
+
+import pytest
+
+from repro.fuzz.minimize import (canonical, count_statements, minimize)
+
+PROGRAM = """
+int g0 = 0;
+int g1 = 0;
+
+void worker0() {
+    int t = 0;
+    t = g0;
+    t = t + 1;
+    g0 = t + 2;
+    g1 = 5;
+}
+
+void worker1() {
+    int u = 0;
+    u = g1;
+}
+
+void main() {
+    spawn worker0();
+    spawn worker1();
+    join();
+    output(g0);
+}
+"""
+
+
+def test_minimize_keeps_predicate_true_and_shrinks():
+    # interesting = "still assigns to g0 somewhere"
+    result = minimize(PROGRAM, lambda text: "g0 =" in text)
+    assert "g0 =" in result.source
+    assert result.minimized_lines < result.original_lines
+    assert result.statements_after < result.statements_before
+    # everything not needed for the predicate is gone
+    assert "g1" not in result.source
+
+
+def test_minimize_result_is_canonical_and_valid():
+    result = minimize(PROGRAM, lambda text: "spawn worker0" in text)
+    assert result.source == canonical(result.source)
+    assert count_statements(result.source) >= 1
+
+
+def test_minimize_raises_on_non_diverging_input():
+    with pytest.raises(ValueError):
+        minimize(PROGRAM, lambda text: False)
+
+
+def test_minimize_respects_test_budget():
+    calls = [0]
+
+    def predicate(text):
+        calls[0] += 1
+        return "g0 =" in text
+
+    result = minimize(PROGRAM, predicate, max_tests=5)
+    # the initial confirmation call is not budgeted; everything else is
+    assert result.tests <= 6
+
+
+LOOPED = """
+int g0 = 0;
+
+void worker0() {
+    int i = 0;
+    while (i < 64) {
+        g0 = g0 + 1;
+        i = i + 1;
+    }
+}
+
+void main() {
+    spawn worker0();
+    join();
+}
+"""
+
+
+def test_loop_bounds_shrink_toward_one():
+    result = minimize(LOOPED, lambda text: "g0 = g0 + 1" in text)
+    assert "64" not in result.source
+
+
+CONDITIONAL = """
+int g0 = 0;
+
+void worker0() {
+    int t = 0;
+    if (t % 2 == 0) {
+        g0 = 2;
+    }
+}
+
+void main() {
+    spawn worker0();
+    join();
+}
+"""
+
+
+def test_if_scaffolding_unwraps():
+    result = minimize(CONDITIONAL, lambda text: "g0 = 2" in text)
+    assert "if" not in result.source
+
+
+EMPTY_SPAWNS = """
+int g0 = 0;
+
+void worker0() {
+}
+
+void worker1() {
+    g0 = 1;
+}
+
+void main() {
+    spawn worker0();
+    spawn worker0();
+    spawn worker1();
+    join();
+}
+"""
+
+
+def test_empty_spawns_drop_with_their_functions():
+    # ddmin alone cannot remove a spawn/empty-function pair; the
+    # cleanup pass must, when the predicate allows it
+    result = minimize(EMPTY_SPAWNS, lambda text: "g0 = 1" in text)
+    assert "worker0" not in result.source
+
+
+def test_thread_requiring_predicate_keeps_spawns():
+    result = minimize(EMPTY_SPAWNS,
+                      lambda text: text.count("spawn") >= 3
+                      and "g0 = 1" in text)
+    assert result.source.count("spawn") == 3

@@ -22,8 +22,9 @@ from repro.core.session import ProtectedProgram
 from repro.journal.replay import first_divergence, record_run, replay_run
 from repro.journal.snapshot import (SNAPSHOT_VERSION, config_from_snapshot,
                                     config_snapshot)
-from repro.machine.conflictsched import (MAX_DEFERS, STALL,
-                                         STALL_FAILURE_LIMIT, ConflictPolicy)
+from repro.machine.conflictsched import (MAX_DEFERS, PROBATION_PREVIEWS,
+                                         STALL, STALL_BUDGET_MAX,
+                                         ConflictPolicy)
 from repro.machine.costs import CostModel
 from repro.machine.threads import ThreadState
 from repro.runtime.stats import KivatiStats
@@ -160,18 +161,67 @@ def test_stall_self_disables_after_failed_episodes():
     machine, core = _contended_machine(extra_runnable=2)
     policy = _policy(ar_tables={2: {1: None}},
                      func_footprints={"wx": FP_X})
-    for _ in range(STALL_FAILURE_LIMIT):
-        # burn the whole stall budget, then the forced-FIFO pick marks
-        # the episode failed
+    assert policy.stall_budget == STALL_BUDGET_MAX  # no blocking ARs
+    for _ in range(STALL_BUDGET_MAX):
+        # burn the whole defer allowance, then the forced-FIFO pick
+        # marks the episode failed and shrinks the budget
         for _ in range(MAX_DEFERS):
             assert policy.preview(machine, core) is STALL
         assert policy.preview(machine, core) == 3  # forced FIFO
         machine.run_queue.rotate(-1)  # 3 went to the back after running
         machine.run_queue.rotate(1)   # ...and comes around again
-    assert policy.stats.conflict_forced_fifo == STALL_FAILURE_LIMIT
-    # stalling is now disabled: all-conflict falls through to plain FIFO
+    assert policy.stats.conflict_forced_fifo == STALL_BUDGET_MAX
+    assert policy.stats.conflict_stall_failures == STALL_BUDGET_MAX
+    assert policy.stall_budget == 0
+    # the budget is gone: all-conflict falls through to plain FIFO
     assert policy.preview(machine, core) == 3
     assert policy.preview(machine, core) == 3
+
+
+def test_stall_budget_scales_with_blocking_density():
+    def budget(n_ars, n_blocking):
+        footprints = {i: FP_X for i in range(1, n_ars + 1)}
+        policy = ConflictPolicy(footprints, {}, _Kernel({}), KivatiStats(),
+                                blocking_ar_ids=frozenset(
+                                    range(1, n_blocking + 1)))
+        return policy.stall_budget
+
+    assert budget(4, 0) == STALL_BUDGET_MAX
+    assert 0 < budget(4, 1) < STALL_BUDGET_MAX
+    assert budget(4, 2) == 0  # half the ARs can block: never stall
+    assert budget(4, 4) == 0
+
+
+def test_pain_after_stall_episode_fails_it_on_probation():
+    # the episode ends with the remote window closed — but the pain a
+    # bad stall causes lands when the delayed head resumes, so the
+    # episode sits on probation and pain inside the window fails it
+    machine, core = _contended_machine(extra_runnable=2)
+    ar_tables = {2: {1: None}}
+    policy = _policy(ar_tables=ar_tables, func_footprints={"wx": FP_X})
+    assert policy.preview(machine, core) is STALL
+    policy.stats.suspensions += 1  # pain lands mid-episode
+    ar_tables[2].clear()           # remote window closes
+    assert policy.preview(machine, core) == 3
+    # judgment is deferred: the next decision's probation tick sees the
+    # pain and retroactively fails the episode
+    assert policy.preview(machine, core) == 3
+    assert policy.stats.conflict_stall_failures == 1
+    assert policy.stall_budget == STALL_BUDGET_MAX - 1
+
+
+def test_clean_episode_restores_budget_after_probation():
+    machine, core = _contended_machine(extra_runnable=2)
+    ar_tables = {2: {1: None}}
+    policy = _policy(ar_tables=ar_tables, func_footprints={"wx": FP_X})
+    policy.stall_budget = 1  # as if earlier episodes failed
+    assert policy.preview(machine, core) is STALL
+    ar_tables[2].clear()  # window closes, no pain accumulated
+    assert policy.preview(machine, core) == 3
+    for _ in range(PROBATION_PREVIEWS):
+        assert policy.preview(machine, core) == 3
+    assert policy.stats.conflict_stall_failures == 0
+    assert policy.stall_budget == 2  # earned one back (capped at max)
 
 
 def test_remote_blocking_window_suppresses_stall():
@@ -183,7 +233,7 @@ def test_remote_blocking_window_suppresses_stall():
     policy = ConflictPolicy(footprints, {"wx": FP_X},
                             _Kernel({2: {1: None}}), KivatiStats(),
                             blocking_ar_ids=frozenset([1]))
-    assert policy.stall_enabled  # 1 of 4 ARs blocking: stall stays on
+    assert policy.stall_budget > 0  # 1 of 4 ARs blocking: stall stays on
     assert policy.preview(machine, core) == 3
     assert policy.stats.conflict_sched_decisions == 0
 
@@ -196,10 +246,39 @@ def test_majority_blocking_program_never_stalls():
     policy = ConflictPolicy(footprints, {"wx": FP_X},
                             _Kernel({2: {1: None}}), KivatiStats(),
                             blocking_ar_ids=frozenset([1, 5]))
-    assert not policy.stall_enabled
-    # every candidate conflicts, yet the static gate forces plain FIFO
+    assert policy.stall_budget == 0
+    # every candidate conflicts, yet the zero budget forces plain FIFO
     assert policy.preview(machine, core) == 3
     assert policy.preview(machine, core) == 3
+
+
+FP_ARR = Footprint(reads=("arr",), writes=("arr",))
+
+
+def test_phantom_array_conflicts_zero_the_stall_budget():
+    # every conflict pair is witnessed only by a whole-array footprint
+    # (lock striping / per-thread slots): the elements are usually
+    # disjoint at run time, so the policy must never stall on them
+    policy = ConflictPolicy({1: FP_ARR, 2: FP_ARR}, {}, _Kernel({}),
+                            KivatiStats(), coarse_vars=frozenset(["arr"]))
+    assert policy.stall_budget == 0
+
+
+def test_scalar_conflict_majority_keeps_stall_budget():
+    # two scalar pairs, one array pair: real conflicts dominate
+    footprints = {1: FP_X, 2: FP_X, 3: FP_ARR, 4: FP_ARR}
+    policy = ConflictPolicy(footprints, {}, _Kernel({}), KivatiStats(),
+                            coarse_vars=frozenset(["arr"]))
+    assert policy.stall_budget == STALL_BUDGET_MAX
+
+
+def test_wild_conflicts_are_not_phantoms():
+    # a wild footprint may genuinely touch anything; wild-witnessed
+    # pairs must not count toward the phantom majority
+    wild = Footprint(reads=("arr",), writes=("arr",), wild=True)
+    policy = ConflictPolicy({1: wild, 2: wild}, {}, _Kernel({}),
+                            KivatiStats(), coarse_vars=frozenset(["arr"]))
+    assert policy.stall_budget == STALL_BUDGET_MAX
 
 
 def test_wild_footprint_conflicts_with_running():
