@@ -15,8 +15,10 @@ Commands::
     kivati chaos                  run the fault-injection chaos suite
     kivati soak                   soak the app suite under overload + faults
     kivati journal JOURNAL        inspect / postmortem-reverify a journal
+    kivati check JOURNAL          streaming offline checker (no re-execution)
     kivati replay FILE JOURNAL    deterministically replay a recorded run
     kivati fleet run              shard the app suite over worker processes
+    kivati fleet check            check every journal a fleet batch produced
     kivati fleet train            federated whitelist training over shards
     kivati fleet bench            fleet throughput benchmark (BENCH_fleet.json)
     kivati fuzz gen               emit one generated mini-C program
@@ -36,6 +38,7 @@ any archived divergence).
 """
 
 import argparse
+import os
 import sys
 
 from repro.core.config import KivatiConfig, Mode, OptLevel
@@ -343,6 +346,102 @@ def cmd_journal(args):
     return status
 
 
+def cmd_check(args):
+    import json
+
+    from repro.errors import JournalError
+    from repro.journal.checker import check_journal
+
+    if args.bench:
+        from repro.bench import checkerbench
+
+        payload = checkerbench.generate(smoke=args.smoke, log=print)
+        print(checkerbench.render(payload))
+        problems = checkerbench.validate(payload)
+        for problem in problems:
+            print("CHECKERBENCH FAIL: " + problem)
+        if args.out:
+            checkerbench.write_payload(payload, args.out)
+            print("wrote %s" % args.out)
+        return 1 if problems else 0
+    if not args.journal:
+        print("error: a journal path is required (or --bench)",
+              file=sys.stderr)
+        return 2
+    try:
+        result = check_journal(args.journal)
+    except JournalError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(result.as_payload(), indent=2, sort_keys=True))
+    else:
+        print(result.describe())
+    if result.status == "disagree":
+        return 1
+    if args.strict and result.status != "pass":
+        return 3
+    return 0
+
+
+def _check_journal_tree(root, strict):
+    """Check every ``*.journal`` under ``root``; returns (checked, bad)."""
+    from repro.errors import JournalError
+    from repro.journal.checker import check_journal
+
+    paths = []
+    for dirpath, _dirnames, filenames in os.walk(root):
+        paths.extend(os.path.join(dirpath, name) for name in filenames
+                     if name.endswith(".journal"))
+    checked, bad = 0, 0
+    for path in sorted(paths):
+        rel = os.path.relpath(path, root)
+        try:
+            result = check_journal(path)
+        except JournalError as exc:
+            print("  %s: UNREADABLE (%s)" % (rel, exc))
+            bad += 1
+            continue
+        checked += 1
+        verdict_note = "%d verdict(s)" % len(result.verdicts)
+        print("  %s: %s — %s, coverage %.4f"
+              % (rel, result.status.upper(), verdict_note, result.coverage))
+        if result.status == "disagree" or (strict
+                                           and result.status != "pass"):
+            for line in result.describe().splitlines()[1:]:
+                print("  " + line)
+            bad += 1
+    return checked, bad
+
+
+def cmd_fleet_check(args):
+    if args.journal_root:
+        root = args.journal_root
+    else:
+        from repro.bench.scale import bench_config
+        from repro.fleet import FleetPolicy, FleetSupervisor, app_run_jobs
+
+        config = bench_config(mode=Mode.BUG_FINDING if args.bug_finding
+                              else Mode.PREVENTION)
+        specs = app_run_jobs(config, seeds=tuple(args.seeds),
+                             scale=args.scale)
+        supervisor = FleetSupervisor(
+            workers=args.workers,
+            policy=FleetPolicy(workers=max(1, args.workers), verify=False,
+                               collect_journals=True,
+                               start_method=args.start_method))
+        fleet = supervisor.run_jobs(specs)
+        print(fleet.describe())
+        root = supervisor.journal_root()
+    print("checking journals under %s" % root)
+    checked, bad = _check_journal_tree(root, args.strict)
+    print("fleet check: %d journal(s), %d problem(s)" % (checked, bad))
+    if checked == 0:
+        print("FLEET CHECK FAIL: no journals found", file=sys.stderr)
+        return 2
+    return 1 if bad else 0
+
+
 def cmd_replay(args):
     from repro.errors import JournalError
     from repro.journal.replay import replay_run
@@ -367,6 +466,28 @@ def cmd_fleet_run(args):
     config = bench_config(mode=Mode.BUG_FINDING if args.bug_finding
                           else Mode.PREVENTION)
     specs = app_run_jobs(config, seeds=tuple(args.seeds), scale=args.scale)
+    if args.rounds > 1:
+        # rebinning rounds: run the same batch N times, feeding each
+        # round's violated ARs back into the conflict binning, and pin
+        # the aggregate digest across rounds (rebinning is pure
+        # scheduling, so any digest drift is a bug)
+        from repro.fleet import run_binned_rounds
+
+        policy = FleetPolicy(workers=max(1, args.workers),
+                             verify=not args.no_verify,
+                             start_method=args.start_method)
+        supervisor = FleetSupervisor(workers=args.workers, policy=policy)
+        outcome = run_binned_rounds(supervisor, specs, rounds=args.rounds,
+                                    log=print)
+        print(outcome.last.describe())
+        print(outcome.last.aggregate().summary())
+        print("violation history: %d hot AR(s)" % len(outcome.history))
+        if not outcome.digests_agree:
+            print("FLEET FAIL: rebinning changed the aggregate digest")
+            return 1
+        print("determinism check: %d round digests agree"
+              % len(outcome.rounds))
+        return 0 if outcome.last.ok else 1
     if args.bin_by_conflict:
         from repro.fleet import bin_jobs_by_conflict
 
@@ -518,7 +639,8 @@ def cmd_fuzz_run(args):
         n_programs=args.programs, base_seed=args.base_seed,
         workers=args.workers, drill_every=args.drill_every,
         corpus_dir=args.corpus, chaos=args.chaos,
-        minimize_tests=args.minimize_tests, fix=not args.no_fix)
+        minimize_tests=args.minimize_tests, fix=not args.no_fix,
+        rounds=args.rounds)
     result = run_campaign(spec, log=print)
     print(result.describe())
     if not result.ok:
@@ -602,7 +724,7 @@ def cmd_serve(args):
         max_jobs_per_worker=args.max_jobs_per_worker,
         default_deadline_s=args.deadline, max_retries=args.max_retries,
         poison_kills=args.poison_kills, verify=not args.no_verify,
-        warm_sources=warm_sources)
+        verify_backend=args.verify_backend, warm_sources=warm_sources)
     daemon = KivatiDaemon(args.socket, policy,
                           journal_root=args.journal_root)
     print("kivati serve: %d warm worker(s) on %s (SIGTERM drains)"
@@ -651,7 +773,8 @@ def cmd_service_bench(args):
         requests_per_rate=args.requests, scale=args.scale, seed=args.seed,
         start_method=args.start_method, smoke=args.smoke)
     print(servicebench.render(payload))
-    problems = servicebench.validate(payload, min_speedup=args.min_speedup)
+    problems = servicebench.validate(payload, min_speedup=args.min_speedup,
+                                     require_speedup=args.assert_speedup)
     for problem in problems:
         print("SERVICEBENCH FAIL: " + problem)
     if args.out:
@@ -792,6 +915,26 @@ def main(argv=None):
                         "disagreement with the online detector")
     p.set_defaults(fn=cmd_journal)
 
+    p = sub.add_parser(
+        "check",
+        help="streaming offline checker: re-derive every verdict from a "
+             "journal without re-execution (corruption-tolerant)")
+    p.add_argument("journal", nargs="?",
+                   help="journal file (may be damaged)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit 3 unless the journal is intact and every "
+                        "verdict agrees (partial coverage fails)")
+    p.add_argument("--json", action="store_true",
+                   help="print the full machine-readable check payload")
+    p.add_argument("--bench", action="store_true",
+                   help="run the checker benchmark (BENCH_checker.json) "
+                        "instead of checking a journal")
+    p.add_argument("--smoke", action="store_true",
+                   help="CI-sized --bench run (timing gates relaxed)")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="write the --bench artifact here")
+    p.set_defaults(fn=cmd_check)
+
     p = sub.add_parser("fleet",
                        help="multi-process sharded runs and training")
     fleet_sub = p.add_subparsers(dest="fleet_command", required=True)
@@ -816,11 +959,31 @@ def main(argv=None):
     fp.add_argument("--bin-by-conflict", action="store_true",
                     help="order jobs by static conflict weight (heaviest "
                          "first); pure reordering, aggregates unchanged")
+    fp.add_argument("--rounds", type=int, default=1,
+                    help="run the batch N times, feeding each round's "
+                         "violated ARs back into the conflict binning "
+                         "(digest-pinned: rebinning never changes the "
+                         "aggregate)")
     fp.add_argument("--no-verify", action="store_true",
                     help="skip supervisor-side replay verification")
     fp.add_argument("--check", action="store_true",
                     help="also run inline and assert identical aggregates")
     fp.set_defaults(fn=cmd_fleet_run)
+
+    fp = fleet_sub.add_parser(
+        "check",
+        help="run the suite through the fleet, then offline-check every "
+             "journal it produced (or sweep --journal-root)")
+    add_fleet_common(fp)
+    fp.add_argument("--seeds", type=int, nargs="*", default=[3],
+                    help="seeds per application (default: 3)")
+    fp.add_argument("--bug-finding", action="store_true")
+    fp.add_argument("--journal-root", default=None, metavar="DIR",
+                    help="skip the fleet run; check every *.journal under "
+                         "DIR instead")
+    fp.add_argument("--strict", action="store_true",
+                    help="fail on partial coverage, not just disagreement")
+    fp.set_defaults(fn=cmd_fleet_check)
 
     fp = fleet_sub.add_parser(
         "train", help="federated whitelist training over shards")
@@ -905,6 +1068,9 @@ def main(argv=None):
     zp.add_argument("--chaos", default=None, metavar="SCHEDULE",
                     help="run under a builtin chaos schedule")
     zp.add_argument("--minimize-tests", type=int, default=250)
+    zp.add_argument("--rounds", type=int, default=1,
+                    help="split the batch into N fleet rounds, rebinning "
+                         "each round with the violation history so far")
     zp.add_argument("--no-fix", action="store_true",
                     help="skip the fix-synthesis stage")
     zp.add_argument("--strict", action="store_true",
@@ -966,6 +1132,11 @@ def main(argv=None):
                    help="recycle an idle worker after serving this many")
     p.add_argument("--no-verify", action="store_true",
                    help="disable post-response replay verification")
+    p.add_argument("--verify-backend", default="replay",
+                   choices=["replay", "checker"],
+                   help="post-response verifier: full pinned replay, or "
+                        "the streaming offline checker (no re-execution, "
+                        "sheds less monitoring debt under load)")
     p.add_argument("--warm-apps", action="store_true",
                    help="pre-compile the 5-app suite in every worker")
     p.add_argument("--scale", type=float, default=0.4,
@@ -1018,6 +1189,9 @@ def main(argv=None):
     sp.add_argument("--seed", type=int, default=7)
     sp.add_argument("--min-speedup", type=float, default=5.0,
                     help="required warm-vs-cold p50 speedup")
+    sp.add_argument("--assert-speedup", action="store_true",
+                    help="hold the full speedup gate even on single-CPU "
+                         "hosts (otherwise relaxed there)")
     sp.add_argument("--smoke", action="store_true",
                     help="CI-sized: fewer requests and samples")
     sp.add_argument("--out", default=None, metavar="PATH",

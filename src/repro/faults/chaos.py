@@ -241,7 +241,20 @@ def run_chaos_case(program, plan, seed, config, baseline=None):
     elif not report_matches:
         problems.append("postmortem verdicts do not match the run report")
 
-    # 5. pressure accounting: every slot leak the watchdog detected was
+    # 5. checker: the streaming offline checker is the third evaluator;
+    # under injected faults it must still reproduce the reverify pass
+    # verdict-for-verdict and reach the same conclusion
+    from repro.journal.checker import check_events
+
+    check = check_events(journal.events)
+    if (check.verdicts != postmortem.offline
+            or check.online != postmortem.online
+            or check.agrees != postmortem.agrees):
+        problems.append("checker diverged from reverify (%s: %d vs %d "
+                        "verdicts)" % (check.status, len(check.verdicts),
+                                       len(postmortem.offline)))
+
+    # 6. pressure accounting: every slot leak the watchdog detected was
     # reclaimed, and every arbiter decision left a journal record (both
     # trivially 0 == 0 when the pressure plane is off)
     stats = faulty.stats

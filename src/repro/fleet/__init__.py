@@ -21,7 +21,9 @@ service:
   whitelist provably equal to serial training on the same seeds.
 """
 
-from repro.fleet.binning import bin_jobs_by_conflict, job_conflict_weight
+from repro.fleet.binning import (BinnedRounds, bin_jobs_by_conflict,
+                                 job_conflict_weight, run_binned_rounds,
+                                 violation_history)
 from repro.fleet.jobs import JobSpec, JobResult, app_run_jobs, detect_jobs
 from repro.fleet.merge import FleetAggregate, aggregate_results
 from repro.fleet.shard import (FederatedTrainingResult, federated_train,
@@ -30,6 +32,7 @@ from repro.fleet.supervisor import (FleetPolicy, FleetRecovery, FleetResult,
                                     FleetStats, FleetSupervisor)
 
 __all__ = [
+    "BinnedRounds",
     "FederatedTrainingResult",
     "FleetAggregate",
     "FleetPolicy",
@@ -46,4 +49,6 @@ __all__ = [
     "job_conflict_weight",
     "federated_train",
     "partition_round_robin",
+    "run_binned_rounds",
+    "violation_history",
 ]

@@ -42,4 +42,76 @@ def bin_jobs_by_conflict(specs, history=None):
     return ordered, weights
 
 
-__all__ = ["bin_jobs_by_conflict", "job_conflict_weight"]
+def violation_history(source, history=None):
+    """Fold violated AR ids into the pressure arbiter's
+    ``{ar_id: violation count}`` shape (``SlotArbiter.viol_counts``),
+    accumulating into a copy of ``history``.
+
+    ``source`` is either a :class:`repro.fleet.merge.FleetAggregate`
+    (its ``violated_ars`` ``(job_id, ar_id)`` pairs are folded) or any
+    iterable of AR ids (e.g. a fuzz payload's ``violated_ars`` list).
+    """
+    history = dict(history) if history else {}
+    pairs = getattr(source, "violated_ars", None)
+    ids = [ar for _job, ar in pairs] if pairs is not None else source
+    for ar_id in ids:
+        history[ar_id] = history.get(ar_id, 0) + 1
+    return history
+
+
+class BinnedRounds:
+    """Outcome of :func:`run_binned_rounds`: per-round orders/digests,
+    the accumulated violation history, and the last fleet result."""
+
+    __slots__ = ("rounds", "history", "last")
+
+    def __init__(self, rounds, history, last):
+        self.rounds = rounds      # [{round, order, weights, digest, ...}]
+        self.history = history    # final {ar_id: violation count}
+        self.last = last          # FleetResult of the final round
+
+    @property
+    def digests(self):
+        return [r["digest"] for r in self.rounds]
+
+    @property
+    def digests_agree(self):
+        """The rebinning pin: every round runs the same seed-determined
+        jobs in a (possibly) different order, so every aggregate digest
+        must match the first round's."""
+        return len(set(self.digests)) <= 1
+
+
+def run_binned_rounds(supervisor, specs, rounds=2, history=None, log=None):
+    """Run the same batch ``rounds`` times, rebinning between rounds
+    with the violation history accumulated so far — the live feedback
+    loop from the arbiter's priority signal back into fleet scheduling.
+
+    Binning is a pure reordering and jobs are seed-deterministic, so
+    rebinning must never change the aggregate: ``digests_agree`` on the
+    returned :class:`BinnedRounds` is the equality pin.
+    """
+    log = log or (lambda message: None)
+    history = dict(history) if history else {}
+    outcome = []
+    last = None
+    for rnd in range(max(1, rounds)):
+        ordered, weights = bin_jobs_by_conflict(specs, history=history)
+        log("round %d binning (heaviest first): %s"
+            % (rnd + 1, " ".join("%s=%d" % (s.job_id, weights[s.job_id])
+                                 for s in ordered)))
+        last = supervisor.run_jobs(ordered)
+        aggregate = last.aggregate()
+        history = violation_history(aggregate, history)
+        outcome.append({
+            "round": rnd + 1,
+            "order": [s.job_id for s in ordered],
+            "weights": weights,
+            "digest": aggregate.digest(),
+            "violated_ars": len(aggregate.violated_ars),
+        })
+    return BinnedRounds(outcome, history, last)
+
+
+__all__ = ["BinnedRounds", "bin_jobs_by_conflict", "job_conflict_weight",
+           "run_binned_rounds", "violation_history"]

@@ -28,6 +28,7 @@ from repro.fuzz.archive import archive_case, case_name, salvage_corpus
 from repro.fuzz.generator import FuzzParams, generate_source
 from repro.fuzz.minimize import minimize
 from repro.fuzz.oracle import drilled_events, report_verdicts
+from repro.journal.checker import check_events
 from repro.journal.postmortem import reverify
 from repro.journal.replay import record_run, replay_run
 
@@ -81,11 +82,12 @@ class CampaignSpec:
     """Everything that determines a campaign (all JSON-safe)."""
 
     __slots__ = ("n_programs", "base_seed", "workers", "drill_every",
-                 "corpus_dir", "chaos", "minimize_tests", "fix", "params")
+                 "corpus_dir", "chaos", "minimize_tests", "fix", "params",
+                 "rounds")
 
     def __init__(self, n_programs=50, base_seed=0, workers=0, drill_every=10,
                  corpus_dir=None, chaos=None, minimize_tests=250, fix=True,
-                 params=None):
+                 params=None, rounds=1):
         self.n_programs = int(n_programs)
         self.base_seed = int(base_seed)
         self.workers = int(workers)
@@ -99,6 +101,12 @@ class CampaignSpec:
         self.fix = bool(fix)
         #: fixed FuzzParams for every program (None = sample per program)
         self.params = params
+        #: >1 splits the batch into that many fleet rounds, rebinning
+        #: each round by conflict weight sharpened with the violation
+        #: history the earlier rounds accumulated (arbiter-shaped
+        #: ``{ar_id: count}``); pure scheduling — results are pinned
+        #: identical to the single-round campaign
+        self.rounds = int(rounds)
 
 
 class GeneratedProgram:
@@ -224,9 +232,17 @@ def _diverges(program, config, seed, kinds, drill):
         if (post.disagreements or post.anomalies
                 or post.offline != report_verdicts(report)):
             return True
-    if "drill-reverify" in kinds and drill:
-        post = reverify(drilled_events(recorder.events, drill))
-        if post.disagreements:
+    if "checker" in kinds:
+        post = reverify(recorder.events)
+        check = check_events(recorder.events)
+        if (check.verdicts != post.offline or check.online != post.online
+                or check.agrees != post.agrees):
+            return True
+    if kinds & {"drill-reverify", "drill-checker"} and drill:
+        lossy = drilled_events(recorder.events, drill)
+        if "drill-reverify" in kinds and reverify(lossy).disagreements:
+            return True
+        if "drill-checker" in kinds and check_events(lossy).disagreements:
             return True
     if "replay" in kinds:
         replay = replay_run(program, recorder)
@@ -261,10 +277,11 @@ def _find_diverging_seed(program, config, run_seed, kinds, drill):
 class CampaignResult:
     __slots__ = ("spec", "programs", "fleet", "lost", "divergences",
                  "archived", "unarchived", "confirmed", "fixes",
-                 "salvaged", "drill_programs")
+                 "salvaged", "drill_programs", "history")
 
     def __init__(self, spec, programs, fleet, lost, divergences, archived,
-                 unarchived, confirmed, fixes, salvaged, drill_programs):
+                 unarchived, confirmed, fixes, salvaged, drill_programs,
+                 history=None):
         self.spec = spec
         self.programs = programs
         self.fleet = fleet
@@ -276,6 +293,9 @@ class CampaignResult:
         self.fixes = list(fixes)               # FixOutcome payload dicts
         self.salvaged = list(salvaged)
         self.drill_programs = drill_programs
+        #: arbiter-shaped {ar_id: count} accumulated across rebinning
+        #: rounds (empty for single-round campaigns)
+        self.history = dict(history or {})
 
     @property
     def fix_rate(self):
@@ -304,6 +324,8 @@ class CampaignResult:
             "fixes": self.fixes,
             "fix_rate": self.fix_rate,
             "salvaged": self.salvaged,
+            "rounds": max(1, self.spec.rounds),
+            "violation_history": self.history,
             "fleet": fleet_stats,
             "ok": self.ok,
         }
@@ -368,6 +390,11 @@ def _minimize_and_archive(spec, prog, kinds, payload, log):
         "archived_seed": seed,
         "drill": prog.drill,
         "kinds": sorted(kinds),
+        #: True when the streaming checker (not just the replay-based
+        #: legs) disagreed — the triage queue for checker-vs-detector
+        #: splits filters on this
+        "checker_divergence": any(k in ("checker", "drill-checker")
+                                  for k in kinds),
         "oracle": payload,
         "minimize": min_payload,
     }
@@ -382,6 +409,62 @@ def _minimize_and_archive(spec, prog, kinds, payload, log):
                               % min_payload["minimized_lines"]
                               or "unminimized"))
     return name
+
+
+def _merge_fleet(parts):
+    """Fold per-round FleetResults into one (results are keyed by job id
+    and rounds are disjoint, so the union is lossless)."""
+    if len(parts) == 1:
+        return parts[0]
+    from repro.fleet.supervisor import FleetResult, FleetStats
+
+    results = {}
+    recoveries = []
+    rejections = []
+    stats = FleetStats()
+    elapsed = 0.0
+    order = []
+    for part in parts:
+        results.update(part.results)
+        recoveries.extend(part.recoveries)
+        rejections.extend(part.rejections)
+        for name in FleetStats.FIELDS:
+            setattr(stats, name,
+                    getattr(stats, name) + getattr(part.stats, name))
+        elapsed += part.elapsed_s
+        order.extend(part.completion_order)
+    return FleetResult(results, recoveries, rejections, stats, elapsed,
+                       parts[-1].workers, order)
+
+
+def _run_fleet_rounds(supervisor, job_specs, rounds, log):
+    """Dispatch the batch in ``rounds`` fleet rounds, rebinning each
+    round's chunk by conflict weight sharpened with the violation
+    history the earlier rounds accumulated — the live feedback loop from
+    the arbiter's priority signal into campaign scheduling. Returns
+    ``(merged FleetResult, final history)``."""
+    if rounds <= 1 or len(job_specs) < 2:
+        return supervisor.run_jobs(job_specs), {}
+    from repro.fleet.binning import bin_jobs_by_conflict, violation_history
+
+    chunk = (len(job_specs) + rounds - 1) // rounds
+    history = {}
+    parts = []
+    for rnd in range(rounds):
+        batch = job_specs[rnd * chunk:(rnd + 1) * chunk]
+        if not batch:
+            break
+        ordered, _weights = bin_jobs_by_conflict(batch, history=history)
+        log("round %d: %d job(s), rebinned with %d hot AR(s)"
+            % (rnd + 1, len(ordered), len(history)))
+        part = supervisor.run_jobs(ordered)
+        parts.append(part)
+        ids = []
+        for result in part.results.values():
+            if result.ok:
+                ids.extend(result.payload.get("violated_ars", ()))
+        history = violation_history(ids, history)
+    return _merge_fleet(parts), history
 
 
 def run_campaign(spec, log=None):
@@ -399,7 +482,8 @@ def run_campaign(spec, log=None):
     supervisor = FleetSupervisor(
         workers=spec.workers,
         policy=FleetPolicy(workers=spec.workers))
-    fleet = supervisor.run_jobs(job_specs)
+    fleet, history = _run_fleet_rounds(supervisor, job_specs,
+                                       max(1, spec.rounds), log)
     log("fleet: %s" % fleet.describe())
 
     lost = [js.job_id for js in job_specs if js.job_id not in fleet.results]
@@ -460,7 +544,8 @@ def run_campaign(spec, log=None):
     return CampaignResult(
         spec, programs, fleet, lost, divergences, archived, unarchived,
         confirmed, fixes, salvaged,
-        drill_programs=sum(1 for prog in programs if prog.drill))
+        drill_programs=sum(1 for prog in programs if prog.drill),
+        history=history)
 
 
 __all__ = ["MAX_STEPS", "CampaignResult", "CampaignSpec", "build_specs",

@@ -11,6 +11,10 @@ agree:
   verdict stream (the user-facing path tells the same story);
 - **replay** — the recording replays pinned, frame-for-frame, with the
   same verdict multiset (``repro.journal.replay``);
+- **checker** — the sound-and-complete streaming checker re-derives the
+  verdicts a third way, without re-execution and with its own region GC
+  (``repro.journal.checker``); it must match both the reverify pass and
+  the online multiset exactly;
 - **conflict** — with a core per thread the ``conflict_sched=True``
   policy is inert by construction, so a PREVENTION-mode run pair
   (base vs policy) must produce identical verdicts (the PR 7
@@ -24,10 +28,14 @@ The ``drop-trigger`` drill deliberately removes the first remote
 journal loss.  On a program with a real violation this manufactures an
 honest online-vs-offline disagreement, which is how the minimizer,
 archiver and CI gates are exercised without waiting for a genuine
-detector bug.  Drill divergences are labeled as such everywhere.
+detector bug.  Drill divergences are labeled as such everywhere.  The
+streaming checker sees the drilled journal too (with its sequence gap)
+and must flag the same loss as a *partial* disagreement — proving the
+triage path works for the fast backend as well.
 """
 
 from repro.core.config import Mode
+from repro.journal.checker import check_events
 from repro.journal.postmortem import reverify, reverify_report
 from repro.journal.replay import record_run, replay_run, verdict_multiset
 
@@ -63,12 +71,16 @@ class CrossCheck:
 
     __slots__ = ("online", "offline", "anomalies", "report_match",
                  "replay_ok", "replay_verdicts_match", "pin_divergences",
-                 "conflict_match", "deadlocked", "drill", "drill_diverged",
-                 "violations", "stats")
+                 "conflict_match", "checker_match", "checker_status",
+                 "deadlocked", "drill", "drill_diverged",
+                 "drill_checker_diverged", "violations", "violated_ars",
+                 "stats")
 
     def __init__(self, online, offline, anomalies, report_match, replay_ok,
                  replay_verdicts_match, pin_divergences, conflict_match,
-                 deadlocked, drill, drill_diverged, violations, stats):
+                 checker_match, checker_status, deadlocked, drill,
+                 drill_diverged, drill_checker_diverged, violations,
+                 violated_ars, stats):
         self.online = online
         self.offline = offline
         self.anomalies = list(anomalies)
@@ -77,10 +89,16 @@ class CrossCheck:
         self.replay_verdicts_match = replay_verdicts_match
         self.pin_divergences = pin_divergences
         self.conflict_match = conflict_match
+        self.checker_match = checker_match
+        self.checker_status = checker_status
         self.deadlocked = deadlocked
         self.drill = drill
         self.drill_diverged = drill_diverged
+        self.drill_checker_diverged = drill_checker_diverged
         self.violations = violations
+        #: AR ids with multiplicity — the campaign's rebinning rounds
+        #: fold these into the arbiter-shaped violation history
+        self.violated_ars = list(violated_ars)
         self.stats = stats
 
     @property
@@ -97,8 +115,12 @@ class CrossCheck:
             kinds.append("replay")
         if not self.conflict_match:
             kinds.append("conflict")
+        if not self.checker_match:
+            kinds.append("checker")
         if self.drill_diverged:
             kinds.append("drill-reverify")
+        if self.drill_checker_diverged:
+            kinds.append("drill-checker")
         return kinds
 
     @property
@@ -109,6 +131,7 @@ class CrossCheck:
         """Plain-JSON summary (fleet job payloads, archive metadata)."""
         return {
             "violations": self.violations,
+            "violated_ars": self.violated_ars,
             "online": [list(v) for v in self.online],
             "offline": [list(v) for v in self.offline],
             "anomalies": list(self.anomalies),
@@ -117,9 +140,12 @@ class CrossCheck:
             "replay_verdicts_match": self.replay_verdicts_match,
             "pin_divergences": self.pin_divergences,
             "conflict_match": self.conflict_match,
+            "checker_match": self.checker_match,
+            "checker_status": self.checker_status,
             "deadlocked": self.deadlocked,
             "drill": self.drill,
             "drill_diverged": self.drill_diverged,
+            "drill_checker_diverged": self.drill_checker_diverged,
             "divergences": self.divergences,
             "stats": self.stats,
         }
@@ -158,10 +184,30 @@ def cross_check(program, config, seed, drill=None, recorder=None,
     online = verdict_multiset(recorder.events)
     post, report_match = reverify_report(recorder.events, report)
     replay = replay_run(program, recorder)
+    check = check_events(recorder.events)
+    # the third leg: the streaming checker must reproduce the reverify
+    # pass verdict-for-verdict, see the same online multiset, and reach
+    # the same overall conclusion on an intact in-memory journal
+    checker_match = (check.verdicts == post.offline
+                     and check.online == online
+                     and check.agrees == post.agrees)
     drill_diverged = False
+    drill_checker_diverged = False
     if drill is not None:
-        drilled = reverify(drilled_events(recorder.events, drill))
+        lossy = drilled_events(recorder.events, drill)
+        drilled = reverify(lossy)
         drill_diverged = bool(drilled.disagreements)
+        # the checker sees the same lossy journal: it must derive the
+        # identical surviving-verdict multiset AND notice the sequence
+        # gap (never claim completeness of a drilled journal) — a
+        # mismatch on either is a real checker bug, not a drill outcome
+        drilled_check = check_events(lossy)
+        drill_checker_diverged = bool(drilled_check.disagreements)
+        if (drilled_check.verdicts != drilled.offline
+                or (len(lossy) < len(recorder.events)
+                    and drilled_check.complete)
+                or drill_checker_diverged != drill_diverged):
+            checker_match = False
     stats = {
         "instr_count": report.result.instr_count,
         "traps": report.stats.traps,
@@ -177,10 +223,14 @@ def cross_check(program, config, seed, drill=None, recorder=None,
         replay_verdicts_match=replay.verdicts_match,
         pin_divergences=len(replay.pin_divergences),
         conflict_match=conflict_transparency(program, config, seed),
+        checker_match=checker_match,
+        checker_status=check.status,
         deadlocked=bool(report.result.deadlocked),
         drill=drill,
         drill_diverged=drill_diverged,
+        drill_checker_diverged=drill_checker_diverged,
         violations=len(report.violations),
+        violated_ars=sorted(r.ar_id for r in report.violations),
         stats=stats,
     )
 

@@ -18,20 +18,35 @@ audited after a crash. This package adds the durable plane:
   AR-table and watchpoint state from the journal and resume (by verified
   re-execution) or abort cleanly;
 - :mod:`repro.journal.postmortem` — an offline serializability
-  re-verifier (RegionTrack-style) that cross-checks every online verdict.
+  re-verifier (RegionTrack-style) that cross-checks every online verdict;
+- :mod:`repro.journal.stream` — a streaming, resynchronizing reader that
+  scans past mid-file damage and accounts for every skipped byte;
+- :mod:`repro.journal.checker` — the sound-and-complete streaming
+  offline checker: verdicts without re-execution, bounded memory, and
+  explicit partial coverage on damaged journals.
 """
 
+from repro.journal.checker import (CheckResult, StreamingChecker,
+                                   check_events, check_journal)
 from repro.journal.events import JournalEvent, decode_event, encode_event
 from repro.journal.format import (JournalReadResult, JournalWriter,
                                   read_journal)
 from repro.journal.recorder import JournalRecorder
+from repro.journal.stream import Corruption, EventStream, stream_events
 
 __all__ = [
+    "CheckResult",
+    "Corruption",
+    "EventStream",
     "JournalEvent",
     "JournalReadResult",
     "JournalRecorder",
     "JournalWriter",
+    "StreamingChecker",
+    "check_events",
+    "check_journal",
     "decode_event",
     "encode_event",
     "read_journal",
+    "stream_events",
 ]

@@ -69,15 +69,16 @@ class ServicePolicy:
                  "max_jobs_per_worker", "collect_journals", "warm_sources",
                  "warm_whitelists", "default_deadline_s", "max_retries",
                  "retry_backoff_s", "backoff_cap_s", "poison_kills",
-                 "verify", "pressure", "shed_depth", "reject_depth",
-                 "poll_s")
+                 "verify", "verify_backend", "pressure", "shed_depth",
+                 "reject_depth", "poll_s")
 
     def __init__(self, workers=2, start_method="spawn", heartbeat_s=1.0,
                  rss_limit_kb=None, max_jobs_per_worker=None,
                  collect_journals=True, warm_sources=(), warm_whitelists=(),
                  default_deadline_s=30.0, max_retries=2,
                  retry_backoff_s=0.05, backoff_cap_s=1.0, poison_kills=2,
-                 verify=True, pressure=None, poll_s=0.02):
+                 verify=True, verify_backend="replay", pressure=None,
+                 poll_s=0.02):
         if default_deadline_s <= 0:
             raise ConfigError("default_deadline_s must be positive")
         if max_retries < 0:
@@ -86,6 +87,8 @@ class ServicePolicy:
             raise ConfigError("poison_kills must be >= 1")
         if retry_backoff_s < 0 or backoff_cap_s < retry_backoff_s:
             raise ConfigError("need 0 <= retry_backoff_s <= backoff_cap_s")
+        if verify_backend not in ("replay", "checker"):
+            raise ConfigError("verify_backend must be 'replay' or 'checker'")
         self.workers = workers
         self.start_method = start_method
         self.heartbeat_s = heartbeat_s
@@ -100,6 +103,12 @@ class ServicePolicy:
         self.backoff_cap_s = backoff_cap_s
         self.poison_kills = poison_kills
         self.verify = verify
+        #: "replay" re-executes the program pinned to the journal (the
+        #: strongest check); "checker" streams the journal through the
+        #: offline serializability checker — no re-execution, so each
+        #: verification is far cheaper and the queue sheds less
+        #: monitoring debt under load
+        self.verify_backend = verify_backend
         self.pressure = pressure if pressure is not None else PressurePolicy()
         self.shed_depth, self.reject_depth = \
             self.pressure.fleet_watermarks(max(1, workers))
@@ -540,6 +549,7 @@ class KivatiDaemon:
 
     def _verify_loop(self):
         from repro.fleet.worker import cached_program
+        from repro.journal.checker import check_journal
         from repro.journal.replay import replay_run
 
         while True:
@@ -553,10 +563,16 @@ class KivatiDaemon:
                 request, body = self._verify_queue.popleft()
             self.stats.verifications += 1
             try:
-                replay = replay_run(cached_program(request.spec.source),
-                                    body["journal_path"],
-                                    drop_fault_points=("journal.crash",))
-                verified = replay.ok and replay.verdicts_match
+                if self.policy.verify_backend == "checker":
+                    # no re-execution: stream the journal through the
+                    # offline checker; the strong `agrees` claim demands
+                    # an intact journal and identical verdict multisets
+                    verified = check_journal(body["journal_path"]).agrees
+                else:
+                    replay = replay_run(cached_program(request.spec.source),
+                                        body["journal_path"],
+                                        drop_fault_points=("journal.crash",))
+                    verified = replay.ok and replay.verdicts_match
             except Exception:
                 verified = False
             if not verified:

@@ -1,0 +1,169 @@
+"""Checkerbench artifact tests: validation gates, synthetic-journal
+soundness units, and the committed ``BENCH_checker.json`` (the scaling
+and speedup claim CI pins)."""
+
+import json
+import os
+
+from repro.bench import checkerbench
+from repro.journal.checker import check_journal
+
+
+def _scaling_row(events, seconds, triggers=8, sound=True, status="pass"):
+    return {"events": events, "bytes": events * 100, "seconds": seconds,
+            "events_per_second": events / seconds, "verdicts": 5,
+            "expected_verdicts": 5, "sound": sound, "status": status,
+            "peak_live_regions": 1, "peak_epochs": 4,
+            "peak_retained_triggers": triggers}
+
+
+def _payload(**overrides):
+    base = {
+        "schema": checkerbench.SCHEMA,
+        "smoke": False,
+        "scaling": {
+            "sizes": [10_000, 1_000_000],
+            "rows": [_scaling_row(10_000, 0.05),
+                     _scaling_row(1_000_000, 5.2)],
+            "slope": 1.01,
+            "max_slope": checkerbench.MAX_SLOPE,
+        },
+        "speedup": {"iters": 60, "seed": 0, "runs": 3,
+                    "journal_bytes": 250_000, "check_seconds": 0.05,
+                    "replay_seconds": 0.5, "speedup": 10.0,
+                    "checker_agrees": True, "checker_verdicts": 6,
+                    "replay_ok": True},
+        "min_speedup": checkerbench.MIN_SPEEDUP,
+        "corruption": {"iters": 8, "seed": 0, "journal_bytes": 250_000,
+                       "frame_boundaries": 80, "truncations": 80,
+                       "flips": 79, "crashes": [],
+                       "coverage_monotone": True, "false_complete": 0,
+                       "final_coverage": 1.0},
+        "corpus": {"runs": 33, "bugs": 11, "bugs_detected": 11,
+                   "disagreements": []},
+        "fuzz": {"programs": 200, "programs_with_verdicts": 60,
+                 "disagreements": []},
+    }
+    base.update(overrides)
+    return base
+
+
+def test_validate_accepts_well_formed_payload():
+    assert checkerbench.validate(_payload()) == []
+
+
+def test_validate_rejects_wrong_schema():
+    assert checkerbench.validate(_payload(schema="nope/v9"))
+
+
+def test_validate_rejects_unsound_scaling_row():
+    payload = _payload()
+    payload["scaling"]["rows"][1] = _scaling_row(1_000_000, 5.2,
+                                                 sound=False)
+    assert any("unsound" in p for p in checkerbench.validate(payload))
+
+
+def test_validate_rejects_superlinear_slope():
+    payload = _payload()
+    payload["scaling"]["slope"] = 1.8
+    assert any("near-linear" in p for p in checkerbench.validate(payload))
+
+
+def test_validate_rejects_gc_leak():
+    payload = _payload()
+    payload["scaling"]["rows"][1]["peak_retained_triggers"] = 5_000
+    assert any("GC leak" in p for p in checkerbench.validate(payload))
+
+
+def test_validate_rejects_small_top_size():
+    payload = _payload()
+    payload["scaling"]["sizes"] = [10_000, 50_000]
+    payload["scaling"]["rows"] = [_scaling_row(10_000, 0.05),
+                                  _scaling_row(50_000, 0.2)]
+    assert any("1M events" in p for p in checkerbench.validate(payload))
+
+
+def test_validate_rejects_slow_checker():
+    payload = _payload()
+    payload["speedup"]["speedup"] = 2.5
+    assert any("speedup" in p for p in checkerbench.validate(payload))
+
+
+def test_validate_rejects_corruption_failures():
+    payload = _payload()
+    payload["corruption"]["crashes"] = [{"op": "truncate", "offset": 12,
+                                         "error": "ValueError: boom"}]
+    assert any("crashed" in p for p in checkerbench.validate(payload))
+    payload = _payload()
+    payload["corruption"]["coverage_monotone"] = False
+    assert any("monotone" in p for p in checkerbench.validate(payload))
+    payload = _payload()
+    payload["corruption"]["false_complete"] = 3
+    assert any("completeness" in p for p in checkerbench.validate(payload))
+
+
+def test_validate_rejects_differential_disagreements():
+    payload = _payload()
+    payload["corpus"]["disagreements"] = [{"bug": "19938", "seed": 1}]
+    assert any("corpus" in p for p in checkerbench.validate(payload))
+    payload = _payload()
+    payload["fuzz"]["disagreements"] = [{"program_id": "p1"}]
+    assert any("fuzz" in p for p in checkerbench.validate(payload))
+    payload = _payload()
+    payload["fuzz"]["programs"] = 12
+    assert any("programs" in p for p in checkerbench.validate(payload))
+
+
+def test_smoke_artifact_relaxes_timing_but_not_correctness():
+    payload = _payload(smoke=True, min_speedup=0.0)
+    payload["scaling"]["sizes"] = [2_000, 10_000]
+    payload["scaling"]["rows"] = [_scaling_row(2_000, 0.01),
+                                  _scaling_row(10_000, 0.05)]
+    payload["scaling"]["slope"] = 2.5  # timing noise: ignored for smoke
+    payload["speedup"]["speedup"] = 1.0
+    payload["fuzz"]["programs"] = 12
+    assert checkerbench.validate(payload) == []
+    # correctness gates still bite
+    payload["corruption"]["coverage_monotone"] = False
+    assert checkerbench.validate(payload)
+
+
+def test_synthetic_journal_is_sound_by_construction(tmp_path):
+    path = str(tmp_path / "synthetic.journal")
+    expected, written = checkerbench.synthesize_journal(path, 800, seed=3)
+    result = check_journal(path)
+    assert result.verdicts == expected
+    assert result.status == "pass"
+    assert result.events_checked == written
+    assert result.coverage == 1.0
+
+
+def test_scaling_series_reports_sound_rows(tmp_path):
+    rows, slope = checkerbench.scaling_series((400, 1200),
+                                              workdir=str(tmp_path))
+    assert [r["sound"] for r in rows] == [True, True]
+    assert [r["status"] for r in rows] == ["pass", "pass"]
+    assert slope is not None
+    # streaming GC held: retained state is a handful, not O(trace)
+    assert all(r["peak_retained_triggers"] < 100 for r in rows)
+
+
+def test_render_mentions_every_gate():
+    text = checkerbench.render(_payload())
+    for needle in ("slope", "speedup vs replay-reverify", "corruption",
+                   "disagreements", "sound"):
+        assert needle in text
+
+
+def test_committed_artifact_is_valid():
+    path = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
+                        "BENCH_checker.json")
+    with open(path) as f:
+        payload = json.load(f)
+    assert checkerbench.validate(payload) == []
+    assert not payload["smoke"], "the committed artifact must be full-size"
+    assert max(r["events"] for r in payload["scaling"]["rows"]) >= 1_000_000
+    assert payload["speedup"]["speedup"] >= checkerbench.MIN_SPEEDUP
+    assert payload["corruption"]["crashes"] == []
+    assert payload["corpus"]["disagreements"] == []
+    assert payload["fuzz"]["disagreements"] == []

@@ -68,3 +68,32 @@ def test_campaign_payload_shape(tmp_path):
     assert payload["programs"] == 4
     assert payload["lost"] == 0
     assert payload["ok"] is True
+    assert payload["rounds"] == 1
+    assert payload["violation_history"] == {}
+
+
+def test_campaign_rebinning_rounds_pin_results(tmp_path):
+    """Splitting the batch into violation-history-rebinned rounds is
+    pure scheduling: divergences, confirmed programs and per-job
+    payloads must match the single-round campaign exactly."""
+    single = run_campaign(CampaignSpec(
+        n_programs=6, base_seed=2, workers=0, drill_every=0, fix=False))
+    rounds = run_campaign(CampaignSpec(
+        n_programs=6, base_seed=2, workers=0, drill_every=0, fix=False,
+        rounds=3))
+    key = lambda r: sorted((d["program_id"], tuple(d["kinds"]))
+                           for d in r.divergences)
+    assert key(single) == key(rounds)
+    assert single.confirmed == rounds.confirmed
+    assert rounds.lost == []
+    # per-job digest pin: every job payload is bit-identical
+    assert set(single.fleet.results) == set(rounds.fleet.results)
+    for job_id, result in single.fleet.results.items():
+        assert rounds.fleet.results[job_id].payload == result.payload
+    # the accumulated history is exactly the fold of every job's
+    # violated ARs — proof the feedback loop saw the real violations
+    expected = {}
+    for result in single.fleet.results.values():
+        for ar in result.payload.get("violated_ars", ()):
+            expected[ar] = expected.get(ar, 0) + 1
+    assert rounds.history == expected

@@ -1,0 +1,255 @@
+"""Streaming checker unit tests: verdict semantics, zombie windows,
+epoch GC bounds, damage handling and the three-way agreement with
+``reverify`` and the online detector on real runs."""
+
+import os
+
+import pytest
+
+from journal_common import RACY_SRC, base_config
+from repro.core.session import ProtectedProgram
+from repro.journal.checker import (StreamingChecker, check_events,
+                                   check_journal)
+from repro.journal.events import JournalEvent
+from repro.journal.format import JournalWriter
+from repro.journal.postmortem import reverify
+from repro.journal.recorder import JournalRecorder
+
+
+def _ev(seq, tid, kind, time_ns=None, **payload):
+    return JournalEvent(seq, 10 * seq if time_ns is None else time_ns,
+                        tid, kind, payload)
+
+
+def _window(seq0, tid, ar, slot=0, gen=1, first="R", second="W",
+            triggers=()):
+    """arm + begin + triggers + end, matching violation events omitted."""
+    events = [_ev(seq0, tid, "arm", slot=slot, gen=gen),
+              _ev(seq0 + 1, tid, "begin", ar=ar, slot=slot, gen=gen,
+                  first=first)]
+    seq = seq0 + 2
+    for rtid, kinds, undone in triggers:
+        events.append(_ev(seq, rtid, "trigger", slot=slot, gen=gen,
+                          kinds=list(kinds), undone=undone))
+        seq += 1
+    events.append(_ev(seq, tid, "end", ar=ar, second=second))
+    return events, seq + 1
+
+
+def _racy_events(seed=5):
+    recorder = JournalRecorder()
+    ProtectedProgram(RACY_SRC).run(base_config(journal=recorder,
+                                               seed=seed))
+    return recorder
+
+
+def test_clean_window_yields_figure2_verdict():
+    events = [_ev(0, 0, "run-start")]
+    body, seq = _window(1, 0, ar=7, first="R", second="W",
+                        triggers=[(1, ("W",), True)])
+    events += body + [_ev(seq, 0, "run-end")]
+    result = check_events(events)
+    assert result.verdicts == [(7, 0, 1, "R", "W", "W", True)]
+    assert result.complete and result.clean_close
+    assert result.coverage == 1.0
+    assert result.windows_checked == 1 and result.windows_open == 0
+    # no matching online record was journaled => explicit disagreement
+    assert result.status == "disagree"
+    assert len(result.disagreements) == 1
+
+
+def test_serializable_window_yields_no_verdict():
+    events = [_ev(0, 0, "run-start")]
+    body, seq = _window(1, 0, ar=7, first="R", second="R",
+                        triggers=[(1, ("R",), False)])
+    events += body + [_ev(seq, 0, "run-end")]
+    result = check_events(events)
+    assert result.verdicts == []
+    assert result.status == "pass" and result.agrees
+
+
+def test_stale_and_same_tid_triggers_are_filtered():
+    events = [
+        _ev(0, 0, "run-start"),
+        _ev(1, 0, "arm", slot=0, gen=1),
+        # recorded against the epoch before the window opens: stale
+        _ev(2, 1, "trigger", slot=0, gen=1, kinds=["W"], undone=False),
+        _ev(3, 0, "begin", ar=1, slot=0, gen=1, first="R"),
+        # same thread as the window: never a remote conflict
+        _ev(4, 0, "trigger", slot=0, gen=1, kinds=["W"], undone=False),
+        _ev(5, 0, "end", ar=1, second="W"),
+        _ev(6, 0, "run-end"),
+    ]
+    result = check_events(events)
+    assert result.verdicts == []
+    assert result.status == "pass"
+
+
+def test_zombie_end_is_evaluated_unprevented():
+    """A zombified window still gets verdicts at its late end, but the
+    kernel force-marks them unprevented (the undo already rolled back)."""
+    events = [
+        _ev(0, 0, "run-start"),
+        _ev(1, 0, "arm", slot=0, gen=1),
+        _ev(2, 0, "begin", ar=1, slot=0, gen=1, first="R"),
+        _ev(3, 1, "trigger", slot=0, gen=1, kinds=["W"], undone=True),
+        _ev(4, 0, "zombify", ar=1),
+        _ev(5, 0, "end", ar=1, second="W", zombie=True),
+        _ev(6, 0, "run-end"),
+    ]
+    result = check_events(events)
+    assert result.verdicts == [(1, 0, 1, "R", "W", "W", False)]
+
+
+def test_stranded_zombie_is_counted_not_alarmed():
+    """begin -> zombify -> (prevented undo re-runs the thread, a fresh
+    begin never ends the zombie): a legitimate kernel shape, so a
+    leftover window is informational, not an anomaly."""
+    events = [
+        _ev(0, 0, "run-start"),
+        _ev(1, 0, "arm", slot=0, gen=1),
+        _ev(2, 0, "begin", ar=1, slot=0, gen=1, first="R"),
+        _ev(3, 0, "zombify", ar=1),
+        _ev(4, 0, "run-end"),
+    ]
+    result = check_events(events)
+    assert result.windows_open == 1
+    assert result.anomalies == []
+    assert result.complete and result.status == "pass"
+
+
+def test_end_without_begin_is_anomalous_on_intact_journal():
+    events = [
+        _ev(0, 0, "run-start"),
+        _ev(1, 0, "end", ar=1, second="W"),
+        _ev(2, 0, "run-end"),
+    ]
+    result = check_events(events)
+    assert len(result.anomalies) == 1
+    assert result.status == "disagree"
+    assert not result.agrees
+
+
+def test_seq_gap_demotes_anomalies_to_unverified_and_caps_coverage():
+    events = [
+        _ev(0, 0, "run-start"),
+        # seqs 1..2 lost with the frames they carried
+        _ev(3, 0, "end", ar=1, second="W"),
+        _ev(4, 0, "run-end"),
+    ]
+    result = check_events(events)
+    assert result.anomalies == []
+    assert result.windows_unverified == 1
+    assert result.gaps == [(1, 2)]
+    assert result.missing_events == 2
+    assert result.coverage == pytest.approx(3 / 5.0)
+    assert result.status == "partial" and not result.complete
+
+
+def test_missing_run_end_means_torn_tail():
+    events = [
+        _ev(0, 0, "run-start"),
+        _ev(1, 0, "arm", slot=0, gen=1),
+        _ev(2, 0, "begin", ar=1, slot=0, gen=1, first="R"),
+    ]
+    result = check_events(events)
+    assert not result.clean_close and not result.complete
+    assert result.windows_open == 1
+    assert result.coverage == pytest.approx(3 / 4.0)
+
+
+def test_pruned_rotation_head_counts_as_missing():
+    events = [
+        _ev(10, 0, "arm", slot=0, gen=1),
+        _ev(11, 0, "run-end"),
+    ]
+    result = check_events(events)
+    assert result.missing_events == 10
+    assert result.coverage == pytest.approx(2 / 12.0)
+    assert not result.complete
+
+
+def test_epoch_gc_bounds_retained_triggers():
+    """Sequential windows with re-armed slots: every closed epoch's
+    triggers are dropped, so the retained-trigger peak stays at the
+    per-window count no matter how many windows stream past."""
+    events = [_ev(0, 0, "run-start")]
+    seq = 1
+    for i in range(50):
+        body, seq = _window(seq, 0, ar=i, slot=0, gen=i + 1,
+                            first="R", second="R",
+                            triggers=[(1, ("R",), False)])
+        events += body
+    events.append(_ev(seq, 0, "run-end"))
+    checker = StreamingChecker()
+    for event in events:
+        checker.feed(event)
+    result = checker.finish()
+    assert result.stats.triggers_seen == 50
+    assert result.stats.retained_triggers_peak <= 2
+    assert result.stats.live_epochs_peak <= 2
+    assert result.stats.epochs_gcd >= 49
+
+
+def test_check_events_three_way_agreement_on_real_run():
+    recorder = _racy_events()
+    post = reverify(recorder.events)
+    result = check_events(recorder.events)
+    assert result.verdicts == post.offline
+    assert result.online == post.online
+    assert result.agrees == post.agrees
+    assert result.status == "pass"
+    assert result.coverage == 1.0
+
+
+def test_check_journal_streams_from_disk(tmp_path):
+    path = str(tmp_path / "run.journal")
+    writer = JournalWriter(path)
+    recorder = JournalRecorder(writer=writer)
+    ProtectedProgram(RACY_SRC).run(base_config(journal=recorder, seed=5))
+    recorder.close()
+    result = check_journal(path)
+    in_memory = check_events(_racy_events().events)
+    assert result.verdicts == in_memory.verdicts
+    assert result.status == "pass"
+
+
+def test_check_journal_survives_truncation(tmp_path):
+    path = str(tmp_path / "run.journal")
+    writer = JournalWriter(path)
+    recorder = JournalRecorder(writer=writer)
+    ProtectedProgram(RACY_SRC).run(base_config(journal=recorder, seed=5))
+    recorder.close()
+    size = os.path.getsize(path)
+    with open(path, "r+b") as f:
+        f.truncate(int(size * 0.6))
+    result = check_journal(path)
+    assert result.status == "partial"
+    assert 0.0 < result.coverage < 1.0
+    assert not result.complete
+
+
+def test_check_journal_survives_midfile_flip(tmp_path):
+    path = str(tmp_path / "run.journal")
+    writer = JournalWriter(path)
+    recorder = JournalRecorder(writer=writer)
+    ProtectedProgram(RACY_SRC).run(base_config(journal=recorder, seed=5))
+    recorder.close()
+    size = os.path.getsize(path)
+    with open(path, "r+b") as f:
+        f.seek(size // 2)
+        byte = f.read(1)
+        f.seek(size // 2)
+        f.write(bytes([byte[0] ^ 0xFF]))
+    result = check_journal(path)
+    # either the flip hit a frame (partial + corruption records) or it
+    # hit dead space; it must never crash or silently claim a full pass
+    assert result.status in ("partial", "pass")
+    if result.corruptions:
+        assert result.status == "partial"
+
+
+def test_empty_event_list_is_no_data():
+    result = check_events([])
+    assert result.status == "no-data"
+    assert result.coverage == 0.0

@@ -101,6 +101,32 @@ def test_post_response_verification_runs(daemon, client):
     assert daemon.stats.verification_failures == 0
 
 
+def test_checker_verify_backend_verifies_without_replay(tmp_path):
+    policy = _policy(workers=1, verify_backend="checker")
+    d = KivatiDaemon(str(tmp_path / "s.sock"), policy,
+                     journal_root=str(tmp_path / "j"))
+    d.start()
+    try:
+        with ServiceClient(d.socket_path, timeout=60.0) as c:
+            response = c.submit(micro_spec(CONFIG, "ck-backend", 14))
+        assert response["ok"]
+        deadline = time.perf_counter() + 10.0
+        while time.perf_counter() < deadline:
+            if d.stats.verifications:
+                break
+            time.sleep(0.02)
+        assert d.stats.verifications > 0
+        assert d.stats.verification_failures == 0
+    finally:
+        d.stop()
+
+
+def test_unknown_verify_backend_rejected():
+    from repro.errors import ConfigError
+    with pytest.raises(ConfigError):
+        _policy(verify_backend="osmosis")
+
+
 def test_stats_op_reports_pool(client):
     response = client.stats()
     assert response["ok"]
