@@ -36,6 +36,7 @@ import time
 import zlib
 from random import Random
 
+from repro.bench.schema import check_schema
 from repro.bench.render import Table
 from repro.bench.scale import corpus_config
 from repro.core.config import Mode
@@ -510,12 +511,9 @@ def validate(payload):
     correctness gates (soundness at every size, zero crashes, monotone
     coverage, zero differential disagreements) always apply.
     """
-    problems = []
+    problems = check_schema(payload, SCHEMA)
     if not isinstance(payload, dict):
-        return ["payload is not an object"]
-    if payload.get("schema") != SCHEMA:
-        problems.append("schema is %r, want %r"
-                        % (payload.get("schema"), SCHEMA))
+        return problems
     smoke = bool(payload.get("smoke"))
     scaling = payload.get("scaling") or {}
     rows = scaling.get("rows") or []

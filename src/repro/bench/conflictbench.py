@@ -30,6 +30,7 @@ The artifact (schema ``kivati-conflictbench/v1``) is committed as
 import json
 import os
 
+from repro.bench.schema import check_schema
 from repro.bench.render import Table
 from repro.bench.scale import corpus_config
 from repro.core.config import KivatiConfig
@@ -195,12 +196,9 @@ def validate(payload):
     """Schema/invariant problems with a conflictbench artifact (empty
     list = valid).  The improvement gate uses the artifact's own
     ``min_improved`` (0 for smoke artifacts)."""
-    problems = []
+    problems = check_schema(payload, SCHEMA)
     if not isinstance(payload, dict):
-        return ["payload is not an object"]
-    if payload.get("schema") != SCHEMA:
-        problems.append("schema is %r, want %r"
-                        % (payload.get("schema"), SCHEMA))
+        return problems
     apps = payload.get("apps")
     if not isinstance(apps, list) or not apps:
         return problems + ["apps missing or empty"]

@@ -23,6 +23,7 @@ the host has >=4 CPUs to scale onto (``require_speedup`` forces it).
 import json
 import os
 
+from repro.bench.schema import check_schema
 from repro.bench.render import Table
 from repro.bench.scale import bench_config
 from repro.core.config import Mode
@@ -116,18 +117,14 @@ def validate(payload, require_speedup=False, min_speedup=1.8):
     = valid).  The speedup gate applies when the recording host had >=4
     CPUs (or ``require_speedup``); determinism is gated unconditionally.
     """
-    problems = []
+    problems = check_schema(payload, SCHEMA,
+                            required=("host", "job_count",
+                                      "determinism_ok"))
     if not isinstance(payload, dict):
-        return ["payload is not an object"]
-    if payload.get("schema") != SCHEMA:
-        problems.append("schema is %r, want %r"
-                        % (payload.get("schema"), SCHEMA))
+        return problems
     series = payload.get("series")
     if not isinstance(series, list) or not series:
         return problems + ["series missing or empty"]
-    for key in ("host", "job_count", "determinism_ok"):
-        if key not in payload:
-            problems.append("missing key %r" % key)
     for entry in series:
         for key in ("workers", "jobs", "failed", "elapsed_s",
                     "jobs_per_sec", "digest", "speedup_vs_1"):

@@ -25,6 +25,7 @@ proves the rates.
 import json
 import os
 
+from repro.bench.schema import check_schema
 from repro.bench.render import Table
 from repro.fuzz.archive import load_corpus
 from repro.fuzz.campaign import CampaignSpec, run_campaign
@@ -103,12 +104,9 @@ def generate(smoke=False, corpus_dir=None, log=None, **overrides):
 def validate(payload):
     """Schema/invariant problems with a fuzzbench artifact (empty list
     = valid)."""
-    problems = []
+    problems = check_schema(payload, SCHEMA)
     if not isinstance(payload, dict):
-        return ["payload is not an object"]
-    if payload.get("schema") != SCHEMA:
-        problems.append("schema is %r, want %r"
-                        % (payload.get("schema"), SCHEMA))
+        return problems
     campaign = payload.get("campaign")
     if not isinstance(campaign, dict):
         return problems + ["campaign missing"]

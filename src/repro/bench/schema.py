@@ -1,0 +1,103 @@
+"""Shared bench-artifact schema checking (`kivati bench validate`).
+
+Every bench plane commits a ``BENCH_*.json`` artifact whose
+``validate(payload)`` starts with the same structural preamble (is it
+an object, does ``schema`` match, are the top-level keys there) — until
+this module, each smoke job in CI re-rolled that check by hand. The
+preamble now lives in :func:`check_schema`, and this module keeps the
+registry mapping committed artifact filenames and schema strings to
+their validators so ``kivati bench validate [--all]`` (and the CI smoke
+jobs) can validate any artifact without knowing which plane owns it.
+"""
+
+import importlib
+import json
+import os
+
+#: committed artifact filename -> owning bench module (lazy import —
+#: bench modules are heavy and validation must stay cheap)
+ARTIFACT_MODULES = {
+    "BENCH_fleet.json": "repro.bench.fleetbench",
+    "BENCH_service.json": "repro.bench.servicebench",
+    "BENCH_conflict.json": "repro.bench.conflictbench",
+    "BENCH_fuzz.json": "repro.bench.fuzzbench",
+    "BENCH_checker.json": "repro.bench.checkerbench",
+    "BENCH_obs.json": "repro.bench.obsbench",
+}
+
+
+def check_schema(payload, schema, required=()):
+    """The structural preamble every bench ``validate()`` shares.
+
+    Returns a problem list: non-dict payloads report exactly
+    ``["payload is not an object"]`` (callers should return
+    immediately), otherwise one problem per schema mismatch / missing
+    top-level key.
+    """
+    if not isinstance(payload, dict):
+        return ["payload is not an object"]
+    problems = []
+    if payload.get("schema") != schema:
+        problems.append("schema is %r, want %r"
+                        % (payload.get("schema"), schema))
+    for key in required:
+        if key not in payload:
+            problems.append("missing key %r" % key)
+    return problems
+
+
+def known_schemas():
+    """schema string -> bench module name, for dispatch by payload."""
+    out = {}
+    for module_name in sorted(set(ARTIFACT_MODULES.values())):
+        module = importlib.import_module(module_name)
+        out[module.SCHEMA] = module_name
+    return out
+
+
+def validate_artifact(payload):
+    """Validate any bench artifact by its ``schema`` field; returns a
+    problem list (unknown/missing schema is itself a problem)."""
+    if not isinstance(payload, dict):
+        return ["payload is not an object"]
+    schema = payload.get("schema")
+    module_name = known_schemas().get(schema)
+    if module_name is None:
+        return ["unknown schema %r (known: %s)"
+                % (schema, ", ".join(sorted(known_schemas())))]
+    return importlib.import_module(module_name).validate(payload)
+
+
+def validate_file(path):
+    """Validate one artifact file; unreadable/unparseable files are a
+    problem, not an exception."""
+    try:
+        with open(path) as f:
+            payload = json.load(f)
+    except OSError as exc:
+        return ["cannot read %s: %s" % (path, exc)]
+    except ValueError as exc:
+        return ["%s is not valid JSON: %s" % (path, exc)]
+    return validate_artifact(payload)
+
+
+def committed_artifacts(root="."):
+    """The committed ``BENCH_*.json`` files under ``root``, sorted."""
+    return sorted(name for name in os.listdir(root)
+                  if name.startswith("BENCH_") and name.endswith(".json")
+                  and os.path.isfile(os.path.join(root, name)))
+
+
+def validate_committed(root="."):
+    """Validate every committed artifact; returns an ordered
+    ``{filename: problems}`` dict (a file missing its registry entry is
+    still validated, by payload schema)."""
+    report = {}
+    for name in committed_artifacts(root):
+        report[name] = validate_file(os.path.join(root, name))
+    return report
+
+
+__all__ = ["ARTIFACT_MODULES", "check_schema", "committed_artifacts",
+           "known_schemas", "validate_artifact", "validate_committed",
+           "validate_file"]

@@ -33,6 +33,7 @@ import random
 import threading
 import time
 
+from repro.bench.schema import check_schema
 from repro.bench.fleetbench import host_info
 from repro.bench.render import Table
 from repro.bench.scale import bench_config
@@ -395,16 +396,12 @@ def validate(payload, min_speedup=5.0, require_speedup=False):
     warm latency is dominated by contention with the benchmark itself —
     is held to :data:`RELAXED_MIN_SPEEDUP` instead, so the gate tests
     the serving story, not the host's timing margin."""
-    problems = []
+    problems = check_schema(payload, SCHEMA,
+                            required=("host", "workers", "rates",
+                                      "warm_cold", "determinism",
+                                      "chaos", "drain", "stats"))
     if not isinstance(payload, dict):
-        return ["payload is not an object"]
-    if payload.get("schema") != SCHEMA:
-        problems.append("schema is %r, want %r"
-                        % (payload.get("schema"), SCHEMA))
-    for key in ("host", "workers", "rates", "warm_cold", "determinism",
-                "chaos", "drain", "stats"):
-        if key not in payload:
-            problems.append("missing key %r" % key)
+        return problems
     rates = payload.get("rates") or []
     if len(rates) < 3:
         problems.append("need >= 3 arrival rates, got %d" % len(rates))

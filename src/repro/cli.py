@@ -30,6 +30,11 @@ Commands::
     kivati service ping|stats|events|drain   operate a running daemon
     kivati service run FILE       submit one detection job to the daemon
     kivati service bench          sustained-traffic bench (BENCH_service.json)
+    kivati obs report FILE        VM hot-path profile of one run
+    kivati obs export             Chrome/Perfetto trace from a run/journal
+    kivati obs diff BASE NEW      perf-regression sentinel over artifacts
+    kivati obs bench              obs overhead benchmark (BENCH_obs.json)
+    kivati bench validate         schema-check BENCH_*.json artifacts
 
 Exit codes: 0 success; 1 invariant failure (chaos divergence, replay
 divergence, postmortem disagreement, fleet determinism/recovery failure);
@@ -760,6 +765,17 @@ def cmd_service(args):
     except ServiceUnavailable as exc:
         print("service unavailable: %s" % exc, file=sys.stderr)
         return 1
+    if getattr(args, "prom", False):
+        from repro.obs.prom import render_flat
+
+        values = dict(response.get("stats") or {})
+        values["pending"] = response.get("pending", 0)
+        values["draining"] = bool(response.get("draining"))
+        pool = response.get("pool") or {}
+        for key in ("workers", "spawned", "recycled"):
+            values["pool_" + key] = pool.get(key, 0)
+        sys.stdout.write(render_flat(values, prefix="kivati_service_"))
+        return 0 if response.get("ok") else 1
     print(json.dumps(response, indent=2, sort_keys=True))
     return 0 if response.get("ok") else 1
 
@@ -792,6 +808,132 @@ def cmd_apps(args):
               % (workload.name, workload.threads, pp.num_ars,
                  workload.description))
     return 0
+
+
+def cmd_obs_report(args):
+    from repro.obs import ObsPlane
+
+    obs = ObsPlane(wall_time=args.wall)
+    pp = ProtectedProgram(_read(args.file))
+    config = KivatiConfig(
+        mode=Mode.BUG_FINDING if args.bug_finding else Mode.PREVENTION,
+        seed=args.seed, obs=obs)
+    report = pp.run(config)
+    if args.json:
+        import json
+
+        print(json.dumps(obs.snapshot(), indent=2, sort_keys=True))
+        return 0
+    print(report.summary())
+    for violation in report.violations:
+        print("violation: " + violation.describe())
+    print(obs.profiler.hot_path_table(top=args.top))
+    return 0
+
+
+def cmd_obs_export(args):
+    from repro.obs.spans import (export_chrome_trace, journal_trace_events,
+                                 validate_chrome_trace)
+
+    if args.journal:
+        from repro.errors import JournalError
+        from repro.journal.format import read_journal
+
+        try:
+            events = read_journal(args.journal).events
+        except JournalError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+    elif args.file:
+        from repro.journal.replay import record_run
+        from repro.obs import ObsPlane
+
+        config = KivatiConfig(
+            mode=Mode.BUG_FINDING if args.bug_finding else Mode.PREVENTION,
+            seed=args.seed, obs=ObsPlane())
+        _, recorder = record_run(ProtectedProgram(_read(args.file)), config)
+        events = recorder.events
+    else:
+        print("error: give a program FILE or --journal PATH",
+              file=sys.stderr)
+        return 2
+    trace_events = journal_trace_events(events)
+    problems = validate_chrome_trace({"traceEvents": trace_events})
+    written = export_chrome_trace(trace_events, args.out)
+    print("trace: %d event(s), %d bytes -> %s"
+          % (len(trace_events), written, args.out))
+    for problem in problems:
+        print("OBS EXPORT FAIL: " + problem)
+    return 1 if problems else 0
+
+
+def cmd_obs_diff(args):
+    import json
+
+    from repro.errors import ObsError
+    from repro.obs import compare_artifacts
+
+    def load(path):
+        with open(path) as f:
+            return json.load(f)
+
+    try:
+        report = compare_artifacts(load(args.base), load(args.new),
+                                   rel_tol_scale=args.rel_tol_scale)
+    except (OSError, ValueError, ObsError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.describe())
+    return 0 if report.ok else 3
+
+
+def cmd_obs_bench(args):
+    from repro.bench import obsbench
+
+    payload = obsbench.generate(scale=args.scale, rounds=args.rounds,
+                                smoke=args.smoke)
+    print(obsbench.render(payload))
+    problems = obsbench.validate(payload)
+    for problem in problems:
+        print("OBSBENCH FAIL: " + problem)
+    if args.out:
+        obsbench.write_payload(payload, args.out)
+        print("wrote %s" % args.out)
+    return 1 if problems else 0
+
+
+def cmd_bench_validate(args):
+    from repro.bench import schema as bench_schema
+
+    if args.all:
+        report = bench_schema.validate_committed(args.root)
+        for path in args.files:
+            report[path] = bench_schema.validate_file(path)
+        if not report:
+            print("no committed BENCH_*.json artifacts under %s"
+                  % args.root)
+            return 1
+    elif args.files:
+        report = {path: bench_schema.validate_file(path)
+                  for path in args.files}
+    else:
+        print("error: give artifact FILES, or --all for the committed set",
+              file=sys.stderr)
+        return 2
+    status = 0
+    for name in sorted(report):
+        problems = report[name]
+        if problems:
+            status = 1
+            print("%s: INVALID" % name)
+            for problem in problems:
+                print("  " + problem)
+        else:
+            print("%s: ok" % name)
+    return status
 
 
 def main(argv=None):
@@ -1157,6 +1299,10 @@ def main(argv=None):
                             ("drain", "ask the daemon to drain and exit")):
         sp = service_sub.add_parser(name, help=help_text)
         add_service_common(sp)
+        if name == "stats":
+            sp.add_argument("--prom", action="store_true",
+                            help="emit Prometheus text exposition instead "
+                                 "of JSON")
         sp.set_defaults(fn=cmd_service)
 
     sp = service_sub.add_parser("events", help="tail the service log")
@@ -1197,6 +1343,77 @@ def main(argv=None):
     sp.add_argument("--out", default=None, metavar="PATH",
                     help="write the artifact JSON to PATH")
     sp.set_defaults(fn=cmd_service_bench)
+
+    p = sub.add_parser("obs",
+                       help="observability plane: profiles, traces, "
+                            "perf-regression diffs")
+    obs_sub = p.add_subparsers(dest="obs_cmd", required=True)
+
+    op = obs_sub.add_parser(
+        "report", help="run a program with the obs plane and print the "
+                       "VM hot-path profile")
+    op.add_argument("file", help="mini-C program to profile")
+    op.add_argument("--seed", type=int, default=0)
+    op.add_argument("--bug-finding", action="store_true")
+    op.add_argument("--wall", action="store_true",
+                    help="also attribute host wall-clock time per opcode "
+                         "(non-deterministic columns)")
+    op.add_argument("--top", type=int, default=12,
+                    help="opcodes to show in the hot-path table")
+    op.add_argument("--json", action="store_true",
+                    help="print the merged metrics snapshot as JSON")
+    op.set_defaults(fn=cmd_obs_report)
+
+    op = obs_sub.add_parser(
+        "export", help="export an AR-lifecycle Chrome trace (Perfetto-"
+                       "viewable) from a run or a recorded journal")
+    op.add_argument("file", nargs="?", default=None,
+                    help="mini-C program to run and trace")
+    op.add_argument("--journal", default=None, metavar="PATH",
+                    help="convert an existing journal instead of running")
+    op.add_argument("--seed", type=int, default=0)
+    op.add_argument("--bug-finding", action="store_true")
+    op.add_argument("--out", required=True, metavar="PATH",
+                    help="trace JSON output path")
+    op.set_defaults(fn=cmd_obs_export)
+
+    op = obs_sub.add_parser(
+        "diff", help="perf-regression sentinel: diff two BENCH_*.json "
+                     "artifacts (exit 3 on regression)")
+    op.add_argument("base", help="baseline artifact JSON")
+    op.add_argument("new", help="candidate artifact JSON")
+    op.add_argument("--rel-tol-scale", type=float, default=1.0,
+                    help="scale every relative tolerance (CI dry-runs on "
+                         "noisy hosts pass 2.0)")
+    op.add_argument("--json", action="store_true",
+                    help="emit the report as JSON")
+    op.set_defaults(fn=cmd_obs_diff)
+
+    op = obs_sub.add_parser(
+        "bench", help="obs overhead + transparency benchmark "
+                      "(BENCH_obs.json)")
+    op.add_argument("--scale", type=float, default=0.2,
+                    help="per-thread work scale factor")
+    op.add_argument("--rounds", type=int, default=10,
+                    help="paired on/off timing rounds per app")
+    op.add_argument("--smoke", action="store_true",
+                    help="CI-sized: fewer rounds, 3-bug corpus slice, "
+                         "overhead gate relaxed")
+    op.add_argument("--out", default=None, metavar="PATH",
+                    help="write the artifact JSON to PATH")
+    op.set_defaults(fn=cmd_obs_bench)
+
+    p = sub.add_parser("bench", help="benchmark-artifact tooling")
+    bench_sub = p.add_subparsers(dest="bench_cmd", required=True)
+    bp = bench_sub.add_parser(
+        "validate", help="schema-check BENCH_*.json artifacts")
+    bp.add_argument("files", nargs="*",
+                    help="artifact files to validate")
+    bp.add_argument("--all", action="store_true",
+                    help="also validate every committed BENCH_*.json")
+    bp.add_argument("--root", default=".",
+                    help="repo root for --all (default: .)")
+    bp.set_defaults(fn=cmd_bench_validate)
 
     p = sub.add_parser("replay",
                        help="replay a journaled run and check determinism")

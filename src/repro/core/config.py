@@ -96,6 +96,7 @@ class KivatiConfig:
         "static_prune",
         "pressure",
         "conflict_sched",
+        "obs",
     )
 
     def __init__(
@@ -123,6 +124,7 @@ class KivatiConfig:
         static_prune=False,
         pressure=None,
         conflict_sched=False,
+        obs=None,
     ):
         self.mode = mode
         self.opt = (OptimizationConfig.from_level(opt)
@@ -182,6 +184,12 @@ class KivatiConfig:
         # already running on another core, turning suspensions/undos
         # into cheap scheduling decisions
         self.conflict_sched = conflict_sched
+        # optional repro.obs.ObsPlane: metrics registry + deterministic
+        # VM profiler. A per-run mutable observer like trace/journal —
+        # excluded from journal snapshots, and purely read-only with
+        # respect to simulation (no cost, scheduling, journal or report
+        # changes); None keeps every hook on its is-None predicate
+        self.obs = obs
 
     @property
     def detection_enabled(self):
@@ -216,6 +224,7 @@ class KivatiConfig:
             "static_prune": self.static_prune,
             "pressure": self.pressure,
             "conflict_sched": self.conflict_sched,
+            "obs": self.obs,
         }
         kwargs.update(overrides)
         return KivatiConfig(**kwargs)

@@ -99,6 +99,7 @@ class ProtectedProgram:
             faults=injector,
             journal=journal,
             schedule_pin=schedule_pin,
+            profiler=config.obs.profiler if config.obs is not None else None,
         )
         try:
             result = machine.run(raise_on_deadlock=raise_on_deadlock)
@@ -115,6 +116,10 @@ class ProtectedProgram:
             # on success this flushes the run-end frame
             if journal is not None:
                 journal.close()
+        if config.obs is not None:
+            # fold this run's stats into the obs registry; observation
+            # only — the report below is identical with obs on or off
+            config.obs.finalize_run(runtime.stats, result)
         return RunReport(result, runtime.stats, log, config, self.ar_table,
                          degradations=degradations,
                          injected=tuple(injector.injected)

@@ -84,6 +84,11 @@ class JournalError(ReproError):
     """Malformed journal data, payload, or writer misuse."""
 
 
+class ObsError(ReproError):
+    """Misuse of the observability plane (`repro.obs`): metric type or
+    bucket-layout conflicts, malformed exported payloads."""
+
+
 class ServiceError(ReproError):
     """Error in the long-lived detection service (`repro.service`)."""
 

@@ -22,15 +22,42 @@ def merge_stats(stat_dicts):
     return total
 
 
+def worker_utilization(worker_usage, elapsed_s):
+    """Per-worker utilization summary from supervisor usage rows.
+
+    Returns ``worker_id -> {jobs, attempts, claims, busy_s, busy_frac}``
+    where ``busy_frac`` is the fraction of the batch's wall clock the
+    worker spent executing job attempts (idle fraction is its
+    complement).  Scheduling metadata only — never part of digests.
+    """
+    out = {}
+    for worker_id, row in sorted((worker_usage or {}).items()):
+        busy = row.get("busy_s", 0.0)
+        out[worker_id] = {
+            "jobs": row.get("jobs", 0),
+            "attempts": row.get("attempts", 0),
+            "claims": row.get("claims", 0),
+            "busy_s": round(busy, 4),
+            "busy_frac": round(busy / elapsed_s, 4) if elapsed_s else 0.0,
+        }
+    return out
+
+
 class FleetAggregate:
-    """Order-independent summary of a fleet run's results."""
+    """Order-independent summary of a fleet run's results.
+
+    ``utilization`` (per-worker busy fractions, when the caller passed
+    scheduling metadata) rides along for reporting but is excluded from
+    ``digest()`` — the digest is a pure function of the result set.
+    """
 
     __slots__ = ("jobs", "failed_jobs", "stats", "time_ns", "violations",
                  "violated_ars", "outputs", "whitelist", "detections",
-                 "deadlocks")
+                 "deadlocks", "utilization")
 
     def __init__(self, jobs, failed_jobs, stats, time_ns, violations,
-                 violated_ars, outputs, whitelist, detections, deadlocks):
+                 violated_ars, outputs, whitelist, detections, deadlocks,
+                 utilization=None):
         self.jobs = jobs                  # job ids aggregated, sorted
         self.failed_jobs = failed_jobs    # job_id -> error, sorted items
         self.stats = stats                # merged KivatiStats
@@ -41,6 +68,7 @@ class FleetAggregate:
         self.whitelist = whitelist        # union of train-shard FPs
         self.detections = detections      # job_id -> detect payload
         self.deadlocks = deadlocks        # job ids that deadlocked
+        self.utilization = utilization    # worker_id -> usage (or None)
 
     @property
     def ok(self):
@@ -74,12 +102,20 @@ class FleetAggregate:
             text += " detected=%d/%d" % (found, len(self.detections))
         if self.deadlocks:
             text += " DEADLOCKS=%s" % ",".join(self.deadlocks)
+        if self.utilization:
+            busy = ["%s=%d%%" % (w, round(100 * row["busy_frac"]))
+                    for w, row in sorted(self.utilization.items())]
+            text += " utilization[%s]" % ",".join(busy)
         return text
 
 
-def aggregate_results(results):
+def aggregate_results(results, elapsed_s=None, worker_usage=None):
     """Merge a ``job_id -> JobResult`` mapping (or iterable of results)
-    into a :class:`FleetAggregate`."""
+    into a :class:`FleetAggregate`.
+
+    ``elapsed_s``/``worker_usage`` (as collected by the supervisor)
+    attach per-worker utilization to the aggregate for reporting; they
+    never influence the digest."""
     if isinstance(results, dict):
         ordered = [results[job_id] for job_id in sorted(results)]
     else:
@@ -115,10 +151,13 @@ def aggregate_results(results):
         elif result.kind == "detect":
             detections[result.job_id] = payload
             time_ns += payload["time_ns"]
+    utilization = (worker_utilization(worker_usage, elapsed_s)
+                   if worker_usage else None)
     return FleetAggregate(jobs, dict(sorted(failed.items())), stats,
                           time_ns, sorted(violations), sorted(violated),
                           outputs, frozenset(whitelist), detections,
-                          deadlocks)
+                          deadlocks, utilization=utilization)
 
 
-__all__ = ["FleetAggregate", "aggregate_results", "merge_stats"]
+__all__ = ["FleetAggregate", "aggregate_results", "merge_stats",
+           "worker_utilization"]

@@ -28,10 +28,33 @@ import time
 
 from repro.errors import ConfigError, JournalCrash
 from repro.fleet.jobs import JobResult, JobSpec
-from repro.fleet.merge import aggregate_results
+from repro.fleet.merge import aggregate_results, worker_utilization
 from repro.fleet.worker import execute_job, job_journal_path, worker_main
 from repro.journal.recovery import salvage
 from repro.pressure.policy import PressurePolicy
+
+
+def _new_usage():
+    """Per-worker accounting row: dispatch/claim counts and busy time."""
+    return {"jobs": 0, "attempts": 0, "claims": 0, "busy_s": 0.0}
+
+
+def _note_window(row, timeline, spec, attempt, worker_id, begun, started,
+                 status, completed=False):
+    """Close one job-attempt window: accrue the worker's busy time and
+    append a timeline entry (times relative to batch start)."""
+    now = time.perf_counter()
+    row["busy_s"] += now - begun
+    if completed:
+        row["jobs"] += 1
+    timeline.append({
+        "job_id": spec.job_id,
+        "worker_id": worker_id,
+        "attempt": attempt,
+        "start_s": round(begun - started, 6),
+        "end_s": round(now - started, 6),
+        "status": status,
+    })
 
 
 class FleetPolicy:
@@ -131,13 +154,21 @@ class FleetRejection:
 
 
 class FleetResult:
-    """Everything one batch produced, aggregation-ready."""
+    """Everything one batch produced, aggregation-ready.
+
+    ``worker_usage`` and ``timeline`` are scheduling metadata (per-worker
+    busy time, dispatch counts, and per-attempt job windows relative to
+    batch start) — surfaced in summaries and span exports but excluded
+    from aggregate digests, which must stay worker-count independent.
+    """
 
     __slots__ = ("results", "recoveries", "rejections", "stats",
-                 "elapsed_s", "workers", "completion_order")
+                 "elapsed_s", "workers", "completion_order",
+                 "worker_usage", "timeline")
 
     def __init__(self, results, recoveries, rejections, stats, elapsed_s,
-                 workers, completion_order):
+                 workers, completion_order, worker_usage=None,
+                 timeline=None):
         self.results = results            # job_id -> JobResult
         self.recoveries = list(recoveries)
         self.rejections = list(rejections)
@@ -145,6 +176,8 @@ class FleetResult:
         self.elapsed_s = elapsed_s
         self.workers = workers
         self.completion_order = list(completion_order)
+        self.worker_usage = dict(worker_usage or {})
+        self.timeline = list(timeline or [])
 
     @property
     def ok(self):
@@ -159,7 +192,12 @@ class FleetResult:
         return len(self.results) / self.elapsed_s
 
     def aggregate(self):
-        return aggregate_results(self.results)
+        return aggregate_results(self.results, elapsed_s=self.elapsed_s,
+                                 worker_usage=self.worker_usage)
+
+    def utilization(self):
+        """Per-worker busy fraction / job counts for this batch."""
+        return worker_utilization(self.worker_usage, self.elapsed_s)
 
     def describe(self):
         lines = ["fleet: %d jobs on %d worker(s) in %.2fs (%.2f jobs/s)%s"
@@ -173,6 +211,13 @@ class FleetResult:
                         stats.workers_crashed, stats.verifications,
                         stats.verifications_shed,
                         stats.verification_failures))
+        for worker_id, row in sorted(self.utilization().items()):
+            lines.append("  worker %s: %d job(s) in %d dispatch(es), "
+                         "busy %.2fs (%.0f%% of batch)%s"
+                         % (worker_id, row["jobs"], row["attempts"],
+                            row["busy_s"], 100.0 * row["busy_frac"],
+                            (", %d claim(s)" % row["claims"])
+                            if row.get("claims") else ""))
         for recovery in self.recoveries:
             lines.append("  recovery: " + recovery.describe())
         return "\n".join(lines)
@@ -251,21 +296,26 @@ class FleetSupervisor:
         stats.jobs_submitted = len(admitted)
         started = time.perf_counter()
         if self.workers == 0:
-            results, recoveries, order = self._run_inline(admitted, stats)
+            results, recoveries, order, usage, timeline = \
+                self._run_inline(admitted, stats, started)
         else:
-            results, recoveries, order = self._run_pool(admitted, stats)
+            results, recoveries, order, usage, timeline = \
+                self._run_pool(admitted, stats, started)
         elapsed = time.perf_counter() - started
         return FleetResult(results, recoveries, rejections, stats, elapsed,
-                           self.workers, order)
+                           self.workers, order, worker_usage=usage,
+                           timeline=timeline)
 
     # ------------------------------------------------------------------
     # inline execution (workers=0)
     # ------------------------------------------------------------------
 
-    def _run_inline(self, specs, stats):
+    def _run_inline(self, specs, stats, started):
         results = {}
         recoveries = []
         order = []
+        usage = {"inline": _new_usage()}
+        timeline = []
         journal_dir = os.path.join(self.journal_root(), "inline")
         os.makedirs(journal_dir, exist_ok=True)
         pending = [(spec, 0) for spec in specs]
@@ -273,9 +323,13 @@ class FleetSupervisor:
         while pending:
             spec, attempt = pending.pop()
             use_dir = journal_dir if self.policy.collect_journals else None
+            usage["inline"]["attempts"] += 1
+            begun = time.perf_counter()
             try:
                 raw = execute_job(spec.as_dict(), journal_dir=use_dir)
             except JournalCrash:
+                _note_window(usage["inline"], timeline, spec, attempt,
+                             "inline", begun, started, "crash")
                 recovery, retry = self._handle_crash(
                     spec, attempt, worker_id="inline", exitcode=None,
                     reason="crash",
@@ -286,20 +340,26 @@ class FleetSupervisor:
                 continue
             result = self._record_result(raw, spec, attempt, "inline",
                                          stats, backlog=len(pending))
+            _note_window(usage["inline"], timeline, spec, attempt,
+                         "inline", begun, started,
+                         "ok" if result.ok else "failed",
+                         completed=True)
             results[spec.job_id] = result
             order.append(spec.job_id)
-        return results, recoveries, order
+        return results, recoveries, order, usage, timeline
 
     # ------------------------------------------------------------------
     # multi-process execution
     # ------------------------------------------------------------------
 
-    def _run_pool(self, specs, stats):
+    def _run_pool(self, specs, stats, started):
         import multiprocessing as mp
 
         ctx = mp.get_context(self.policy.start_method)
         result_queue = ctx.Queue()
         workers = {}
+        usage = {}
+        timeline = []
         next_id = [0]
 
         def spawn_worker():
@@ -316,6 +376,7 @@ class FleetSupervisor:
             process.start()
             workers[worker_id] = _Worker(worker_id, process, job_queue,
                                          journal_dir)
+            usage[worker_id] = _new_usage()
             stats.workers_spawned += 1
             return worker_id
 
@@ -335,11 +396,15 @@ class FleetSupervisor:
                     spec, attempt = pending.pop()
                     worker.inflight = (spec, attempt)
                     worker.dispatched_at = time.perf_counter()
+                    usage[worker.worker_id]["attempts"] += 1
                     worker.job_queue.put(spec.as_dict())
 
         def handle_dead(worker, reason):
             spec, attempt = worker.inflight
             worker.inflight = None
+            _note_window(usage[worker.worker_id], timeline, spec, attempt,
+                         worker.worker_id, worker.dispatched_at, started,
+                         reason)
             stats.workers_crashed += 1
             use_dir = (worker.journal_dir if self.policy.collect_journals
                        else None)
@@ -374,7 +439,12 @@ class FleetSupervisor:
                             stats.workers_timed_out += 1
                             handle_dead(worker, "timeout")
                     continue
-                if tag == "claim" or tag == "bye":
+                if tag == "claim":
+                    row = usage.get(worker_id)
+                    if row is not None:
+                        row["claims"] += 1
+                    continue
+                if tag == "bye":
                     continue
                 worker = workers.get(worker_id)
                 if worker is None or worker.inflight is None:
@@ -386,6 +456,10 @@ class FleetSupervisor:
                 result = self._record_result(
                     body, spec, attempt, worker_id, stats,
                     backlog=len(pending))
+                _note_window(usage[worker_id], timeline, spec, attempt,
+                             worker_id, worker.dispatched_at, started,
+                             "ok" if result.ok else "failed",
+                             completed=True)
                 results[spec.job_id] = result
                 order.append(spec.job_id)
         finally:
@@ -399,7 +473,7 @@ class FleetSupervisor:
                 if worker.process.is_alive():
                     worker.process.terminate()
             result_queue.cancel_join_thread()
-        return results, recoveries, order
+        return results, recoveries, order, usage, timeline
 
     # ------------------------------------------------------------------
     # shared handling

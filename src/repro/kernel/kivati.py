@@ -96,6 +96,11 @@ class KivatiKernel:
         self._next_leak_scan = 0
         # optional repro.journal.JournalRecorder (durable incident record)
         self.journal = config.journal
+        # optional repro.obs.VMProfiler: suspension-queue depth samples;
+        # observational only, gated on a single is-None predicate
+        self.profiler = (config.obs.profiler
+                         if getattr(config, "obs", None) is not None
+                         else None)
 
     def attach(self, machine):
         self.machine = machine
@@ -384,6 +389,8 @@ class KivatiKernel:
         self.suspensions[thread.tid] = susp
         self.susp_slot[thread.tid] = slot.index
         self.stats.suspensions += 1
+        if self.profiler is not None:
+            self.profiler.note_suspend(len(self.suspensions))
         if self.config.trace is not None:
             self.config.trace.emit(core.clock, thread.tid, "suspend",
                                    reason=reason, slot=slot.index,

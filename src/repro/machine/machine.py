@@ -17,6 +17,7 @@ before the access commits.
 """
 
 import heapq
+import time
 from collections import deque
 
 from repro.compiler.bytecode import Op
@@ -89,7 +90,8 @@ class Machine:
 
     def __init__(self, program, num_cores=2, num_watchpoints=4, costs=None,
                  runtime=None, seed=0, trap_before=False, max_steps=200_000_000,
-                 faults=None, journal=None, schedule_pin=None):
+                 faults=None, journal=None, schedule_pin=None,
+                 profiler=None):
         self.program = program
         self.instrs = program.instrs
         self.memory = Memory()
@@ -108,6 +110,19 @@ class Machine:
         # schedule; optional SchedulePin enforces a recorded schedule
         self.journal = journal
         self.schedule_pin = schedule_pin
+        # optional repro.obs.VMProfiler: deterministic dispatch/watchpoint
+        # counters; purely observational (no cost or scheduling effect).
+        # Dispatch counting is per-pc into a flat list (aggregated to
+        # per-op at export) so the per-instruction hook is a bare
+        # ``counts[pc] += 1`` — Enum-keyed dicts hash through Python
+        # code and would blow the obsbench overhead budget.
+        self.profiler = profiler
+        if profiler is not None:
+            self._pc_counts = profiler.attach_program(self.instrs)
+            self._wall_profiler = profiler if profiler.wall_time else None
+        else:
+            self._pc_counts = None
+            self._wall_profiler = None
         # optional repro.machine.conflictsched.ConflictPolicy, installed
         # by the runtime's attach(); consulted (pure preview) before the
         # schedule pin so journal frames line up between record/replay
@@ -377,7 +392,18 @@ class Machine:
                                 )
                             break
                         continue
-                self._execute(core)
+                wall = self._wall_profiler
+                if wall is not None:
+                    # attribute host time to the about-to-run opcode here
+                    # so _execute's hook stays a bare dict increment
+                    pc = core.thread.pc
+                    if 0 <= pc < len(self.instrs):
+                        wall._last_op = self.instrs[pc].op
+                    t0 = time.perf_counter_ns()
+                    self._execute(core)
+                    wall.add_wall_ns(time.perf_counter_ns() - t0)
+                else:
+                    self._execute(core)
                 steps += 1
                 if steps >= self.max_steps:
                     raise StepLimitExceeded(
@@ -434,6 +460,9 @@ class Machine:
             raise MachineError("pc out of range: %d (tid %d)" % (pc, thread.tid))
         instr = instrs[pc]
         op = instr.op
+        counts = self._pc_counts
+        if counts is not None:
+            counts[pc] += 1
         regs = thread.regs
         costs = self.costs
         cost = costs.instr
@@ -785,4 +814,11 @@ class Machine:
                         hits = []
                     if slot.index not in hits:
                         hits.append(slot.index)
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.wp_checks += 1
+            profiler.wp_accesses += len(accesses)
+            if hits:
+                profiler.wp_hit_checks += 1
+                profiler.wp_hit_slots += len(hits)
         return hits or ()

@@ -1,0 +1,70 @@
+"""repro.obs — the unified observability plane (DESIGN.md §16).
+
+One plane, four pieces:
+
+- :mod:`repro.obs.metrics` — process-local metrics registry (counters,
+  gauges, fixed-bucket histograms) with the ``KivatiStats``
+  merge/round-trip discipline and zero-allocation no-op handles;
+- :mod:`repro.obs.spans` — AR-lifecycle, service-request and fleet-job
+  span tracing exported as Chrome trace-event JSON (Perfetto-viewable),
+  byte-deterministic in logical-clock mode;
+- :mod:`repro.obs.profiler` — sampling-free deterministic VM profiler
+  (per-opcode dispatch counts, watchpoint check hit/miss rates,
+  suspension-queue depths) with an optional wall-clock timing mode;
+- :mod:`repro.obs.regress` — the perf-regression sentinel diffing two
+  ``BENCH_*.json`` artifacts against per-metric tolerance rules;
+- :mod:`repro.obs.prom` — Prometheus text-format exposition.
+
+Wiring contract: ``KivatiConfig(obs=ObsPlane())`` attaches the plane to
+a run. Observation never participates in simulation — it changes no
+costs, no scheduling, no journal frames and no report payloads, so
+verdicts and fleet/service digests are bit-identical with obs on or
+off; with ``obs=None`` every hook site is a single attribute-is-None
+predicate.
+"""
+
+from repro.obs.metrics import (BUCKET_LAYOUTS, MetricsRegistry,
+                               NULL_METRIC, NULL_REGISTRY)
+from repro.obs.profiler import VMProfiler
+from repro.obs.regress import RegressReport, compare_artifacts
+
+
+class ObsPlane:
+    """Per-run observability bundle: metrics registry + VM profiler.
+
+    ``snapshot()`` is the canonical export: the registry's own metrics
+    plus the profiler's counters folded in, as a deterministic
+    JSON-safe dict. It is idempotent — profiler counts live in the
+    profiler and are merged at snapshot time, never double-ingested.
+    """
+
+    __slots__ = ("registry", "profiler")
+
+    def __init__(self, wall_time=False, registry=None, profiler=None):
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        self.profiler = profiler if profiler is not None \
+            else VMProfiler(wall_time=wall_time)
+
+    def finalize_run(self, stats, result):
+        """Fold one finished run's ``KivatiStats`` and machine result
+        into the registry (called by ``ProtectedProgram.run``)."""
+        registry = self.registry
+        registry.ingest_stats(stats)
+        registry.counter("kivati.run.count").inc()
+        registry.counter("kivati.run.instructions").inc(result.instr_count)
+        registry.counter("kivati.run.kernel_entries").inc(
+            result.kernel_entries)
+        registry.gauge("kivati.run.time_ns").max(result.time_ns)
+        registry.gauge("kivati.run.threads").max(result.threads)
+
+    def snapshot(self):
+        """Deterministic merged metrics payload (registry + profiler)."""
+        merged = MetricsRegistry().merge(self.registry)
+        self.profiler.export_to(merged)
+        return merged.to_dict()
+
+
+__all__ = ["BUCKET_LAYOUTS", "MetricsRegistry", "NULL_METRIC",
+           "NULL_REGISTRY", "ObsPlane", "RegressReport", "VMProfiler",
+           "compare_artifacts"]

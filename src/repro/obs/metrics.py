@@ -1,0 +1,290 @@
+"""Process-local metrics registry for the observability plane.
+
+Three metric kinds, mirroring the Prometheus data model but kept
+deliberately small and deterministic:
+
+- **counter** — monotonically increasing integer/float; ``merge`` sums.
+- **gauge** — last-written value; ``merge`` keeps the maximum, so a
+  merged registry reports high-watermarks (queue depth peaks, slot
+  usage peaks) rather than an arbitrary worker's final sample.
+- **histogram** — fixed-bucket distribution. Bucket bounds are chosen
+  from the named deterministic layouts below (or passed explicitly) and
+  are part of the metric's identity: merging histograms with different
+  bounds is a hard :class:`~repro.errors.ObsError`, never a silent
+  re-binning.
+
+The registry follows the ``KivatiStats`` discipline the fleet plane
+already relies on: ``to_dict`` / ``from_dict`` round-trip through
+JSON-safe payloads (unknown keys raise), and ``merge`` is associative
+and commutative so fleet workers can aggregate in any completion order
+and still produce identical output. All iteration is over sorted names,
+so exports are byte-stable under PYTHONHASHSEED.
+
+When observability is off the hot path must pay nothing. The no-op
+handles (:data:`NULL_METRIC`, :data:`NULL_REGISTRY`) are allocated once
+at import time; a disabled call site holds the shared singleton and an
+``is not None`` / ``registry.enabled`` predicate is the entire cost.
+"""
+
+import bisect
+
+from repro.errors import ObsError
+
+#: Named deterministic bucket layouts. These are part of the exported
+#: artifact format — changing a layout changes byte output, so add new
+#: names instead of editing existing ones.
+BUCKET_LAYOUTS = {
+    # simulated-nanosecond durations: 1us .. ~4.3s in powers of 4
+    "ns": tuple(1_000 * (4 ** i) for i in range(12)),
+    # small queue/chain depths (suspension queues, waits-for chains)
+    "depth": tuple(range(1, 17)),
+    # generic small counts (retries, attempts, undo lengths)
+    "count": (0, 1, 2, 4, 8, 16, 32, 64, 128, 256),
+    # wall-clock microseconds for the optional timing mode
+    "us": tuple(1 * (4 ** i) for i in range(12)),
+}
+
+
+class Counter:
+    """Monotonic counter handle."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount=1):
+        self.value += amount
+
+
+class Gauge:
+    """Last-value (merge: max) gauge handle."""
+
+    __slots__ = ("name", "value")
+    kind = "gauge"
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def set(self, value):
+        self.value = value
+
+    def max(self, value):
+        if value > self.value:
+            self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram handle.
+
+    ``counts[i]`` counts observations ``<= bounds[i]``; the final slot
+    is the overflow bucket (``> bounds[-1]``). Cumulative buckets are
+    computed at exposition time, not stored.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "sum", "count")
+    kind = "histogram"
+
+    def __init__(self, name, bounds):
+        bounds = tuple(bounds)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ObsError("histogram %r bounds must be strictly "
+                           "increasing and non-empty: %r" % (name, bounds))
+        self.name = name
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0
+        self.count = 0
+
+    def observe(self, value):
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+
+class _NullMetric:
+    """Shared do-nothing handle: every mutator is a no-op.
+
+    One instance (:data:`NULL_METRIC`) serves every disabled call site —
+    requesting a metric from the null registry allocates nothing.
+    """
+
+    __slots__ = ()
+    kind = "null"
+
+    def inc(self, amount=1):
+        pass
+
+    def set(self, value):
+        pass
+
+    def max(self, value):
+        pass
+
+    def observe(self, value):
+        pass
+
+
+NULL_METRIC = _NullMetric()
+
+
+class NullRegistry:
+    """Disabled registry: hands out the shared no-op metric handle."""
+
+    __slots__ = ()
+    enabled = False
+
+    def counter(self, name):
+        return NULL_METRIC
+
+    def gauge(self, name):
+        return NULL_METRIC
+
+    def histogram(self, name, bounds="count"):
+        return NULL_METRIC
+
+    def to_dict(self):
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+NULL_REGISTRY = NullRegistry()
+
+
+def _resolve_bounds(name, bounds):
+    if isinstance(bounds, str):
+        try:
+            return BUCKET_LAYOUTS[bounds]
+        except KeyError:
+            raise ObsError("histogram %r: unknown bucket layout %r "
+                           "(have %s)" % (name, bounds,
+                                          sorted(BUCKET_LAYOUTS)))
+    return tuple(bounds)
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics.
+
+    Re-requesting a name returns the existing handle; requesting it as a
+    different kind (or a histogram with different bounds) raises — a
+    metric's identity is fixed for the life of the registry.
+    """
+
+    __slots__ = ("_metrics",)
+    enabled = True
+
+    def __init__(self):
+        self._metrics = {}
+
+    def _get(self, name, kind, factory):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif metric.kind != kind:
+            raise ObsError("metric %r is a %s, requested as %s"
+                           % (name, metric.kind, kind))
+        return metric
+
+    def counter(self, name):
+        return self._get(name, "counter", lambda: Counter(name))
+
+    def gauge(self, name):
+        return self._get(name, "gauge", lambda: Gauge(name))
+
+    def histogram(self, name, bounds="count"):
+        bounds = _resolve_bounds(name, bounds)
+        metric = self._get(name, "histogram",
+                           lambda: Histogram(name, bounds))
+        if metric.bounds != bounds:
+            raise ObsError("histogram %r bounds conflict: %r vs %r"
+                           % (name, metric.bounds, bounds))
+        return metric
+
+    def __len__(self):
+        return len(self._metrics)
+
+    def ingest_stats(self, stats, prefix="kivati.stats."):
+        """Absorb a ``KivatiStats``-style object (``FIELDS`` + integer
+        attributes) or a flat name->number dict as counters."""
+        if hasattr(stats, "FIELDS"):
+            items = [(name, getattr(stats, name)) for name in stats.FIELDS]
+        else:
+            items = sorted(stats.items())
+        for name, value in items:
+            self.counter(prefix + name).inc(value)
+
+    # ------------------------------------------------------------------
+    # round-trip + merge (the KivatiStats discipline)
+    # ------------------------------------------------------------------
+
+    def to_dict(self):
+        counters = {}
+        gauges = {}
+        histograms = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if metric.kind == "counter":
+                counters[name] = metric.value
+            elif metric.kind == "gauge":
+                gauges[name] = metric.value
+            else:
+                histograms[name] = {
+                    "bounds": list(metric.bounds),
+                    "counts": list(metric.counts),
+                    "sum": metric.sum,
+                    "count": metric.count,
+                }
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+    @classmethod
+    def from_dict(cls, payload):
+        if not isinstance(payload, dict):
+            raise ObsError("metrics payload must be a dict, got %r"
+                           % type(payload).__name__)
+        unknown = set(payload) - {"counters", "gauges", "histograms"}
+        if unknown:
+            raise ObsError("unknown metrics payload keys: %s"
+                           % sorted(unknown))
+        registry = cls()
+        for name, value in sorted(payload.get("counters", {}).items()):
+            registry.counter(name).inc(value)
+        for name, value in sorted(payload.get("gauges", {}).items()):
+            registry.gauge(name).set(value)
+        for name, data in sorted(payload.get("histograms", {}).items()):
+            hist = registry.histogram(name, data["bounds"])
+            counts = data["counts"]
+            if len(counts) != len(hist.counts):
+                raise ObsError("histogram %r has %d counts for %d buckets"
+                               % (name, len(counts), len(hist.counts)))
+            hist.counts = list(counts)
+            hist.sum = data["sum"]
+            hist.count = data["count"]
+        return registry
+
+    def merge(self, other):
+        """Fold another registry (or its ``to_dict`` payload) into this
+        one. Counters/histograms sum, gauges keep the maximum."""
+        if isinstance(other, dict):
+            other = MetricsRegistry.from_dict(other)
+        for name in sorted(other._metrics):
+            metric = other._metrics[name]
+            if metric.kind == "counter":
+                self.counter(name).inc(metric.value)
+            elif metric.kind == "gauge":
+                self.gauge(name).max(metric.value)
+            else:
+                hist = self.histogram(name, metric.bounds)
+                for i, n in enumerate(metric.counts):
+                    hist.counts[i] += n
+                hist.sum += metric.sum
+                hist.count += metric.count
+        return self
+
+
+__all__ = ["BUCKET_LAYOUTS", "Counter", "Gauge", "Histogram",
+           "MetricsRegistry", "NULL_METRIC", "NULL_REGISTRY",
+           "NullRegistry"]

@@ -1,0 +1,83 @@
+"""Prometheus text-format exposition (version 0.0.4).
+
+Renders a :class:`repro.obs.metrics.MetricsRegistry` payload — or any
+flat name->number mapping, which is how `kivati service stats --prom`
+exposes the daemon's ``ServiceStats`` — as the Prometheus text format.
+Output is sorted by metric name and fully deterministic, so it can be
+golden-pinned in tests.
+"""
+
+
+def sanitize_name(name):
+    """Map a dotted/dashed metric name onto the Prometheus charset
+    ``[a-zA-Z_:][a-zA-Z0-9_:]*``."""
+    out = []
+    for i, ch in enumerate(name):
+        if ch.isalnum() or ch == "_" or ch == ":":
+            out.append(ch)
+        else:
+            out.append("_")
+    text = "".join(out)
+    if not text or text[0].isdigit():
+        text = "_" + text
+    return text
+
+
+def _format_value(value):
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float) and value != int(value):
+        return repr(value)
+    return "%d" % value
+
+
+def render_metrics(payload, prefix=""):
+    """Render a ``MetricsRegistry.to_dict()`` payload (or a registry —
+    anything with ``to_dict``) as Prometheus text."""
+    if hasattr(payload, "to_dict"):
+        payload = payload.to_dict()
+    lines = []
+    for name in sorted(payload.get("counters", {})):
+        prom = sanitize_name(prefix + name)
+        lines.append("# TYPE %s counter" % prom)
+        lines.append("%s %s" % (prom,
+                                _format_value(payload["counters"][name])))
+    for name in sorted(payload.get("gauges", {})):
+        prom = sanitize_name(prefix + name)
+        lines.append("# TYPE %s gauge" % prom)
+        lines.append("%s %s" % (prom,
+                                _format_value(payload["gauges"][name])))
+    for name in sorted(payload.get("histograms", {})):
+        data = payload["histograms"][name]
+        prom = sanitize_name(prefix + name)
+        lines.append("# TYPE %s histogram" % prom)
+        cumulative = 0
+        for bound, count in zip(data["bounds"], data["counts"]):
+            cumulative += count
+            lines.append('%s_bucket{le="%s"} %d'
+                         % (prom, _format_value(bound), cumulative))
+        cumulative += data["counts"][len(data["bounds"])]
+        lines.append('%s_bucket{le="+Inf"} %d' % (prom, cumulative))
+        lines.append("%s_sum %s" % (prom, _format_value(data["sum"])))
+        lines.append("%s_count %d" % (prom, data["count"]))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_flat(values, prefix="kivati_", metric_type="gauge"):
+    """Render a flat name->number mapping (e.g. the service daemon's
+    stats response) as Prometheus gauges; non-numeric values are
+    skipped."""
+    lines = []
+    for name in sorted(values):
+        value = values[name]
+        if isinstance(value, bool):
+            value = int(value)
+        if not isinstance(value, (int, float)):
+            continue
+        prom = sanitize_name(prefix + name)
+        lines.append("# TYPE %s %s" % (prom, metric_type))
+        lines.append("%s %s" % (prom, _format_value(value)))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+__all__ = ["render_flat", "render_metrics", "sanitize_name"]

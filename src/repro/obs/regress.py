@@ -1,0 +1,224 @@
+"""Perf-regression sentinel over committed ``BENCH_*.json`` artifacts.
+
+Every bench plane commits a JSON artifact carrying its performance and
+correctness claims. This module diffs two such artifacts — typically
+the committed one against a freshly generated one, or the artifacts of
+two commits — against **per-metric tolerance rules** and reports every
+regression, so CI can catch a perf cliff the functional suites would
+never see.
+
+Rules match flattened dotted paths (``warm_cold.speedup_p50``,
+``series.0.jobs_per_sec``) with ``fnmatch`` globs and carry a
+direction:
+
+- ``higher`` — the metric must not drop more than ``rel_tol`` below the
+  baseline (throughputs, speedups, rates);
+- ``lower`` — it must not rise more than ``rel_tol`` above (latencies,
+  overheads, elapsed times);
+- ``bool`` — a truthy baseline must stay truthy (determinism flags,
+  gate verdicts);
+- ``ignore`` — informational only (counts, configuration echoes).
+
+The first matching rule wins; schema-specific rules (keyed by the
+artifact's ``schema`` field) are consulted before the generic defaults,
+and anything unmatched is ignored — the sentinel is deliberately
+conservative so it can run on every artifact without a per-schema
+schema change. Timing tolerances default loose (25%) because CI hosts
+are noisy; correctness booleans have no tolerance at all.
+"""
+
+from fnmatch import fnmatchcase
+
+from repro.errors import ObsError
+
+
+class Rule:
+    """One tolerance rule: glob over flattened paths + direction."""
+
+    __slots__ = ("pattern", "direction", "rel_tol")
+
+    def __init__(self, pattern, direction, rel_tol=0.0):
+        if direction not in ("higher", "lower", "bool", "ignore"):
+            raise ObsError("unknown rule direction %r" % (direction,))
+        self.pattern = pattern
+        self.direction = direction
+        self.rel_tol = rel_tol
+
+    def matches(self, path):
+        return fnmatchcase(path, self.pattern)
+
+
+#: Generic rules applied to every artifact (after schema-specific ones).
+DEFAULT_RULES = (
+    # correctness flags: a truthy baseline claim must never flip off
+    Rule("*deterministic*", "bool"),
+    Rule("*.ok", "bool"),
+    Rule("ok", "bool"),
+    Rule("*digests_match*", "bool"),
+    Rule("*identical*", "bool"),
+    Rule("*verdicts_equal*", "bool"),
+    Rule("*agree*", "bool"),
+    # throughput-like: higher is better
+    Rule("*per_sec*", "higher", 0.10),
+    Rule("*speedup*", "higher", 0.10),
+    Rule("*instrs_per_sec*", "higher", 0.10),
+    Rule("*recall*", "higher", 0.0),
+    Rule("*fixes.rate", "higher", 0.0),
+    # latency/overhead-like: lower is better
+    Rule("*overhead*", "lower", 0.25),
+    Rule("*_p50", "lower", 0.25),
+    Rule("*_p95", "lower", 0.25),
+    Rule("*_p99", "lower", 0.25),
+    Rule("*elapsed*", "lower", 0.25),
+    # loss/corruption counters must not grow at all
+    Rule("*lost*", "lower", 0.0),
+    Rule("*crashes*", "lower", 0.0),
+    Rule("*disagreements*", "lower", 0.0),
+)
+
+#: Schema-specific tightenings, consulted before DEFAULT_RULES.
+SCHEMA_RULES = {
+    "kivati-obsbench/v1": (
+        # the tentpole budget: enabled-overhead fraction is a hard gate
+        Rule("overhead.*.overhead_frac", "lower", 0.0),
+    ),
+    "kivati-checkerbench/v1": (
+        Rule("scaling.slope", "lower", 0.10),
+    ),
+}
+
+
+def flatten(payload, path=""):
+    """Flatten nested dicts/lists to sorted (dotted-path, leaf) pairs;
+    only numeric and boolean leaves are kept."""
+    out = []
+    if isinstance(payload, dict):
+        for key in sorted(payload):
+            sub = "%s.%s" % (path, key) if path else str(key)
+            out.extend(flatten(payload[key], sub))
+    elif isinstance(payload, list):
+        for i, value in enumerate(payload):
+            out.extend(flatten(value, "%s.%d" % (path, i)))
+    elif isinstance(payload, bool) or isinstance(payload, (int, float)):
+        out.append((path, payload))
+    return out
+
+
+def _rule_for(path, schema):
+    for rule in SCHEMA_RULES.get(schema, ()):
+        if rule.matches(path):
+            return rule
+    for rule in DEFAULT_RULES:
+        if rule.matches(path):
+            return rule
+    return None
+
+
+class RegressReport:
+    """Outcome of one artifact comparison."""
+
+    __slots__ = ("schema", "checked", "regressions", "improvements",
+                 "missing", "added")
+
+    def __init__(self, schema):
+        self.schema = schema
+        self.checked = 0
+        self.regressions = []     # list of finding dicts
+        self.improvements = []
+        self.missing = []         # governed metrics absent from the new
+        self.added = []           # governed metrics absent from the base
+
+    @property
+    def ok(self):
+        return not self.regressions and not self.missing
+
+    def describe(self):
+        lines = ["regress: schema %s, %d governed metrics checked, "
+                 "%d regression(s), %d improvement(s)"
+                 % (self.schema, self.checked, len(self.regressions),
+                    len(self.improvements))]
+        for finding in self.regressions:
+            lines.append("  REGRESSED %(path)s: %(base)s -> %(new)s "
+                         "(%(direction)s, tol %(rel_tol).2f)" % finding)
+        for path in self.missing:
+            lines.append("  MISSING %s: governed metric absent from the "
+                         "new artifact" % path)
+        for finding in self.improvements:
+            lines.append("  improved %(path)s: %(base)s -> %(new)s"
+                         % finding)
+        if self.added:
+            lines.append("  new governed metrics: %s"
+                         % ", ".join(self.added))
+        return "\n".join(lines)
+
+    def as_dict(self):
+        return {
+            "schema": self.schema,
+            "checked": self.checked,
+            "ok": self.ok,
+            "regressions": list(self.regressions),
+            "improvements": list(self.improvements),
+            "missing": list(self.missing),
+            "added": list(self.added),
+        }
+
+
+def compare_artifacts(base, new, rel_tol_scale=1.0):
+    """Diff two bench artifacts; returns a :class:`RegressReport`.
+
+    ``rel_tol_scale`` loosens (>1) or tightens (<1) every relative
+    tolerance uniformly — CI dry-runs on noisy hosts pass ``2.0``.
+    """
+    if not isinstance(base, dict) or not isinstance(new, dict):
+        raise ObsError("artifacts must be JSON objects")
+    schema = base.get("schema")
+    if schema is None:
+        raise ObsError("baseline artifact has no schema field")
+    if new.get("schema") != schema:
+        raise ObsError("schema mismatch: baseline %r vs new %r"
+                       % (schema, new.get("schema")))
+    report = RegressReport(schema)
+    base_leaves = dict(flatten(base))
+    new_leaves = dict(flatten(new))
+    for path in sorted(base_leaves):
+        rule = _rule_for(path, schema)
+        if rule is None or rule.direction == "ignore":
+            continue
+        if path not in new_leaves:
+            report.missing.append(path)
+            continue
+        report.checked += 1
+        base_value = base_leaves[path]
+        new_value = new_leaves[path]
+        finding = {"path": path, "base": base_value, "new": new_value,
+                   "direction": rule.direction,
+                   "rel_tol": rule.rel_tol * rel_tol_scale}
+        if rule.direction == "bool":
+            if bool(base_value) and not bool(new_value):
+                report.regressions.append(finding)
+            elif not bool(base_value) and bool(new_value):
+                report.improvements.append(finding)
+            continue
+        tol = rule.rel_tol * rel_tol_scale
+        # scale-free slack floor so near-zero baselines don't flag on
+        # absolute noise
+        slack = abs(base_value) * tol
+        if rule.direction == "higher":
+            if new_value < base_value - slack:
+                report.regressions.append(finding)
+            elif new_value > base_value + slack:
+                report.improvements.append(finding)
+        else:  # lower
+            if new_value > base_value + slack:
+                report.regressions.append(finding)
+            elif new_value < base_value - slack:
+                report.improvements.append(finding)
+    for path in sorted(set(new_leaves) - set(base_leaves)):
+        rule = _rule_for(path, schema)
+        if rule is not None and rule.direction != "ignore":
+            report.added.append(path)
+    return report
+
+
+__all__ = ["DEFAULT_RULES", "RegressReport", "Rule", "SCHEMA_RULES",
+           "compare_artifacts", "flatten"]

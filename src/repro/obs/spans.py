@@ -1,0 +1,286 @@
+"""Span tracing: journal/service/fleet lifecycles as Chrome trace JSON.
+
+Three span sources, one output format — the Chrome trace-event JSON
+array (``{"traceEvents": [...]}``) that Perfetto and ``chrome://tracing``
+render directly:
+
+- :func:`journal_trace_events` — AR-lifecycle spans derived **purely**
+  from the incident journal: ``begin→suspend/wake/stall→end`` windows
+  per thread, core-occupancy slices from ``sched`` frames, and instant
+  markers for traps, violations, undos and degradations. Because the
+  builder consumes the journal's monotonic sequence and simulated
+  nanosecond clock (never wall time), a recorded run and its replay
+  produce **identical span trees**, and the export is byte-deterministic
+  across processes and PYTHONHASHSEED.
+- :func:`service_trace_events` — request lifecycle
+  (``accept→dispatch/retry→respond``) from the `kivati serve` daemon's
+  append-only event log, using the log's own sequence numbers as a
+  logical clock (the daemon does not timestamp events, by design).
+- :func:`fleet_trace_events` — per-worker job attempt slices
+  (``claim→run→done/crash/retry``) from the supervisor's attempt
+  timeline, in wall-clock seconds relative to batch start.
+
+Export with :func:`export_chrome_trace` / :func:`render_chrome_trace`:
+canonical JSON (sorted keys, fixed separators), so identical inputs
+yield identical bytes.
+"""
+
+import json
+
+#: Synthetic pid lanes in the exported trace, one per span source.
+PID_THREADS = 1
+PID_CORES = 2
+PID_SERVICE = 3
+PID_FLEET = 4
+
+#: journal kinds rendered as instant markers rather than spans
+_INSTANT_KINDS = ("trap", "violation", "undo", "miss", "pause", "watchdog",
+                  "degrade", "arm", "disarm", "trigger", "clear", "resync",
+                  "arbiter", "quarantine", "pressure")
+
+
+def _us(time_ns):
+    # chrome trace timestamps are microseconds; exact division keeps the
+    # full nanosecond resolution and reprs deterministically
+    return time_ns / 1000.0
+
+
+def _meta(pid, name):
+    return {"ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+            "args": {"name": name}}
+
+
+def _span(pid, tid, name, cat, start_us, end_us, args):
+    # per-core clocks are not globally monotonic: a thread migrating
+    # cores can close a window "before" it opened; clamp, don't reorder
+    dur = end_us - start_us
+    return {"ph": "X", "pid": pid, "tid": tid, "name": name, "cat": cat,
+            "ts": start_us, "dur": dur if dur > 0 else 0.0, "args": args}
+
+
+def _instant(pid, tid, name, cat, ts_us, args):
+    return {"ph": "i", "s": "t", "pid": pid, "tid": tid, "name": name,
+            "cat": cat, "ts": ts_us, "args": args}
+
+
+def journal_trace_events(events):
+    """Build trace events from an iterable of
+    :class:`repro.journal.events.JournalEvent` (seq order assumed, as
+    ``read_journal`` returns them)."""
+    out = [_meta(PID_THREADS, "threads (AR lifecycle)"),
+           _meta(PID_CORES, "cores (scheduler)")]
+    open_ars = {}       # (tid, ar_id) -> (start_ns, payload)
+    open_susp = {}      # tid -> (start_ns, payload)
+    core_occupancy = {}  # core -> (start_ns, tid)
+    last_ns = 0
+    seen_tids = set()
+
+    def close_ar(key, end_ns, extra=None):
+        start_ns, payload = open_ars.pop(key)
+        args = dict(payload)
+        if extra:
+            args.update(extra)
+        out.append(_span(PID_THREADS, key[0], "AR %s" % (key[1],), "ar",
+                         _us(start_ns), _us(end_ns), args))
+
+    def close_susp(tid, end_ns, how):
+        start_ns, payload = open_susp.pop(tid)
+        args = dict(payload)
+        args["closed_by"] = how
+        out.append(_span(PID_THREADS, tid,
+                         "suspended(%s)" % payload.get("reason", "?"),
+                         "suspend", _us(start_ns), _us(end_ns), args))
+
+    def close_core(core, end_ns):
+        start_ns, tid = core_occupancy.pop(core)
+        out.append(_span(PID_CORES, core, "tid %d" % tid, "sched",
+                         _us(start_ns), _us(end_ns), {"tid": tid}))
+
+    for event in events:
+        kind = event.kind
+        tid = event.tid
+        time_ns = event.time_ns
+        payload = event.payload
+        if time_ns > last_ns:
+            last_ns = time_ns
+        if tid >= 0:
+            seen_tids.add(tid)
+        if kind == "begin":
+            key = (tid, payload.get("ar"))
+            if key in open_ars:       # re-begin: close the stale window
+                close_ar(key, time_ns, {"reopened": True})
+            open_ars[key] = (time_ns, payload)
+        elif kind == "end":
+            key = (tid, payload.get("ar"))
+            if key in open_ars:
+                close_ar(key, time_ns)
+            else:
+                out.append(_instant(PID_THREADS, tid, "end", "ar",
+                                    _us(time_ns), dict(payload)))
+        elif kind == "zombify":
+            key = (tid, payload.get("ar"))
+            if key in open_ars:
+                close_ar(key, time_ns, {"zombified": True})
+            else:
+                out.append(_instant(PID_THREADS, tid, "zombify", "ar",
+                                    _us(time_ns), dict(payload)))
+        elif kind == "suspend":
+            if tid in open_susp:
+                close_susp(tid, time_ns, "re-suspend")
+            open_susp[tid] = (time_ns, payload)
+        elif kind in ("wake", "timeout"):
+            if tid in open_susp:
+                close_susp(tid, time_ns, kind)
+            else:
+                out.append(_instant(PID_THREADS, tid, kind, "suspend",
+                                    _us(time_ns), dict(payload)))
+        elif kind == "sched":
+            core = payload.get("core", 0)
+            if core in core_occupancy:
+                close_core(core, time_ns)
+            core_occupancy[core] = (time_ns, tid)
+        elif kind in _INSTANT_KINDS:
+            out.append(_instant(PID_THREADS, tid, kind, kind,
+                                _us(time_ns), dict(payload)))
+        elif kind in ("run-start", "run-end"):
+            out.append(_instant(PID_THREADS, -1, kind, "run",
+                                _us(time_ns), {}))
+    # close whatever the stream left open, at the last seen timestamp
+    for key in sorted(open_ars):
+        close_ar(key, last_ns, {"unclosed": True})
+    for tid in sorted(open_susp):
+        close_susp(tid, last_ns, "stream-end")
+    for core in sorted(core_occupancy):
+        close_core(core, last_ns)
+    for tid in sorted(seen_tids):
+        out.append({"ph": "M", "pid": PID_THREADS, "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": "tid %d" % tid}})
+    return out
+
+
+def service_trace_events(events):
+    """Request-lifecycle spans from the daemon's service log.
+
+    The log has no wall timestamps (events are ordered by ``seq``), so
+    the sequence number itself is the logical clock: one log event = one
+    microsecond. Spans run accept→respond per request id; retries,
+    deadline expiries and recoveries show as instant markers on the
+    request's lane."""
+    out = [_meta(PID_SERVICE, "service requests")]
+    lanes = {}          # request_id -> lane index
+    open_reqs = {}      # request_id -> (start_seq, args)
+    last_seq = 0
+
+    def lane(request_id):
+        if request_id not in lanes:
+            lanes[request_id] = len(lanes)
+        return lanes[request_id]
+
+    for event in events:
+        seq = event.get("seq", last_seq + 1)
+        last_seq = max(last_seq, seq)
+        kind = event.get("kind")
+        request_id = event.get("request_id")
+        if kind == "accept" and request_id is not None:
+            open_reqs[request_id] = (seq, {
+                "job_id": event.get("job_id"),
+                "deadline_s": event.get("deadline_s"),
+            })
+        elif kind == "respond" and request_id in open_reqs:
+            start_seq, args = open_reqs.pop(request_id)
+            args["ok"] = event.get("ok")
+            out.append(_span(PID_SERVICE, lane(request_id),
+                             "request %s" % request_id, "request",
+                             float(start_seq), float(seq), args))
+        elif request_id is not None:
+            out.append(_instant(PID_SERVICE, lane(request_id), kind or "?",
+                                "request", float(seq),
+                                {k: v for k, v in sorted(event.items())
+                                 if k not in ("seq", "kind")}))
+        else:
+            out.append(_instant(PID_SERVICE, 0, kind or "?", "service",
+                                float(seq),
+                                {k: v for k, v in sorted(event.items())
+                                 if k not in ("seq", "kind")}))
+    for request_id in sorted(open_reqs):
+        start_seq, args = open_reqs.pop(request_id)
+        args["unresponded"] = True
+        out.append(_span(PID_SERVICE, lane(request_id),
+                         "request %s" % request_id, "request",
+                         float(start_seq), float(last_seq), args))
+    return out
+
+
+def fleet_trace_events(timeline):
+    """Per-worker job slices from the supervisor's attempt timeline
+    (list of dicts with ``job_id``/``worker_id``/``attempt``/``start_s``/
+    ``end_s``/``status``), one lane per worker, microsecond timestamps
+    relative to batch start."""
+    out = [_meta(PID_FLEET, "fleet workers")]
+    worker_lane = {}
+    for worker_id in sorted({entry["worker_id"] for entry in timeline}):
+        worker_lane[worker_id] = len(worker_lane)
+        out.append({"ph": "M", "pid": PID_FLEET,
+                    "tid": worker_lane[worker_id], "name": "thread_name",
+                    "args": {"name": "worker %s" % worker_id}})
+    for entry in timeline:
+        args = {"job_id": entry["job_id"], "attempt": entry["attempt"],
+                "status": entry["status"]}
+        name = "%s#%d" % (entry["job_id"], entry["attempt"])
+        out.append(_span(PID_FLEET, worker_lane[entry["worker_id"]],
+                         name, "job", entry["start_s"] * 1e6,
+                         entry["end_s"] * 1e6, args))
+    return out
+
+
+def render_chrome_trace(trace_events):
+    """Canonical Chrome trace JSON text for a list of trace events."""
+    return json.dumps({"traceEvents": trace_events,
+                       "displayTimeUnit": "ms"},
+                      sort_keys=True, separators=(",", ":"))
+
+
+def export_chrome_trace(trace_events, path):
+    """Write canonical Chrome trace JSON; returns the byte count."""
+    data = render_chrome_trace(trace_events)
+    with open(path, "w") as f:
+        f.write(data)
+    return len(data)
+
+
+def validate_chrome_trace(payload):
+    """Structural check of an exported trace (used by CI's obs-smoke):
+    returns a list of problems, empty when well-formed."""
+    problems = []
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        return ["payload is not a dict with a traceEvents key"]
+    events = payload["traceEvents"]
+    if not isinstance(events, list):
+        return ["traceEvents is not a list"]
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append("event %d is not a dict" % i)
+            continue
+        ph = event.get("ph")
+        if ph not in ("X", "i", "M"):
+            problems.append("event %d has unknown phase %r" % (i, ph))
+            continue
+        for key in ("pid", "tid", "name"):
+            if key not in event:
+                problems.append("event %d (%s) missing %s" % (i, ph, key))
+        if ph == "X":
+            if not isinstance(event.get("ts"), (int, float)):
+                problems.append("event %d missing numeric ts" % i)
+            if not isinstance(event.get("dur"), (int, float)) \
+                    or event.get("dur", 0) < 0:
+                problems.append("event %d missing non-negative dur" % i)
+        if ph == "i" and not isinstance(event.get("ts"), (int, float)):
+            problems.append("event %d missing numeric ts" % i)
+    return problems
+
+
+__all__ = ["PID_CORES", "PID_FLEET", "PID_SERVICE", "PID_THREADS",
+           "export_chrome_trace", "fleet_trace_events",
+           "journal_trace_events", "render_chrome_trace",
+           "service_trace_events", "validate_chrome_trace"]

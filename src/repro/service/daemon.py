@@ -418,6 +418,8 @@ class KivatiDaemon:
             request = Request(request_id or spec.job_id, spec, deadline_s)
             self._pending.append(request)
             self.stats.requests_accepted += 1
+        self._log_event("accept", request_id=request.request_id,
+                        job_id=spec.job_id, deadline_s=deadline_s)
         # wait for the dispatcher; small slack past the deadline so the
         # dispatcher's own deadline handling answers first
         request.done.wait(request.deadline_s + 10.0)
@@ -504,6 +506,9 @@ class KivatiDaemon:
                 ready.append((worker, picked))
         for worker, request in ready:
             request.worker_id = worker.worker_id
+            self._log_event("dispatch", request_id=request.request_id,
+                            worker_id=worker.worker_id,
+                            attempt=request.attempt)
             self.pool.dispatch(worker, request.dispatch_dict(), request)
 
     def _complete_done(self, request, body):
@@ -583,6 +588,8 @@ class KivatiDaemon:
                                 journal_path=body["journal_path"])
 
     def _respond(self, request, response):
+        self._log_event("respond", request_id=request.request_id,
+                        ok=bool(response.get("ok")))
         request.response = response
         request.done.set()
 

@@ -1,0 +1,78 @@
+"""Shared bench-artifact schema plumbing (`kivati bench validate`)."""
+
+import json
+
+from repro.bench import schema as bench_schema
+
+
+def test_check_schema_preamble():
+    assert bench_schema.check_schema([], "x/v1") \
+        == ["payload is not an object"]
+    assert bench_schema.check_schema({"schema": "x/v1", "a": 1}, "x/v1",
+                                     required=("a",)) == []
+    problems = bench_schema.check_schema({"schema": "y/v1"}, "x/v1",
+                                         required=("a", "b"))
+    assert len(problems) == 3
+    assert any("want 'x/v1'" in p for p in problems)
+    assert any("missing key 'a'" in p for p in problems)
+
+
+def test_known_schemas_covers_every_registered_module():
+    schemas = bench_schema.known_schemas()
+    assert set(schemas.values()) \
+        == set(bench_schema.ARTIFACT_MODULES.values())
+    assert "kivati-obsbench/v1" in schemas
+    assert "kivati-fleetbench/v1" in schemas
+
+
+def test_validate_artifact_dispatches_by_schema():
+    assert bench_schema.validate_artifact("nope") \
+        == ["payload is not an object"]
+    problems = bench_schema.validate_artifact({"schema": "martian/v9"})
+    assert len(problems) == 1
+    assert "unknown schema" in problems[0]
+    # a known schema dispatches to the owning module's validate(),
+    # which then reports its own missing-key problems
+    problems = bench_schema.validate_artifact(
+        {"schema": "kivati-fleetbench/v1"})
+    assert problems
+    assert all("martian" not in p for p in problems)
+
+
+def test_validate_file_handles_bad_inputs(tmp_path):
+    missing = tmp_path / "nope.json"
+    assert any("cannot read" in p
+               for p in bench_schema.validate_file(str(missing)))
+    garbled = tmp_path / "garbled.json"
+    garbled.write_text("{not json")
+    assert any("not valid JSON" in p
+               for p in bench_schema.validate_file(str(garbled)))
+
+
+def test_committed_artifacts_discovery(tmp_path):
+    (tmp_path / "BENCH_a.json").write_text("{}")
+    (tmp_path / "BENCH_b.json").write_text("{}")
+    (tmp_path / "README.md").write_text("not an artifact")
+    (tmp_path / "BENCH_dir.json").mkdir()
+    assert bench_schema.committed_artifacts(str(tmp_path)) \
+        == ["BENCH_a.json", "BENCH_b.json"]
+
+
+def test_validate_committed_repo_set_is_clean():
+    report = bench_schema.validate_committed(".")
+    assert report, "expected committed BENCH_*.json artifacts"
+    failures = {name: problems for name, problems in report.items()
+                if problems}
+    assert failures == {}
+
+
+def test_registered_modules_validate_their_own_artifacts():
+    # every committed artifact's filename registry entry agrees with
+    # the payload's schema-based dispatch
+    for name in bench_schema.committed_artifacts("."):
+        module_name = bench_schema.ARTIFACT_MODULES.get(name)
+        assert module_name is not None, name
+        with open(name) as f:
+            payload = json.load(f)
+        assert bench_schema.known_schemas()[payload["schema"]] \
+            == module_name

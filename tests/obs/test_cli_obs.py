@@ -1,0 +1,124 @@
+"""CLI coverage for the obs verbs and `bench validate`."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SRC = """
+int x = 0;
+
+void worker() {
+    int i = 0;
+    while (i < 3) {
+        int t = x;
+        x = t + 1;
+        i = i + 1;
+    }
+}
+
+void main() {
+    spawn worker();
+    spawn worker();
+    join();
+    output(x);
+}
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(SRC)
+    return str(path)
+
+
+def test_obs_report(program_file, capsys):
+    assert main(["obs", "report", program_file, "--top", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "hot path:" in out
+    assert "watchpoint checks" in out
+
+
+def test_obs_report_json_snapshot(program_file, capsys):
+    assert main(["obs", "report", program_file, "--json"]) == 0
+    snap = json.loads(capsys.readouterr().out)
+    assert snap["counters"]["kivati.run.count"] == 1
+    assert any(name.startswith("kivati.vm.op.")
+               for name in snap["counters"])
+
+
+def test_obs_export_from_run(program_file, tmp_path, capsys):
+    out_path = tmp_path / "trace.json"
+    assert main(["obs", "export", program_file,
+                 "--out", str(out_path)]) == 0
+    assert "trace:" in capsys.readouterr().out
+    payload = json.loads(out_path.read_text())
+    assert payload["traceEvents"]
+
+
+def test_obs_export_from_journal(program_file, tmp_path, capsys):
+    journal = tmp_path / "run.journal"
+    assert main(["run", program_file, "--journal", str(journal)]) == 0
+    capsys.readouterr()
+    out_path = tmp_path / "trace.json"
+    assert main(["obs", "export", "--journal", str(journal),
+                 "--out", str(out_path)]) == 0
+    payload = json.loads(out_path.read_text())
+    assert payload["traceEvents"]
+
+
+def test_obs_export_needs_an_input(tmp_path, capsys):
+    assert main(["obs", "export", "--out",
+                 str(tmp_path / "x.json")]) == 2
+    assert "give a program FILE" in capsys.readouterr().err
+
+
+def _write_artifact(path, **overrides):
+    payload = {"schema": "kivati-selftest/v1", "jobs_per_sec": 50.0,
+               "deterministic": True}
+    payload.update(overrides)
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def test_obs_diff_clean_and_regressed(tmp_path, capsys):
+    base = _write_artifact(tmp_path / "base.json")
+    same = _write_artifact(tmp_path / "same.json")
+    assert main(["obs", "diff", base, same]) == 0
+    capsys.readouterr()
+    worse = _write_artifact(tmp_path / "worse.json", jobs_per_sec=10.0)
+    assert main(["obs", "diff", base, worse]) == 3
+    assert "REGRESSED jobs_per_sec" in capsys.readouterr().out
+
+
+def test_obs_diff_json_and_errors(tmp_path, capsys):
+    base = _write_artifact(tmp_path / "base.json")
+    worse = _write_artifact(tmp_path / "worse.json", deterministic=False)
+    assert main(["obs", "diff", base, worse, "--json"]) == 3
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    other = _write_artifact(tmp_path / "other.json", schema="else/v1")
+    assert main(["obs", "diff", base, other]) == 2
+    assert main(["obs", "diff", base, str(tmp_path / "missing.json")]) == 2
+
+
+def test_bench_validate_files_and_all(tmp_path, capsys, monkeypatch):
+    good = tmp_path / "BENCH_fake.json"
+    good.write_text(json.dumps({"schema": "bogus/v1"}))
+    assert main(["bench", "validate", str(good)]) == 1
+    assert "unknown schema" in capsys.readouterr().out
+    assert main(["bench", "validate"]) == 2
+    capsys.readouterr()
+    # --all against a root with no artifacts is a failure, not a pass
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert main(["bench", "validate", "--all", "--root", str(empty)]) == 1
+
+
+def test_bench_validate_committed_artifacts(capsys):
+    # the repo's own committed BENCH_*.json set must validate clean
+    assert main(["bench", "validate", "--all"]) == 0
+    out = capsys.readouterr().out
+    assert "BENCH_fleet.json: ok" in out

@@ -1,0 +1,126 @@
+"""Metrics registry: handles, layouts, no-op path, round-trip, merge."""
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs.metrics import (BUCKET_LAYOUTS, MetricsRegistry, NULL_METRIC,
+                               NULL_REGISTRY)
+from repro.runtime.stats import KivatiStats
+
+
+def test_counter_and_gauge_semantics():
+    reg = MetricsRegistry()
+    c = reg.counter("kivati.test.count")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    g = reg.gauge("kivati.test.depth")
+    g.set(3)
+    g.max(2)      # lower: ignored
+    g.max(7)
+    assert g.value == 7
+    assert reg.counter("kivati.test.count") is c
+
+
+def test_histogram_buckets_and_overflow():
+    reg = MetricsRegistry()
+    h = reg.histogram("kivati.test.latency", "count")
+    for value in (0, 1, 2, 500):
+        h.observe(value)
+    assert h.count == 4
+    assert h.sum == 503
+    assert h.counts[-1] == 1          # 500 overflows the "count" layout
+    assert sum(h.counts) == h.count
+
+
+def test_named_layouts_are_strictly_increasing():
+    for name, bounds in BUCKET_LAYOUTS.items():
+        assert list(bounds) == sorted(set(bounds)), name
+
+
+def test_kind_and_bounds_conflicts_raise():
+    reg = MetricsRegistry()
+    reg.counter("a")
+    with pytest.raises(ObsError):
+        reg.gauge("a")
+    reg.histogram("h", "depth")
+    with pytest.raises(ObsError):
+        reg.histogram("h", "count")
+    with pytest.raises(ObsError):
+        reg.histogram("bad", "no-such-layout")
+    with pytest.raises(ObsError):
+        reg.histogram("empty", ())
+
+
+def test_null_handles_are_shared_noops():
+    assert NULL_REGISTRY.counter("x") is NULL_METRIC
+    assert NULL_REGISTRY.gauge("y") is NULL_METRIC
+    assert NULL_REGISTRY.histogram("z") is NULL_METRIC
+    NULL_METRIC.inc()
+    NULL_METRIC.set(5)
+    NULL_METRIC.max(5)
+    NULL_METRIC.observe(5)
+    assert not NULL_REGISTRY.enabled
+    assert NULL_REGISTRY.to_dict() == {"counters": {}, "gauges": {},
+                                       "histograms": {}}
+
+
+def test_round_trip_preserves_everything():
+    reg = MetricsRegistry()
+    reg.counter("c").inc(9)
+    reg.gauge("g").set(4)
+    h = reg.histogram("h", "depth")
+    h.observe(1)
+    h.observe(40)
+    payload = reg.to_dict()
+    back = MetricsRegistry.from_dict(payload)
+    assert back.to_dict() == payload
+
+
+def test_from_dict_rejects_unknown_keys_and_bad_counts():
+    with pytest.raises(ObsError):
+        MetricsRegistry.from_dict({"counters": {}, "bogus": {}})
+    with pytest.raises(ObsError):
+        MetricsRegistry.from_dict(["not", "a", "dict"])
+    with pytest.raises(ObsError):
+        MetricsRegistry.from_dict({"histograms": {
+            "h": {"bounds": [1, 2], "counts": [1], "sum": 1, "count": 1}}})
+
+
+def test_merge_is_commutative():
+    def build(counter, gauge, obs):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(counter)
+        reg.gauge("g").set(gauge)
+        reg.histogram("h", "count").observe(obs)
+        return reg
+
+    a_then_b = MetricsRegistry().merge(build(1, 5, 2)).merge(build(10, 3, 64))
+    b_then_a = MetricsRegistry().merge(build(10, 3, 64)).merge(build(1, 5, 2))
+    assert a_then_b.to_dict() == b_then_a.to_dict()
+    merged = a_then_b.to_dict()
+    assert merged["counters"]["c"] == 11
+    assert merged["gauges"]["g"] == 5          # max wins
+    assert merged["histograms"]["h"]["count"] == 2
+
+
+def test_merge_accepts_dict_payload_and_rejects_bounds_conflict():
+    reg = MetricsRegistry()
+    reg.counter("c").inc(2)
+    reg.merge({"counters": {"c": 3}, "gauges": {}, "histograms": {}})
+    assert reg.counter("c").value == 5
+    reg.histogram("h", "depth")
+    other = MetricsRegistry()
+    other.histogram("h", "count")
+    with pytest.raises(ObsError):
+        reg.merge(other)
+
+
+def test_ingest_stats_takes_fields_objects_and_dicts():
+    stats = KivatiStats()
+    stats.traps += 3
+    reg = MetricsRegistry()
+    reg.ingest_stats(stats)
+    assert reg.counter("kivati.stats.traps").value == 3
+    reg.ingest_stats({"extra": 2}, prefix="kivati.x.")
+    assert reg.counter("kivati.x.extra").value == 2

@@ -1,0 +1,90 @@
+"""The obs plane must be invisible to the simulation: verdicts, stats,
+simulated time and journal streams are bit-identical obs-on vs obs-off."""
+
+from repro.bench.obsbench import _report_digest
+from repro.core.config import KivatiConfig, Mode
+from repro.core.session import ProtectedProgram
+from repro.journal.replay import record_run
+from repro.obs import ObsPlane
+from repro.workloads.bugs import BUGS
+
+RACY = """
+int shared = 0;
+
+void bump() {
+    int i = 0;
+    while (i < 4) {
+        int t = shared;
+        shared = t + 1;
+        i = i + 1;
+    }
+}
+
+void main() {
+    spawn bump();
+    spawn bump();
+    join();
+    output(shared);
+}
+"""
+
+
+def _multiset(report):
+    return sorted((v.ar_id, v.local_tid, v.remote_tid, v.time_ns)
+                  for v in report.violations)
+
+
+def test_simple_run_is_bit_identical():
+    pp = ProtectedProgram(RACY)
+    base = pp.run(KivatiConfig(seed=2))
+    obs = ObsPlane()
+    observed = pp.run(KivatiConfig(seed=2, obs=obs))
+    assert observed.output == base.output
+    assert observed.time_ns == base.time_ns
+    assert observed.result.instr_count == base.result.instr_count
+    assert observed.stats.as_dict() == base.stats.as_dict()
+    assert _multiset(observed) == _multiset(base)
+    # and the plane actually observed the run
+    assert obs.profiler.total_dispatches == base.result.instr_count
+
+
+def test_journaled_digest_identical_with_wall_mode():
+    pp = ProtectedProgram(RACY)
+    base_rep, base_rec = record_run(pp, KivatiConfig(seed=4))
+    obs_rep, obs_rec = record_run(
+        pp, KivatiConfig(seed=4, obs=ObsPlane(wall_time=True)))
+    assert _report_digest(obs_rep, obs_rec) \
+        == _report_digest(base_rep, base_rec)
+
+
+def test_bug_corpus_verdicts_unchanged():
+    from repro.bench.scale import corpus_config
+
+    bug = BUGS["44402"]
+    pp = ProtectedProgram(bug.source)
+    config = corpus_config(seed=0)
+    base = pp.run(config)
+    observed = pp.run(config.copy(obs=ObsPlane()))
+    assert _multiset(observed) == _multiset(base)
+    assert observed.stats.as_dict() == base.stats.as_dict()
+
+
+def test_finalize_run_populates_registry():
+    obs = ObsPlane()
+    report = ProtectedProgram(RACY).run(KivatiConfig(obs=obs))
+    snap = obs.snapshot()
+    assert snap["counters"]["kivati.run.count"] == 1
+    assert snap["counters"]["kivati.run.instructions"] \
+        == report.result.instr_count
+    assert snap["counters"]["kivati.stats.traps"] == report.stats.traps
+    assert snap["gauges"]["kivati.run.time_ns"] == report.time_ns
+    # snapshot is idempotent — profiler counts merge, never double-ingest
+    assert obs.snapshot() == snap
+
+
+def test_obs_off_leaves_no_hooks_armed():
+    pp = ProtectedProgram(RACY)
+    config = KivatiConfig(seed=2)
+    assert config.obs is None
+    report = pp.run(config)
+    assert report.violations is not None  # ran fine with no plane

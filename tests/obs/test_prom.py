@@ -1,0 +1,57 @@
+"""Prometheus exposition: sanitization, golden output, flat renderer."""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prom import render_flat, render_metrics, sanitize_name
+
+
+def test_sanitize_name():
+    assert sanitize_name("kivati.vm.op.ld") == "kivati_vm_op_ld"
+    assert sanitize_name("a-b c") == "a_b_c"
+    assert sanitize_name("7lead") == "_7lead"
+    assert sanitize_name("") == "_"
+    assert sanitize_name("keep:colon_ok") == "keep:colon_ok"
+
+
+def test_render_metrics_golden():
+    reg = MetricsRegistry()
+    reg.counter("kivati.run.count").inc(2)
+    reg.gauge("kivati.run.threads").set(5)
+    h = reg.histogram("depths", (1, 2))
+    h.observe(1)
+    h.observe(1)
+    h.observe(9)
+    text = render_metrics(reg)
+    assert text == (
+        "# TYPE kivati_run_count counter\n"
+        "kivati_run_count 2\n"
+        "# TYPE kivati_run_threads gauge\n"
+        "kivati_run_threads 5\n"
+        "# TYPE depths histogram\n"
+        'depths_bucket{le="1"} 2\n'
+        'depths_bucket{le="2"} 2\n'
+        'depths_bucket{le="+Inf"} 3\n'
+        "depths_sum 11\n"
+        "depths_count 3\n")
+
+
+def test_render_metrics_accepts_registry_or_payload():
+    reg = MetricsRegistry()
+    reg.counter("c").inc()
+    assert render_metrics(reg) == render_metrics(reg.to_dict())
+
+
+def test_render_flat_skips_non_numeric_and_casts_bools():
+    text = render_flat({"requests": 4, "rate": 0.5, "draining": True,
+                        "detail": ["not", "numeric"], "name": "w0"},
+                       prefix="kivati_service_")
+    assert "kivati_service_requests 4" in text
+    assert "kivati_service_rate 0.5" in text
+    assert "kivati_service_draining 1" in text
+    assert "detail" not in text
+    assert "name" not in text
+    assert text.endswith("\n")
+
+
+def test_render_empty_is_empty_string():
+    assert render_metrics(MetricsRegistry()) == ""
+    assert render_flat({}) == ""

@@ -1,0 +1,117 @@
+"""Perf-regression sentinel: rules, directions, tolerances, reports."""
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs.regress import (Rule, compare_artifacts, flatten)
+
+
+def _artifact(**overrides):
+    base = {
+        "schema": "kivati-selftest/v1",
+        "jobs_per_sec": 100.0,
+        "speedup_vs_1": 2.0,
+        "latency_p50": 10.0,
+        "deterministic": True,
+        "config": {"workers": 4},
+        "series": [{"elapsed_s": 5.0}],
+    }
+    base.update(overrides)
+    return base
+
+
+def test_flatten_paths_and_leaves():
+    leaves = dict(flatten(_artifact()))
+    assert leaves["jobs_per_sec"] == 100.0
+    assert leaves["series.0.elapsed_s"] == 5.0
+    assert leaves["deterministic"] is True
+    assert "schema" not in leaves  # strings are not governed
+
+
+def test_identical_artifacts_pass():
+    report = compare_artifacts(_artifact(), _artifact())
+    assert report.ok
+    assert report.checked > 0
+    assert report.regressions == []
+
+
+def test_higher_direction_catches_throughput_drop():
+    report = compare_artifacts(_artifact(),
+                               _artifact(jobs_per_sec=80.0))
+    assert not report.ok
+    paths = [f["path"] for f in report.regressions]
+    assert paths == ["jobs_per_sec"]
+
+
+def test_tolerance_allows_small_drift():
+    # 5% drop is inside the 10% *per_sec* tolerance
+    report = compare_artifacts(_artifact(), _artifact(jobs_per_sec=95.0))
+    assert report.ok
+    # and rel_tol_scale can tighten it below the drift
+    strict = compare_artifacts(_artifact(), _artifact(jobs_per_sec=95.0),
+                               rel_tol_scale=0.1)
+    assert not strict.ok
+
+
+def test_lower_direction_catches_latency_rise():
+    report = compare_artifacts(_artifact(), _artifact(latency_p50=20.0))
+    assert [f["path"] for f in report.regressions] == ["latency_p50"]
+    # improvements are reported, never fatal
+    faster = compare_artifacts(_artifact(), _artifact(latency_p50=1.0))
+    assert faster.ok
+    assert [f["path"] for f in faster.improvements] == ["latency_p50"]
+
+
+def test_bool_direction_has_no_tolerance():
+    report = compare_artifacts(_artifact(), _artifact(deterministic=False))
+    assert [f["path"] for f in report.regressions] == ["deterministic"]
+
+
+def test_missing_governed_metric_fails():
+    new = _artifact()
+    del new["jobs_per_sec"]
+    report = compare_artifacts(_artifact(), new)
+    assert not report.ok
+    assert report.missing == ["jobs_per_sec"]
+    assert "MISSING" in report.describe()
+
+
+def test_added_metrics_are_informational():
+    report = compare_artifacts(_artifact(),
+                               _artifact(extra_per_sec=5.0))
+    assert report.ok
+    assert report.added == ["extra_per_sec"]
+
+
+def test_schema_mismatch_and_bad_inputs_raise():
+    with pytest.raises(ObsError):
+        compare_artifacts(_artifact(), _artifact(schema="other/v1"))
+    with pytest.raises(ObsError):
+        compare_artifacts({"no_schema": 1}, {"no_schema": 1})
+    with pytest.raises(ObsError):
+        compare_artifacts([], {})
+
+
+def test_obsbench_overhead_rule_is_zero_tolerance():
+    base = {"schema": "kivati-obsbench/v1",
+            "overhead": {"NSS": {"overhead_frac": 0.02}}}
+    worse = {"schema": "kivati-obsbench/v1",
+             "overhead": {"NSS": {"overhead_frac": 0.021}}}
+    report = compare_artifacts(base, worse)
+    assert not report.ok
+
+
+def test_rule_validation():
+    with pytest.raises(ObsError):
+        Rule("*", "sideways")
+    rule = Rule("a.*.b", "higher", 0.1)
+    assert rule.matches("a.x.b")
+    assert not rule.matches("a.b")
+
+
+def test_report_round_trips_as_dict():
+    report = compare_artifacts(_artifact(), _artifact(jobs_per_sec=1.0))
+    payload = report.as_dict()
+    assert payload["ok"] is False
+    assert payload["schema"] == "kivati-selftest/v1"
+    assert payload["regressions"][0]["path"] == "jobs_per_sec"

@@ -1,0 +1,146 @@
+"""Span builders and the Chrome trace export format."""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.core.config import KivatiConfig
+from repro.core.session import ProtectedProgram
+from repro.journal.replay import record_run
+from repro.obs.spans import (PID_FLEET, PID_SERVICE, PID_THREADS,
+                             export_chrome_trace, fleet_trace_events,
+                             journal_trace_events, render_chrome_trace,
+                             service_trace_events, validate_chrome_trace)
+
+RACY = """
+int shared = 0;
+
+void bump() {
+    int i = 0;
+    while (i < 4) {
+        int t = shared;
+        shared = t + 1;
+        i = i + 1;
+    }
+}
+
+void main() {
+    spawn bump();
+    spawn bump();
+    join();
+    output(shared);
+}
+"""
+
+
+def _journal_events(seed=3):
+    _, recorder = record_run(ProtectedProgram(RACY),
+                             KivatiConfig(seed=seed))
+    return recorder.events
+
+
+def test_journal_spans_are_well_formed():
+    events = journal_trace_events(_journal_events())
+    problems = validate_chrome_trace({"traceEvents": events})
+    assert problems == []
+    spans = [e for e in events if e["ph"] == "X"]
+    assert spans, "expected at least one AR/core span"
+    assert all(e["dur"] >= 0 for e in spans)
+    assert any(e["pid"] == PID_THREADS for e in spans)
+
+
+def test_journal_spans_replay_identical():
+    a = render_chrome_trace(journal_trace_events(_journal_events()))
+    b = render_chrome_trace(journal_trace_events(_journal_events()))
+    assert a == b
+
+
+def test_render_is_byte_deterministic_across_hashseed():
+    script = (
+        "import sys\n"
+        "from repro.core.config import KivatiConfig\n"
+        "from repro.core.session import ProtectedProgram\n"
+        "from repro.journal.replay import record_run\n"
+        "from repro.obs.spans import journal_trace_events, "
+        "render_chrome_trace\n"
+        "src = open(sys.argv[1]).read()\n"
+        "_, rec = record_run(ProtectedProgram(src), KivatiConfig(seed=3))\n"
+        "print(render_chrome_trace(journal_trace_events(rec.events)))\n")
+    outputs = set()
+    for hashseed in ("0", "12345"):
+        env = dict(os.environ, PYTHONHASHSEED=hashseed,
+                   PYTHONPATH=os.pathsep.join(sys.path))
+        prog = os.path.join(os.path.dirname(__file__), "_racy_prog.c")
+        try:
+            with open(prog, "w") as f:
+                f.write(RACY)
+            outputs.add(subprocess.run(
+                [sys.executable, "-c", script, prog], env=env,
+                capture_output=True, text=True, check=True).stdout)
+        finally:
+            os.unlink(prog)
+    assert len(outputs) == 1
+
+
+def test_service_spans_use_logical_clock():
+    log = [
+        {"seq": 1, "kind": "accept", "request_id": "r1", "job_id": "j",
+         "deadline_s": 5.0},
+        {"seq": 2, "kind": "dispatch", "request_id": "r1",
+         "worker_id": "w0", "attempt": 0},
+        {"seq": 3, "kind": "respond", "request_id": "r1", "ok": True},
+        {"seq": 4, "kind": "accept", "request_id": "r2", "job_id": "j2",
+         "deadline_s": 5.0},
+    ]
+    events = service_trace_events(log)
+    assert validate_chrome_trace({"traceEvents": events}) == []
+    spans = [e for e in events if e["ph"] == "X"]
+    assert len(spans) == 2
+    done = next(s for s in spans if s["name"] == "request r1")
+    assert done["ts"] == 1.0 and done["dur"] == 2.0
+    assert done["args"]["ok"] is True
+    hung = next(s for s in spans if s["name"] == "request r2")
+    assert hung["args"]["unresponded"] is True
+    assert all(s["pid"] == PID_SERVICE for s in spans)
+
+
+def test_fleet_spans_one_lane_per_worker():
+    timeline = [
+        {"job_id": "a", "worker_id": "w0", "attempt": 0,
+         "start_s": 0.0, "end_s": 0.5, "status": "ok"},
+        {"job_id": "b", "worker_id": "w1", "attempt": 0,
+         "start_s": 0.1, "end_s": 0.2, "status": "crash"},
+        {"job_id": "b", "worker_id": "w0", "attempt": 1,
+         "start_s": 0.6, "end_s": 0.9, "status": "ok"},
+    ]
+    events = fleet_trace_events(timeline)
+    assert validate_chrome_trace({"traceEvents": events}) == []
+    spans = [e for e in events if e["ph"] == "X"]
+    assert {s["tid"] for s in spans} == {0, 1}
+    retry = next(s for s in spans if s["name"] == "b#1")
+    assert retry["ts"] == 0.6 * 1e6
+    assert all(s["pid"] == PID_FLEET for s in spans)
+
+
+def test_export_writes_canonical_json(tmp_path):
+    events = journal_trace_events(_journal_events())
+    out = tmp_path / "trace.json"
+    written = export_chrome_trace(events, str(out))
+    data = out.read_text()
+    assert len(data) == written
+    payload = json.loads(data)
+    assert payload["displayTimeUnit"] == "ms"
+    assert validate_chrome_trace(payload) == []
+    assert data == render_chrome_trace(events)
+
+
+def test_validate_rejects_malformed_traces():
+    assert validate_chrome_trace([]) != []
+    assert validate_chrome_trace({"traceEvents": "nope"}) != []
+    bad = {"traceEvents": [{"ph": "X", "pid": 1, "tid": 0, "name": "s",
+                            "ts": 0.0, "dur": -1.0}]}
+    assert any("dur" in p for p in validate_chrome_trace(bad))
+    unknown = {"traceEvents": [{"ph": "Q", "pid": 1, "tid": 0,
+                                "name": "s"}]}
+    assert any("phase" in p for p in validate_chrome_trace(unknown))
